@@ -1,0 +1,448 @@
+// Command benchharness regenerates the paper's evaluation figures as text
+// tables and CSV series. Each -fig value reproduces one artefact:
+//
+//	2     sample metadata record (Figure 2)
+//	3     detection confidence, static vs drone (Figure 3)
+//	4     metadata extraction time vs frame size (Figure 4)
+//	5     IPFS storage time vs file size, with/without blockchain (Figure 5)
+//	6     retrieval time vs file size, with/without blockchain (Figure 6)
+//	bft   BFT fault-tolerance ablation
+//	trust trust-score evolution ablation
+//	scale peer-count scalability ablation
+//	all   everything above
+//
+// Usage: benchharness [-fig all] [-samples 20] [-csv]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"socialchain/internal/consensus"
+	"socialchain/internal/core"
+	"socialchain/internal/dataset"
+	"socialchain/internal/detect"
+	"socialchain/internal/fabric"
+	"socialchain/internal/metrics"
+	"socialchain/internal/msp"
+	"socialchain/internal/ordering"
+	"socialchain/internal/sim"
+	"socialchain/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,all")
+	samples := flag.Int("samples", 20, "measurements per point")
+	csv := flag.Bool("csv", false, "emit CSV series instead of tables")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	h := &harness{samples: *samples, csv: *csv, seed: *seed}
+	run := map[string]func() error{
+		"2":     h.figure2,
+		"3":     h.figure3,
+		"4":     h.figure4,
+		"5":     h.figure5,
+		"6":     h.figure6,
+		"bft":   h.bft,
+		"trust": h.trust,
+		"scale": h.scale,
+	}
+	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale"}
+	want := strings.Split(*fig, ",")
+	if *fig == "all" {
+		want = order
+	}
+	for _, f := range want {
+		fn, ok := run[strings.TrimSpace(f)]
+		if !ok {
+			log.Fatalf("unknown figure %q (valid: %s, all)", f, strings.Join(order, ","))
+		}
+		if err := fn(); err != nil {
+			log.Fatalf("figure %s: %v", f, err)
+		}
+	}
+}
+
+type harness struct {
+	samples int
+	csv     bool
+	seed    int64
+}
+
+func (h *harness) header(title string) {
+	fmt.Printf("\n=== %s ===\n\n", title)
+}
+
+func (h *harness) emit(series ...*metrics.Series) {
+	if h.csv {
+		for _, s := range series {
+			s.WriteCSV(os.Stdout)
+		}
+		return
+	}
+	tbl := metrics.NewTable(append([]string{"x"}, labelsOf(series)...)...)
+	for i := range series[0].X {
+		row := []any{series[0].X[i]}
+		for _, s := range series {
+			row = append(row, s.Y[i])
+		}
+		tbl.AddRow(row...)
+	}
+	tbl.Render(os.Stdout)
+}
+
+func labelsOf(series []*metrics.Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// figure2 prints one extracted metadata record in the paper's Figure 2
+// shape.
+func (h *harness) figure2() error {
+	h.header("Figure 2 — sample metadata record")
+	corpus := dataset.Generate(dataset.Config{Seed: h.seed, NumVideos: 1, FramesPerVideo: 1, NumDroneFlights: 1, FramesPerFlight: 1})
+	det := detect.NewDetector(h.seed)
+	rec, _ := det.ExtractMetadata(&corpus.Static[0].Frames[0])
+	b, err := json.MarshalIndent(rec.Detections[0], "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metadata %s\n", b)
+	return nil
+}
+
+// figure3 prints the per-platform confidence distributions.
+func (h *harness) figure3() error {
+	h.header("Figure 3 — detection confidence: static vs drone")
+	corpus := dataset.Generate(dataset.Config{Seed: h.seed, NumVideos: 52, FramesPerVideo: 10, NumDroneFlights: 12, FramesPerFlight: 10})
+	det := detect.NewDetector(h.seed)
+
+	collect := func(videos []dataset.Video) (*metrics.Stats, *metrics.Histogram) {
+		stats := metrics.NewStats()
+		hist := metrics.NewHistogram(0, 1, 20)
+		for i := range videos {
+			for j := range videos[i].Frames {
+				for _, d := range det.Detect(&videos[i].Frames[j]) {
+					stats.Add(d.Confidence)
+					hist.Add(d.Confidence)
+				}
+			}
+		}
+		return stats, hist
+	}
+	staticStats, staticHist := collect(corpus.Static)
+	droneStats, droneHist := collect(corpus.Drone)
+
+	tbl := metrics.NewTable("platform", "detections", "conf-mean", "conf-std", "p5", "p95")
+	tbl.AddRow("static", staticStats.N(), staticStats.Mean(), staticStats.Std(), staticStats.Percentile(5), staticStats.Percentile(95))
+	tbl.AddRow("drone", droneStats.N(), droneStats.Mean(), droneStats.Std(), droneStats.Percentile(5), droneStats.Percentile(95))
+	tbl.Render(os.Stdout)
+	if !h.csv {
+		fmt.Println("\nstatic confidence distribution:")
+		fmt.Print(staticHist.Render(40))
+		fmt.Println("drone confidence distribution:")
+		fmt.Print(droneHist.Render(40))
+	}
+	return nil
+}
+
+// figure4 prints extraction time against frame size.
+func (h *harness) figure4() error {
+	h.header("Figure 4 — metadata extraction time vs frame size")
+	det := detect.NewDetector(h.seed)
+	rng := sim.NewRNG(h.seed)
+	corpus := dataset.Generate(dataset.Config{Seed: h.seed, NumVideos: 20, FramesPerVideo: 5, NumDroneFlights: 5, FramesPerFlight: 5, MeanFrameKB: 32})
+	_ = rng
+	s := &metrics.Series{Label: "extract_s"}
+	for _, f := range corpus.AllFrames() {
+		_, dur := det.ExtractMetadata(f)
+		s.Append(float64(f.SizeBytes())/1024, dur.Seconds())
+	}
+	if h.csv {
+		s.WriteCSV(os.Stdout)
+		return nil
+	}
+	tbl := metrics.NewTable("size_kb", "extract_s")
+	for i := range s.X {
+		tbl.AddRow(s.X[i], s.Y[i])
+	}
+	tbl.Render(os.Stdout)
+	return nil
+}
+
+// storageFramework builds the default evaluation deployment: 4 peers
+// (paper: 2 peers + orderer; we keep BFT-viable 4) and 2 IPFS nodes, with
+// LAN-like latency so overheads resemble the Docker-on-one-host testbed.
+func (h *harness) storageFramework() (*core.Framework, *core.Client, error) {
+	rng := sim.NewRNG(h.seed)
+	fw, err := core.New(core.Config{
+		Fabric: fabric.Config{
+			NumPeers: 4,
+			Cutter:   ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 2 * time.Millisecond},
+			Latency:  sim.LANLatency(rng),
+		},
+		IPFSNodes:   2,
+		IPFSLatency: sim.LANLatency(rng.Fork()),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cam, err := msp.NewSigner("city", "harness-cam", msp.RoleTrustedSource)
+	if err != nil {
+		fw.Close()
+		return nil, nil, err
+	}
+	if err := fw.RegisterSource(cam.Identity, true); err != nil {
+		fw.Close()
+		return nil, nil, err
+	}
+	return fw, fw.Client(cam, 0), nil
+}
+
+func frameOfSize(rng *sim.RNG, det *detect.Detector, size, idx int) (*detect.Frame, detect.MetadataRecord) {
+	f := &detect.Frame{
+		ID:         detect.FrameIDFor(fmt.Sprintf("harness-%d", idx), idx),
+		VideoID:    fmt.Sprintf("harness-%d", idx),
+		CameraID:   "harness-cam",
+		Index:      idx,
+		Platform:   detect.PlatformStatic,
+		Encoding:   detect.EncodingJPEG,
+		Width:      1280,
+		Height:     720,
+		Data:       rng.Bytes(size),
+		Timestamp:  time.Now(),
+		Location:   detect.GeoPoint{Latitude: 12.97, Longitude: 77.59},
+		LightLevel: 1,
+	}
+	meta, _ := det.ExtractMetadata(f)
+	return f, meta
+}
+
+// figure5 prints storage time vs size, with and without blockchain.
+func (h *harness) figure5() error {
+	h.header("Figure 5 — storage time vs file size (IPFS alone vs with blockchain)")
+	fw, client, err := h.storageFramework()
+	if err != nil {
+		return err
+	}
+	defer fw.Close()
+	rng := sim.NewRNG(h.seed)
+	det := detect.NewDetector(h.seed)
+	ipfsOnly := &metrics.Series{Label: "ipfs_only_s"}
+	withBC := &metrics.Series{Label: "with_blockchain_s"}
+	for _, size := range workload.DefaultStorageSweep() {
+		ipfsStat := metrics.NewStats()
+		totalStat := metrics.NewStats()
+		for i := 0; i < h.samples; i++ {
+			frame, meta := frameOfSize(rng, det, size, i)
+			receipt, err := client.StoreFrame(frame, meta)
+			if err != nil {
+				return err
+			}
+			ipfsStat.AddDuration(receipt.Timing.IPFS)
+			totalStat.AddDuration(receipt.Timing.Total())
+		}
+		kb := float64(size) / 1024
+		ipfsOnly.Append(kb, ipfsStat.Mean())
+		withBC.Append(kb, totalStat.Mean())
+	}
+	h.emit(ipfsOnly, withBC)
+	return nil
+}
+
+// figure6 prints retrieval time vs size, with and without blockchain.
+func (h *harness) figure6() error {
+	h.header("Figure 6 — retrieval time vs file size (IPFS alone vs with blockchain)")
+	fw, client, err := h.storageFramework()
+	if err != nil {
+		return err
+	}
+	defer fw.Close()
+	rng := sim.NewRNG(h.seed)
+	det := detect.NewDetector(h.seed)
+	reader := fw.Client(fw.Admin, 1)
+	ipfsOnly := &metrics.Series{Label: "ipfs_only_s"}
+	withBC := &metrics.Series{Label: "with_blockchain_s"}
+	for _, size := range workload.DefaultStorageSweep() {
+		frame, meta := frameOfSize(rng, det, size, 0)
+		receipt, err := client.StoreFrame(frame, meta)
+		if err != nil {
+			return err
+		}
+		ipfsStat := metrics.NewStats()
+		totalStat := metrics.NewStats()
+		for i := 0; i < h.samples; i++ {
+			res, err := reader.RetrieveData(receipt.TxID)
+			if err != nil {
+				return err
+			}
+			ipfsStat.AddDuration(res.Timing.IPFS)
+			totalStat.AddDuration(res.Timing.Total())
+		}
+		kb := float64(size) / 1024
+		ipfsOnly.Append(kb, ipfsStat.Mean())
+		withBC.Append(kb, totalStat.Mean())
+	}
+	h.emit(ipfsOnly, withBC)
+	return nil
+}
+
+// bft sweeps byzantine validator counts on a 7-peer network.
+func (h *harness) bft() error {
+	h.header("Ablation — BFT fault tolerance (n=7, f=2)")
+	tbl := metrics.NewTable("byzantine", "stores_ok", "stores_failed", "mean_latency_s")
+	for _, byz := range []int{0, 1, 2} {
+		behaviors := map[int]consensus.Behavior{}
+		for i := 0; i < byz; i++ {
+			behaviors[i+1] = consensus.Silent{}
+		}
+		fw, err := core.New(core.Config{
+			Fabric: fabric.Config{
+				NumPeers:         7,
+				Cutter:           ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 2 * time.Millisecond},
+				Behaviors:        behaviors,
+				ConsensusTimeout: 500 * time.Millisecond,
+			},
+			IPFSNodes: 2,
+		})
+		if err != nil {
+			return err
+		}
+		cam, err := msp.NewSigner("city", "bft-cam", msp.RoleTrustedSource)
+		if err != nil {
+			fw.Close()
+			return err
+		}
+		if err := fw.RegisterSource(cam.Identity, true); err != nil {
+			fw.Close()
+			return err
+		}
+		client := fw.Client(cam, 0)
+		rng := sim.NewRNG(h.seed)
+		det := detect.NewDetector(h.seed)
+		lat := metrics.NewStats()
+		ok, failed := 0, 0
+		for i := 0; i < h.samples; i++ {
+			frame, meta := frameOfSize(rng, det, 8*1024, i)
+			start := time.Now()
+			if _, err := client.StoreFrame(frame, meta); err != nil {
+				failed++
+				continue
+			}
+			lat.AddDuration(time.Since(start))
+			ok++
+		}
+		tbl.AddRow(byz, ok, failed, lat.Mean())
+		fw.Close()
+	}
+	tbl.Render(os.Stdout)
+	return nil
+}
+
+// trust shows score evolution for an honest and a dishonest source.
+func (h *harness) trust() error {
+	h.header("Ablation — trust score evolution (honest vs dishonest source)")
+	fw, _, err := h.storageFramework()
+	if err != nil {
+		return err
+	}
+	defer fw.Close()
+	honest, err := msp.NewSigner("crowd", "honest", msp.RoleUntrustedSource)
+	if err != nil {
+		return err
+	}
+	dishonest, err := msp.NewSigner("crowd", "dishonest", msp.RoleUntrustedSource)
+	if err != nil {
+		return err
+	}
+	for _, s := range []*msp.Signer{honest, dishonest} {
+		if err := fw.RegisterSource(s.Identity, false); err != nil {
+			return err
+		}
+	}
+	honestClient := fw.Client(honest, 0)
+	dishonestClient := fw.Client(dishonest, 0)
+	rng := sim.NewRNG(h.seed)
+	det := detect.NewDetector(h.seed)
+
+	tbl := metrics.NewTable("round", "honest_score", "dishonest_score", "dishonest_gated")
+	rounds := h.samples
+	if rounds > 12 {
+		rounds = 12
+	}
+	for round := 1; round <= rounds; round++ {
+		frame, meta := frameOfSize(rng, det, 4*1024, round)
+		if _, err := honestClient.StoreFrame(frame, meta); err != nil {
+			return fmt.Errorf("honest store: %w", err)
+		}
+		badFrame, badMeta := frameOfSize(rng, det, 4*1024, 1000+round)
+		badMeta.DataHash = strings.Repeat("0", 64) // fails hash integrity
+		_, badErr := dishonestClient.StoreFrame(badFrame, badMeta)
+		gated := badErr != nil
+
+		hs, err := fw.TrustScore(honest.Identity.ID())
+		if err != nil {
+			return err
+		}
+		ds, err := fw.TrustScore(dishonest.Identity.ID())
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(round, hs.Score, ds.Score, gated)
+	}
+	tbl.Render(os.Stdout)
+	return nil
+}
+
+// scale sweeps the peer count against store latency.
+func (h *harness) scale() error {
+	h.header("Ablation — peer-count scalability")
+	tbl := metrics.NewTable("peers", "mean_store_s", "p95_store_s")
+	for _, peers := range []int{4, 7, 10, 13} {
+		fw, err := core.New(core.Config{
+			Fabric: fabric.Config{
+				NumPeers: peers,
+				Cutter:   ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 2 * time.Millisecond},
+			},
+			IPFSNodes: 2,
+		})
+		if err != nil {
+			return err
+		}
+		cam, err := msp.NewSigner("city", "scale-cam", msp.RoleTrustedSource)
+		if err != nil {
+			fw.Close()
+			return err
+		}
+		if err := fw.RegisterSource(cam.Identity, true); err != nil {
+			fw.Close()
+			return err
+		}
+		client := fw.Client(cam, 0)
+		rng := sim.NewRNG(h.seed)
+		det := detect.NewDetector(h.seed)
+		lat := metrics.NewStats()
+		for i := 0; i < h.samples; i++ {
+			frame, meta := frameOfSize(rng, det, 8*1024, i)
+			start := time.Now()
+			if _, err := client.StoreFrame(frame, meta); err != nil {
+				fw.Close()
+				return err
+			}
+			lat.AddDuration(time.Since(start))
+		}
+		tbl.AddRow(peers, lat.Mean(), lat.Percentile(95))
+		fw.Close()
+	}
+	tbl.Render(os.Stdout)
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package socialchain reproduces "A Blockchain-Enabled Framework for
+// Storage and Retrieval of Social Data" (Parab, Pradhan, Simmhan, Paul;
+// IPDPS-W/IPPS 2025, arXiv 2503.20497): a Hyperledger-Fabric-style
+// permissioned blockchain storing metadata, CIDs, trust scores and
+// provenance on-chain, an IPFS-style content-addressed store holding raw
+// payloads off-chain, and the store/retrieve pipelines, chaincodes and
+// query engine the paper describes.
+//
+// The implementation lives under internal/; see DESIGN.md for the system
+// inventory, EXPERIMENTS.md for the paper-vs-measured record, and
+// examples/ for runnable scenarios. bench_test.go regenerates every figure
+// of the paper's evaluation section.
+package socialchain

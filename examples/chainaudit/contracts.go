@@ -1,0 +1,10 @@
+package main
+
+import (
+	"socialchain/internal/chaincode"
+	"socialchain/internal/contracts"
+)
+
+// contractsAll exposes the framework chaincode set so the auxiliary
+// network re-validates synced blocks with the same code.
+func contractsAll() []chaincode.Chaincode { return contracts.All() }

@@ -1,0 +1,130 @@
+// Provenance audit: the paper's traceability story. A camera streams
+// observations that form a hash-linked per-source provenance chain
+// on-chain; an auditor then walks the chain, proves Merkle inclusion of a
+// record in its block, verifies payload integrity against the on-chain
+// hash, and demonstrates that tampering is detected.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"socialchain/internal/core"
+	"socialchain/internal/dataset"
+	"socialchain/internal/detect"
+	"socialchain/internal/fabric"
+	"socialchain/internal/msp"
+	"socialchain/internal/ordering"
+	"socialchain/internal/provenance"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fw, err := core.New(core.Config{
+		Fabric: fabric.Config{
+			NumPeers: 4,
+			Cutter:   ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 5 * time.Millisecond},
+		},
+		IPFSNodes: 2,
+	})
+	if err != nil {
+		return err
+	}
+	defer fw.Close()
+
+	cam, err := msp.NewSigner("city", "cam-7", msp.RoleTrustedSource)
+	if err != nil {
+		return err
+	}
+	if err := fw.RegisterSource(cam.Identity, true); err != nil {
+		return err
+	}
+	client := fw.Client(cam, 0)
+
+	det := detect.NewDetector(23)
+	corpus := dataset.Generate(dataset.Config{Seed: 23, NumVideos: 1, FramesPerVideo: 5, NumDroneFlights: 1, FramesPerFlight: 1, MeanFrameKB: 8})
+
+	var lastTx string
+	fmt.Println("storing 5 observations from cam-7...")
+	for i := range corpus.Static[0].Frames {
+		frame := &corpus.Static[0].Frames[i]
+		meta, _ := det.ExtractMetadata(frame)
+		receipt, err := client.StoreFrame(frame, meta)
+		if err != nil {
+			return err
+		}
+		lastTx = receipt.TxID
+		fmt.Printf("  seq %d: tx=%s block=%d\n", i+1, receipt.TxID[:12], receipt.BlockNum)
+	}
+
+	// Walk the provenance chain from the newest record to the origin.
+	fmt.Println("\nwalking provenance chain from the newest record:")
+	chain, err := client.Query().Provenance(lastTx)
+	if err != nil {
+		return err
+	}
+	for _, rec := range chain {
+		fmt.Printf("  seq=%d tx=%s prev=%-12s hash=%s...\n",
+			rec.Seq, rec.TxID[:12], short(rec.PrevTxID), rec.DataHash[:12])
+	}
+	summary := provenance.Summarise(chain)
+	fmt.Printf("chain verified: source=%s length=%d origin=%s valid=%v\n",
+		summary.Source, summary.Length, summary.Origin[:12], summary.Valid)
+
+	// Prove the newest record is committed in the ledger (Merkle proof
+	// against the block's data hash).
+	lgr := fw.Net.Peer(0).Ledger()
+	waitForTx(lgr.HasTx, lastTx)
+	if err := provenance.VerifyInclusion(lgr, lastTx); err != nil {
+		return fmt.Errorf("inclusion proof: %w", err)
+	}
+	fmt.Println("merkle inclusion proof for the newest record: OK")
+
+	// Verify payload integrity end-to-end.
+	res, err := client.RetrieveData(lastTx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("payload integrity: %d bytes, verified=%v\n", len(res.Payload), res.Verified)
+
+	// Tampering demo: alter the retrieved payload and re-verify.
+	tampered := append([]byte(nil), res.Payload...)
+	tampered[0] ^= 0xFF
+	if err := provenance.VerifyPayload(&res.Record, tampered); err != nil {
+		fmt.Printf("tampered payload correctly rejected: %v\n", err)
+	} else {
+		fmt.Println("WARNING: tampered payload passed verification")
+	}
+
+	// Whole-chain integrity: every block's hash chain and data hash.
+	if err := lgr.VerifyChain(); err != nil {
+		return err
+	}
+	fmt.Printf("full ledger hash chain verified (%d blocks)\n", lgr.Height())
+	return nil
+}
+
+func short(s string) string {
+	if len(s) > 12 {
+		return s[:12]
+	}
+	if s == "" {
+		return "(origin)"
+	}
+	return s
+}
+
+// waitForTx polls until the peer's ledger has the transaction (commits
+// propagate asynchronously between peers).
+func waitForTx(has func(string) bool, txID string) {
+	deadline := time.Now().Add(5 * time.Second)
+	for !has(txID) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+}

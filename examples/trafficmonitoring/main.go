@@ -1,0 +1,138 @@
+// Traffic monitoring: the paper's motivating ITS scenario. Several static
+// cameras and a drone feed observations into the framework; a law
+// enforcement analyst then runs the query engine — by label, by camera, by
+// rich selector — and verifies every retrieved payload against its
+// on-chain hash.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	"socialchain/internal/core"
+	"socialchain/internal/dataset"
+	"socialchain/internal/detect"
+	"socialchain/internal/fabric"
+	"socialchain/internal/msp"
+	"socialchain/internal/ordering"
+	"socialchain/internal/query"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fw, err := core.New(core.Config{
+		Fabric: fabric.Config{
+			NumPeers: 4,
+			Cutter:   ordering.CutterConfig{MaxMessages: 2, BatchTimeout: 5 * time.Millisecond},
+		},
+		IPFSNodes: 2,
+	})
+	if err != nil {
+		return err
+	}
+	defer fw.Close()
+
+	const numCameras = 3
+	corpus := dataset.Generate(dataset.Config{
+		Seed: 7, NumVideos: numCameras, FramesPerVideo: 4,
+		NumDroneFlights: 1, FramesPerFlight: 4, MeanFrameKB: 16,
+	})
+	det := detect.NewDetector(7)
+
+	// Register the camera fleet and the drone, then feed observations.
+	type feed struct {
+		client *core.Client
+		video  dataset.Video
+	}
+	var feeds []feed
+	for i, v := range corpus.Static {
+		s, err := msp.NewSigner("city", fmt.Sprintf("cam-%02d", i), msp.RoleTrustedSource)
+		if err != nil {
+			return err
+		}
+		if err := fw.RegisterSource(s.Identity, true); err != nil {
+			return err
+		}
+		feeds = append(feeds, feed{client: fw.Client(s, i%2), video: v})
+	}
+	droneSigner, err := msp.NewSigner("city", "drone-01", msp.RoleTrustedSource)
+	if err != nil {
+		return err
+	}
+	if err := fw.RegisterSource(droneSigner.Identity, true); err != nil {
+		return err
+	}
+	feeds = append(feeds, feed{client: fw.Client(droneSigner, 0), video: corpus.Drone[0]})
+
+	stored := 0
+	labelCount := map[string]int{}
+	for _, f := range feeds {
+		for i := range f.video.Frames {
+			frame := &f.video.Frames[i]
+			meta, _ := det.ExtractMetadata(frame)
+			if _, err := f.client.StoreFrame(frame, meta); err != nil {
+				return fmt.Errorf("store %s: %w", frame.ID, err)
+			}
+			stored++
+			labelCount[meta.PrimaryLabel()]++
+		}
+	}
+	fmt.Printf("ingested %d observations from %d cameras + 1 drone\n\n", stored, numCameras)
+
+	// The analyst queries the chain.
+	analyst := fw.QueryEngine(1)
+
+	fmt.Println("-- query: all truck sightings --")
+	res, err := analyst.Execute(query.Request{Kind: query.ByLabel, Value: "truck"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d records (expected %d)\n", len(res.Records), labelCount["truck"])
+	for _, rec := range res.Records {
+		var meta detect.MetadataRecord
+		if err := json.Unmarshal(rec.Metadata, &meta); err != nil {
+			return err
+		}
+		fmt.Printf("  tx=%s camera=%s at=%s conf=%.2f\n",
+			rec.TxID[:12], meta.CameraID, meta.CapturedAt.Format("15:04:05"), meta.Detections[0].Confidence)
+	}
+
+	fmt.Println("\n-- query: everything camera cam-000 captured --")
+	byCam, err := analyst.Execute(query.Request{Kind: query.ByCamera, Value: corpus.Static[0].Camera.ID})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d records from %s\n", len(byCam.Records), corpus.Static[0].Camera.ID)
+
+	fmt.Println("\n-- rich selector: large payloads (> 8 KiB) --")
+	sel, err := analyst.Execute(query.Request{
+		Kind:     query.BySelector,
+		Selector: map[string]any{"size_bytes": map[string]any{"$gt": 8 * 1024}},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d records match\n", len(sel.Records))
+
+	// Verify one payload end-to-end: fetch from IPFS and check the hash.
+	if len(res.Records) > 0 {
+		target := res.Records[0].TxID
+		full, err := analyst.Data(target)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nverified payload of tx %s: %d bytes, verified=%v\n",
+			target[:12], len(full.Payload), full.Verified)
+	}
+
+	stats := fw.LedgerStats()
+	fmt.Printf("\nledger: height=%d txs=%d valid=%d\n", stats.Height, stats.TotalTxs, stats.ValidTxs)
+	return nil
+}

@@ -1,0 +1,370 @@
+// Integration tests exercising the full stack end to end: blockchain +
+// IPFS + chaincodes + trust + query + explorer, under latency models and
+// byzantine behaviour — the scenarios the paper's architecture must
+// survive, beyond any single package's unit tests.
+package socialchain
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"socialchain/internal/consensus"
+	"socialchain/internal/core"
+	"socialchain/internal/dataset"
+	"socialchain/internal/detect"
+	"socialchain/internal/explorer"
+	"socialchain/internal/fabric"
+	"socialchain/internal/ledger"
+	"socialchain/internal/msp"
+	"socialchain/internal/ordering"
+	"socialchain/internal/provenance"
+	"socialchain/internal/query"
+	"socialchain/internal/sim"
+)
+
+// newIntegrationFramework builds a framework with realistic knobs: LAN
+// latency, batching > 1, and optionally byzantine validators.
+func newIntegrationFramework(t *testing.T, peers int, behaviors map[int]consensus.Behavior) *core.Framework {
+	t.Helper()
+	rng := sim.NewRNG(99)
+	fw, err := core.New(core.Config{
+		Fabric: fabric.Config{
+			NumPeers:         peers,
+			Cutter:           ordering.CutterConfig{MaxMessages: 4, BatchTimeout: 10 * time.Millisecond},
+			Latency:          sim.LANLatency(rng),
+			Behaviors:        behaviors,
+			ConsensusTimeout: time.Second,
+		},
+		IPFSNodes:   2,
+		IPFSLatency: sim.LANLatency(rng.Fork()),
+	})
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	t.Cleanup(fw.Close)
+	return fw
+}
+
+func registerSource(t *testing.T, fw *core.Framework, org, name string, trusted bool) *msp.Signer {
+	t.Helper()
+	role := msp.RoleUntrustedSource
+	if trusted {
+		role = msp.RoleTrustedSource
+	}
+	s, err := msp.NewSigner(org, name, role)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.RegisterSource(s.Identity, trusted); err != nil {
+		t.Fatalf("register %s: %v", name, err)
+	}
+	return s
+}
+
+// TestSmartCityScenario runs the paper's full story: a camera fleet and a
+// drone ingest the corpus through the framework with a byzantine validator
+// present; an analyst queries by label and verifies payloads; the explorer
+// confirms chain health.
+func TestSmartCityScenario(t *testing.T) {
+	fw := newIntegrationFramework(t, 4, map[int]consensus.Behavior{3: consensus.Silent{}})
+	det := detect.NewDetector(42)
+	corpus := dataset.Generate(dataset.Config{
+		Seed: 42, NumVideos: 2, FramesPerVideo: 3,
+		NumDroneFlights: 1, FramesPerFlight: 3, MeanFrameKB: 12,
+	})
+
+	var receipts []*core.StoreReceipt
+	for i, video := range append(corpus.Static, corpus.Drone...) {
+		src := registerSource(t, fw, "city", video.Camera.ID, true)
+		client := fw.Client(src, i%2)
+		for j := range video.Frames {
+			frame := &video.Frames[j]
+			meta, _ := det.ExtractMetadata(frame)
+			receipt, err := client.StoreFrame(frame, meta)
+			if err != nil {
+				t.Fatalf("store %s: %v", frame.ID, err)
+			}
+			receipts = append(receipts, receipt)
+		}
+	}
+	if len(receipts) != 9 {
+		t.Fatalf("stored %d, want 9", len(receipts))
+	}
+
+	// Analyst: every stored record retrievable and verified via either
+	// IPFS node.
+	for i, receipt := range receipts {
+		qe := fw.QueryEngine(i % 2)
+		res, err := qe.Data(receipt.TxID)
+		if err != nil {
+			t.Fatalf("retrieve %s: %v", receipt.TxID, err)
+		}
+		if !res.Verified {
+			t.Fatalf("record %s not verified", receipt.TxID)
+		}
+	}
+
+	// Explorer: chain is healthy, data chaincode dominates activity.
+	lgr := fw.Net.Peer(0).Ledger()
+	waitForHeight(t, fw, lgr.Height())
+	exp := explorer.New(lgr)
+	if err := exp.VerifyIntegrity(); err != nil {
+		t.Fatalf("explorer integrity: %v", err)
+	}
+	stats := exp.Stats()
+	if stats.ByChaincode["data"] != 9 {
+		t.Fatalf("explorer counts %d data txs, want 9", stats.ByChaincode["data"])
+	}
+	if stats.FlagBreakdown[ledger.Valid] < 9 {
+		t.Fatalf("valid txs = %d", stats.FlagBreakdown[ledger.Valid])
+	}
+
+	// Every label query resolves to records whose metadata agrees.
+	qe := fw.QueryEngine(0)
+	seen := 0
+	for _, label := range detect.VehicleLabels {
+		res, err := qe.Execute(query.Request{Kind: query.ByLabel, Value: label})
+		if err != nil {
+			t.Fatalf("label %s: %v", label, err)
+		}
+		seen += len(res.Records)
+	}
+	if seen != 9 {
+		t.Fatalf("label queries cover %d records, want 9", seen)
+	}
+}
+
+// waitForHeight waits for all peers to converge on at least the given
+// height (commits propagate asynchronously).
+func waitForHeight(t *testing.T, fw *core.Framework, h uint64) {
+	t.Helper()
+	if !fw.Net.WaitHeight(h, 10*time.Second) {
+		t.Fatal("peers did not converge")
+	}
+}
+
+// TestEndorserWatchdogExclusion feeds the committers transactions carrying
+// a forged endorsement (valid signature over a wrong digest) until the
+// watchdog flags the liar and the gateway stops using it.
+func TestEndorserWatchdogExclusion(t *testing.T) {
+	net, err := fabric.NewNetwork(fabric.Config{
+		NumPeers:          4,
+		Cutter:            ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 5 * time.Millisecond},
+		WatchdogThreshold: 3,
+		Policy:            msp.QuorumPolicy{Threshold: 2, Total: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.MustDeploy(kvChaincode{})
+	net.Start()
+	t.Cleanup(net.Stop)
+
+	client, err := msp.NewSigner("clientorg", "carol", msp.RoleMember)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liar, err := msp.NewSigner("org9", "liar", msp.RoleMember)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := net.Gateway(client)
+
+	// Submit transactions whose endorsement set includes a forged
+	// endorsement from the liar; each commit reports the liar once per
+	// validating peer batch.
+	for i := 0; i < 3; i++ {
+		tx, err := buildEnvelopeWithLiar(net, gw, client, liar, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := gw.SubmitEnvelope(*tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Flag != ledger.Valid {
+			t.Fatalf("tx %d flag = %s", i, res.Flag)
+		}
+	}
+	if !net.Watchdog().IsFlagged("org9/liar") {
+		t.Fatalf("liar not flagged after 3 reports (has %d)", net.Watchdog().Reports("org9/liar"))
+	}
+}
+
+// buildEnvelopeWithLiar endorses a put on real peers and appends a forged
+// endorsement.
+func buildEnvelopeWithLiar(net *fabric.Network, gw *fabric.Gateway, client, liar *msp.Signer, i int) (*ledger.Transaction, error) {
+	key := []byte{byte('a' + i)}
+	prop, err := newProposal(client, net.ChannelID(), "kv", "put", [][]byte{key, []byte("v")})
+	if err != nil {
+		return nil, err
+	}
+	var tx *ledger.Transaction
+	for _, p := range net.Peers()[:2] {
+		resp, err := p.Endorse(prop)
+		if err != nil {
+			return nil, err
+		}
+		if tx == nil {
+			tx = &ledger.Transaction{
+				ID:        prop.TxID,
+				ChannelID: prop.ChannelID,
+				Creator:   client.Identity,
+				Payload:   ledger.TxPayload{Chaincode: "kv", Fn: "put", Args: prop.Args},
+				Response:  resp.Response,
+				Timestamp: prop.Timestamp,
+			}
+			if err := json.Unmarshal(resp.RWSetJSON, &tx.RWSet); err != nil {
+				return nil, err
+			}
+		}
+		tx.Endorsements = append(tx.Endorsements, resp.Endorsement)
+	}
+	forgedDigest := []byte("i-saw-something-else-" + string(rune('0'+i)))
+	tx.Endorsements = append(tx.Endorsements, msp.Endorsement{
+		Endorser:  liar.Identity,
+		Digest:    forgedDigest,
+		Signature: liar.Sign(forgedDigest),
+	})
+	tx.Signature = client.Sign(tx.SigningBytes())
+	return tx, nil
+}
+
+// TestIPFSGCAfterChainUnpin stores payloads, unpins one on its home node
+// and garbage-collects; the unpinned payload survives on the OTHER node
+// that fetched it, demonstrating replication.
+func TestIPFSGCAfterChainUnpin(t *testing.T) {
+	fw := newIntegrationFramework(t, 4, nil)
+	cam := registerSource(t, fw, "city", "gc-cam", true)
+	client := fw.Client(cam, 0)
+	det := detect.NewDetector(77)
+	corpus := dataset.Generate(dataset.Config{Seed: 77, NumVideos: 1, FramesPerVideo: 2, NumDroneFlights: 1, FramesPerFlight: 1, MeanFrameKB: 8})
+
+	frame := &corpus.Static[0].Frames[0]
+	meta, _ := det.ExtractMetadata(frame)
+	receipt, err := client.StoreFrame(frame, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replicate to node 1 by retrieving there.
+	reader := fw.Client(cam, 1)
+	if _, err := reader.RetrieveData(receipt.TxID); err != nil {
+		t.Fatal(err)
+	}
+	// Pin on node 1 (retrieval does not pin), then GC node 0 after unpin.
+	c := mustParseCid(t, receipt.CID)
+	fw.Cluster.Node(1).Pin(c)
+	fw.Cluster.Node(0).Unpin(c)
+	if _, err := fw.Cluster.Node(0).GC(); err != nil {
+		t.Fatal(err)
+	}
+	if fw.Cluster.Node(0).Has(c) {
+		t.Fatal("GC kept unpinned content")
+	}
+	// The payload is still retrievable from the cluster via node 1.
+	res, err := reader.RetrieveData(receipt.TxID)
+	if err != nil {
+		t.Fatalf("retrieval after GC: %v", err)
+	}
+	if !res.Verified || !bytes.Equal(res.Payload, frame.Data) {
+		t.Fatal("replica corrupted")
+	}
+}
+
+// TestProvenanceSurvivesByzantineValidator stores a chain of records with
+// an equivocating validator present (evicted mid-run) and verifies the
+// provenance chain and Merkle inclusion afterwards.
+func TestProvenanceSurvivesByzantineValidator(t *testing.T) {
+	fw := newIntegrationFramework(t, 4, map[int]consensus.Behavior{
+		0: &consensus.Equivocator{Half: map[string]bool{"peer1": true}},
+	})
+	cam := registerSource(t, fw, "city", "byz-cam", true)
+	client := fw.Client(cam, 0)
+	det := detect.NewDetector(88)
+	corpus := dataset.Generate(dataset.Config{Seed: 88, NumVideos: 1, FramesPerVideo: 4, NumDroneFlights: 1, FramesPerFlight: 1, MeanFrameKB: 4})
+
+	var last string
+	for i := range corpus.Static[0].Frames {
+		frame := &corpus.Static[0].Frames[i]
+		meta, _ := det.ExtractMetadata(frame)
+		receipt, err := client.StoreFrame(frame, meta)
+		if err != nil {
+			t.Fatalf("store %d: %v", i, err)
+		}
+		last = receipt.TxID
+	}
+	chain, err := client.Query().Provenance(last)
+	if err != nil {
+		t.Fatalf("provenance: %v", err)
+	}
+	if err := provenance.VerifyChain(chain); err != nil {
+		t.Fatal(err)
+	}
+	// A healthy peer's ledger proves inclusion.
+	lgr := fw.Net.Peer(1).Ledger()
+	deadline := time.Now().Add(10 * time.Second)
+	for !lgr.HasTx(last) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := provenance.VerifyInclusion(lgr, last); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedTrustWorkload runs the socialchaind-style mixed workload and
+// checks the aggregate outcome: trusted sources unaffected, dishonest
+// crowd sources gated, ledger consistent.
+func TestMixedTrustWorkload(t *testing.T) {
+	fw := newIntegrationFramework(t, 4, nil)
+	det := detect.NewDetector(55)
+	corpus := dataset.Generate(dataset.Config{Seed: 55, NumVideos: 1, FramesPerVideo: 20, NumDroneFlights: 1, FramesPerFlight: 1, MeanFrameKB: 4})
+	frames := corpus.Static[0].Frames
+
+	cam := registerSource(t, fw, "city", "mix-cam", true)
+	honest := registerSource(t, fw, "crowd", "mix-honest", false)
+	dishonest := registerSource(t, fw, "crowd", "mix-dishonest", false)
+	camClient := fw.Client(cam, 0)
+	honestClient := fw.Client(honest, 0)
+	dishonestClient := fw.Client(dishonest, 1)
+
+	for round := 0; round < 6; round++ {
+		f := frames[round*3]
+		m, _ := det.ExtractMetadata(&f)
+		if _, err := camClient.StoreFrame(&f, m); err != nil {
+			t.Fatalf("camera round %d: %v", round, err)
+		}
+		f2 := frames[round*3+1]
+		m2, _ := det.ExtractMetadata(&f2)
+		m2.CameraID = "honest-phone"
+		if _, err := honestClient.StoreFrame(&f2, m2); err != nil {
+			t.Fatalf("honest round %d: %v", round, err)
+		}
+		f3 := frames[round*3+2]
+		m3, _ := det.ExtractMetadata(&f3)
+		m3.CameraID = "dishonest-phone"
+		m3.DataHash = strings.Repeat("b", 64)
+		if _, err := dishonestClient.StoreFrame(&f3, m3); err == nil {
+			t.Fatalf("dishonest round %d accepted", round)
+		}
+	}
+	hs, err := fw.TrustScore(honest.Identity.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := fw.TrustScore(dishonest.Identity.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Score <= 0.5 || hs.Rejected != 0 {
+		t.Fatalf("honest state %+v", hs)
+	}
+	if ds.Score >= 0.3 || ds.Accepted != 0 {
+		t.Fatalf("dishonest state %+v", ds)
+	}
+	if err := fw.Net.Peer(0).Ledger().VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+package bitswap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"socialchain/internal/blockstore"
+	"socialchain/internal/cid"
+	"socialchain/internal/sim"
+)
+
+func twoEngines(t *testing.T) (*Engine, *Engine) {
+	t.Helper()
+	net := NewNetwork(nil, nil)
+	a := net.NewEngine("a", blockstore.NewMem())
+	b := net.NewEngine("b", blockstore.NewMem())
+	return a, b
+}
+
+func TestFetchBlockFromPeer(t *testing.T) {
+	a, b := twoEngines(t)
+	blk := blockstore.NewBlock([]byte("shared-block"))
+	if err := b.bs.Put(blk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.FetchBlock(blk.Cid, []string{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, blk.Data) {
+		t.Fatal("fetched data mismatch")
+	}
+	// The block is now cached locally.
+	if !a.bs.Has(blk.Cid) {
+		t.Fatal("fetched block not stored locally")
+	}
+	// Stats moved.
+	if a.Stats().BlocksReceived.Load() != 1 || b.Stats().BlocksSent.Load() != 1 {
+		t.Fatal("stats not recorded")
+	}
+}
+
+func TestFetchBlockLocalShortCircuit(t *testing.T) {
+	a, b := twoEngines(t)
+	blk := blockstore.NewBlock([]byte("local"))
+	if err := a.bs.Put(blk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.FetchBlock(blk.Cid, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats().BlocksSent.Load() != 0 {
+		t.Fatal("local fetch hit the network")
+	}
+}
+
+func TestFetchBlockUnavailable(t *testing.T) {
+	a, _ := twoEngines(t)
+	_, err := a.FetchBlock(cid.SumRaw([]byte("missing")), []string{"b"})
+	if !errors.Is(err, ErrBlockUnavailable) {
+		t.Fatalf("want ErrBlockUnavailable, got %v", err)
+	}
+}
+
+func TestFetchBlockSkipsDeadProviders(t *testing.T) {
+	a, b := twoEngines(t)
+	blk := blockstore.NewBlock([]byte("resilient"))
+	if err := b.bs.Put(blk); err != nil {
+		t.Fatal(err)
+	}
+	// "ghost" is not registered; "a" is self and skipped; "b" has it.
+	got, err := a.FetchBlock(blk.Cid, []string{"ghost", "a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, blk.Data) {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestFetchManyParallel(t *testing.T) {
+	net := NewNetwork(nil, nil)
+	src := net.NewEngine("src", blockstore.NewMem())
+	dst := net.NewEngine("dst", blockstore.NewMem())
+	rng := sim.NewRNG(2)
+	var cids []cid.Cid
+	for i := 0; i < 50; i++ {
+		blk := blockstore.NewBlock(rng.Bytes(512))
+		if err := src.bs.Put(blk); err != nil {
+			t.Fatal(err)
+		}
+		cids = append(cids, blk.Cid)
+	}
+	if err := dst.FetchMany(cids, []string{"src"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cids {
+		if !dst.bs.Has(c) {
+			t.Fatalf("missing %s after FetchMany", c)
+		}
+	}
+	if got := dst.Stats().BlocksReceived.Load(); got != 50 {
+		t.Fatalf("received %d blocks", got)
+	}
+}
+
+func TestFetchManyPartialFailure(t *testing.T) {
+	net := NewNetwork(nil, nil)
+	src := net.NewEngine("src", blockstore.NewMem())
+	dst := net.NewEngine("dst", blockstore.NewMem())
+	have := blockstore.NewBlock([]byte("present"))
+	if err := src.bs.Put(have); err != nil {
+		t.Fatal(err)
+	}
+	missing := cid.SumRaw([]byte("absent"))
+	err := dst.FetchMany([]cid.Cid{have.Cid, missing}, []string{"src"})
+	if err == nil {
+		t.Fatal("FetchMany must fail when a block is unavailable")
+	}
+}
+
+func TestFetchManyEmpty(t *testing.T) {
+	a, _ := twoEngines(t)
+	if err := a.FetchMany(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWantlistLifecycle(t *testing.T) {
+	a, _ := twoEngines(t)
+	c := cid.SumRaw([]byte("wanted"))
+	a.want(c)
+	wl := a.Wantlist()
+	if len(wl) != 1 || !wl[0].Equals(c) {
+		t.Fatalf("wantlist = %v", wl)
+	}
+	a.unwant(c)
+	if len(a.Wantlist()) != 0 {
+		t.Fatal("unwant did not clear")
+	}
+}
+
+func TestCorruptProviderCannotPoison(t *testing.T) {
+	// A provider returning bytes that do not match the CID must be ignored.
+	net := NewNetwork(nil, nil)
+	evil := net.NewEngine("evil", &lyingStore{})
+	_ = evil
+	honest := net.NewEngine("honest", blockstore.NewMem())
+	want := cid.SumRaw([]byte("the-truth"))
+	_, err := honest.FetchBlock(want, []string{"evil"})
+	if !errors.Is(err, ErrBlockUnavailable) {
+		t.Fatalf("poisoned block accepted: %v", err)
+	}
+	if honest.bs.Has(want) {
+		t.Fatal("corrupt block stored")
+	}
+}
+
+// lyingStore claims to hold every block but returns wrong bytes.
+type lyingStore struct{}
+
+func (*lyingStore) Put(b blockstore.Block) error { return nil }
+func (*lyingStore) Get(c cid.Cid) (blockstore.Block, error) {
+	return blockstore.Block{Cid: c, Data: []byte("lies")}, nil
+}
+func (*lyingStore) Has(cid.Cid) bool     { return true }
+func (*lyingStore) Delete(cid.Cid) error { return nil }
+func (*lyingStore) AllKeys() []cid.Cid   { return nil }
+func (*lyingStore) Len() int             { return 0 }
+func (*lyingStore) SizeBytes() uint64    { return 0 }
+
+var _ blockstore.Blockstore = (*lyingStore)(nil)
+
+func TestManyEnginesChain(t *testing.T) {
+	// dst fetches from mid, which already fetched from src: content flows
+	// through the swarm.
+	net := NewNetwork(nil, nil)
+	src := net.NewEngine("src", blockstore.NewMem())
+	mid := net.NewEngine("mid", blockstore.NewMem())
+	dst := net.NewEngine("dst", blockstore.NewMem())
+	blk := blockstore.NewBlock([]byte("chained"))
+	if err := src.bs.Put(blk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mid.FetchBlock(blk.Cid, []string{"src"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.FetchBlock(blk.Cid, []string{"mid"}); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.bs.Has(blk.Cid) {
+		t.Fatal("content did not propagate")
+	}
+}
+
+func TestUnknownPeerError(t *testing.T) {
+	net := NewNetwork(nil, nil)
+	_, err := net.lookup("nobody")
+	if err == nil {
+		t.Fatal("unknown peer lookup succeeded")
+	}
+	if msg := fmt.Sprint(err); msg == "" {
+		t.Fatal("empty error message")
+	}
+}

@@ -1,0 +1,143 @@
+// Package blockstore provides CID-addressed block storage for the off-chain
+// store, with pin tracking and mark-and-sweep garbage collection. It is the
+// persistence layer beneath the DAG and bitswap, standing in for IPFS's
+// flatfs datastore.
+package blockstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"socialchain/internal/cid"
+)
+
+// ErrNotFound is returned when a block is absent.
+var ErrNotFound = errors.New("blockstore: block not found")
+
+// Block is a unit of stored content, addressed by the CID of its bytes.
+type Block struct {
+	Cid  cid.Cid
+	Data []byte
+}
+
+// NewBlock constructs a raw block, hashing data.
+func NewBlock(data []byte) Block {
+	return Block{Cid: cid.SumRaw(data), Data: data}
+}
+
+// Blockstore is the storage interface used throughout the off-chain store.
+type Blockstore interface {
+	Put(b Block) error
+	Get(c cid.Cid) (Block, error)
+	Has(c cid.Cid) bool
+	Delete(c cid.Cid) error
+	AllKeys() []cid.Cid
+	Len() int
+	SizeBytes() uint64
+}
+
+// Mem is an in-memory Blockstore safe for concurrent use.
+type Mem struct {
+	mu    sync.RWMutex
+	data  map[cid.Cid][]byte
+	bytes uint64
+}
+
+// NewMem returns an empty in-memory blockstore.
+func NewMem() *Mem {
+	return &Mem{data: make(map[cid.Cid][]byte)}
+}
+
+// Put implements Blockstore. It verifies the block's CID matches its bytes,
+// preserving the content-addressing invariant.
+func (m *Mem) Put(b Block) error {
+	if !b.Cid.Defined() {
+		return errors.New("blockstore: undefined cid")
+	}
+	if err := verifyBlock(b); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.data[b.Cid]; ok {
+		return nil // idempotent
+	}
+	m.data[b.Cid] = append([]byte(nil), b.Data...)
+	m.bytes += uint64(len(b.Data))
+	return nil
+}
+
+// verifyBlock recomputes the hash under the block's own codec.
+func verifyBlock(b Block) error {
+	var want cid.Cid
+	switch b.Cid.Codec() {
+	case cid.CodecRaw:
+		want = cid.SumRaw(b.Data)
+	case cid.CodecDagNode:
+		want = cid.SumDagNode(b.Data)
+	default:
+		return fmt.Errorf("blockstore: unknown codec %#x", b.Cid.Codec())
+	}
+	if !want.Equals(b.Cid) {
+		return fmt.Errorf("blockstore: block bytes do not match cid %s", b.Cid)
+	}
+	return nil
+}
+
+// Get implements Blockstore.
+func (m *Mem) Get(c cid.Cid) (Block, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	d, ok := m.data[c]
+	if !ok {
+		return Block{}, fmt.Errorf("%w: %s", ErrNotFound, c)
+	}
+	return Block{Cid: c, Data: append([]byte(nil), d...)}, nil
+}
+
+// Has implements Blockstore.
+func (m *Mem) Has(c cid.Cid) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.data[c]
+	return ok
+}
+
+// Delete implements Blockstore. Deleting an absent block is a no-op.
+func (m *Mem) Delete(c cid.Cid) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d, ok := m.data[c]; ok {
+		m.bytes -= uint64(len(d))
+		delete(m.data, c)
+	}
+	return nil
+}
+
+// AllKeys implements Blockstore, returning keys in deterministic order.
+func (m *Mem) AllKeys() []cid.Cid {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	keys := make([]cid.Cid, 0, len(m.data))
+	for c := range m.data {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	return keys
+}
+
+// Len implements Blockstore.
+func (m *Mem) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.data)
+}
+
+// SizeBytes implements Blockstore.
+func (m *Mem) SizeBytes() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.bytes
+}

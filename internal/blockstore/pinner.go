@@ -1,0 +1,85 @@
+package blockstore
+
+import (
+	"sort"
+	"sync"
+
+	"socialchain/internal/cid"
+)
+
+// Pinner tracks which root CIDs must survive garbage collection. Pinning is
+// recursive: GC keeps everything reachable from a pinned root.
+type Pinner struct {
+	mu    sync.RWMutex
+	roots map[cid.Cid]int // pin count per root
+}
+
+// NewPinner returns an empty pin set.
+func NewPinner() *Pinner {
+	return &Pinner{roots: make(map[cid.Cid]int)}
+}
+
+// Pin increments the pin count of root.
+func (p *Pinner) Pin(root cid.Cid) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.roots[root]++
+}
+
+// Unpin decrements the pin count; the root is forgotten at zero.
+func (p *Pinner) Unpin(root cid.Cid) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n, ok := p.roots[root]; ok {
+		if n <= 1 {
+			delete(p.roots, root)
+		} else {
+			p.roots[root] = n - 1
+		}
+	}
+}
+
+// IsPinned reports whether root has a positive pin count.
+func (p *Pinner) IsPinned(root cid.Cid) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.roots[root] > 0
+}
+
+// Roots returns the pinned roots in deterministic order.
+func (p *Pinner) Roots() []cid.Cid {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]cid.Cid, 0, len(p.roots))
+	for c := range p.roots {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// GC removes every block not reachable from a pinned root. reach enumerates
+// the CIDs reachable from a root (the DAG walker provides this). It returns
+// the number of blocks removed.
+func GC(bs Blockstore, p *Pinner, reach func(root cid.Cid) ([]cid.Cid, error)) (int, error) {
+	live := make(map[cid.Cid]bool)
+	for _, root := range p.Roots() {
+		cids, err := reach(root)
+		if err != nil {
+			return 0, err
+		}
+		for _, c := range cids {
+			live[c] = true
+		}
+	}
+	removed := 0
+	for _, c := range bs.AllKeys() {
+		if !live[c] {
+			if err := bs.Delete(c); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	return removed, nil
+}

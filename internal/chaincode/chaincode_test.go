@@ -1,0 +1,378 @@
+package chaincode
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"socialchain/internal/msp"
+	"socialchain/internal/statedb"
+)
+
+func testCtx(t *testing.T) TxContext {
+	t.Helper()
+	s, err := msp.NewSigner("org", "client", msp.RoleMember)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return TxContext{TxID: "tx-1", ChannelID: "ch", Creator: s.Identity, Timestamp: time.Unix(1000, 0)}
+}
+
+func seededDB(t *testing.T) (*statedb.DB, *statedb.HistoryDB) {
+	t.Helper()
+	db := statedb.New()
+	h := statedb.NewHistoryDB()
+	b := statedb.NewUpdateBatch()
+	b.Put("cc", "existing", []byte("old"))
+	b.Put("cc", "scan/a", []byte("1"))
+	b.Put("cc", "scan/b", []byte("2"))
+	db.ApplyUpdates(b, statedb.Version{BlockNum: 1, TxNum: 0})
+	h.RecordBatch(b, "genesis-tx", statedb.Version{BlockNum: 1}, time.Unix(500, 0))
+	return db, h
+}
+
+func TestGetStateRecordsRead(t *testing.T) {
+	db, h := seededDB(t)
+	sim := NewSimulator(testCtx(t), "cc", db, h)
+	v, err := sim.GetState("existing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "old" {
+		t.Fatalf("value %q", v)
+	}
+	rw := sim.RWSet()
+	if len(rw.Reads) != 1 || rw.Reads[0].Key != "existing" || !rw.Reads[0].Exists {
+		t.Fatalf("reads = %+v", rw.Reads)
+	}
+	if rw.Reads[0].Version != (statedb.Version{BlockNum: 1, TxNum: 0}) {
+		t.Fatalf("read version = %v", rw.Reads[0].Version)
+	}
+}
+
+func TestGetStateAbsentRecordsNonExistence(t *testing.T) {
+	db, h := seededDB(t)
+	sim := NewSimulator(testCtx(t), "cc", db, h)
+	v, err := sim.GetState("ghost")
+	if err != nil || v != nil {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+	rw := sim.RWSet()
+	if len(rw.Reads) != 1 || rw.Reads[0].Exists {
+		t.Fatalf("reads = %+v", rw.Reads)
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	db, h := seededDB(t)
+	sim := NewSimulator(testCtx(t), "cc", db, h)
+	if err := sim.PutState("k", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := sim.GetState("k")
+	if err != nil || string(v) != "new" {
+		t.Fatalf("own write invisible: %q %v", v, err)
+	}
+	// Reading an own write must NOT add a read record (no version to check).
+	rw := sim.RWSet()
+	if len(rw.Reads) != 0 {
+		t.Fatalf("reads = %+v", rw.Reads)
+	}
+	if len(rw.Writes) != 1 {
+		t.Fatalf("writes = %+v", rw.Writes)
+	}
+}
+
+func TestDeleteVisibleInSimulation(t *testing.T) {
+	db, h := seededDB(t)
+	sim := NewSimulator(testCtx(t), "cc", db, h)
+	if err := sim.DelState("existing"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := sim.GetState("existing")
+	if err != nil || v != nil {
+		t.Fatalf("deleted key visible: %q", v)
+	}
+	rw := sim.RWSet()
+	if len(rw.Writes) != 1 || !rw.Writes[0].IsDelete {
+		t.Fatalf("writes = %+v", rw.Writes)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	db, h := seededDB(t)
+	sim := NewSimulator(testCtx(t), "cc", db, h)
+	if err := sim.PutState("", []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := sim.DelState(""); err == nil {
+		t.Fatal("empty key delete accepted")
+	}
+}
+
+func TestRangeMergesPendingWrites(t *testing.T) {
+	db, h := seededDB(t)
+	sim := NewSimulator(testCtx(t), "cc", db, h)
+	if err := sim.PutState("scan/c", []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.DelState("scan/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.PutState("scan/b", []byte("2-updated")); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := sim.GetStateByRange("scan/", "scan/\xff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 2 {
+		t.Fatalf("merged scan = %+v", kvs)
+	}
+	if kvs[0].Key != "scan/b" || string(kvs[0].Value) != "2-updated" {
+		t.Fatalf("kvs[0] = %+v", kvs[0])
+	}
+	if kvs[1].Key != "scan/c" || string(kvs[1].Value) != "3" {
+		t.Fatalf("kvs[1] = %+v", kvs[1])
+	}
+}
+
+func TestCompositeKeys(t *testing.T) {
+	db, h := seededDB(t)
+	sim := NewSimulator(testCtx(t), "cc", db, h)
+	key, err := sim.CreateCompositeKey("label~txid", []string{"truck", "tx9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, attrs, err := sim.SplitCompositeKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != "label~txid" || len(attrs) != 2 || attrs[0] != "truck" || attrs[1] != "tx9" {
+		t.Fatalf("split = %q %v", obj, attrs)
+	}
+}
+
+func TestCompositeKeyRejectsSeparator(t *testing.T) {
+	db, h := seededDB(t)
+	sim := NewSimulator(testCtx(t), "cc", db, h)
+	if _, err := sim.CreateCompositeKey("bad\x00type", nil); err == nil {
+		t.Fatal("separator in object type accepted")
+	}
+	if _, err := sim.CreateCompositeKey("t", []string{"a\x00b"}); err == nil {
+		t.Fatal("separator in attribute accepted")
+	}
+	if _, _, err := sim.SplitCompositeKey("plainkey"); err == nil {
+		t.Fatal("non-composite key split accepted")
+	}
+}
+
+func TestPartialCompositeKeyScan(t *testing.T) {
+	db, h := seededDB(t)
+	sim := NewSimulator(testCtx(t), "cc", db, h)
+	for _, attrs := range [][]string{{"truck", "tx1"}, {"truck", "tx2"}, {"car", "tx3"}} {
+		key, err := sim.CreateCompositeKey("label~txid", attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.PutState(key, []byte{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kvs, err := sim.GetStateByPartialCompositeKey("label~txid", []string{"truck"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 2 {
+		t.Fatalf("partial scan = %d entries", len(kvs))
+	}
+	// "tr" must not match "truck" (whole-attribute matching).
+	kvs, err = sim.GetStateByPartialCompositeKey("label~txid", []string{"tr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 0 {
+		t.Fatalf("prefix attribute matched %d entries", len(kvs))
+	}
+}
+
+func TestHistoryThroughStub(t *testing.T) {
+	db, h := seededDB(t)
+	sim := NewSimulator(testCtx(t), "cc", db, h)
+	hist, err := sim.GetHistoryForKey("existing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 || hist[0].TxID != "genesis-tx" {
+		t.Fatalf("history = %+v", hist)
+	}
+	simNoHist := NewSimulator(testCtx(t), "cc", db, nil)
+	if _, err := simNoHist.GetHistoryForKey("existing"); err == nil {
+		t.Fatal("nil history db accepted")
+	}
+}
+
+func TestEvents(t *testing.T) {
+	db, h := seededDB(t)
+	sim := NewSimulator(testCtx(t), "cc", db, h)
+	if err := sim.SetEvent("", nil); err == nil {
+		t.Fatal("empty event name accepted")
+	}
+	if err := sim.SetEvent("created", []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	ev := sim.Events()
+	if len(ev) != 1 || ev[0].Name != "created" || ev[0].TxID != "tx-1" {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestContextAccessors(t *testing.T) {
+	db, h := seededDB(t)
+	ctx := testCtx(t)
+	sim := NewSimulator(ctx, "cc", db, h)
+	if sim.GetTxID() != "tx-1" || sim.GetChannelID() != "ch" {
+		t.Fatal("context accessors wrong")
+	}
+	if sim.GetCreator().ID() != ctx.Creator.ID() {
+		t.Fatal("creator wrong")
+	}
+	if !sim.GetTxTimestamp().Equal(time.Unix(1000, 0)) {
+		t.Fatal("timestamp wrong")
+	}
+}
+
+func TestRWSetDeterministicOrder(t *testing.T) {
+	db, h := seededDB(t)
+	build := func(order []string) statedb.RWSet {
+		sim := NewSimulator(testCtx(t), "cc", db, h)
+		for _, k := range order {
+			_, _ = sim.GetState(k)
+			_ = sim.PutState(k, []byte("v"))
+		}
+		return sim.RWSet()
+	}
+	a := build([]string{"z", "a", "m"})
+	b := build([]string{"m", "z", "a"})
+	if !bytes.Equal(a.Digest(nil), b.Digest(nil)) {
+		t.Fatal("rwset digest depends on access order")
+	}
+}
+
+// crossCaller invokes another chaincode.
+type crossCaller struct{}
+
+func (crossCaller) Name() string { return "caller" }
+func (crossCaller) Invoke(stub Stub, fn string, args [][]byte) ([]byte, error) {
+	switch fn {
+	case "callPut":
+		if _, err := stub.InvokeChaincode("callee", "put", args); err != nil {
+			return nil, err
+		}
+		return nil, stub.PutState("own-key", []byte("own-value"))
+	case "recurse":
+		return stub.InvokeChaincode("caller", "recurse", nil)
+	default:
+		return nil, errors.New("unknown fn")
+	}
+}
+
+type callee struct{}
+
+func (callee) Name() string { return "callee" }
+func (callee) Invoke(stub Stub, fn string, args [][]byte) ([]byte, error) {
+	if fn != "put" {
+		return nil, errors.New("unknown fn")
+	}
+	return nil, stub.PutState(string(args[0]), args[1])
+}
+
+func TestInvokeChaincodeCrossNamespace(t *testing.T) {
+	db, h := seededDB(t)
+	reg := NewRegistry()
+	if err := reg.Register(crossCaller{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(callee{}); err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(testCtx(t), "caller", db, h).WithRegistry(reg)
+	cc, _ := reg.Get("caller")
+	if _, err := cc.Invoke(sim, "callPut", [][]byte{[]byte("ck"), []byte("cv")}); err != nil {
+		t.Fatal(err)
+	}
+	rw := sim.RWSet()
+	if len(rw.Writes) != 2 {
+		t.Fatalf("writes = %+v", rw.Writes)
+	}
+	// One write per namespace.
+	ns := map[string]string{}
+	for _, w := range rw.Writes {
+		ns[w.Namespace] = w.Key
+	}
+	if ns["callee"] != "ck" || ns["caller"] != "own-key" {
+		t.Fatalf("namespaces = %v", ns)
+	}
+}
+
+func TestInvokeChaincodeDepthLimit(t *testing.T) {
+	db, h := seededDB(t)
+	reg := NewRegistry()
+	if err := reg.Register(crossCaller{}); err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulator(testCtx(t), "caller", db, h).WithRegistry(reg)
+	cc, _ := reg.Get("caller")
+	_, err := cc.Invoke(sim, "recurse", nil)
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("recursion not bounded: %v", err)
+	}
+}
+
+func TestInvokeChaincodeNoRegistry(t *testing.T) {
+	db, h := seededDB(t)
+	sim := NewSimulator(testCtx(t), "cc", db, h)
+	if _, err := sim.InvokeChaincode("x", "y", nil); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+}
+
+func TestInvokeChaincodeUnknown(t *testing.T) {
+	db, h := seededDB(t)
+	sim := NewSimulator(testCtx(t), "cc", db, h).WithRegistry(NewRegistry())
+	if _, err := sim.InvokeChaincode("ghost", "fn", nil); err == nil {
+		t.Fatal("unknown chaincode accepted")
+	}
+}
+
+func TestRegistryDuplicate(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(callee{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(callee{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	names := reg.Names()
+	if len(names) != 1 || names[0] != "callee" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestGetQueryResult(t *testing.T) {
+	db, h := seededDB(t)
+	b := statedb.NewUpdateBatch()
+	b.Put("cc", "doc1", []byte(`{"kind":"a"}`))
+	b.Put("cc", "doc2", []byte(`{"kind":"b"}`))
+	db.ApplyUpdates(b, statedb.Version{BlockNum: 2})
+	sim := NewSimulator(testCtx(t), "cc", db, h)
+	got, err := sim.GetQueryResult(statedb.Selector{"kind": "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key != "doc1" {
+		t.Fatalf("query = %+v", got)
+	}
+}

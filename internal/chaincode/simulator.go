@@ -1,0 +1,298 @@
+package chaincode
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"socialchain/internal/msp"
+	"socialchain/internal/statedb"
+)
+
+// TxContext carries the immutable context of one proposal execution.
+type TxContext struct {
+	TxID      string
+	ChannelID string
+	Creator   msp.Identity
+	Timestamp time.Time
+}
+
+// maxInvokeDepth bounds cross-chaincode call nesting.
+const maxInvokeDepth = 8
+
+// Simulator executes a chaincode invocation against a snapshot of the world
+// state, recording a read set (with versions) and buffering writes. It
+// implements Stub. Cross-chaincode invocations run on the same simulator
+// with the namespace switched, so one transaction carries a single merged
+// read/write set spanning all touched namespaces.
+type Simulator struct {
+	ctx      TxContext
+	ns       string
+	depth    int
+	db       *statedb.DB
+	history  *statedb.HistoryDB
+	registry *Registry
+
+	reads   map[string]statedb.ReadItem  // keyed by ns\x00key
+	writes  map[string]statedb.WriteItem // keyed by ns\x00key
+	events  []Event
+	ordered []string // write nsKeys in first-write order
+}
+
+var _ Stub = (*Simulator)(nil)
+
+// NewSimulator creates a simulator for one invocation of chaincode ns.
+// registry enables InvokeChaincode and may be nil for isolated tests.
+func NewSimulator(ctx TxContext, ns string, db *statedb.DB, history *statedb.HistoryDB) *Simulator {
+	return &Simulator{
+		ctx:     ctx,
+		ns:      ns,
+		db:      db,
+		history: history,
+		reads:   make(map[string]statedb.ReadItem),
+		writes:  make(map[string]statedb.WriteItem),
+	}
+}
+
+// WithRegistry enables cross-chaincode invocation.
+func (s *Simulator) WithRegistry(r *Registry) *Simulator {
+	s.registry = r
+	return s
+}
+
+func (s *Simulator) nsKey(key string) string { return s.ns + "\x00" + key }
+
+// GetState implements Stub: reads observe this simulation's own writes
+// first, then committed state (recording the version for MVCC).
+func (s *Simulator) GetState(key string) ([]byte, error) {
+	nk := s.nsKey(key)
+	if w, ok := s.writes[nk]; ok {
+		if w.IsDelete {
+			return nil, nil
+		}
+		return append([]byte(nil), w.Value...), nil
+	}
+	vv, ok := s.db.GetState(s.ns, key)
+	s.recordRead(key, vv.Version, ok)
+	if !ok {
+		return nil, nil
+	}
+	return append([]byte(nil), vv.Value...), nil
+}
+
+func (s *Simulator) recordRead(key string, v statedb.Version, exists bool) {
+	nk := s.nsKey(key)
+	if _, seen := s.reads[nk]; seen {
+		return
+	}
+	s.reads[nk] = statedb.ReadItem{Namespace: s.ns, Key: key, Version: v, Exists: exists}
+}
+
+// PutState implements Stub.
+func (s *Simulator) PutState(key string, value []byte) error {
+	if key == "" {
+		return errors.New("chaincode: empty key")
+	}
+	nk := s.nsKey(key)
+	if _, ok := s.writes[nk]; !ok {
+		s.ordered = append(s.ordered, nk)
+	}
+	s.writes[nk] = statedb.WriteItem{Namespace: s.ns, Key: key, Value: append([]byte(nil), value...)}
+	return nil
+}
+
+// DelState implements Stub.
+func (s *Simulator) DelState(key string) error {
+	if key == "" {
+		return errors.New("chaincode: empty key")
+	}
+	nk := s.nsKey(key)
+	if _, ok := s.writes[nk]; !ok {
+		s.ordered = append(s.ordered, nk)
+	}
+	s.writes[nk] = statedb.WriteItem{Namespace: s.ns, Key: key, IsDelete: true}
+	return nil
+}
+
+// GetStateByRange implements Stub. Committed results are merged with this
+// simulation's pending writes; each committed key read is recorded for MVCC.
+func (s *Simulator) GetStateByRange(start, end string) ([]statedb.KV, error) {
+	committed := s.db.GetStateRange(s.ns, start, end)
+	return s.mergeScan(committed, func(k string) bool {
+		if k < start {
+			return false
+		}
+		if end != "" && k >= end {
+			return false
+		}
+		return true
+	}), nil
+}
+
+// GetStateByPartialCompositeKey implements Stub.
+func (s *Simulator) GetStateByPartialCompositeKey(objectType string, attrs []string) ([]statedb.KV, error) {
+	prefix, err := BuildCompositeKey(objectType, attrs)
+	if err != nil {
+		return nil, err
+	}
+	committed := s.db.GetStateByPrefix(s.ns, prefix)
+	return s.mergeScan(committed, func(k string) bool {
+		return strings.HasPrefix(k, prefix)
+	}), nil
+}
+
+// mergeScan layers this namespace's pending writes over committed results.
+func (s *Simulator) mergeScan(committed []statedb.KV, inRange func(string) bool) []statedb.KV {
+	out := make([]statedb.KV, 0, len(committed))
+	committedKeys := make(map[string]bool, len(committed))
+	for _, kv := range committed {
+		s.recordRead(kv.Key, kv.Version, true)
+		committedKeys[kv.Key] = true
+		if w, ok := s.writes[s.nsKey(kv.Key)]; ok {
+			if w.IsDelete {
+				continue
+			}
+			kv.Value = append([]byte(nil), w.Value...)
+		}
+		out = append(out, kv)
+	}
+	nsPrefix := s.ns + "\x00"
+	for _, nk := range s.ordered {
+		if !strings.HasPrefix(nk, nsPrefix) {
+			continue
+		}
+		key := nk[len(nsPrefix):]
+		w := s.writes[nk]
+		if w.IsDelete || !inRange(key) || committedKeys[key] {
+			continue
+		}
+		out = append(out, statedb.KV{Namespace: s.ns, Key: key, Value: append([]byte(nil), w.Value...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// GetQueryResult implements Stub. Rich queries run over committed state
+// only (no phantom-read protection, matching Fabric).
+func (s *Simulator) GetQueryResult(sel statedb.Selector) ([]statedb.KV, error) {
+	return s.db.ExecuteQuery(s.ns, sel)
+}
+
+// GetHistoryForKey implements Stub.
+func (s *Simulator) GetHistoryForKey(key string) ([]statedb.HistEntry, error) {
+	if s.history == nil {
+		return nil, errors.New("chaincode: history database unavailable")
+	}
+	return s.history.Get(s.ns, key), nil
+}
+
+// CreateCompositeKey implements Stub.
+func (s *Simulator) CreateCompositeKey(objectType string, attrs []string) (string, error) {
+	return BuildCompositeKey(objectType, attrs)
+}
+
+// SplitCompositeKey implements Stub.
+func (s *Simulator) SplitCompositeKey(key string) (string, []string, error) {
+	return SplitCompositeKeyString(key)
+}
+
+// GetTxID implements Stub.
+func (s *Simulator) GetTxID() string { return s.ctx.TxID }
+
+// GetChannelID implements Stub.
+func (s *Simulator) GetChannelID() string { return s.ctx.ChannelID }
+
+// GetCreator implements Stub.
+func (s *Simulator) GetCreator() msp.Identity { return s.ctx.Creator }
+
+// GetTxTimestamp implements Stub.
+func (s *Simulator) GetTxTimestamp() time.Time { return s.ctx.Timestamp }
+
+// SetEvent implements Stub.
+func (s *Simulator) SetEvent(name string, payload []byte) error {
+	if name == "" {
+		return errors.New("chaincode: empty event name")
+	}
+	s.events = append(s.events, Event{TxID: s.ctx.TxID, Name: name, Payload: append([]byte(nil), payload...)})
+	return nil
+}
+
+// InvokeChaincode implements Stub.
+func (s *Simulator) InvokeChaincode(name, fn string, args [][]byte) ([]byte, error) {
+	if s.registry == nil {
+		return nil, errors.New("chaincode: no registry for cross-chaincode invocation")
+	}
+	cc, ok := s.registry.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("chaincode: unknown chaincode %q", name)
+	}
+	if s.depth >= maxInvokeDepth {
+		return nil, fmt.Errorf("chaincode: invocation depth limit (%d) exceeded", maxInvokeDepth)
+	}
+	savedNS := s.ns
+	s.ns = name
+	s.depth++
+	resp, err := cc.Invoke(s, fn, args)
+	s.depth--
+	s.ns = savedNS
+	return resp, err
+}
+
+// Events returns events set during simulation.
+func (s *Simulator) Events() []Event { return s.events }
+
+// RWSet finalises the simulation into a deterministic read/write set.
+func (s *Simulator) RWSet() statedb.RWSet {
+	rw := statedb.RWSet{}
+	readKeys := make([]string, 0, len(s.reads))
+	for k := range s.reads {
+		readKeys = append(readKeys, k)
+	}
+	sort.Strings(readKeys)
+	for _, k := range readKeys {
+		rw.Reads = append(rw.Reads, s.reads[k])
+	}
+	writeKeys := append([]string(nil), s.ordered...)
+	sort.Strings(writeKeys)
+	for _, k := range writeKeys {
+		rw.Writes = append(rw.Writes, s.writes[k])
+	}
+	return rw
+}
+
+// Registry holds deployed chaincodes by name.
+type Registry struct {
+	codes map[string]Chaincode
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{codes: make(map[string]Chaincode)}
+}
+
+// Register deploys a chaincode; duplicate names are an error.
+func (r *Registry) Register(cc Chaincode) error {
+	if _, ok := r.codes[cc.Name()]; ok {
+		return fmt.Errorf("chaincode: %q already registered", cc.Name())
+	}
+	r.codes[cc.Name()] = cc
+	return nil
+}
+
+// Get returns the chaincode registered under name.
+func (r *Registry) Get(name string) (Chaincode, bool) {
+	cc, ok := r.codes[name]
+	return cc, ok
+}
+
+// Names lists registered chaincodes in sorted order.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.codes))
+	for n := range r.codes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,111 @@
+// Package chaincode implements the smart-contract runtime of the
+// permissioned blockchain: the stub API contracts program against (state
+// access, composite keys, events, transaction context) and the transaction
+// simulator that captures read/write sets for endorsement, mirroring
+// Hyperledger Fabric's shim/chaincode model that the paper's contracts
+// (§III-B) are written against.
+package chaincode
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"socialchain/internal/msp"
+	"socialchain/internal/statedb"
+)
+
+// compositeKeyNamespace separates composite keys from simple keys, as in
+// Fabric (a leading U+0000).
+const compositeKeySep = "\x00"
+
+// Event is an application event emitted by a chaincode during execution;
+// committers deliver events of valid transactions to subscribers.
+type Event struct {
+	TxID    string
+	Name    string
+	Payload []byte
+}
+
+// Stub is the interface chaincodes use to interact with the ledger world
+// state and transaction context.
+type Stub interface {
+	// GetState returns the committed (or simulated-written) value of key.
+	GetState(key string) ([]byte, error)
+	// PutState stages a write of key.
+	PutState(key string, value []byte) error
+	// DelState stages a deletion of key.
+	DelState(key string) error
+	// GetStateByRange returns committed keys in [start, end), merged with
+	// this simulation's own writes.
+	GetStateByRange(start, end string) ([]statedb.KV, error)
+	// GetStateByPartialCompositeKey scans composite keys by prefix.
+	GetStateByPartialCompositeKey(objectType string, attrs []string) ([]statedb.KV, error)
+	// CreateCompositeKey builds a composite key from an object type and
+	// attribute list.
+	CreateCompositeKey(objectType string, attrs []string) (string, error)
+	// SplitCompositeKey reverses CreateCompositeKey.
+	SplitCompositeKey(key string) (string, []string, error)
+	// GetQueryResult runs a rich selector query over committed state.
+	GetQueryResult(sel statedb.Selector) ([]statedb.KV, error)
+	// GetHistoryForKey returns the committed update history of key.
+	GetHistoryForKey(key string) ([]statedb.HistEntry, error)
+	// GetTxID returns the executing transaction's ID.
+	GetTxID() string
+	// GetChannelID returns the channel name.
+	GetChannelID() string
+	// GetCreator returns the identity that submitted the proposal.
+	GetCreator() msp.Identity
+	// GetTxTimestamp returns the client-asserted proposal time.
+	GetTxTimestamp() time.Time
+	// SetEvent attaches a named event to the transaction.
+	SetEvent(name string, payload []byte) error
+	// InvokeChaincode calls another deployed chaincode within the same
+	// transaction; its reads and writes merge into this transaction's
+	// read/write set under the callee's namespace (as in Fabric's
+	// same-channel cross-chaincode invocation).
+	InvokeChaincode(name, fn string, args [][]byte) ([]byte, error)
+}
+
+// Chaincode is a deployed smart contract.
+type Chaincode interface {
+	// Name is the chaincode's registered name (its state namespace).
+	Name() string
+	// Invoke dispatches a function call. Returning an error marks the
+	// proposal as failed; no writes are applied.
+	Invoke(stub Stub, fn string, args [][]byte) ([]byte, error)
+}
+
+// BuildCompositeKey is the package-level composite key constructor used by
+// both the stub and query helpers.
+func BuildCompositeKey(objectType string, attrs []string) (string, error) {
+	if strings.Contains(objectType, compositeKeySep) {
+		return "", errors.New("chaincode: object type contains reserved separator")
+	}
+	var b strings.Builder
+	b.WriteString(compositeKeySep)
+	b.WriteString(objectType)
+	b.WriteString(compositeKeySep)
+	for _, a := range attrs {
+		if strings.Contains(a, compositeKeySep) {
+			return "", errors.New("chaincode: attribute contains reserved separator")
+		}
+		b.WriteString(a)
+		b.WriteString(compositeKeySep)
+	}
+	return b.String(), nil
+}
+
+// SplitCompositeKeyString reverses BuildCompositeKey.
+func SplitCompositeKeyString(key string) (string, []string, error) {
+	if !strings.HasPrefix(key, compositeKeySep) {
+		return "", nil, fmt.Errorf("chaincode: %q is not a composite key", key)
+	}
+	parts := strings.Split(key, compositeKeySep)
+	// parts[0] is empty (leading sep); last is empty (trailing sep).
+	if len(parts) < 3 {
+		return "", nil, fmt.Errorf("chaincode: malformed composite key %q", key)
+	}
+	return parts[1], parts[2 : len(parts)-1], nil
+}

@@ -1,0 +1,17 @@
+package chunker
+
+// buzTable is a fixed table of 256 pseudo-random 32-bit values used by the
+// buzhash rolling hash. Generated once from a xorshift32 stream seeded with
+// 0x9e3779b9 so the chunker is fully deterministic across runs.
+var buzTable = func() [256]uint32 {
+	var t [256]uint32
+	s := uint32(0x9e3779b9)
+	for i := range t {
+		// xorshift32
+		s ^= s << 13
+		s ^= s >> 17
+		s ^= s << 5
+		t[i] = s
+	}
+	return t
+}()

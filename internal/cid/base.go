@@ -1,0 +1,100 @@
+package cid
+
+import (
+	"errors"
+	"math/big"
+	"strings"
+)
+
+// base32 (RFC 4648 lowercase, no padding) — the multibase "b" alphabet.
+const base32Alphabet = "abcdefghijklmnopqrstuvwxyz234567"
+
+func base32Encode(src []byte) string {
+	var b strings.Builder
+	b.Grow((len(src)*8 + 4) / 5)
+	var acc uint64
+	var bits uint
+	for _, c := range src {
+		acc = acc<<8 | uint64(c)
+		bits += 8
+		for bits >= 5 {
+			bits -= 5
+			b.WriteByte(base32Alphabet[(acc>>bits)&31])
+		}
+	}
+	if bits > 0 {
+		b.WriteByte(base32Alphabet[(acc<<(5-bits))&31])
+	}
+	return b.String()
+}
+
+func base32Decode(s string) ([]byte, error) {
+	var out []byte
+	var acc uint64
+	var bits uint
+	for i := 0; i < len(s); i++ {
+		idx := strings.IndexByte(base32Alphabet, s[i])
+		if idx < 0 {
+			return nil, errors.New("invalid base32 character")
+		}
+		acc = acc<<5 | uint64(idx)
+		bits += 5
+		if bits >= 8 {
+			bits -= 8
+			out = append(out, byte(acc>>bits))
+		}
+	}
+	// Trailing bits must be zero padding.
+	if bits > 0 && acc&((1<<bits)-1) != 0 {
+		return nil, errors.New("invalid base32 trailing bits")
+	}
+	return out, nil
+}
+
+// base58btc — the Bitcoin/IPFS alphabet, used for CIDv0-style display.
+const base58Alphabet = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+
+func base58Encode(src []byte) string {
+	zeros := 0
+	for zeros < len(src) && src[zeros] == 0 {
+		zeros++
+	}
+	n := new(big.Int).SetBytes(src)
+	radix := big.NewInt(58)
+	mod := new(big.Int)
+	var digits []byte
+	for n.Sign() > 0 {
+		n.DivMod(n, radix, mod)
+		digits = append(digits, base58Alphabet[mod.Int64()])
+	}
+	var b strings.Builder
+	b.Grow(zeros + len(digits))
+	for i := 0; i < zeros; i++ {
+		b.WriteByte('1')
+	}
+	for i := len(digits) - 1; i >= 0; i-- {
+		b.WriteByte(digits[i])
+	}
+	return b.String()
+}
+
+func base58Decode(s string) ([]byte, error) {
+	zeros := 0
+	for zeros < len(s) && s[zeros] == '1' {
+		zeros++
+	}
+	n := new(big.Int)
+	radix := big.NewInt(58)
+	for i := zeros; i < len(s); i++ {
+		idx := strings.IndexByte(base58Alphabet, s[i])
+		if idx < 0 {
+			return nil, errors.New("invalid base58 character")
+		}
+		n.Mul(n, radix)
+		n.Add(n, big.NewInt(int64(idx)))
+	}
+	body := n.Bytes()
+	out := make([]byte, zeros+len(body))
+	copy(out[zeros:], body)
+	return out, nil
+}

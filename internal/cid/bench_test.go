@@ -1,0 +1,32 @@
+package cid
+
+import (
+	"testing"
+)
+
+func BenchmarkSumRaw(b *testing.B) {
+	data := make([]byte, 256*1024)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SumRaw(data)
+	}
+}
+
+func BenchmarkStringEncode(b *testing.B) {
+	c := SumRaw([]byte("benchmark payload"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.String()
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	s := SumRaw([]byte("benchmark payload")).String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

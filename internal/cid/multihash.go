@@ -1,0 +1,71 @@
+// Package cid implements content identifiers for the off-chain store: a
+// SHA-256 multihash wrapped in a CIDv1-style (version, codec, multihash)
+// tuple with base32 text encoding, plus base58btc for CIDv0 compatibility.
+// Every payload stored in IPFS is addressed by the CID of its root DAG node,
+// exactly as the paper stores "Hashes (CID value)" on-chain.
+package cid
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Multihash codes (a tiny subset of the multiformats table).
+const (
+	// MhSha256 identifies a SHA2-256 digest.
+	MhSha256 = 0x12
+	// Sha256Len is the digest length for SHA2-256.
+	Sha256Len = 32
+)
+
+// Multihash is a self-describing hash: varint code, varint length, digest.
+type Multihash []byte
+
+// SumSha256 returns the SHA2-256 multihash of data.
+func SumSha256(data []byte) Multihash {
+	digest := sha256.Sum256(data)
+	return EncodeMultihash(MhSha256, digest[:])
+}
+
+// EncodeMultihash wraps a raw digest with its code and length.
+func EncodeMultihash(code uint64, digest []byte) Multihash {
+	buf := make([]byte, 0, 2*binary.MaxVarintLen64+len(digest))
+	buf = binary.AppendUvarint(buf, code)
+	buf = binary.AppendUvarint(buf, uint64(len(digest)))
+	return append(buf, digest...)
+}
+
+// DecodeMultihash splits a multihash into code and digest.
+func DecodeMultihash(mh Multihash) (code uint64, digest []byte, err error) {
+	code, n := binary.Uvarint(mh)
+	if n <= 0 {
+		return 0, nil, errors.New("cid: multihash: bad code varint")
+	}
+	rest := mh[n:]
+	length, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, nil, errors.New("cid: multihash: bad length varint")
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) != length {
+		return 0, nil, fmt.Errorf("cid: multihash: digest length %d != declared %d", len(rest), length)
+	}
+	return code, rest, nil
+}
+
+// Validate checks structural well-formedness.
+func (mh Multihash) Validate() error {
+	_, _, err := DecodeMultihash(mh)
+	return err
+}
+
+// Digest returns the raw digest bytes, or nil if malformed.
+func (mh Multihash) Digest() []byte {
+	_, d, err := DecodeMultihash(mh)
+	if err != nil {
+		return nil
+	}
+	return d
+}

@@ -1,0 +1,85 @@
+package consensus
+
+// Behavior lets tests and benchmarks inject byzantine faults into a
+// validator. The honest behaviour passes messages through unchanged.
+type Behavior interface {
+	// OutboundFilter may mutate or suppress an outgoing message per
+	// recipient. Returning nil suppresses the send.
+	OutboundFilter(to string, msg *Message) *Message
+}
+
+// Honest is the default pass-through behaviour.
+type Honest struct{}
+
+// OutboundFilter implements Behavior.
+func (Honest) OutboundFilter(to string, msg *Message) *Message { return msg }
+
+// Silent suppresses every outgoing consensus message (pre-prepare,
+// prepare, commit, view change): a validator whose consensus participation
+// has crashed. Client request gossip still flows — the node's ordering
+// front-end is alive, only its voting is dead — so submissions entering
+// through a silent peer still reach the healthy validators. To model a
+// fully dead node, sever its links with Network.Cut.
+type Silent struct{}
+
+// OutboundFilter implements Behavior.
+func (Silent) OutboundFilter(to string, msg *Message) *Message {
+	if msg.Type == MsgRequest {
+		return msg
+	}
+	return nil
+}
+
+// Equivocator makes a leader send conflicting pre-prepares: recipients in
+// Half get the true payload; the rest receive a corrupted payload with a
+// different digest. Honest replicas detect the conflict via the signed
+// pre-prepare evidence embedded in prepares and evict the leader.
+type Equivocator struct {
+	Half map[string]bool
+}
+
+// OutboundFilter implements Behavior.
+func (e *Equivocator) OutboundFilter(to string, msg *Message) *Message {
+	if msg.Type != MsgPrePrepare || e.Half[to] {
+		return msg
+	}
+	alt := *msg
+	alt.Payload = append(append([]byte(nil), msg.Payload...), 0xEE)
+	alt.Digest = DigestOf(alt.Payload)
+	// Signature is re-applied by the validator's signing hook after the
+	// filter runs, so the equivocating message is validly signed.
+	return &alt
+}
+
+// WrongDigest corrupts the digest of outgoing prepares and commits so the
+// validator never contributes to honest quorums (a persistently faulty
+// voter).
+type WrongDigest struct{}
+
+// OutboundFilter implements Behavior.
+func (WrongDigest) OutboundFilter(to string, msg *Message) *Message {
+	if msg.Type != MsgPrepare && msg.Type != MsgCommit {
+		return msg
+	}
+	alt := *msg
+	for i := range alt.Digest {
+		alt.Digest[i] ^= 0xFF
+	}
+	return &alt
+}
+
+// MuteAfter behaves honestly for the first N outgoing messages, then goes
+// silent — a validator that crashes mid-protocol.
+type MuteAfter struct {
+	N     int
+	count int
+}
+
+// OutboundFilter implements Behavior.
+func (m *MuteAfter) OutboundFilter(to string, msg *Message) *Message {
+	m.count++
+	if m.count > m.N {
+		return nil
+	}
+	return msg
+}

@@ -1,0 +1,263 @@
+package consensus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"socialchain/internal/msp"
+)
+
+// harness spins up n validators with per-validator behaviours and a shared
+// delivery log.
+type harness struct {
+	t          *testing.T
+	net        *Network
+	validators []*Validator
+	mu         sync.Mutex
+	delivered  map[string][]string // validator id -> payloads in order
+	evictions  map[string][]string
+}
+
+func newHarness(t *testing.T, n int, behaviors map[int]Behavior, timeout time.Duration) *harness {
+	t.Helper()
+	h := &harness{
+		t:         t,
+		net:       NewNetwork(nil, nil),
+		delivered: make(map[string][]string),
+		evictions: make(map[string][]string),
+	}
+	ids := make([]string, n)
+	signers := make([]*msp.Signer, n)
+	idents := make(map[string]msp.Identity, n)
+	for i := 0; i < n; i++ {
+		ids[i] = fmt.Sprintf("v%d", i)
+		s, err := msp.NewSigner("org", ids[i], msp.RoleMember)
+		if err != nil {
+			t.Fatalf("signer: %v", err)
+		}
+		signers[i] = s
+		idents[ids[i]] = s.Identity
+	}
+	for i := 0; i < n; i++ {
+		id := ids[i]
+		b := behaviors[i]
+		v := NewValidator(Config{
+			ID:             id,
+			Validators:     ids,
+			Signer:         signers[i],
+			Identities:     idents,
+			Network:        h.net,
+			RequestTimeout: timeout,
+			Behavior:       b,
+			Deliver: func(seq uint64, payload []byte) {
+				h.mu.Lock()
+				h.delivered[id] = append(h.delivered[id], string(payload))
+				h.mu.Unlock()
+			},
+			OnEvict: func(peer string) {
+				h.mu.Lock()
+				h.evictions[id] = append(h.evictions[id], peer)
+				h.mu.Unlock()
+			},
+		})
+		h.validators = append(h.validators, v)
+	}
+	for _, v := range h.validators {
+		v.Start()
+	}
+	t.Cleanup(func() {
+		for _, v := range h.validators {
+			v.Stop()
+		}
+	})
+	return h
+}
+
+func (h *harness) deliveredAt(i int) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.delivered[fmt.Sprintf("v%d", i)]...)
+}
+
+// waitDelivered waits until validator i has delivered want payloads.
+func (h *harness) waitDelivered(i, want int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if len(h.deliveredAt(i)) >= want {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}
+
+func TestSingleDecisionAllHonest(t *testing.T) {
+	h := newHarness(t, 4, nil, time.Second)
+	h.validators[0].Propose([]byte("tx-1"))
+	for i := 0; i < 4; i++ {
+		if !h.waitDelivered(i, 1, 3*time.Second) {
+			t.Fatalf("validator %d did not deliver", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		got := h.deliveredAt(i)
+		if len(got) != 1 || got[0] != "tx-1" {
+			t.Fatalf("validator %d delivered %v", i, got)
+		}
+	}
+}
+
+func TestSequentialDecisionsSameOrder(t *testing.T) {
+	h := newHarness(t, 4, nil, time.Second)
+	const numTx = 20
+	for k := 0; k < numTx; k++ {
+		h.validators[k%4].Propose([]byte(fmt.Sprintf("tx-%02d", k)))
+	}
+	for i := 0; i < 4; i++ {
+		if !h.waitDelivered(i, numTx, 10*time.Second) {
+			t.Fatalf("validator %d delivered only %d/%d", i, len(h.deliveredAt(i)), numTx)
+		}
+	}
+	ref := h.deliveredAt(0)
+	for i := 1; i < 4; i++ {
+		got := h.deliveredAt(i)
+		if len(got) != len(ref) {
+			t.Fatalf("validator %d delivered %d payloads, want %d", i, len(got), len(ref))
+		}
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("validator %d order diverges at %d: %q vs %q", i, j, got[j], ref[j])
+			}
+		}
+	}
+	// All proposals must appear exactly once.
+	seen := make(map[string]int)
+	for _, p := range ref {
+		seen[p]++
+	}
+	if len(seen) != numTx {
+		t.Fatalf("expected %d distinct payloads, got %d", numTx, len(seen))
+	}
+	for p, c := range seen {
+		if c != 1 {
+			t.Fatalf("payload %q delivered %d times", p, c)
+		}
+	}
+}
+
+func TestToleratesSilentFollower(t *testing.T) {
+	// n=4 tolerates f=1 silent non-leader.
+	h := newHarness(t, 4, map[int]Behavior{2: Silent{}}, time.Second)
+	h.validators[0].Propose([]byte("tx-silent"))
+	for _, i := range []int{0, 1, 3} {
+		if !h.waitDelivered(i, 1, 3*time.Second) {
+			t.Fatalf("validator %d did not deliver with one silent follower", i)
+		}
+	}
+}
+
+func TestViewChangeOnSilentLeader(t *testing.T) {
+	// v0 leads view 0 and is silent; the request must still commit after a
+	// view change to v1.
+	h := newHarness(t, 4, map[int]Behavior{0: Silent{}}, 300*time.Millisecond)
+	h.validators[1].Propose([]byte("tx-vc"))
+	for _, i := range []int{1, 2, 3} {
+		if !h.waitDelivered(i, 1, 10*time.Second) {
+			t.Fatalf("validator %d did not deliver after view change", i)
+		}
+	}
+	if v := h.validators[1].View(); v == 0 {
+		t.Fatalf("expected view change, still in view 0")
+	}
+}
+
+func TestEquivocatingLeaderEvicted(t *testing.T) {
+	// v0 equivocates: half the replicas get one payload, half another.
+	h := newHarness(t, 4, map[int]Behavior{0: &Equivocator{Half: map[string]bool{"v1": true}}}, 300*time.Millisecond)
+	h.validators[0].Propose([]byte("tx-equiv"))
+	deadline := time.Now().Add(10 * time.Second)
+	evicted := false
+	for time.Now().Before(deadline) && !evicted {
+		h.mu.Lock()
+		for _, evs := range h.evictions {
+			for _, e := range evs {
+				if e == "v0" {
+					evicted = true
+				}
+			}
+		}
+		h.mu.Unlock()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !evicted {
+		t.Fatal("equivocating leader was never evicted")
+	}
+	// The request should still be delivered by the remaining replicas after
+	// the view change.
+	for _, i := range []int{1, 2, 3} {
+		if !h.waitDelivered(i, 1, 10*time.Second) {
+			t.Fatalf("validator %d did not deliver after eviction", i)
+		}
+	}
+}
+
+func TestWrongDigestVoterDoesNotBlock(t *testing.T) {
+	h := newHarness(t, 4, map[int]Behavior{3: WrongDigest{}}, time.Second)
+	h.validators[0].Propose([]byte("tx-baddigest"))
+	for _, i := range []int{0, 1, 2} {
+		if !h.waitDelivered(i, 1, 5*time.Second) {
+			t.Fatalf("validator %d did not deliver with a wrong-digest voter", i)
+		}
+	}
+}
+
+func TestSevenValidatorsTwoSilent(t *testing.T) {
+	// n=7 tolerates f=2.
+	h := newHarness(t, 7, map[int]Behavior{3: Silent{}, 5: Silent{}}, time.Second)
+	for k := 0; k < 5; k++ {
+		h.validators[0].Propose([]byte(fmt.Sprintf("tx-%d", k)))
+	}
+	for _, i := range []int{0, 1, 2, 4, 6} {
+		if !h.waitDelivered(i, 5, 10*time.Second) {
+			t.Fatalf("validator %d delivered %d/5", i, len(h.deliveredAt(i)))
+		}
+	}
+}
+
+func TestDuplicateProposalDeliveredOnce(t *testing.T) {
+	h := newHarness(t, 4, nil, time.Second)
+	h.validators[0].Propose([]byte("tx-dup"))
+	h.validators[1].Propose([]byte("tx-dup"))
+	if !h.waitDelivered(0, 1, 3*time.Second) {
+		t.Fatal("no delivery")
+	}
+	// Give a duplicate a chance to (incorrectly) appear.
+	time.Sleep(300 * time.Millisecond)
+	if got := h.deliveredAt(0); len(got) != 1 {
+		t.Fatalf("duplicate proposal delivered %d times", len(got))
+	}
+}
+
+func TestLeaderOfSkipsEvicted(t *testing.T) {
+	h := newHarness(t, 4, nil, time.Second)
+	v := h.validators[1]
+	v.mu.Lock()
+	v.evicted["v0"] = true
+	leader := v.leaderOf(0)
+	v.mu.Unlock()
+	if leader != "v1" {
+		t.Fatalf("leaderOf(0) with v0 evicted = %s, want v1", leader)
+	}
+}
+
+func TestQuorumSizes(t *testing.T) {
+	cases := []struct{ n, want int }{{4, 3}, {7, 5}, {10, 7}, {13, 9}}
+	for _, c := range cases {
+		h := newHarness(t, c.n, nil, time.Second)
+		if got := h.validators[0].quorum(); got != c.want {
+			t.Errorf("n=%d quorum=%d want %d", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTwoSilentLeadersEscalation(t *testing.T) {
+	// n=7 tolerates f=2; with the leaders of views 0 AND 1 silent, the
+	// view must escalate twice before the request commits.
+	h := newHarness(t, 7, map[int]Behavior{0: Silent{}, 1: Silent{}}, 250*time.Millisecond)
+	h.validators[2].Propose([]byte("tx-escalate"))
+	for _, i := range []int{2, 3, 4, 5, 6} {
+		if !h.waitDelivered(i, 1, 20*time.Second) {
+			t.Fatalf("validator %d did not deliver after double leader failure", i)
+		}
+	}
+	if v := h.validators[2].View(); v < 2 {
+		t.Fatalf("view = %d, expected >= 2 after two failed leaders", v)
+	}
+}
+
+func TestMuteAfterCrashMidProtocol(t *testing.T) {
+	// A validator that goes quiet after its first few messages models a
+	// mid-protocol crash; n=4 must keep committing.
+	h := newHarness(t, 4, map[int]Behavior{3: &MuteAfter{N: 5}}, 500*time.Millisecond)
+	for k := 0; k < 5; k++ {
+		h.validators[0].Propose([]byte(fmt.Sprintf("tx-crash-%d", k)))
+	}
+	for _, i := range []int{0, 1, 2} {
+		if !h.waitDelivered(i, 5, 15*time.Second) {
+			t.Fatalf("validator %d delivered %d/5", i, len(h.deliveredAt(i)))
+		}
+	}
+}
+
+func TestPartitionedFollowerDoesNotBlock(t *testing.T) {
+	// Cutting all links to one follower must not stop the remaining
+	// validators (equivalent to a crashed node).
+	h := newHarness(t, 4, nil, 500*time.Millisecond)
+	for _, other := range []string{"v0", "v1", "v2"} {
+		h.net.Cut(other, "v3")
+		h.net.Cut("v3", other)
+	}
+	h.validators[0].Propose([]byte("tx-partition"))
+	for _, i := range []int{0, 1, 2} {
+		if !h.waitDelivered(i, 1, 10*time.Second) {
+			t.Fatalf("validator %d did not deliver with v3 partitioned", i)
+		}
+	}
+	if len(h.deliveredAt(3)) != 0 {
+		t.Fatal("partitioned validator delivered despite cut links")
+	}
+}
+
+func TestHealedLinkDeliversSubsequentTraffic(t *testing.T) {
+	// After healing a partition, NEW requests flow to the previously cut
+	// validator again (it participates in fresh instances; no state
+	// transfer for missed ones — a documented limitation matched by
+	// Fabric's block-sync being a separate subsystem).
+	h := newHarness(t, 4, nil, 500*time.Millisecond)
+	h.validators[0].Propose([]byte("tx-before"))
+	if !h.waitDelivered(0, 1, 10*time.Second) {
+		t.Fatal("no delivery before partition")
+	}
+	// Partition and heal without traffic in between.
+	for _, other := range []string{"v0", "v1", "v2"} {
+		h.net.Cut(other, "v3")
+		h.net.Cut("v3", other)
+	}
+	for _, other := range []string{"v0", "v1", "v2"} {
+		h.net.Heal(other, "v3")
+		h.net.Heal("v3", other)
+	}
+	h.validators[0].Propose([]byte("tx-after"))
+	if !h.waitDelivered(3, 2, 10*time.Second) {
+		t.Fatalf("healed validator delivered %d/2", len(h.deliveredAt(3)))
+	}
+}
+
+func TestConcurrentProposalsFromAllValidators(t *testing.T) {
+	h := newHarness(t, 4, nil, time.Second)
+	const perValidator = 5
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			for k := 0; k < perValidator; k++ {
+				h.validators[i].Propose([]byte(fmt.Sprintf("tx-%d-%d", i, k)))
+			}
+		}(i)
+	}
+	want := 4 * perValidator
+	for i := 0; i < 4; i++ {
+		if !h.waitDelivered(i, want, 20*time.Second) {
+			t.Fatalf("validator %d delivered %d/%d", i, len(h.deliveredAt(i)), want)
+		}
+	}
+	// Identical order everywhere.
+	ref := h.deliveredAt(0)
+	for i := 1; i < 4; i++ {
+		got := h.deliveredAt(i)
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("validator %d diverges at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestEvictionReportedOnce(t *testing.T) {
+	h := newHarness(t, 4, map[int]Behavior{0: &Equivocator{Half: map[string]bool{"v1": true}}}, 300*time.Millisecond)
+	h.validators[0].Propose([]byte("tx-evict-once"))
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		h.mu.Lock()
+		total := 0
+		for _, evs := range h.evictions {
+			for _, e := range evs {
+				if e == "v0" {
+					total++
+				}
+			}
+		}
+		h.mu.Unlock()
+		if total > 0 {
+			// Wait a little longer; no validator may report v0 twice.
+			time.Sleep(300 * time.Millisecond)
+			h.mu.Lock()
+			for id, evs := range h.evictions {
+				count := 0
+				for _, e := range evs {
+					if e == "v0" {
+						count++
+					}
+				}
+				if count > 1 {
+					h.mu.Unlock()
+					t.Fatalf("validator %s reported v0 evicted %d times", id, count)
+				}
+			}
+			h.mu.Unlock()
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("no eviction observed")
+}
+
+func TestViewChangeCounterAdvances(t *testing.T) {
+	h := newHarness(t, 4, map[int]Behavior{0: Silent{}}, 200*time.Millisecond)
+	h.validators[1].Propose([]byte("tx-vc-count"))
+	if !h.waitDelivered(1, 1, 10*time.Second) {
+		t.Fatal("no delivery")
+	}
+	if h.validators[1].ViewChanges() == 0 {
+		t.Fatal("view change not counted")
+	}
+}
+
+func TestDeliveredCountMatches(t *testing.T) {
+	h := newHarness(t, 4, nil, time.Second)
+	for k := 0; k < 7; k++ {
+		h.validators[0].Propose([]byte(fmt.Sprintf("tx-count-%d", k)))
+	}
+	if !h.waitDelivered(2, 7, 10*time.Second) {
+		t.Fatal("delivery incomplete")
+	}
+	if got := h.validators[2].DeliveredCount(); got != 7 {
+		t.Fatalf("DeliveredCount = %d", got)
+	}
+	if got := h.validators[2].LastExecuted(); got < 7 {
+		t.Fatalf("LastExecuted = %d", got)
+	}
+}

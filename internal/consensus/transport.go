@@ -1,0 +1,112 @@
+package consensus
+
+import (
+	"sync"
+
+	"socialchain/internal/sim"
+)
+
+// inboxSize bounds each validator's message queue.
+const inboxSize = 8192
+
+// Network is the in-process message fabric between validators, with a
+// pluggable latency model and fault injection (partitions, drops).
+type Network struct {
+	mu      sync.RWMutex
+	inboxes map[string]chan *Message
+	cut     map[string]map[string]bool // cut[a][b]: drop messages a->b
+	latency sim.LatencyModel
+	clock   sim.Clock
+}
+
+// NewNetwork creates a validator network.
+func NewNetwork(latency sim.LatencyModel, clock sim.Clock) *Network {
+	if latency == nil {
+		latency = sim.ZeroLatency{}
+	}
+	if clock == nil {
+		clock = sim.RealClock{}
+	}
+	return &Network{
+		inboxes: make(map[string]chan *Message),
+		cut:     make(map[string]map[string]bool),
+		latency: latency,
+		clock:   clock,
+	}
+}
+
+// Register creates the inbox for a validator id.
+func (n *Network) Register(id string) <-chan *Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ch := make(chan *Message, inboxSize)
+	n.inboxes[id] = ch
+	return ch
+}
+
+// Peers returns the registered validator ids.
+func (n *Network) Peers() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.inboxes))
+	for id := range n.inboxes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Cut severs the directed link from a to b (messages silently dropped).
+func (n *Network) Cut(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cut[a] == nil {
+		n.cut[a] = make(map[string]bool)
+	}
+	n.cut[a][b] = true
+}
+
+// Heal restores the directed link from a to b.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cut[a] != nil {
+		delete(n.cut[a], b)
+	}
+}
+
+// Send delivers msg from -> to, honouring cuts and latency. Delivery is
+// asynchronous; a full inbox drops the message (backpressure as loss, which
+// BFT must tolerate anyway).
+func (n *Network) Send(from, to string, msg *Message) {
+	n.mu.RLock()
+	ch, ok := n.inboxes[to]
+	cutoff := n.cut[from][to]
+	n.mu.RUnlock()
+	if !ok || cutoff {
+		return
+	}
+	d := n.latency.Delay(from, to)
+	if d <= 0 {
+		select {
+		case ch <- msg:
+		default:
+		}
+		return
+	}
+	go func() {
+		n.clock.Sleep(d)
+		select {
+		case ch <- msg:
+		default:
+		}
+	}()
+}
+
+// Broadcast sends msg from -> every registered validator except the sender.
+func (n *Network) Broadcast(from string, msg *Message) {
+	for _, id := range n.Peers() {
+		if id != from {
+			n.Send(from, id, msg)
+		}
+	}
+}

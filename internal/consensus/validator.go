@@ -1,0 +1,700 @@
+package consensus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"socialchain/internal/msp"
+	"socialchain/internal/sim"
+)
+
+// Config assembles a validator.
+type Config struct {
+	// ID is this validator's name; it must appear in Validators.
+	ID string
+	// Validators is the ordered membership; the leader of view v is
+	// Validators[v mod n] (skipping evicted members).
+	Validators []string
+	// Signer signs outgoing messages.
+	Signer *msp.Signer
+	// Identities maps validator IDs to their verification identities.
+	Identities map[string]msp.Identity
+	// Network carries messages.
+	Network *Network
+	// Clock drives timeouts (nil = real clock).
+	Clock sim.Clock
+	// RequestTimeout is how long a pending request may wait before this
+	// validator votes for a view change. Zero selects a 2 s default.
+	RequestTimeout time.Duration
+	// Behavior injects byzantine faults (nil = honest).
+	Behavior Behavior
+	// Deliver is invoked with each decided payload, in decision order.
+	Deliver func(seq uint64, payload []byte)
+	// OnEvict is invoked when this validator evicts a peer (may be nil).
+	OnEvict func(id string)
+}
+
+type request struct {
+	payload  []byte
+	arrived  time.Time
+	inFlight bool
+}
+
+type instance struct {
+	view       uint64
+	digest     [32]byte
+	payload    []byte
+	prePrepare []byte // leader-signed pre-prepare, encoded, for evidence
+	prepares   map[string]bool
+	commits    map[string]bool
+	sentCommit bool
+	executed   bool
+}
+
+// Validator is one PBFT replica.
+type Validator struct {
+	cfg  Config
+	n, f int
+
+	inbox     <-chan *Message
+	proposeCh chan []byte
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+
+	mu              sync.Mutex
+	view            uint64
+	nextSeq         uint64
+	lastExec        uint64
+	insts           map[uint64]*instance
+	pending         map[[32]byte]*request
+	delivered       map[[32]byte]bool
+	evicted         map[string]bool
+	vcVotes         map[uint64]map[string][]byte // view -> voter -> encoded VC message
+	vcTarget        uint64                       // view we are currently voting for (0 = none)
+	vcStarted       time.Time
+	deliveredCount  int
+	viewChangeCount int
+}
+
+// NewValidator constructs (but does not start) a replica.
+func NewValidator(cfg Config) *Validator {
+	if cfg.Clock == nil {
+		cfg.Clock = sim.RealClock{}
+	}
+	if cfg.Behavior == nil {
+		cfg.Behavior = Honest{}
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Second
+	}
+	n := len(cfg.Validators)
+	v := &Validator{
+		cfg:       cfg,
+		n:         n,
+		f:         (n - 1) / 3,
+		inbox:     cfg.Network.Register(cfg.ID),
+		proposeCh: make(chan []byte, 1024),
+		stopCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
+		nextSeq:   1,
+		insts:     make(map[uint64]*instance),
+		pending:   make(map[[32]byte]*request),
+		delivered: make(map[[32]byte]bool),
+		evicted:   make(map[string]bool),
+		vcVotes:   make(map[uint64]map[string][]byte),
+	}
+	return v
+}
+
+// Start launches the replica's event loop.
+func (v *Validator) Start() { go v.loop() }
+
+// Stop terminates the replica and waits for the loop to exit.
+func (v *Validator) Stop() {
+	close(v.stopCh)
+	<-v.doneCh
+}
+
+// Propose submits a payload for total ordering. Any replica may be used as
+// the entry point; the request is broadcast to all replicas so a future
+// leader can still propose it after a view change.
+func (v *Validator) Propose(payload []byte) {
+	select {
+	case v.proposeCh <- payload:
+	case <-v.stopCh:
+	}
+}
+
+// View returns the replica's current view.
+func (v *Validator) View() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.view
+}
+
+// LastExecuted returns the highest executed sequence number.
+func (v *Validator) LastExecuted() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.lastExec
+}
+
+// DeliveredCount returns how many payloads this replica has delivered.
+func (v *Validator) DeliveredCount() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.deliveredCount
+}
+
+// ViewChanges returns how many view changes this replica has completed.
+func (v *Validator) ViewChanges() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.viewChangeCount
+}
+
+// EvictedPeers returns the sorted ids this replica has evicted.
+func (v *Validator) EvictedPeers() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.evicted))
+	for id := range v.evicted {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// leaderOf returns the leader id of a view, skipping evicted validators.
+func (v *Validator) leaderOf(view uint64) string {
+	for i := 0; i < v.n; i++ {
+		id := v.cfg.Validators[(view+uint64(i))%uint64(v.n)]
+		if !v.evicted[id] {
+			return id
+		}
+	}
+	return v.cfg.Validators[view%uint64(v.n)]
+}
+
+// IsLeader reports whether this replica leads its current view.
+func (v *Validator) IsLeader() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.leaderOf(v.view) == v.cfg.ID
+}
+
+// quorum is the 2f+1 agreement threshold; with n = 3f+1 this is the
+// paper's "at least two-thirds of the peers agree".
+func (v *Validator) quorum() int { return 2*v.f + 1 }
+
+// --- messaging ---
+
+// send applies the byzantine filter, then signs and transmits.
+func (v *Validator) send(to string, m Message) {
+	out := v.cfg.Behavior.OutboundFilter(to, &m)
+	if out == nil {
+		return
+	}
+	cp := *out
+	cp.From = v.cfg.ID
+	cp.Signature = v.cfg.Signer.Sign(cp.SigningBytes())
+	v.cfg.Network.Send(v.cfg.ID, to, &cp)
+}
+
+func (v *Validator) broadcast(m Message) {
+	for _, id := range v.cfg.Validators {
+		if id != v.cfg.ID {
+			v.send(id, m)
+		}
+	}
+}
+
+// selfSigned returns a copy of m signed by this replica, for local
+// processing alongside the broadcast.
+func (v *Validator) selfSigned(m Message) *Message {
+	cp := m
+	cp.From = v.cfg.ID
+	cp.Signature = v.cfg.Signer.Sign(cp.SigningBytes())
+	return &cp
+}
+
+// verify checks the origin signature of an incoming message.
+func (v *Validator) verify(m *Message) bool {
+	id, ok := v.cfg.Identities[m.From]
+	if !ok {
+		return false
+	}
+	return id.Verify(m.SigningBytes(), m.Signature)
+}
+
+// --- event loop ---
+
+func (v *Validator) loop() {
+	defer close(v.doneCh)
+	tick := v.cfg.RequestTimeout / 4
+	if tick <= 0 {
+		tick = 50 * time.Millisecond
+	}
+	timer := v.cfg.Clock.After(tick)
+	for {
+		select {
+		case <-v.stopCh:
+			return
+		case payload := <-v.proposeCh:
+			v.handleRequestPayload(payload, true)
+		case m := <-v.inbox:
+			v.dispatch(m)
+		case <-timer:
+			v.checkTimeouts()
+			timer = v.cfg.Clock.After(tick)
+		}
+	}
+}
+
+func (v *Validator) dispatch(m *Message) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.evicted[m.From] {
+		return
+	}
+	if !v.verify(m) {
+		return
+	}
+	switch m.Type {
+	case MsgRequest:
+		v.onRequest(m)
+	case MsgPrePrepare:
+		v.onPrePrepare(m)
+	case MsgPrepare:
+		v.onPrepare(m)
+	case MsgCommit:
+		v.onCommit(m)
+	case MsgViewChange:
+		v.onViewChange(m)
+	case MsgNewView:
+		v.onNewView(m)
+	}
+}
+
+// handleRequestPayload admits a client payload (entry replica) and gossips
+// it to all replicas.
+func (v *Validator) handleRequestPayload(payload []byte, gossip bool) {
+	v.mu.Lock()
+	digest := DigestOf(payload)
+	fresh := v.admitRequest(digest, payload)
+	isLeader := v.leaderOf(v.view) == v.cfg.ID
+	v.mu.Unlock()
+
+	if gossip && fresh {
+		v.broadcast(Message{Type: MsgRequest, Digest: digest, Payload: payload})
+	}
+	if isLeader {
+		v.mu.Lock()
+		v.proposePending()
+		v.mu.Unlock()
+	}
+}
+
+// admitRequest records a request if unseen; returns whether it was new.
+// Caller holds mu.
+func (v *Validator) admitRequest(digest [32]byte, payload []byte) bool {
+	if v.delivered[digest] {
+		return false
+	}
+	if _, ok := v.pending[digest]; ok {
+		return false
+	}
+	v.pending[digest] = &request{payload: payload, arrived: v.cfg.Clock.Now()}
+	return true
+}
+
+func (v *Validator) onRequest(m *Message) {
+	if DigestOf(m.Payload) != m.Digest {
+		return
+	}
+	v.admitRequest(m.Digest, m.Payload)
+	if v.leaderOf(v.view) == v.cfg.ID {
+		v.proposePending()
+	}
+}
+
+// proposePending assigns sequence numbers to all non-in-flight requests and
+// broadcasts pre-prepares. Caller holds mu.
+func (v *Validator) proposePending() {
+	digests := make([][32]byte, 0, len(v.pending))
+	for d := range v.pending {
+		digests = append(digests, d)
+	}
+	// Deterministic order so re-proposals after a view change agree.
+	sort.Slice(digests, func(i, j int) bool {
+		for k := range digests[i] {
+			if digests[i][k] != digests[j][k] {
+				return digests[i][k] < digests[j][k]
+			}
+		}
+		return false
+	})
+	for _, d := range digests {
+		req := v.pending[d]
+		if req.inFlight {
+			continue
+		}
+		seq := v.nextSeq
+		v.nextSeq++
+		req.inFlight = true
+		pp := Message{Type: MsgPrePrepare, View: v.view, Seq: seq, Digest: d, Payload: req.payload}
+		// Process our own pre-prepare before broadcasting.
+		self := v.selfSigned(pp)
+		v.onPrePrepare(self)
+		v.mu.Unlock()
+		v.broadcast(pp)
+		v.mu.Lock()
+	}
+}
+
+func (v *Validator) onPrePrepare(m *Message) {
+	if m.From != v.leaderOf(m.View) || m.View != v.view {
+		return
+	}
+	if DigestOf(m.Payload) != m.Digest {
+		return
+	}
+	inst, ok := v.insts[m.Seq]
+	if ok && inst.view == m.View {
+		if inst.digest != m.Digest && len(inst.prePrepare) > 0 {
+			// The leader signed two different pre-prepares for the same
+			// (view, seq): conclusive equivocation.
+			v.evict(m.From)
+			return
+		}
+	} else {
+		inst = v.newInstance(m.View, m.Seq, m.Digest, m.Payload)
+		v.insts[m.Seq] = inst
+	}
+	if len(inst.prePrepare) == 0 {
+		if inst.digest != m.Digest {
+			// The shell was created from early votes for a different digest;
+			// those votes must not count toward this instance's quorum.
+			inst.prepares = make(map[string]bool)
+			inst.commits = make(map[string]bool)
+		}
+		inst.prePrepare = m.Encode()
+		inst.payload = m.Payload
+		inst.digest = m.Digest
+		// The leader's pre-prepare counts as its prepare vote.
+		inst.prepares[m.From] = true
+	}
+	// Send our prepare, carrying the leader-signed pre-prepare as evidence.
+	prep := Message{Type: MsgPrepare, View: m.View, Seq: m.Seq, Digest: m.Digest, PrePrepareEvidence: inst.prePrepare}
+	self := v.selfSigned(prep)
+	v.applyPrepare(self)
+	v.mu.Unlock()
+	v.broadcast(prep)
+	v.mu.Lock()
+	v.maybeCommitPhase(m.Seq)
+}
+
+func (v *Validator) newInstance(view, seq uint64, digest [32]byte, payload []byte) *instance {
+	return &instance{
+		view:     view,
+		digest:   digest,
+		payload:  payload,
+		prepares: make(map[string]bool),
+		commits:  make(map[string]bool),
+	}
+}
+
+func (v *Validator) onPrepare(m *Message) {
+	if m.View != v.view {
+		return
+	}
+	v.checkEquivocationEvidence(m)
+	v.applyPrepare(m)
+	v.maybeCommitPhase(m.Seq)
+}
+
+// applyPrepare counts a prepare vote. Caller holds mu.
+func (v *Validator) applyPrepare(m *Message) {
+	inst, ok := v.insts[m.Seq]
+	if !ok {
+		// Prepare arrived before the pre-prepare; create a shell the
+		// pre-prepare will fill.
+		inst = v.newInstance(m.View, m.Seq, m.Digest, nil)
+		v.insts[m.Seq] = inst
+	}
+	if inst.digest == m.Digest {
+		inst.prepares[m.From] = true
+	}
+}
+
+// checkEquivocationEvidence inspects the embedded pre-prepare for conflict
+// with what we received from the leader. Caller holds mu.
+func (v *Validator) checkEquivocationEvidence(m *Message) {
+	if len(m.PrePrepareEvidence) == 0 {
+		return
+	}
+	pp, err := DecodeMessage(m.PrePrepareEvidence)
+	if err != nil || pp.Type != MsgPrePrepare {
+		return
+	}
+	leader := pp.From
+	id, ok := v.cfg.Identities[leader]
+	if !ok || !id.Verify(pp.SigningBytes(), pp.Signature) {
+		return
+	}
+	inst, ok := v.insts[pp.Seq]
+	if !ok || inst.view != pp.View || len(inst.prePrepare) == 0 {
+		return
+	}
+	local, err := DecodeMessage(inst.prePrepare)
+	if err != nil || local.From != leader {
+		return
+	}
+	if local.Digest != pp.Digest {
+		// Two validly signed pre-prepares from the same leader for the same
+		// (view, seq) with different digests.
+		v.evict(leader)
+	}
+}
+
+// maybeCommitPhase advances an instance to the commit phase once 2f+1
+// prepare votes (including the leader's pre-prepare) match. Caller holds mu.
+func (v *Validator) maybeCommitPhase(seq uint64) {
+	inst, ok := v.insts[seq]
+	if !ok || inst.sentCommit || len(inst.prePrepare) == 0 {
+		return
+	}
+	if len(inst.prepares) < v.quorum() {
+		return
+	}
+	inst.sentCommit = true
+	cm := Message{Type: MsgCommit, View: inst.view, Seq: seq, Digest: inst.digest}
+	self := v.selfSigned(cm)
+	inst.commits[self.From] = true
+	v.mu.Unlock()
+	v.broadcast(cm)
+	v.mu.Lock()
+	v.maybeExecute()
+}
+
+func (v *Validator) onCommit(m *Message) {
+	if m.View != v.view {
+		return
+	}
+	inst, ok := v.insts[m.Seq]
+	if !ok {
+		inst = v.newInstance(m.View, m.Seq, m.Digest, nil)
+		v.insts[m.Seq] = inst
+	}
+	if inst.digest == m.Digest {
+		inst.commits[m.From] = true
+	}
+	v.maybeExecute()
+}
+
+// maybeExecute delivers committed instances in sequence order. Caller
+// holds mu.
+func (v *Validator) maybeExecute() {
+	for {
+		inst, ok := v.insts[v.lastExec+1]
+		if !ok || inst.executed || inst.payload == nil {
+			return
+		}
+		if len(inst.commits) < v.quorum() || !inst.sentCommit {
+			return
+		}
+		inst.executed = true
+		v.lastExec++
+		digest := inst.digest
+		payload := inst.payload
+		delete(v.pending, digest)
+		already := v.delivered[digest]
+		v.delivered[digest] = true
+		if v.nextSeq <= v.lastExec {
+			v.nextSeq = v.lastExec + 1
+		}
+		if !already && v.cfg.Deliver != nil {
+			v.deliveredCount++
+			seq := v.lastExec
+			v.mu.Unlock()
+			v.cfg.Deliver(seq, payload)
+			v.mu.Lock()
+		}
+		if v.lastExec > 64 {
+			delete(v.insts, v.lastExec-64) // prune old instances
+		}
+	}
+}
+
+// --- view change ---
+
+func (v *Validator) checkTimeouts() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	now := v.cfg.Clock.Now()
+	// Escalate an in-progress view change that itself timed out.
+	if v.vcTarget > v.view && now.Sub(v.vcStarted) > v.cfg.RequestTimeout {
+		v.voteViewChange(v.vcTarget + 1)
+		return
+	}
+	if v.vcTarget > v.view {
+		return // view change in progress
+	}
+	for _, req := range v.pending {
+		if now.Sub(req.arrived) > v.cfg.RequestTimeout {
+			v.voteViewChange(v.view + 1)
+			return
+		}
+	}
+}
+
+// voteViewChange broadcasts a view-change vote for the target view. Caller
+// holds mu.
+func (v *Validator) voteViewChange(target uint64) {
+	if target <= v.view {
+		return
+	}
+	v.vcTarget = target
+	v.vcStarted = v.cfg.Clock.Now()
+	vc := Message{Type: MsgViewChange, View: target, Seq: v.lastExec}
+	self := v.selfSigned(vc)
+	v.recordViewChangeVote(self)
+	v.mu.Unlock()
+	v.broadcast(vc)
+	v.mu.Lock()
+	v.maybeNewView(target)
+}
+
+func (v *Validator) onViewChange(m *Message) {
+	if m.View <= v.view {
+		return
+	}
+	v.recordViewChangeVote(m)
+	// Join the view change once f+1 peers vote for a higher view: at least
+	// one honest replica observed a failure.
+	if len(v.vcVotes[m.View]) > v.f && v.vcTarget < m.View {
+		v.voteViewChange(m.View)
+		return
+	}
+	v.maybeNewView(m.View)
+}
+
+// recordViewChangeVote stores an encoded, signed vote. Caller holds mu.
+func (v *Validator) recordViewChangeVote(m *Message) {
+	votes, ok := v.vcVotes[m.View]
+	if !ok {
+		votes = make(map[string][]byte)
+		v.vcVotes[m.View] = votes
+	}
+	votes[m.From] = m.Encode()
+}
+
+// maybeNewView lets the leader of the target view announce it once 2f+1
+// votes are collected. Caller holds mu.
+func (v *Validator) maybeNewView(target uint64) {
+	if v.leaderOf(target) != v.cfg.ID || target <= v.view {
+		return
+	}
+	votes := v.vcVotes[target]
+	if len(votes) < v.quorum() {
+		return
+	}
+	// Determine the new starting sequence from the votes.
+	maxExec := v.lastExec
+	proofs := make([][]byte, 0, len(votes))
+	for _, enc := range votes {
+		proofs = append(proofs, enc)
+		if vm, err := DecodeMessage(enc); err == nil && vm.Seq > maxExec {
+			maxExec = vm.Seq
+		}
+	}
+	nv := Message{Type: MsgNewView, View: target, Seq: maxExec + 1, Proofs: proofs}
+	v.enterView(target, maxExec+1)
+	v.mu.Unlock()
+	v.broadcast(nv)
+	v.mu.Lock()
+	v.proposePending()
+}
+
+func (v *Validator) onNewView(m *Message) {
+	if m.View <= v.view || m.From != v.leaderOf(m.View) {
+		return
+	}
+	// Verify 2f+1 distinct, validly signed view-change votes for this view.
+	voters := make(map[string]bool)
+	for _, enc := range m.Proofs {
+		vm, err := DecodeMessage(enc)
+		if err != nil || vm.Type != MsgViewChange || vm.View != m.View {
+			continue
+		}
+		id, ok := v.cfg.Identities[vm.From]
+		if !ok || v.evicted[vm.From] || !id.Verify(vm.SigningBytes(), vm.Signature) {
+			continue
+		}
+		voters[vm.From] = true
+	}
+	if len(voters) < v.quorum() {
+		return
+	}
+	v.enterView(m.View, m.Seq)
+}
+
+// enterView installs a new view. Caller holds mu.
+func (v *Validator) enterView(view, startSeq uint64) {
+	v.view = view
+	v.viewChangeCount++
+	v.vcTarget = 0
+	// Discard unexecuted instances; their requests go back to pending.
+	for seq, inst := range v.insts {
+		if !inst.executed {
+			delete(v.insts, seq)
+			if inst.payload != nil && !v.delivered[inst.digest] {
+				if req, ok := v.pending[inst.digest]; ok {
+					req.inFlight = false
+				} else {
+					v.pending[inst.digest] = &request{payload: inst.payload, arrived: v.cfg.Clock.Now()}
+				}
+			}
+		}
+	}
+	if startSeq > v.lastExec+1 {
+		v.lastExec = startSeq - 1
+	}
+	if v.nextSeq < startSeq {
+		v.nextSeq = startSeq
+	}
+	// Give the new leader a fresh timeout for every pending request.
+	now := v.cfg.Clock.Now()
+	for _, req := range v.pending {
+		req.arrived = now
+		req.inFlight = false
+	}
+	delete(v.vcVotes, view)
+}
+
+// evict flags a peer as byzantine and removes it from the effective
+// validator pool, as the paper prescribes for validators that act against
+// the consensus rules. Caller holds mu.
+func (v *Validator) evict(id string) {
+	if v.evicted[id] || id == v.cfg.ID {
+		return
+	}
+	v.evicted[id] = true
+	if v.cfg.OnEvict != nil {
+		cb := v.cfg.OnEvict
+		v.mu.Unlock()
+		cb(id)
+		v.mu.Lock()
+	}
+	// If the evicted peer leads the current view, move past it.
+	if v.cfg.Validators[v.view%uint64(v.n)] == id || v.leaderOf(v.view) == id {
+		v.voteViewChange(v.view + 1)
+	}
+}
+
+// String describes the replica for logs.
+func (v *Validator) String() string {
+	return fmt.Sprintf("validator(%s view=%d exec=%d)", v.cfg.ID, v.View(), v.LastExecuted())
+}

@@ -1,0 +1,513 @@
+package contracts
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"socialchain/internal/chaincode"
+	"socialchain/internal/dataset"
+	"socialchain/internal/detect"
+	"socialchain/internal/msp"
+	"socialchain/internal/statedb"
+	"socialchain/internal/trust"
+)
+
+// world is a direct-execution test harness: it runs chaincodes through
+// simulators against a shared state, committing writes immediately —
+// endorsement and consensus are exercised elsewhere.
+type world struct {
+	t       *testing.T
+	db      *statedb.DB
+	history *statedb.HistoryDB
+	reg     *chaincode.Registry
+	height  uint64
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	w := &world{t: t, db: statedb.New(), history: statedb.NewHistoryDB(), reg: chaincode.NewRegistry(), height: 1}
+	for _, cc := range All() {
+		if err := w.reg.Register(cc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+// invoke runs fn as creator and commits the writes on success.
+func (w *world) invoke(creator msp.Identity, ccName, fn string, args ...string) ([]byte, error) {
+	byteArgs := make([][]byte, len(args))
+	for i, a := range args {
+		byteArgs[i] = []byte(a)
+	}
+	txID := ccName + "-" + fn + "-" + time.Now().Format("150405.000000000")
+	sim := chaincode.NewSimulator(chaincode.TxContext{
+		TxID: txID, ChannelID: "ch", Creator: creator, Timestamp: time.Now(),
+	}, ccName, w.db, w.history).WithRegistry(w.reg)
+	cc, ok := w.reg.Get(ccName)
+	if !ok {
+		w.t.Fatalf("unknown chaincode %s", ccName)
+	}
+	resp, err := cc.Invoke(sim, fn, byteArgs)
+	if err != nil {
+		return nil, err
+	}
+	batch := statedb.NewUpdateBatch()
+	batch.AddRWSetWrites(sim.RWSet())
+	w.height++
+	v := statedb.Version{BlockNum: w.height}
+	w.db.ApplyUpdates(batch, v)
+	w.history.RecordBatch(batch, txID, v, time.Now())
+	return resp, nil
+}
+
+func (w *world) admin() msp.Identity {
+	id, err := msp.NewSigner("gov", "root", msp.RoleAdmin)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	// Bootstrap enrollment (first admin).
+	if _, err := w.invoke(id.Identity, AdminCC, "enrollAdmin", id.Identity.ID()); err != nil {
+		w.t.Fatalf("bootstrap admin: %v", err)
+	}
+	return id.Identity
+}
+
+func (w *world) user(admin msp.Identity, org, name string, trusted bool) msp.Identity {
+	s, err := msp.NewSigner(org, name, msp.RoleUntrustedSource)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	role := "untrusted-source"
+	if trusted {
+		role = "trusted-source"
+	}
+	rec, _ := json.Marshal(UserRecord{UserID: s.Identity.ID(), Role: role, PubKey: s.Identity.PubKey})
+	if _, err := w.invoke(admin, UsersCC, "registerUser", string(rec)); err != nil {
+		w.t.Fatalf("register %s: %v", name, err)
+	}
+	return s.Identity
+}
+
+func sampleMeta(t *testing.T, seed int64) (detect.MetadataRecord, string) {
+	t.Helper()
+	corpus := dataset.Generate(dataset.Config{Seed: seed, NumVideos: 1, FramesPerVideo: 1, NumDroneFlights: 1, FramesPerFlight: 1, MeanFrameKB: 2})
+	frame := &corpus.Static[0].Frames[0]
+	det := detect.NewDetector(seed)
+	meta, _ := det.ExtractMetadata(frame)
+	b, _ := json.Marshal(meta)
+	return meta, string(b)
+}
+
+func TestAdminBootstrapAndDuplicate(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	if _, err := w.invoke(admin, AdminCC, "enrollAdmin", admin.ID()); err == nil {
+		t.Fatal("duplicate admin enrolled")
+	}
+	out, err := w.invoke(admin, AdminCC, "adminExists", admin.ID())
+	if err != nil || string(out) != "true" {
+		t.Fatalf("adminExists = %q, %v", out, err)
+	}
+	out, err = w.invoke(admin, AdminCC, "adminExists", "ghost")
+	if err != nil || string(out) != "false" {
+		t.Fatalf("ghost adminExists = %q, %v", out, err)
+	}
+}
+
+func TestSecondAdminRequiresExistingAdmin(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	outsider, _ := msp.NewSigner("x", "outsider", msp.RoleMember)
+	if _, err := w.invoke(outsider.Identity, AdminCC, "enrollAdmin", "x/outsider"); err == nil {
+		t.Fatal("non-admin enrolled a second admin")
+	}
+	if _, err := w.invoke(admin, AdminCC, "enrollAdmin", "gov/second"); err != nil {
+		t.Fatalf("admin could not enroll second admin: %v", err)
+	}
+	out, _ := w.invoke(admin, AdminCC, "listAdmins")
+	var admins []AdminRecord
+	if err := json.Unmarshal(out, &admins); err != nil {
+		t.Fatal(err)
+	}
+	if len(admins) != 2 {
+		t.Fatalf("listAdmins = %d", len(admins))
+	}
+}
+
+func TestUserRegistrationFlow(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	user := w.user(admin, "crowd", "bob", false)
+
+	out, err := w.invoke(admin, UsersCC, "getUser", user.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec UserRecord
+	if err := json.Unmarshal(out, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.UserID != user.ID() || rec.Trusted || !rec.Active {
+		t.Fatalf("record = %+v", rec)
+	}
+	// Duplicate rejected.
+	raw, _ := json.Marshal(UserRecord{UserID: user.ID(), Role: "untrusted-source", PubKey: user.PubKey})
+	if _, err := w.invoke(admin, UsersCC, "registerUser", string(raw)); err == nil {
+		t.Fatal("duplicate user registered")
+	}
+}
+
+func TestUserRegistrationValidation(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	cases := []UserRecord{
+		{UserID: "", Role: "untrusted-source", PubKey: []byte{1}},
+		{UserID: "a/b", Role: "superuser", PubKey: []byte{1}},
+		{UserID: "a/b", Role: "untrusted-source"},
+	}
+	for i, rec := range cases {
+		raw, _ := json.Marshal(rec)
+		if _, err := w.invoke(admin, UsersCC, "registerUser", string(raw)); err == nil {
+			t.Errorf("case %d accepted: %+v", i, rec)
+		}
+	}
+}
+
+func TestDeactivateUser(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	user := w.user(admin, "crowd", "carol", true)
+	if _, err := w.invoke(admin, UsersCC, "deactivateUser", user.ID()); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := w.invoke(admin, UsersCC, "getUser", user.ID())
+	var rec UserRecord
+	_ = json.Unmarshal(out, &rec)
+	if rec.Active {
+		t.Fatal("user still active")
+	}
+	// Deactivated users fail validation.
+	_, metaJSON := sampleMeta(t, 21)
+	var meta detect.MetadataRecord
+	_ = json.Unmarshal([]byte(metaJSON), &meta)
+	if _, err := w.invoke(user, ValidationCC, "checkTransaction", metaJSON, meta.DataHash); err == nil {
+		t.Fatal("deactivated user validated")
+	}
+	if _, err := w.invoke(admin, UsersCC, "reactivateUser", user.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.invoke(user, ValidationCC, "checkTransaction", metaJSON, meta.DataHash); err != nil {
+		t.Fatalf("reactivated user rejected: %v", err)
+	}
+}
+
+func TestValidationSchemaChecks(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	user := w.user(admin, "city", "cam", true)
+
+	meta, metaJSON := sampleMeta(t, 31)
+	// Well-formed passes.
+	if _, err := w.invoke(user, ValidationCC, "checkTransaction", metaJSON, meta.DataHash); err != nil {
+		t.Fatalf("valid metadata rejected: %v", err)
+	}
+
+	corrupt := func(mutate func(*detect.MetadataRecord)) string {
+		var m detect.MetadataRecord
+		if err := json.Unmarshal([]byte(metaJSON), &m); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&m)
+		b, _ := json.Marshal(m)
+		return string(b)
+	}
+	cases := []struct {
+		name string
+		json string
+		hash string
+	}{
+		{"not json", "{", meta.DataHash},
+		{"missing frame id", corrupt(func(m *detect.MetadataRecord) { m.FrameID = "" }), meta.DataHash},
+		{"bad platform", corrupt(func(m *detect.MetadataRecord) { m.Platform = "satellite" }), meta.DataHash},
+		{"no detections", corrupt(func(m *detect.MetadataRecord) { m.Detections = nil }), meta.DataHash},
+		{"confidence > 1", corrupt(func(m *detect.MetadataRecord) { m.Detections[0].Confidence = 1.5 }), meta.DataHash},
+		{"bad bbox", corrupt(func(m *detect.MetadataRecord) { m.Detections[0].BoundingBox.X2 = -1 }), meta.DataHash},
+		{"bad latitude", corrupt(func(m *detect.MetadataRecord) { m.Location.Latitude = 123 }), meta.DataHash},
+		{"short hash", corrupt(func(m *detect.MetadataRecord) { m.DataHash = "abcd" }), meta.DataHash},
+		{"non-hex hash", corrupt(func(m *detect.MetadataRecord) { m.DataHash = strings.Repeat("z", 64) }), meta.DataHash},
+		{"hash mismatch", metaJSON, strings.Repeat("0", 64)},
+		{"zero size", corrupt(func(m *detect.MetadataRecord) { m.SizeBytes = 0 }), meta.DataHash},
+	}
+	for _, c := range cases {
+		if _, err := w.invoke(user, ValidationCC, "checkTransaction", c.json, c.hash); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestAddDataAndRetrieval(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	cam := w.user(admin, "city", "cam9", true)
+	meta, metaJSON := sampleMeta(t, 41)
+
+	out, err := w.invoke(cam, DataCC, "addData", "bafycid123", metaJSON)
+	if err != nil {
+		t.Fatalf("addData: %v", err)
+	}
+	if string(out) != "bafycid123" {
+		t.Fatalf("addData returned %q", out)
+	}
+	// Find the record by source index.
+	recsRaw, err := w.invoke(cam, DataCC, "queryBySource", cam.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []DataRecord
+	if err := json.Unmarshal(recsRaw, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("source query = %d records", len(recs))
+	}
+	rec := recs[0]
+	if rec.CID != "bafycid123" || rec.Source != cam.ID() || rec.DataHash != meta.DataHash || rec.Seq != 1 {
+		t.Fatalf("record = %+v", rec)
+	}
+	// Point lookup by tx id.
+	got, err := w.invoke(cam, DataCC, "getData", rec.TxID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again DataRecord
+	_ = json.Unmarshal(got, &again)
+	if again.TxID != rec.TxID {
+		t.Fatal("getData mismatch")
+	}
+	// Label and camera indexes resolve the same record.
+	byLabel, err := w.invoke(cam, DataCC, "queryByLabel", meta.PrimaryLabel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labelRecs []DataRecord
+	_ = json.Unmarshal(byLabel, &labelRecs)
+	if len(labelRecs) != 1 {
+		t.Fatalf("label query = %d", len(labelRecs))
+	}
+	byCam, err := w.invoke(cam, DataCC, "queryByCamera", meta.CameraID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var camRecs []DataRecord
+	_ = json.Unmarshal(byCam, &camRecs)
+	if len(camRecs) != 1 {
+		t.Fatalf("camera query = %d", len(camRecs))
+	}
+	// Unknown tx id errors with the paper's message shape.
+	if _, err := w.invoke(cam, DataCC, "getData", "nope"); err == nil || !strings.Contains(err.Error(), "No metadata found") {
+		t.Fatalf("getData(nope) = %v", err)
+	}
+}
+
+func TestAddDataRejectsUnregistered(t *testing.T) {
+	w := newWorld(t)
+	w.admin()
+	rogue, _ := msp.NewSigner("x", "rogue", msp.RoleUntrustedSource)
+	_, metaJSON := sampleMeta(t, 51)
+	if _, err := w.invoke(rogue.Identity, DataCC, "addData", "cid", metaJSON); err == nil {
+		t.Fatal("unregistered source stored data")
+	}
+}
+
+func TestProvenanceChainLinks(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	cam := w.user(admin, "city", "chain-cam", true)
+	var lastTx string
+	for i := 0; i < 3; i++ {
+		_, metaJSON := sampleMeta(t, int64(60+i))
+		if _, err := w.invoke(cam, DataCC, "addData", "cid", metaJSON); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recsRaw, _ := w.invoke(cam, DataCC, "queryBySource", cam.ID())
+	var recs []DataRecord
+	_ = json.Unmarshal(recsRaw, &recs)
+	if len(recs) != 3 {
+		t.Fatalf("stored %d", len(recs))
+	}
+	for _, r := range recs {
+		if r.Seq == 3 {
+			lastTx = r.TxID
+		}
+	}
+	chainRaw, err := w.invoke(cam, DataCC, "getProvenance", lastTx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chain []DataRecord
+	if err := json.Unmarshal(chainRaw, &chain); err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 {
+		t.Fatalf("chain length %d", len(chain))
+	}
+	if chain[0].Seq != 3 || chain[2].Seq != 1 || chain[2].PrevTxID != "" {
+		t.Fatalf("chain = %+v", chain)
+	}
+}
+
+func TestTrustObserveAndGate(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	crowd := w.user(admin, "crowd", "noisy", false)
+
+	// Defaults present without init.
+	out, err := w.invoke(admin, TrustCC, "getTrust", crowd.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := trust.UnmarshalState(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Score != trust.DefaultParams().InitialScore {
+		t.Fatalf("initial score %f", st.Score)
+	}
+	// Drive the score down.
+	for i := 0; i < 15; i++ {
+		if _, err := w.invoke(admin, TrustCC, "observe", crowd.ID(), "0", "0.0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, _ = w.invoke(admin, TrustCC, "isTrusted", crowd.ID())
+	if string(out) != "false" {
+		t.Fatal("dishonest source still trusted")
+	}
+	// The validation contract enforces the gate for untrusted users.
+	meta, metaJSON := sampleMeta(t, 71)
+	if _, err := w.invoke(crowd, ValidationCC, "checkTransaction", metaJSON, meta.DataHash); err == nil {
+		t.Fatal("gated source validated")
+	}
+	// Scores listing includes the source.
+	out, _ = w.invoke(admin, TrustCC, "listScores")
+	var scores []trust.State
+	_ = json.Unmarshal(out, &scores)
+	if len(scores) != 1 || scores[0].SourceID != crowd.ID() {
+		t.Fatalf("scores = %+v", scores)
+	}
+}
+
+func TestTrustInitParams(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	params := trust.Params{InitialScore: 0.9, HistoryWeight: 0.5, CrossWeight: 0.1, MinTrusted: 0.2, FlagThreshold: 0.05}
+	raw, _ := json.Marshal(params)
+	if _, err := w.invoke(admin, TrustCC, "initParams", string(raw)); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := w.invoke(admin, TrustCC, "getTrust", "someone/new")
+	st, _ := trust.UnmarshalState(out)
+	if st.Score != 0.9 {
+		t.Fatalf("custom initial score not applied: %f", st.Score)
+	}
+}
+
+func TestCrossValidationFeedsFromTrustedRefs(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	cam := w.user(admin, "city", "ref-cam", true)
+	crowd := w.user(admin, "crowd", "alice", false)
+
+	// A trusted camera submits an observation.
+	meta, metaJSON := sampleMeta(t, 81)
+	if _, err := w.invoke(cam, DataCC, "addData", "cid-cam", metaJSON); err != nil {
+		t.Fatal(err)
+	}
+	// The crowd source reports the same scene: high cross validation.
+	var crowdMeta detect.MetadataRecord
+	_ = json.Unmarshal([]byte(metaJSON), &crowdMeta)
+	crowdMeta.CameraID = "mobile-1"
+	crowdMeta.FrameID = "mobile-1/frame-00001"
+	b, _ := json.Marshal(crowdMeta)
+	if _, err := w.invoke(crowd, DataCC, "addData", "cid-crowd", string(b)); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := w.invoke(admin, TrustCC, "getTrust", crowd.ID())
+	st, _ := trust.UnmarshalState(out)
+	if st.Submissions != 1 || st.Accepted != 1 {
+		t.Fatalf("trust state %+v", st)
+	}
+	// Cross EWMA must have moved toward 1 (agreeing with the trusted ref),
+	// i.e. above the no-corroboration baseline.
+	if st.Cross <= 0.5 {
+		t.Fatalf("cross validation did not credit agreement: %f", st.Cross)
+	}
+	_ = meta
+}
+
+func TestQuerySelectorOverRecords(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	cam := w.user(admin, "city", "sel-cam", true)
+	for i := 0; i < 3; i++ {
+		_, metaJSON := sampleMeta(t, int64(90+i))
+		if _, err := w.invoke(cam, DataCC, "addData", "cid", metaJSON); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sel, _ := json.Marshal(map[string]any{"source": cam.ID()})
+	out, err := w.invoke(cam, DataCC, "querySelector", string(sel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []DataRecord
+	if err := json.Unmarshal(out, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("selector matched %d", len(recs))
+	}
+	// count agrees.
+	out, _ = w.invoke(cam, DataCC, "count")
+	if string(out) != "3" {
+		t.Fatalf("count = %s", out)
+	}
+}
+
+func TestGetHistoryThroughContract(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	cam := w.user(admin, "city", "hist-cam", true)
+	_, metaJSON := sampleMeta(t, 99)
+	if _, err := w.invoke(cam, DataCC, "addData", "cid", metaJSON); err != nil {
+		t.Fatal(err)
+	}
+	recsRaw, _ := w.invoke(cam, DataCC, "queryBySource", cam.ID())
+	var recs []DataRecord
+	_ = json.Unmarshal(recsRaw, &recs)
+	out, err := w.invoke(cam, DataCC, "getHistory", recs[0].TxID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []statedb.HistEntry
+	if err := json.Unmarshal(out, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 {
+		t.Fatalf("history = %d entries", len(hist))
+	}
+}
+
+func TestUnknownFunctions(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	for _, cc := range []string{AdminCC, UsersCC, TrustCC, DataCC, ValidationCC} {
+		if _, err := w.invoke(admin, cc, "noSuchFunction"); err == nil {
+			t.Errorf("%s accepted unknown function", cc)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package contracts
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"socialchain/internal/chaincode"
+	"socialchain/internal/detect"
+	"socialchain/internal/statedb"
+	"socialchain/internal/trust"
+)
+
+// Data is the Data Upload / Data Retrieval chaincode: it records the IPFS
+// CID and extracted metadata on-chain (the paper's addDataToIPFS /
+// getDataFromIPFS pair), maintains secondary indexes for conditional
+// queries, links records into per-source provenance chains, and feeds the
+// trust engine with validation outcomes and cross-validation scores.
+type Data struct{}
+
+// Name implements chaincode.Chaincode.
+func (Data) Name() string { return DataCC }
+
+// Invoke implements chaincode.Chaincode.
+func (Data) Invoke(stub chaincode.Stub, fn string, args [][]byte) ([]byte, error) {
+	switch fn {
+	case "addData":
+		return addData(stub, args)
+	case "getData":
+		return getData(stub, args)
+	case "queryByLabel":
+		return queryByIndex(stub, idxLabel, args)
+	case "queryBySource":
+		return queryByIndex(stub, idxSource, args)
+	case "queryByCamera":
+		return queryByIndex(stub, idxCamera, args)
+	case "querySelector":
+		return querySelector(stub, args)
+	case "getProvenance":
+		return getProvenance(stub, args)
+	case "getHistory":
+		return getHistory(stub, args)
+	case "count":
+		return countRecords(stub)
+	default:
+		return nil, fmt.Errorf("data: unknown function %q", fn)
+	}
+}
+
+// addData stores a validated record: args are (cid, metadataJSON). The
+// payload itself is already in IPFS; only the CID and metadata go on-chain.
+func addData(stub chaincode.Stub, args [][]byte) ([]byte, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("data: addData expects cid and metadata JSON")
+	}
+	cidStr := string(args[0])
+	metadataJSON := args[1]
+	if cidStr == "" {
+		return nil, fmt.Errorf("data: empty cid")
+	}
+	var meta detect.MetadataRecord
+	if err := json.Unmarshal(metadataJSON, &meta); err != nil {
+		return nil, fmt.Errorf("data: bad metadata: %w", err)
+	}
+
+	// Run the validation chaincode inside this transaction so every
+	// endorser re-checks source authentication and schema (§III-A).
+	if _, err := stub.InvokeChaincode(ValidationCC, "validateTransaction",
+		[][]byte{metadataJSON, []byte(meta.DataHash)}); err != nil {
+		return nil, err
+	}
+
+	txID := stub.GetTxID()
+	source := stub.GetCreator().ID()
+
+	if existing, err := stub.GetState(recKeyPrefix + txID); err != nil {
+		return nil, err
+	} else if existing != nil {
+		return nil, fmt.Errorf("data: record %s already exists", txID)
+	}
+
+	// Provenance: link to this source's previous record.
+	prevTxID := ""
+	seq := 1
+	headRaw, err := stub.GetState(headKeyPrefix + source)
+	if err != nil {
+		return nil, err
+	}
+	if headRaw != nil {
+		var head struct {
+			TxID string `json:"tx_id"`
+			Seq  int    `json:"seq"`
+		}
+		if err := json.Unmarshal(headRaw, &head); err != nil {
+			return nil, fmt.Errorf("data: corrupt head for %s: %w", source, err)
+		}
+		prevTxID = head.TxID
+		seq = head.Seq + 1
+	}
+
+	userRaw, err := stub.InvokeChaincode(UsersCC, "getUser", [][]byte{[]byte(source)})
+	if err != nil {
+		return nil, err
+	}
+	var user UserRecord
+	if err := json.Unmarshal(userRaw, &user); err != nil {
+		return nil, err
+	}
+
+	rec := DataRecord{
+		TxID:       txID,
+		CID:        cidStr,
+		Source:     source,
+		SourceRole: user.Role,
+		Metadata:   metadataJSON,
+		DataHash:   meta.DataHash,
+		SizeBytes:  meta.SizeBytes,
+		Submitted:  stub.GetTxTimestamp(),
+		PrevTxID:   prevTxID,
+		Seq:        seq,
+	}
+	recJSON, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	if err := stub.PutState(recKeyPrefix+txID, recJSON); err != nil {
+		return nil, err
+	}
+	headJSON, err := json.Marshal(map[string]any{"tx_id": txID, "seq": seq})
+	if err != nil {
+		return nil, err
+	}
+	if err := stub.PutState(headKeyPrefix+source, headJSON); err != nil {
+		return nil, err
+	}
+
+	// Secondary indexes for conditional retrieval.
+	label := meta.PrimaryLabel()
+	for _, idx := range []struct{ objType, attr string }{
+		{idxLabel, label},
+		{idxSource, source},
+		{idxCamera, meta.CameraID},
+	} {
+		if idx.attr == "" {
+			continue
+		}
+		key, err := stub.CreateCompositeKey(idx.objType, []string{idx.attr, txID})
+		if err != nil {
+			return nil, err
+		}
+		if err := stub.PutState(key, []byte{0}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Cross-validation and trust feedback.
+	cv := 0.5
+	refs, err := loadTrustedRefs(stub)
+	if err != nil {
+		return nil, err
+	}
+	candidate := trust.Comparable{
+		Label:     label,
+		Latitude:  meta.Location.Latitude,
+		Longitude: meta.Location.Longitude,
+		At:        meta.CapturedAt,
+	}
+	if user.Trusted {
+		// Trusted observations join the reference ring for future
+		// cross-validation of crowd-sourced data.
+		refs = append(refs, TrustedRef{
+			Label:     label,
+			Latitude:  meta.Location.Latitude,
+			Longitude: meta.Location.Longitude,
+			At:        meta.CapturedAt,
+			Source:    source,
+		})
+		if len(refs) > maxTrustedRefs {
+			refs = refs[len(refs)-maxTrustedRefs:]
+		}
+		if err := storeTrustedRefs(stub, refs); err != nil {
+			return nil, err
+		}
+	} else {
+		comparables := make([]trust.Comparable, len(refs))
+		for i, r := range refs {
+			comparables[i] = trust.Comparable{Label: r.Label, Latitude: r.Latitude, Longitude: r.Longitude, At: r.At}
+		}
+		cv = trust.CrossValidate(candidate, comparables)
+	}
+	cvStr := strconv.FormatFloat(cv, 'f', 6, 64)
+	if _, err := stub.InvokeChaincode(TrustCC, "observe",
+		[][]byte{[]byte(source), []byte("1"), []byte(cvStr)}); err != nil {
+		return nil, err
+	}
+
+	if err := stub.SetEvent("data.added", []byte(txID)); err != nil {
+		return nil, err
+	}
+	return []byte(cidStr), nil
+}
+
+func loadTrustedRefs(stub chaincode.Stub) ([]TrustedRef, error) {
+	raw, err := stub.GetState(refsKey)
+	if err != nil {
+		return nil, err
+	}
+	if raw == nil {
+		return nil, nil
+	}
+	var refs []TrustedRef
+	if err := json.Unmarshal(raw, &refs); err != nil {
+		return nil, fmt.Errorf("data: corrupt trusted refs: %w", err)
+	}
+	return refs, nil
+}
+
+func storeTrustedRefs(stub chaincode.Stub, refs []TrustedRef) error {
+	b, err := json.Marshal(refs)
+	if err != nil {
+		return err
+	}
+	return stub.PutState(refsKey, b)
+}
+
+// getData returns the on-chain record for a transaction ID — the paper's
+// getDataFromIPFS metadata lookup (the raw bytes come from IPFS via the
+// query engine).
+func getData(stub chaincode.Stub, args [][]byte) ([]byte, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("data: getData expects txId")
+	}
+	rec, err := stub.GetState(recKeyPrefix + string(args[0]))
+	if err != nil {
+		return nil, err
+	}
+	if rec == nil {
+		return nil, fmt.Errorf("data: No metadata found for transaction ID %s", args[0])
+	}
+	return rec, nil
+}
+
+// queryByIndex resolves a composite index into full records.
+func queryByIndex(stub chaincode.Stub, objType string, args [][]byte) ([]byte, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("data: index query expects one attribute")
+	}
+	kvs, err := stub.GetStateByPartialCompositeKey(objType, []string{string(args[0])})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]json.RawMessage, 0, len(kvs))
+	for _, kv := range kvs {
+		_, attrs, err := stub.SplitCompositeKey(kv.Key)
+		if err != nil || len(attrs) != 2 {
+			continue
+		}
+		rec, err := stub.GetState(recKeyPrefix + attrs[1])
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil {
+			out = append(out, rec)
+		}
+	}
+	return json.Marshal(out)
+}
+
+// querySelector runs a CouchDB-style rich query over the data namespace.
+func querySelector(stub chaincode.Stub, args [][]byte) ([]byte, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("data: querySelector expects selector JSON")
+	}
+	var sel statedb.Selector
+	if err := json.Unmarshal(args[0], &sel); err != nil {
+		return nil, fmt.Errorf("data: bad selector: %w", err)
+	}
+	kvs, err := stub.GetQueryResult(sel)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]json.RawMessage, 0, len(kvs))
+	for _, kv := range kvs {
+		if len(kv.Key) > len(recKeyPrefix) && kv.Key[:len(recKeyPrefix)] == recKeyPrefix {
+			out = append(out, append(json.RawMessage(nil), kv.Value...))
+		}
+	}
+	return json.Marshal(out)
+}
+
+// getProvenance walks a record's per-source chain back to its origin,
+// returning records newest-first.
+func getProvenance(stub chaincode.Stub, args [][]byte) ([]byte, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("data: getProvenance expects txId")
+	}
+	var chain []json.RawMessage
+	txID := string(args[0])
+	for txID != "" {
+		raw, err := stub.GetState(recKeyPrefix + txID)
+		if err != nil {
+			return nil, err
+		}
+		if raw == nil {
+			return nil, fmt.Errorf("data: provenance chain broken at %s", txID)
+		}
+		chain = append(chain, append(json.RawMessage(nil), raw...))
+		var rec DataRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, err
+		}
+		txID = rec.PrevTxID
+	}
+	return json.Marshal(chain)
+}
+
+// getHistory returns the committed update history of a record key.
+func getHistory(stub chaincode.Stub, args [][]byte) ([]byte, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("data: getHistory expects txId")
+	}
+	hist, err := stub.GetHistoryForKey(recKeyPrefix + string(args[0]))
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(hist)
+}
+
+func countRecords(stub chaincode.Stub) ([]byte, error) {
+	kvs, err := stub.GetStateByRange(recKeyPrefix, recKeyPrefix+"\xff")
+	if err != nil {
+		return nil, err
+	}
+	return []byte(strconv.Itoa(len(kvs))), nil
+}
+
+// All returns every deployed framework chaincode, in deployment order.
+func All() []chaincode.Chaincode {
+	return []chaincode.Chaincode{Admin{}, Users{}, Trust{}, Validation{}, Data{}}
+}

@@ -1,0 +1,390 @@
+// Package core assembles the paper's framework: a permissioned blockchain
+// (fabric) holding metadata, CIDs, trust scores and provenance, an IPFS
+// cluster holding raw payloads, and the client pipelines of Figure 1 —
+// store (validate, upload to IPFS, log metadata on-chain) and retrieve
+// (metadata from the chain, payload from IPFS, integrity verification).
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"socialchain/internal/contracts"
+	"socialchain/internal/detect"
+	"socialchain/internal/fabric"
+	"socialchain/internal/ipfs"
+	"socialchain/internal/ledger"
+	"socialchain/internal/msp"
+	"socialchain/internal/query"
+	"socialchain/internal/sim"
+	"socialchain/internal/trust"
+)
+
+// Config assembles a framework instance.
+type Config struct {
+	// Fabric configures the blockchain network (peer count, latency,
+	// byzantine behaviours, batching).
+	Fabric fabric.Config
+	// IPFSNodes sizes the off-chain cluster (default 2, as in §IV).
+	IPFSNodes int
+	// IPFSOptions configure chunking/DAG construction.
+	IPFSOptions ipfs.Options
+	// IPFSLatency models the off-chain network (nil = zero).
+	IPFSLatency sim.LatencyModel
+	// TrustParams tune the trust engine (zero value = defaults).
+	TrustParams trust.Params
+	// EnableAnomalyDetection turns on the client-side anomaly detectors
+	// (duplicate payloads, bursts, confidence outliers, teleports) — the
+	// paper's future-work trust extension. Submissions whose anomaly
+	// penalty reaches AnomalyRejectThreshold are rejected and reported.
+	EnableAnomalyDetection bool
+	// AnomalyRejectThreshold defaults to 0.6.
+	AnomalyRejectThreshold float64
+	// AdminID names the bootstrap administrator (default "gov/admin").
+	AdminOrg  string
+	AdminName string
+}
+
+func (c *Config) fill() {
+	if c.IPFSNodes <= 0 {
+		c.IPFSNodes = 2
+	}
+	if c.AdminOrg == "" {
+		c.AdminOrg = "gov"
+	}
+	if c.AdminName == "" {
+		c.AdminName = "admin"
+	}
+	if c.TrustParams == (trust.Params{}) {
+		c.TrustParams = trust.DefaultParams()
+	}
+	if c.AnomalyRejectThreshold <= 0 {
+		c.AnomalyRejectThreshold = 0.6
+	}
+}
+
+// Framework is a running instance of the paper's system.
+type Framework struct {
+	cfg     Config
+	Net     *fabric.Network
+	Cluster *ipfs.Cluster
+	Admin   *msp.Signer
+
+	adminGW *fabric.Gateway
+
+	anomalyMu sync.Mutex
+	anomaly   map[string]*trust.AnomalyDetector
+}
+
+// New builds and starts a framework: blockchain network with the five
+// chaincodes deployed, IPFS cluster, enrolled bootstrap admin and
+// initialised trust parameters.
+func New(cfg Config) (*Framework, error) {
+	cfg.fill()
+	net, err := fabric.NewNetwork(cfg.Fabric)
+	if err != nil {
+		return nil, fmt.Errorf("core: fabric: %w", err)
+	}
+	for _, cc := range contracts.All() {
+		if err := net.Deploy(cc); err != nil {
+			return nil, fmt.Errorf("core: deploy %s: %w", cc.Name(), err)
+		}
+	}
+	cluster, err := ipfs.NewCluster(ipfs.ClusterConfig{
+		Nodes:       cfg.IPFSNodes,
+		Latency:     cfg.IPFSLatency,
+		NodeOptions: cfg.IPFSOptions,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: ipfs: %w", err)
+	}
+	admin, err := msp.NewSigner(cfg.AdminOrg, cfg.AdminName, msp.RoleAdmin)
+	if err != nil {
+		return nil, fmt.Errorf("core: admin signer: %w", err)
+	}
+	fw := &Framework{
+		cfg:     cfg,
+		Net:     net,
+		Cluster: cluster,
+		Admin:   admin,
+		anomaly: make(map[string]*trust.AnomalyDetector),
+	}
+	net.Start()
+	fw.adminGW = net.Gateway(admin)
+
+	// Bootstrap: enroll the admin and install trust parameters.
+	if res, err := fw.adminGW.Submit(contracts.AdminCC, "enrollAdmin", []byte(admin.Identity.ID())); err != nil {
+		net.Stop()
+		return nil, fmt.Errorf("core: enroll admin: %w", err)
+	} else if res.Err() != nil {
+		net.Stop()
+		return nil, fmt.Errorf("core: enroll admin: %w", res.Err())
+	}
+	params, err := json.Marshal(cfg.TrustParams)
+	if err != nil {
+		net.Stop()
+		return nil, err
+	}
+	if res, err := fw.adminGW.Submit(contracts.TrustCC, "initParams", params); err != nil {
+		net.Stop()
+		return nil, fmt.Errorf("core: init trust params: %w", err)
+	} else if res.Err() != nil {
+		net.Stop()
+		return nil, fmt.Errorf("core: init trust params: %w", res.Err())
+	}
+	return fw, nil
+}
+
+// Close shuts the framework down.
+func (f *Framework) Close() { f.Net.Stop() }
+
+// AdminGateway returns the bootstrap admin's gateway.
+func (f *Framework) AdminGateway() *fabric.Gateway { return f.adminGW }
+
+// RegisterSource registers a data source on-chain. Trusted sources (traffic
+// cameras, drones) bypass the trust gate; untrusted sources (mobile users,
+// social media) are scored.
+func (f *Framework) RegisterSource(id msp.Identity, trusted bool) error {
+	role := "untrusted-source"
+	if trusted {
+		role = "trusted-source"
+	}
+	rec := contracts.UserRecord{
+		UserID: id.ID(),
+		Role:   role,
+		PubKey: id.PubKey,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	res, err := f.adminGW.Submit(contracts.UsersCC, "registerUser", b)
+	if err != nil {
+		return fmt.Errorf("core: register %s: %w", id.ID(), err)
+	}
+	return res.Err()
+}
+
+// EnrollAdmin enrolls an additional administrator.
+func (f *Framework) EnrollAdmin(adminID string) error {
+	res, err := f.adminGW.Submit(contracts.AdminCC, "enrollAdmin", []byte(adminID))
+	if err != nil {
+		return err
+	}
+	return res.Err()
+}
+
+// TrustScore reads a source's current on-chain trust state.
+func (f *Framework) TrustScore(sourceID string) (trust.State, error) {
+	raw, err := f.adminGW.Evaluate(contracts.TrustCC, "getTrust", []byte(sourceID))
+	if err != nil {
+		return trust.State{}, err
+	}
+	return trust.UnmarshalState(raw)
+}
+
+// QueryEngine returns a query engine bound to the admin gateway and the
+// given IPFS node (0 <= node < cluster size).
+func (f *Framework) QueryEngine(node int) *query.Engine {
+	return query.NewEngine(f.adminGW, f.Cluster.Node(node))
+}
+
+// Client binds a source identity to the framework: it talks to the
+// blockchain through its own gateway and to a designated IPFS node.
+type Client struct {
+	fw     *Framework
+	signer *msp.Signer
+	gw     *fabric.Gateway
+	store  *ipfs.Node
+	qe     *query.Engine
+}
+
+// Client creates a client for a registered source, attached to IPFS node i.
+func (f *Framework) Client(signer *msp.Signer, ipfsNode int) *Client {
+	gw := f.Net.Gateway(signer)
+	store := f.Cluster.Node(ipfsNode)
+	return &Client{fw: f, signer: signer, gw: gw, store: store, qe: query.NewEngine(gw, store)}
+}
+
+// Identity returns the client's identity.
+func (c *Client) Identity() msp.Identity { return c.signer.Identity }
+
+// StoreTiming splits the store pipeline's latency, the quantities Figure 5
+// plots (IPFS alone vs. blockchain overhead).
+type StoreTiming struct {
+	Validate   time.Duration
+	IPFS       time.Duration
+	Blockchain time.Duration
+}
+
+// Total returns the end-to-end store latency.
+func (t StoreTiming) Total() time.Duration { return t.Validate + t.IPFS + t.Blockchain }
+
+// StoreReceipt reports a successful store.
+type StoreReceipt struct {
+	TxID     string
+	CID      string
+	BlockNum uint64
+	Size     int
+	Timing   StoreTiming
+}
+
+// ErrValidationFailed wraps client-side validation rejections.
+var ErrValidationFailed = errors.New("core: validation failed")
+
+// StoreData runs the paper's store pipeline (Figure 1, steps 1-7) for a
+// payload and its extracted metadata:
+//
+//  1. The source's signature over the payload is verified;
+//  2. the validation chaincode pre-checks source authentication and schema
+//     (read-only, so a rejection costs no IPFS storage);
+//  3. the payload is added to IPFS (chunked, hashed, provided);
+//  4. the CID + metadata are committed on-chain through BFT consensus,
+//     re-validating on every endorser and updating the trust score.
+//
+// A validation failure is reported to the trust chaincode so the source's
+// historical reliability reflects it.
+func (c *Client) StoreData(signed msp.SignedMessage, meta detect.MetadataRecord) (*StoreReceipt, error) {
+	var timing StoreTiming
+
+	if !signed.Verify() {
+		return nil, fmt.Errorf("%w: bad payload signature", ErrValidationFailed)
+	}
+	if signed.Creator.ID() != c.signer.Identity.ID() {
+		return nil, fmt.Errorf("%w: payload signed by %s, client is %s", ErrValidationFailed, signed.Creator.ID(), c.signer.Identity.ID())
+	}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return nil, err
+	}
+
+	// Client-side pre-validation via the read-only chaincode path. The
+	// payload hash is recomputed here so a metadata record whose data_hash
+	// does not match the actual payload is rejected before touching IPFS.
+	sum := sha256.Sum256(signed.Payload)
+	actualHash := hex.EncodeToString(sum[:])
+	start := time.Now()
+	if anomalies := c.fw.observeAnomalies(c.signer.Identity.ID(), meta, actualHash); len(anomalies) > 0 {
+		if trust.PenaltyOf(anomalies) >= c.fw.cfg.AnomalyRejectThreshold {
+			timing.Validate = time.Since(start)
+			c.fw.reportViolation(c.signer.Identity.ID())
+			trust.SortAnomalies(anomalies)
+			return nil, fmt.Errorf("%w: anomaly detected: %s (%s)", ErrValidationFailed, anomalies[0].Kind, anomalies[0].Detail)
+		}
+	}
+	_, verr := c.gw.Evaluate(contracts.ValidationCC, "checkTransaction", metaJSON, []byte(actualHash))
+	timing.Validate = time.Since(start)
+	if verr != nil {
+		// Report the failed submission so the trust score drops; the
+		// framework (admin) files the report, not the offender.
+		c.fw.reportViolation(c.signer.Identity.ID())
+		return nil, fmt.Errorf("%w: %v", ErrValidationFailed, verr)
+	}
+
+	// Off-chain storage.
+	start = time.Now()
+	root, err := c.store.Add(signed.Payload)
+	timing.IPFS = time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("core: ipfs add: %w", err)
+	}
+
+	// On-chain metadata + CID.
+	start = time.Now()
+	res, err := c.gw.Submit(contracts.DataCC, "addData", []byte(root.String()), metaJSON)
+	timing.Blockchain = time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("core: addData: %w", err)
+	}
+	if res.Err() != nil {
+		return nil, res.Err()
+	}
+	return &StoreReceipt{
+		TxID:     res.TxID,
+		CID:      root.String(),
+		BlockNum: res.BlockNum,
+		Size:     len(signed.Payload),
+		Timing:   timing,
+	}, nil
+}
+
+// StoreFrame extracts nothing: the caller provides the frame and its
+// already-extracted metadata record; this signs the payload and stores it.
+func (c *Client) StoreFrame(frame *detect.Frame, meta detect.MetadataRecord) (*StoreReceipt, error) {
+	signed := msp.NewSignedMessage(c.signer, frame.Data)
+	return c.StoreData(signed, meta)
+}
+
+// RetrieveResult reports a verified retrieval.
+type RetrieveResult struct {
+	Record   contracts.DataRecord
+	Payload  []byte
+	Verified bool
+	Timing   query.Timing
+}
+
+// RetrieveData runs the retrieve pipeline (Figure 1, steps A-D): metadata
+// from the blockchain, payload from IPFS by CID, hash verification.
+func (c *Client) RetrieveData(txID string) (*RetrieveResult, error) {
+	res, err := c.qe.Data(txID)
+	if err != nil {
+		return nil, err
+	}
+	return &RetrieveResult{
+		Record:   res.Records[0],
+		Payload:  res.Payload,
+		Verified: res.Verified,
+		Timing:   res.Timing,
+	}, nil
+}
+
+// Query exposes the client's query engine for conditional retrieval.
+func (c *Client) Query() *query.Engine { return c.qe }
+
+// reportViolation files a failed-validation observation against a source.
+func (f *Framework) reportViolation(sourceID string) {
+	// Best effort: a scoring hiccup must not mask the original error.
+	_, _ = f.adminGW.Submit(contracts.TrustCC, "observe",
+		[]byte(sourceID), []byte("0"), []byte(strconv.FormatFloat(0, 'f', 1, 64)))
+}
+
+// observeAnomalies runs the optional anomaly detectors over a submission.
+// Returns nil when detection is disabled.
+func (f *Framework) observeAnomalies(sourceID string, meta detect.MetadataRecord, payloadHash string) []trust.Anomaly {
+	if !f.cfg.EnableAnomalyDetection {
+		return nil
+	}
+	confidence := 0.0
+	if len(meta.Detections) > 0 {
+		confidence = meta.Detections[0].Confidence
+	}
+	sub := trust.Submission{
+		At:         meta.CapturedAt,
+		Label:      meta.PrimaryLabel(),
+		Confidence: confidence,
+		Latitude:   meta.Location.Latitude,
+		Longitude:  meta.Location.Longitude,
+		DataHash:   payloadHash,
+		SizeBytes:  meta.SizeBytes,
+	}
+	f.anomalyMu.Lock()
+	defer f.anomalyMu.Unlock()
+	det, ok := f.anomaly[sourceID]
+	if !ok {
+		det = trust.NewAnomalyDetector(trust.AnomalyDetectorConfig{})
+		f.anomaly[sourceID] = det
+	}
+	return det.Observe(sub)
+}
+
+// LedgerStats aggregates chain statistics across peers (they agree when
+// the network is healthy).
+func (f *Framework) LedgerStats() ledger.Stats {
+	return f.Net.Peer(0).Ledger().Stats()
+}

@@ -1,0 +1,159 @@
+// Package dag implements the Merkle DAG layer of the off-chain store: nodes
+// with links addressed by CID, a deterministic binary codec so hashing is
+// stable, and a balanced file builder equivalent to the UnixFS importer.
+package dag
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"socialchain/internal/cid"
+)
+
+// Link points from a node to a child by CID, carrying the cumulative size
+// of the subtree for traversal planning.
+type Link struct {
+	Name string
+	Size uint64 // total payload bytes reachable through this link
+	Cid  cid.Cid
+}
+
+// Node is a Merkle DAG node: optional inline data plus ordered links.
+// Leaves carry data and no links; interior nodes carry links and no data.
+type Node struct {
+	Data  []byte
+	Links []Link
+}
+
+// maxField bounds decoded field lengths to guard against corrupt input.
+const maxField = 64 << 20
+
+// Encode serialises the node deterministically:
+//
+//	uvarint(len(data)) data
+//	uvarint(numLinks) { uvarint(len(name)) name uvarint(size) uvarint(len(cid)) cidBytes }*
+func (n *Node) Encode() []byte {
+	size := binary.MaxVarintLen64 + len(n.Data) + binary.MaxVarintLen64
+	for _, l := range n.Links {
+		size += 3*binary.MaxVarintLen64 + len(l.Name) + len(l.Cid.Bytes())
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(n.Data)))
+	buf = append(buf, n.Data...)
+	buf = binary.AppendUvarint(buf, uint64(len(n.Links)))
+	for _, l := range n.Links {
+		buf = binary.AppendUvarint(buf, uint64(len(l.Name)))
+		buf = append(buf, l.Name...)
+		buf = binary.AppendUvarint(buf, l.Size)
+		cb := l.Cid.Bytes()
+		buf = binary.AppendUvarint(buf, uint64(len(cb)))
+		buf = append(buf, cb...)
+	}
+	return buf
+}
+
+// Decode parses a node encoded with Encode.
+func Decode(b []byte) (*Node, error) {
+	r := reader{b: b}
+	dataLen, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("dag: decode data length: %w", err)
+	}
+	if dataLen > maxField {
+		return nil, errors.New("dag: data field too large")
+	}
+	data, err := r.take(int(dataLen))
+	if err != nil {
+		return nil, fmt.Errorf("dag: decode data: %w", err)
+	}
+	numLinks, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("dag: decode link count: %w", err)
+	}
+	if numLinks > maxField {
+		return nil, errors.New("dag: link count too large")
+	}
+	n := &Node{}
+	if dataLen > 0 {
+		n.Data = append([]byte(nil), data...)
+	}
+	for i := uint64(0); i < numLinks; i++ {
+		nameLen, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("dag: link %d name length: %w", i, err)
+		}
+		name, err := r.take(int(nameLen))
+		if err != nil {
+			return nil, fmt.Errorf("dag: link %d name: %w", i, err)
+		}
+		sz, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("dag: link %d size: %w", i, err)
+		}
+		cidLen, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("dag: link %d cid length: %w", i, err)
+		}
+		cidBytes, err := r.take(int(cidLen))
+		if err != nil {
+			return nil, fmt.Errorf("dag: link %d cid: %w", i, err)
+		}
+		c, err := cid.Cast(cidBytes)
+		if err != nil {
+			return nil, fmt.Errorf("dag: link %d cid: %w", i, err)
+		}
+		n.Links = append(n.Links, Link{Name: string(name), Size: sz, Cid: c})
+	}
+	if r.remaining() != 0 {
+		return nil, errors.New("dag: trailing bytes after node")
+	}
+	return n, nil
+}
+
+// Cid returns the CID of the encoded node.
+func (n *Node) Cid() cid.Cid {
+	if len(n.Links) == 0 {
+		// Leaves are addressed as raw blocks so a single-chunk file's CID is
+		// just the hash of its bytes.
+		return cid.SumRaw(n.Data)
+	}
+	return cid.SumDagNode(n.Encode())
+}
+
+// TotalSize returns the number of payload bytes reachable from this node.
+func (n *Node) TotalSize() uint64 {
+	if len(n.Links) == 0 {
+		return uint64(len(n.Data))
+	}
+	var sum uint64
+	for _, l := range n.Links {
+		sum += l.Size
+	}
+	return sum
+}
+
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, errors.New("bad uvarint")
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, errors.New("truncated input")
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }

@@ -1,0 +1,214 @@
+// Package dataset generates the evaluation corpus: a stand-in for the
+// paper's 52 traffic videos from static cameras across Bangalore (sourced
+// from the India Urban Data Exchange) plus drone-captured footage. Frames
+// carry synthetic payloads whose size distribution, encodings and capture
+// conditions drive Figures 3-6. Generation is fully deterministic per seed.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"socialchain/internal/detect"
+	"socialchain/internal/sim"
+)
+
+// Bangalore city-centre anchor for camera placement.
+const (
+	bangaloreLat = 12.9716
+	bangaloreLon = 77.5946
+)
+
+// Config controls corpus generation.
+type Config struct {
+	// Seed fixes the corpus (default 1).
+	Seed int64
+	// NumVideos is the static-camera video count (default 52, as in §IV).
+	NumVideos int
+	// FramesPerVideo is the sampled frame count per video (default 20).
+	FramesPerVideo int
+	// NumDroneFlights is the drone corpus size (default 12 flights).
+	NumDroneFlights int
+	// FramesPerFlight is frames per drone flight (default 20).
+	FramesPerFlight int
+	// MeanFrameKB centres the payload size distribution (default 48 KiB).
+	MeanFrameKB float64
+	// Start anchors frame timestamps (default 2024-07-10T05:00:00Z, the
+	// capture day of the paper's Figure 2 sample).
+	Start time.Time
+}
+
+func (c *Config) fill() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NumVideos <= 0 {
+		c.NumVideos = 52
+	}
+	if c.FramesPerVideo <= 0 {
+		c.FramesPerVideo = 20
+	}
+	if c.NumDroneFlights <= 0 {
+		c.NumDroneFlights = 12
+	}
+	if c.FramesPerFlight <= 0 {
+		c.FramesPerFlight = 20
+	}
+	if c.MeanFrameKB <= 0 {
+		c.MeanFrameKB = 48
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2024, 7, 10, 5, 0, 0, 0, time.UTC)
+	}
+}
+
+// Camera is a capture source.
+type Camera struct {
+	ID       string
+	Platform detect.Platform
+	Location detect.GeoPoint
+}
+
+// Video is one recorded sequence.
+type Video struct {
+	ID     string
+	Camera Camera
+	Frames []detect.Frame
+}
+
+// Corpus is the full evaluation dataset.
+type Corpus struct {
+	Static []Video
+	Drone  []Video
+}
+
+// AllFrames returns every frame, static first.
+func (c *Corpus) AllFrames() []*detect.Frame {
+	var out []*detect.Frame
+	for i := range c.Static {
+		for j := range c.Static[i].Frames {
+			out = append(out, &c.Static[i].Frames[j])
+		}
+	}
+	for i := range c.Drone {
+		for j := range c.Drone[i].Frames {
+			out = append(out, &c.Drone[i].Frames[j])
+		}
+	}
+	return out
+}
+
+// Generate builds the corpus for cfg.
+func Generate(cfg Config) *Corpus {
+	cfg.fill()
+	rng := sim.NewRNG(cfg.Seed)
+	corpus := &Corpus{}
+	for v := 0; v < cfg.NumVideos; v++ {
+		corpus.Static = append(corpus.Static, generateVideo(rng, cfg, v, detect.PlatformStatic))
+	}
+	for v := 0; v < cfg.NumDroneFlights; v++ {
+		corpus.Drone = append(corpus.Drone, generateVideo(rng, cfg, v, detect.PlatformDrone))
+	}
+	return corpus
+}
+
+var encodings = []detect.Encoding{
+	detect.EncodingJPEG, detect.EncodingJPEG, detect.EncodingJPEG, // JPEG dominates
+	detect.EncodingPNG, detect.EncodingRaw, detect.EncodingH264,
+}
+
+func generateVideo(rng *sim.RNG, cfg Config, index int, platform detect.Platform) Video {
+	kind := "cam"
+	vidPrefix := "iudx-blr"
+	if platform == detect.PlatformDrone {
+		kind = "drone"
+		vidPrefix = "drone-blr"
+	}
+	cam := Camera{
+		ID:       fmt.Sprintf("%s-%03d", kind, index),
+		Platform: platform,
+		Location: detect.GeoPoint{
+			// Cameras scatter ~0.1 degrees (~11 km) around the city centre.
+			Latitude:  bangaloreLat + rng.Normal(0, 0.05),
+			Longitude: bangaloreLon + rng.Normal(0, 0.05),
+		},
+	}
+	video := Video{ID: fmt.Sprintf("%s-%03d", vidPrefix, index), Camera: cam}
+	start := cfg.Start.Add(time.Duration(index) * 3 * time.Minute)
+	enc := sim.Pick(rng, encodings)
+
+	// Drone flights vary altitude and blur through the flight.
+	baseAltitude := 40 + rng.Float64()*80
+	light := 0.55 + rng.Float64()*0.45
+
+	for i := 0; i < framesFor(cfg, platform); i++ {
+		size := frameSize(rng, cfg, platform)
+		f := detect.Frame{
+			ID:        detect.FrameIDFor(video.ID, i),
+			VideoID:   video.ID,
+			CameraID:  cam.ID,
+			Index:     i,
+			Platform:  platform,
+			Encoding:  enc,
+			Width:     1280,
+			Height:    720,
+			Data:      rng.Bytes(size),
+			Timestamp: start.Add(time.Duration(i) * 2 * time.Second),
+			Location:  cam.Location,
+		}
+		if platform == detect.PlatformDrone {
+			f.MotionBlur = clamp01(rng.NormalClamped(0.35, 0.2, 0, 1))
+			f.Altitude = baseAltitude + rng.Normal(0, 15)
+			if f.Altitude < 10 {
+				f.Altitude = 10
+			}
+			f.LightLevel = light
+			// The drone drifts.
+			f.Location.Latitude += rng.Normal(0, 0.001)
+			f.Location.Longitude += rng.Normal(0, 0.001)
+		} else {
+			f.LightLevel = 1
+		}
+		video.Frames = append(video.Frames, f)
+	}
+	return video
+}
+
+func framesFor(cfg Config, p detect.Platform) int {
+	if p == detect.PlatformDrone {
+		return cfg.FramesPerFlight
+	}
+	return cfg.FramesPerVideo
+}
+
+// frameSize draws a payload size: log-normal-ish around the configured
+// mean, with drones skewing larger and more variable (higher resolution,
+// raw-er captures).
+func frameSize(rng *sim.RNG, cfg Config, p detect.Platform) int {
+	mean := cfg.MeanFrameKB * 1024
+	mult := 1.0
+	if p == detect.PlatformDrone {
+		mult = 1.6
+	}
+	// exp(N(0, 0.5)) gives a right-skewed multiplier near 1.
+	skew := rng.Normal(0, 0.5)
+	if skew > 2 {
+		skew = 2
+	}
+	size := mean * mult * math.Exp(skew)
+	if size < 512 {
+		size = 512
+	}
+	return int(size)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

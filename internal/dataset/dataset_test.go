@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"testing"
+
+	"socialchain/internal/detect"
+)
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	c := Generate(Config{Seed: 1, FramesPerVideo: 2, FramesPerFlight: 2})
+	if len(c.Static) != 52 {
+		t.Fatalf("static videos = %d, want the paper's 52", len(c.Static))
+	}
+	if len(c.Drone) == 0 {
+		t.Fatal("no drone corpus")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Seed: 7, NumVideos: 3, FramesPerVideo: 4, NumDroneFlights: 1, FramesPerFlight: 2}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	fa := a.AllFrames()
+	fb := b.AllFrames()
+	if len(fa) != len(fb) {
+		t.Fatalf("frame counts differ: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i].ID != fb[i].ID || fa[i].Hash() != fb[i].Hash() {
+			t.Fatalf("frame %d differs between runs", i)
+		}
+	}
+	other := Generate(Config{Seed: 8, NumVideos: 3, FramesPerVideo: 4, NumDroneFlights: 1, FramesPerFlight: 2})
+	if other.AllFrames()[0].Hash() == fa[0].Hash() {
+		t.Fatal("different seeds produced identical payloads")
+	}
+}
+
+func TestFrameWellFormed(t *testing.T) {
+	c := Generate(Config{Seed: 3, NumVideos: 4, FramesPerVideo: 3, NumDroneFlights: 2, FramesPerFlight: 3})
+	for _, f := range c.AllFrames() {
+		if f.SizeBytes() < 512 {
+			t.Fatalf("frame %s too small: %d", f.ID, f.SizeBytes())
+		}
+		if f.Width <= 0 || f.Height <= 0 {
+			t.Fatalf("frame %s has no dimensions", f.ID)
+		}
+		if f.Timestamp.IsZero() {
+			t.Fatalf("frame %s has zero timestamp", f.ID)
+		}
+		if f.Location.Latitude < 12 || f.Location.Latitude > 14 {
+			t.Fatalf("frame %s latitude %f not near Bangalore", f.ID, f.Location.Latitude)
+		}
+		if f.Location.Longitude < 76.5 || f.Location.Longitude > 78.5 {
+			t.Fatalf("frame %s longitude %f not near Bangalore", f.ID, f.Location.Longitude)
+		}
+	}
+}
+
+func TestDroneFramesCarryCaptureConditions(t *testing.T) {
+	c := Generate(Config{Seed: 5, NumVideos: 1, FramesPerVideo: 1, NumDroneFlights: 3, FramesPerFlight: 5})
+	for _, v := range c.Drone {
+		for _, f := range v.Frames {
+			if f.Platform != detect.PlatformDrone {
+				t.Fatal("drone video carries non-drone frame")
+			}
+			if f.Altitude < 10 {
+				t.Fatalf("altitude %f too low", f.Altitude)
+			}
+			if f.MotionBlur < 0 || f.MotionBlur > 1 {
+				t.Fatalf("blur %f out of range", f.MotionBlur)
+			}
+		}
+	}
+	for _, v := range c.Static {
+		for _, f := range v.Frames {
+			if f.MotionBlur != 0 || f.Altitude != 0 {
+				t.Fatal("static frame has drone capture conditions")
+			}
+			if f.LightLevel != 1 {
+				t.Fatal("static frame not at full light")
+			}
+		}
+	}
+}
+
+func TestDroneFramesSkewLarger(t *testing.T) {
+	c := Generate(Config{Seed: 9, NumVideos: 20, FramesPerVideo: 10, NumDroneFlights: 20, FramesPerFlight: 10})
+	var staticSum, droneSum float64
+	var staticN, droneN int
+	for _, v := range c.Static {
+		for i := range v.Frames {
+			staticSum += float64(v.Frames[i].SizeBytes())
+			staticN++
+		}
+	}
+	for _, v := range c.Drone {
+		for i := range v.Frames {
+			droneSum += float64(v.Frames[i].SizeBytes())
+			droneN++
+		}
+	}
+	if droneSum/float64(droneN) <= staticSum/float64(staticN) {
+		t.Fatal("drone frames not larger on average")
+	}
+}
+
+func TestFrameIDsUnique(t *testing.T) {
+	c := Generate(Config{Seed: 11, NumVideos: 5, FramesPerVideo: 5, NumDroneFlights: 2, FramesPerFlight: 5})
+	seen := map[string]bool{}
+	for _, f := range c.AllFrames() {
+		if seen[f.ID] {
+			t.Fatalf("duplicate frame id %s", f.ID)
+		}
+		seen[f.ID] = true
+	}
+}
+
+func TestTimestampsMonotonicWithinVideo(t *testing.T) {
+	c := Generate(Config{Seed: 13, NumVideos: 2, FramesPerVideo: 10, NumDroneFlights: 1, FramesPerFlight: 2})
+	for _, v := range c.Static {
+		for i := 1; i < len(v.Frames); i++ {
+			if !v.Frames[i].Timestamp.After(v.Frames[i-1].Timestamp) {
+				t.Fatalf("video %s timestamps not increasing", v.ID)
+			}
+		}
+	}
+}

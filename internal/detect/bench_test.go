@@ -1,0 +1,29 @@
+package detect
+
+import (
+	"testing"
+
+	"socialchain/internal/sim"
+)
+
+func BenchmarkDetectStatic(b *testing.B) {
+	rng := sim.NewRNG(1)
+	d := NewDetector(1)
+	f := staticFrame(rng, 32*1024)
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Detect(f)
+	}
+}
+
+func BenchmarkDetectDrone(b *testing.B) {
+	rng := sim.NewRNG(1)
+	d := NewDetector(1)
+	f := droneFrame(rng, 32*1024)
+	b.SetBytes(int64(f.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Detect(f)
+	}
+}

@@ -1,0 +1,251 @@
+package detect
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"socialchain/internal/metrics"
+	"socialchain/internal/sim"
+)
+
+func staticFrame(rng *sim.RNG, size int) *Frame {
+	return &Frame{
+		ID:         "vid/frame-00001",
+		VideoID:    "vid",
+		CameraID:   "cam-1",
+		Platform:   PlatformStatic,
+		Encoding:   EncodingJPEG,
+		Width:      1280,
+		Height:     720,
+		Data:       rng.Bytes(size),
+		Timestamp:  time.Unix(1720000000, 0).UTC(),
+		Location:   GeoPoint{Latitude: 12.97, Longitude: 77.59},
+		LightLevel: 1,
+	}
+}
+
+func droneFrame(rng *sim.RNG, size int) *Frame {
+	f := staticFrame(rng, size)
+	f.Platform = PlatformDrone
+	f.CameraID = "drone-1"
+	f.MotionBlur = 0.5
+	f.Altitude = 80
+	f.LightLevel = 0.8
+	return f
+}
+
+func TestDetectProducesValidDetections(t *testing.T) {
+	rng := sim.NewRNG(1)
+	d := NewDetector(1)
+	f := staticFrame(rng, 4096)
+	dets := d.Detect(f)
+	if len(dets) == 0 {
+		t.Fatal("no detections")
+	}
+	for i, det := range dets {
+		if det.Confidence < 0 || det.Confidence > 1 {
+			t.Fatalf("detection %d confidence %f", i, det.Confidence)
+		}
+		if !det.BoundingBox.Valid(f.Width, f.Height) {
+			t.Fatalf("detection %d bbox %+v invalid", i, det.BoundingBox)
+		}
+		if det.Label == "" || det.Color == "" {
+			t.Fatalf("detection %d missing label/color", i)
+		}
+		if !det.Timestamp.Equal(f.Timestamp) {
+			t.Fatalf("detection %d timestamp drifted", i)
+		}
+	}
+}
+
+func TestStaticConfidenceHigherAndTighter(t *testing.T) {
+	// The core claim of Figure 3: static cameras yield higher, more stable
+	// confidence scores than drones.
+	rng := sim.NewRNG(2)
+	d := NewDetector(2)
+	staticStats := metrics.NewStats()
+	droneStats := metrics.NewStats()
+	for i := 0; i < 300; i++ {
+		for _, det := range d.Detect(staticFrame(rng, 2048)) {
+			staticStats.Add(det.Confidence)
+		}
+		for _, det := range d.Detect(droneFrame(rng, 2048)) {
+			droneStats.Add(det.Confidence)
+		}
+	}
+	if staticStats.Mean() <= droneStats.Mean() {
+		t.Fatalf("static mean %.3f <= drone mean %.3f", staticStats.Mean(), droneStats.Mean())
+	}
+	if staticStats.Std() >= droneStats.Std() {
+		t.Fatalf("static std %.3f >= drone std %.3f", staticStats.Std(), droneStats.Std())
+	}
+}
+
+func TestBlurAndAltitudeReduceConfidence(t *testing.T) {
+	rng := sim.NewRNG(3)
+	dClear := NewDetector(7)
+	dBlur := NewDetector(7) // same seed: identical base draws
+	clear := droneFrame(rng, 1024)
+	clear.MotionBlur = 0
+	clear.Altitude = 10
+	clear.LightLevel = 1
+	blurry := droneFrame(sim.NewRNG(3), 1024)
+	blurry.MotionBlur = 1
+	blurry.Altitude = 150
+	blurry.LightLevel = 0.2
+
+	cClear := metrics.NewStats()
+	cBlur := metrics.NewStats()
+	for i := 0; i < 200; i++ {
+		for _, det := range dClear.Detect(clear) {
+			cClear.Add(det.Confidence)
+		}
+		for _, det := range dBlur.Detect(blurry) {
+			cBlur.Add(det.Confidence)
+		}
+	}
+	if cClear.Mean() <= cBlur.Mean() {
+		t.Fatalf("clear mean %.3f <= degraded mean %.3f", cClear.Mean(), cBlur.Mean())
+	}
+}
+
+func TestExtractMetadataRecord(t *testing.T) {
+	rng := sim.NewRNG(4)
+	d := NewDetector(4)
+	f := staticFrame(rng, 8192)
+	rec, dur := d.ExtractMetadata(f)
+	if dur <= 0 {
+		t.Fatal("extraction duration not measured")
+	}
+	if rec.FrameID != f.ID || rec.CameraID != f.CameraID || rec.Platform != "static" {
+		t.Fatalf("record identity: %+v", rec)
+	}
+	if rec.SizeBytes != f.SizeBytes() {
+		t.Fatalf("size %d != %d", rec.SizeBytes, f.SizeBytes())
+	}
+	if rec.DataHash != f.Hash() {
+		t.Fatal("data hash mismatch")
+	}
+	if len(rec.DataHash) != 64 {
+		t.Fatalf("hash length %d", len(rec.DataHash))
+	}
+	if len(rec.Detections) == 0 {
+		t.Fatal("no detections in record")
+	}
+	// The record serialises to the Figure 2 schema.
+	b, err := json.Marshal(rec.Detections[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"label", "confidence", "bounding_box", "timestamp", "color", "location"} {
+		if !jsonHasField(b, field) {
+			t.Fatalf("serialised detection lacks %q: %s", field, b)
+		}
+	}
+}
+
+func jsonHasField(b []byte, field string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		return false
+	}
+	_, ok := m[field]
+	return ok
+}
+
+func TestExtractionTimeGrowsWithSize(t *testing.T) {
+	rng := sim.NewRNG(5)
+	d := NewDetector(5)
+	small := metrics.NewStats()
+	large := metrics.NewStats()
+	for i := 0; i < 30; i++ {
+		_, dur := d.ExtractMetadata(staticFrame(rng, 1024))
+		small.AddDuration(dur)
+		_, dur = d.ExtractMetadata(staticFrame(rng, 1024*1024))
+		large.AddDuration(dur)
+	}
+	if large.Mean() <= small.Mean() {
+		t.Fatalf("1 MiB extraction (%.6fs) not slower than 1 KiB (%.6fs)", large.Mean(), small.Mean())
+	}
+}
+
+func TestEncodingAffectsCost(t *testing.T) {
+	if EncodingRaw.decodePasses() >= EncodingH264.decodePasses() {
+		t.Fatal("encoding cost ordering broken")
+	}
+}
+
+func TestFrameHashStable(t *testing.T) {
+	rng := sim.NewRNG(6)
+	f := staticFrame(rng, 128)
+	if f.Hash() != f.Hash() {
+		t.Fatal("hash unstable")
+	}
+	g := staticFrame(rng, 128)
+	if f.Hash() == g.Hash() {
+		t.Fatal("different payloads same hash")
+	}
+}
+
+func TestBoundingBoxValid(t *testing.T) {
+	cases := []struct {
+		box  BoundingBox
+		want bool
+	}{
+		{BoundingBox{0, 0, 10, 10}, true},
+		{BoundingBox{-1, 0, 10, 10}, false},
+		{BoundingBox{10, 10, 10, 20}, false},
+		{BoundingBox{0, 0, 1281, 10}, false},
+		{BoundingBox{755, 82, 1023, 506}, true}, // the paper's Figure 2 box
+	}
+	for i, c := range cases {
+		if got := c.box.Valid(1280, 720); got != c.want {
+			t.Errorf("case %d: Valid = %v", i, got)
+		}
+	}
+}
+
+func TestPrimaryLabel(t *testing.T) {
+	rec := MetadataRecord{Detections: []Detection{
+		{Label: "car", Confidence: 0.5},
+		{Label: "truck", Confidence: 0.9},
+		{Label: "bus", Confidence: 0.2},
+	}}
+	if rec.PrimaryLabel() != "truck" {
+		t.Fatalf("primary = %q", rec.PrimaryLabel())
+	}
+	empty := MetadataRecord{}
+	if empty.PrimaryLabel() != "" {
+		t.Fatal("empty record has primary label")
+	}
+}
+
+func TestPlatformString(t *testing.T) {
+	if PlatformStatic.String() != "static" || PlatformDrone.String() != "drone" {
+		t.Fatal("platform strings wrong")
+	}
+}
+
+func TestFrameIDFor(t *testing.T) {
+	if got := FrameIDFor("vid-1", 3); got != "vid-1/frame-00003" {
+		t.Fatalf("frame id %q", got)
+	}
+}
+
+func TestDetectorDeterministicPerSeed(t *testing.T) {
+	f1 := staticFrame(sim.NewRNG(9), 512)
+	f2 := staticFrame(sim.NewRNG(9), 512)
+	d1 := NewDetector(99)
+	d2 := NewDetector(99)
+	a := d1.Detect(f1)
+	b := d2.Detect(f2)
+	if len(a) != len(b) {
+		t.Fatalf("detection counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Label != b[i].Label || a[i].Confidence != b[i].Confidence {
+			t.Fatalf("detection %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package detect
+
+import (
+	"encoding/json"
+	"time"
+
+	"socialchain/internal/sim"
+)
+
+// ConfidenceModel parameterises the per-platform confidence distribution.
+// Values follow the paper's observation: static cameras yield "higher and
+// more stable confidence scores due to consistent capture conditions" while
+// drone data shows "greater variability from motion blur, altitude changes,
+// and environmental factors".
+type ConfidenceModel struct {
+	Mean   float64
+	StdDev float64
+	// BlurPenalty scales the confidence loss per unit of motion blur.
+	BlurPenalty float64
+	// AltitudePenalty is the loss per 100 m of altitude.
+	AltitudePenalty float64
+	// LowLightPenalty is the loss at LightLevel 0 (fades out by 1).
+	LowLightPenalty float64
+}
+
+// DefaultStaticModel matches the tight static-camera distribution.
+var DefaultStaticModel = ConfidenceModel{Mean: 0.82, StdDev: 0.06}
+
+// DefaultDroneModel matches the wider, lower drone distribution.
+var DefaultDroneModel = ConfidenceModel{
+	Mean:            0.64,
+	StdDev:          0.13,
+	BlurPenalty:     0.25,
+	AltitudePenalty: 0.04,
+	LowLightPenalty: 0.15,
+}
+
+// Detector is the YOLO stand-in. It is deterministic for a given seed and
+// frame sequence.
+type Detector struct {
+	rng    *sim.RNG
+	static ConfidenceModel
+	drone  ConfidenceModel
+}
+
+// NewDetector returns a detector with the default confidence models.
+func NewDetector(seed int64) *Detector {
+	return &Detector{rng: sim.NewRNG(seed), static: DefaultStaticModel, drone: DefaultDroneModel}
+}
+
+// NewDetectorWithModels returns a detector with explicit models.
+func NewDetectorWithModels(seed int64, static, drone ConfidenceModel) *Detector {
+	return &Detector{rng: sim.NewRNG(seed), static: static, drone: drone}
+}
+
+// objectCount derives how many objects a frame contains from its payload
+// (content-dependent but deterministic).
+func (d *Detector) objectCount(f *Frame) int {
+	n := 1 + d.rng.Intn(5)
+	if f.SizeBytes() > 64*1024 {
+		n += d.rng.Intn(3) // busier scenes in larger frames
+	}
+	return n
+}
+
+// confidence draws one score for a frame under its platform model.
+func (d *Detector) confidence(f *Frame) float64 {
+	m := d.static
+	if f.Platform == PlatformDrone {
+		m = d.drone
+	}
+	c := d.rng.Normal(m.Mean, m.StdDev)
+	c -= m.BlurPenalty * f.MotionBlur
+	c -= m.AltitudePenalty * f.Altitude / 100
+	c -= m.LowLightPenalty * (1 - f.LightLevel)
+	if c < 0.05 {
+		c = 0.05
+	}
+	if c > 0.99 {
+		c = 0.99
+	}
+	return c
+}
+
+// Detect runs the simulated model over a frame and returns its detections.
+// The compute cost scales with the payload size (the "inference" pass) so
+// measured latencies behave like a real extractor.
+func (d *Detector) Detect(f *Frame) []Detection {
+	d.inferencePass(f)
+	n := d.objectCount(f)
+	dets := make([]Detection, 0, n)
+	for i := 0; i < n; i++ {
+		w := 40 + d.rng.Intn(max(1, f.Width/2))
+		h := 40 + d.rng.Intn(max(1, f.Height/2))
+		x1 := d.rng.Intn(max(1, f.Width-w))
+		y1 := d.rng.Intn(max(1, f.Height-h))
+		dets = append(dets, Detection{
+			Label:       sim.Pick(d.rng, VehicleLabels),
+			Confidence:  d.confidence(f),
+			BoundingBox: BoundingBox{X1: x1, Y1: y1, X2: x1 + w, Y2: y1 + h},
+			Timestamp:   f.Timestamp,
+			Color:       sim.Pick(d.rng, VehicleColors),
+			Location: GeoPoint{
+				Latitude:  f.Location.Latitude + d.rng.Normal(0, 1e-5),
+				Longitude: f.Location.Longitude + d.rng.Normal(0, 1e-5),
+			},
+		})
+	}
+	return dets
+}
+
+// inferencePass performs real work over the payload: one pass per decode
+// stage of the frame's encoding, plus a fixed model-evaluation term. The
+// checksum result feeds nothing; its purpose is honest, size-dependent
+// compute for Figure 4.
+func (d *Detector) inferencePass(f *Frame) uint64 {
+	var acc uint64
+	passes := f.Encoding.decodePasses()
+	for p := 0; p < passes; p++ {
+		for _, b := range f.Data {
+			acc = acc*31 + uint64(b)
+		}
+	}
+	// Fixed per-frame model cost (anchor compute independent of size).
+	for i := 0; i < 4096; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	return acc
+}
+
+// ExtractMetadata decodes the frame, runs detection, hashes the payload and
+// assembles the on-chain metadata record. It returns the record and the
+// wall-clock extraction duration (the y-axis of Figure 4).
+func (d *Detector) ExtractMetadata(f *Frame) (MetadataRecord, time.Duration) {
+	start := time.Now()
+	dets := d.Detect(f)
+	rec := MetadataRecord{
+		FrameID:     f.ID,
+		VideoID:     f.VideoID,
+		CameraID:    f.CameraID,
+		Platform:    f.Platform.String(),
+		Detections:  dets,
+		CapturedAt:  f.Timestamp,
+		ExtractedAt: time.Now(),
+		SizeBytes:   f.SizeBytes(),
+		DataHash:    f.Hash(),
+		Location:    f.Location,
+	}
+	// Serialisation is part of extraction (the paper stores JSON metadata).
+	if _, err := json.Marshal(rec); err != nil {
+		panic("detect: metadata marshal: " + err.Error())
+	}
+	return rec, time.Since(start)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

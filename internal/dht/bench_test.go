@@ -1,0 +1,47 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+
+	"socialchain/internal/cid"
+)
+
+func BenchmarkIterativeFindNode(b *testing.B) {
+	for _, n := range []int{8, 32} {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			_, nodes := newBenchNetwork(n)
+			target := PeerID("some-target")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nodes[i%n].IterativeFindNode(target)
+			}
+		})
+	}
+}
+
+func BenchmarkProvideAndFind(b *testing.B) {
+	_, nodes := newBenchNetwork(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cid.SumRaw([]byte(fmt.Sprintf("content-%d", i)))
+		if err := nodes[i%16].Provide(c); err != nil {
+			b.Fatal(err)
+		}
+		if provs := nodes[(i+7)%16].FindProviders(c, 4); len(provs) == 0 {
+			b.Fatal("provider lost")
+		}
+	}
+}
+
+func newBenchNetwork(n int) (*Network, []*Node) {
+	net := NewNetwork(nil, nil)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = net.NewNode(fmt.Sprintf("bench-%d", i))
+	}
+	for _, nd := range nodes[1:] {
+		nd.Bootstrap(nodes[0].Info())
+	}
+	return net, nodes
+}

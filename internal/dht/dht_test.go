@@ -1,0 +1,196 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"socialchain/internal/cid"
+)
+
+func TestPeerIDDeterministic(t *testing.T) {
+	if PeerID("a") != PeerID("a") {
+		t.Fatal("unstable peer id")
+	}
+	if PeerID("a") == PeerID("b") {
+		t.Fatal("distinct names collide")
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	err := quick.Check(func(a, b [32]byte) bool {
+		da := ID(a)
+		db := ID(b)
+		// d(x,x) = 0; symmetry.
+		zero := ID{}
+		if Distance(da, da) != zero {
+			return false
+		}
+		return Distance(da, db) == Distance(db, da)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	a := ID{}
+	b := ID{}
+	if got := CommonPrefixLen(a, b); got != IDLen*8-1 {
+		t.Fatalf("identical ids cpl = %d", got)
+	}
+	b[0] = 0x80
+	if got := CommonPrefixLen(a, b); got != 0 {
+		t.Fatalf("msb differs, cpl = %d", got)
+	}
+	b[0] = 0x01
+	if got := CommonPrefixLen(a, b); got != 7 {
+		t.Fatalf("lsb of first byte differs, cpl = %d", got)
+	}
+}
+
+func TestRoutingTableUpdateAndClosest(t *testing.T) {
+	self := PeerID("self")
+	rt := NewRoutingTable(self)
+	rt.Update(PeerInfo{Name: "self", ID: self}) // self is ignored
+	if rt.Size() != 0 {
+		t.Fatal("self inserted")
+	}
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("peer-%d", i)
+		rt.Update(PeerInfo{Name: name, ID: PeerID(name)})
+	}
+	target := PeerID("target")
+	closest := rt.Closest(target, 10)
+	if len(closest) != 10 {
+		t.Fatalf("Closest returned %d", len(closest))
+	}
+	// Verify ordering by distance.
+	for i := 1; i < len(closest); i++ {
+		if Distance(closest[i].ID, target).Less(Distance(closest[i-1].ID, target)) {
+			t.Fatal("closest not sorted by distance")
+		}
+	}
+}
+
+func TestRoutingTableRefreshMovesToTail(t *testing.T) {
+	rt := NewRoutingTable(PeerID("self"))
+	p := PeerInfo{Name: "p", ID: PeerID("p")}
+	rt.Update(p)
+	rt.Update(p) // refresh, no duplicate
+	if rt.Size() != 1 {
+		t.Fatalf("size = %d", rt.Size())
+	}
+}
+
+func newTestNetwork(n int) (*Network, []*Node) {
+	net := NewNetwork(nil, nil)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = net.NewNode(fmt.Sprintf("node-%d", i))
+	}
+	for _, nd := range nodes[1:] {
+		nd.Bootstrap(nodes[0].Info())
+	}
+	for _, nd := range nodes {
+		nd.IterativeFindNode(nd.ID())
+	}
+	return net, nodes
+}
+
+func TestBootstrapPopulatesRoutingTables(t *testing.T) {
+	_, nodes := newTestNetwork(10)
+	for i, nd := range nodes {
+		if nd.rt.Size() == 0 {
+			t.Fatalf("node %d has empty routing table", i)
+		}
+	}
+}
+
+func TestProvideAndFindProviders(t *testing.T) {
+	_, nodes := newTestNetwork(8)
+	content := cid.SumRaw([]byte("content"))
+	if err := nodes[3].Provide(content); err != nil {
+		t.Fatal(err)
+	}
+	// Any node should discover the provider.
+	for i, nd := range nodes {
+		provs := nd.FindProviders(content, 4)
+		found := false
+		for _, p := range provs {
+			if p == "node-3" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d did not find provider: %v", i, provs)
+		}
+	}
+}
+
+func TestMultipleProviders(t *testing.T) {
+	_, nodes := newTestNetwork(8)
+	content := cid.SumRaw([]byte("shared"))
+	if err := nodes[1].Provide(content); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[5].Provide(content); err != nil {
+		t.Fatal(err)
+	}
+	provs := nodes[7].FindProviders(content, 8)
+	if len(provs) < 2 {
+		t.Fatalf("found %d providers, want >=2: %v", len(provs), provs)
+	}
+}
+
+func TestFindProvidersAbsentContent(t *testing.T) {
+	_, nodes := newTestNetwork(5)
+	provs := nodes[0].FindProviders(cid.SumRaw([]byte("nothing")), 4)
+	if len(provs) != 0 {
+		t.Fatalf("phantom providers: %v", provs)
+	}
+}
+
+func TestSingleNodeNetworkProvide(t *testing.T) {
+	net := NewNetwork(nil, nil)
+	solo := net.NewNode("solo")
+	content := cid.SumRaw([]byte("solo-content"))
+	if err := solo.Provide(content); err != nil {
+		t.Fatal(err)
+	}
+	provs := solo.FindProviders(content, 4)
+	if len(provs) != 1 || provs[0] != "solo" {
+		t.Fatalf("providers = %v", provs)
+	}
+}
+
+func TestIterativeFindNodeConverges(t *testing.T) {
+	_, nodes := newTestNetwork(30)
+	target := PeerID("node-17")
+	found := nodes[2].IterativeFindNode(target)
+	if len(found) == 0 {
+		t.Fatal("lookup returned nothing")
+	}
+	// node-17 itself should appear in the result set.
+	ok := false
+	for _, p := range found {
+		if p.Name == "node-17" {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("lookup for node-17 did not return it: %v", found)
+	}
+}
+
+func TestProviderCount(t *testing.T) {
+	net := NewNetwork(nil, nil)
+	n := net.NewNode("n")
+	if n.ProviderCount() != 0 {
+		t.Fatal("fresh node has providers")
+	}
+	n.handleAddProvider(n.Info(), cid.SumRaw([]byte("x")), "n")
+	if n.ProviderCount() != 1 {
+		t.Fatal("provider not recorded")
+	}
+}

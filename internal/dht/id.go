@@ -1,0 +1,60 @@
+// Package dht implements a Kademlia-style distributed hash table used by
+// the off-chain store for provider routing: which peers hold the blocks for
+// a given CID. It provides XOR-metric node IDs, k-bucket routing tables,
+// iterative lookups and provider records, over an in-process network with a
+// pluggable latency model.
+package dht
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math/bits"
+
+	"socialchain/internal/cid"
+)
+
+// IDLen is the node/key identifier length in bytes (SHA-256).
+const IDLen = 32
+
+// ID is a point in the 256-bit XOR keyspace.
+type ID [IDLen]byte
+
+// PeerID derives a node ID from a peer name.
+func PeerID(name string) ID { return ID(sha256.Sum256([]byte(name))) }
+
+// KeyID maps a CID into the keyspace.
+func KeyID(c cid.Cid) ID { return ID(sha256.Sum256(c.Bytes())) }
+
+// String renders a short hex prefix for logs.
+func (id ID) String() string { return hex.EncodeToString(id[:6]) }
+
+// Distance returns the XOR distance between two IDs.
+func Distance(a, b ID) ID {
+	var d ID
+	for i := range a {
+		d[i] = a[i] ^ b[i]
+	}
+	return d
+}
+
+// Less compares distances as big-endian integers.
+func (id ID) Less(o ID) bool {
+	for i := range id {
+		if id[i] != o[i] {
+			return id[i] < o[i]
+		}
+	}
+	return false
+}
+
+// CommonPrefixLen returns the number of leading zero bits of the XOR
+// distance between a and b, i.e. the bucket index of b relative to a.
+func CommonPrefixLen(a, b ID) int {
+	d := Distance(a, b)
+	for i, v := range d {
+		if v != 0 {
+			return i*8 + bits.LeadingZeros8(v)
+		}
+	}
+	return IDLen*8 - 1
+}

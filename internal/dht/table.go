@@ -1,0 +1,82 @@
+package dht
+
+import (
+	"sort"
+	"sync"
+)
+
+// BucketSize is Kademlia's k: the capacity of each routing bucket and the
+// size of lookup result sets.
+const BucketSize = 20
+
+// PeerInfo identifies a reachable peer.
+type PeerInfo struct {
+	Name string
+	ID   ID
+}
+
+// RoutingTable holds known peers in k-buckets indexed by common prefix
+// length with the local node.
+type RoutingTable struct {
+	mu      sync.RWMutex
+	self    ID
+	buckets [IDLen * 8][]PeerInfo
+	size    int
+}
+
+// NewRoutingTable returns an empty table for the local node self.
+func NewRoutingTable(self ID) *RoutingTable {
+	return &RoutingTable{self: self}
+}
+
+// Update inserts or refreshes a peer. When the bucket is full the oldest
+// entry is evicted (simplified from Kademlia's ping-before-evict).
+func (rt *RoutingTable) Update(p PeerInfo) {
+	if p.ID == rt.self {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	b := CommonPrefixLen(rt.self, p.ID)
+	bucket := rt.buckets[b]
+	for i, existing := range bucket {
+		if existing.ID == p.ID {
+			// Move to tail (most recently seen).
+			copy(bucket[i:], bucket[i+1:])
+			bucket[len(bucket)-1] = p
+			return
+		}
+	}
+	if len(bucket) >= BucketSize {
+		copy(bucket, bucket[1:])
+		bucket[len(bucket)-1] = p
+		rt.buckets[b] = bucket
+		return
+	}
+	rt.buckets[b] = append(bucket, p)
+	rt.size++
+}
+
+// Closest returns up to n known peers closest to target by XOR distance.
+func (rt *RoutingTable) Closest(target ID, n int) []PeerInfo {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	all := make([]PeerInfo, 0, rt.size)
+	for _, b := range rt.buckets {
+		all = append(all, b...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return Distance(all[i].ID, target).Less(Distance(all[j].ID, target))
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Size returns the number of peers in the table.
+func (rt *RoutingTable) Size() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.size
+}

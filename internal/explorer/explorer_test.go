@@ -1,0 +1,159 @@
+package explorer
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"socialchain/internal/ledger"
+	"socialchain/internal/msp"
+)
+
+func buildChain(t *testing.T) (*ledger.Ledger, []string) {
+	t.Helper()
+	alice, err := msp.NewSigner("org1", "alice", msp.RoleMember)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := msp.NewSigner("org2", "bob", msp.RoleMember)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ledger.New()
+	mk := func(id, cc, fn string, s *msp.Signer) ledger.Transaction {
+		tx := ledger.Transaction{
+			ID: id, ChannelID: "ch", Creator: s.Identity,
+			Payload:   ledger.TxPayload{Chaincode: cc, Fn: fn},
+			Timestamp: time.Now(),
+		}
+		tx.Signature = s.Sign(tx.SigningBytes())
+		return tx
+	}
+	var ids []string
+	// Block 0: two valid data txs.
+	b0txs := []ledger.Transaction{mk("tx-a", "data", "addData", alice), mk("tx-b", "data", "addData", bob)}
+	b0 := ledger.NewBlock(0, l.TipHash(), b0txs, time.Now())
+	if err := l.Append(b0); err != nil {
+		t.Fatal(err)
+	}
+	// Block 1: one valid trust tx, one MVCC-invalid data tx.
+	b1txs := []ledger.Transaction{mk("tx-c", "trust", "observe", alice), mk("tx-d", "data", "addData", alice)}
+	b1 := ledger.NewBlock(1, l.TipHash(), b1txs, time.Now())
+	b1.Metadata.Flags[1] = ledger.MVCCConflict
+	if err := l.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range append(b0txs, b1txs...) {
+		ids = append(ids, tx.ID)
+	}
+	return l, ids
+}
+
+func TestBlocksListing(t *testing.T) {
+	l, _ := buildChain(t)
+	e := New(l)
+	blocks, err := e.Blocks(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	if blocks[0].Txs != 2 || blocks[0].ValidTxs != 2 {
+		t.Fatalf("block 0 = %+v", blocks[0])
+	}
+	if blocks[1].ValidTxs != 1 {
+		t.Fatalf("block 1 = %+v", blocks[1])
+	}
+	// Hash linkage is surfaced.
+	if blocks[1].PrevHash == blocks[0].PrevHash {
+		t.Fatal("prev hashes identical")
+	}
+	if _, err := e.Blocks(5, 2); err == nil {
+		t.Fatal("invalid range accepted")
+	}
+}
+
+func TestTxLookup(t *testing.T) {
+	l, ids := buildChain(t)
+	e := New(l)
+	got, err := e.Tx(ids[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Chaincode != "trust" || got.Fn != "observe" || got.Block != 1 || got.Flag != ledger.Valid {
+		t.Fatalf("tx = %+v", got)
+	}
+	if _, err := e.Tx("missing"); err == nil {
+		t.Fatal("missing tx found")
+	}
+}
+
+func TestSearchFilters(t *testing.T) {
+	l, _ := buildChain(t)
+	e := New(l)
+	if got := e.Search("data", "", false); len(got) != 3 {
+		t.Fatalf("by chaincode = %d", len(got))
+	}
+	if got := e.Search("", "org1/alice", false); len(got) != 3 {
+		t.Fatalf("by creator = %d", len(got))
+	}
+	if got := e.Search("", "", true); len(got) != 1 || got[0].Flag != ledger.MVCCConflict {
+		t.Fatalf("invalid filter = %+v", got)
+	}
+	if got := e.Search("data", "org2/bob", false); len(got) != 1 {
+		t.Fatalf("combined filter = %d", len(got))
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	l, _ := buildChain(t)
+	e := New(l)
+	s := e.Stats()
+	if s.Height != 2 || s.TotalTxs != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.FlagBreakdown[ledger.Valid] != 3 || s.FlagBreakdown[ledger.MVCCConflict] != 1 {
+		t.Fatalf("flags = %+v", s.FlagBreakdown)
+	}
+	if s.ByChaincode["data"] != 3 || s.ByChaincode["trust"] != 1 {
+		t.Fatalf("by chaincode = %+v", s.ByChaincode)
+	}
+	if s.BytesOnChain == 0 {
+		t.Fatal("no bytes accounted")
+	}
+}
+
+func TestRendering(t *testing.T) {
+	l, _ := buildChain(t)
+	e := New(l)
+	var b strings.Builder
+	if err := e.RenderBlocks(&b, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "block") {
+		t.Fatal("block table missing header")
+	}
+	b.Reset()
+	e.RenderStats(&b)
+	out := b.String()
+	if !strings.Contains(out, "VALID") || !strings.Contains(out, "MVCC_READ_CONFLICT") {
+		t.Fatalf("stats output missing flags:\n%s", out)
+	}
+	if !strings.Contains(out, "data") {
+		t.Fatal("stats output missing chaincode table")
+	}
+}
+
+func TestVerifyIntegrity(t *testing.T) {
+	l, _ := buildChain(t)
+	e := New(l)
+	if err := e.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	blk, _ := l.GetBlock(0)
+	blk.Txs[0].Response = []byte("tampered")
+	if err := e.VerifyIntegrity(); err == nil {
+		t.Fatal("tamper not detected")
+	}
+}

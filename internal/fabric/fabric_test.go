@@ -1,0 +1,288 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"socialchain/internal/chaincode"
+	"socialchain/internal/consensus"
+	"socialchain/internal/ledger"
+	"socialchain/internal/msp"
+	"socialchain/internal/ordering"
+)
+
+// kvCC is a minimal chaincode for lifecycle tests.
+type kvCC struct{}
+
+func (kvCC) Name() string { return "kv" }
+
+func (kvCC) Invoke(stub chaincode.Stub, fn string, args [][]byte) ([]byte, error) {
+	switch fn {
+	case "put":
+		if len(args) != 2 {
+			return nil, errors.New("put needs key and value")
+		}
+		if err := stub.PutState(string(args[0]), args[1]); err != nil {
+			return nil, err
+		}
+		if err := stub.SetEvent("put", args[0]); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	case "get":
+		if len(args) != 1 {
+			return nil, errors.New("get needs key")
+		}
+		return stub.GetState(string(args[0]))
+	case "increment":
+		v, err := stub.GetState(string(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		count := 0
+		if len(v) > 0 {
+			fmt.Sscanf(string(v), "%d", &count)
+		}
+		count++
+		out := []byte(fmt.Sprintf("%d", count))
+		return out, stub.PutState(string(args[0]), out)
+	case "fail":
+		return nil, errors.New("deliberate failure")
+	default:
+		return nil, fmt.Errorf("unknown fn %q", fn)
+	}
+}
+
+func newTestNetwork(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	net.MustDeploy(kvCC{})
+	net.Start()
+	t.Cleanup(net.Stop)
+	return net
+}
+
+func newClient(t *testing.T) *msp.Signer {
+	t.Helper()
+	s, err := msp.NewSigner("clientorg", "alice", msp.RoleMember)
+	if err != nil {
+		t.Fatalf("client signer: %v", err)
+	}
+	return s
+}
+
+func TestSubmitAndEvaluateRoundTrip(t *testing.T) {
+	net := newTestNetwork(t, Config{NumPeers: 4})
+	gw := net.Gateway(newClient(t))
+
+	res, err := gw.Submit("kv", "put", []byte("k1"), []byte("v1"))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if res.Flag != ledger.Valid {
+		t.Fatalf("flag = %s, want VALID", res.Flag)
+	}
+	got, err := gw.Evaluate("kv", "get", []byte("k1"))
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if string(got) != "v1" {
+		t.Fatalf("get = %q, want v1", got)
+	}
+}
+
+func TestAllPeersConverge(t *testing.T) {
+	net := newTestNetwork(t, Config{NumPeers: 4})
+	gw := net.Gateway(newClient(t))
+	const n = 15
+	for i := 0; i < n; i++ {
+		if _, err := gw.Submit("kv", "put", []byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	// All peers should reach the same height and identical tip hashes. No
+	// submissions are in flight, so everyone converges on the current max.
+	var h uint64
+	for i := 0; i < 4; i++ {
+		if ph := net.Peer(i).Ledger().Height(); ph > h {
+			h = ph
+		}
+	}
+	if !net.WaitHeight(h, 5*time.Second) {
+		t.Fatal("peers did not converge on height")
+	}
+	tip := net.Peer(0).Ledger().TipHash()
+	for i := 1; i < 4; i++ {
+		if net.Peer(i).Ledger().Height() != h {
+			t.Fatalf("peer %d height %d != %d", i, net.Peer(i).Ledger().Height(), h)
+		}
+		if net.Peer(i).Ledger().TipHash() != tip {
+			t.Fatalf("peer %d tip hash diverges", i)
+		}
+		if err := net.Peer(i).Ledger().VerifyChain(); err != nil {
+			t.Fatalf("peer %d chain: %v", i, err)
+		}
+	}
+	// World states agree too.
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		for pi := 0; pi < 4; pi++ {
+			vv, ok := net.Peer(pi).State().GetState("kv", key)
+			if !ok || string(vv.Value) != "v" {
+				t.Fatalf("peer %d missing %s", pi, key)
+			}
+		}
+	}
+}
+
+func TestChaincodeErrorDoesNotCommit(t *testing.T) {
+	net := newTestNetwork(t, Config{NumPeers: 4})
+	gw := net.Gateway(newClient(t))
+	_, err := gw.Submit("kv", "fail")
+	if err == nil {
+		t.Fatal("expected endorsement failure")
+	}
+	if net.Peer(0).Ledger().Stats().TotalTxs != 0 {
+		t.Fatal("failed proposal must not be ordered")
+	}
+}
+
+func TestMVCCConflictFlagged(t *testing.T) {
+	net := newTestNetwork(t, Config{
+		NumPeers: 4,
+		Cutter:   ordering.CutterConfig{MaxMessages: 2, BatchTimeout: 200 * time.Millisecond},
+	})
+	gw := net.Gateway(newClient(t))
+	// Seed the counter.
+	if _, err := gw.Submit("kv", "put", []byte("ctr"), []byte("0")); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	// Two concurrent increments read the same version; batched together,
+	// the second must be invalidated with an MVCC conflict.
+	id1, w1, err := gw.SubmitAsync("kv", "increment", []byte("ctr"))
+	if err != nil {
+		t.Fatalf("async1: %v", err)
+	}
+	id2, w2, err := gw.SubmitAsync("kv", "increment", []byte("ctr"))
+	if err != nil {
+		t.Fatalf("async2: %v", err)
+	}
+	if id1 == id2 {
+		t.Fatal("duplicate tx ids")
+	}
+	f1 := <-w1
+	f2 := <-w2
+	valid, conflict := 0, 0
+	for _, f := range []ledger.ValidationCode{f1, f2} {
+		switch f {
+		case ledger.Valid:
+			valid++
+		case ledger.MVCCConflict:
+			conflict++
+		}
+	}
+	if valid != 1 || conflict != 1 {
+		t.Fatalf("flags = %s,%s; want one VALID one MVCC_READ_CONFLICT", f1, f2)
+	}
+	// Counter must have been incremented exactly once.
+	got, err := gw.Evaluate("kv", "get", []byte("ctr"))
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if string(got) != "1" {
+		t.Fatalf("ctr = %s, want 1", got)
+	}
+}
+
+func TestEndorsementPolicyFailureFlagged(t *testing.T) {
+	net := newTestNetwork(t, Config{NumPeers: 4})
+	gw := net.Gateway(newClient(t))
+
+	// Build a valid envelope, then strip endorsements below the 2/3 quorum.
+	prop := mustProposal(t, gw, "kv", "put", [][]byte{[]byte("x"), []byte("y")})
+	resp, err := net.Peer(0).Endorse(prop)
+	if err != nil {
+		t.Fatalf("endorse: %v", err)
+	}
+	tx := envelopeFrom(t, gw, prop, resp)
+	res, err := gw.SubmitEnvelope(tx)
+	if err != nil {
+		t.Fatalf("submit envelope: %v", err)
+	}
+	if res.Flag != ledger.EndorsementPolicyFailure {
+		t.Fatalf("flag = %s, want ENDORSEMENT_POLICY_FAILURE", res.Flag)
+	}
+	if _, ok := net.Peer(0).State().GetState("kv", "x"); ok {
+		t.Fatal("under-endorsed write must not be applied")
+	}
+}
+
+func TestBadCreatorSignatureFlagged(t *testing.T) {
+	net := newTestNetwork(t, Config{NumPeers: 4})
+	gw := net.Gateway(newClient(t))
+	prop := mustProposal(t, gw, "kv", "put", [][]byte{[]byte("x"), []byte("y")})
+	var endorsements []*ledger.Transaction
+	_ = endorsements
+	resp0, err := net.Peer(0).Endorse(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := envelopeFrom(t, gw, prop, resp0)
+	tx.Signature = []byte("garbage")
+	res, err := gw.SubmitEnvelope(tx)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if res.Flag != ledger.BadCreatorSignature {
+		t.Fatalf("flag = %s, want BAD_CREATOR_SIGNATURE", res.Flag)
+	}
+}
+
+func TestSubmitWithSilentValidator(t *testing.T) {
+	net := newTestNetwork(t, Config{
+		NumPeers:         4,
+		Behaviors:        map[int]consensus.Behavior{2: consensus.Silent{}},
+		ConsensusTimeout: 500 * time.Millisecond,
+	})
+	gw := net.Gateway(newClient(t))
+	res, err := gw.Submit("kv", "put", []byte("a"), []byte("b"))
+	if err != nil {
+		t.Fatalf("submit with silent validator: %v", err)
+	}
+	if res.Flag != ledger.Valid {
+		t.Fatalf("flag = %s", res.Flag)
+	}
+}
+
+func TestEventsDelivered(t *testing.T) {
+	net := newTestNetwork(t, Config{NumPeers: 4})
+	gw := net.Gateway(newClient(t))
+	events := net.Peer(1).SubscribeEvents(16)
+	if _, err := gw.Submit("kv", "put", []byte("ek"), []byte("ev")); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	select {
+	case e := <-events:
+		if e.Name != "put" || string(e.Payload) != "ek" {
+			t.Fatalf("event = %+v", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event delivered")
+	}
+}
+
+// --- helpers ---
+
+func mustProposal(t *testing.T, gw *Gateway, cc, fn string, args [][]byte) *proposalT {
+	t.Helper()
+	p, err := newRawProposal(gw, cc, fn, args)
+	if err != nil {
+		t.Fatalf("proposal: %v", err)
+	}
+	return p
+}

@@ -1,0 +1,175 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"socialchain/internal/consensus"
+	"socialchain/internal/ledger"
+	"socialchain/internal/ordering"
+	"socialchain/internal/sim"
+)
+
+func TestCommitTimeoutWhenOrderingStopped(t *testing.T) {
+	net, err := NewNetwork(Config{
+		NumPeers:      4,
+		CommitTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.MustDeploy(kvCC{})
+	net.Start()
+	gw := net.Gateway(newClient(t))
+
+	// Endorse while running, then stop the network before ordering.
+	tx, err := gw.endorseAndAssemble("kv", "put", [][]byte{[]byte("k"), []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Stop()
+	// Re-start only the peers' endorsement side is gone; submit the
+	// envelope into a stopped ordering pipeline: the waiter must time out.
+	net2, err := NewNetwork(Config{NumPeers: 4, CommitTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2.MustDeploy(kvCC{})
+	// net2 is never started: orderers are idle, commits can never happen.
+	gw2 := net2.Gateway(newClient(t))
+	if _, err := gw2.SubmitEnvelope(*tx); !errors.Is(err, ErrCommitTimeout) {
+		t.Fatalf("want ErrCommitTimeout, got %v", err)
+	}
+}
+
+func TestSubmitUnderLatencyModel(t *testing.T) {
+	rng := sim.NewRNG(17)
+	net := newTestNetwork(t, Config{
+		NumPeers: 4,
+		Latency:  sim.LANLatency(rng),
+		Cutter:   ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 5 * time.Millisecond},
+	})
+	gw := net.Gateway(newClient(t))
+	start := time.Now()
+	res, err := gw.Submit("kv", "put", []byte("lk"), []byte("lv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flag != ledger.Valid {
+		t.Fatalf("flag = %s", res.Flag)
+	}
+	// The LAN model must add measurable delay (hundreds of messages at
+	// 50-300 µs each) but stay well under a second.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("latency model blew up: %v", elapsed)
+	}
+}
+
+func TestWrongDigestValidatorDoesNotAffectCommits(t *testing.T) {
+	net := newTestNetwork(t, Config{
+		NumPeers:         4,
+		Behaviors:        map[int]consensus.Behavior{3: consensus.WrongDigest{}},
+		ConsensusTimeout: 500 * time.Millisecond,
+	})
+	gw := net.Gateway(newClient(t))
+	for i := 0; i < 3; i++ {
+		res, err := gw.Submit("kv", "put", []byte{byte('a' + i)}, []byte("v"))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if res.Flag != ledger.Valid {
+			t.Fatalf("submit %d flag = %s", i, res.Flag)
+		}
+	}
+}
+
+func TestEvaluatePrefersFreshestPeer(t *testing.T) {
+	net := newTestNetwork(t, Config{NumPeers: 4})
+	gw := net.Gateway(newClient(t))
+	if _, err := gw.Submit("kv", "put", []byte("fresh"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately evaluating must see the write even if some peers lag.
+	for i := 0; i < 5; i++ {
+		got, err := gw.Evaluate("kv", "get", []byte("fresh"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "1" {
+			t.Fatalf("stale read: %q", got)
+		}
+	}
+}
+
+func TestGatewayNoActiveEndorsers(t *testing.T) {
+	net := newTestNetwork(t, Config{NumPeers: 4, WatchdogThreshold: 1})
+	// Flag every peer.
+	for _, p := range net.Peers() {
+		net.Watchdog().Report(p.ID(), "test")
+	}
+	gw := net.Gateway(newClient(t))
+	if _, err := gw.Submit("kv", "put", []byte("x"), []byte("y")); err == nil {
+		t.Fatal("submit succeeded with no active endorsers")
+	}
+	if _, err := gw.Evaluate("kv", "get", []byte("x")); err == nil {
+		t.Fatal("evaluate succeeded with no active endorsers")
+	}
+}
+
+func TestActiveEndorsersShrinkOnFlag(t *testing.T) {
+	net := newTestNetwork(t, Config{NumPeers: 4, WatchdogThreshold: 1})
+	if got := len(net.ActiveEndorsers()); got != 4 {
+		t.Fatalf("active = %d", got)
+	}
+	net.Watchdog().Report(net.Peer(2).ID(), "endorsed mismatching digest")
+	if got := len(net.ActiveEndorsers()); got != 3 {
+		t.Fatalf("active after flag = %d", got)
+	}
+	// The flagged peer is specifically the missing one.
+	for _, p := range net.ActiveEndorsers() {
+		if p.ID() == net.Peer(2).ID() {
+			t.Fatal("flagged peer still active")
+		}
+	}
+}
+
+func TestNetworkStartStopIdempotent(t *testing.T) {
+	net, err := NewNetwork(Config{NumPeers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	net.Start() // no-op
+	net.Stop()
+	net.Stop() // no-op
+}
+
+func TestDeployDuplicateChaincode(t *testing.T) {
+	net, err := NewNetwork(Config{NumPeers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Deploy(kvCC{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Deploy(kvCC{}); err == nil {
+		t.Fatal("duplicate deploy accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	net, err := NewNetwork(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumPeers() != 4 {
+		t.Fatalf("default peers = %d", net.NumPeers())
+	}
+	if net.ChannelID() != "traffic-channel" {
+		t.Fatalf("default channel = %s", net.ChannelID())
+	}
+	if net.Policy().Describe() == "" {
+		t.Fatal("no default policy")
+	}
+}

@@ -1,0 +1,260 @@
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"socialchain/internal/ledger"
+	"socialchain/internal/msp"
+	"socialchain/internal/peer"
+	"socialchain/internal/statedb"
+)
+
+// ErrCommitTimeout is returned when a submitted transaction does not commit
+// within the configured window.
+var ErrCommitTimeout = errors.New("fabric: commit timeout")
+
+// Result reports the outcome of a submitted transaction.
+type Result struct {
+	TxID     string
+	Response []byte
+	Flag     ledger.ValidationCode
+	BlockNum uint64
+}
+
+// Err returns a non-nil error when the transaction was committed invalid.
+func (r *Result) Err() error {
+	if r.Flag == ledger.Valid {
+		return nil
+	}
+	return fmt.Errorf("fabric: tx %s invalidated: %s", r.TxID, r.Flag)
+}
+
+// Gateway is the client SDK: it drives the endorse -> order -> commit
+// lifecycle on behalf of one signing identity (the paper's "client").
+type Gateway struct {
+	net    *Network
+	client *msp.Signer
+}
+
+// Gateway creates a client bound to this network.
+func (n *Network) Gateway(client *msp.Signer) *Gateway {
+	return &Gateway{net: n, client: client}
+}
+
+// Client returns the gateway's signing identity.
+func (g *Gateway) Client() msp.Identity { return g.client.Identity }
+
+// clientDelay simulates the client<->peer network hop.
+func (g *Gateway) clientDelay(peerID string) {
+	if g.net.cfg.Latency == nil {
+		return
+	}
+	if d := g.net.cfg.Latency.Delay("client", peerID); d > 0 {
+		g.net.cfg.Clock.Sleep(d)
+	}
+}
+
+// Evaluate executes a read-only query against a single peer and returns the
+// chaincode response without ordering or committing anything, like Fabric's
+// EvaluateTransaction. This is the paper's gas-free blockchain read path.
+// Among active endorsers it prefers the freshest peer (highest ledger
+// height) so reads observe the client's own committed writes.
+func (g *Gateway) Evaluate(ccName, fn string, args ...[]byte) ([]byte, error) {
+	endorsers := g.net.ActiveEndorsers()
+	if len(endorsers) == 0 {
+		return nil, errors.New("fabric: no active endorsers")
+	}
+	p := endorsers[int(g.net.rr.Add(1))%len(endorsers)]
+	best := p.Ledger().Height()
+	for _, cand := range endorsers {
+		if h := cand.Ledger().Height(); h > best {
+			best = h
+			p = cand
+		}
+	}
+	prop, err := peer.NewProposal(g.client, g.net.cfg.ChannelID, ccName, fn, args, g.net.cfg.Clock.Now())
+	if err != nil {
+		return nil, err
+	}
+	g.clientDelay(p.ID())
+	resp, err := p.Endorse(prop)
+	g.clientDelay(p.ID())
+	if err != nil {
+		return nil, err
+	}
+	return resp.Response, nil
+}
+
+// mvccRetries bounds automatic resubmission after an MVCC invalidation.
+// A transaction endorsed against peers that had not yet caught up on a
+// recent block reads stale versions and is invalidated at commit; as in
+// Fabric applications, the client re-endorses against fresh state and
+// resubmits.
+const mvccRetries = 4
+
+// Submit runs the full transaction lifecycle: endorse on all active peers,
+// assemble and sign the envelope, order through BFT consensus, and wait for
+// commit. MVCC invalidations caused by stale endorsement state are retried
+// with a fresh proposal; other invalidation flags are returned to the
+// caller. The returned result may still carry an invalidation flag (e.g. a
+// genuine concurrent-writer conflict that persists across retries).
+func (g *Gateway) Submit(ccName, fn string, args ...[]byte) (*Result, error) {
+	var res *Result
+	for attempt := 0; ; attempt++ {
+		tx, err := g.endorseAndAssemble(ccName, fn, args)
+		if err != nil {
+			return nil, err
+		}
+		res, err = g.SubmitEnvelope(*tx)
+		if err != nil {
+			return nil, err
+		}
+		if res.Flag != ledger.MVCCConflict || attempt >= mvccRetries {
+			return res, nil
+		}
+		time.Sleep(time.Duration(attempt+1) * 5 * time.Millisecond)
+	}
+}
+
+// endorseRetries bounds re-endorsement attempts when peers are momentarily
+// out of sync (some have not yet committed a recent block) and split the
+// endorsement set across digests.
+const endorseRetries = 5
+
+// endorseAndAssemble collects endorsements in parallel, groups them by
+// result digest, and assembles a signed envelope from the largest agreeing
+// group. If that group cannot satisfy the channel policy it retries after a
+// short delay, letting lagging peers catch up.
+func (g *Gateway) endorseAndAssemble(ccName, fn string, args [][]byte) (*ledger.Transaction, error) {
+	prop, err := peer.NewProposal(g.client, g.net.cfg.ChannelID, ccName, fn, args, g.net.cfg.Clock.Now())
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < endorseRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
+		}
+		endorsers := g.net.ActiveEndorsers()
+		if len(endorsers) == 0 {
+			return nil, errors.New("fabric: no active endorsers")
+		}
+		type endorsement struct {
+			resp *peer.ProposalResponse
+			err  error
+		}
+		results := make([]endorsement, len(endorsers))
+		var wg sync.WaitGroup
+		for i, p := range endorsers {
+			wg.Add(1)
+			go func(i int, p *peer.Peer) {
+				defer wg.Done()
+				g.clientDelay(p.ID())
+				resp, err := p.Endorse(prop)
+				g.clientDelay(p.ID())
+				results[i] = endorsement{resp: resp, err: err}
+			}(i, p)
+		}
+		wg.Wait()
+
+		groups := make(map[string][]*peer.ProposalResponse)
+		var errs []error
+		for _, r := range results {
+			if r.err != nil {
+				errs = append(errs, r.err)
+				continue
+			}
+			groups[string(r.resp.Endorsement.Digest)] = append(groups[string(r.resp.Endorsement.Digest)], r.resp)
+		}
+		var best []*peer.ProposalResponse
+		for _, grp := range groups {
+			if len(grp) > len(best) {
+				best = grp
+			}
+		}
+		if len(best) == 0 {
+			if len(errs) > 0 {
+				return nil, fmt.Errorf("fabric: all endorsements failed: %w", errs[0])
+			}
+			return nil, errors.New("fabric: no endorsements")
+		}
+		tx, err := assembleEnvelope(g.client, prop, ccName, fn, args, best)
+		if err != nil {
+			return nil, err
+		}
+		// Pre-check the policy so a transient endorsement split triggers a
+		// retry instead of a doomed submission.
+		if perr := g.net.policy.Evaluate(tx.Digest(), tx.Endorsements); perr != nil {
+			lastErr = perr
+			continue
+		}
+		return tx, nil
+	}
+	return nil, fmt.Errorf("fabric: endorsement policy unsatisfiable after %d attempts: %w", endorseRetries, lastErr)
+}
+
+// assembleEnvelope builds and signs the transaction envelope from an
+// agreeing endorsement group.
+func assembleEnvelope(client *msp.Signer, prop *peer.Proposal, ccName, fn string, args [][]byte, group []*peer.ProposalResponse) (*ledger.Transaction, error) {
+	var rw statedb.RWSet
+	if err := json.Unmarshal(group[0].RWSetJSON, &rw); err != nil {
+		return nil, fmt.Errorf("fabric: decode rwset: %w", err)
+	}
+	tx := &ledger.Transaction{
+		ID:        prop.TxID,
+		ChannelID: prop.ChannelID,
+		Creator:   client.Identity,
+		Payload:   ledger.TxPayload{Chaincode: ccName, Fn: fn, Args: args},
+		Response:  group[0].Response,
+		RWSet:     rw,
+		Events:    group[0].Events,
+		Timestamp: prop.Timestamp,
+	}
+	for _, r := range group {
+		tx.Endorsements = append(tx.Endorsements, r.Endorsement)
+	}
+	tx.Signature = client.Sign(tx.SigningBytes())
+	return tx, nil
+}
+
+// SubmitEnvelope orders a pre-assembled transaction envelope and waits for
+// commit. Exposed so tests can inject malformed envelopes.
+func (g *Gateway) SubmitEnvelope(tx ledger.Transaction) (*Result, error) {
+	// Listen for the commit on an entry peer chosen round-robin.
+	idx := int(g.net.rr.Add(1)) % len(g.net.peers)
+	entry := g.net.peers[idx]
+	waiter := entry.WaitForCommit(tx.ID)
+
+	g.clientDelay(entry.ID())
+	g.net.orderers[idx].Submit(tx)
+
+	select {
+	case flag := <-waiter:
+		res := &Result{TxID: tx.ID, Response: tx.Response, Flag: flag}
+		if _, _, blockNum, err := entry.Ledger().GetTx(tx.ID); err == nil {
+			res.BlockNum = blockNum
+		}
+		return res, nil
+	case <-time.After(g.net.cfg.CommitTimeout):
+		return nil, fmt.Errorf("%w: tx %s", ErrCommitTimeout, tx.ID)
+	}
+}
+
+// SubmitAsync orders a transaction without waiting for commit; the caller
+// can wait on the returned channel. Because it returns before commit, two
+// SubmitAsync calls reading the same key race and MVCC validation will
+// invalidate the loser.
+func (g *Gateway) SubmitAsync(ccName, fn string, args ...[]byte) (string, <-chan ledger.ValidationCode, error) {
+	tx, err := g.endorseAndAssemble(ccName, fn, args)
+	if err != nil {
+		return "", nil, err
+	}
+	idx := int(g.net.rr.Add(1)) % len(g.net.peers)
+	waiter := g.net.peers[idx].WaitForCommit(tx.ID)
+	g.net.orderers[idx].Submit(*tx)
+	return tx.ID, waiter, nil
+}

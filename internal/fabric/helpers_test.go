@@ -1,0 +1,46 @@
+package fabric
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"socialchain/internal/ledger"
+	"socialchain/internal/peer"
+	"socialchain/internal/statedb"
+)
+
+// proposalT aliases the peer proposal for test readability.
+type proposalT = peer.Proposal
+
+func newRawProposal(gw *Gateway, cc, fn string, args [][]byte) (*peer.Proposal, error) {
+	return peer.NewProposal(gw.client, gw.net.cfg.ChannelID, cc, fn, args, time.Now())
+}
+
+// envelopeFrom assembles a signed envelope carrying only the given
+// endorsement(s) — used to craft under-endorsed or corrupted transactions.
+func envelopeFrom(t *testing.T, gw *Gateway, prop *peer.Proposal, resps ...*peer.ProposalResponse) ledger.Transaction {
+	t.Helper()
+	if len(resps) == 0 {
+		t.Fatal("envelopeFrom needs at least one response")
+	}
+	var rw statedb.RWSet
+	if err := json.Unmarshal(resps[0].RWSetJSON, &rw); err != nil {
+		t.Fatalf("decode rwset: %v", err)
+	}
+	tx := ledger.Transaction{
+		ID:        prop.TxID,
+		ChannelID: prop.ChannelID,
+		Creator:   gw.client.Identity,
+		Payload:   ledger.TxPayload{Chaincode: prop.Chaincode, Fn: prop.Fn, Args: prop.Args},
+		Response:  resps[0].Response,
+		RWSet:     rw,
+		Events:    resps[0].Events,
+		Timestamp: prop.Timestamp,
+	}
+	for _, r := range resps {
+		tx.Endorsements = append(tx.Endorsements, r.Endorsement)
+	}
+	tx.Signature = gw.client.Sign(tx.SigningBytes())
+	return tx
+}

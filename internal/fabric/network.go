@@ -1,0 +1,304 @@
+// Package fabric assembles the permissioned blockchain network: peers,
+// consensus validators, ordering services and the deployed chaincodes, plus
+// the Gateway client through which applications submit and evaluate
+// transactions. It corresponds to the channel-level wiring of Hyperledger
+// Fabric that the paper's framework builds on.
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"socialchain/internal/chaincode"
+	"socialchain/internal/consensus"
+	"socialchain/internal/msp"
+	"socialchain/internal/ordering"
+	"socialchain/internal/peer"
+	"socialchain/internal/sim"
+)
+
+// Config describes a network to build.
+type Config struct {
+	// ChannelID names the single channel (default "traffic-channel", the
+	// paper's one-channel deployment).
+	ChannelID string
+	// NumPeers is the number of endorsing/validating peers (default 4).
+	NumPeers int
+	// NumOrgs spreads peers across organisations (default min(NumPeers,3)).
+	NumOrgs int
+	// Latency models the message delay between nodes (nil = zero).
+	Latency sim.LatencyModel
+	// Clock defaults to the real clock.
+	Clock sim.Clock
+	// Cutter configures batching.
+	Cutter ordering.CutterConfig
+	// ConsensusTimeout is the view-change timeout (default 2s).
+	ConsensusTimeout time.Duration
+	// Policy is the endorsement policy (nil = the paper's 2/3 quorum).
+	Policy msp.Policy
+	// Behaviors injects byzantine consensus behaviour per peer index.
+	Behaviors map[int]consensus.Behavior
+	// WatchdogThreshold flags an endorser after this many misbehaviour
+	// reports (default 3).
+	WatchdogThreshold int
+	// CommitTimeout bounds how long a Submit waits for commit (default 30s).
+	CommitTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.ChannelID == "" {
+		c.ChannelID = "traffic-channel"
+	}
+	if c.NumPeers <= 0 {
+		c.NumPeers = 4
+	}
+	if c.NumOrgs <= 0 {
+		c.NumOrgs = c.NumPeers
+		if c.NumOrgs > 3 {
+			c.NumOrgs = 3
+		}
+	}
+	if c.Clock == nil {
+		c.Clock = sim.RealClock{}
+	}
+	if c.ConsensusTimeout <= 0 {
+		c.ConsensusTimeout = 2 * time.Second
+	}
+	if c.CommitTimeout <= 0 {
+		c.CommitTimeout = 30 * time.Second
+	}
+	if c.WatchdogThreshold <= 0 {
+		c.WatchdogThreshold = 3
+	}
+}
+
+// Network is a running channel: peers + consensus + ordering.
+type Network struct {
+	cfg        Config
+	peers      []*peer.Peer
+	validators []*consensus.Validator
+	orderers   []*ordering.Service
+	consNet    *consensus.Network
+	registry   *chaincode.Registry
+	identities *msp.Registry
+	watchdog   *peer.Watchdog
+	policy     msp.Policy
+
+	mu        sync.RWMutex
+	excluded  map[string]bool
+	rr        atomic.Uint64
+	commitErr atomic.Uint64
+	started   bool
+}
+
+// NewNetwork builds (but does not start) a network.
+func NewNetwork(cfg Config) (*Network, error) {
+	cfg.fill()
+	n := &Network{
+		cfg:        cfg,
+		consNet:    consensus.NewNetwork(cfg.Latency, cfg.Clock),
+		registry:   chaincode.NewRegistry(),
+		identities: msp.NewRegistry(),
+		watchdog:   peer.NewWatchdog(cfg.WatchdogThreshold),
+		excluded:   make(map[string]bool),
+	}
+	n.policy = cfg.Policy
+	if n.policy == nil {
+		n.policy = msp.TwoThirds(cfg.NumPeers)
+	}
+	// Flagged endorsers are removed from the endorser pool.
+	n.watchdog.OnFlag(func(id string) {
+		n.mu.Lock()
+		n.excluded[id] = true
+		n.mu.Unlock()
+	})
+
+	ids := make([]string, cfg.NumPeers)
+	signers := make([]*msp.Signer, cfg.NumPeers)
+	idents := make(map[string]msp.Identity, cfg.NumPeers)
+	for i := 0; i < cfg.NumPeers; i++ {
+		org := fmt.Sprintf("org%d", i%cfg.NumOrgs)
+		name := fmt.Sprintf("peer%d", i)
+		s, err := msp.NewSigner(org, name, msp.RoleMember)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: signer %s: %w", name, err)
+		}
+		// Validators address each other by bare peer name.
+		ids[i] = name
+		signers[i] = s
+		idents[name] = s.Identity
+		if err := n.identities.Register(s.Identity); err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < cfg.NumPeers; i++ {
+		p, err := peer.New(peer.Config{
+			ID:        ids[i],
+			ChannelID: cfg.ChannelID,
+			Signer:    signers[i],
+			Registry:  n.registry,
+			Policy:    n.policy,
+			Watchdog:  n.watchdog,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.peers = append(n.peers, p)
+	}
+
+	for i := 0; i < cfg.NumPeers; i++ {
+		p := n.peers[i]
+		v := consensus.NewValidator(consensus.Config{
+			ID:             ids[i],
+			Validators:     ids,
+			Signer:         signers[i],
+			Identities:     idents,
+			Network:        n.consNet,
+			Clock:          cfg.Clock,
+			RequestTimeout: cfg.ConsensusTimeout,
+			Behavior:       cfg.Behaviors[i],
+			Deliver: func(seq uint64, payload []byte) {
+				batch, err := ordering.DecodeBatch(payload)
+				if err != nil {
+					n.commitErr.Add(1)
+					return
+				}
+				if _, err := p.CommitBatch(batch.Txs); err != nil {
+					n.commitErr.Add(1)
+				}
+			},
+		})
+		n.validators = append(n.validators, v)
+		n.orderers = append(n.orderers, ordering.NewService(cfg.Cutter, v, cfg.Clock))
+	}
+	return n, nil
+}
+
+// Start launches validators and ordering services.
+func (n *Network) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return
+	}
+	n.started = true
+	for _, v := range n.validators {
+		v.Start()
+	}
+	for _, o := range n.orderers {
+		o.Start()
+	}
+}
+
+// Stop shuts the network down.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	if !n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = false
+	n.mu.Unlock()
+	for _, o := range n.orderers {
+		o.Stop()
+	}
+	for _, v := range n.validators {
+		v.Stop()
+	}
+}
+
+// Deploy registers a chaincode on every peer (they share the registry).
+func (n *Network) Deploy(cc chaincode.Chaincode) error {
+	return n.registry.Register(cc)
+}
+
+// MustDeploy registers a chaincode, panicking on duplicates (setup-time
+// programming error).
+func (n *Network) MustDeploy(cc chaincode.Chaincode) {
+	if err := n.Deploy(cc); err != nil {
+		panic(err)
+	}
+}
+
+// Peer returns the i-th peer.
+func (n *Network) Peer(i int) *peer.Peer { return n.peers[i] }
+
+// Peers returns all peers.
+func (n *Network) Peers() []*peer.Peer { return n.peers }
+
+// NumPeers returns the peer count.
+func (n *Network) NumPeers() int { return len(n.peers) }
+
+// Validator returns the i-th consensus validator (tests, stats).
+func (n *Network) Validator(i int) *consensus.Validator { return n.validators[i] }
+
+// Watchdog returns the shared misbehaviour tracker.
+func (n *Network) Watchdog() *peer.Watchdog { return n.watchdog }
+
+// Identities returns the channel identity registry.
+func (n *Network) Identities() *msp.Registry { return n.identities }
+
+// Policy returns the channel endorsement policy.
+func (n *Network) Policy() msp.Policy { return n.policy }
+
+// ChannelID returns the channel name.
+func (n *Network) ChannelID() string { return n.cfg.ChannelID }
+
+// CommitErrors returns the number of batches that failed to commit.
+func (n *Network) CommitErrors() uint64 { return n.commitErr.Load() }
+
+// ActiveEndorsers returns peers not excluded by the watchdog.
+func (n *Network) ActiveEndorsers() []*peer.Peer {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]*peer.Peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		if !n.excluded[p.ID()] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SyncPeer catches peer i up from the freshest peer in the network (the
+// state-transfer path for peers that missed deliveries while partitioned).
+// It returns the number of blocks applied.
+func (n *Network) SyncPeer(i int) (int, error) {
+	target := n.peers[i]
+	var freshest *peer.Peer
+	for _, p := range n.peers {
+		if p == target {
+			continue
+		}
+		if freshest == nil || p.Ledger().Height() > freshest.Ledger().Height() {
+			freshest = p
+		}
+	}
+	if freshest == nil || freshest.Ledger().Height() <= target.Ledger().Height() {
+		return 0, nil
+	}
+	return target.SyncFrom(freshest)
+}
+
+// WaitHeight blocks until every peer's ledger reaches height (or timeout),
+// returning whether it was reached. Useful for tests and benchmarks.
+func (n *Network) WaitHeight(height uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, p := range n.peers {
+			if p.Ledger().Height() < height {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}

@@ -1,0 +1,74 @@
+package ipfs
+
+import (
+	"fmt"
+
+	"socialchain/internal/bitswap"
+	"socialchain/internal/blockstore"
+	"socialchain/internal/dht"
+	"socialchain/internal/sim"
+)
+
+// Cluster is a set of IPFS nodes sharing one DHT and bitswap network. The
+// paper's testbed ran two IPFS nodes; benchmarks construct clusters of
+// configurable size.
+type Cluster struct {
+	nodes   []*Node
+	dhtNet  *dht.Network
+	swapNet *bitswap.Network
+}
+
+// ClusterConfig configures cluster construction.
+type ClusterConfig struct {
+	// Nodes is the number of peers (>= 1).
+	Nodes int
+	// Latency applies to both DHT and bitswap traffic (nil = zero).
+	Latency sim.LatencyModel
+	// Clock defaults to the real clock.
+	Clock sim.Clock
+	// NodeOptions apply to every node.
+	NodeOptions Options
+}
+
+// NewCluster builds and bootstraps a connected cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("ipfs: cluster needs at least one node, got %d", cfg.Nodes)
+	}
+	c := &Cluster{
+		dhtNet:  dht.NewNetwork(cfg.Latency, cfg.Clock),
+		swapNet: bitswap.NewNetwork(cfg.Latency, cfg.Clock),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		name := fmt.Sprintf("ipfs-%d", i)
+		bs := blockstore.NewMem()
+		node := &Node{
+			name: name,
+			opts: cfg.NodeOptions,
+			bs:   bs,
+			pin:  blockstore.NewPinner(),
+			dht:  c.dhtNet.NewNode(name),
+			bw:   c.swapNet.NewEngine(name, bs),
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	// Bootstrap everyone off node 0.
+	seed := c.nodes[0].dht.Info()
+	for _, n := range c.nodes[1:] {
+		n.dht.Bootstrap(seed)
+	}
+	// A second pass back-fills routing tables now that all peers exist.
+	for _, n := range c.nodes {
+		n.dht.IterativeFindNode(n.dht.ID())
+	}
+	return c, nil
+}
+
+// Node returns the i-th node.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Nodes returns all nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }

@@ -1,0 +1,219 @@
+package ipfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"socialchain/internal/sim"
+)
+
+func newTestCluster(t *testing.T, n int, opts Options) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{Nodes: n, NodeOptions: opts})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+func TestAddGetLocal(t *testing.T) {
+	c := newTestCluster(t, 1, Options{ChunkSize: 1024})
+	rng := sim.NewRNG(1)
+	data := rng.Bytes(10 * 1024)
+	root, err := c.Node(0).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Node(0).Get(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("local round trip mismatch")
+	}
+}
+
+func TestAddDeterministicCID(t *testing.T) {
+	c := newTestCluster(t, 2, Options{ChunkSize: 2048})
+	data := sim.NewRNG(2).Bytes(100 * 1024)
+	r1, err := c.Node(0).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Node(1).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equals(r2) {
+		t.Fatal("same content, different CIDs on different nodes")
+	}
+}
+
+func TestCrossNodeFetch(t *testing.T) {
+	c := newTestCluster(t, 2, Options{ChunkSize: 4096})
+	data := sim.NewRNG(3).Bytes(64 * 1024)
+	root, err := c.Node(0).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Node(1).Has(root) {
+		t.Fatal("node 1 should not have the content yet")
+	}
+	got, err := c.Node(1).Get(root)
+	if err != nil {
+		t.Fatalf("cross-node get: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-node data mismatch")
+	}
+	if !c.Node(1).Has(root) {
+		t.Fatal("node 1 did not cache fetched content")
+	}
+	// Bitswap must have moved blocks.
+	if c.Node(1).Bitswap().Stats().BlocksReceived.Load() == 0 {
+		t.Fatal("no bitswap transfer recorded")
+	}
+}
+
+func TestFetchFromThirdNodeAfterPropagation(t *testing.T) {
+	c := newTestCluster(t, 4, Options{ChunkSize: 4096})
+	data := sim.NewRNG(4).Bytes(32 * 1024)
+	root, err := c.Node(0).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		got, err := c.Node(i).Get(root)
+		if err != nil {
+			t.Fatalf("node %d get: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("node %d data mismatch", i)
+		}
+	}
+}
+
+func TestGetMissingContent(t *testing.T) {
+	c := newTestCluster(t, 2, Options{})
+	data := sim.NewRNG(5).Bytes(1024)
+	// Build a CID that nothing provides by hashing directly.
+	phantomRoot, err := c.Node(0).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wipe node 0's store and provider records are stale; node 1 may still
+	// reach node 0 but the block is gone.
+	for _, k := range c.Node(0).Blockstore().AllKeys() {
+		if err := c.Node(0).Blockstore().Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Node(1).Get(phantomRoot); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	c := newTestCluster(t, 1, Options{})
+	root, err := c.Node(0).Add(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Node(0).Get(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty payload round-tripped to %d bytes", len(got))
+	}
+}
+
+func TestStat(t *testing.T) {
+	c := newTestCluster(t, 1, Options{ChunkSize: 1024, Fanout: 4})
+	data := sim.NewRNG(6).Bytes(10 * 1024) // 10 chunks + interior nodes
+	root, err := c.Node(0).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Node(0).Stat(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalSize != uint64(len(data)) {
+		t.Fatalf("TotalSize = %d", st.TotalSize)
+	}
+	if st.Blocks < 10 {
+		t.Fatalf("Blocks = %d, want >= 10", st.Blocks)
+	}
+}
+
+func TestGCPreservesPinnedContent(t *testing.T) {
+	c := newTestCluster(t, 1, Options{ChunkSize: 1024})
+	node := c.Node(0)
+	keep := sim.NewRNG(7).Bytes(8 * 1024)
+	drop := sim.NewRNG(8).Bytes(8 * 1024)
+	keepRoot, err := node.Add(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropRoot, err := node.Add(drop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Unpin(dropRoot)
+	removed, err := node.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("GC removed nothing")
+	}
+	if got, err := node.Get(keepRoot); err != nil || !bytes.Equal(got, keep) {
+		t.Fatalf("pinned content lost: %v", err)
+	}
+	if node.Has(dropRoot) {
+		t.Fatal("unpinned content survived GC")
+	}
+}
+
+func TestBuzhashStrategyRoundTrip(t *testing.T) {
+	c := newTestCluster(t, 2, Options{Strategy: ChunkBuzhash})
+	data := sim.NewRNG(9).Bytes(2 << 20)
+	root, err := c.Node(0).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Node(1).Get(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("buzhash cross-node mismatch")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Nodes: 0}); err == nil {
+		t.Fatal("zero-node cluster accepted")
+	}
+}
+
+func TestPropertyAddGetRoundTrip(t *testing.T) {
+	c := newTestCluster(t, 2, Options{ChunkSize: 1024})
+	cfg := &quick.Config{MaxCount: 15}
+	err := quick.Check(func(seed int64, sizeSeed uint32) bool {
+		size := int(sizeSeed % (256 * 1024))
+		data := sim.NewRNG(seed).Bytes(size)
+		root, err := c.Node(0).Add(data)
+		if err != nil {
+			return false
+		}
+		got, err := c.Node(1).Get(root)
+		return err == nil && bytes.Equal(got, data)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

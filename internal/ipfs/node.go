@@ -1,0 +1,257 @@
+// Package ipfs assembles the off-chain content-addressed store from its
+// substrates: chunking, Merkle-DAG construction, block storage, DHT provider
+// routing and bitswap block exchange. A Node exposes the familiar
+// Add/Get/Pin/GC surface; a Cluster wires several nodes into one network,
+// standing in for the paper's two-node IPFS deployment.
+package ipfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"socialchain/internal/bitswap"
+	"socialchain/internal/blockstore"
+	"socialchain/internal/chunker"
+	"socialchain/internal/cid"
+	"socialchain/internal/dag"
+	"socialchain/internal/dht"
+)
+
+// ChunkStrategy selects how payloads are split into blocks.
+type ChunkStrategy int
+
+const (
+	// ChunkFixed uses fixed-size chunks (IPFS default).
+	ChunkFixed ChunkStrategy = iota
+	// ChunkBuzhash uses content-defined chunking.
+	ChunkBuzhash
+)
+
+// Options configure a Node.
+type Options struct {
+	// ChunkSize for ChunkFixed; 0 means chunker.DefaultChunkSize.
+	ChunkSize int
+	// Strategy selects the chunker.
+	Strategy ChunkStrategy
+	// Fanout is the DAG interior-node width; 0 means dag.DefaultFanout.
+	Fanout int
+}
+
+// Node is one IPFS peer.
+type Node struct {
+	name string
+	opts Options
+
+	bs  blockstore.Blockstore
+	pin *blockstore.Pinner
+	dht *dht.Node
+	bw  *bitswap.Engine
+}
+
+// blockOf encodes a DAG node into its stored block form.
+func blockOf(n *dag.Node) blockstore.Block {
+	if len(n.Links) == 0 {
+		return blockstore.Block{Cid: cid.SumRaw(n.Data), Data: n.Data}
+	}
+	enc := n.Encode()
+	return blockstore.Block{Cid: cid.SumDagNode(enc), Data: enc}
+}
+
+// decodeBlock reverses blockOf based on the CID codec.
+func decodeBlock(b blockstore.Block) (*dag.Node, error) {
+	switch b.Cid.Codec() {
+	case cid.CodecRaw:
+		return &dag.Node{Data: b.Data}, nil
+	case cid.CodecDagNode:
+		return dag.Decode(b.Data)
+	default:
+		return nil, fmt.Errorf("ipfs: unknown codec %#x", b.Cid.Codec())
+	}
+}
+
+// localStore adapts the blockstore to the dag builder/walker interfaces.
+type localStore struct{ bs blockstore.Blockstore }
+
+func (s localStore) PutNode(n *dag.Node) (cid.Cid, error) {
+	b := blockOf(n)
+	if err := s.bs.Put(b); err != nil {
+		return cid.Undef, err
+	}
+	return b.Cid, nil
+}
+
+func (s localStore) GetNode(c cid.Cid) (*dag.Node, error) {
+	b, err := s.bs.Get(c)
+	if err != nil {
+		return nil, err
+	}
+	return decodeBlock(b)
+}
+
+// Name returns the node's peer name.
+func (n *Node) Name() string { return n.name }
+
+// Blockstore exposes the underlying store (stats, tests).
+func (n *Node) Blockstore() blockstore.Blockstore { return n.bs }
+
+// DHT exposes the routing node (tests, stats).
+func (n *Node) DHT() *dht.Node { return n.dht }
+
+// Bitswap exposes the exchange engine (stats).
+func (n *Node) Bitswap() *bitswap.Engine { return n.bw }
+
+// newChunker builds the configured chunker over r.
+func (n *Node) newChunker(r io.Reader) chunker.Chunker {
+	switch n.opts.Strategy {
+	case ChunkBuzhash:
+		return chunker.NewBuzhash(r)
+	default:
+		return chunker.NewFixed(r, n.opts.ChunkSize)
+	}
+}
+
+// Add imports data: chunk, build the Merkle DAG, store blocks, pin the root
+// and announce this node as a provider. It returns the root CID.
+func (n *Node) Add(data []byte) (cid.Cid, error) {
+	return n.AddReader(bytes.NewReader(data))
+}
+
+// AddReader is Add over a stream.
+func (n *Node) AddReader(r io.Reader) (cid.Cid, error) {
+	chunks, err := chunker.ChunkAll(n.newChunker(r))
+	if err != nil {
+		return cid.Undef, fmt.Errorf("ipfs: chunk: %w", err)
+	}
+	fanout := n.opts.Fanout
+	if fanout == 0 {
+		fanout = dag.DefaultFanout
+	}
+	root, _, err := dag.BuildFileFanout(localStore{n.bs}, chunks, fanout)
+	if err != nil {
+		return cid.Undef, fmt.Errorf("ipfs: build dag: %w", err)
+	}
+	n.pin.Pin(root)
+	if err := n.dht.Provide(root); err != nil {
+		return cid.Undef, fmt.Errorf("ipfs: provide: %w", err)
+	}
+	return root, nil
+}
+
+// ErrNotFound signals unreachable content.
+var ErrNotFound = errors.New("ipfs: content not found")
+
+// Get retrieves the full payload addressed by root. Missing blocks are
+// located via the DHT and fetched over bitswap; every fetched block is
+// hash-verified before use.
+func (n *Node) Get(root cid.Cid) ([]byte, error) {
+	if !root.Defined() {
+		return nil, errors.New("ipfs: undefined cid")
+	}
+	if err := n.fetchDAG(root); err != nil {
+		return nil, err
+	}
+	return dag.Reassemble(localStore{n.bs}, root)
+}
+
+// Has reports whether the complete DAG under root is present locally.
+func (n *Node) Has(root cid.Cid) bool {
+	if !n.bs.Has(root) {
+		return false
+	}
+	ok := true
+	_ = dag.Walk(localStore{n.bs}, root, func(c cid.Cid, _ *dag.Node) error {
+		if !n.bs.Has(c) {
+			ok = false
+			return errors.New("missing")
+		}
+		return nil
+	})
+	return ok
+}
+
+// fetchDAG ensures every block of the DAG under root is in the local store,
+// fetching missing blocks level by level with parallel bitswap requests.
+func (n *Node) fetchDAG(root cid.Cid) error {
+	var providers []string
+	ensure := func(cids []cid.Cid) error {
+		var missing []cid.Cid
+		for _, c := range cids {
+			if !n.bs.Has(c) {
+				missing = append(missing, c)
+			}
+		}
+		if len(missing) == 0 {
+			return nil
+		}
+		if providers == nil {
+			providers = n.dht.FindProviders(root, 8)
+			if len(providers) == 0 {
+				return fmt.Errorf("%w: no providers for %s", ErrNotFound, root)
+			}
+		}
+		if err := n.bw.FetchMany(missing, providers); err != nil {
+			return fmt.Errorf("%w: %v", ErrNotFound, err)
+		}
+		return nil
+	}
+
+	frontier := []cid.Cid{root}
+	for len(frontier) > 0 {
+		if err := ensure(frontier); err != nil {
+			return err
+		}
+		var next []cid.Cid
+		for _, c := range frontier {
+			node, err := localStore{n.bs}.GetNode(c)
+			if err != nil {
+				return err
+			}
+			for _, l := range node.Links {
+				next = append(next, l.Cid)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// Pin marks root as protected from GC.
+func (n *Node) Pin(root cid.Cid) { n.pin.Pin(root) }
+
+// Unpin releases one pin reference on root.
+func (n *Node) Unpin(root cid.Cid) { n.pin.Unpin(root) }
+
+// GC removes all blocks not reachable from a pinned root, returning the
+// number of blocks deleted.
+func (n *Node) GC() (int, error) {
+	return blockstore.GC(n.bs, n.pin, func(root cid.Cid) ([]cid.Cid, error) {
+		return dag.AllCids(localStore{n.bs}, root)
+	})
+}
+
+// Stat describes a stored object.
+type Stat struct {
+	Cid       cid.Cid
+	Blocks    int
+	TotalSize uint64
+}
+
+// Stat walks a local DAG and reports its block count and payload size.
+func (n *Node) Stat(root cid.Cid) (Stat, error) {
+	s := Stat{Cid: root}
+	var payload uint64
+	err := dag.Walk(localStore{n.bs}, root, func(c cid.Cid, node *dag.Node) error {
+		s.Blocks++
+		if len(node.Links) == 0 {
+			payload += uint64(len(node.Data))
+		}
+		return nil
+	})
+	if err != nil {
+		return Stat{}, err
+	}
+	s.TotalSize = payload
+	return s, nil
+}

@@ -1,0 +1,76 @@
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"time"
+
+	"socialchain/internal/merkle"
+)
+
+// BlockHeader chains blocks: each header commits to the previous header's
+// hash and to the Merkle root of the block's transactions.
+type BlockHeader struct {
+	Number    uint64    `json:"number"`
+	PrevHash  [32]byte  `json:"prev_hash"`
+	DataHash  [32]byte  `json:"data_hash"`
+	Timestamp time.Time `json:"timestamp"`
+}
+
+// Hash computes the header hash that the next block must reference.
+func (h BlockHeader) Hash() [32]byte {
+	buf := make([]byte, 8, 8+64)
+	binary.BigEndian.PutUint64(buf, h.Number)
+	buf = append(buf, h.PrevHash[:]...)
+	buf = append(buf, h.DataHash[:]...)
+	return sha256.Sum256(buf)
+}
+
+// BlockMetadata carries per-transaction validation flags set by committers.
+type BlockMetadata struct {
+	Flags []ValidationCode `json:"flags"`
+}
+
+// Block is a batch of ordered transactions.
+type Block struct {
+	Header   BlockHeader   `json:"header"`
+	Txs      []Transaction `json:"txs"`
+	Metadata BlockMetadata `json:"metadata"`
+}
+
+// ComputeDataHash returns the Merkle root over the block's transactions.
+func ComputeDataHash(txs []Transaction) [32]byte {
+	leaves := make([][]byte, len(txs))
+	for i := range txs {
+		leaves[i] = txs[i].Bytes()
+	}
+	return merkle.RootOf(leaves)
+}
+
+// NewBlock assembles a block at the given height referencing prevHash.
+func NewBlock(number uint64, prevHash [32]byte, txs []Transaction, ts time.Time) *Block {
+	return &Block{
+		Header: BlockHeader{
+			Number:    number,
+			PrevHash:  prevHash,
+			DataHash:  ComputeDataHash(txs),
+			Timestamp: ts,
+		},
+		Txs:      txs,
+		Metadata: BlockMetadata{Flags: make([]ValidationCode, len(txs))},
+	}
+}
+
+// TxProof builds a Merkle inclusion proof for the i-th transaction.
+func (b *Block) TxProof(i int) (merkle.Proof, error) {
+	leaves := make([][]byte, len(b.Txs))
+	for j := range b.Txs {
+		leaves[j] = b.Txs[j].Bytes()
+	}
+	return merkle.New(leaves).Prove(i)
+}
+
+// VerifyTxInclusion checks a transaction's Merkle proof against the header.
+func (b *Block) VerifyTxInclusion(tx *Transaction, proof merkle.Proof) bool {
+	return merkle.Verify(b.Header.DataHash, tx.Bytes(), proof)
+}

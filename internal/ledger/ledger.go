@@ -1,0 +1,161 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNotFound is returned for unknown blocks or transactions.
+var ErrNotFound = errors.New("ledger: not found")
+
+// Ledger is an append-only chain of blocks with transaction indexes.
+type Ledger struct {
+	mu      sync.RWMutex
+	blocks  []*Block
+	txIndex map[string]txLoc
+}
+
+type txLoc struct {
+	block uint64
+	idx   int
+}
+
+// New returns an empty ledger (height 0, no genesis yet).
+func New() *Ledger {
+	return &Ledger{txIndex: make(map[string]txLoc)}
+}
+
+// Height returns the number of committed blocks.
+func (l *Ledger) Height() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return uint64(len(l.blocks))
+}
+
+// TipHash returns the hash of the latest block header, or the zero hash for
+// an empty chain.
+func (l *Ledger) TipHash() [32]byte {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.blocks) == 0 {
+		return [32]byte{}
+	}
+	return l.blocks[len(l.blocks)-1].Header.Hash()
+}
+
+// Append commits a block after structural validation: the block number must
+// equal the current height and PrevHash must reference the tip.
+func (l *Ledger) Append(b *Block) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	height := uint64(len(l.blocks))
+	if b.Header.Number != height {
+		return fmt.Errorf("ledger: block number %d != expected height %d", b.Header.Number, height)
+	}
+	var prev [32]byte
+	if height > 0 {
+		prev = l.blocks[height-1].Header.Hash()
+	}
+	if b.Header.PrevHash != prev {
+		return fmt.Errorf("ledger: block %d prev hash mismatch", b.Header.Number)
+	}
+	if got, want := ComputeDataHash(b.Txs), b.Header.DataHash; got != want {
+		return fmt.Errorf("ledger: block %d data hash mismatch", b.Header.Number)
+	}
+	if len(b.Metadata.Flags) != len(b.Txs) {
+		return fmt.Errorf("ledger: block %d has %d flags for %d txs", b.Header.Number, len(b.Metadata.Flags), len(b.Txs))
+	}
+	l.blocks = append(l.blocks, b)
+	for i := range b.Txs {
+		l.txIndex[b.Txs[i].ID] = txLoc{block: b.Header.Number, idx: i}
+	}
+	return nil
+}
+
+// GetBlock returns block n.
+func (l *Ledger) GetBlock(n uint64) (*Block, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if n >= uint64(len(l.blocks)) {
+		return nil, fmt.Errorf("%w: block %d (height %d)", ErrNotFound, n, len(l.blocks))
+	}
+	return l.blocks[n], nil
+}
+
+// GetTx returns a transaction, its validation flag, and its block number.
+func (l *Ledger) GetTx(txID string) (*Transaction, ValidationCode, uint64, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	loc, ok := l.txIndex[txID]
+	if !ok {
+		return nil, InvalidOther, 0, fmt.Errorf("%w: tx %s", ErrNotFound, txID)
+	}
+	b := l.blocks[loc.block]
+	return &b.Txs[loc.idx], b.Metadata.Flags[loc.idx], loc.block, nil
+}
+
+// HasTx reports whether txID is committed (valid or not).
+func (l *Ledger) HasTx(txID string) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	_, ok := l.txIndex[txID]
+	return ok
+}
+
+// VerifyChain re-checks the whole hash chain and every data hash, returning
+// the first inconsistency. This is the tamper-evidence property the paper
+// relies on for provenance.
+func (l *Ledger) VerifyChain() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var prev [32]byte
+	for i, b := range l.blocks {
+		if b.Header.Number != uint64(i) {
+			return fmt.Errorf("ledger: block %d has number %d", i, b.Header.Number)
+		}
+		if b.Header.PrevHash != prev {
+			return fmt.Errorf("ledger: block %d prev-hash broken", i)
+		}
+		if ComputeDataHash(b.Txs) != b.Header.DataHash {
+			return fmt.Errorf("ledger: block %d data hash broken", i)
+		}
+		prev = b.Header.Hash()
+	}
+	return nil
+}
+
+// Iterate calls fn for every block in order; fn returning false stops.
+func (l *Ledger) Iterate(fn func(*Block) bool) {
+	l.mu.RLock()
+	blocks := append([]*Block(nil), l.blocks...)
+	l.mu.RUnlock()
+	for _, b := range blocks {
+		if !fn(b) {
+			return
+		}
+	}
+}
+
+// Stats summarises the chain for monitoring.
+type Stats struct {
+	Height   uint64
+	TotalTxs int
+	ValidTxs int
+}
+
+// Stats computes chain statistics.
+func (l *Ledger) Stats() Stats {
+	var s Stats
+	l.Iterate(func(b *Block) bool {
+		s.Height = b.Header.Number + 1
+		s.TotalTxs += len(b.Txs)
+		for _, f := range b.Metadata.Flags {
+			if f == Valid {
+				s.ValidTxs++
+			}
+		}
+		return true
+	})
+	return s
+}

@@ -1,0 +1,114 @@
+// Package ledger implements the blockchain itself: transaction envelopes,
+// blocks with a SHA-256 hash chain and Merkle data hashes, validation flags
+// recorded in block metadata, and whole-chain integrity verification — the
+// "Ledger / Transactions / Metadata" stack of the paper's Figure 1.
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"socialchain/internal/msp"
+	"socialchain/internal/statedb"
+)
+
+// TxPayload names the chaincode invocation a transaction carries.
+type TxPayload struct {
+	Chaincode string   `json:"chaincode"`
+	Fn        string   `json:"fn"`
+	Args      [][]byte `json:"args"`
+}
+
+// Event is a chaincode-emitted application event carried in the
+// transaction and delivered to subscribers when the transaction commits as
+// valid.
+type Event struct {
+	Name    string `json:"name"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// Transaction is a fully endorsed transaction envelope ready for ordering.
+type Transaction struct {
+	ID           string            `json:"id"`
+	ChannelID    string            `json:"channel_id"`
+	Creator      msp.Identity      `json:"creator"`
+	Payload      TxPayload         `json:"payload"`
+	Response     []byte            `json:"response,omitempty"`
+	RWSet        statedb.RWSet     `json:"rw_set"`
+	Events       []Event           `json:"events,omitempty"`
+	Endorsements []msp.Endorsement `json:"endorsements"`
+	Timestamp    time.Time         `json:"timestamp"`
+	Signature    []byte            `json:"signature,omitempty"`
+}
+
+// SigningBytes returns the canonical bytes the submitting client signs for
+// the envelope: the endorsement digest bound to the transaction ID.
+func (t *Transaction) SigningBytes() []byte {
+	d := t.Digest()
+	out := make([]byte, 0, len(d)+len(t.ID))
+	out = append(out, d...)
+	return append(out, t.ID...)
+}
+
+// NewTxID derives a transaction ID from the creator and a nonce, following
+// Fabric's txid = hash(nonce || creator).
+func NewTxID(creator msp.Identity, nonce []byte) string {
+	h := sha256.New()
+	h.Write(nonce)
+	b, _ := creator.Marshal()
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Digest returns the endorsement digest of this transaction's simulation
+// result (RWSet + response).
+func (t *Transaction) Digest() []byte {
+	return t.RWSet.Digest(t.Response)
+}
+
+// Bytes returns the canonical encoding used for block data hashing.
+func (t *Transaction) Bytes() []byte {
+	b, err := json.Marshal(t)
+	if err != nil {
+		panic("ledger: transaction marshal: " + err.Error())
+	}
+	return b
+}
+
+// ValidationCode records why a transaction was accepted or rejected at
+// commit time, stored per-transaction in block metadata as in Fabric.
+type ValidationCode uint8
+
+// Validation outcomes.
+const (
+	Valid ValidationCode = iota
+	MVCCConflict
+	EndorsementPolicyFailure
+	BadCreatorSignature
+	InvalidChaincode
+	InvalidOther
+)
+
+// String renders the code for logs and metrics.
+func (c ValidationCode) String() string {
+	switch c {
+	case Valid:
+		return "VALID"
+	case MVCCConflict:
+		return "MVCC_READ_CONFLICT"
+	case EndorsementPolicyFailure:
+		return "ENDORSEMENT_POLICY_FAILURE"
+	case BadCreatorSignature:
+		return "BAD_CREATOR_SIGNATURE"
+	case InvalidChaincode:
+		return "INVALID_CHAINCODE"
+	default:
+		return "INVALID_OTHER"
+	}
+}
+
+// Fmt helpers used by tests.
+var _ = fmt.Sprintf

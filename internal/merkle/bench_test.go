@@ -1,0 +1,34 @@
+package merkle
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkRootOf(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("leaves=%d", n), func(b *testing.B) {
+			l := leaves(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				RootOf(l)
+			}
+		})
+	}
+}
+
+func BenchmarkProveAndVerify(b *testing.B) {
+	l := leaves(1000)
+	tr := New(l)
+	root := tr.Root()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proof, err := tr.Prove(i % 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !Verify(root, l[i%1000], proof) {
+			b.Fatal("proof failed")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package merkle implements a binary Merkle tree with inclusion proofs. The
+// ledger uses it to compute the data hash of each block over its
+// transactions, and the query engine uses proofs to demonstrate that a
+// retrieved metadata record is part of a committed block.
+package merkle
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// leafPrefix and nodePrefix domain-separate leaf and interior hashes so a
+// leaf can never be confused with an interior node (second-preimage guard).
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+)
+
+func hashLeaf(data []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(data)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func hashNode(l, r [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Tree is an immutable Merkle tree over a sequence of leaves.
+type Tree struct {
+	levels [][][32]byte // levels[0] = leaf hashes, last level = [root]
+}
+
+// New builds a tree over the given leaves. An empty leaf set produces a
+// well-defined root (the hash of an empty leaf).
+func New(leaves [][]byte) *Tree {
+	if len(leaves) == 0 {
+		leaves = [][]byte{nil}
+	}
+	level := make([][32]byte, len(leaves))
+	for i, l := range leaves {
+		level[i] = hashLeaf(l)
+	}
+	t := &Tree{levels: [][][32]byte{level}}
+	for len(level) > 1 {
+		next := make([][32]byte, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, hashNode(level[i], level[i+1]))
+			} else {
+				// Odd node is promoted by pairing with itself.
+				next = append(next, hashNode(level[i], level[i]))
+			}
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t
+}
+
+// Root returns the Merkle root.
+func (t *Tree) Root() [32]byte {
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// RootOf is a convenience that builds a tree and returns its root.
+func RootOf(leaves [][]byte) [32]byte { return New(leaves).Root() }
+
+// NumLeaves returns the number of leaves in the tree.
+func (t *Tree) NumLeaves() int { return len(t.levels[0]) }
+
+// ProofStep is one sibling hash on the path from a leaf to the root.
+type ProofStep struct {
+	Hash  [32]byte
+	Right bool // sibling is the right child
+}
+
+// Proof is an inclusion proof for one leaf.
+type Proof struct {
+	Index int
+	Steps []ProofStep
+}
+
+// Prove returns the inclusion proof for leaf index i.
+func (t *Tree) Prove(i int) (Proof, error) {
+	if i < 0 || i >= len(t.levels[0]) {
+		return Proof{}, fmt.Errorf("merkle: leaf index %d out of range [0,%d)", i, len(t.levels[0]))
+	}
+	p := Proof{Index: i}
+	idx := i
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		level := t.levels[lvl]
+		var sib int
+		right := false
+		if idx%2 == 0 {
+			sib = idx + 1
+			right = true
+			if sib >= len(level) {
+				sib = idx // odd promotion pairs with itself
+			}
+		} else {
+			sib = idx - 1
+		}
+		p.Steps = append(p.Steps, ProofStep{Hash: level[sib], Right: right})
+		idx /= 2
+	}
+	return p, nil
+}
+
+// Verify checks that leaf data is included under root via proof.
+func Verify(root [32]byte, leaf []byte, proof Proof) bool {
+	h := hashLeaf(leaf)
+	for _, step := range proof.Steps {
+		if step.Right {
+			h = hashNode(h, step.Hash)
+		} else {
+			h = hashNode(step.Hash, h)
+		}
+	}
+	return h == root
+}
+
+// ErrEmptyTree is returned by operations that need at least one real leaf.
+var ErrEmptyTree = errors.New("merkle: empty tree")

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Histogram counts samples into fixed-width buckets over [Lo, Hi); samples
+// outside the range land in the first or last bucket. It is used to render
+// the confidence-score distributions of Figure 3 as text.
+type Histogram struct {
+	mu      sync.Mutex
+	lo, hi  float64
+	width   float64
+	buckets []int
+	total   int
+}
+
+// NewHistogram creates a histogram with n equal buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]int, n)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := int((v - h.lo) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.total++
+}
+
+// Counts returns a copy of per-bucket counts.
+func (h *Histogram) Counts() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int(nil), h.buckets...)
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Render draws the histogram as rows of "lo-hi | #### count". maxBar sets
+// the width of the longest bar.
+func (h *Histogram) Render(maxBar int) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if maxBar <= 0 {
+		maxBar = 40
+	}
+	peak := 0
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.buckets {
+		lo := h.lo + float64(i)*h.width
+		hi := lo + h.width
+		bar := 0
+		if peak > 0 {
+			bar = c * maxBar / peak
+		}
+		fmt.Fprintf(&b, "%8.3f-%-8.3f |%-*s %d\n", lo, hi, maxBar, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package msp
+
+import "testing"
+
+func BenchmarkSign(b *testing.B) {
+	s, err := NewSigner("org", "bench", RoleMember)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sign(msg)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	s, err := NewSigner("org", "bench", RoleMember)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := make([]byte, 256)
+	sig := s.Sign(msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Identity.Verify(msg, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkQuorumPolicyEvaluate(b *testing.B) {
+	digest := []byte("digest-to-endorse-0123456789abcd")
+	var ends []Endorsement
+	for i := 0; i < 7; i++ {
+		s, err := NewSigner("org", string(rune('a'+i)), RoleMember)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ends = append(ends, Endorsement{Endorser: s.Identity, Digest: digest, Signature: s.Sign(digest)})
+	}
+	pol := TwoThirds(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pol.Evaluate(digest, ends); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package msp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Endorsement is a signed statement by a peer that it executed a proposal
+// and observed a particular result digest.
+type Endorsement struct {
+	Endorser  Identity `json:"endorser"`
+	Digest    []byte   `json:"digest"`
+	Signature []byte   `json:"signature"`
+}
+
+// Verify reports whether the endorsement's signature covers the digest.
+func (e Endorsement) Verify() bool {
+	return e.Endorser.Verify(e.Digest, e.Signature)
+}
+
+// Policy decides whether a set of endorsements satisfies a channel's
+// endorsement requirement. Implementations must tolerate duplicate and
+// invalid endorsements (they are simply not counted).
+type Policy interface {
+	// Evaluate returns nil when the endorsements satisfy the policy for the
+	// given result digest.
+	Evaluate(digest []byte, endorsements []Endorsement) error
+	// Describe returns a human-readable statement of the requirement.
+	Describe() string
+}
+
+// countValid tallies endorsements that verify, match digest, and come from
+// distinct endorsers.
+func countValid(digest []byte, endorsements []Endorsement) (int, map[string]int) {
+	seen := make(map[string]bool)
+	perOrg := make(map[string]int)
+	n := 0
+	for _, e := range endorsements {
+		id := e.Endorser.ID()
+		if seen[id] {
+			continue
+		}
+		if !bytesEqual(e.Digest, digest) {
+			continue
+		}
+		if !e.Verify() {
+			continue
+		}
+		seen[id] = true
+		perOrg[e.Endorser.Org]++
+		n++
+	}
+	return n, perOrg
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// QuorumPolicy requires at least Threshold distinct valid endorsements out
+// of Total known endorsers. TwoThirds constructs the paper's ≥2/3 rule.
+type QuorumPolicy struct {
+	Threshold int
+	Total     int
+}
+
+// TwoThirds returns the quorum policy of §III: a transaction is legitimate
+// when at least two-thirds of the n peers endorse it.
+func TwoThirds(n int) QuorumPolicy {
+	// ceil(2n/3)
+	return QuorumPolicy{Threshold: (2*n + 2) / 3, Total: n}
+}
+
+// Evaluate implements Policy.
+func (p QuorumPolicy) Evaluate(digest []byte, endorsements []Endorsement) error {
+	if p.Threshold <= 0 {
+		return errors.New("msp: quorum policy with non-positive threshold")
+	}
+	n, _ := countValid(digest, endorsements)
+	if n < p.Threshold {
+		return fmt.Errorf("msp: endorsement policy not satisfied: %d/%d valid endorsements, need %d", n, p.Total, p.Threshold)
+	}
+	return nil
+}
+
+// Describe implements Policy.
+func (p QuorumPolicy) Describe() string {
+	return fmt.Sprintf("%d of %d endorsers", p.Threshold, p.Total)
+}
+
+// OrgCoveragePolicy additionally requires endorsements from at least
+// MinOrgs distinct organisations, modelling Fabric's AND(Org1, Org2, ...)
+// policies for multi-stakeholder channels.
+type OrgCoveragePolicy struct {
+	Threshold int
+	MinOrgs   int
+}
+
+// Evaluate implements Policy.
+func (p OrgCoveragePolicy) Evaluate(digest []byte, endorsements []Endorsement) error {
+	n, perOrg := countValid(digest, endorsements)
+	if n < p.Threshold {
+		return fmt.Errorf("msp: need %d endorsements, have %d", p.Threshold, n)
+	}
+	if len(perOrg) < p.MinOrgs {
+		return fmt.Errorf("msp: need endorsements from %d orgs, have %d", p.MinOrgs, len(perOrg))
+	}
+	return nil
+}
+
+// Describe implements Policy.
+func (p OrgCoveragePolicy) Describe() string {
+	return fmt.Sprintf("%d endorsers across >=%d orgs", p.Threshold, p.MinOrgs)
+}
+
+// AnyValid accepts a single valid endorsement; used for read-only queries.
+type AnyValid struct{}
+
+// Evaluate implements Policy.
+func (AnyValid) Evaluate(digest []byte, endorsements []Endorsement) error {
+	n, _ := countValid(digest, endorsements)
+	if n < 1 {
+		return errors.New("msp: no valid endorsement")
+	}
+	return nil
+}
+
+// Describe implements Policy.
+func (AnyValid) Describe() string { return "any single endorser" }

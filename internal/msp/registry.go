@@ -1,0 +1,71 @@
+package msp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry tracks the identities admitted to a channel, by organisation.
+// Peers consult it to authenticate proposal creators and endorsers.
+type Registry struct {
+	mu    sync.RWMutex
+	byID  map[string]Identity
+	byOrg map[string][]string
+}
+
+// NewRegistry returns an empty identity registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]Identity), byOrg: make(map[string][]string)}
+}
+
+// Register admits an identity. Registering the same ID twice is an error so
+// that enrollment contracts can detect duplicates, mirroring the paper's
+// enrollAdmin duplicate check.
+func (r *Registry) Register(id Identity) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := id.ID()
+	if _, ok := r.byID[key]; ok {
+		return fmt.Errorf("msp: identity %s already registered", key)
+	}
+	r.byID[key] = id
+	r.byOrg[id.Org] = append(r.byOrg[id.Org], key)
+	return nil
+}
+
+// Lookup returns the identity registered under id ("org/name").
+func (r *Registry) Lookup(id string) (Identity, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	got, ok := r.byID[id]
+	return got, ok
+}
+
+// Orgs returns the sorted list of organisations with at least one identity.
+func (r *Registry) Orgs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	orgs := make([]string, 0, len(r.byOrg))
+	for org := range r.byOrg {
+		orgs = append(orgs, org)
+	}
+	sort.Strings(orgs)
+	return orgs
+}
+
+// Members returns the sorted identity IDs of an organisation.
+func (r *Registry) Members(org string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := append([]string(nil), r.byOrg[org]...)
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered identities.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}

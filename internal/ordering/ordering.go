@@ -1,0 +1,187 @@
+// Package ordering implements the ordering service of the permissioned
+// blockchain: a block cutter that batches endorsed transactions by count,
+// size and timeout, and a BFT-backed service that achieves total order on
+// batches through the consensus validators, delivering identical batch
+// sequences to every peer's committer.
+package ordering
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"socialchain/internal/consensus"
+	"socialchain/internal/ledger"
+	"socialchain/internal/sim"
+)
+
+// CutterConfig tunes batching, analogous to Fabric's BatchSize/BatchTimeout.
+type CutterConfig struct {
+	// MaxMessages cuts a batch at this many transactions (default 10).
+	MaxMessages int
+	// MaxBytes cuts a batch when its encoded size would exceed this
+	// (default 2 MiB).
+	MaxBytes int
+	// BatchTimeout cuts a non-empty batch after this delay (default 50ms).
+	BatchTimeout time.Duration
+}
+
+func (c *CutterConfig) fill() {
+	if c.MaxMessages <= 0 {
+		c.MaxMessages = 10
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 2 << 20
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = 50 * time.Millisecond
+	}
+}
+
+// Batch is the unit of ordering: a slice of endorsed transactions.
+type Batch struct {
+	Txs []ledger.Transaction `json:"txs"`
+}
+
+// Encode serialises a batch for consensus.
+func (b Batch) Encode() []byte {
+	enc, err := json.Marshal(b)
+	if err != nil {
+		panic("ordering: batch marshal: " + err.Error())
+	}
+	return enc
+}
+
+// DecodeBatch parses a batch payload.
+func DecodeBatch(p []byte) (Batch, error) {
+	var b Batch
+	err := json.Unmarshal(p, &b)
+	return b, err
+}
+
+// Service accepts transactions, cuts batches and proposes them through the
+// local consensus validator. Decided batches arrive at the validator's
+// Deliver callback (wired by the network assembly), not here.
+type Service struct {
+	cfg       CutterConfig
+	validator *consensus.Validator
+	clock     sim.Clock
+
+	mu       sync.Mutex
+	pending  []ledger.Transaction
+	bytes    int
+	oldest   time.Time
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	proposed int
+}
+
+// NewService creates an ordering front-end over a consensus validator.
+func NewService(cfg CutterConfig, v *consensus.Validator, clock sim.Clock) *Service {
+	cfg.fill()
+	if clock == nil {
+		clock = sim.RealClock{}
+	}
+	return &Service{
+		cfg:       cfg,
+		validator: v,
+		clock:     clock,
+		stopCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
+	}
+}
+
+// Start launches the batch-timeout loop.
+func (s *Service) Start() { go s.loop() }
+
+// Stop flushes nothing and stops the loop.
+func (s *Service) Stop() {
+	close(s.stopCh)
+	<-s.doneCh
+}
+
+// Submit enqueues one endorsed transaction for ordering.
+func (s *Service) Submit(tx ledger.Transaction) {
+	s.mu.Lock()
+	size := len(tx.Bytes())
+	if len(s.pending) == 0 {
+		s.oldest = s.clock.Now()
+	}
+	// Cut on byte overflow before appending.
+	if s.bytes+size > s.cfg.MaxBytes && len(s.pending) > 0 {
+		s.cutLocked()
+	}
+	s.pending = append(s.pending, tx)
+	s.bytes += size
+	var cut Batch
+	doCut := false
+	if len(s.pending) >= s.cfg.MaxMessages {
+		cut, doCut = s.takeLocked()
+	}
+	s.mu.Unlock()
+	if doCut {
+		s.propose(cut)
+	}
+}
+
+// cutLocked proposes the current pending batch; caller holds mu.
+func (s *Service) cutLocked() {
+	batch, ok := s.takeLocked()
+	if !ok {
+		return
+	}
+	s.mu.Unlock()
+	s.propose(batch)
+	s.mu.Lock()
+}
+
+func (s *Service) takeLocked() (Batch, bool) {
+	if len(s.pending) == 0 {
+		return Batch{}, false
+	}
+	batch := Batch{Txs: s.pending}
+	s.pending = nil
+	s.bytes = 0
+	return batch, true
+}
+
+func (s *Service) propose(b Batch) {
+	s.mu.Lock()
+	s.proposed++
+	s.mu.Unlock()
+	s.validator.Propose(b.Encode())
+}
+
+// Proposed reports how many batches this service has proposed.
+func (s *Service) Proposed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.proposed
+}
+
+// PendingTxs reports the number of transactions awaiting a cut.
+func (s *Service) PendingTxs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+func (s *Service) loop() {
+	defer close(s.doneCh)
+	tick := s.cfg.BatchTimeout / 2
+	if tick <= 0 {
+		tick = 10 * time.Millisecond
+	}
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-s.clock.After(tick):
+			s.mu.Lock()
+			if len(s.pending) > 0 && s.clock.Now().Sub(s.oldest) >= s.cfg.BatchTimeout {
+				s.cutLocked()
+			}
+			s.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package ordering
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"socialchain/internal/consensus"
+	"socialchain/internal/ledger"
+	"socialchain/internal/msp"
+)
+
+// orderingHarness runs n validators, each with an ordering service, and
+// records batches delivered at validator 0.
+type orderingHarness struct {
+	services []*Service
+	mu       sync.Mutex
+	batches  [][]ledger.Transaction
+}
+
+func newOrderingHarness(t *testing.T, n int, cfg CutterConfig) *orderingHarness {
+	t.Helper()
+	h := &orderingHarness{}
+	net := consensus.NewNetwork(nil, nil)
+	ids := make([]string, n)
+	signers := make([]*msp.Signer, n)
+	idents := make(map[string]msp.Identity)
+	for i := 0; i < n; i++ {
+		ids[i] = fmt.Sprintf("o%d", i)
+		s, err := msp.NewSigner("org", ids[i], msp.RoleMember)
+		if err != nil {
+			t.Fatal(err)
+		}
+		signers[i] = s
+		idents[ids[i]] = s.Identity
+	}
+	var validators []*consensus.Validator
+	for i := 0; i < n; i++ {
+		first := i == 0
+		v := consensus.NewValidator(consensus.Config{
+			ID:         ids[i],
+			Validators: ids,
+			Signer:     signers[i],
+			Identities: idents,
+			Network:    net,
+			Deliver: func(seq uint64, payload []byte) {
+				if !first {
+					return
+				}
+				batch, err := DecodeBatch(payload)
+				if err != nil {
+					t.Errorf("decode batch: %v", err)
+					return
+				}
+				h.mu.Lock()
+				h.batches = append(h.batches, batch.Txs)
+				h.mu.Unlock()
+			},
+		})
+		v.Start()
+		validators = append(validators, v)
+		svc := NewService(cfg, v, nil)
+		svc.Start()
+		h.services = append(h.services, svc)
+	}
+	t.Cleanup(func() {
+		for _, s := range h.services {
+			s.Stop()
+		}
+		for _, v := range validators {
+			v.Stop()
+		}
+	})
+	return h
+}
+
+func (h *orderingHarness) batchCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.batches)
+}
+
+func (h *orderingHarness) totalTxs() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, b := range h.batches {
+		n += len(b)
+	}
+	return n
+}
+
+func testTx(t *testing.T, id string) ledger.Transaction {
+	t.Helper()
+	s, err := msp.NewSigner("org", "client", msp.RoleMember)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ledger.Transaction{ID: id, ChannelID: "ch", Creator: s.Identity, Timestamp: time.Now()}
+}
+
+func waitFor(t *testing.T, cond func() bool, timeout time.Duration, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestCutOnMaxMessages(t *testing.T) {
+	h := newOrderingHarness(t, 4, CutterConfig{MaxMessages: 3, BatchTimeout: time.Hour})
+	for i := 0; i < 6; i++ {
+		h.services[0].Submit(testTx(t, fmt.Sprintf("tx%d", i)))
+	}
+	waitFor(t, func() bool { return h.batchCount() >= 2 }, 5*time.Second, "2 batches")
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, b := range h.batches {
+		if len(b) != 3 {
+			t.Fatalf("batch %d has %d txs, want 3", i, len(b))
+		}
+	}
+}
+
+func TestCutOnTimeout(t *testing.T) {
+	h := newOrderingHarness(t, 4, CutterConfig{MaxMessages: 100, BatchTimeout: 30 * time.Millisecond})
+	h.services[0].Submit(testTx(t, "lonely"))
+	waitFor(t, func() bool { return h.batchCount() == 1 }, 5*time.Second, "timeout cut")
+	if h.totalTxs() != 1 {
+		t.Fatalf("total txs %d", h.totalTxs())
+	}
+}
+
+func TestCutOnBytes(t *testing.T) {
+	h := newOrderingHarness(t, 4, CutterConfig{MaxMessages: 100, MaxBytes: 700, BatchTimeout: 50 * time.Millisecond})
+	// Each tx is a few hundred bytes once encoded; six must overflow 700 B
+	// repeatedly.
+	for i := 0; i < 6; i++ {
+		h.services[0].Submit(testTx(t, fmt.Sprintf("bytes-%d", i)))
+	}
+	waitFor(t, func() bool { return h.totalTxs() == 6 }, 5*time.Second, "all txs ordered")
+	if h.batchCount() < 2 {
+		t.Fatalf("byte limit never cut: %d batches", h.batchCount())
+	}
+}
+
+func TestMultipleEntryPoints(t *testing.T) {
+	h := newOrderingHarness(t, 4, CutterConfig{MaxMessages: 1, BatchTimeout: 20 * time.Millisecond})
+	for i := 0; i < 8; i++ {
+		h.services[i%4].Submit(testTx(t, fmt.Sprintf("multi-%d", i)))
+	}
+	waitFor(t, func() bool { return h.totalTxs() == 8 }, 10*time.Second, "8 txs ordered")
+	// No duplicates.
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	seen := map[string]bool{}
+	for _, b := range h.batches {
+		for _, tx := range b {
+			if seen[tx.ID] {
+				t.Fatalf("tx %s ordered twice", tx.ID)
+			}
+			seen[tx.ID] = true
+		}
+	}
+}
+
+func TestBatchEncodeDecodeRoundTrip(t *testing.T) {
+	b := Batch{Txs: []ledger.Transaction{testTx(t, "a"), testTx(t, "b")}}
+	got, err := DecodeBatch(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Txs) != 2 || got.Txs[0].ID != "a" || got.Txs[1].ID != "b" {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestDecodeBatchRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBatch([]byte("not-json")); err == nil {
+		t.Fatal("garbage batch accepted")
+	}
+}
+
+func TestPendingAndProposedCounters(t *testing.T) {
+	h := newOrderingHarness(t, 4, CutterConfig{MaxMessages: 2, BatchTimeout: time.Hour})
+	h.services[0].Submit(testTx(t, "p1"))
+	if h.services[0].PendingTxs() != 1 {
+		t.Fatalf("pending = %d", h.services[0].PendingTxs())
+	}
+	h.services[0].Submit(testTx(t, "p2"))
+	waitFor(t, func() bool { return h.services[0].Proposed() == 1 }, 5*time.Second, "proposal")
+	if h.services[0].PendingTxs() != 0 {
+		t.Fatalf("pending after cut = %d", h.services[0].PendingTxs())
+	}
+}

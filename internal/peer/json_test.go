@@ -1,0 +1,6 @@
+package peer
+
+import "encoding/json"
+
+// jsonUnmarshal keeps the test file imports tidy.
+func jsonUnmarshal(b []byte, v any) error { return json.Unmarshal(b, v) }

@@ -1,0 +1,272 @@
+package peer
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"socialchain/internal/chaincode"
+	"socialchain/internal/ledger"
+	"socialchain/internal/msp"
+	"socialchain/internal/statedb"
+)
+
+// Peer is one endorsing/committing node. Every peer holds a full copy of
+// the ledger and world state and independently validates every block, as in
+// the paper's Figure 1 where all endorsement peers act as validators.
+type Peer struct {
+	id        string
+	channelID string
+	signer    *msp.Signer
+
+	ledger   *ledger.Ledger
+	state    *statedb.DB
+	history  *statedb.HistoryDB
+	registry *chaincode.Registry
+	policy   msp.Policy
+	watchdog *Watchdog
+
+	mu          sync.Mutex
+	commitWait  map[string][]chan ledger.ValidationCode
+	subscribers []chan chaincode.Event
+}
+
+// Config assembles a peer.
+type Config struct {
+	ID        string
+	ChannelID string
+	Signer    *msp.Signer
+	// Registry is the deployed chaincode set (shared across peers —
+	// chaincode instances are stateless; all state flows through the stub).
+	Registry *chaincode.Registry
+	// Policy validates endorsements at commit; nil panics (the network
+	// assembly always supplies one).
+	Policy msp.Policy
+	// Watchdog records endorsement misbehaviour (may be shared; nil creates
+	// a private one).
+	Watchdog *Watchdog
+}
+
+// New creates a peer with an empty ledger anchored by a genesis block.
+func New(cfg Config) (*Peer, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("peer %s: nil endorsement policy", cfg.ID)
+	}
+	wd := cfg.Watchdog
+	if wd == nil {
+		wd = NewWatchdog(3)
+	}
+	p := &Peer{
+		id:         cfg.ID,
+		channelID:  cfg.ChannelID,
+		signer:     cfg.Signer,
+		ledger:     ledger.New(),
+		state:      statedb.New(),
+		history:    statedb.NewHistoryDB(),
+		registry:   cfg.Registry,
+		policy:     cfg.Policy,
+		watchdog:   wd,
+		commitWait: make(map[string][]chan ledger.ValidationCode),
+	}
+	// The genesis block is identical on every peer: fixed zero timestamp
+	// (the header hash covers only number, prev-hash and data hash, so the
+	// chain stays consistent regardless).
+	genesis := ledger.NewBlock(0, [32]byte{}, nil, time.Time{})
+	if err := p.ledger.Append(genesis); err != nil {
+		return nil, fmt.Errorf("peer %s: genesis: %w", cfg.ID, err)
+	}
+	return p, nil
+}
+
+// ID returns the peer's name.
+func (p *Peer) ID() string { return p.id }
+
+// Identity returns the peer's signing identity.
+func (p *Peer) Identity() msp.Identity { return p.signer.Identity }
+
+// Ledger exposes the peer's chain.
+func (p *Peer) Ledger() *ledger.Ledger { return p.ledger }
+
+// State exposes the peer's world state.
+func (p *Peer) State() *statedb.DB { return p.state }
+
+// History exposes the peer's history database.
+func (p *Peer) History() *statedb.HistoryDB { return p.history }
+
+// Watchdog exposes the misbehaviour tracker.
+func (p *Peer) Watchdog() *Watchdog { return p.watchdog }
+
+// Endorse simulates a proposal against this peer's current state and signs
+// the resulting read/write set, implementing the paper's "each peer
+// executes the smart contract independently".
+func (p *Peer) Endorse(prop *Proposal) (*ProposalResponse, error) {
+	if !prop.Verify() {
+		return nil, fmt.Errorf("peer %s: proposal %s: bad client signature", p.id, prop.TxID)
+	}
+	cc, ok := p.registry.Get(prop.Chaincode)
+	if !ok {
+		return nil, fmt.Errorf("peer %s: unknown chaincode %q", p.id, prop.Chaincode)
+	}
+	sim := chaincode.NewSimulator(chaincode.TxContext{
+		TxID:      prop.TxID,
+		ChannelID: prop.ChannelID,
+		Creator:   prop.Creator,
+		Timestamp: prop.Timestamp,
+	}, prop.Chaincode, p.state, p.history).WithRegistry(p.registry)
+	resp, err := cc.Invoke(sim, prop.Fn, prop.Args)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: chaincode %s.%s: %w", p.id, prop.Chaincode, prop.Fn, err)
+	}
+	rw := sim.RWSet()
+	rwJSON, err := json.Marshal(rw)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: marshal rwset: %w", p.id, err)
+	}
+	digest := rw.Digest(resp)
+	var events []ledger.Event
+	for _, e := range sim.Events() {
+		events = append(events, ledger.Event{Name: e.Name, Payload: e.Payload})
+	}
+	return &ProposalResponse{
+		TxID:      prop.TxID,
+		Response:  resp,
+		RWSetJSON: rwJSON,
+		Events:    events,
+		Endorsement: msp.Endorsement{
+			Endorser:  p.signer.Identity,
+			Digest:    digest,
+			Signature: p.signer.Sign(digest),
+		},
+	}, nil
+}
+
+// WaitForCommit returns a channel that receives the validation flag when
+// txID commits on this peer. The channel is buffered; the caller need not
+// drain it before the commit happens.
+func (p *Peer) WaitForCommit(txID string) <-chan ledger.ValidationCode {
+	ch := make(chan ledger.ValidationCode, 1)
+	p.mu.Lock()
+	p.commitWait[txID] = append(p.commitWait[txID], ch)
+	p.mu.Unlock()
+	return ch
+}
+
+// SubscribeEvents returns a channel receiving chaincode events of valid
+// committed transactions.
+func (p *Peer) SubscribeEvents(buffer int) <-chan chaincode.Event {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	ch := make(chan chaincode.Event, buffer)
+	p.mu.Lock()
+	p.subscribers = append(p.subscribers, ch)
+	p.mu.Unlock()
+	return ch
+}
+
+// CommitBatch validates and commits one ordered batch of transactions as
+// the next block: endorsement policy first (the ≥2/3 rule), then MVCC
+// read-version checks, applying only valid writes. It returns the block.
+func (p *Peer) CommitBatch(txs []ledger.Transaction) (*ledger.Block, error) {
+	number := p.ledger.Height()
+	block := ledger.NewBlock(number, p.ledger.TipHash(), txs, time.Now())
+
+	blockWrites := make(map[string]bool) // ns\x00key written by earlier valid tx
+	for i := range block.Txs {
+		tx := &block.Txs[i]
+		flag := p.validateTx(tx, blockWrites)
+		block.Metadata.Flags[i] = flag
+		if flag != ledger.Valid {
+			continue
+		}
+		batch := statedb.NewUpdateBatch()
+		batch.AddRWSetWrites(tx.RWSet)
+		v := statedb.Version{BlockNum: number, TxNum: uint64(i)}
+		p.state.ApplyUpdates(batch, v)
+		p.history.RecordBatch(batch, tx.ID, v, tx.Timestamp)
+		for _, w := range tx.RWSet.Writes {
+			blockWrites[w.Namespace+"\x00"+w.Key] = true
+		}
+	}
+	if err := p.ledger.Append(block); err != nil {
+		return nil, fmt.Errorf("peer %s: append block %d: %w", p.id, number, err)
+	}
+	p.notify(block)
+	return block, nil
+}
+
+// validateTx applies the commit-time checks in Fabric's order.
+func (p *Peer) validateTx(tx *ledger.Transaction, blockWrites map[string]bool) ledger.ValidationCode {
+	// 1. Client envelope signature.
+	if !tx.Creator.Verify(tx.SigningBytes(), tx.Signature) {
+		return ledger.BadCreatorSignature
+	}
+	// 2. Endorsement policy over the simulation digest; also feed the
+	// watchdog with endorsers who signed a different digest (they endorsed
+	// a result that does not match the agreed outcome).
+	digest := tx.Digest()
+	for _, e := range tx.Endorsements {
+		if e.Verify() && !bytesEqual(e.Digest, digest) {
+			p.watchdog.Report(e.Endorser.ID(), "endorsed mismatching digest")
+		}
+	}
+	if err := p.policy.Evaluate(digest, tx.Endorsements); err != nil {
+		return ledger.EndorsementPolicyFailure
+	}
+	// 3. MVCC: every read version must still be current, and no earlier
+	// transaction in this block may have written a key this one read.
+	for _, r := range tx.RWSet.Reads {
+		if blockWrites[r.Namespace+"\x00"+r.Key] {
+			return ledger.MVCCConflict
+		}
+		cur, ok := p.state.GetVersion(r.Namespace, r.Key)
+		if ok != r.Exists {
+			return ledger.MVCCConflict
+		}
+		if ok && cur.Compare(r.Version) != 0 {
+			return ledger.MVCCConflict
+		}
+	}
+	return ledger.Valid
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// notify wakes commit waiters and event subscribers for a committed block.
+func (p *Peer) notify(block *ledger.Block) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range block.Txs {
+		tx := &block.Txs[i]
+		flag := block.Metadata.Flags[i]
+		for _, ch := range p.commitWait[tx.ID] {
+			select {
+			case ch <- flag:
+			default:
+			}
+		}
+		delete(p.commitWait, tx.ID)
+		if flag != ledger.Valid {
+			continue
+		}
+		for _, e := range tx.Events {
+			for _, sub := range p.subscribers {
+				select {
+				case sub <- chaincode.Event{TxID: tx.ID, Name: e.Name, Payload: e.Payload}:
+				default:
+				}
+			}
+		}
+	}
+}

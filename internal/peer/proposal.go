@@ -1,0 +1,85 @@
+// Package peer implements the endorsing peers of the paper's architecture:
+// proposal endorsement (chaincode simulation + signed read/write sets),
+// block validation (creator signatures, endorsement policy, MVCC) and
+// commit (world state + history updates, validation flags, events), plus a
+// watchdog that flags peers who endorse invalid results, as §III-A requires
+// for validators that act against the consensus rules.
+package peer
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"time"
+
+	"socialchain/internal/ledger"
+	"socialchain/internal/msp"
+)
+
+// Proposal is a client's request that a chaincode function be executed and
+// endorsed.
+type Proposal struct {
+	TxID      string       `json:"tx_id"`
+	ChannelID string       `json:"channel_id"`
+	Chaincode string       `json:"chaincode"`
+	Fn        string       `json:"fn"`
+	Args      [][]byte     `json:"args"`
+	Creator   msp.Identity `json:"creator"`
+	Nonce     []byte       `json:"nonce"`
+	Timestamp time.Time    `json:"timestamp"`
+	Signature []byte       `json:"signature"`
+}
+
+// SigningBytes returns the canonical bytes a client signs.
+func (p *Proposal) SigningBytes() []byte {
+	h := sha256.New()
+	h.Write([]byte(p.TxID))
+	h.Write([]byte{0})
+	h.Write([]byte(p.ChannelID))
+	h.Write([]byte{0})
+	h.Write([]byte(p.Chaincode))
+	h.Write([]byte{0})
+	h.Write([]byte(p.Fn))
+	h.Write([]byte{0})
+	for _, a := range p.Args {
+		ah := sha256.Sum256(a)
+		h.Write(ah[:])
+	}
+	h.Write(p.Nonce)
+	return h.Sum(nil)
+}
+
+// NewProposal builds and signs a proposal for the given invocation.
+func NewProposal(client *msp.Signer, channelID, ccName, fn string, args [][]byte, now time.Time) (*Proposal, error) {
+	nonce := make([]byte, 24)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("peer: nonce: %w", err)
+	}
+	p := &Proposal{
+		TxID:      ledger.NewTxID(client.Identity, nonce),
+		ChannelID: channelID,
+		Chaincode: ccName,
+		Fn:        fn,
+		Args:      args,
+		Creator:   client.Identity,
+		Nonce:     nonce,
+		Timestamp: now,
+	}
+	p.Signature = client.Sign(p.SigningBytes())
+	return p, nil
+}
+
+// Verify checks the proposal's client signature.
+func (p *Proposal) Verify() bool {
+	return p.Creator.Verify(p.SigningBytes(), p.Signature)
+}
+
+// ProposalResponse is a peer's endorsement of a simulated proposal.
+type ProposalResponse struct {
+	TxID        string          `json:"tx_id"`
+	Response    []byte          `json:"response,omitempty"`
+	RWSetJSON   []byte          `json:"rw_set"`
+	Events      []ledger.Event  `json:"events,omitempty"`
+	Endorsement msp.Endorsement `json:"endorsement"`
+	Err         string          `json:"err,omitempty"`
+}

@@ -1,0 +1,70 @@
+package peer
+
+import (
+	"fmt"
+
+	"socialchain/internal/ledger"
+	"socialchain/internal/statedb"
+)
+
+// The consensus layer delivers decided batches live; a peer that was
+// partitioned or restarted misses some and cannot execute past the gap.
+// SyncFrom implements the catch-up path (Fabric's block deliver/state
+// transfer): it copies the missing blocks from a healthy peer,
+// re-validating everything — hash-chain linkage via ledger.Append and each
+// transaction's flags via the same commit-time rules — so a malicious
+// "helper" cannot inject invalid state.
+
+// ErrFlagMismatch is returned when a synced block's recorded validation
+// flags disagree with this peer's own re-validation.
+var ErrFlagMismatch = fmt.Errorf("peer: synced block flags disagree with local validation")
+
+// SyncFrom copies blocks [local height, remote height) from the source
+// peer, returning how many blocks were applied.
+func (p *Peer) SyncFrom(src *Peer) (int, error) {
+	from := p.ledger.Height()
+	blocks := src.Ledger().BlocksFrom(from)
+	applied := 0
+	for _, b := range blocks {
+		if err := p.applySyncedBlock(b); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// applySyncedBlock re-validates a remote block and commits it locally.
+func (p *Peer) applySyncedBlock(b *ledger.Block) error {
+	number := p.ledger.Height()
+	if b.Header.Number != number {
+		return fmt.Errorf("peer %s: sync gap: got block %d at height %d", p.id, b.Header.Number, number)
+	}
+	// Re-validate every transaction against local state with the same
+	// rules the original commit used.
+	blockWrites := make(map[string]bool)
+	for i := range b.Txs {
+		tx := &b.Txs[i]
+		flag := p.validateTx(tx, blockWrites)
+		if flag != b.Metadata.Flags[i] {
+			return fmt.Errorf("%w: block %d tx %d: local %s vs recorded %s",
+				ErrFlagMismatch, b.Header.Number, i, flag, b.Metadata.Flags[i])
+		}
+		if flag != ledger.Valid {
+			continue
+		}
+		batch := statedb.NewUpdateBatch()
+		batch.AddRWSetWrites(tx.RWSet)
+		v := statedb.Version{BlockNum: number, TxNum: uint64(i)}
+		p.state.ApplyUpdates(batch, v)
+		p.history.RecordBatch(batch, tx.ID, v, tx.Timestamp)
+		for _, w := range tx.RWSet.Writes {
+			blockWrites[w.Namespace+"\x00"+w.Key] = true
+		}
+	}
+	if err := p.ledger.Append(b); err != nil {
+		return fmt.Errorf("peer %s: sync append: %w", p.id, err)
+	}
+	p.notify(b)
+	return nil
+}

@@ -1,0 +1,218 @@
+// Package query implements the paper's query engine (Figure 1, steps A-D):
+// a query processor that routes requests to the blockchain query executor
+// (on-chain metadata, provenance, conditional queries) and the database
+// query executor (raw payloads from IPFS by CID), and verifies every
+// retrieved payload against its on-chain hash before returning it.
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"socialchain/internal/cid"
+	"socialchain/internal/contracts"
+	"socialchain/internal/fabric"
+	"socialchain/internal/ipfs"
+	"socialchain/internal/provenance"
+	"socialchain/internal/statedb"
+)
+
+// Engine couples a blockchain gateway with an IPFS node.
+type Engine struct {
+	gw    *fabric.Gateway
+	store *ipfs.Node
+}
+
+// NewEngine builds a query engine.
+func NewEngine(gw *fabric.Gateway, store *ipfs.Node) *Engine {
+	return &Engine{gw: gw, store: store}
+}
+
+// Kind routes a Request.
+type Kind int
+
+// Request kinds, one per executor path.
+const (
+	// ByTxID fetches one record and its payload.
+	ByTxID Kind = iota
+	// ByLabel lists records whose primary label matches.
+	ByLabel
+	// BySource lists records submitted by one source.
+	BySource
+	// ByCamera lists records captured by one camera.
+	ByCamera
+	// BySelector runs a rich JSON selector over records.
+	BySelector
+	// ProvenanceOf walks a record's source chain.
+	ProvenanceOf
+)
+
+// Request is a parsed query for the processor.
+type Request struct {
+	Kind     Kind
+	Value    string           // tx id, label, source or camera
+	Selector statedb.Selector // for BySelector
+	// FetchPayload also retrieves and verifies raw bytes from IPFS (only
+	// meaningful for ByTxID).
+	FetchPayload bool
+}
+
+// Timing breaks a query's latency into its executor components, the
+// quantities Figure 6 plots.
+type Timing struct {
+	// Blockchain is time spent in the blockchain query executor.
+	Blockchain time.Duration
+	// IPFS is time spent in the database (IPFS) query executor.
+	IPFS time.Duration
+	// Verify is hash-integrity checking time.
+	Verify time.Duration
+}
+
+// Total returns the summed latency.
+func (t Timing) Total() time.Duration { return t.Blockchain + t.IPFS + t.Verify }
+
+// Result is the processor's answer.
+type Result struct {
+	Records []contracts.DataRecord
+	// Payload is the verified raw data (ByTxID with FetchPayload).
+	Payload []byte
+	// Verified reports that the payload matched its on-chain hash.
+	Verified bool
+	Timing   Timing
+}
+
+// Execute routes a request to its executors, as the paper's query processor
+// does.
+func (e *Engine) Execute(req Request) (*Result, error) {
+	switch req.Kind {
+	case ByTxID:
+		if req.FetchPayload {
+			return e.Data(req.Value)
+		}
+		rec, timing, err := e.metadataTimed(req.Value)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Records: []contracts.DataRecord{rec}, Timing: timing}, nil
+	case ByLabel:
+		return e.listQuery("queryByLabel", req.Value)
+	case BySource:
+		return e.listQuery("queryBySource", req.Value)
+	case ByCamera:
+		return e.listQuery("queryByCamera", req.Value)
+	case BySelector:
+		sel, err := json.Marshal(req.Selector)
+		if err != nil {
+			return nil, err
+		}
+		return e.listQuery("querySelector", string(sel))
+	case ProvenanceOf:
+		recs, err := e.Provenance(req.Value)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Records: recs}, nil
+	default:
+		return nil, fmt.Errorf("query: unknown request kind %d", req.Kind)
+	}
+}
+
+// Metadata fetches one on-chain record (blockchain executor only).
+func (e *Engine) Metadata(txID string) (contracts.DataRecord, error) {
+	rec, _, err := e.metadataTimed(txID)
+	return rec, err
+}
+
+func (e *Engine) metadataTimed(txID string) (contracts.DataRecord, Timing, error) {
+	var timing Timing
+	start := time.Now()
+	raw, err := e.gw.Evaluate(contracts.DataCC, "getData", []byte(txID))
+	timing.Blockchain = time.Since(start)
+	if err != nil {
+		return contracts.DataRecord{}, timing, err
+	}
+	var rec contracts.DataRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return contracts.DataRecord{}, timing, fmt.Errorf("query: corrupt record: %w", err)
+	}
+	return rec, timing, nil
+}
+
+// Data fetches a record's metadata from the blockchain, its payload from
+// IPFS, and verifies the payload hash — the full retrieval path of
+// Figure 1 (steps A-D).
+func (e *Engine) Data(txID string) (*Result, error) {
+	rec, timing, err := e.metadataTimed(txID)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cid.Parse(rec.CID)
+	if err != nil {
+		return nil, fmt.Errorf("query: record %s carries bad cid: %w", txID, err)
+	}
+	start := time.Now()
+	payload, err := e.store.Get(c)
+	timing.IPFS = time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("query: ipfs fetch for %s: %w", txID, err)
+	}
+	start = time.Now()
+	verr := provenance.VerifyPayload(&rec, payload)
+	timing.Verify = time.Since(start)
+	if verr != nil {
+		return &Result{Records: []contracts.DataRecord{rec}, Payload: payload, Verified: false, Timing: timing}, verr
+	}
+	return &Result{Records: []contracts.DataRecord{rec}, Payload: payload, Verified: true, Timing: timing}, nil
+}
+
+// listQuery runs a list-returning chaincode query.
+func (e *Engine) listQuery(fn, arg string) (*Result, error) {
+	start := time.Now()
+	raw, err := e.gw.Evaluate(contracts.DataCC, fn, []byte(arg))
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	var rawRecs []json.RawMessage
+	if err := json.Unmarshal(raw, &rawRecs); err != nil {
+		return nil, fmt.Errorf("query: corrupt list: %w", err)
+	}
+	recs := make([]contracts.DataRecord, 0, len(rawRecs))
+	for _, r := range rawRecs {
+		var rec contracts.DataRecord
+		if err := json.Unmarshal(r, &rec); err != nil {
+			return nil, fmt.Errorf("query: corrupt record in list: %w", err)
+		}
+		recs = append(recs, rec)
+	}
+	return &Result{Records: recs, Timing: Timing{Blockchain: elapsed}}, nil
+}
+
+// Provenance fetches and verifies a record's source chain (newest first).
+func (e *Engine) Provenance(txID string) ([]contracts.DataRecord, error) {
+	raw, err := e.gw.Evaluate(contracts.DataCC, "getProvenance", []byte(txID))
+	if err != nil {
+		return nil, err
+	}
+	var rawRecs []json.RawMessage
+	if err := json.Unmarshal(raw, &rawRecs); err != nil {
+		return nil, err
+	}
+	chain := make([]contracts.DataRecord, 0, len(rawRecs))
+	for _, r := range rawRecs {
+		var rec contracts.DataRecord
+		if err := json.Unmarshal(r, &rec); err != nil {
+			return nil, err
+		}
+		chain = append(chain, rec)
+	}
+	if err := provenance.VerifyChain(chain); err != nil {
+		return chain, err
+	}
+	return chain, nil
+}
+
+// ErrNotVerified marks retrievals whose payload failed the integrity check.
+var ErrNotVerified = errors.New("query: retrieved payload failed verification")

@@ -1,0 +1,111 @@
+// Package sim provides deterministic substrates for the rest of the system:
+// clocks that can be real or simulated, seeded random sources, and network
+// latency models. Components accept these as dependencies so that unit tests
+// and benchmarks are reproducible.
+package sim
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so components can run against wall-clock time in
+// production and against a controllable fake in tests.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for the given duration.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the time after duration d.
+	After(d time.Duration) <-chan time.Time
+}
+
+// RealClock is a Clock backed by the time package.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// FakeClock is a manually advanced Clock for deterministic tests. The zero
+// value is not usable; construct with NewFakeClock.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewFakeClock returns a FakeClock starting at the given time.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock. It blocks until Advance moves the clock past the
+// deadline.
+func (c *FakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-c.After(d)
+}
+
+// After implements Clock.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, &fakeWaiter{deadline: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward, firing any timers whose deadline passes.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	var due, rest []*fakeWaiter
+	for _, w := range c.waiters {
+		if !w.deadline.After(now) {
+			due = append(due, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	c.waiters = rest
+	c.mu.Unlock()
+
+	sort.Slice(due, func(i, j int) bool { return due[i].deadline.Before(due[j].deadline) })
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// PendingTimers reports how many timers are waiting to fire. Useful for
+// test synchronization.
+func (c *FakeClock) PendingTimers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}

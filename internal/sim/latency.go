@@ -1,0 +1,51 @@
+package sim
+
+import "time"
+
+// LatencyModel yields the one-way message delay between two named endpoints.
+// The in-process transports consult it before delivering a message, letting
+// benchmarks approximate LAN or WAN deployments of the blockchain and IPFS
+// networks.
+type LatencyModel interface {
+	Delay(from, to string) time.Duration
+}
+
+// ZeroLatency delivers every message immediately. It is the default for unit
+// tests.
+type ZeroLatency struct{}
+
+// Delay implements LatencyModel.
+func (ZeroLatency) Delay(from, to string) time.Duration { return 0 }
+
+// FixedLatency applies the same delay to every message.
+type FixedLatency struct{ D time.Duration }
+
+// Delay implements LatencyModel.
+func (f FixedLatency) Delay(from, to string) time.Duration { return f.D }
+
+// UniformLatency draws delays uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max time.Duration
+	Rng      *RNG
+}
+
+// Delay implements LatencyModel.
+func (u UniformLatency) Delay(from, to string) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	span := int64(u.Max - u.Min)
+	return u.Min + time.Duration(u.Rng.Int63n(span+1))
+}
+
+// LANLatency returns a latency model typical of a single-site deployment,
+// matching the paper's Docker-on-one-host testbed (sub-millisecond hops).
+func LANLatency(rng *RNG) LatencyModel {
+	return UniformLatency{Min: 50 * time.Microsecond, Max: 300 * time.Microsecond, Rng: rng}
+}
+
+// WANLatency returns a latency model for a geo-distributed deployment; used
+// by the scalability ablation.
+func WANLatency(rng *RNG) LatencyModel {
+	return UniformLatency{Min: 5 * time.Millisecond, Max: 40 * time.Millisecond, Rng: rng}
+}

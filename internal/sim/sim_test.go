@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockMonotonic(t *testing.T) {
+	c := RealClock{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatal("real clock went backwards")
+	}
+}
+
+func TestFakeClockAdvanceFiresTimers(t *testing.T) {
+	start := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewFakeClock(start)
+	ch := c.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before advance")
+	default:
+	}
+	c.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	c.Advance(2 * time.Second)
+	select {
+	case got := <-ch:
+		want := start.Add(11 * time.Second)
+		if !got.Equal(want) {
+			t.Fatalf("fired at %v, want %v", got, want)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timer did not fire after advance")
+	}
+}
+
+func TestFakeClockSleepUnblocksOnAdvance(t *testing.T) {
+	c := NewFakeClock(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(5 * time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for c.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not return")
+	}
+}
+
+func TestFakeClockZeroAfterFiresImmediately(t *testing.T) {
+	c := NewFakeClock(time.Unix(100, 0))
+	select {
+	case <-c.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("zero-duration After must fire immediately")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Intn(1000) == NewRNG(2).Intn(1000) &&
+		NewRNG(1).Intn(1000) == NewRNG(3).Intn(1000) {
+		t.Fatal("different seeds suspiciously identical")
+	}
+}
+
+func TestRNGNormalClamped(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := g.NormalClamped(0.5, 10, 0, 1)
+		if v < 0 || v > 1 {
+			t.Fatalf("clamped value %f out of range", v)
+		}
+	}
+}
+
+func TestRNGBytesLen(t *testing.T) {
+	g := NewRNG(9)
+	for _, n := range []int{0, 1, 17, 4096} {
+		if got := len(g.Bytes(n)); got != n {
+			t.Fatalf("Bytes(%d) returned %d bytes", n, got)
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	g := NewRNG(5)
+	f1 := g.Fork()
+	// Consuming from the parent must not affect the fork's stream once
+	// forked.
+	seq1 := []float64{f1.Float64(), f1.Float64()}
+
+	g2 := NewRNG(5)
+	f2 := g2.Fork()
+	seq2 := []float64{f2.Float64(), f2.Float64()}
+	if seq1[0] != seq2[0] || seq1[1] != seq2[1] {
+		t.Fatal("forked RNG not reproducible")
+	}
+}
+
+func TestPick(t *testing.T) {
+	g := NewRNG(11)
+	choices := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(g, choices)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Pick over 100 draws hit %d of 3 choices", len(seen))
+	}
+}
+
+func TestZeroLatency(t *testing.T) {
+	if (ZeroLatency{}).Delay("a", "b") != 0 {
+		t.Fatal("zero latency must be zero")
+	}
+}
+
+func TestFixedLatency(t *testing.T) {
+	m := FixedLatency{D: 5 * time.Millisecond}
+	if m.Delay("x", "y") != 5*time.Millisecond {
+		t.Fatal("fixed latency mismatch")
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	m := UniformLatency{Min: time.Millisecond, Max: 3 * time.Millisecond, Rng: NewRNG(3)}
+	for i := 0; i < 1000; i++ {
+		d := m.Delay("a", "b")
+		if d < time.Millisecond || d > 3*time.Millisecond {
+			t.Fatalf("delay %v out of [1ms,3ms]", d)
+		}
+	}
+}
+
+func TestUniformLatencyDegenerateRange(t *testing.T) {
+	m := UniformLatency{Min: 2 * time.Millisecond, Max: 2 * time.Millisecond, Rng: NewRNG(3)}
+	if d := m.Delay("a", "b"); d != 2*time.Millisecond {
+		t.Fatalf("degenerate range returned %v", d)
+	}
+}
+
+func TestLANWANProfiles(t *testing.T) {
+	rng := NewRNG(1)
+	lan := LANLatency(rng)
+	wan := WANLatency(rng)
+	for i := 0; i < 100; i++ {
+		if d := lan.Delay("a", "b"); d < 50*time.Microsecond || d > 300*time.Microsecond {
+			t.Fatalf("LAN delay %v out of profile", d)
+		}
+		if d := wan.Delay("a", "b"); d < 5*time.Millisecond || d > 40*time.Millisecond {
+			t.Fatalf("WAN delay %v out of profile", d)
+		}
+	}
+}

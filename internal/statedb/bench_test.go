@@ -1,0 +1,57 @@
+package statedb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func seededBenchDB(b *testing.B, keys int) *DB {
+	b.Helper()
+	db := New()
+	batch := NewUpdateBatch()
+	for i := 0; i < keys; i++ {
+		doc := fmt.Sprintf(`{"label":"car","confidence":%f,"idx":%d}`, float64(i%100)/100, i)
+		batch.Put("data", fmt.Sprintf("rec/%06d", i), []byte(doc))
+	}
+	db.ApplyUpdates(batch, Version{BlockNum: 1})
+	return db
+}
+
+func BenchmarkGetState(b *testing.B) {
+	db := seededBenchDB(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.GetState("data", fmt.Sprintf("rec/%06d", i%10000))
+	}
+}
+
+func BenchmarkApplyUpdates(b *testing.B) {
+	db := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := NewUpdateBatch()
+		for j := 0; j < 10; j++ {
+			batch.Put("data", fmt.Sprintf("k%d-%d", i, j), []byte("value"))
+		}
+		db.ApplyUpdates(batch, Version{BlockNum: uint64(i)})
+	}
+}
+
+func BenchmarkRangeScan(b *testing.B) {
+	db := seededBenchDB(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.GetStateRange("data", "rec/001000", "rec/002000")
+	}
+}
+
+func BenchmarkSelectorQuery(b *testing.B) {
+	db := seededBenchDB(b, 2000)
+	sel := Selector{"confidence": map[string]any{"$gt": 0.5}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.ExecuteQuery("data", sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package statedb
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DB is the in-memory versioned world state. It is safe for concurrent use;
+// reads proceed under a shared lock while commits take the exclusive lock,
+// mirroring Fabric's state database semantics (LevelDB/CouchDB).
+type DB struct {
+	mu   sync.RWMutex
+	data map[string]map[string]VersionedValue // ns -> key -> value
+}
+
+// New returns an empty world state.
+func New() *DB {
+	return &DB{data: make(map[string]map[string]VersionedValue)}
+}
+
+// GetState returns the value of key in ns.
+func (db *DB) GetState(ns, key string) (VersionedValue, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	vv, ok := db.data[ns][key]
+	return vv, ok
+}
+
+// GetVersion returns only the version of a key.
+func (db *DB) GetVersion(ns, key string) (Version, bool) {
+	vv, ok := db.GetState(ns, key)
+	return vv.Version, ok
+}
+
+// ApplyUpdates commits a batch at the given block height. TxNum in each
+// write's version is assigned from the batch entries' staged versions; the
+// caller provides the per-transaction version.
+func (db *DB) ApplyUpdates(batch *UpdateBatch, v Version) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for ns, kvs := range batch.updates {
+		m, ok := db.data[ns]
+		if !ok {
+			m = make(map[string]VersionedValue)
+			db.data[ns] = m
+		}
+		for key, w := range kvs {
+			if w.IsDelete {
+				delete(m, key)
+				continue
+			}
+			m[key] = VersionedValue{Value: append([]byte(nil), w.Value...), Version: v}
+		}
+	}
+}
+
+// GetStateRange returns keys in [startKey, endKey) of ns in sorted order.
+// Empty startKey means from the beginning; empty endKey means to the end.
+func (db *DB) GetStateRange(ns, startKey, endKey string) []KV {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m := db.data[ns]
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		if k < startKey {
+			continue
+		}
+		if endKey != "" && k >= endKey {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]KV, 0, len(keys))
+	for _, k := range keys {
+		vv := m[k]
+		out = append(out, KV{Namespace: ns, Key: k, Value: append([]byte(nil), vv.Value...), Version: vv.Version})
+	}
+	return out
+}
+
+// GetStateByPrefix returns all keys of ns beginning with prefix, sorted.
+func (db *DB) GetStateByPrefix(ns, prefix string) []KV {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m := db.data[ns]
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]KV, 0, len(keys))
+	for _, k := range keys {
+		vv := m[k]
+		out = append(out, KV{Namespace: ns, Key: k, Value: append([]byte(nil), vv.Value...), Version: vv.Version})
+	}
+	return out
+}
+
+// Keys returns the number of keys stored in ns.
+func (db *DB) Keys(ns string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.data[ns])
+}
+
+// Namespaces lists the namespaces present, sorted.
+func (db *DB) Namespaces() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.data))
+	for ns := range db.data {
+		out = append(out, ns)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,69 @@
+package statedb
+
+import (
+	"sync"
+	"time"
+)
+
+// HistEntry is one historical update to a key, underpinning the paper's
+// provenance feature: an immutable record of every change with its
+// transaction and timestamp.
+type HistEntry struct {
+	TxID      string    `json:"tx_id"`
+	Value     []byte    `json:"value,omitempty"`
+	IsDelete  bool      `json:"is_delete,omitempty"`
+	Version   Version   `json:"version"`
+	Timestamp time.Time `json:"timestamp"`
+}
+
+// HistoryDB records the full update history of every key.
+type HistoryDB struct {
+	mu      sync.RWMutex
+	entries map[string]map[string][]HistEntry // ns -> key -> updates in commit order
+}
+
+// NewHistoryDB returns an empty history database.
+func NewHistoryDB() *HistoryDB {
+	return &HistoryDB{entries: make(map[string]map[string][]HistEntry)}
+}
+
+// Record appends an update for ns/key.
+func (h *HistoryDB) Record(ns, key string, e HistEntry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.entries[ns]
+	if !ok {
+		m = make(map[string][]HistEntry)
+		h.entries[ns] = m
+	}
+	m[key] = append(m[key], e)
+}
+
+// RecordBatch appends history entries for every write in a batch.
+func (h *HistoryDB) RecordBatch(batch *UpdateBatch, txID string, v Version, ts time.Time) {
+	for ns, kvs := range batch.updates {
+		for key, w := range kvs {
+			h.Record(ns, key, HistEntry{
+				TxID:      txID,
+				Value:     append([]byte(nil), w.Value...),
+				IsDelete:  w.IsDelete,
+				Version:   v,
+				Timestamp: ts,
+			})
+		}
+	}
+}
+
+// Get returns the full history of ns/key in commit order.
+func (h *HistoryDB) Get(ns, key string) []HistEntry {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return append([]HistEntry(nil), h.entries[ns][key]...)
+}
+
+// Len returns the number of keys with history in ns.
+func (h *HistoryDB) Len(ns string) int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.entries[ns])
+}

@@ -1,0 +1,92 @@
+package statedb
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+)
+
+// ReadItem records that a transaction read a key at a particular version
+// (Exists=false when the key was absent).
+type ReadItem struct {
+	Namespace string  `json:"ns"`
+	Key       string  `json:"key"`
+	Version   Version `json:"version"`
+	Exists    bool    `json:"exists"`
+}
+
+// WriteItem records a pending write or delete.
+type WriteItem struct {
+	Namespace string `json:"ns"`
+	Key       string `json:"key"`
+	Value     []byte `json:"value,omitempty"`
+	IsDelete  bool   `json:"is_delete,omitempty"`
+}
+
+// RWSet is the outcome of simulating a transaction: everything it read
+// (with versions) and everything it intends to write. It is the unit over
+// which endorsers agree and committers validate.
+type RWSet struct {
+	Reads  []ReadItem  `json:"reads"`
+	Writes []WriteItem `json:"writes"`
+}
+
+// Digest returns a deterministic hash of the read/write set combined with
+// the chaincode response; endorsers sign this digest.
+func (rw RWSet) Digest(response []byte) []byte {
+	// Slices serialise in order, so JSON here is deterministic.
+	enc, err := json.Marshal(rw)
+	if err != nil {
+		// RWSet contains only marshalable fields; treat failure as fatal.
+		panic("statedb: rwset marshal: " + err.Error())
+	}
+	h := sha256.New()
+	h.Write(enc)
+	h.Write([]byte{0})
+	h.Write(response)
+	return h.Sum(nil)
+}
+
+// UpdateBatch accumulates writes to apply atomically at commit.
+type UpdateBatch struct {
+	updates map[string]map[string]WriteItem // ns -> key -> write
+}
+
+// NewUpdateBatch returns an empty batch.
+func NewUpdateBatch() *UpdateBatch {
+	return &UpdateBatch{updates: make(map[string]map[string]WriteItem)}
+}
+
+// Put stages a write.
+func (b *UpdateBatch) Put(ns, key string, value []byte) {
+	b.stage(WriteItem{Namespace: ns, Key: key, Value: value})
+}
+
+// Delete stages a deletion.
+func (b *UpdateBatch) Delete(ns, key string) {
+	b.stage(WriteItem{Namespace: ns, Key: key, IsDelete: true})
+}
+
+func (b *UpdateBatch) stage(w WriteItem) {
+	m, ok := b.updates[w.Namespace]
+	if !ok {
+		m = make(map[string]WriteItem)
+		b.updates[w.Namespace] = m
+	}
+	m[w.Key] = w
+}
+
+// AddRWSetWrites stages every write of an RWSet.
+func (b *UpdateBatch) AddRWSetWrites(rw RWSet) {
+	for _, w := range rw.Writes {
+		b.stage(w)
+	}
+}
+
+// Len returns the number of staged writes.
+func (b *UpdateBatch) Len() int {
+	n := 0
+	for _, m := range b.updates {
+		n += len(m)
+	}
+	return n
+}

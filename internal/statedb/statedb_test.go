@@ -1,0 +1,304 @@
+package statedb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	db := New()
+	batch := NewUpdateBatch()
+	batch.Put("cc", "k1", []byte("v1"))
+	db.ApplyUpdates(batch, Version{BlockNum: 1, TxNum: 0})
+
+	vv, ok := db.GetState("cc", "k1")
+	if !ok || string(vv.Value) != "v1" {
+		t.Fatalf("get = %v %q", ok, vv.Value)
+	}
+	if vv.Version != (Version{BlockNum: 1, TxNum: 0}) {
+		t.Fatalf("version = %v", vv.Version)
+	}
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	db := New()
+	b := NewUpdateBatch()
+	b.Put("ns1", "k", []byte("a"))
+	b.Put("ns2", "k", []byte("b"))
+	db.ApplyUpdates(b, Version{BlockNum: 1})
+	v1, _ := db.GetState("ns1", "k")
+	v2, _ := db.GetState("ns2", "k")
+	if string(v1.Value) != "a" || string(v2.Value) != "b" {
+		t.Fatal("namespaces bleed")
+	}
+	if _, ok := db.GetState("ns3", "k"); ok {
+		t.Fatal("phantom namespace")
+	}
+}
+
+func TestDeleteRemovesKey(t *testing.T) {
+	db := New()
+	b := NewUpdateBatch()
+	b.Put("cc", "k", []byte("v"))
+	db.ApplyUpdates(b, Version{BlockNum: 1})
+	b2 := NewUpdateBatch()
+	b2.Delete("cc", "k")
+	db.ApplyUpdates(b2, Version{BlockNum: 2})
+	if _, ok := db.GetState("cc", "k"); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestBatchLastWriteWins(t *testing.T) {
+	db := New()
+	b := NewUpdateBatch()
+	b.Put("cc", "k", []byte("first"))
+	b.Put("cc", "k", []byte("second"))
+	if b.Len() != 1 {
+		t.Fatalf("batch len %d", b.Len())
+	}
+	db.ApplyUpdates(b, Version{BlockNum: 1})
+	vv, _ := db.GetState("cc", "k")
+	if string(vv.Value) != "second" {
+		t.Fatalf("value %q", vv.Value)
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	db := New()
+	b := NewUpdateBatch()
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		b.Put("cc", k, []byte(k))
+	}
+	db.ApplyUpdates(b, Version{BlockNum: 1})
+
+	got := db.GetStateRange("cc", "b", "d")
+	if len(got) != 2 || got[0].Key != "b" || got[1].Key != "c" {
+		t.Fatalf("range [b,d) = %+v", got)
+	}
+	all := db.GetStateRange("cc", "", "")
+	if len(all) != 5 {
+		t.Fatalf("open range returned %d", len(all))
+	}
+	from := db.GetStateRange("cc", "c", "")
+	if len(from) != 3 {
+		t.Fatalf("range [c,∞) returned %d", len(from))
+	}
+}
+
+func TestRangeScanSortedProperty(t *testing.T) {
+	err := quick.Check(func(keys []string) bool {
+		db := New()
+		b := NewUpdateBatch()
+		for _, k := range keys {
+			if k == "" {
+				continue
+			}
+			b.Put("cc", k, []byte("v"))
+		}
+		db.ApplyUpdates(b, Version{BlockNum: 1})
+		got := db.GetStateRange("cc", "", "")
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Key < got[j].Key })
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixScan(t *testing.T) {
+	db := New()
+	b := NewUpdateBatch()
+	for _, k := range []string{"user/alice", "user/bob", "admin/root"} {
+		b.Put("cc", k, []byte("v"))
+	}
+	db.ApplyUpdates(b, Version{BlockNum: 1})
+	got := db.GetStateByPrefix("cc", "user/")
+	if len(got) != 2 {
+		t.Fatalf("prefix scan = %d entries", len(got))
+	}
+}
+
+func TestVersionCompare(t *testing.T) {
+	cases := []struct {
+		a, b Version
+		want int
+	}{
+		{Version{1, 0}, Version{1, 0}, 0},
+		{Version{1, 0}, Version{1, 1}, -1},
+		{Version{2, 0}, Version{1, 9}, 1},
+		{Version{1, 5}, Version{1, 2}, 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRWSetDigestDeterministic(t *testing.T) {
+	rw := RWSet{
+		Reads:  []ReadItem{{Namespace: "cc", Key: "a", Version: Version{1, 0}, Exists: true}},
+		Writes: []WriteItem{{Namespace: "cc", Key: "b", Value: []byte("v")}},
+	}
+	if !bytes.Equal(rw.Digest([]byte("r")), rw.Digest([]byte("r"))) {
+		t.Fatal("digest unstable")
+	}
+	if bytes.Equal(rw.Digest([]byte("r")), rw.Digest([]byte("other"))) {
+		t.Fatal("digest ignores response")
+	}
+	rw2 := rw
+	rw2.Writes = []WriteItem{{Namespace: "cc", Key: "b", Value: []byte("v2")}}
+	if bytes.Equal(rw.Digest([]byte("r")), rw2.Digest([]byte("r"))) {
+		t.Fatal("digest ignores writes")
+	}
+}
+
+func TestSelectorEquality(t *testing.T) {
+	db := seedDocs(t)
+	got, err := db.ExecuteQuery("cc", Selector{"label": "truck"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("matched %d", len(got))
+	}
+}
+
+func TestSelectorOperators(t *testing.T) {
+	db := seedDocs(t)
+	cases := []struct {
+		sel  Selector
+		want int
+	}{
+		{Selector{"confidence": map[string]any{"$gt": 0.5}}, 2},
+		{Selector{"confidence": map[string]any{"$gte": 0.41}}, 3},
+		{Selector{"confidence": map[string]any{"$lt": 0.5}}, 1},
+		{Selector{"confidence": map[string]any{"$lte": 0.9, "$gt": 0.45}}, 2},
+		{Selector{"label": map[string]any{"$ne": "truck"}}, 1},
+		{Selector{"label": map[string]any{"$in": []any{"car", "bus"}}}, 1},
+		{Selector{"label": map[string]any{"$eq": "truck"}}, 2},
+		{Selector{"missing": map[string]any{"$exists": false}}, 3},
+		{Selector{"label": map[string]any{"$exists": true}}, 3},
+		{Selector{"location.latitude": map[string]any{"$gt": 12.0}}, 3},
+		{Selector{"label": "truck", "confidence": map[string]any{"$gt": 0.8}}, 1},
+	}
+	for i, c := range cases {
+		got, err := db.ExecuteQuery("cc", c.sel)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != c.want {
+			t.Errorf("case %d matched %d, want %d", i, len(got), c.want)
+		}
+	}
+}
+
+func TestSelectorBadOperator(t *testing.T) {
+	db := seedDocs(t)
+	if _, err := db.ExecuteQuery("cc", Selector{"label": map[string]any{"$regex": "t.*"}}); err == nil {
+		t.Fatal("unsupported operator accepted")
+	}
+	if _, err := db.ExecuteQuery("cc", Selector{"label": map[string]any{"$in": "notalist"}}); err == nil {
+		t.Fatal("$in with non-list accepted")
+	}
+}
+
+func TestSelectorSkipsNonJSON(t *testing.T) {
+	db := New()
+	b := NewUpdateBatch()
+	b.Put("cc", "binary", []byte{0xff, 0xfe})
+	b.Put("cc", "doc", mustJSON(map[string]any{"label": "x"}))
+	db.ApplyUpdates(b, Version{BlockNum: 1})
+	got, err := db.ExecuteQuery("cc", Selector{"label": "x"})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %d err %v", len(got), err)
+	}
+}
+
+func seedDocs(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	b := NewUpdateBatch()
+	docs := []map[string]any{
+		{"label": "truck", "confidence": 0.41, "location": map[string]any{"latitude": 12.97, "longitude": 77.59}},
+		{"label": "truck", "confidence": 0.88, "location": map[string]any{"latitude": 12.95, "longitude": 77.60}},
+		{"label": "car", "confidence": 0.70, "location": map[string]any{"latitude": 13.00, "longitude": 77.58}},
+	}
+	for i, d := range docs {
+		b.Put("cc", fmt.Sprintf("doc%d", i), mustJSON(d))
+	}
+	db.ApplyUpdates(b, Version{BlockNum: 1})
+	return db
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestHistoryDB(t *testing.T) {
+	h := NewHistoryDB()
+	now := time.Now()
+	h.Record("cc", "k", HistEntry{TxID: "tx1", Value: []byte("v1"), Version: Version{1, 0}, Timestamp: now})
+	h.Record("cc", "k", HistEntry{TxID: "tx2", Value: []byte("v2"), Version: Version{2, 0}, Timestamp: now})
+	got := h.Get("cc", "k")
+	if len(got) != 2 || got[0].TxID != "tx1" || got[1].TxID != "tx2" {
+		t.Fatalf("history = %+v", got)
+	}
+	if h.Len("cc") != 1 {
+		t.Fatalf("Len = %d", h.Len("cc"))
+	}
+	if len(h.Get("cc", "other")) != 0 {
+		t.Fatal("phantom history")
+	}
+}
+
+func TestHistoryRecordBatch(t *testing.T) {
+	h := NewHistoryDB()
+	b := NewUpdateBatch()
+	b.Put("cc", "k1", []byte("v"))
+	b.Delete("cc", "k2")
+	h.RecordBatch(b, "tx9", Version{3, 1}, time.Now())
+	if got := h.Get("cc", "k1"); len(got) != 1 || got[0].TxID != "tx9" {
+		t.Fatalf("k1 history %+v", got)
+	}
+	if got := h.Get("cc", "k2"); len(got) != 1 || !got[0].IsDelete {
+		t.Fatalf("k2 history %+v", got)
+	}
+}
+
+func TestNamespacesListing(t *testing.T) {
+	db := New()
+	b := NewUpdateBatch()
+	b.Put("zz", "k", []byte("v"))
+	b.Put("aa", "k", []byte("v"))
+	db.ApplyUpdates(b, Version{BlockNum: 1})
+	ns := db.Namespaces()
+	if len(ns) != 2 || ns[0] != "aa" || ns[1] != "zz" {
+		t.Fatalf("namespaces = %v", ns)
+	}
+	if db.Keys("aa") != 1 {
+		t.Fatalf("Keys = %d", db.Keys("aa"))
+	}
+}
+
+func TestValueCopiedOnWrite(t *testing.T) {
+	db := New()
+	val := []byte("mutable")
+	b := NewUpdateBatch()
+	b.Put("cc", "k", val)
+	db.ApplyUpdates(b, Version{BlockNum: 1})
+	val[0] = 'X'
+	vv, _ := db.GetState("cc", "k")
+	if vv.Value[0] == 'X' {
+		t.Fatal("db aliases caller buffer")
+	}
+}

@@ -1,0 +1,216 @@
+package trust
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// The paper lists "enhancing trust scoring with advanced techniques like
+// multi-source consensus and anomaly detection" as future work; this file
+// implements that extension: statistical detectors over a source's
+// submission stream that flag behaviour a plain outcome-EWMA misses.
+
+// Submission is the feature vector the detectors inspect.
+type Submission struct {
+	At         time.Time
+	Label      string
+	Confidence float64
+	Latitude   float64
+	Longitude  float64
+	DataHash   string
+	SizeBytes  int
+}
+
+// Anomaly is one detector finding.
+type Anomaly struct {
+	Kind   string
+	Detail string
+	// Severity in (0, 1]; the trust engine can subtract it from the
+	// cross-validation input.
+	Severity float64
+}
+
+// AnomalyDetectorConfig tunes the detectors.
+type AnomalyDetectorConfig struct {
+	// Window is how many recent submissions are kept (default 64).
+	Window int
+	// BurstWindow and BurstLimit flag more than BurstLimit submissions
+	// within BurstWindow (defaults: 10 s, 20).
+	BurstWindow time.Duration
+	BurstLimit  int
+	// ZThreshold flags confidence values this many standard deviations
+	// from the source's own history (default 3).
+	ZThreshold float64
+	// TeleportDegrees flags location jumps larger than this between
+	// consecutive submissions (default 0.5 ≈ 55 km).
+	TeleportDegrees float64
+}
+
+func (c *AnomalyDetectorConfig) fill() {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.BurstWindow <= 0 {
+		c.BurstWindow = 10 * time.Second
+	}
+	if c.BurstLimit <= 0 {
+		c.BurstLimit = 20
+	}
+	if c.ZThreshold <= 0 {
+		c.ZThreshold = 3
+	}
+	if c.TeleportDegrees <= 0 {
+		c.TeleportDegrees = 0.5
+	}
+}
+
+// AnomalyDetector accumulates one source's submission history and scores
+// each new submission. It is not safe for concurrent use; callers hold one
+// detector per source.
+type AnomalyDetector struct {
+	cfg    AnomalyDetectorConfig
+	recent []Submission
+	hashes map[string]int
+}
+
+// NewAnomalyDetector builds a detector.
+func NewAnomalyDetector(cfg AnomalyDetectorConfig) *AnomalyDetector {
+	cfg.fill()
+	return &AnomalyDetector{cfg: cfg, hashes: make(map[string]int)}
+}
+
+// Observe scores a submission against the source's history, then folds it
+// into the history. It returns all anomalies found (empty = clean).
+func (d *AnomalyDetector) Observe(s Submission) []Anomaly {
+	var out []Anomaly
+	if a, ok := d.checkDuplicateHash(s); ok {
+		out = append(out, a)
+	}
+	if a, ok := d.checkBurst(s); ok {
+		out = append(out, a)
+	}
+	if a, ok := d.checkConfidenceOutlier(s); ok {
+		out = append(out, a)
+	}
+	if a, ok := d.checkTeleport(s); ok {
+		out = append(out, a)
+	}
+	d.push(s)
+	return out
+}
+
+func (d *AnomalyDetector) push(s Submission) {
+	d.recent = append(d.recent, s)
+	d.hashes[s.DataHash]++
+	if len(d.recent) > d.cfg.Window {
+		evicted := d.recent[0]
+		d.recent = d.recent[1:]
+		if n := d.hashes[evicted.DataHash]; n <= 1 {
+			delete(d.hashes, evicted.DataHash)
+		} else {
+			d.hashes[evicted.DataHash] = n - 1
+		}
+	}
+}
+
+// checkDuplicateHash flags replayed payloads: the same content hash
+// submitted repeatedly (a cheap way to farm trust).
+func (d *AnomalyDetector) checkDuplicateHash(s Submission) (Anomaly, bool) {
+	if n := d.hashes[s.DataHash]; n > 0 {
+		return Anomaly{
+			Kind:     "duplicate-payload",
+			Detail:   fmt.Sprintf("hash %.12s already submitted %d time(s) in window", s.DataHash, n),
+			Severity: math.Min(1, 0.3+0.2*float64(n)),
+		}, true
+	}
+	return Anomaly{}, false
+}
+
+// checkBurst flags submission floods.
+func (d *AnomalyDetector) checkBurst(s Submission) (Anomaly, bool) {
+	cutoff := s.At.Add(-d.cfg.BurstWindow)
+	count := 0
+	for i := len(d.recent) - 1; i >= 0; i-- {
+		if d.recent[i].At.Before(cutoff) {
+			break
+		}
+		count++
+	}
+	if count >= d.cfg.BurstLimit {
+		return Anomaly{
+			Kind:     "burst",
+			Detail:   fmt.Sprintf("%d submissions within %v", count+1, d.cfg.BurstWindow),
+			Severity: 0.5,
+		}, true
+	}
+	return Anomaly{}, false
+}
+
+// checkConfidenceOutlier flags confidence values wildly inconsistent with
+// the source's own history (fabricated detections tend to cluster at
+// implausible extremes).
+func (d *AnomalyDetector) checkConfidenceOutlier(s Submission) (Anomaly, bool) {
+	if len(d.recent) < 8 {
+		return Anomaly{}, false
+	}
+	var sum, sumSq float64
+	for _, r := range d.recent {
+		sum += r.Confidence
+		sumSq += r.Confidence * r.Confidence
+	}
+	n := float64(len(d.recent))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 1e-6 {
+		variance = 1e-6
+	}
+	z := math.Abs(s.Confidence-mean) / math.Sqrt(variance)
+	if z > d.cfg.ZThreshold {
+		return Anomaly{
+			Kind:     "confidence-outlier",
+			Detail:   fmt.Sprintf("confidence %.3f is %.1fσ from source mean %.3f", s.Confidence, z, mean),
+			Severity: math.Min(1, z/(4*d.cfg.ZThreshold)+0.25),
+		}, true
+	}
+	return Anomaly{}, false
+}
+
+// checkTeleport flags physically impossible location jumps between
+// consecutive submissions.
+func (d *AnomalyDetector) checkTeleport(s Submission) (Anomaly, bool) {
+	if len(d.recent) == 0 {
+		return Anomaly{}, false
+	}
+	last := d.recent[len(d.recent)-1]
+	dlat := s.Latitude - last.Latitude
+	dlon := s.Longitude - last.Longitude
+	dist := math.Sqrt(dlat*dlat + dlon*dlon)
+	if dist > d.cfg.TeleportDegrees {
+		return Anomaly{
+			Kind:     "teleport",
+			Detail:   fmt.Sprintf("moved %.2f° since previous submission", dist),
+			Severity: 0.6,
+		}, true
+	}
+	return Anomaly{}, false
+}
+
+// PenaltyOf collapses a finding set into a single cross-validation penalty
+// in [0, 1]: the maximum severity (anomalies do not stack linearly; one
+// conclusive finding is enough).
+func PenaltyOf(found []Anomaly) float64 {
+	p := 0.0
+	for _, a := range found {
+		if a.Severity > p {
+			p = a.Severity
+		}
+	}
+	return p
+}
+
+// SortAnomalies orders findings by descending severity for reporting.
+func SortAnomalies(found []Anomaly) {
+	sort.Slice(found, func(i, j int) bool { return found[i].Severity > found[j].Severity })
+}

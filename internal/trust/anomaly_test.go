@@ -1,0 +1,159 @@
+package trust
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func cleanSubmission(i int) Submission {
+	return Submission{
+		At:         time.Unix(int64(1000+i*60), 0),
+		Label:      "car",
+		Confidence: 0.8 + 0.01*float64(i%5),
+		Latitude:   12.97 + 0.0001*float64(i),
+		Longitude:  77.59,
+		DataHash:   fmt.Sprintf("hash-%04d", i),
+		SizeBytes:  4096,
+	}
+}
+
+func TestCleanStreamNoAnomalies(t *testing.T) {
+	d := NewAnomalyDetector(AnomalyDetectorConfig{})
+	for i := 0; i < 40; i++ {
+		if found := d.Observe(cleanSubmission(i)); len(found) != 0 {
+			t.Fatalf("submission %d flagged: %+v", i, found)
+		}
+	}
+}
+
+func TestDuplicatePayloadDetected(t *testing.T) {
+	d := NewAnomalyDetector(AnomalyDetectorConfig{})
+	s := cleanSubmission(0)
+	if found := d.Observe(s); len(found) != 0 {
+		t.Fatalf("first submission flagged: %+v", found)
+	}
+	s2 := cleanSubmission(1)
+	s2.DataHash = s.DataHash
+	found := d.Observe(s2)
+	if !hasKind(found, "duplicate-payload") {
+		t.Fatalf("duplicate not flagged: %+v", found)
+	}
+	// Severity grows with repetition.
+	s3 := cleanSubmission(2)
+	s3.DataHash = s.DataHash
+	found3 := d.Observe(s3)
+	if PenaltyOf(found3) <= PenaltyOf(found) {
+		t.Fatal("severity did not grow with repetition")
+	}
+}
+
+func TestDuplicateExpiresOutOfWindow(t *testing.T) {
+	d := NewAnomalyDetector(AnomalyDetectorConfig{Window: 4})
+	first := cleanSubmission(0)
+	d.Observe(first)
+	for i := 1; i <= 4; i++ {
+		d.Observe(cleanSubmission(i))
+	}
+	replay := cleanSubmission(9)
+	replay.DataHash = first.DataHash
+	if found := d.Observe(replay); hasKind(found, "duplicate-payload") {
+		t.Fatalf("expired hash still flagged: %+v", found)
+	}
+}
+
+func TestBurstDetected(t *testing.T) {
+	d := NewAnomalyDetector(AnomalyDetectorConfig{BurstWindow: 10 * time.Second, BurstLimit: 5})
+	base := time.Unix(5000, 0)
+	var lastFound []Anomaly
+	for i := 0; i < 8; i++ {
+		s := cleanSubmission(i)
+		s.At = base.Add(time.Duration(i) * time.Second)
+		lastFound = d.Observe(s)
+	}
+	if !hasKind(lastFound, "burst") {
+		t.Fatalf("burst not flagged: %+v", lastFound)
+	}
+	// Spread-out submissions are fine.
+	d2 := NewAnomalyDetector(AnomalyDetectorConfig{BurstWindow: 10 * time.Second, BurstLimit: 5})
+	for i := 0; i < 8; i++ {
+		s := cleanSubmission(i)
+		s.At = base.Add(time.Duration(i) * time.Minute)
+		if found := d2.Observe(s); hasKind(found, "burst") {
+			t.Fatalf("spread stream flagged: %+v", found)
+		}
+	}
+}
+
+func TestConfidenceOutlierDetected(t *testing.T) {
+	d := NewAnomalyDetector(AnomalyDetectorConfig{})
+	for i := 0; i < 20; i++ {
+		d.Observe(cleanSubmission(i))
+	}
+	odd := cleanSubmission(21)
+	odd.Confidence = 0.05
+	found := d.Observe(odd)
+	if !hasKind(found, "confidence-outlier") {
+		t.Fatalf("outlier not flagged: %+v", found)
+	}
+}
+
+func TestOutlierNeedsHistory(t *testing.T) {
+	d := NewAnomalyDetector(AnomalyDetectorConfig{})
+	odd := cleanSubmission(0)
+	odd.Confidence = 0.01
+	if found := d.Observe(odd); hasKind(found, "confidence-outlier") {
+		t.Fatal("outlier flagged without history")
+	}
+}
+
+func TestTeleportDetected(t *testing.T) {
+	d := NewAnomalyDetector(AnomalyDetectorConfig{})
+	d.Observe(cleanSubmission(0))
+	jump := cleanSubmission(1)
+	jump.Latitude = 40.71 // Bangalore -> New York
+	jump.Longitude = -74.00
+	found := d.Observe(jump)
+	if !hasKind(found, "teleport") {
+		t.Fatalf("teleport not flagged: %+v", found)
+	}
+}
+
+func TestPenaltyOfEmpty(t *testing.T) {
+	if PenaltyOf(nil) != 0 {
+		t.Fatal("empty penalty not zero")
+	}
+}
+
+func TestPenaltyBounds(t *testing.T) {
+	d := NewAnomalyDetector(AnomalyDetectorConfig{})
+	for i := 0; i < 30; i++ {
+		d.Observe(cleanSubmission(i))
+	}
+	// Stack every detector at once.
+	evil := cleanSubmission(31)
+	evil.DataHash = cleanSubmission(29).DataHash
+	evil.Confidence = 0.01
+	evil.Latitude = 0
+	evil.Longitude = 0
+	found := d.Observe(evil)
+	p := PenaltyOf(found)
+	if p <= 0 || p > 1 {
+		t.Fatalf("penalty %f out of (0,1]", p)
+	}
+	SortAnomalies(found)
+	for i := 1; i < len(found); i++ {
+		if found[i].Severity > found[i-1].Severity {
+			t.Fatal("not sorted by severity")
+		}
+	}
+}
+
+func hasKind(found []Anomaly, kind string) bool {
+	for _, a := range found {
+		if a.Kind == kind {
+			return true
+		}
+	}
+	return false
+}

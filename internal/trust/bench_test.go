@@ -1,0 +1,46 @@
+package trust
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func BenchmarkUpdate(b *testing.B) {
+	p := DefaultParams()
+	s := NewState("src", p, time.Unix(0, 0))
+	obs := Observation{Valid: true, CrossValidation: 0.8, At: time.Unix(1, 0)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s = Update(s, obs, p)
+	}
+}
+
+func BenchmarkCrossValidate(b *testing.B) {
+	at := time.Unix(1000, 0)
+	cand := Comparable{Label: "car", Latitude: 12.97, Longitude: 77.59, At: at}
+	refs := make([]Comparable, 32)
+	for i := range refs {
+		refs[i] = Comparable{Label: "car", Latitude: 12.9 + float64(i)*0.001, Longitude: 77.6, At: at.Add(time.Duration(i) * time.Minute)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CrossValidate(cand, refs)
+	}
+}
+
+func BenchmarkAnomalyObserve(b *testing.B) {
+	d := NewAnomalyDetector(AnomalyDetectorConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(Submission{
+			At:         time.Unix(int64(i*60), 0),
+			Label:      "car",
+			Confidence: 0.8,
+			Latitude:   12.97,
+			Longitude:  77.59,
+			DataHash:   fmt.Sprintf("hash-%d", i),
+			SizeBytes:  4096,
+		})
+	}
+}

@@ -1,0 +1,191 @@
+// Package trust implements the paper's trust-score mechanism for untrusted
+// sources (§III-A): historical reliability tracked as an exponentially
+// weighted moving average of submission outcomes, combined with
+// cross-validation against trusted data. Scores live on-chain (the trust
+// chaincode persists State values); this package provides the pure,
+// deterministic score arithmetic so every endorser computes identical
+// updates.
+package trust
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Params tune the scoring model.
+type Params struct {
+	// InitialScore is assigned to a source on first contact (default 0.5).
+	InitialScore float64 `json:"initial_score"`
+	// HistoryWeight is the EWMA weight of the newest outcome (default 0.2):
+	// higher reacts faster, lower remembers longer.
+	HistoryWeight float64 `json:"history_weight"`
+	// CrossWeight balances cross-validation against historical reliability
+	// in the combined score (default 0.4).
+	CrossWeight float64 `json:"cross_weight"`
+	// MinTrusted is the score gate for accepting untrusted-source data
+	// (default 0.3).
+	MinTrusted float64 `json:"min_trusted"`
+	// FlagThreshold marks a source as flagged below this score
+	// (default 0.15).
+	FlagThreshold float64 `json:"flag_threshold"`
+}
+
+// DefaultParams returns the model defaults.
+func DefaultParams() Params {
+	return Params{
+		InitialScore:  0.5,
+		HistoryWeight: 0.2,
+		CrossWeight:   0.4,
+		MinTrusted:    0.3,
+		FlagThreshold: 0.15,
+	}
+}
+
+// State is one source's on-chain trust record.
+type State struct {
+	SourceID string `json:"source_id"`
+	// Historical is the EWMA of outcome history (1 = always valid).
+	Historical float64 `json:"historical"`
+	// Cross is the EWMA of cross-validation agreement with trusted data.
+	Cross float64 `json:"cross"`
+	// Score is the combined score used for gating.
+	Score       float64   `json:"score"`
+	Submissions int       `json:"submissions"`
+	Accepted    int       `json:"accepted"`
+	Rejected    int       `json:"rejected"`
+	Flagged     bool      `json:"flagged"`
+	UpdatedAt   time.Time `json:"updated_at"`
+}
+
+// NewState initialises a source's record.
+func NewState(sourceID string, p Params, now time.Time) State {
+	return State{
+		SourceID:   sourceID,
+		Historical: p.InitialScore,
+		Cross:      p.InitialScore,
+		Score:      p.InitialScore,
+		UpdatedAt:  now,
+	}
+}
+
+// Observation is one scored submission.
+type Observation struct {
+	// Valid is whether the submission passed validation (schema + source
+	// authentication + hash integrity).
+	Valid bool `json:"valid"`
+	// CrossValidation in [0,1] measures agreement with trusted sources
+	// covering the same scene/time; 0.5 means "no corroboration available".
+	CrossValidation float64   `json:"cross_validation"`
+	At              time.Time `json:"at"`
+}
+
+// Update folds an observation into a state, returning the new state. It is
+// a pure function: identical inputs yield identical outputs on every
+// endorser.
+func Update(s State, obs Observation, p Params) State {
+	outcome := 0.0
+	if obs.Valid {
+		outcome = 1.0
+	}
+	cv := clamp01(obs.CrossValidation)
+
+	s.Historical = (1-p.HistoryWeight)*s.Historical + p.HistoryWeight*outcome
+	s.Cross = (1-p.HistoryWeight)*s.Cross + p.HistoryWeight*cv
+	s.Score = (1-p.CrossWeight)*s.Historical + p.CrossWeight*s.Cross
+	s.Submissions++
+	if obs.Valid {
+		s.Accepted++
+	} else {
+		s.Rejected++
+	}
+	s.Flagged = s.Score < p.FlagThreshold
+	s.UpdatedAt = obs.At
+	return s
+}
+
+// Trusted reports whether the source's score passes the acceptance gate.
+func Trusted(s State, p Params) bool { return s.Score >= p.MinTrusted }
+
+// Marshal serialises a state for on-chain storage.
+func (s State) Marshal() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic("trust: state marshal: " + err.Error())
+	}
+	return b
+}
+
+// UnmarshalState parses an on-chain trust record.
+func UnmarshalState(b []byte) (State, error) {
+	var s State
+	if err := json.Unmarshal(b, &s); err != nil {
+		return State{}, fmt.Errorf("trust: unmarshal state: %w", err)
+	}
+	return s, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// CrossValidate scores how well a submission agrees with trusted
+// observations of the same scene: label agreement plus temporal and spatial
+// proximity. Each trusted record contributes a similarity in [0,1]; the
+// result is the best match, or 0.5 (neutral) when nothing is comparable.
+type Comparable struct {
+	Label     string
+	Latitude  float64
+	Longitude float64
+	At        time.Time
+}
+
+// CrossValidate compares a candidate against trusted references.
+func CrossValidate(candidate Comparable, trusted []Comparable) float64 {
+	if len(trusted) == 0 {
+		return 0.5
+	}
+	best := 0.0
+	for _, ref := range trusted {
+		s := similarity(candidate, ref)
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+func similarity(a, b Comparable) float64 {
+	s := 0.0
+	if a.Label == b.Label {
+		s += 0.5
+	}
+	// Temporal proximity: full credit within 1 minute, fading to zero at 10.
+	dt := a.At.Sub(b.At)
+	if dt < 0 {
+		dt = -dt
+	}
+	switch {
+	case dt <= time.Minute:
+		s += 0.25
+	case dt <= 10*time.Minute:
+		s += 0.25 * (1 - float64(dt-time.Minute)/float64(9*time.Minute))
+	}
+	// Spatial proximity: ~0.01 degrees (~1.1 km) for full credit.
+	dlat := a.Latitude - b.Latitude
+	dlon := a.Longitude - b.Longitude
+	d2 := dlat*dlat + dlon*dlon
+	switch {
+	case d2 <= 0.0001*0.0001:
+		s += 0.25
+	case d2 <= 0.01*0.01:
+		s += 0.25 * (1 - d2/(0.01*0.01))
+	}
+	return clamp01(s)
+}

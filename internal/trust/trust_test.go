@@ -1,0 +1,186 @@
+package trust
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewStateDefaults(t *testing.T) {
+	p := DefaultParams()
+	s := NewState("crowd/bob", p, time.Unix(0, 0))
+	if s.Score != p.InitialScore || s.Historical != p.InitialScore {
+		t.Fatalf("initial state %+v", s)
+	}
+	if !Trusted(s, p) {
+		t.Fatal("initial score should pass the gate")
+	}
+}
+
+func TestValidObservationsRaiseScore(t *testing.T) {
+	p := DefaultParams()
+	s := NewState("src", p, time.Unix(0, 0))
+	for i := 0; i < 10; i++ {
+		s = Update(s, Observation{Valid: true, CrossValidation: 0.9, At: time.Unix(int64(i), 0)}, p)
+	}
+	if s.Score <= p.InitialScore {
+		t.Fatalf("score %f did not rise", s.Score)
+	}
+	if s.Accepted != 10 || s.Rejected != 0 || s.Submissions != 10 {
+		t.Fatalf("counters %+v", s)
+	}
+}
+
+func TestInvalidObservationsLowerScoreAndFlag(t *testing.T) {
+	p := DefaultParams()
+	s := NewState("src", p, time.Unix(0, 0))
+	for i := 0; i < 20; i++ {
+		s = Update(s, Observation{Valid: false, CrossValidation: 0, At: time.Unix(int64(i), 0)}, p)
+	}
+	if s.Score >= p.MinTrusted {
+		t.Fatalf("score %f still above gate", s.Score)
+	}
+	if !s.Flagged {
+		t.Fatal("persistently dishonest source not flagged")
+	}
+	if Trusted(s, p) {
+		t.Fatal("flagged source passes gate")
+	}
+}
+
+func TestRecoveryAfterViolations(t *testing.T) {
+	p := DefaultParams()
+	s := NewState("src", p, time.Unix(0, 0))
+	for i := 0; i < 5; i++ {
+		s = Update(s, Observation{Valid: false, CrossValidation: 0}, p)
+	}
+	low := s.Score
+	for i := 0; i < 30; i++ {
+		s = Update(s, Observation{Valid: true, CrossValidation: 1}, p)
+	}
+	if s.Score <= low {
+		t.Fatal("honest behaviour does not recover the score")
+	}
+	if !Trusted(s, p) {
+		t.Fatal("recovered source still gated")
+	}
+}
+
+func TestScoreBoundsProperty(t *testing.T) {
+	p := DefaultParams()
+	err := quick.Check(func(outcomes []bool, cvs []float64) bool {
+		s := NewState("src", p, time.Unix(0, 0))
+		for i, valid := range outcomes {
+			cv := 0.5
+			if i < len(cvs) {
+				cv = cvs[i]
+			}
+			s = Update(s, Observation{Valid: valid, CrossValidation: cv}, p)
+			if s.Score < 0 || s.Score > 1 || s.Historical < 0 || s.Historical > 1 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdatePure(t *testing.T) {
+	p := DefaultParams()
+	s := NewState("src", p, time.Unix(0, 0))
+	obs := Observation{Valid: true, CrossValidation: 0.7, At: time.Unix(9, 0)}
+	a := Update(s, obs, p)
+	b := Update(s, obs, p)
+	if a != b {
+		t.Fatal("Update is not deterministic")
+	}
+	if s.Submissions != 0 {
+		t.Fatal("Update mutated its input")
+	}
+}
+
+func TestStateMarshalRoundTrip(t *testing.T) {
+	p := DefaultParams()
+	s := NewState("org/cam", p, time.Unix(42, 0).UTC())
+	s = Update(s, Observation{Valid: true, CrossValidation: 0.8, At: time.Unix(43, 0).UTC()}, p)
+	got, err := UnmarshalState(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestUnmarshalStateRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalState([]byte("not-json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCrossValidateNeutralWithoutRefs(t *testing.T) {
+	got := CrossValidate(Comparable{Label: "car"}, nil)
+	if got != 0.5 {
+		t.Fatalf("no-refs cross validation = %f, want 0.5", got)
+	}
+}
+
+func TestCrossValidatePerfectMatch(t *testing.T) {
+	at := time.Unix(1000, 0)
+	cand := Comparable{Label: "truck", Latitude: 12.97, Longitude: 77.59, At: at}
+	refs := []Comparable{{Label: "truck", Latitude: 12.97, Longitude: 77.59, At: at}}
+	if got := CrossValidate(cand, refs); got != 1.0 {
+		t.Fatalf("perfect match = %f", got)
+	}
+}
+
+func TestCrossValidateDisagreement(t *testing.T) {
+	at := time.Unix(1000, 0)
+	cand := Comparable{Label: "truck", Latitude: 12.97, Longitude: 77.59, At: at}
+	refs := []Comparable{{Label: "bus", Latitude: 40.7, Longitude: -74.0, At: at.Add(2 * time.Hour)}}
+	if got := CrossValidate(cand, refs); got != 0 {
+		t.Fatalf("total disagreement = %f, want 0", got)
+	}
+}
+
+func TestCrossValidatePicksBestReference(t *testing.T) {
+	at := time.Unix(1000, 0)
+	cand := Comparable{Label: "car", Latitude: 12.97, Longitude: 77.59, At: at}
+	refs := []Comparable{
+		{Label: "bus", Latitude: 0, Longitude: 0, At: at.Add(time.Hour)},               // bad
+		{Label: "car", Latitude: 12.97, Longitude: 77.59, At: at},                      // perfect
+		{Label: "car", Latitude: 12.99, Longitude: 77.61, At: at.Add(5 * time.Minute)}, // partial
+	}
+	if got := CrossValidate(cand, refs); got != 1.0 {
+		t.Fatalf("best-of = %f", got)
+	}
+}
+
+func TestCrossValidateMonotoneInTime(t *testing.T) {
+	at := time.Unix(10000, 0)
+	ref := []Comparable{{Label: "car", Latitude: 1, Longitude: 1, At: at}}
+	prev := 2.0
+	for _, dt := range []time.Duration{0, time.Minute, 3 * time.Minute, 8 * time.Minute, 20 * time.Minute} {
+		cand := Comparable{Label: "car", Latitude: 1, Longitude: 1, At: at.Add(dt)}
+		got := CrossValidate(cand, ref)
+		if got > prev {
+			t.Fatalf("similarity rose with temporal distance at %v", dt)
+		}
+		prev = got
+	}
+}
+
+func TestObservationClampsCrossValidation(t *testing.T) {
+	p := DefaultParams()
+	s := NewState("src", p, time.Unix(0, 0))
+	s = Update(s, Observation{Valid: true, CrossValidation: 99}, p)
+	if s.Cross > 1 {
+		t.Fatalf("cross EWMA %f exceeded 1", s.Cross)
+	}
+	s = Update(s, Observation{Valid: true, CrossValidation: -7}, p)
+	if s.Cross < 0 {
+		t.Fatalf("cross EWMA %f below 0", s.Cross)
+	}
+}

@@ -1,0 +1,66 @@
+// Package workload generates benchmark inputs: file-size sweeps matching
+// the x-axes of Figures 4-6, payload generators, and arrival processes for
+// throughput experiments.
+package workload
+
+import (
+	"math"
+	"time"
+
+	"socialchain/internal/sim"
+)
+
+// SizeSweepKB returns a geometric sweep of payload sizes in bytes from
+// minKB to maxKB with the given number of points — the file-size axis of
+// Figures 5 and 6.
+func SizeSweepKB(minKB, maxKB float64, points int) []int {
+	if points < 2 {
+		return []int{int(minKB * 1024)}
+	}
+	out := make([]int, points)
+	ratio := math.Pow(maxKB/minKB, 1/float64(points-1))
+	size := minKB
+	for i := 0; i < points; i++ {
+		out[i] = int(size * 1024)
+		size *= ratio
+	}
+	return out
+}
+
+// DefaultStorageSweep is the sweep used by the Figure 5/6 harnesses:
+// 16 KiB to 8 MiB over 10 points.
+func DefaultStorageSweep() []int { return SizeSweepKB(16, 8192, 10) }
+
+// Payload produces a pseudo-random payload of the given size. Content is
+// incompressible (uniform bytes), the worst case for chunk dedup.
+func Payload(rng *sim.RNG, size int) []byte {
+	return rng.Bytes(size)
+}
+
+// PoissonArrivals yields inter-arrival times for a Poisson process with the
+// given rate (events/second). The slice has n entries.
+func PoissonArrivals(rng *sim.RNG, ratePerSec float64, n int) []time.Duration {
+	if ratePerSec <= 0 {
+		ratePerSec = 1
+	}
+	out := make([]time.Duration, n)
+	for i := range out {
+		gap := rng.ExpFloat64() / ratePerSec
+		out[i] = time.Duration(gap * float64(time.Second))
+	}
+	return out
+}
+
+// Mix describes a trusted/untrusted submission mix for scenario workloads.
+type Mix struct {
+	// TrustedFraction of submissions originate from trusted sources.
+	TrustedFraction float64
+	// BadFraction of untrusted submissions are malformed/dishonest.
+	BadFraction float64
+}
+
+// IsTrusted draws whether the next submission is from a trusted source.
+func (m Mix) IsTrusted(rng *sim.RNG) bool { return rng.Float64() < m.TrustedFraction }
+
+// IsBad draws whether an untrusted submission is dishonest.
+func (m Mix) IsBad(rng *sim.RNG) bool { return rng.Float64() < m.BadFraction }

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"socialchain/internal/sim"
+)
+
+func TestSizeSweepGeometric(t *testing.T) {
+	sweep := SizeSweepKB(16, 8192, 10)
+	if len(sweep) != 10 {
+		t.Fatalf("points = %d", len(sweep))
+	}
+	if sweep[0] != 16*1024 {
+		t.Fatalf("first = %d", sweep[0])
+	}
+	if sweep[9] < 8*1024*1024-1024 || sweep[9] > 8*1024*1024+1024 {
+		t.Fatalf("last = %d, want ~8 MiB", sweep[9])
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i] <= sweep[i-1] {
+			t.Fatal("sweep not increasing")
+		}
+	}
+	// Ratio roughly constant (geometric).
+	r1 := float64(sweep[1]) / float64(sweep[0])
+	r2 := float64(sweep[9]) / float64(sweep[8])
+	if r1/r2 > 1.05 || r2/r1 > 1.05 {
+		t.Fatalf("ratios diverge: %f vs %f", r1, r2)
+	}
+}
+
+func TestSizeSweepDegenerate(t *testing.T) {
+	sweep := SizeSweepKB(64, 1024, 1)
+	if len(sweep) != 1 || sweep[0] != 64*1024 {
+		t.Fatalf("sweep = %v", sweep)
+	}
+}
+
+func TestDefaultStorageSweep(t *testing.T) {
+	sweep := DefaultStorageSweep()
+	if len(sweep) != 10 || sweep[0] != 16*1024 {
+		t.Fatalf("default sweep = %v", sweep)
+	}
+}
+
+func TestPayloadSizeAndDeterminism(t *testing.T) {
+	a := Payload(sim.NewRNG(1), 1000)
+	b := Payload(sim.NewRNG(1), 1000)
+	if len(a) != 1000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	if string(a) != string(b) {
+		t.Fatal("same seed, different payloads")
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	rng := sim.NewRNG(2)
+	gaps := PoissonArrivals(rng, 100, 1000)
+	if len(gaps) != 1000 {
+		t.Fatalf("gaps = %d", len(gaps))
+	}
+	var sum time.Duration
+	for _, g := range gaps {
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+		sum += g
+	}
+	mean := sum / 1000
+	// Rate 100/s -> mean gap 10ms; allow 30% tolerance.
+	if mean < 7*time.Millisecond || mean > 13*time.Millisecond {
+		t.Fatalf("mean gap %v, want ~10ms", mean)
+	}
+	// Degenerate rate falls back.
+	if got := PoissonArrivals(rng, 0, 1); len(got) != 1 {
+		t.Fatal("zero rate mishandled")
+	}
+}
+
+func TestMixDraws(t *testing.T) {
+	rng := sim.NewRNG(3)
+	m := Mix{TrustedFraction: 0.7, BadFraction: 0.2}
+	trusted := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if m.IsTrusted(rng) {
+			trusted++
+		}
+	}
+	frac := float64(trusted) / n
+	if frac < 0.65 || frac > 0.75 {
+		t.Fatalf("trusted fraction %f, want ~0.7", frac)
+	}
+}
