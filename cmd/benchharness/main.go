@@ -6,12 +6,17 @@
 //	4     metadata extraction time vs frame size (Figure 4)
 //	5     IPFS storage time vs file size, with/without blockchain (Figure 5)
 //	6     retrieval time vs file size, with/without blockchain (Figure 6)
-//	bft   BFT fault-tolerance ablation
-//	trust trust-score evolution ablation
-//	scale peer-count scalability ablation
-//	all   everything above
+//	bft     BFT fault-tolerance ablation
+//	trust   trust-score evolution ablation
+//	scale   peer-count scalability ablation
+//	storage world-state engine ablation (single-lock vs sharded)
+//	all     everything above
 //
-// Usage: benchharness [-fig all] [-samples 20] [-csv]
+// The -engine flag selects the world-state storage engine ("single" or
+// "sharded") for every framework the harness builds, so any figure can be
+// regenerated under either engine.
+//
+// Usage: benchharness [-fig all] [-samples 20] [-csv] [-engine sharded]
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"socialchain/internal/consensus"
@@ -32,6 +38,8 @@ import (
 	"socialchain/internal/msp"
 	"socialchain/internal/ordering"
 	"socialchain/internal/sim"
+	"socialchain/internal/statedb"
+	"socialchain/internal/storage"
 	"socialchain/internal/workload"
 )
 
@@ -40,20 +48,27 @@ func main() {
 	samples := flag.Int("samples", 20, "measurements per point")
 	csv := flag.Bool("csv", false, "emit CSV series instead of tables")
 	seed := flag.Int64("seed", 1, "workload seed")
+	engine := flag.String("engine", string(storage.EngineSharded), "world-state storage engine: single or sharded")
 	flag.Parse()
 
-	h := &harness{samples: *samples, csv: *csv, seed: *seed}
-	run := map[string]func() error{
-		"2":     h.figure2,
-		"3":     h.figure3,
-		"4":     h.figure4,
-		"5":     h.figure5,
-		"6":     h.figure6,
-		"bft":   h.bft,
-		"trust": h.trust,
-		"scale": h.scale,
+	switch storage.Engine(*engine) {
+	case storage.EngineSingle, storage.EngineSharded:
+	default:
+		log.Fatalf("unknown engine %q (valid: %s, %s)", *engine, storage.EngineSingle, storage.EngineSharded)
 	}
-	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale"}
+	h := &harness{samples: *samples, csv: *csv, seed: *seed, engine: storage.Engine(*engine)}
+	run := map[string]func() error{
+		"2":       h.figure2,
+		"3":       h.figure3,
+		"4":       h.figure4,
+		"5":       h.figure5,
+		"6":       h.figure6,
+		"bft":     h.bft,
+		"trust":   h.trust,
+		"scale":   h.scale,
+		"storage": h.storage,
+	}
+	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage"}
 	want := strings.Split(*fig, ",")
 	if *fig == "all" {
 		want = order
@@ -73,6 +88,7 @@ type harness struct {
 	samples int
 	csv     bool
 	seed    int64
+	engine  storage.Engine
 }
 
 func (h *harness) header(title string) {
@@ -190,8 +206,9 @@ func (h *harness) storageFramework() (*core.Framework, *core.Client, error) {
 			Cutter:   ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 2 * time.Millisecond},
 			Latency:  sim.LANLatency(rng),
 		},
-		IPFSNodes:   2,
-		IPFSLatency: sim.LANLatency(rng.Fork()),
+		IPFSNodes:     2,
+		IPFSLatency:   sim.LANLatency(rng.Fork()),
+		StorageEngine: h.engine,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -312,7 +329,8 @@ func (h *harness) bft() error {
 				Behaviors:        behaviors,
 				ConsensusTimeout: 500 * time.Millisecond,
 			},
-			IPFSNodes: 2,
+			IPFSNodes:     2,
+			StorageEngine: h.engine,
 		})
 		if err != nil {
 			return err
@@ -413,7 +431,8 @@ func (h *harness) scale() error {
 				NumPeers: peers,
 				Cutter:   ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 2 * time.Millisecond},
 			},
-			IPFSNodes: 2,
+			IPFSNodes:     2,
+			StorageEngine: h.engine,
 		})
 		if err != nil {
 			return err
@@ -442,6 +461,65 @@ func (h *harness) scale() error {
 		}
 		tbl.AddRow(peers, lat.Mean(), lat.Percentile(95))
 		fw.Close()
+	}
+	tbl.Render(os.Stdout)
+	return nil
+}
+
+// storage compares the world-state engines directly: sequential and
+// parallel mixed read/commit throughput over a seeded statedb, the
+// microbenchmark behind the internal/storage engine choice. Parallel rows
+// only separate the engines on multi-core hosts; see EXPERIMENTS.md.
+func (h *harness) storage() error {
+	h.header("Ablation — world-state storage engine (single-lock vs sharded)")
+	const (
+		keys        = 10000
+		commitEvery = 16
+	)
+	recKeys := make([]string, keys)
+	for i := range recKeys {
+		recKeys[i] = fmt.Sprintf("rec/%06d", i)
+	}
+	seedDB := func(cfg storage.Config) *statedb.DB {
+		db := statedb.NewWith(cfg)
+		batch := statedb.NewUpdateBatch()
+		for i, k := range recKeys {
+			batch.Put("data", k, []byte(fmt.Sprintf(`{"label":"car","idx":%d}`, i)))
+		}
+		db.ApplyUpdates(batch, statedb.Version{BlockNum: 1})
+		return db
+	}
+	mixed := func(db *statedb.DB, workers, opsPerWorker int) float64 {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < opsPerWorker; i++ {
+					if i%commitEvery == commitEvery-1 {
+						batch := statedb.NewUpdateBatch()
+						for j := 0; j < 10; j++ {
+							batch.Put("data", recKeys[(w*opsPerWorker+i*10+j)%keys], []byte(`{"label":"car"}`))
+						}
+						db.ApplyUpdates(batch, statedb.Version{BlockNum: uint64(i)})
+					} else {
+						db.GetState("data", recKeys[(w*31+i*17)%keys])
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		total := float64(workers * opsPerWorker)
+		return total / time.Since(start).Seconds()
+	}
+	ops := 40000 * h.samples / 20
+	tbl := metrics.NewTable("engine", "workers", "mixed_ops_per_s")
+	for _, eng := range []storage.Engine{storage.EngineSingle, storage.EngineSharded} {
+		for _, workers := range []int{1, 4, 16} {
+			db := seedDB(storage.Config{Engine: eng})
+			tbl.AddRow(string(eng), workers, mixed(db, workers, ops/workers))
+		}
 	}
 	tbl.Render(os.Stdout)
 	return nil

@@ -7,7 +7,8 @@
 // query engine the paper describes.
 //
 // The implementation lives under internal/; see DESIGN.md for the system
-// inventory, EXPERIMENTS.md for the paper-vs-measured record, and
-// examples/ for runnable scenarios. bench_test.go regenerates every figure
-// of the paper's evaluation section.
+// inventory (including the pluggable internal/storage engine layer beneath
+// the world state and blockstore), EXPERIMENTS.md for the paper-vs-measured
+// record, and examples/ for runnable scenarios. bench_test.go regenerates
+// every figure of the paper's evaluation section.
 package socialchain

@@ -1,0 +1,3 @@
+module socialchain
+
+go 1.24

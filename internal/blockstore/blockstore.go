@@ -1,16 +1,18 @@
 // Package blockstore provides CID-addressed block storage for the off-chain
 // store, with pin tracking and mark-and-sweep garbage collection. It is the
 // persistence layer beneath the DAG and bitswap, standing in for IPFS's
-// flatfs datastore.
+// flatfs datastore. Blocks live in a pluggable storage.KV engine keyed by
+// the CID's binary form; with the default sharded engine, concurrent Adds
+// and Gets from different clients stripe across independent locks.
 package blockstore
 
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"sync"
+	"sync/atomic"
 
 	"socialchain/internal/cid"
+	"socialchain/internal/storage"
 )
 
 // ErrNotFound is returned when a block is absent.
@@ -38,20 +40,30 @@ type Blockstore interface {
 	SizeBytes() uint64
 }
 
-// Mem is an in-memory Blockstore safe for concurrent use.
+// Mem is an in-memory Blockstore safe for concurrent use, layered over a
+// storage.KV engine.
 type Mem struct {
-	mu    sync.RWMutex
-	data  map[cid.Cid][]byte
-	bytes uint64
+	kv    storage.KV
+	bytes atomic.Int64
 }
 
-// NewMem returns an empty in-memory blockstore.
+// NewMem returns an empty blockstore on the default (sharded) engine.
 func NewMem() *Mem {
-	return &Mem{data: make(map[cid.Cid][]byte)}
+	return NewMemWith(storage.Config{})
 }
+
+// NewMemWith returns an empty blockstore on the engine cfg selects.
+func NewMemWith(cfg storage.Config) *Mem {
+	return &Mem{kv: storage.Open(cfg)}
+}
+
+// blockKey is the engine key of a block: the CID's binary form, whose
+// lexical order equals cid.Cid.Less order, keeping AllKeys deterministic.
+func blockKey(c cid.Cid) string { return string(c.Bytes()) }
 
 // Put implements Blockstore. It verifies the block's CID matches its bytes,
-// preserving the content-addressing invariant.
+// preserving the content-addressing invariant. Re-putting an existing
+// block is idempotent.
 func (m *Mem) Put(b Block) error {
 	if !b.Cid.Defined() {
 		return errors.New("blockstore: undefined cid")
@@ -59,13 +71,14 @@ func (m *Mem) Put(b Block) error {
 	if err := verifyBlock(b); err != nil {
 		return err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.data[b.Cid]; ok {
-		return nil // idempotent
+	key := blockKey(b.Cid)
+	if _, ok := m.kv.Get(key); ok {
+		return nil // duplicate adds are the common case; skip the copy
 	}
-	m.data[b.Cid] = append([]byte(nil), b.Data...)
-	m.bytes += uint64(len(b.Data))
+	data := append([]byte(nil), b.Data...)
+	if m.kv.Put(key, data) {
+		m.bytes.Add(int64(len(data)))
+	}
 	return nil
 }
 
@@ -88,9 +101,7 @@ func verifyBlock(b Block) error {
 
 // Get implements Blockstore.
 func (m *Mem) Get(c cid.Cid) (Block, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	d, ok := m.data[c]
+	d, ok := m.kv.Get(blockKey(c))
 	if !ok {
 		return Block{}, fmt.Errorf("%w: %s", ErrNotFound, c)
 	}
@@ -99,45 +110,43 @@ func (m *Mem) Get(c cid.Cid) (Block, error) {
 
 // Has implements Blockstore.
 func (m *Mem) Has(c cid.Cid) bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	_, ok := m.data[c]
+	_, ok := m.kv.Get(blockKey(c))
 	return ok
 }
 
 // Delete implements Blockstore. Deleting an absent block is a no-op.
 func (m *Mem) Delete(c cid.Cid) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if d, ok := m.data[c]; ok {
-		m.bytes -= uint64(len(d))
-		delete(m.data, c)
+	if prev, ok := m.kv.Delete(blockKey(c)); ok {
+		m.bytes.Add(-int64(len(prev)))
 	}
 	return nil
 }
 
 // AllKeys implements Blockstore, returning keys in deterministic order.
 func (m *Mem) AllKeys() []cid.Cid {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	keys := make([]cid.Cid, 0, len(m.data))
-	for c := range m.data {
+	var keys []cid.Cid
+	m.kv.IterPrefix("", func(key string, _ []byte) bool {
+		c, err := cid.Cast([]byte(key))
+		if err != nil {
+			// Keys are only ever written by Put from a defined CID.
+			panic("blockstore: undecodable block key: " + err.Error())
+		}
 		keys = append(keys, c)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+		return true
+	})
 	return keys
 }
 
 // Len implements Blockstore.
 func (m *Mem) Len() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.data)
+	return m.kv.Len()
 }
 
 // SizeBytes implements Blockstore.
 func (m *Mem) SizeBytes() uint64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.bytes
+	n := m.bytes.Load()
+	if n < 0 {
+		return 0
+	}
+	return uint64(n)
 }

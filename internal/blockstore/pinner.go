@@ -1,60 +1,79 @@
 package blockstore
 
 import (
-	"sort"
+	"encoding/binary"
 	"sync"
 
 	"socialchain/internal/cid"
+	"socialchain/internal/storage"
 )
 
 // Pinner tracks which root CIDs must survive garbage collection. Pinning is
-// recursive: GC keeps everything reachable from a pinned root.
+// recursive: GC keeps everything reachable from a pinned root. Pin counts
+// live in a storage.KV engine keyed like the blockstore itself; a small
+// mutex serialises only the read-modify-write of a count, while lookups and
+// root listing go straight to the engine.
 type Pinner struct {
-	mu    sync.RWMutex
-	roots map[cid.Cid]int // pin count per root
+	mu sync.Mutex // guards Pin/Unpin count updates
+	kv storage.KV
 }
 
-// NewPinner returns an empty pin set.
+// NewPinner returns an empty pin set on the default engine.
 func NewPinner() *Pinner {
-	return &Pinner{roots: make(map[cid.Cid]int)}
+	return &Pinner{kv: storage.Open(storage.Config{})}
+}
+
+func pinCount(buf []byte, ok bool) uint64 {
+	if !ok || len(buf) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(buf)
 }
 
 // Pin increments the pin count of root.
 func (p *Pinner) Pin(root cid.Cid) {
+	key := blockKey(root)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.roots[root]++
+	n := pinCount(p.kv.Get(key)) + 1
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, n)
+	p.kv.Put(key, buf)
 }
 
 // Unpin decrements the pin count; the root is forgotten at zero.
 func (p *Pinner) Unpin(root cid.Cid) {
+	key := blockKey(root)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if n, ok := p.roots[root]; ok {
-		if n <= 1 {
-			delete(p.roots, root)
-		} else {
-			p.roots[root] = n - 1
-		}
+	n := pinCount(p.kv.Get(key))
+	switch {
+	case n <= 1:
+		p.kv.Delete(key)
+	default:
+		buf := make([]byte, 8)
+		binary.BigEndian.PutUint64(buf, n-1)
+		p.kv.Put(key, buf)
 	}
 }
 
 // IsPinned reports whether root has a positive pin count.
 func (p *Pinner) IsPinned(root cid.Cid) bool {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.roots[root] > 0
+	return pinCount(p.kv.Get(blockKey(root))) > 0
 }
 
-// Roots returns the pinned roots in deterministic order.
+// Roots returns the pinned roots in deterministic order (the engine
+// iterates CID binary keys in cid.Less order).
 func (p *Pinner) Roots() []cid.Cid {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	out := make([]cid.Cid, 0, len(p.roots))
-	for c := range p.roots {
+	var out []cid.Cid
+	p.kv.IterPrefix("", func(key string, _ []byte) bool {
+		c, err := cid.Cast([]byte(key))
+		if err != nil {
+			panic("blockstore: undecodable pin key: " + err.Error())
+		}
 		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+		return true
+	})
 	return out
 }
 

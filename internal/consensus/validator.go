@@ -74,9 +74,19 @@ type Validator struct {
 	vcVotes         map[uint64]map[string][]byte // view -> voter -> encoded VC message
 	vcTarget        uint64                       // view we are currently voting for (0 = none)
 	vcStarted       time.Time
+	future          map[uint64][]*Message // view -> protocol messages deferred until we enter it
 	deliveredCount  int
 	viewChangeCount int
 }
+
+// maxFutureMsgs bounds the per-view buffer of early-arriving protocol
+// messages and maxFutureViews bounds how far ahead of the current view a
+// message may be to get buffered at all; together they cap the memory a
+// byzantine flood of fabricated views can pin.
+const (
+	maxFutureMsgs  = 4096
+	maxFutureViews = 8
+)
 
 // NewValidator constructs (but does not start) a replica.
 func NewValidator(cfg Config) *Validator {
@@ -104,6 +114,7 @@ func NewValidator(cfg Config) *Validator {
 		delivered: make(map[[32]byte]bool),
 		evicted:   make(map[string]bool),
 		vcVotes:   make(map[uint64]map[string][]byte),
+		future:    make(map[uint64][]*Message),
 	}
 	return v
 }
@@ -265,17 +276,42 @@ func (v *Validator) dispatch(m *Message) {
 	switch m.Type {
 	case MsgRequest:
 		v.onRequest(m)
-	case MsgPrePrepare:
-		v.onPrePrepare(m)
-	case MsgPrepare:
-		v.onPrepare(m)
-	case MsgCommit:
-		v.onCommit(m)
+	case MsgPrePrepare, MsgPrepare, MsgCommit:
+		if m.View > v.view {
+			// A replica that already entered a higher view races its NewView
+			// announcement against its first pre-prepares/votes; defer the
+			// message and replay it once we follow (losing it would force
+			// another view change and can livelock the whole group).
+			v.deferToView(m)
+			return
+		}
+		switch m.Type {
+		case MsgPrePrepare:
+			v.onPrePrepare(m)
+		case MsgPrepare:
+			v.onPrepare(m)
+		case MsgCommit:
+			v.onCommit(m)
+		}
 	case MsgViewChange:
 		v.onViewChange(m)
 	case MsgNewView:
 		v.onNewView(m)
 	}
+}
+
+// deferToView buffers a protocol message from a view ahead of ours. Both
+// the view window and the per-view count are bounded, so a byzantine peer
+// fabricating ever-higher views cannot grow memory without limit. Caller
+// holds mu.
+func (v *Validator) deferToView(m *Message) {
+	if m.View > v.view+maxFutureViews {
+		return // too far ahead to be a plausible in-flight race
+	}
+	if len(v.future[m.View]) >= maxFutureMsgs {
+		return
+	}
+	v.future[m.View] = append(v.future[m.View], m)
 }
 
 // handleRequestPayload admits a client payload (entry replica) and gossips
@@ -662,8 +698,13 @@ func (v *Validator) enterView(view, startSeq uint64) {
 	if startSeq > v.lastExec+1 {
 		v.lastExec = startSeq - 1
 	}
-	if v.nextSeq < startSeq {
-		v.nextSeq = startSeq
+	// Restart proposals right after the agreed start: unexecuted instances
+	// were discarded above, so their sequence numbers are reusable in this
+	// view. Only ever raising nextSeq (as earlier revisions did) leaves
+	// permanent gaps below new proposals, which maybeExecute can never cross.
+	v.nextSeq = startSeq
+	if v.nextSeq <= v.lastExec {
+		v.nextSeq = v.lastExec + 1
 	}
 	// Give the new leader a fresh timeout for every pending request.
 	now := v.cfg.Clock.Now()
@@ -672,6 +713,30 @@ func (v *Validator) enterView(view, startSeq uint64) {
 		req.inFlight = false
 	}
 	delete(v.vcVotes, view)
+	// Replay protocol messages that arrived for this view before we entered
+	// it, and drop buffers for views now behind us.
+	replay := v.future[view]
+	for fv := range v.future {
+		if fv <= view {
+			delete(v.future, fv)
+		}
+	}
+	for _, m := range replay {
+		if v.view != view {
+			break // a replayed message moved us onward; the rest are stale
+		}
+		if v.evicted[m.From] {
+			continue // evicted after buffering; votes no longer count
+		}
+		switch m.Type {
+		case MsgPrePrepare:
+			v.onPrePrepare(m)
+		case MsgPrepare:
+			v.onPrepare(m)
+		case MsgCommit:
+			v.onCommit(m)
+		}
+	}
 }
 
 // evict flags a peer as byzantine and removes it from the effective

@@ -23,6 +23,7 @@ import (
 	"socialchain/internal/msp"
 	"socialchain/internal/query"
 	"socialchain/internal/sim"
+	"socialchain/internal/storage"
 	"socialchain/internal/trust"
 )
 
@@ -49,6 +50,11 @@ type Config struct {
 	// AdminID names the bootstrap administrator (default "gov/admin").
 	AdminOrg  string
 	AdminName string
+	// StorageEngine selects the key-value engine behind every peer's world
+	// state ("single" or "sharded"; default sharded). It is copied into
+	// Fabric.StateEngine unless that field is already set, giving
+	// benchmarks one knob for engine comparisons.
+	StorageEngine storage.Engine
 }
 
 func (c *Config) fill() {
@@ -66,6 +72,9 @@ func (c *Config) fill() {
 	}
 	if c.AnomalyRejectThreshold <= 0 {
 		c.AnomalyRejectThreshold = 0.6
+	}
+	if c.Fabric.StateEngine == "" {
+		c.Fabric.StateEngine = c.StorageEngine
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"socialchain/internal/ordering"
 	"socialchain/internal/peer"
 	"socialchain/internal/sim"
+	"socialchain/internal/storage"
 )
 
 // Config describes a network to build.
@@ -45,6 +46,13 @@ type Config struct {
 	WatchdogThreshold int
 	// CommitTimeout bounds how long a Submit waits for commit (default 30s).
 	CommitTimeout time.Duration
+	// StateEngine selects the key-value engine behind every peer's world
+	// state and history ("single" or "sharded"; default sharded). The
+	// single-lock engine is the seed's behaviour, kept for determinism
+	// baselines and engine-comparison benchmarks.
+	StateEngine storage.Engine
+	// StateShards overrides the sharded engine's stripe count (default 16).
+	StateShards int
 }
 
 func (c *Config) fill() {
@@ -142,6 +150,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 			Registry:  n.registry,
 			Policy:    n.policy,
 			Watchdog:  n.watchdog,
+			State:     storage.Config{Engine: cfg.StateEngine, Shards: cfg.StateShards},
 		})
 		if err != nil {
 			return nil, err

@@ -10,6 +10,7 @@ import (
 	"socialchain/internal/ledger"
 	"socialchain/internal/msp"
 	"socialchain/internal/statedb"
+	"socialchain/internal/storage"
 )
 
 // Peer is one endorsing/committing node. Every peer holds a full copy of
@@ -46,6 +47,9 @@ type Config struct {
 	// Watchdog records endorsement misbehaviour (may be shared; nil creates
 	// a private one).
 	Watchdog *Watchdog
+	// State selects the key-value engine backing this peer's world state
+	// and history database (zero value = the sharded default).
+	State storage.Config
 }
 
 // New creates a peer with an empty ledger anchored by a genesis block.
@@ -62,8 +66,8 @@ func New(cfg Config) (*Peer, error) {
 		channelID:  cfg.ChannelID,
 		signer:     cfg.Signer,
 		ledger:     ledger.New(),
-		state:      statedb.New(),
-		history:    statedb.NewHistoryDB(),
+		state:      statedb.NewWith(cfg.State),
+		history:    statedb.NewHistoryDBWith(cfg.State),
 		registry:   cfg.Registry,
 		policy:     cfg.Policy,
 		watchdog:   wd,

@@ -2,12 +2,24 @@ package statedb
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
+
+	"socialchain/internal/storage"
 )
 
-func seededBenchDB(b *testing.B, keys int) *DB {
+// benchEngines lists the engine configs every statedb benchmark compares.
+var benchEngines = []struct {
+	name string
+	cfg  storage.Config
+}{
+	{"single", storage.Config{Engine: storage.EngineSingle}},
+	{"sharded", storage.Config{Engine: storage.EngineSharded}},
+}
+
+func seededBenchDB(b *testing.B, cfg storage.Config, keys int) *DB {
 	b.Helper()
-	db := New()
+	db := NewWith(cfg)
 	batch := NewUpdateBatch()
 	for i := 0; i < keys; i++ {
 		doc := fmt.Sprintf(`{"label":"car","confidence":%f,"idx":%d}`, float64(i%100)/100, i)
@@ -17,41 +29,97 @@ func seededBenchDB(b *testing.B, keys int) *DB {
 	return db
 }
 
+func benchRecKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("rec/%06d", i)
+	}
+	return keys
+}
+
 func BenchmarkGetState(b *testing.B) {
-	db := seededBenchDB(b, 10000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		db.GetState("data", fmt.Sprintf("rec/%06d", i%10000))
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			db := seededBenchDB(b, e.cfg, 10000)
+			keys := benchRecKeys(10000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db.GetState("data", keys[i%len(keys)])
+			}
+		})
 	}
 }
 
 func BenchmarkApplyUpdates(b *testing.B) {
-	db := New()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		batch := NewUpdateBatch()
-		for j := 0; j < 10; j++ {
-			batch.Put("data", fmt.Sprintf("k%d-%d", i, j), []byte("value"))
-		}
-		db.ApplyUpdates(batch, Version{BlockNum: uint64(i)})
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			db := NewWith(e.cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch := NewUpdateBatch()
+				for j := 0; j < 10; j++ {
+					batch.Put("data", fmt.Sprintf("k%d-%d", i, j), []byte("value"))
+				}
+				db.ApplyUpdates(batch, Version{BlockNum: uint64(i)})
+			}
+		})
 	}
 }
 
 func BenchmarkRangeScan(b *testing.B) {
-	db := seededBenchDB(b, 10000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		db.GetStateRange("data", "rec/001000", "rec/002000")
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			db := seededBenchDB(b, e.cfg, 10000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db.GetStateRange("data", "rec/001000", "rec/002000")
+			}
+		})
 	}
 }
 
 func BenchmarkSelectorQuery(b *testing.B) {
-	db := seededBenchDB(b, 2000)
-	sel := Selector{"confidence": map[string]any{"$gt": 0.5}}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := db.ExecuteQuery("data", sel); err != nil {
-			b.Fatal(err)
-		}
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			db := seededBenchDB(b, e.cfg, 2000)
+			sel := Selector{"confidence": map[string]any{"$gt": 0.5}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.ExecuteQuery("data", sel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelMixedReadCommit compares engines under the paper's
+// concurrent-clients regime at the world-state level: parallel GetState
+// traffic with block commits (ApplyUpdates) landing underneath. One in 16
+// operations commits a 10-write block.
+func BenchmarkParallelMixedReadCommit(b *testing.B) {
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			db := seededBenchDB(b, e.cfg, 10000)
+			keys := benchRecKeys(10000)
+			var blockNum atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if i%16 == 15 {
+						n := blockNum.Add(1)
+						batch := NewUpdateBatch()
+						for j := 0; j < 10; j++ {
+							batch.Put("data", keys[(int(n)*10+j)%len(keys)], []byte(`{"label":"car"}`))
+						}
+						db.ApplyUpdates(batch, Version{BlockNum: n})
+					} else {
+						db.GetState("data", keys[(i*31)%len(keys)])
+					}
+					i++
+				}
+			})
+		})
 	}
 }

@@ -1,30 +1,82 @@
 package statedb
 
 import (
-	"sort"
+	"encoding/binary"
 	"strings"
-	"sync"
+
+	"socialchain/internal/storage"
 )
 
-// DB is the in-memory versioned world state. It is safe for concurrent use;
-// reads proceed under a shared lock while commits take the exclusive lock,
-// mirroring Fabric's state database semantics (LevelDB/CouchDB).
+// DB is the in-memory versioned world state, layered over a pluggable
+// storage.KV engine. With the default sharded engine, reads from
+// concurrent clients proceed against independent lock stripes while block
+// commits take each stripe lock once — mirroring Fabric's state database
+// semantics (LevelDB/CouchDB) without the seed's single global RWMutex.
+//
+// Namespacing and versions are encoded into the flat key-value space:
+// composite keys are "ns\x00key", values carry a fixed 16-byte
+// (BlockNum, TxNum) header before the payload.
 type DB struct {
-	mu   sync.RWMutex
-	data map[string]map[string]VersionedValue // ns -> key -> value
+	kv storage.KV
 }
 
-// New returns an empty world state.
+// New returns an empty world state on the default (sharded) engine.
 func New() *DB {
-	return &DB{data: make(map[string]map[string]VersionedValue)}
+	return NewWith(storage.Config{})
+}
+
+// NewWith returns an empty world state on the engine cfg selects.
+func NewWith(cfg storage.Config) *DB {
+	return &DB{kv: storage.Open(cfg)}
+}
+
+// stateKey builds the composite engine key for ns/key. The NUL separator
+// follows the repo-wide "ns\x00key" idiom (chaincode keys never contain
+// NUL bytes).
+func stateKey(ns, key string) string {
+	return ns + "\x00" + key
+}
+
+// splitStateKey undoes stateKey.
+func splitStateKey(composite string) (ns, key string) {
+	if i := strings.IndexByte(composite, 0); i >= 0 {
+		return composite[:i], composite[i+1:]
+	}
+	return composite, ""
+}
+
+// versionHeaderLen is the encoded-value prefix carrying the version.
+const versionHeaderLen = 16
+
+// encodeValue prepends the version header to a fresh copy of value, giving
+// the engine an owned buffer (copy-on-write, as the seed's DB did).
+func encodeValue(value []byte, v Version) []byte {
+	buf := make([]byte, versionHeaderLen+len(value))
+	binary.BigEndian.PutUint64(buf[0:8], v.BlockNum)
+	binary.BigEndian.PutUint64(buf[8:16], v.TxNum)
+	copy(buf[versionHeaderLen:], value)
+	return buf
+}
+
+// decodeValue splits a stored buffer into its version and payload; the
+// payload aliases the stored buffer, which is never mutated in place.
+func decodeValue(buf []byte) VersionedValue {
+	return VersionedValue{
+		Value: buf[versionHeaderLen:],
+		Version: Version{
+			BlockNum: binary.BigEndian.Uint64(buf[0:8]),
+			TxNum:    binary.BigEndian.Uint64(buf[8:16]),
+		},
+	}
 }
 
 // GetState returns the value of key in ns.
 func (db *DB) GetState(ns, key string) (VersionedValue, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	vv, ok := db.data[ns][key]
-	return vv, ok
+	buf, ok := db.kv.Get(stateKey(ns, key))
+	if !ok {
+		return VersionedValue{}, false
+	}
+	return decodeValue(buf), true
 }
 
 // GetVersion returns only the version of a key.
@@ -35,86 +87,78 @@ func (db *DB) GetVersion(ns, key string) (Version, bool) {
 
 // ApplyUpdates commits a batch at the given block height. TxNum in each
 // write's version is assigned from the batch entries' staged versions; the
-// caller provides the per-transaction version.
+// caller provides the per-transaction version. The engine applies the
+// whole batch with one lock acquisition per touched stripe.
 func (db *DB) ApplyUpdates(batch *UpdateBatch, v Version) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	writes := make([]storage.Write, 0, batch.Len())
 	for ns, kvs := range batch.updates {
-		m, ok := db.data[ns]
-		if !ok {
-			m = make(map[string]VersionedValue)
-			db.data[ns] = m
-		}
 		for key, w := range kvs {
 			if w.IsDelete {
-				delete(m, key)
+				writes = append(writes, storage.Write{Key: stateKey(ns, key), Delete: true})
 				continue
 			}
-			m[key] = VersionedValue{Value: append([]byte(nil), w.Value...), Version: v}
+			writes = append(writes, storage.Write{Key: stateKey(ns, key), Value: encodeValue(w.Value, v)})
 		}
 	}
+	db.kv.ApplyBatch(writes)
+}
+
+// iterNamespace walks ns in ascending key order, calling fn with the bare
+// (un-prefixed) key; fn returning false stops the walk.
+func (db *DB) iterNamespace(ns, prefix string, fn func(key string, vv VersionedValue) bool) {
+	nsPrefix := stateKey(ns, prefix)
+	skip := len(ns) + 1
+	db.kv.IterPrefix(nsPrefix, func(composite string, buf []byte) bool {
+		return fn(composite[skip:], decodeValue(buf))
+	})
 }
 
 // GetStateRange returns keys in [startKey, endKey) of ns in sorted order.
 // Empty startKey means from the beginning; empty endKey means to the end.
 func (db *DB) GetStateRange(ns, startKey, endKey string) []KV {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	m := db.data[ns]
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		if k < startKey {
-			continue
+	var out []KV
+	db.iterNamespace(ns, "", func(key string, vv VersionedValue) bool {
+		if key < startKey {
+			return true
 		}
-		if endKey != "" && k >= endKey {
-			continue
+		if endKey != "" && key >= endKey {
+			return false // keys arrive sorted; nothing further can match
 		}
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]KV, 0, len(keys))
-	for _, k := range keys {
-		vv := m[k]
-		out = append(out, KV{Namespace: ns, Key: k, Value: append([]byte(nil), vv.Value...), Version: vv.Version})
-	}
+		out = append(out, KV{Namespace: ns, Key: key, Value: append([]byte(nil), vv.Value...), Version: vv.Version})
+		return true
+	})
 	return out
 }
 
 // GetStateByPrefix returns all keys of ns beginning with prefix, sorted.
 func (db *DB) GetStateByPrefix(ns, prefix string) []KV {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	m := db.data[ns]
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		if strings.HasPrefix(k, prefix) {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
-	out := make([]KV, 0, len(keys))
-	for _, k := range keys {
-		vv := m[k]
-		out = append(out, KV{Namespace: ns, Key: k, Value: append([]byte(nil), vv.Value...), Version: vv.Version})
-	}
+	var out []KV
+	db.iterNamespace(ns, prefix, func(key string, vv VersionedValue) bool {
+		out = append(out, KV{Namespace: ns, Key: key, Value: append([]byte(nil), vv.Value...), Version: vv.Version})
+		return true
+	})
 	return out
 }
 
 // Keys returns the number of keys stored in ns.
 func (db *DB) Keys(ns string) int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.data[ns])
+	n := 0
+	db.iterNamespace(ns, "", func(string, VersionedValue) bool {
+		n++
+		return true
+	})
+	return n
 }
 
 // Namespaces lists the namespaces present, sorted.
 func (db *DB) Namespaces() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.data))
-	for ns := range db.data {
-		out = append(out, ns)
-	}
-	sort.Strings(out)
+	var out []string
+	db.kv.IterPrefix("", func(composite string, _ []byte) bool {
+		ns, _ := splitStateKey(composite)
+		if len(out) == 0 || out[len(out)-1] != ns {
+			out = append(out, ns)
+		}
+		return true
+	})
 	return out
 }

@@ -1,8 +1,13 @@
 package statedb
 
 import (
-	"sync"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
 	"time"
+
+	"socialchain/internal/storage"
 )
 
 // HistEntry is one historical update to a key, underpinning the paper's
@@ -16,27 +21,45 @@ type HistEntry struct {
 	Timestamp time.Time `json:"timestamp"`
 }
 
-// HistoryDB records the full update history of every key.
+// HistoryDB records the full update history of every key. It is an
+// append-only index over a storage.KV engine: each update lands under
+// "ns\x00key\x00<seq>" where seq is a zero-padded global counter, so a
+// key's history is one sorted prefix scan and appends never read-modify-
+// write (concurrent recording from different committers cannot lose
+// entries).
 type HistoryDB struct {
-	mu      sync.RWMutex
-	entries map[string]map[string][]HistEntry // ns -> key -> updates in commit order
+	kv  storage.KV
+	seq atomic.Uint64
 }
 
-// NewHistoryDB returns an empty history database.
+// NewHistoryDB returns an empty history database on the default engine.
 func NewHistoryDB() *HistoryDB {
-	return &HistoryDB{entries: make(map[string]map[string][]HistEntry)}
+	return NewHistoryDBWith(storage.Config{})
+}
+
+// NewHistoryDBWith returns an empty history database on the engine cfg
+// selects.
+func NewHistoryDBWith(cfg storage.Config) *HistoryDB {
+	return &HistoryDB{kv: storage.Open(cfg)}
+}
+
+// histSeqLen is the fixed width of the hex sequence suffix; fixed width
+// keeps lexical key order equal to append order.
+const histSeqLen = 16
+
+func histPrefix(ns, key string) string {
+	return ns + "\x00" + key + "\x00"
 }
 
 // Record appends an update for ns/key.
 func (h *HistoryDB) Record(ns, key string, e HistEntry) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	m, ok := h.entries[ns]
-	if !ok {
-		m = make(map[string][]HistEntry)
-		h.entries[ns] = m
+	enc, err := json.Marshal(e)
+	if err != nil {
+		// HistEntry contains only marshalable fields; treat failure as fatal.
+		panic("statedb: history marshal: " + err.Error())
 	}
-	m[key] = append(m[key], e)
+	k := fmt.Sprintf("%s%0*x", histPrefix(ns, key), histSeqLen, h.seq.Add(1))
+	h.kv.Put(k, enc)
 }
 
 // RecordBatch appends history entries for every write in a batch.
@@ -56,14 +79,37 @@ func (h *HistoryDB) RecordBatch(batch *UpdateBatch, txID string, v Version, ts t
 
 // Get returns the full history of ns/key in commit order.
 func (h *HistoryDB) Get(ns, key string) []HistEntry {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return append([]HistEntry(nil), h.entries[ns][key]...)
+	var out []HistEntry
+	h.kv.IterPrefix(histPrefix(ns, key), func(_ string, buf []byte) bool {
+		var e HistEntry
+		if err := json.Unmarshal(buf, &e); err != nil {
+			panic("statedb: history unmarshal: " + err.Error())
+		}
+		out = append(out, e)
+		return true
+	})
+	return out
 }
 
 // Len returns the number of keys with history in ns.
 func (h *HistoryDB) Len(ns string) int {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return len(h.entries[ns])
+	prefix := ns + "\x00"
+	n := 0
+	prev := ""
+	h.kv.IterPrefix(prefix, func(composite string, _ []byte) bool {
+		// Strip the namespace prefix and the "\x00<seq>" suffix to recover
+		// the bare key; entries arrive sorted, so distinct keys are counted
+		// by comparing neighbours.
+		rest := composite[len(prefix):]
+		key := rest
+		if i := strings.LastIndexByte(rest, 0); i >= 0 {
+			key = rest[:i]
+		}
+		if n == 0 || key != prev {
+			n++
+			prev = key
+		}
+		return true
+	})
+	return n
 }

@@ -14,22 +14,29 @@ import (
 type Selector map[string]any
 
 // ExecuteQuery scans ns and returns entries whose JSON value matches the
-// selector. Non-JSON values never match. Results are sorted by key.
+// selector. Non-JSON values never match. Results are sorted by key. The
+// scan streams off the engine iterator, so non-matching values are never
+// copied out of the store.
 func (db *DB) ExecuteQuery(ns string, sel Selector) ([]KV, error) {
-	all := db.GetStateRange(ns, "", "")
 	var out []KV
-	for _, kv := range all {
+	var ierr error
+	db.iterNamespace(ns, "", func(key string, vv VersionedValue) bool {
 		var doc map[string]any
-		if err := json.Unmarshal(kv.Value, &doc); err != nil {
-			continue
+		if err := json.Unmarshal(vv.Value, &doc); err != nil {
+			return true
 		}
 		ok, err := Matches(doc, sel)
 		if err != nil {
-			return nil, err
+			ierr = err
+			return false
 		}
 		if ok {
-			out = append(out, kv)
+			out = append(out, KV{Namespace: ns, Key: key, Value: append([]byte(nil), vv.Value...), Version: vv.Version})
 		}
+		return true
+	})
+	if ierr != nil {
+		return nil, ierr
 	}
 	return out, nil
 }

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 )
 
 // snapshotEntry is one key's row in a snapshot stream.
@@ -19,36 +18,31 @@ type snapshotEntry struct {
 // Snapshot writes the full world state as one JSON entry per line, in
 // deterministic (namespace, key) order, so two peers at the same height
 // produce byte-identical snapshots — a cheap state-equality check and a
-// bootstrap artefact.
+// bootstrap artefact. The engine's sorted composite-key iteration IS
+// (namespace, key) order, so both engines emit identical streams.
 func (db *DB) Snapshot(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	bw := bufio.NewWriter(w)
-	namespaces := make([]string, 0, len(db.data))
-	for ns := range db.data {
-		namespaces = append(namespaces, ns)
-	}
-	sort.Strings(namespaces)
-	for _, ns := range namespaces {
-		m := db.data[ns]
-		keys := make([]string, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
+	var ierr error
+	db.kv.IterPrefix("", func(composite string, buf []byte) bool {
+		ns, key := splitStateKey(composite)
+		vv := decodeValue(buf)
+		enc, err := json.Marshal(snapshotEntry{Namespace: ns, Key: key, Value: vv.Value, Version: vv.Version})
+		if err != nil {
+			ierr = fmt.Errorf("statedb: snapshot: %w", err)
+			return false
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			vv := m[k]
-			enc, err := json.Marshal(snapshotEntry{Namespace: ns, Key: k, Value: vv.Value, Version: vv.Version})
-			if err != nil {
-				return fmt.Errorf("statedb: snapshot: %w", err)
-			}
-			if _, err := bw.Write(enc); err != nil {
-				return err
-			}
-			if err := bw.WriteByte('\n'); err != nil {
-				return err
-			}
+		if _, err := bw.Write(enc); err != nil {
+			ierr = err
+			return false
 		}
+		if err := bw.WriteByte('\n'); err != nil {
+			ierr = err
+			return false
+		}
+		return true
+	})
+	if ierr != nil {
+		return ierr
 	}
 	return bw.Flush()
 }
@@ -57,9 +51,7 @@ func (db *DB) Snapshot(w io.Writer) error {
 // number of keys loaded. Restoring into a non-empty database is an error
 // (snapshots are bootstrap artefacts, not merges).
 func (db *DB) Restore(r io.Reader) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if len(db.data) != 0 {
+	if db.kv.Len() != 0 {
 		return 0, fmt.Errorf("statedb: restore into non-empty database")
 	}
 	dec := json.NewDecoder(bufio.NewReader(r))
@@ -71,12 +63,7 @@ func (db *DB) Restore(r io.Reader) (int, error) {
 		} else if err != nil {
 			return n, fmt.Errorf("statedb: restore entry %d: %w", n, err)
 		}
-		m, ok := db.data[e.Namespace]
-		if !ok {
-			m = make(map[string]VersionedValue)
-			db.data[e.Namespace] = m
-		}
-		m[e.Key] = VersionedValue{Value: e.Value, Version: e.Version}
+		db.kv.Put(stateKey(e.Namespace, e.Key), encodeValue(e.Value, e.Version))
 		n++
 	}
 }

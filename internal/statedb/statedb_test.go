@@ -8,6 +8,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"socialchain/internal/storage"
 )
 
 func TestGetPutRoundTrip(t *testing.T) {
@@ -300,5 +302,45 @@ func TestValueCopiedOnWrite(t *testing.T) {
 	vv, _ := db.GetState("cc", "k")
 	if vv.Value[0] == 'X' {
 		t.Fatal("db aliases caller buffer")
+	}
+}
+
+// TestEnginesProduceIdenticalSnapshots commits the same batches through
+// both storage engines and requires byte-identical snapshot streams —
+// engine choice must never change observable state or iteration order.
+func TestEnginesProduceIdenticalSnapshots(t *testing.T) {
+	build := func(cfg storage.Config) *DB {
+		db := NewWith(cfg)
+		for blk := uint64(1); blk <= 5; blk++ {
+			b := NewUpdateBatch()
+			for i := 0; i < 40; i++ {
+				key := fmt.Sprintf("key/%03d", (int(blk)*7+i*3)%60)
+				if (int(blk)+i)%5 == 0 {
+					b.Delete("cc", key)
+				} else {
+					b.Put("cc", key, []byte(fmt.Sprintf("v%d-%d", blk, i)))
+				}
+				b.Put(fmt.Sprintf("ns%d", i%3), key, []byte("x"))
+			}
+			db.ApplyUpdates(b, Version{BlockNum: blk})
+		}
+		return db
+	}
+	var single, sharded bytes.Buffer
+	if err := build(storage.Config{Engine: storage.EngineSingle}).Snapshot(&single); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(storage.Config{Engine: storage.EngineSharded}).Snapshot(&sharded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(single.Bytes(), sharded.Bytes()) {
+		t.Fatal("snapshot streams differ between engines")
+	}
+	db := build(storage.Config{})
+	if got := db.Keys("cc"); got == 0 {
+		t.Fatal("no keys survived")
+	}
+	if ns := db.Namespaces(); len(ns) != 4 {
+		t.Fatalf("namespaces = %v", ns)
 	}
 }

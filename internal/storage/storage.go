@@ -1,0 +1,82 @@
+// Package storage provides the pluggable key-value engine beneath the
+// repo's stateful layers: the world-state database, the history database
+// and the CID-addressed blockstore all sit on the KV interface instead of
+// owning a map and a global lock. Two engines implement it: a single-lock
+// map (the seed's behaviour, kept as the determinism baseline) and a
+// lock-striped sharded engine whose per-shard locks let concurrent reads
+// and batched commits proceed in parallel — the hot path of the paper's
+// store/retrieve evaluation.
+package storage
+
+// Write is one staged mutation inside an ApplyBatch call.
+type Write struct {
+	Key    string
+	Value  []byte
+	Delete bool
+}
+
+// KV is the engine contract. Keys are ordered byte strings; layered stores
+// encode structure (namespaces, versions, sequence numbers) into keys and
+// values. Engines neither copy values on Put nor on Get: callers own the
+// aliasing discipline, exactly as the seed's map-based stores did.
+//
+// All methods are safe for concurrent use.
+type KV interface {
+	// Get returns the stored value for key.
+	Get(key string) ([]byte, bool)
+	// Put stores value under key, reporting whether the key was newly
+	// inserted (false means an existing value was replaced).
+	Put(key string, value []byte) bool
+	// Delete removes key, returning the removed value. Deleting an absent
+	// key is a no-op returning (nil, false).
+	Delete(key string) ([]byte, bool)
+	// IterPrefix invokes fn for every key beginning with prefix, in
+	// ascending key order, over a point-in-time collection of matching
+	// entries; fn returning false stops the iteration. fn runs without any
+	// engine lock held, so it may call back into the KV.
+	IterPrefix(prefix string, fn func(key string, value []byte) bool)
+	// ApplyBatch applies a block's writes, acquiring each internal lock at
+	// most once; within the batch, later writes to a key win.
+	ApplyBatch(writes []Write)
+	// Len returns the number of stored keys.
+	Len() int
+}
+
+// Engine names a KV implementation.
+type Engine string
+
+const (
+	// EngineSingle is the seed's one-map, one-RWMutex engine. Every commit
+	// excludes every read; kept for determinism baselines and as the
+	// reference in cross-engine equivalence tests.
+	EngineSingle Engine = "single"
+	// EngineSharded is the lock-striped engine: N shards by key hash, a
+	// RWMutex per shard, batched commits grouped by shard. The production
+	// default.
+	EngineSharded Engine = "sharded"
+)
+
+// DefaultShards is the sharded engine's default stripe count.
+const DefaultShards = 16
+
+// Config selects and sizes an engine. The zero value opens the sharded
+// engine with DefaultShards stripes.
+type Config struct {
+	// Engine picks the implementation (default EngineSharded).
+	Engine Engine
+	// Shards sets the sharded engine's stripe count, rounded up to a power
+	// of two (default DefaultShards). Ignored by EngineSingle.
+	Shards int
+}
+
+// Open constructs the engine described by cfg. Unknown engine names fall
+// back to the sharded default so a zero or stale config never loses data
+// behind a nil store.
+func Open(cfg Config) KV {
+	switch cfg.Engine {
+	case EngineSingle:
+		return NewSingle()
+	default:
+		return NewSharded(cfg.Shards)
+	}
+}

@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// engines returns one fresh instance of every engine under a stable label.
+func engines() map[string]KV {
+	return map[string]KV{
+		"single":    NewSingle(),
+		"sharded":   NewSharded(0),
+		"sharded-1": NewSharded(1), // degenerate stripe count must still behave
+	}
+}
+
+func TestOpenSelectsEngine(t *testing.T) {
+	if _, ok := Open(Config{Engine: EngineSingle}).(*Single); !ok {
+		t.Fatal("EngineSingle did not open a Single")
+	}
+	if _, ok := Open(Config{Engine: EngineSharded}).(*Sharded); !ok {
+		t.Fatal("EngineSharded did not open a Sharded")
+	}
+	if _, ok := Open(Config{}).(*Sharded); !ok {
+		t.Fatal("zero config must default to the sharded engine")
+	}
+	if _, ok := Open(Config{Engine: "no-such-engine"}).(*Sharded); !ok {
+		t.Fatal("unknown engine must fall back to the sharded default")
+	}
+}
+
+func TestShardCountRounding(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{0, DefaultShards}, {1, 1}, {3, 4}, {16, 16}, {17, 32}} {
+		if got := len(NewSharded(c.in).shards); got != c.want {
+			t.Errorf("NewSharded(%d) = %d shards, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	for name, kv := range engines() {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := kv.Get("missing"); ok {
+				t.Fatal("phantom key")
+			}
+			if !kv.Put("a", []byte("1")) {
+				t.Fatal("first Put must report an insert")
+			}
+			if kv.Put("a", []byte("2")) {
+				t.Fatal("overwrite must not report an insert")
+			}
+			if v, ok := kv.Get("a"); !ok || string(v) != "2" {
+				t.Fatalf("Get = %q %v", v, ok)
+			}
+			if kv.Len() != 1 {
+				t.Fatalf("Len = %d", kv.Len())
+			}
+			if prev, ok := kv.Delete("a"); !ok || string(prev) != "2" {
+				t.Fatalf("Delete = %q %v", prev, ok)
+			}
+			if prev, ok := kv.Delete("a"); ok || prev != nil {
+				t.Fatalf("double Delete = %q %v", prev, ok)
+			}
+			if kv.Len() != 0 {
+				t.Fatalf("Len after delete = %d", kv.Len())
+			}
+		})
+	}
+}
+
+func TestApplyBatchLastWriteWins(t *testing.T) {
+	for name, kv := range engines() {
+		t.Run(name, func(t *testing.T) {
+			kv.ApplyBatch([]Write{
+				{Key: "k", Value: []byte("first")},
+				{Key: "k", Value: []byte("second")},
+				{Key: "gone", Value: []byte("x")},
+				{Key: "gone", Delete: true},
+			})
+			if v, ok := kv.Get("k"); !ok || string(v) != "second" {
+				t.Fatalf("k = %q %v", v, ok)
+			}
+			if _, ok := kv.Get("gone"); ok {
+				t.Fatal("delete staged after put must win")
+			}
+		})
+	}
+}
+
+func TestIterPrefixSortedAndStoppable(t *testing.T) {
+	for name, kv := range engines() {
+		t.Run(name, func(t *testing.T) {
+			for _, k := range []string{"b/2", "a/1", "b/1", "c/9", "b/3"} {
+				kv.Put(k, []byte(k))
+			}
+			var got []string
+			kv.IterPrefix("b/", func(k string, v []byte) bool {
+				if string(v) != k {
+					t.Fatalf("value mismatch for %s: %q", k, v)
+				}
+				got = append(got, k)
+				return true
+			})
+			want := []string{"b/1", "b/2", "b/3"}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("IterPrefix = %v, want %v", got, want)
+			}
+			var first []string
+			kv.IterPrefix("", func(k string, _ []byte) bool {
+				first = append(first, k)
+				return len(first) < 2
+			})
+			if !reflect.DeepEqual(first, []string{"a/1", "b/1"}) {
+				t.Fatalf("early stop walked %v", first)
+			}
+		})
+	}
+}
+
+func TestIterPrefixAllowsReentrancy(t *testing.T) {
+	for name, kv := range engines() {
+		t.Run(name, func(t *testing.T) {
+			kv.Put("a", []byte("1"))
+			kv.Put("b", []byte("2"))
+			kv.IterPrefix("", func(k string, _ []byte) bool {
+				kv.Put("nested/"+k, []byte("x")) // must not deadlock
+				return true
+			})
+			if kv.Len() != 4 {
+				t.Fatalf("Len = %d after reentrant puts", kv.Len())
+			}
+		})
+	}
+}
+
+// op is one step of a generated workload for the equivalence test.
+type op struct {
+	kind  int // 0 put, 1 delete, 2 batch
+	key   string
+	value []byte
+	batch []Write
+}
+
+// randomOps generates a deterministic mixed workload over a small hot key
+// space so puts, overwrites, deletes and batches all collide.
+func randomOps(seed int64, n int) []op {
+	rng := rand.New(rand.NewSource(seed))
+	key := func() string {
+		return fmt.Sprintf("ns%d\x00key/%03d", rng.Intn(3), rng.Intn(120))
+	}
+	ops := make([]op, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			ops = append(ops, op{kind: 0, key: key(), value: []byte(fmt.Sprintf("v%d", i))})
+		case 2:
+			ops = append(ops, op{kind: 1, key: key()})
+		default:
+			batch := make([]Write, 0, 8)
+			for j := rng.Intn(8); j >= 0; j-- {
+				w := Write{Key: key()}
+				if rng.Intn(4) == 0 {
+					w.Delete = true
+				} else {
+					w.Value = []byte(fmt.Sprintf("b%d-%d", i, j))
+				}
+				batch = append(batch, w)
+			}
+			ops = append(ops, op{kind: 2, batch: batch})
+		}
+	}
+	return ops
+}
+
+func apply(kv KV, o op) {
+	switch o.kind {
+	case 0:
+		kv.Put(o.key, o.value)
+	case 1:
+		kv.Delete(o.key)
+	default:
+		kv.ApplyBatch(o.batch)
+	}
+}
+
+// dump captures the full sorted contents of an engine.
+func dump(kv KV) []entry {
+	var out []entry
+	kv.IterPrefix("", func(k string, v []byte) bool {
+		out = append(out, entry{key: k, value: append([]byte(nil), v...)})
+		return true
+	})
+	return out
+}
+
+// TestEngineEquivalence drives both engines through identical op sequences
+// and requires identical final state, iteration order, lengths and point
+// reads — the contract that lets the sharded engine replace the single-lock
+// one under every store.
+func TestEngineEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		single := NewSingle()
+		sharded := NewSharded(8)
+		for _, o := range randomOps(seed, 600) {
+			apply(single, o)
+			apply(sharded, o)
+		}
+		if single.Len() != sharded.Len() {
+			t.Fatalf("seed %d: Len single=%d sharded=%d", seed, single.Len(), sharded.Len())
+		}
+		ds, dh := dump(single), dump(sharded)
+		if !reflect.DeepEqual(ds, dh) {
+			t.Fatalf("seed %d: state diverged:\nsingle:  %v\nsharded: %v", seed, ds, dh)
+		}
+		for _, e := range ds {
+			sv, sok := single.Get(e.key)
+			hv, hok := sharded.Get(e.key)
+			if sok != hok || string(sv) != string(hv) {
+				t.Fatalf("seed %d: Get(%q) single=%q/%v sharded=%q/%v", seed, e.key, sv, sok, hv, hok)
+			}
+		}
+		// Prefix iteration must agree too, not just the full dump.
+		for _, prefix := range []string{"ns0\x00", "ns1\x00key/0", "ns2\x00key/11"} {
+			var ks, kh []string
+			single.IterPrefix(prefix, func(k string, _ []byte) bool { ks = append(ks, k); return true })
+			sharded.IterPrefix(prefix, func(k string, _ []byte) bool { kh = append(kh, k); return true })
+			if !reflect.DeepEqual(ks, kh) {
+				t.Fatalf("seed %d: IterPrefix(%q) single=%v sharded=%v", seed, prefix, ks, kh)
+			}
+		}
+	}
+}
