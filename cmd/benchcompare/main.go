@@ -1,0 +1,114 @@
+// Command benchcompare diffs two benchmark-metric JSON files (flat maps of
+// metric name to value, as cmd/benchharness -out writes) and emits a
+// Markdown report, the regression gate of the CI bench job:
+//
+//	benchcompare -baseline .github/bench-baseline.json -current BENCH_2.json
+//
+// Direction is inferred from the metric name: names ending in "_s" are
+// latencies (lower is better); names containing "speedup", "rate",
+// "ops" or "_x" are throughput-like (higher is better). A metric worse
+// than baseline by more than -threshold (default 0.20) is flagged.
+//
+// By default regressions only warn (exit 0) — shared-runner benchmark
+// noise should not block merges; -strict exits 1 on any regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+func loadMetrics(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// lowerIsBetter infers a metric's direction from its name.
+func lowerIsBetter(name string) bool {
+	for _, marker := range []string{"speedup", "rate", "ops", "_x"} {
+		if strings.Contains(name, marker) {
+			return false
+		}
+	}
+	return true
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline JSON")
+	currentPath := flag.String("current", "", "freshly measured JSON")
+	threshold := flag.Float64("threshold", 0.20, "relative regression tolerance")
+	strict := flag.Bool("strict", false, "exit non-zero on regression")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		log.Fatal("benchcompare: -baseline and -current are required")
+	}
+	baseline, err := loadMetrics(*baselinePath)
+	if err != nil {
+		log.Fatalf("benchcompare: %v", err)
+	}
+	current, err := loadMetrics(*currentPath)
+	if err != nil {
+		log.Fatalf("benchcompare: %v", err)
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("### Benchmark comparison (threshold %.0f%%)\n\n", *threshold*100)
+	fmt.Println("| metric | baseline | current | delta | status |")
+	fmt.Println("|---|---|---|---|---|")
+	regressions := 0
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			fmt.Printf("| %s | %.6g | _missing_ | — | ⚠️ missing |\n", name, base)
+			regressions++
+			continue
+		}
+		var rel float64 // positive = worse
+		if base != 0 {
+			if lowerIsBetter(name) {
+				rel = (cur - base) / base
+			} else {
+				rel = (base - cur) / base
+			}
+		}
+		status := "✅"
+		if rel > *threshold {
+			status = "⚠️ regression"
+			regressions++
+		}
+		fmt.Printf("| %s | %.6g | %.6g | %+.1f%% | %s |\n", name, base, cur, rel*100, status)
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			fmt.Printf("| %s | _new_ | %.6g | — | ℹ️ new metric |\n", name, current[name])
+		}
+	}
+	fmt.Println()
+	if regressions > 0 {
+		fmt.Printf("⚠️ **%d metric(s) regressed more than %.0f%% against the committed baseline.**\n", regressions, *threshold*100)
+		fmt.Println("Benchmark noise on shared runners is expected; investigate before refreshing the baseline.")
+		if *strict {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Println("All tracked metrics within tolerance of the committed baseline. ✅")
+}

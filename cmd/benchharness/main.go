@@ -6,17 +6,21 @@
 //	4     metadata extraction time vs frame size (Figure 4)
 //	5     IPFS storage time vs file size, with/without blockchain (Figure 5)
 //	6     retrieval time vs file size, with/without blockchain (Figure 6)
-//	bft     BFT fault-tolerance ablation
-//	trust   trust-score evolution ablation
-//	scale   peer-count scalability ablation
-//	storage world-state engine ablation (single-lock vs sharded)
-//	all     everything above
+//	bft       BFT fault-tolerance ablation
+//	trust     trust-score evolution ablation
+//	scale     peer-count scalability ablation
+//	storage   world-state engine ablation (single-lock vs sharded)
+//	retrieval retrieval-pipeline ablation (indexed vs scan, concurrent vs
+//	          serial fetch, payload cache on/off)
+//	all       everything above
 //
 // The -engine flag selects the world-state storage engine ("single" or
 // "sharded") for every framework the harness builds, so any figure can be
-// regenerated under either engine.
+// regenerated under either engine. -out FILE writes the scalar metrics the
+// figures record (currently the retrieval ablation) as a flat JSON map,
+// the artefact the CI bench job diffs against its committed baseline.
 //
-// Usage: benchharness [-fig all] [-samples 20] [-csv] [-engine sharded]
+// Usage: benchharness [-fig all] [-samples 20] [-csv] [-engine sharded] [-out BENCH.json]
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	"socialchain/internal/consensus"
+	"socialchain/internal/contracts"
 	"socialchain/internal/core"
 	"socialchain/internal/dataset"
 	"socialchain/internal/detect"
@@ -37,6 +42,7 @@ import (
 	"socialchain/internal/metrics"
 	"socialchain/internal/msp"
 	"socialchain/internal/ordering"
+	"socialchain/internal/query"
 	"socialchain/internal/sim"
 	"socialchain/internal/statedb"
 	"socialchain/internal/storage"
@@ -44,11 +50,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,storage,retrieval,all")
 	samples := flag.Int("samples", 20, "measurements per point")
 	csv := flag.Bool("csv", false, "emit CSV series instead of tables")
 	seed := flag.Int64("seed", 1, "workload seed")
 	engine := flag.String("engine", string(storage.EngineSharded), "world-state storage engine: single or sharded")
+	out := flag.String("out", "", "write recorded scalar metrics as a JSON map to this file")
 	flag.Parse()
 
 	switch storage.Engine(*engine) {
@@ -56,19 +63,20 @@ func main() {
 	default:
 		log.Fatalf("unknown engine %q (valid: %s, %s)", *engine, storage.EngineSingle, storage.EngineSharded)
 	}
-	h := &harness{samples: *samples, csv: *csv, seed: *seed, engine: storage.Engine(*engine)}
+	h := &harness{samples: *samples, csv: *csv, seed: *seed, engine: storage.Engine(*engine), metrics: make(map[string]float64)}
 	run := map[string]func() error{
-		"2":       h.figure2,
-		"3":       h.figure3,
-		"4":       h.figure4,
-		"5":       h.figure5,
-		"6":       h.figure6,
-		"bft":     h.bft,
-		"trust":   h.trust,
-		"scale":   h.scale,
-		"storage": h.storage,
+		"2":         h.figure2,
+		"3":         h.figure3,
+		"4":         h.figure4,
+		"5":         h.figure5,
+		"6":         h.figure6,
+		"bft":       h.bft,
+		"trust":     h.trust,
+		"scale":     h.scale,
+		"storage":   h.storage,
+		"retrieval": h.retrieval,
 	}
-	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage"}
+	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage", "retrieval"}
 	want := strings.Split(*fig, ",")
 	if *fig == "all" {
 		want = order
@@ -82,6 +90,15 @@ func main() {
 			log.Fatalf("figure %s: %v", f, err)
 		}
 	}
+	if *out != "" {
+		enc, err := json.MarshalIndent(h.metrics, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal metrics: %v", err)
+		}
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			log.Fatalf("write %s: %v", *out, err)
+		}
+	}
 }
 
 type harness struct {
@@ -89,7 +106,13 @@ type harness struct {
 	csv     bool
 	seed    int64
 	engine  storage.Engine
+	// metrics collects named scalars for -out (figure functions record
+	// what CI tracks for regressions).
+	metrics map[string]float64
 }
+
+// record stores one scalar for the -out artefact.
+func (h *harness) record(name string, v float64) { h.metrics[name] = v }
 
 func (h *harness) header(title string) {
 	fmt.Printf("\n=== %s ===\n\n", title)
@@ -463,6 +486,194 @@ func (h *harness) scale() error {
 		fw.Close()
 	}
 	tbl.Render(os.Stdout)
+	return nil
+}
+
+// retrieval reproduces the retrieval-pipeline ablation in two parts.
+//
+// Part A seeds a 10k-record world state (production index set) and times
+// one conditional metadata query three ways: the full namespace scan
+// (ScanQuery, the pre-index behaviour), the indexed short-circuit
+// (ExecuteQuery via the label index) and a raw 100-entry index page.
+//
+// Part B stores a batch of payloads through a LAN-latency framework and
+// times GetMany over a remote IPFS node: serial (1 worker), concurrent
+// (8 workers), and a cache-warm pass through the payload cache.
+func (h *harness) retrieval() error {
+	h.header("Ablation — retrieval pipeline (indexed vs scan, concurrent vs serial, cache)")
+
+	// --- Part A: indexed vs scan conditional queries at 10k records.
+	const (
+		records   = 10000
+		numLabels = 25
+	)
+	db, err := statedb.NewIndexedWith(storage.Config{Engine: h.engine}, contracts.DataIndexes()...)
+	if err != nil {
+		return err
+	}
+	const batchSize = 500
+	for start := 0; start < records; start += batchSize {
+		batch := statedb.NewUpdateBatch()
+		for i := start; i < start+batchSize && i < records; i++ {
+			doc := fmt.Sprintf(`{"tx_id":"tx-%06d","cid":"bafy%06d","label":"label-%02d","source":"org/src-%02d",`+
+				`"metadata":{"camera_id":"cam-%d","frame_id":"f-%d"},"data_hash":"%064d",`+
+				`"size_bytes":4096,"submitted":"2026-07-%02dT%02d:%02d:00Z","seq":%d}`,
+				i, i, i%numLabels, i%50, i%10, i, i, 1+i%28, i/3600%24, i/60%60, i)
+			batch.Put("data", fmt.Sprintf("rec/%06d", i), []byte(doc))
+		}
+		db.ApplyUpdates(batch, statedb.Version{BlockNum: uint64(start/batchSize + 1)})
+	}
+	queries := h.samples
+	if queries < 5 {
+		queries = 5
+	}
+	scanStat, idxStat, pageStat := metrics.NewStats(), metrics.NewStats(), metrics.NewStats()
+	for q := 0; q < queries; q++ {
+		sel := statedb.Selector{"label": fmt.Sprintf("label-%02d", q%numLabels)}
+		start := time.Now()
+		scanned, err := db.ScanQuery("data", sel)
+		scanStat.AddDuration(time.Since(start))
+		if err != nil {
+			return err
+		}
+		start = time.Now()
+		indexed, err := db.ExecuteQuery("data", sel)
+		idxStat.AddDuration(time.Since(start))
+		if err != nil {
+			return err
+		}
+		if len(indexed) != len(scanned) || len(indexed) != records/numLabels {
+			return fmt.Errorf("retrieval: indexed %d vs scanned %d results", len(indexed), len(scanned))
+		}
+		start = time.Now()
+		page, err := db.IterIndex(contracts.IndexLabel, fmt.Sprintf("label-%02d", q%numLabels), 100, 0, "")
+		pageStat.AddDuration(time.Since(start))
+		if err != nil {
+			return err
+		}
+		if len(page.Entries) != 100 {
+			return fmt.Errorf("retrieval: index page returned %d entries", len(page.Entries))
+		}
+	}
+	speedup := scanStat.Mean() / idxStat.Mean()
+	h.record("scan_by_label_s", scanStat.Mean())
+	h.record("indexed_by_label_s", idxStat.Mean())
+	h.record("index_speedup_x", speedup)
+	h.record("iter_index_page_s", pageStat.Mean())
+
+	// --- Part B: serial vs concurrent vs cached batch retrieval.
+	fw, client, err := h.storageFramework()
+	if err != nil {
+		return err
+	}
+	defer fw.Close()
+	rng := sim.NewRNG(h.seed)
+	det := detect.NewDetector(h.seed)
+	batch := h.samples
+	if batch < 8 {
+		batch = 8
+	}
+	if batch > 24 {
+		batch = 24
+	}
+	txIDs := make([]string, 0, batch)
+	for i := 0; i < batch; i++ {
+		frame, meta := frameOfSize(rng, det, 16*1024, i)
+		receipt, err := client.StoreFrame(frame, meta)
+		if err != nil {
+			return err
+		}
+		txIDs = append(txIDs, receipt.TxID)
+	}
+	// Reads go to the second IPFS node so payloads are fetched over the
+	// simulated network; its blockstore is wiped between passes so every
+	// pass pays the full fetch.
+	remote := fw.Cluster.Node(1)
+	wipeRemote := func() error {
+		for _, k := range remote.Blockstore().AllKeys() {
+			if err := remote.Blockstore().Delete(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	checkItems := func(mode string, items []query.BatchItem) error {
+		for _, item := range items {
+			if item.Err != nil {
+				return fmt.Errorf("retrieval: %s fetch %s: %w", mode, item.TxID, item.Err)
+			}
+			if !item.Verified {
+				return fmt.Errorf("retrieval: %s fetch %s: not verified", mode, item.TxID)
+			}
+		}
+		return nil
+	}
+	runPass := func(mode string, eng *query.Engine, workers int) (float64, error) {
+		start := time.Now()
+		items := eng.GetMany(txIDs, workers)
+		elapsed := time.Since(start).Seconds()
+		if err := checkItems(mode, items); err != nil {
+			return 0, err
+		}
+		return elapsed, nil
+	}
+
+	serialEng := query.NewEngine(fw.AdminGateway(), remote)
+	serialS, err := runPass("serial", serialEng, 1)
+	if err != nil {
+		return err
+	}
+	if err := wipeRemote(); err != nil {
+		return err
+	}
+	concEng := query.NewEngine(fw.AdminGateway(), remote)
+	concS, err := runPass("concurrent", concEng, 8)
+	if err != nil {
+		return err
+	}
+	if err := wipeRemote(); err != nil {
+		return err
+	}
+	cachedEng := query.NewEngine(fw.AdminGateway(), remote).WithPayloadCache(64 << 20).WithWorkers(8)
+	if _, err := runPass("cache-warmup", cachedEng, 8); err != nil {
+		return err
+	}
+	cachedS, err := runPass("cached", cachedEng, 8)
+	if err != nil {
+		return err
+	}
+	hitRate := cachedEng.CacheStats().HitRate()
+
+	h.record("serial_getmany_s", serialS)
+	h.record("concurrent_getmany_s", concS)
+	h.record("fetch_speedup_x", serialS/concS)
+	h.record("cached_getmany_s", cachedS)
+	h.record("cache_hit_rate", hitRate)
+
+	if h.csv {
+		queryS := &metrics.Series{Label: "query_mode_s"} // x: 0=scan 1=indexed 2=index_page
+		queryS.Append(0, scanStat.Mean())
+		queryS.Append(1, idxStat.Mean())
+		queryS.Append(2, pageStat.Mean())
+		fetchS := &metrics.Series{Label: "getmany_mode_s"} // x: workers (0 = cached)
+		fetchS.Append(1, serialS)
+		fetchS.Append(8, concS)
+		fetchS.Append(0, cachedS)
+		queryS.WriteCSV(os.Stdout)
+		fetchS.WriteCSV(os.Stdout)
+		return nil
+	}
+	qt := metrics.NewTable("metadata_query (10k records)", "mean_s", "speedup_vs_scan")
+	qt.AddRow("full scan (ScanQuery)", scanStat.Mean(), 1.0)
+	qt.AddRow("indexed (ExecuteQuery)", idxStat.Mean(), speedup)
+	qt.AddRow("index page (IterIndex, 100)", pageStat.Mean(), scanStat.Mean()/pageStat.Mean())
+	qt.Render(os.Stdout)
+	fmt.Println()
+	ft := metrics.NewTable(fmt.Sprintf("payload_fetch (%d x 16KB)", batch), "total_s", "per_item_s")
+	ft.AddRow("serial (1 worker)", serialS, serialS/float64(batch))
+	ft.AddRow("concurrent (8 workers)", concS, concS/float64(batch))
+	ft.AddRow(fmt.Sprintf("cached (hit rate %.2f)", hitRate), cachedS, cachedS/float64(batch))
+	ft.Render(os.Stdout)
 	return nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"socialchain/internal/consensus"
+	"socialchain/internal/contracts"
 	"socialchain/internal/core"
 	"socialchain/internal/dataset"
 	"socialchain/internal/detect"
@@ -153,7 +154,7 @@ func run(peers, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction fl
 
 	// Explorer view of the chain (the paper's Hyperledger Explorer role).
 	fmt.Println("\n--- explorer ---")
-	exp := explorer.New(fw.Net.Peer(0).Ledger())
+	exp := explorer.New(fw.Net.Peer(0).Ledger()).WithState(fw.Net.Peer(0).State())
 	exp.RenderStats(os.Stdout)
 	fmt.Println("\nlast blocks:")
 	height := fw.Net.Peer(0).Ledger().Height()
@@ -162,6 +163,11 @@ func run(peers, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction fl
 		from = height - 6
 	}
 	if err := exp.RenderBlocks(os.Stdout, from, 0); err != nil {
+		return err
+	}
+	// Newest records through the time-ordered secondary index, paged.
+	fmt.Println("\nrecent records (submitted index):")
+	if _, err := exp.RenderIndexPage(os.Stdout, contracts.IndexSubmitted, "", 8, ""); err != nil {
 		return err
 	}
 	return nil

@@ -180,6 +180,19 @@ func (s *Simulator) GetQueryResult(sel statedb.Selector) ([]statedb.KV, error) {
 	return s.db.ExecuteQuery(s.ns, sel)
 }
 
+// GetIndexPage implements Stub. Like GetQueryResult it reads committed
+// state only; the returned keys are world-state keys of this namespace
+// that the caller resolves through GetState (which records MVCC reads).
+// Indexes belonging to other namespaces are hidden, as state is.
+func (s *Simulator) GetIndexPage(index, valuePrefix string, limit int, token string) (statedb.IndexPage, error) {
+	for _, spec := range s.db.Indexes() {
+		if spec.Name == index && spec.Namespace == s.ns {
+			return s.db.IterIndex(index, valuePrefix, limit, 0, token)
+		}
+	}
+	return statedb.IndexPage{}, fmt.Errorf("chaincode: no index %q in namespace %q", index, s.ns)
+}
+
 // GetHistoryForKey implements Stub.
 func (s *Simulator) GetHistoryForKey(key string) ([]statedb.HistEntry, error) {
 	if s.history == nil {

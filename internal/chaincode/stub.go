@@ -49,6 +49,11 @@ type Stub interface {
 	SplitCompositeKey(key string) (string, []string, error)
 	// GetQueryResult runs a rich selector query over committed state.
 	GetQueryResult(sel statedb.Selector) ([]statedb.KV, error)
+	// GetIndexPage pages through a secondary index of this chaincode's
+	// namespace over committed state (no phantom-read protection, like
+	// GetQueryResult). valuePrefix narrows by indexed value; limit bounds
+	// the page; token resumes a previous page.
+	GetIndexPage(index, valuePrefix string, limit int, token string) (statedb.IndexPage, error)
 	// GetHistoryForKey returns the committed update history of key.
 	GetHistoryForKey(key string) ([]statedb.HistEntry, error)
 	// GetTxID returns the executing transaction's ID.

@@ -2,6 +2,7 @@ package contracts
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"socialchain/internal/detect"
 	"socialchain/internal/msp"
 	"socialchain/internal/statedb"
+	"socialchain/internal/storage"
 	"socialchain/internal/trust"
 )
 
@@ -27,7 +29,13 @@ type world struct {
 
 func newWorld(t *testing.T) *world {
 	t.Helper()
-	w := &world{t: t, db: statedb.New(), history: statedb.NewHistoryDB(), reg: chaincode.NewRegistry(), height: 1}
+	// The world state runs with the production secondary-index set, as
+	// peers do, so contract-level index queries are exercised here.
+	db, err := statedb.NewIndexedWith(storage.Config{}, DataIndexes()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &world{t: t, db: db, history: statedb.NewHistoryDB(), reg: chaincode.NewRegistry(), height: 1}
 	for _, cc := range All() {
 		if err := w.reg.Register(cc); err != nil {
 			t.Fatal(err)
@@ -509,5 +517,117 @@ func TestUnknownFunctions(t *testing.T) {
 		if _, err := w.invoke(admin, cc, "noSuchFunction"); err == nil {
 			t.Errorf("%s accepted unknown function", cc)
 		}
+	}
+}
+
+func TestQueryPagePagination(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	cam := w.user(admin, "city", "page-cam", true)
+	want := 5
+	for i := 0; i < want; i++ {
+		_, metaJSON := sampleMeta(t, int64(60+i))
+		if _, err := w.invoke(cam, DataCC, "addData", fmt.Sprintf("bafypage%d", i), metaJSON); err != nil {
+			t.Fatalf("addData %d: %v", i, err)
+		}
+	}
+	// Page by source, two records at a time, following tokens.
+	var got []string
+	token := ""
+	for {
+		out, err := w.invoke(cam, DataCC, "queryPage", IndexSource, cam.ID(), "2", token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var page RecordPage
+		if err := json.Unmarshal(out, &page); err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Records) > 2 {
+			t.Fatalf("page carries %d records", len(page.Records))
+		}
+		for _, raw := range page.Records {
+			var rec DataRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				t.Fatal(err)
+			}
+			if rec.Source != cam.ID() {
+				t.Fatalf("foreign record %+v in source page", rec)
+			}
+			got = append(got, rec.TxID)
+		}
+		if page.Next == "" {
+			break
+		}
+		token = page.Next
+	}
+	if len(got) != want {
+		t.Fatalf("paged %d records, want %d", len(got), want)
+	}
+	seen := map[string]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("record %s repeated across pages", id)
+		}
+		seen[id] = true
+	}
+	// The submitted index pages every record in time order with an empty
+	// value prefix.
+	out, err := w.invoke(cam, DataCC, "queryPage", IndexSubmitted, "", "100", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all RecordPage
+	if err := json.Unmarshal(out, &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Records) != want || all.Next != "" {
+		t.Fatalf("submitted page = %d records, next %q", len(all.Records), all.Next)
+	}
+	var prev DataRecord
+	for i, raw := range all.Records {
+		var rec DataRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && rec.Submitted.Before(prev.Submitted) {
+			t.Fatal("submitted page out of time order")
+		}
+		prev = rec
+	}
+	// Bad arguments error.
+	if _, err := w.invoke(cam, DataCC, "queryPage", "bogus-index", "", "10", ""); err == nil {
+		t.Fatal("unknown index accepted")
+	}
+	if _, err := w.invoke(cam, DataCC, "queryPage", IndexSource, "", "-3", ""); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+}
+
+func TestAddDataDenormalisesLabel(t *testing.T) {
+	w := newWorld(t)
+	admin := w.admin()
+	cam := w.user(admin, "city", "label-cam", true)
+	meta, metaJSON := sampleMeta(t, 77)
+	if _, err := w.invoke(cam, DataCC, "addData", "bafylabel", metaJSON); err != nil {
+		t.Fatal(err)
+	}
+	out, err := w.invoke(cam, DataCC, "queryPage", IndexLabel, meta.PrimaryLabel(), "10", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page RecordPage
+	if err := json.Unmarshal(out, &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Records) != 1 {
+		t.Fatalf("label page = %d records", len(page.Records))
+	}
+	var rec DataRecord
+	if err := json.Unmarshal(page.Records[0], &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Label != meta.PrimaryLabel() {
+		t.Fatalf("record label %q, want %q", rec.Label, meta.PrimaryLabel())
 	}
 }

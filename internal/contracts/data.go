@@ -36,6 +36,8 @@ func (Data) Invoke(stub chaincode.Stub, fn string, args [][]byte) ([]byte, error
 		return queryByIndex(stub, idxCamera, args)
 	case "querySelector":
 		return querySelector(stub, args)
+	case "queryPage":
+		return queryPage(stub, args)
 	case "getProvenance":
 		return getProvenance(stub, args)
 	case "getHistory":
@@ -107,9 +109,11 @@ func addData(stub chaincode.Stub, args [][]byte) ([]byte, error) {
 		return nil, err
 	}
 
+	label := meta.PrimaryLabel()
 	rec := DataRecord{
 		TxID:       txID,
 		CID:        cidStr,
+		Label:      label,
 		Source:     source,
 		SourceRole: user.Role,
 		Metadata:   metadataJSON,
@@ -134,8 +138,7 @@ func addData(stub chaincode.Stub, args [][]byte) ([]byte, error) {
 		return nil, err
 	}
 
-	// Secondary indexes for conditional retrieval.
-	label := meta.PrimaryLabel()
+	// Composite-key secondary indexes for conditional retrieval.
 	for _, idx := range []struct{ objType, attr string }{
 		{idxLabel, label},
 		{idxSource, source},
@@ -283,6 +286,50 @@ func querySelector(stub chaincode.Stub, args [][]byte) ([]byte, error) {
 	for _, kv := range kvs {
 		if len(kv.Key) > len(recKeyPrefix) && kv.Key[:len(recKeyPrefix)] == recKeyPrefix {
 			out = append(out, append(json.RawMessage(nil), kv.Value...))
+		}
+	}
+	return json.Marshal(out)
+}
+
+// RecordPage is one page of a paged index query: the matching records in
+// (indexed value, key) order and the token resuming the next page.
+type RecordPage struct {
+	Records []json.RawMessage `json:"records"`
+	// Next is empty when the page exhausted the index.
+	Next string `json:"next,omitempty"`
+}
+
+// queryPage resolves one page of a statedb secondary index into full
+// records: args are (index, value, limitStr, token). index is one of
+// IndexLabel/IndexSource/IndexCamera/IndexSubmitted; value narrows by
+// indexed-value prefix (empty pages the whole index, which for the
+// submitted index yields records in time order); limit bounds the page
+// (default 100); token resumes where the previous page stopped.
+func queryPage(stub chaincode.Stub, args [][]byte) ([]byte, error) {
+	if len(args) != 4 {
+		return nil, fmt.Errorf("data: queryPage expects index, value, limit and token")
+	}
+	index, value, token := string(args[0]), string(args[1]), string(args[3])
+	limit := 100
+	if s := string(args[2]); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("data: queryPage limit %q must be a positive integer", s)
+		}
+		limit = n
+	}
+	page, err := stub.GetIndexPage(index, value, limit, token)
+	if err != nil {
+		return nil, err
+	}
+	out := RecordPage{Records: make([]json.RawMessage, 0, len(page.Entries)), Next: page.Next}
+	for _, e := range page.Entries {
+		rec, err := stub.GetState(e.Key)
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil {
+			out.Records = append(out.Records, rec)
 		}
 	}
 	return json.Marshal(out)

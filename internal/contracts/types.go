@@ -9,6 +9,8 @@ package contracts
 import (
 	"encoding/json"
 	"time"
+
+	"socialchain/internal/statedb"
 )
 
 // Chaincode names (world-state namespaces).
@@ -51,6 +53,10 @@ type DataRecord struct {
 	TxID string `json:"tx_id"`
 	// CID is the IPFS content identifier of the raw payload.
 	CID string `json:"cid"`
+	// Label is the primary (most confident) detection label, denormalised
+	// to the top level so selector queries and the statedb label index see
+	// it without digging through the metadata blob.
+	Label string `json:"label,omitempty"`
 	// Source is the submitting identity id.
 	Source string `json:"source"`
 	// SourceRole captures the source's role at submission time.
@@ -98,6 +104,29 @@ const (
 	idxSource = "source~txid"
 	idxCamera = "camera~txid"
 )
+
+// Statedb secondary-index names over the data namespace (the paged
+// retrieval path; the composite keys above are the in-band Fabric idiom).
+const (
+	IndexLabel     = "label"
+	IndexSource    = "source"
+	IndexCamera    = "camera"
+	IndexSubmitted = "submitted"
+)
+
+// DataIndexes declares the secondary indexes every peer maintains over
+// the data namespace: the conditional-retrieval dimensions of the paper
+// (label, source, camera) plus a time-ordered index on submission time.
+// Peers must all run the same spec list — index reads feed endorsement
+// results, so a divergent index set would split endorsement digests.
+func DataIndexes() []statedb.IndexSpec {
+	return []statedb.IndexSpec{
+		{Name: IndexLabel, Namespace: DataCC, Field: "label"},
+		{Name: IndexSource, Namespace: DataCC, Field: "source"},
+		{Name: IndexCamera, Namespace: DataCC, Field: "metadata.camera_id"},
+		{Name: IndexSubmitted, Namespace: DataCC, Field: "submitted"},
+	}
+}
 
 // maxTrustedRefs bounds the cross-validation ring buffer.
 const maxTrustedRefs = 32

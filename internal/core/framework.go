@@ -76,6 +76,9 @@ func (c *Config) fill() {
 	if c.Fabric.StateEngine == "" {
 		c.Fabric.StateEngine = c.StorageEngine
 	}
+	if c.Fabric.StateIndexes == nil {
+		c.Fabric.StateIndexes = contracts.DataIndexes()
+	}
 }
 
 // Framework is a running instance of the paper's system.

@@ -13,17 +13,27 @@ import (
 
 	"socialchain/internal/ledger"
 	"socialchain/internal/metrics"
+	"socialchain/internal/statedb"
 )
 
-// Explorer reads one peer's ledger. It holds no state of its own; every
-// call reflects the chain at call time.
+// Explorer reads one peer's ledger and (optionally) its world state. It
+// holds no state of its own; every call reflects the chain at call time.
 type Explorer struct {
 	ledger *ledger.Ledger
+	state  *statedb.DB
 }
 
 // New builds an explorer over a ledger.
 func New(l *ledger.Ledger) *Explorer {
 	return &Explorer{ledger: l}
+}
+
+// WithState attaches a peer's world state, enabling the paged
+// secondary-index views (IndexPage, RenderIndexPage). Returns the
+// explorer for chaining.
+func (e *Explorer) WithState(db *statedb.DB) *Explorer {
+	e.state = db
+	return e
 }
 
 // BlockSummary describes one block for listings.
@@ -208,3 +218,32 @@ func (e *Explorer) RenderStats(w io.Writer) {
 // VerifyIntegrity re-checks the full hash chain, surfacing the explorer's
 // tamper-evidence view.
 func (e *Explorer) VerifyIntegrity() error { return e.ledger.VerifyChain() }
+
+// IndexPage returns one page of a world-state secondary index — the
+// explorer view of the retrieval pipeline's paged queries (records by
+// label/source/camera, or the whole namespace in time order through the
+// submitted index). Requires WithState.
+func (e *Explorer) IndexPage(index, value string, limit int, token string) (statedb.IndexPage, error) {
+	if e.state == nil {
+		return statedb.IndexPage{}, fmt.Errorf("explorer: no world state attached (use WithState)")
+	}
+	return e.state.IterIndex(index, value, limit, 0, token)
+}
+
+// RenderIndexPage writes one page of a secondary index as a table and
+// returns the token resuming the next page ("" when exhausted).
+func (e *Explorer) RenderIndexPage(w io.Writer, index, value string, limit int, token string) (string, error) {
+	page, err := e.IndexPage(index, value, limit, token)
+	if err != nil {
+		return "", err
+	}
+	tbl := metrics.NewTable(index, "key")
+	for _, entry := range page.Entries {
+		tbl.AddRow(entry.Value, entry.Key)
+	}
+	tbl.Render(w)
+	if page.Next != "" {
+		fmt.Fprintf(w, "next page: %s\n", page.Next)
+	}
+	return page.Next, nil
+}

@@ -1,12 +1,15 @@
 package explorer
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
 	"socialchain/internal/ledger"
 	"socialchain/internal/msp"
+	"socialchain/internal/statedb"
+	"socialchain/internal/storage"
 )
 
 func buildChain(t *testing.T) (*ledger.Ledger, []string) {
@@ -155,5 +158,44 @@ func TestVerifyIntegrity(t *testing.T) {
 	blk.Txs[0].Response = []byte("tampered")
 	if err := e.VerifyIntegrity(); err == nil {
 		t.Fatal("tamper not detected")
+	}
+}
+
+func TestIndexPageThroughExplorer(t *testing.T) {
+	l, _ := buildChain(t)
+	db, err := statedb.NewIndexedWith(storage.Config{},
+		statedb.IndexSpec{Name: "label", Namespace: "data", Field: "label"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := statedb.NewUpdateBatch()
+	for i := 0; i < 5; i++ {
+		batch.Put("data", fmt.Sprintf("rec/%d", i), []byte(fmt.Sprintf(`{"label":"car","i":%d}`, i)))
+	}
+	db.ApplyUpdates(batch, statedb.Version{BlockNum: 1})
+
+	e := New(l)
+	if _, err := e.IndexPage("label", "car", 10, ""); err == nil {
+		t.Fatal("index page served without state attached")
+	}
+	e = e.WithState(db)
+	page, err := e.IndexPage("label", "car", 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 3 || page.Next == "" {
+		t.Fatalf("page = %+v", page)
+	}
+	var buf strings.Builder
+	next, err := e.RenderIndexPage(&buf, "label", "car", 3, page.Next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != "" {
+		t.Fatalf("expected final page, got token %q", next)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rec/3") || !strings.Contains(out, "rec/4") {
+		t.Fatalf("rendered page missing entries:\n%s", out)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"socialchain/internal/ordering"
 	"socialchain/internal/peer"
 	"socialchain/internal/sim"
+	"socialchain/internal/statedb"
 	"socialchain/internal/storage"
 )
 
@@ -53,6 +54,10 @@ type Config struct {
 	StateEngine storage.Engine
 	// StateShards overrides the sharded engine's stripe count (default 16).
 	StateShards int
+	// StateIndexes declares the secondary indexes every peer's world state
+	// maintains (nil = none). All peers get the same list — index reads
+	// feed endorsement results.
+	StateIndexes []statedb.IndexSpec
 }
 
 func (c *Config) fill() {
@@ -151,6 +156,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 			Policy:    n.policy,
 			Watchdog:  n.watchdog,
 			State:     storage.Config{Engine: cfg.StateEngine, Shards: cfg.StateShards},
+			Indexes:   cfg.StateIndexes,
 		})
 		if err != nil {
 			return nil, err

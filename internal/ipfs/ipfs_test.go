@@ -217,3 +217,54 @@ func TestPropertyAddGetRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHasDetectsMissingChildBlock is the regression test for the old
+// walker-based Has: when an interior block was present but a child was
+// missing, the walk aborted with a lookup error before the presence check
+// ran and Has wrongly reported true.
+func TestHasDetectsMissingChildBlock(t *testing.T) {
+	c := newTestCluster(t, 1, Options{ChunkSize: 1024})
+	node := c.Node(0)
+	data := sim.NewRNG(11).Bytes(16 * 1024) // 16 leaf chunks + interior root
+	root, err := node.Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !node.Has(root) {
+		t.Fatal("complete DAG reported missing")
+	}
+	// Delete one non-root block: the root is still present, the DAG is not.
+	for _, k := range node.Blockstore().AllKeys() {
+		if k.Equals(root) {
+			continue
+		}
+		if err := node.Blockstore().Delete(k); err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if node.Has(root) {
+		t.Fatal("Has reported a gapped DAG as complete")
+	}
+}
+
+// TestGetReassemblesFromFetchedNodes pins down the single-walk Get: the
+// payload must round-trip across nodes (fetch path) and locally (cache
+// path) through the node set the fetch decoded.
+func TestGetReassemblesFromFetchedNodes(t *testing.T) {
+	c := newTestCluster(t, 2, Options{ChunkSize: 512})
+	data := bytes.Repeat([]byte("abcd"), 4096) // repeated chunks share CIDs
+	root, err := c.Node(0).Add(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ { // remote fetch, then fully local
+		got, err := c.Node(1).Get(root)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("pass %d: payload mismatch", pass)
+		}
+	}
+}

@@ -144,36 +144,69 @@ var ErrNotFound = errors.New("ipfs: content not found")
 
 // Get retrieves the full payload addressed by root. Missing blocks are
 // located via the DHT and fetched over bitswap; every fetched block is
-// hash-verified before use.
+// hash-verified before use. Reassembly reuses the node set the fetch
+// already decoded, so the DAG is walked (and each block decoded) once,
+// not once to fetch and again to concatenate.
 func (n *Node) Get(root cid.Cid) ([]byte, error) {
 	if !root.Defined() {
 		return nil, errors.New("ipfs: undefined cid")
 	}
-	if err := n.fetchDAG(root); err != nil {
+	nodes, err := n.fetchDAG(root)
+	if err != nil {
 		return nil, err
 	}
-	return dag.Reassemble(localStore{n.bs}, root)
+	return dag.Reassemble(fetchedNodes{nodes: nodes, fallback: localStore{n.bs}}, root)
 }
 
-// Has reports whether the complete DAG under root is present locally.
-func (n *Node) Has(root cid.Cid) bool {
-	if !n.bs.Has(root) {
-		return false
+// fetchedNodes serves reassembly from the node set fetchDAG decoded,
+// falling back to the blockstore for anything evicted in between.
+type fetchedNodes struct {
+	nodes    map[cid.Cid]*dag.Node
+	fallback localStore
+}
+
+func (f fetchedNodes) GetNode(c cid.Cid) (*dag.Node, error) {
+	if node, ok := f.nodes[c]; ok {
+		return node, nil
 	}
-	ok := true
-	_ = dag.Walk(localStore{n.bs}, root, func(c cid.Cid, _ *dag.Node) error {
-		if !n.bs.Has(c) {
-			ok = false
-			return errors.New("missing")
-		}
-		return nil
-	})
-	return ok
+	return f.fallback.GetNode(c)
 }
 
-// fetchDAG ensures every block of the DAG under root is in the local store,
-// fetching missing blocks level by level with parallel bitswap requests.
-func (n *Node) fetchDAG(root cid.Cid) error {
+// Has reports whether the complete DAG under root is present locally. The
+// traversal stops cleanly at the first missing or undecodable block — no
+// sentinel error threading through the generic walker — and, unlike a
+// presence check on the root alone, a gap anywhere in the DAG reports
+// false.
+func (n *Node) Has(root cid.Cid) bool {
+	seen := map[cid.Cid]bool{root: true}
+	stack := []cid.Cid{root}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b, err := n.bs.Get(c)
+		if err != nil {
+			return false
+		}
+		node, err := decodeBlock(b)
+		if err != nil {
+			return false
+		}
+		for _, l := range node.Links {
+			// Shared chunks repeat a CID; check each block once.
+			if !seen[l.Cid] {
+				seen[l.Cid] = true
+				stack = append(stack, l.Cid)
+			}
+		}
+	}
+	return true
+}
+
+// fetchDAG ensures every block of the DAG under root is in the local
+// store, fetching missing blocks level by level with parallel bitswap
+// requests, and returns the decoded node set so callers reuse it instead
+// of re-walking the DAG.
+func (n *Node) fetchDAG(root cid.Cid) (map[cid.Cid]*dag.Node, error) {
 	var providers []string
 	ensure := func(cids []cid.Cid) error {
 		var missing []cid.Cid
@@ -197,24 +230,32 @@ func (n *Node) fetchDAG(root cid.Cid) error {
 		return nil
 	}
 
+	nodes := make(map[cid.Cid]*dag.Node)
+	enqueued := map[cid.Cid]bool{root: true}
 	frontier := []cid.Cid{root}
 	for len(frontier) > 0 {
 		if err := ensure(frontier); err != nil {
-			return err
+			return nil, err
 		}
 		var next []cid.Cid
 		for _, c := range frontier {
 			node, err := localStore{n.bs}.GetNode(c)
 			if err != nil {
-				return err
+				return nil, err
 			}
+			nodes[c] = node
 			for _, l := range node.Links {
-				next = append(next, l.Cid)
+				// Identical chunks share a CID (including among siblings):
+				// fetch and decode each distinct block once.
+				if !enqueued[l.Cid] {
+					enqueued[l.Cid] = true
+					next = append(next, l.Cid)
+				}
 			}
 		}
 		frontier = next
 	}
-	return nil
+	return nodes, nil
 }
 
 // Pin marks root as protected from GC.

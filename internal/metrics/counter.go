@@ -1,0 +1,20 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use. It is the measurement primitive for hit/miss accounting on hot
+// paths where a full Stats collector (which retains samples) would cost
+// more than the operation it measures.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.n.Load() }

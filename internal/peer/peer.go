@@ -50,6 +50,10 @@ type Config struct {
 	// State selects the key-value engine backing this peer's world state
 	// and history database (zero value = the sharded default).
 	State storage.Config
+	// Indexes declares the secondary indexes the world state maintains
+	// (nil = none). Index reads feed endorsement results, so every peer
+	// of a channel must run the same list.
+	Indexes []statedb.IndexSpec
 }
 
 // New creates a peer with an empty ledger anchored by a genesis block.
@@ -61,12 +65,16 @@ func New(cfg Config) (*Peer, error) {
 	if wd == nil {
 		wd = NewWatchdog(3)
 	}
+	state, err := statedb.NewIndexedWith(cfg.State, cfg.Indexes...)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: %w", cfg.ID, err)
+	}
 	p := &Peer{
 		id:         cfg.ID,
 		channelID:  cfg.ChannelID,
 		signer:     cfg.Signer,
 		ledger:     ledger.New(),
-		state:      statedb.NewWith(cfg.State),
+		state:      state,
 		history:    statedb.NewHistoryDBWith(cfg.State),
 		registry:   cfg.Registry,
 		policy:     cfg.Policy,

@@ -1,0 +1,173 @@
+package query_test
+
+import (
+	"bytes"
+	"testing"
+
+	"socialchain/internal/contracts"
+	"socialchain/internal/query"
+)
+
+func TestGetManyMatchesSerialData(t *testing.T) {
+	fx := newQueryFixture(t, 4)
+	for _, workers := range []int{1, 3, 8} {
+		items := fx.client.Query().GetMany(fx.txIDs, workers)
+		if len(items) != len(fx.txIDs) {
+			t.Fatalf("workers=%d: %d items for %d ids", workers, len(items), len(fx.txIDs))
+		}
+		for i, item := range items {
+			if item.Err != nil {
+				t.Fatalf("workers=%d item %d: %v", workers, i, item.Err)
+			}
+			if item.TxID != fx.txIDs[i] || item.Record.TxID != fx.txIDs[i] {
+				t.Fatalf("workers=%d item %d misaligned: %s vs %s", workers, i, item.TxID, fx.txIDs[i])
+			}
+			if !item.Verified {
+				t.Fatalf("workers=%d item %d not verified", workers, i)
+			}
+			if !bytes.Equal(item.Payload, fx.frames[i].Data) {
+				t.Fatalf("workers=%d item %d payload mismatch", workers, i)
+			}
+		}
+	}
+}
+
+func TestGetManyReportsPerItemErrors(t *testing.T) {
+	fx := newQueryFixture(t, 2)
+	ids := []string{fx.txIDs[0], "no-such-tx", fx.txIDs[1]}
+	items := fx.client.Query().GetMany(ids, 2)
+	if items[0].Err != nil || items[2].Err != nil {
+		t.Fatalf("good items errored: %v / %v", items[0].Err, items[2].Err)
+	}
+	if items[1].Err == nil {
+		t.Fatal("missing tx did not error")
+	}
+	if items[1].Verified || items[1].Payload != nil {
+		t.Fatalf("failed item carries data: %+v", items[1])
+	}
+}
+
+func TestGetManyEmpty(t *testing.T) {
+	fx := newQueryFixture(t, 1)
+	if items := fx.client.Query().GetMany(nil, 4); len(items) != 0 {
+		t.Fatalf("empty batch returned %d items", len(items))
+	}
+}
+
+func TestPayloadCacheReadThrough(t *testing.T) {
+	fx := newQueryFixture(t, 3)
+	qe := query.NewEngine(fx.fw.AdminGateway(), fx.fw.Cluster.Node(0)).WithPayloadCache(1 << 20)
+
+	first := qe.GetMany(fx.txIDs, 2)
+	for i, item := range first {
+		if item.Err != nil {
+			t.Fatalf("first pass item %d: %v", i, item.Err)
+		}
+		if item.FromCache {
+			t.Fatalf("first pass item %d served from cold cache", i)
+		}
+	}
+	second := qe.GetMany(fx.txIDs, 2)
+	for i, item := range second {
+		if item.Err != nil {
+			t.Fatalf("second pass item %d: %v", i, item.Err)
+		}
+		if !item.FromCache {
+			t.Fatalf("second pass item %d missed the cache", i)
+		}
+		if !item.Verified || !bytes.Equal(item.Payload, fx.frames[i].Data) {
+			t.Fatalf("cached item %d wrong payload", i)
+		}
+	}
+	stats := qe.CacheStats()
+	if stats.Hits != int64(len(fx.txIDs)) || stats.Misses != int64(len(fx.txIDs)) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", stats.HitRate())
+	}
+	if stats.Entries != len(fx.txIDs) || stats.Bytes <= 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPayloadCacheEvictsUnderPressure(t *testing.T) {
+	fx := newQueryFixture(t, 3)
+	// Capacity fits roughly one 4KB-ish payload: pass three through and
+	// the cache must evict rather than grow.
+	qe := query.NewEngine(fx.fw.AdminGateway(), fx.fw.Cluster.Node(0)).WithPayloadCache(len(fx.frames[0].Data) + 1)
+	qe.GetMany(fx.txIDs, 1)
+	stats := qe.CacheStats()
+	if stats.Bytes > len(fx.frames[0].Data)+1 {
+		t.Fatalf("cache over capacity: %+v", stats)
+	}
+	if stats.Evictions == 0 {
+		t.Fatalf("no evictions recorded: %+v", stats)
+	}
+}
+
+func TestPagedIndexQuery(t *testing.T) {
+	fx := newQueryFixture(t, 5)
+	qe := fx.client.Query()
+	var got []string
+	token := ""
+	for {
+		page, err := qe.Paged(contracts.IndexSource, fx.client.Identity().ID(), 2, token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Records) > 2 {
+			t.Fatalf("page over limit: %d", len(page.Records))
+		}
+		for _, rec := range page.Records {
+			got = append(got, rec.TxID)
+		}
+		if page.Next == "" {
+			break
+		}
+		token = page.Next
+	}
+	if len(got) != 5 {
+		t.Fatalf("paged through %d records, want 5", len(got))
+	}
+	seen := make(map[string]bool)
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("duplicate record %s across pages", id)
+		}
+		seen[id] = true
+	}
+	// The submitted index pages the whole namespace in time order.
+	page, err := qe.Paged(contracts.IndexSubmitted, "", 100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Records) != 5 {
+		t.Fatalf("submitted index returned %d records", len(page.Records))
+	}
+	for i := 1; i < len(page.Records); i++ {
+		if page.Records[i].Submitted.Before(page.Records[i-1].Submitted) {
+			t.Fatal("submitted index not time-ordered")
+		}
+	}
+	// Records carry the denormalised label the label index serves.
+	pageL, err := qe.Paged(contracts.IndexLabel, fx.labels[0], 100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pageL.Records) == 0 {
+		t.Fatal("label page empty")
+	}
+	for _, rec := range pageL.Records {
+		if rec.Label != fx.labels[0] {
+			t.Fatalf("record %s label %q, want %q", rec.TxID, rec.Label, fx.labels[0])
+		}
+	}
+}
+
+func TestPagedUnknownIndex(t *testing.T) {
+	fx := newQueryFixture(t, 1)
+	if _, err := fx.client.Query().Paged("bogus", "", 10, ""); err == nil {
+		t.Fatal("unknown index accepted")
+	}
+}

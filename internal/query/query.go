@@ -9,6 +9,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
+	"sync"
 	"time"
 
 	"socialchain/internal/cid"
@@ -23,11 +25,45 @@ import (
 type Engine struct {
 	gw    *fabric.Gateway
 	store *ipfs.Node
+	// cache is the optional CID-keyed read-through payload cache.
+	cache *payloadCache
+	// workers bounds GetMany's fan-out (DefaultFetchWorkers when 0).
+	workers int
 }
+
+// DefaultFetchWorkers bounds GetMany's concurrent fetches when the engine
+// was not configured with WithWorkers.
+const DefaultFetchWorkers = 8
 
 // NewEngine builds a query engine.
 func NewEngine(gw *fabric.Gateway, store *ipfs.Node) *Engine {
 	return &Engine{gw: gw, store: store}
+}
+
+// WithPayloadCache enables a read-through payload cache bounded to
+// capBytes: retrievals of a CID already fetched and verified skip the
+// IPFS executor entirely. Returns the engine for chaining.
+func (e *Engine) WithPayloadCache(capBytes int) *Engine {
+	if capBytes > 0 {
+		e.cache = newPayloadCache(capBytes)
+	}
+	return e
+}
+
+// WithWorkers sets the GetMany worker-pool bound. Returns the engine for
+// chaining.
+func (e *Engine) WithWorkers(n int) *Engine {
+	e.workers = n
+	return e
+}
+
+// CacheStats reports payload-cache effectiveness (zero value when no
+// cache is configured).
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
 }
 
 // Kind routes a Request.
@@ -148,23 +184,157 @@ func (e *Engine) Data(txID string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := cid.Parse(rec.CID)
+	payload, _, verr, err := e.fetchVerified(&rec, &timing)
 	if err != nil {
-		return nil, fmt.Errorf("query: record %s carries bad cid: %w", txID, err)
+		return nil, err
 	}
-	start := time.Now()
-	payload, err := e.store.Get(c)
-	timing.IPFS = time.Since(start)
-	if err != nil {
-		return nil, fmt.Errorf("query: ipfs fetch for %s: %w", txID, err)
-	}
-	start = time.Now()
-	verr := provenance.VerifyPayload(&rec, payload)
-	timing.Verify = time.Since(start)
 	if verr != nil {
 		return &Result{Records: []contracts.DataRecord{rec}, Payload: payload, Verified: false, Timing: timing}, verr
 	}
 	return &Result{Records: []contracts.DataRecord{rec}, Payload: payload, Verified: true, Timing: timing}, nil
+}
+
+// fetchVerified runs the database (IPFS) executor for one record through
+// the payload cache: a hit serves the bytes without touching IPFS; a miss
+// fetches and, when the hash checks out, admits the payload. Verification
+// against the record's on-chain hash always runs. verr reports a hash
+// mismatch (payload still returned); err reports fetch failure.
+func (e *Engine) fetchVerified(rec *contracts.DataRecord, timing *Timing) (payload []byte, cached bool, verr, err error) {
+	c, err := cid.Parse(rec.CID)
+	if err != nil {
+		return nil, false, nil, fmt.Errorf("query: record %s carries bad cid: %w", rec.TxID, err)
+	}
+	start := time.Now()
+	if e.cache != nil {
+		payload, cached = e.cache.get(rec.CID)
+	}
+	if !cached {
+		payload, err = e.store.Get(c)
+	}
+	timing.IPFS = time.Since(start)
+	if err != nil {
+		return nil, false, nil, fmt.Errorf("query: ipfs fetch for %s: %w", rec.TxID, err)
+	}
+	start = time.Now()
+	verr = provenance.VerifyPayload(rec, payload)
+	timing.Verify = time.Since(start)
+	if verr == nil && !cached && e.cache != nil {
+		e.cache.put(rec.CID, payload)
+	}
+	return payload, cached, verr, nil
+}
+
+// BatchItem is one element of a GetMany response. Err carries the item's
+// failure (metadata lookup, fetch, or ErrNotVerified on hash mismatch);
+// the batch itself never fails as a whole.
+type BatchItem struct {
+	TxID     string
+	Record   contracts.DataRecord
+	Payload  []byte
+	Verified bool
+	// FromCache marks payloads served by the read-through cache.
+	FromCache bool
+	Timing    Timing
+	Err       error
+}
+
+// GetMany runs the full retrieval path for a batch of transaction IDs,
+// fanning metadata lookup, payload fetch and hash verification across a
+// bounded worker pool — the batch counterpart of Data. workers <= 0 uses
+// the engine's configured bound (WithWorkers, default DefaultFetchWorkers);
+// results are positionally aligned with txIDs.
+func (e *Engine) GetMany(txIDs []string, workers int) []BatchItem {
+	if workers <= 0 {
+		workers = e.workers
+	}
+	if workers <= 0 {
+		workers = DefaultFetchWorkers
+	}
+	if workers > len(txIDs) {
+		workers = len(txIDs)
+	}
+	out := make([]BatchItem, len(txIDs))
+	if len(txIDs) == 0 {
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = e.getOne(txIDs[i])
+			}
+		}()
+	}
+	for i := range txIDs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// getOne is one worker's retrieval of one transaction.
+func (e *Engine) getOne(txID string) BatchItem {
+	item := BatchItem{TxID: txID}
+	rec, timing, err := e.metadataTimed(txID)
+	item.Timing = timing
+	if err != nil {
+		item.Err = err
+		return item
+	}
+	item.Record = rec
+	payload, cached, verr, err := e.fetchVerified(&rec, &item.Timing)
+	if err != nil {
+		item.Err = err
+		return item
+	}
+	item.Payload = payload
+	item.FromCache = cached
+	if verr != nil {
+		item.Err = fmt.Errorf("%w: %v", ErrNotVerified, verr)
+		return item
+	}
+	item.Verified = true
+	return item
+}
+
+// PageResult is one page of an indexed metadata query.
+type PageResult struct {
+	Records []contracts.DataRecord
+	// Next resumes the following page; empty when exhausted.
+	Next   string
+	Timing Timing
+}
+
+// Paged runs one page of a secondary-index query against the data
+// chaincode (contracts.IndexLabel and friends): records whose indexed
+// value begins with value, in (value, key) order, at most limit per page.
+// Pass the previous page's Next as token to continue.
+func (e *Engine) Paged(index, value string, limit int, token string) (*PageResult, error) {
+	start := time.Now()
+	raw, err := e.gw.Evaluate(contracts.DataCC, "queryPage",
+		[]byte(index), []byte(value), []byte(strconv.Itoa(limit)), []byte(token))
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	var page contracts.RecordPage
+	if err := json.Unmarshal(raw, &page); err != nil {
+		return nil, fmt.Errorf("query: corrupt page: %w", err)
+	}
+	out := &PageResult{Next: page.Next, Timing: Timing{Blockchain: elapsed}}
+	out.Records = make([]contracts.DataRecord, 0, len(page.Records))
+	for _, r := range page.Records {
+		var rec contracts.DataRecord
+		if err := json.Unmarshal(r, &rec); err != nil {
+			return nil, fmt.Errorf("query: corrupt record in page: %w", err)
+		}
+		out.Records = append(out.Records, rec)
+	}
+	return out, nil
 }
 
 // listQuery runs a list-returning chaincode query.

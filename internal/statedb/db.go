@@ -18,6 +18,9 @@ import (
 // (BlockNum, TxNum) header before the payload.
 type DB struct {
 	kv storage.KV
+	// idx maintains the optional secondary indexes on a dedicated engine
+	// (nil when no IndexSpec is configured). See index.go.
+	idx *indexer
 }
 
 // New returns an empty world state on the default (sharded) engine.
@@ -28,6 +31,17 @@ func New() *DB {
 // NewWith returns an empty world state on the engine cfg selects.
 func NewWith(cfg storage.Config) *DB {
 	return &DB{kv: storage.Open(cfg)}
+}
+
+// NewIndexedWith returns an empty world state on the engine cfg selects,
+// maintaining the given secondary indexes (held on a second engine of the
+// same configuration).
+func NewIndexedWith(cfg storage.Config, specs ...IndexSpec) (*DB, error) {
+	db := NewWith(cfg)
+	if err := db.BuildIndexes(cfg, specs...); err != nil {
+		return nil, err
+	}
+	return db, nil
 }
 
 // stateKey builds the composite engine key for ns/key. The NUL separator
@@ -88,8 +102,15 @@ func (db *DB) GetVersion(ns, key string) (Version, bool) {
 // ApplyUpdates commits a batch at the given block height. TxNum in each
 // write's version is assigned from the batch entries' staged versions; the
 // caller provides the per-transaction version. The engine applies the
-// whole batch with one lock acquisition per touched stripe.
+// whole batch with one lock acquisition per touched stripe. Secondary
+// index mutations are derived from the same batch (old values are read
+// before it lands) and applied engine-batch-atomically right after the
+// state writes.
 func (db *DB) ApplyUpdates(batch *UpdateBatch, v Version) {
+	var idxWrites []storage.Write
+	if db.idx != nil {
+		idxWrites = db.idx.batchWrites(db, batch)
+	}
 	writes := make([]storage.Write, 0, batch.Len())
 	for ns, kvs := range batch.updates {
 		for key, w := range kvs {
@@ -101,6 +122,9 @@ func (db *DB) ApplyUpdates(batch *UpdateBatch, v Version) {
 		}
 	}
 	db.kv.ApplyBatch(writes)
+	if len(idxWrites) > 0 {
+		db.idx.kv.ApplyBatch(idxWrites)
+	}
 }
 
 // iterNamespace walks ns in ascending key order, calling fn with the bare

@@ -1,0 +1,483 @@
+package statedb
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"socialchain/internal/storage"
+)
+
+// Secondary indexes turn the hot conditional-retrieval queries (by label,
+// source, camera, time window) from O(namespace) JSON-decoding scans into
+// prefix iterations over small composite keys — the CouchDB-index pattern
+// Fabric deployments lean on for read scalability. Indexes live on their
+// own storage.KV engine beside the world state: they never appear in
+// snapshots, range scans or MVCC read sets, and are rebuilt (not copied)
+// when a snapshot is restored, so index configuration can never change the
+// bytes two peers compare for state equality.
+//
+// Index entry layout (one entry per indexed key):
+//
+//	<index-name> \x00 escape(<field-value>) \x00 <state-key>
+//
+// escape() makes the value NUL-free (\x00 -> \x01\x01, \x01 -> \x01\x02),
+// so the first NUL after the name delimits the value and the state key may
+// contain anything (composite keys legally embed NULs). Entries therefore
+// sort by (value, key), which makes an index over a timestamp field a
+// time-ordered index for free.
+//
+// Consistency: ApplyUpdates computes index mutations from the same batch
+// that mutates the world state and applies them engine-batch-atomically
+// right after it. A reader racing a commit can momentarily observe fresh
+// state with a stale index or vice versa — the same read-skew class the
+// sharded engine's cross-stripe iteration already admits (see
+// storage/sharded.go). Consumers tolerate it the same way: the indexed
+// query path re-fetches every candidate record and re-checks the full
+// selector against current state, so stale entries filter out and the
+// MVCC layer above catches anything that mattered to a transaction.
+
+// IndexSpec declares one secondary index over a namespace. Only string
+// field values are indexed: JSON object values whose Field (a dotted path,
+// e.g. "metadata.camera_id") resolves to a string get one entry; numbers,
+// booleans, nested objects and non-object values are skipped, which keeps
+// index lookups exactly equivalent to the selector scan for string
+// equality (cross-type numeric equality falls back to the scan path).
+type IndexSpec struct {
+	// Name identifies the index; unique across all specs of a DB.
+	Name string
+	// Namespace is the world-state namespace the index covers.
+	Namespace string
+	// Field is the dotted JSON path of the indexed value.
+	Field string
+}
+
+// IndexEntry is one (value, key) pair of an index page.
+type IndexEntry struct {
+	// Value is the indexed field value.
+	Value string
+	// Key is the world-state key of the indexed record.
+	Key string
+}
+
+// IndexPage is one page of an index iteration.
+type IndexPage struct {
+	Entries []IndexEntry
+	// Next is an opaque resume token: pass it to the next IterIndex call
+	// to continue after the last entry. Empty when the iteration is
+	// exhausted.
+	Next string
+}
+
+// indexer maintains a DB's secondary indexes on a dedicated engine.
+type indexer struct {
+	kv     storage.KV
+	byNS   map[string][]IndexSpec
+	byName map[string]IndexSpec
+}
+
+func newIndexer(cfg storage.Config, specs []IndexSpec) (*indexer, error) {
+	ix := &indexer{
+		kv:     storage.Open(cfg),
+		byNS:   make(map[string][]IndexSpec),
+		byName: make(map[string]IndexSpec),
+	}
+	for _, spec := range specs {
+		if spec.Name == "" || spec.Namespace == "" || spec.Field == "" {
+			return nil, fmt.Errorf("statedb: index spec %+v: name, namespace and field are all required", spec)
+		}
+		if strings.IndexByte(spec.Name, 0) >= 0 {
+			return nil, fmt.Errorf("statedb: index name %q contains reserved NUL", spec.Name)
+		}
+		if _, dup := ix.byName[spec.Name]; dup {
+			return nil, fmt.Errorf("statedb: duplicate index name %q", spec.Name)
+		}
+		ix.byName[spec.Name] = spec
+		ix.byNS[spec.Namespace] = append(ix.byNS[spec.Namespace], spec)
+	}
+	return ix, nil
+}
+
+// escapeIndexValue makes a field value NUL-free so it can be delimited
+// inside a composite entry key. The mapping is injective; ordering among
+// escaped values is not relied upon beyond equality of full values.
+func escapeIndexValue(s string) string {
+	if !strings.ContainsAny(s, "\x00\x01") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case 0x00:
+			b.WriteByte(0x01)
+			b.WriteByte(0x01)
+		case 0x01:
+			b.WriteByte(0x01)
+			b.WriteByte(0x02)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// unescapeIndexValue reverses escapeIndexValue.
+func unescapeIndexValue(s string) string {
+	if strings.IndexByte(s, 0x01) < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x01 && i+1 < len(s) {
+			i++
+			if s[i] == 0x01 {
+				b.WriteByte(0x00)
+			} else {
+				b.WriteByte(0x01)
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// entryKey builds the composite entry key for one indexed record.
+func entryKey(index, value, stateKey string) string {
+	return index + "\x00" + escapeIndexValue(value) + "\x00" + stateKey
+}
+
+// splitEntry recovers (value, stateKey) from an entry key's suffix after
+// the "name\x00" prefix. The escaped value is NUL-free, so the first NUL
+// is the delimiter even when the state key embeds NULs.
+func splitEntry(suffix string) (value, stateKey string, ok bool) {
+	i := strings.IndexByte(suffix, 0)
+	if i < 0 {
+		return "", "", false
+	}
+	return unescapeIndexValue(suffix[:i]), suffix[i+1:], true
+}
+
+// extractString resolves a dotted path in doc to a string value.
+func extractString(doc map[string]any, path string) (string, bool) {
+	v, ok := lookupField(doc, path)
+	if !ok {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok
+}
+
+// docOf decodes a stored value into a JSON object, or nil when the value
+// is not one (non-JSON, scalar, array — all unindexable).
+func docOf(value []byte) map[string]any {
+	var doc map[string]any
+	if err := json.Unmarshal(value, &doc); err != nil {
+		return nil
+	}
+	return doc
+}
+
+// batchWrites computes the index mutations for one update batch against
+// the committed state (old values are read before the batch applies).
+func (ix *indexer) batchWrites(db *DB, batch *UpdateBatch) []storage.Write {
+	var out []storage.Write
+	for ns, kvs := range batch.updates {
+		specs := ix.byNS[ns]
+		if len(specs) == 0 {
+			continue
+		}
+		for key, w := range kvs {
+			var oldDoc, newDoc map[string]any
+			if vv, ok := db.GetState(ns, key); ok {
+				oldDoc = docOf(vv.Value)
+			}
+			if !w.IsDelete {
+				newDoc = docOf(w.Value)
+			}
+			if oldDoc == nil && newDoc == nil {
+				continue
+			}
+			for _, spec := range specs {
+				oldV, oldOK := "", false
+				if oldDoc != nil {
+					oldV, oldOK = extractString(oldDoc, spec.Field)
+				}
+				newV, newOK := "", false
+				if newDoc != nil {
+					newV, newOK = extractString(newDoc, spec.Field)
+				}
+				if oldOK && newOK && oldV == newV {
+					continue // unchanged: avoid a same-key delete+put race in one batch
+				}
+				if oldOK {
+					out = append(out, storage.Write{Key: entryKey(spec.Name, oldV, key), Delete: true})
+				}
+				if newOK {
+					out = append(out, storage.Write{Key: entryKey(spec.Name, newV, key)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// rebuild drops and reconstructs every index from current state, used
+// after Restore and when indexes are added to a populated database.
+func (ix *indexer) rebuild(db *DB) {
+	var drop []storage.Write
+	ix.kv.IterPrefix("", func(key string, _ []byte) bool {
+		drop = append(drop, storage.Write{Key: key, Delete: true})
+		return true
+	})
+	ix.kv.ApplyBatch(drop)
+	var writes []storage.Write
+	for ns, specs := range ix.byNS {
+		db.iterNamespace(ns, "", func(key string, vv VersionedValue) bool {
+			doc := docOf(vv.Value)
+			if doc == nil {
+				return true
+			}
+			for _, spec := range specs {
+				if v, ok := extractString(doc, spec.Field); ok {
+					writes = append(writes, storage.Write{Key: entryKey(spec.Name, v, key)})
+				}
+			}
+			return true
+		})
+	}
+	ix.kv.ApplyBatch(writes)
+}
+
+// BuildIndexes registers secondary indexes on the database and builds them
+// from the current state. It must not race commits; call it at assembly
+// time (peer construction) or on a quiesced database. Calling it on a DB
+// that already has indexes replaces them.
+func (db *DB) BuildIndexes(cfg storage.Config, specs ...IndexSpec) error {
+	if len(specs) == 0 {
+		db.idx = nil
+		return nil
+	}
+	ix, err := newIndexer(cfg, specs)
+	if err != nil {
+		return err
+	}
+	ix.rebuild(db)
+	db.idx = ix
+	return nil
+}
+
+// Indexes lists the registered index specs, sorted by name.
+func (db *DB) Indexes() []IndexSpec {
+	if db.idx == nil {
+		return nil
+	}
+	out := make([]IndexSpec, 0, len(db.idx.byName))
+	for _, spec := range db.idx.byName {
+		out = append(out, spec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// encodeIndexToken wraps an entry-key suffix as an opaque printable token.
+func encodeIndexToken(suffix string) string {
+	return hex.EncodeToString([]byte(suffix))
+}
+
+// decodeIndexToken reverses encodeIndexToken.
+func decodeIndexToken(token string) (string, error) {
+	b, err := hex.DecodeString(token)
+	if err != nil {
+		return "", fmt.Errorf("statedb: bad index page token: %w", err)
+	}
+	return string(b), nil
+}
+
+// IterIndex pages through index name in (value, key) order, returning
+// entries whose indexed value begins with valuePrefix. limit <= 0 means
+// unbounded; offset skips entries (after the token position when both are
+// given); token resumes after the entry a previous page ended on. The
+// page's Next token is set whenever the limit cut the iteration short.
+func (db *DB) IterIndex(name, valuePrefix string, limit, offset int, token string) (IndexPage, error) {
+	if db.idx == nil {
+		return IndexPage{}, fmt.Errorf("statedb: no indexes configured")
+	}
+	if _, ok := db.idx.byName[name]; !ok {
+		return IndexPage{}, fmt.Errorf("statedb: unknown index %q", name)
+	}
+	after := ""
+	if token != "" {
+		var err error
+		if after, err = decodeIndexToken(token); err != nil {
+			return IndexPage{}, err
+		}
+	}
+	prefix := name + "\x00" + escapeIndexValue(valuePrefix)
+	skip := len(name) + 1
+	var page IndexPage
+	lastSuffix := ""
+	db.idx.kv.IterPrefix(prefix, func(composite string, _ []byte) bool {
+		suffix := composite[skip:]
+		if after != "" && suffix <= after {
+			return true
+		}
+		if offset > 0 {
+			offset--
+			return true
+		}
+		if limit > 0 && len(page.Entries) == limit {
+			page.Next = encodeIndexToken(lastSuffix)
+			return false
+		}
+		value, key, ok := splitEntry(suffix)
+		if !ok {
+			return true
+		}
+		page.Entries = append(page.Entries, IndexEntry{Value: value, Key: key})
+		lastSuffix = suffix
+		return true
+	})
+	return page, nil
+}
+
+// indexedCandidates returns the state keys an index names for one of the
+// supported selector shapes, or ok=false when the selector cannot be
+// served from an index (not a string pin, NUL bytes, unsupported ops).
+func (ix *indexer) indexedCandidates(ns string, sel Selector) ([]string, bool) {
+	for _, spec := range ix.byNS[ns] {
+		cond, present := sel[spec.Field]
+		if !present {
+			continue
+		}
+		switch c := cond.(type) {
+		case string:
+			if keys, ok := ix.exactKeys(spec.Name, c); ok {
+				return keys, true
+			}
+		case map[string]any:
+			if eq, ok := c["$eq"].(string); ok {
+				if keys, ok := ix.exactKeys(spec.Name, eq); ok {
+					return keys, true
+				}
+				continue
+			}
+			if list, ok := c["$in"].([]any); ok {
+				if keys, ok := ix.inKeys(spec.Name, list); ok {
+					return keys, true
+				}
+				continue
+			}
+			if keys, ok := ix.rangeKeys(spec.Name, c); ok {
+				return keys, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// exactKeys lists keys indexed under exactly value.
+func (ix *indexer) exactKeys(index, value string) ([]string, bool) {
+	if strings.IndexByte(value, 0) >= 0 {
+		// NUL-bearing selector values fall back to the scan so escaping
+		// can never change equality semantics.
+		return nil, false
+	}
+	prefix := index + "\x00" + escapeIndexValue(value) + "\x00"
+	skip := len(index) + 1
+	keys := []string{}
+	ix.kv.IterPrefix(prefix, func(composite string, _ []byte) bool {
+		if _, key, ok := splitEntry(composite[skip:]); ok {
+			keys = append(keys, key)
+		}
+		return true
+	})
+	return keys, true
+}
+
+// inKeys unions exact lookups for an all-string $in list.
+func (ix *indexer) inKeys(index string, list []any) ([]string, bool) {
+	var keys []string
+	seen := make(map[string]bool)
+	for _, item := range list {
+		s, ok := item.(string)
+		if !ok {
+			// A numeric list item could loose-match numeric field values
+			// the index never sees; only pure string lists short-circuit.
+			return nil, false
+		}
+		ks, ok := ix.exactKeys(index, s)
+		if !ok {
+			return nil, false
+		}
+		for _, k := range ks {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	if keys == nil {
+		keys = []string{}
+	}
+	return keys, true
+}
+
+// rangeOps are the operators rangeKeys can serve from an ordered index.
+var rangeOps = map[string]bool{"$gt": true, "$gte": true, "$lt": true, "$lte": true}
+
+// rangeKeys serves a pure string-range condition ({"$gte": lo, "$lt": hi}
+// and friends) from the index: candidates are entries whose decoded value
+// satisfies every bound. Any non-range operator or non-string operand
+// falls back to the scan.
+func (ix *indexer) rangeKeys(index string, cond map[string]any) ([]string, bool) {
+	if len(cond) == 0 {
+		return nil, false
+	}
+	for op, operand := range cond {
+		if !rangeOps[op] {
+			return nil, false
+		}
+		if _, ok := operand.(string); !ok {
+			return nil, false
+		}
+	}
+	inRange := func(v string) bool {
+		for op, operand := range cond {
+			bound := operand.(string)
+			switch op {
+			case "$gt":
+				if !(v > bound) {
+					return false
+				}
+			case "$gte":
+				if !(v >= bound) {
+					return false
+				}
+			case "$lt":
+				if !(v < bound) {
+					return false
+				}
+			default: // $lte
+				if !(v <= bound) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	skip := len(index) + 1
+	keys := []string{}
+	ix.kv.IterPrefix(index+"\x00", func(composite string, _ []byte) bool {
+		value, key, ok := splitEntry(composite[skip:])
+		if ok && inRange(value) {
+			keys = append(keys, key)
+		}
+		return true
+	})
+	return keys, true
+}

@@ -1,0 +1,301 @@
+package statedb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"socialchain/internal/storage"
+)
+
+// testIndexes is the spec set the index tests run under, shaped like the
+// data-namespace production set (top-level, nested and time fields).
+func testIndexes() []IndexSpec {
+	return []IndexSpec{
+		{Name: "label", Namespace: "data", Field: "label"},
+		{Name: "camera", Namespace: "data", Field: "meta.camera"},
+		{Name: "at", Namespace: "data", Field: "at"},
+	}
+}
+
+func indexedTestDB(t *testing.T, cfg storage.Config) *DB {
+	t.Helper()
+	db, err := NewIndexedWith(cfg, testIndexes()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func putDoc(db *DB, block uint64, key, doc string) {
+	b := NewUpdateBatch()
+	b.Put("data", key, []byte(doc))
+	db.ApplyUpdates(b, Version{BlockNum: block})
+}
+
+func TestIndexSpecValidation(t *testing.T) {
+	if _, err := NewIndexedWith(storage.Config{}, IndexSpec{Name: "", Namespace: "ns", Field: "f"}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewIndexedWith(storage.Config{},
+		IndexSpec{Name: "dup", Namespace: "ns", Field: "a"},
+		IndexSpec{Name: "dup", Namespace: "ns", Field: "b"}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := NewIndexedWith(storage.Config{}, IndexSpec{Name: "x\x00y", Namespace: "ns", Field: "f"}); err == nil {
+		t.Fatal("NUL in name accepted")
+	}
+}
+
+func TestIndexMaintenance(t *testing.T) {
+	db := indexedTestDB(t, storage.Config{})
+	putDoc(db, 1, "rec/1", `{"label":"car","meta":{"camera":"c1"}}`)
+	putDoc(db, 2, "rec/2", `{"label":"car"}`)
+	putDoc(db, 3, "rec/3", `{"label":"bus","meta":{"camera":"c1"}}`)
+
+	page, err := db.IterIndex("label", "car", 0, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 2 || page.Entries[0].Key != "rec/1" || page.Entries[1].Key != "rec/2" {
+		t.Fatalf("car entries = %+v", page.Entries)
+	}
+	if page.Next != "" {
+		t.Fatalf("unexpected continuation token %q", page.Next)
+	}
+
+	// Overwrite flips rec/1 from car to bus; delete drops rec/3 entirely.
+	putDoc(db, 4, "rec/1", `{"label":"bus","meta":{"camera":"c2"}}`)
+	b := NewUpdateBatch()
+	b.Delete("data", "rec/3")
+	db.ApplyUpdates(b, Version{BlockNum: 5})
+
+	page, _ = db.IterIndex("label", "car", 0, 0, "")
+	if len(page.Entries) != 1 || page.Entries[0].Key != "rec/2" {
+		t.Fatalf("after overwrite, car = %+v", page.Entries)
+	}
+	page, _ = db.IterIndex("label", "bus", 0, 0, "")
+	if len(page.Entries) != 1 || page.Entries[0].Key != "rec/1" {
+		t.Fatalf("after delete, bus = %+v", page.Entries)
+	}
+	page, _ = db.IterIndex("camera", "c2", 0, 0, "")
+	if len(page.Entries) != 1 || page.Entries[0].Key != "rec/1" {
+		t.Fatalf("nested-field index = %+v", page.Entries)
+	}
+}
+
+func TestIndexIgnoresNonStringAndNonObjectValues(t *testing.T) {
+	db := indexedTestDB(t, storage.Config{})
+	putDoc(db, 1, "rec/num", `{"label":7}`)
+	putDoc(db, 1, "rec/arr", `[1,2,3]`)
+	putDoc(db, 1, "rec/raw", `not json`)
+	putDoc(db, 1, "rec/ok", `{"label":"car"}`)
+	page, err := db.IterIndex("label", "", 0, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 1 || page.Entries[0].Key != "rec/ok" {
+		t.Fatalf("entries = %+v", page.Entries)
+	}
+}
+
+func TestIterIndexPagination(t *testing.T) {
+	db := indexedTestDB(t, storage.Config{})
+	for i := 0; i < 10; i++ {
+		putDoc(db, uint64(i+1), fmt.Sprintf("rec/%02d", i), fmt.Sprintf(`{"label":"L%d"}`, i%2))
+	}
+	// Page through label L0 (rec/00,02,04,06,08) two at a time via tokens.
+	var got []string
+	token := ""
+	pages := 0
+	for {
+		page, err := db.IterIndex("label", "L0", 2, 0, token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range page.Entries {
+			got = append(got, e.Key)
+		}
+		pages++
+		if page.Next == "" {
+			break
+		}
+		token = page.Next
+	}
+	want := []string{"rec/00", "rec/02", "rec/04", "rec/06", "rec/08"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("paged keys = %v, want %v", got, want)
+	}
+	if pages < 3 {
+		t.Fatalf("expected >= 3 pages of 2, got %d", pages)
+	}
+	// Offset skips from the front.
+	page, err := db.IterIndex("label", "L0", 2, 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 2 || page.Entries[0].Key != "rec/06" {
+		t.Fatalf("offset page = %+v", page.Entries)
+	}
+	// Unknown index and bad token are errors.
+	if _, err := db.IterIndex("nope", "", 0, 0, ""); err == nil {
+		t.Fatal("unknown index accepted")
+	}
+	if _, err := db.IterIndex("label", "", 0, 0, "zz-not-hex"); err == nil {
+		t.Fatal("bad token accepted")
+	}
+}
+
+func TestIterIndexTimeOrdered(t *testing.T) {
+	db := indexedTestDB(t, storage.Config{})
+	putDoc(db, 1, "rec/b", `{"at":"2026-07-30T10:00:00Z"}`)
+	putDoc(db, 2, "rec/a", `{"at":"2026-07-30T12:00:00Z"}`)
+	putDoc(db, 3, "rec/c", `{"at":"2026-07-29T09:00:00Z"}`)
+	page, err := db.IterIndex("at", "", 0, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"rec/c", "rec/b", "rec/a"} // chronological, not key, order
+	for i, e := range page.Entries {
+		if e.Key != want[i] {
+			t.Fatalf("time order = %+v, want %v", page.Entries, want)
+		}
+	}
+}
+
+func TestBuildIndexesRebuildsFromExistingState(t *testing.T) {
+	db := New()
+	putDoc(db, 1, "rec/1", `{"label":"car"}`)
+	putDoc(db, 2, "rec/2", `{"label":"bus"}`)
+	if err := db.BuildIndexes(storage.Config{}, testIndexes()...); err != nil {
+		t.Fatal(err)
+	}
+	page, err := db.IterIndex("label", "car", 0, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 1 || page.Entries[0].Key != "rec/1" {
+		t.Fatalf("rebuilt index = %+v", page.Entries)
+	}
+}
+
+func TestRestoreRebuildsIndexes(t *testing.T) {
+	src := indexedTestDB(t, storage.Config{})
+	putDoc(src, 1, "rec/1", `{"label":"car"}`)
+	putDoc(src, 2, "rec/2", `{"label":"car"}`)
+
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := indexedTestDB(t, storage.Config{})
+	if _, err := dst.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page, err := dst.IterIndex("label", "car", 0, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 2 {
+		t.Fatalf("restored index = %+v", page.Entries)
+	}
+}
+
+func TestExecuteQueryShortCircuitEqualsScan(t *testing.T) {
+	for _, engCfg := range []storage.Config{{Engine: storage.EngineSingle}, {Engine: storage.EngineSharded}} {
+		db := indexedTestDB(t, engCfg)
+		plain := NewWith(engCfg) // index-free twin: always scans
+		rng := rand.New(rand.NewSource(42))
+		labels := []string{"car", "bus", "truck", "bike", "x\x00nul", ""}
+		cameras := []string{"c1", "c2", "c3"}
+		for blk := uint64(1); blk <= 20; blk++ {
+			b := NewUpdateBatch()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("rec/%03d", rng.Intn(400))
+				switch rng.Intn(10) {
+				case 0:
+					b.Delete("data", key)
+				case 1:
+					// Numeric label: indexable field with non-string value.
+					b.Put("data", key, []byte(fmt.Sprintf(`{"label":%d,"n":%d}`, rng.Intn(3), rng.Intn(100))))
+				case 2:
+					b.Put("data", key, []byte(`"just a string"`))
+				default:
+					doc, err := json.Marshal(map[string]any{
+						"label": labels[rng.Intn(len(labels))],
+						"meta":  map[string]any{"camera": cameras[rng.Intn(len(cameras))]},
+						"at":    fmt.Sprintf("2026-07-%02dT0%d:00:00Z", 1+rng.Intn(28), rng.Intn(10)),
+						"n":     rng.Intn(100),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					b.Put("data", key, doc)
+				}
+			}
+			db.ApplyUpdates(b, Version{BlockNum: blk})
+			plain.ApplyUpdates(b, Version{BlockNum: blk})
+		}
+		selectors := []Selector{
+			{"label": "car"},
+			{"label": "x\x00nul"}, // NUL selector must fall back and still agree
+			{"label": ""},
+			{"label": "car", "meta.camera": "c2"},
+			{"label": map[string]any{"$eq": "bus"}},
+			{"label": map[string]any{"$in": []any{"car", "bike"}}},
+			{"label": map[string]any{"$in": []any{"car", float64(1)}}}, // mixed list: scan path
+			{"at": map[string]any{"$gte": "2026-07-10", "$lt": "2026-07-20"}},
+			{"at": map[string]any{"$gt": "2026-07-15T05:00:00Z"}},
+			{"meta.camera": "c1", "n": map[string]any{"$gte": float64(50)}},
+			{"label": map[string]any{"$ne": "car"}}, // unsupported pin: scan path
+			{"n": map[string]any{"$lt": float64(10)}},
+		}
+		for _, sel := range selectors {
+			indexed, err := db.ExecuteQuery("data", sel)
+			if err != nil {
+				t.Fatalf("engine %s sel %v: indexed: %v", engCfg.Engine, sel, err)
+			}
+			scanned, err := plain.ExecuteQuery("data", sel)
+			if err != nil {
+				t.Fatalf("engine %s sel %v: scan: %v", engCfg.Engine, sel, err)
+			}
+			direct, err := db.ScanQuery("data", sel)
+			if err != nil {
+				t.Fatalf("engine %s sel %v: direct scan: %v", engCfg.Engine, sel, err)
+			}
+			if !sameKVs(indexed, scanned) || !sameKVs(indexed, direct) {
+				t.Fatalf("engine %s sel %v: indexed %d results, scan %d, direct %d",
+					engCfg.Engine, sel, len(indexed), len(scanned), len(direct))
+			}
+		}
+	}
+}
+
+func sameKVs(a, b []KV) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || string(a[i].Value) != string(b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEscapeIndexValueRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "plain", "a\x00b", "\x01", "\x00\x01\x00", "a\x01\x01b"} {
+		esc := escapeIndexValue(s)
+		for i := 0; i < len(esc); i++ {
+			if esc[i] == 0 {
+				t.Fatalf("escape(%q) contains NUL", s)
+			}
+		}
+		if got := unescapeIndexValue(esc); got != s {
+			t.Fatalf("round trip %q -> %q -> %q", s, esc, got)
+		}
+	}
+}

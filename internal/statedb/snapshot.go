@@ -59,6 +59,11 @@ func (db *DB) Restore(r io.Reader) (int, error) {
 	for {
 		var e snapshotEntry
 		if err := dec.Decode(&e); err == io.EOF {
+			// Snapshots never carry index entries; rebuild them from the
+			// restored state.
+			if db.idx != nil {
+				db.idx.rebuild(db)
+			}
 			return n, nil
 		} else if err != nil {
 			return n, fmt.Errorf("statedb: restore entry %d: %w", n, err)

@@ -8,6 +8,11 @@
 // store/retrieve evaluation.
 package storage
 
+import (
+	"os"
+	"sync"
+)
+
 // Write is one staged mutation inside an ApplyBatch call.
 type Write struct {
 	Key    string
@@ -69,11 +74,40 @@ type Config struct {
 	Shards int
 }
 
+// EngineEnvVar overrides the engine an empty Config.Engine selects, so a
+// full test run can be pinned to one engine without threading a flag
+// through every constructor (the CI matrix runs the suite under both).
+const EngineEnvVar = "SOCIALCHAIN_STORAGE_ENGINE"
+
+// envEngine reads EngineEnvVar once; unknown or empty values mean "no
+// override".
+var envEngine = sync.OnceValue(func() Engine {
+	switch e := Engine(os.Getenv(EngineEnvVar)); e {
+	case EngineSingle, EngineSharded:
+		return e
+	default:
+		return ""
+	}
+})
+
+// DefaultEngine returns the engine an empty Config selects: the
+// EngineEnvVar override when set to a known engine, otherwise sharded.
+func DefaultEngine() Engine {
+	if e := envEngine(); e != "" {
+		return e
+	}
+	return EngineSharded
+}
+
 // Open constructs the engine described by cfg. Unknown engine names fall
-// back to the sharded default so a zero or stale config never loses data
-// behind a nil store.
+// back to the default so a zero or stale config never loses data behind a
+// nil store.
 func Open(cfg Config) KV {
-	switch cfg.Engine {
+	engine := cfg.Engine
+	if engine == "" {
+		engine = DefaultEngine()
+	}
+	switch engine {
 	case EngineSingle:
 		return NewSingle()
 	default:

@@ -23,9 +23,8 @@ func TestOpenSelectsEngine(t *testing.T) {
 	if _, ok := Open(Config{Engine: EngineSharded}).(*Sharded); !ok {
 		t.Fatal("EngineSharded did not open a Sharded")
 	}
-	if _, ok := Open(Config{}).(*Sharded); !ok {
-		t.Fatal("zero config must default to the sharded engine")
-	}
+	// An explicitly-unknown engine (not empty, so no env override applies)
+	// falls back to the sharded default.
 	if _, ok := Open(Config{Engine: "no-such-engine"}).(*Sharded); !ok {
 		t.Fatal("unknown engine must fall back to the sharded default")
 	}
@@ -229,6 +228,26 @@ func TestEngineEquivalence(t *testing.T) {
 			if !reflect.DeepEqual(ks, kh) {
 				t.Fatalf("seed %d: IterPrefix(%q) single=%v sharded=%v", seed, prefix, ks, kh)
 			}
+		}
+	}
+}
+
+func TestOpenDefaultEngine(t *testing.T) {
+	// The empty config resolves through DefaultEngine (env-overridable for
+	// the CI engine matrix) and must name a real engine.
+	def := DefaultEngine()
+	if def != EngineSingle && def != EngineSharded {
+		t.Fatalf("DefaultEngine() = %q", def)
+	}
+	kv := Open(Config{})
+	switch def {
+	case EngineSingle:
+		if _, ok := kv.(*Single); !ok {
+			t.Fatalf("default engine %q opened %T", def, kv)
+		}
+	default:
+		if _, ok := kv.(*Sharded); !ok {
+			t.Fatalf("default engine %q opened %T", def, kv)
 		}
 	}
 }
