@@ -5,8 +5,14 @@
 // It prints live chain/trust/storage statistics, serving as the demo
 // daemon for the framework.
 //
+// With -bulk N it appends a bulk-ingest phase: N additional camera frames
+// stream through the internal/ingest pipeline (batched endorsement +
+// overlapped commit) and the daemon reports the achieved write
+// throughput beside the round-based statistics.
+//
 // Usage: socialchaind [-peers 4] [-ipfs 2] [-cameras 3] [-crowd 3]
 // [-rounds 10] [-byzantine 0] [-bad-crowd-fraction 0.3]
+// [-bulk 0] [-bulk-mode pipelined] [-bulk-batch 32] [-bulk-workers 8]
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"socialchain/internal/detect"
 	"socialchain/internal/explorer"
 	"socialchain/internal/fabric"
+	"socialchain/internal/ingest"
 	"socialchain/internal/metrics"
 	"socialchain/internal/msp"
 	"socialchain/internal/ordering"
@@ -39,14 +46,26 @@ func main() {
 	byzantine := flag.Int("byzantine", 0, "silent byzantine validators")
 	badFraction := flag.Float64("bad-crowd-fraction", 0.3, "fraction of crowd submissions that are corrupt")
 	seed := flag.Int64("seed", 1, "workload seed")
+	bulk := flag.Int("bulk", 0, "bulk-ingest this many extra camera frames through the pipelined write path")
+	bulkMode := flag.String("bulk-mode", "pipelined", "bulk ingest mode: serial, batched or pipelined")
+	bulkBatch := flag.Int("bulk-batch", 32, "records per bulk-ingest envelope")
+	bulkWorkers := flag.Int("bulk-workers", 8, "bulk-ingest IPFS-add workers")
 	flag.Parse()
 
-	if err := run(*peers, *ipfsNodes, *cameras, *crowd, *rounds, *byzantine, *badFraction, *seed); err != nil {
+	if err := run(*peers, *ipfsNodes, *cameras, *crowd, *rounds, *byzantine, *badFraction, *seed,
+		bulkConfig{records: *bulk, mode: *bulkMode, batch: *bulkBatch, workers: *bulkWorkers}); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(peers, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction float64, seed int64) error {
+type bulkConfig struct {
+	records int
+	mode    string
+	batch   int
+	workers int
+}
+
+func run(peers, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction float64, seed int64, bulk bulkConfig) error {
 	behaviors := map[int]consensus.Behavior{}
 	for i := 0; i < byzantine; i++ {
 		behaviors[i+1] = consensus.Silent{}
@@ -125,6 +144,43 @@ func run(peers, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction fl
 		stats := fw.LedgerStats()
 		fmt.Printf("round %2d: height=%d txs=%d valid=%d stored=%d rejected=%d\n",
 			round+1, stats.Height, stats.TotalTxs, stats.ValidTxs, stored, rejected)
+	}
+
+	if bulk.records > 0 {
+		if !ingest.Mode(bulk.mode).Valid() {
+			return fmt.Errorf("unknown -bulk-mode %q (valid: serial, batched, pipelined)", bulk.mode)
+		}
+		fmt.Printf("\n--- bulk ingest (%d records, %s) ---\n", bulk.records, bulk.mode)
+		camSrc := sources[0]
+		frames := make([]*detect.Frame, bulk.records)
+		metas := make([]detect.MetadataRecord, bulk.records)
+		for i := range frames {
+			f := camSrc.video.Frames[i%len(camSrc.video.Frames)]
+			frames[i] = &f
+			metas[i], _ = det.ExtractMetadata(&f)
+		}
+		pipe := camSrc.client.Pipeline(ingest.Config{
+			Mode:       ingest.Mode(bulk.mode),
+			BatchSize:  bulk.batch,
+			AddWorkers: bulk.workers,
+		})
+		records := make([]ingest.Record, len(frames))
+		for i, f := range frames {
+			records[i] = ingest.Record{Signed: msp.NewSignedMessage(camSrc.signer, f.Data), Meta: metas[i]}
+		}
+		results := pipe.Run(records)
+		bulkStats := pipe.Stats()
+		bulkFailed := 0
+		for _, r := range results {
+			if r.Err != nil {
+				bulkFailed++
+			}
+		}
+		fmt.Printf("bulk: %d/%d records in %.3fs (%.1f records/s, %d batches, %d conflict retries, %d failed)\n",
+			bulkStats.Stored, bulkStats.Submitted, bulkStats.Elapsed.Seconds(),
+			bulkStats.Throughput(), bulkStats.Batches, bulkStats.ConflictRetries, bulkFailed)
+		stored += bulkStats.Stored
+		rejected += bulkFailed
 	}
 
 	fmt.Println("\n--- final state ---")

@@ -2,8 +2,18 @@
 // evaluation uses (52 static-camera videos + drone flights) and reports its
 // statistics, optionally dumping extracted metadata records as JSON lines.
 //
+// With -ingest it becomes the end-to-end ingest driver: it boots a full
+// in-process framework (peers + BFT ordering + IPFS), registers a trusted
+// camera and pushes -records frames through the internal/ingest pipeline
+// in the selected mode (serial, batched, pipelined). -rate 0 runs closed
+// loop (submit as fast as pipeline backpressure allows); -rate N runs open
+// loop at N records/s, reporting offered vs achieved throughput. This is
+// the e2e smoke CI runs on every PR.
+//
 // Usage: trafficgen [-videos 52] [-frames 20] [-drones 12] [-seed 1]
 // [-dump-metadata] [-limit 5]
+// [-ingest serial|batched|pipelined] [-records 200] [-rate 0]
+// [-concurrency 8] [-batch 32] [-inflight 2] [-peers 4] [-engine sharded]
 package main
 
 import (
@@ -25,7 +35,35 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus seed")
 	dump := flag.Bool("dump-metadata", false, "emit extracted metadata records as JSON lines")
 	limit := flag.Int("limit", 5, "max records to dump (0 = all)")
+	ingestMode := flag.String("ingest", "", "drive the e2e ingest pipeline: serial, batched or pipelined")
+	records := flag.Int("records", 200, "records to ingest (with -ingest)")
+	rate := flag.Float64("rate", 0, "open-loop offered load in records/s (0 = closed loop)")
+	concurrency := flag.Int("concurrency", 8, "ingest chunk+IPFS-add workers")
+	batch := flag.Int("batch", 32, "records per batched envelope")
+	// Default 1: trafficgen drives a single source, whose envelopes chain
+	// through the provenance head — a wider window only burns consensus
+	// rounds on MVCC conflicts (see DESIGN.md).
+	inflight := flag.Int("inflight", 1, "batches in flight")
+	peers := flag.Int("peers", 4, "blockchain peers (with -ingest)")
+	engine := flag.String("engine", "", "world-state storage engine: single or sharded")
 	flag.Parse()
+
+	if *ingestMode != "" {
+		if err := runIngest(ingestConfig{
+			mode:        *ingestMode,
+			records:     *records,
+			rate:        *rate,
+			concurrency: *concurrency,
+			batch:       *batch,
+			inflight:    *inflight,
+			peers:       *peers,
+			engine:      *engine,
+			seed:        *seed,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	corpus := dataset.Generate(dataset.Config{
 		Seed:            *seed,

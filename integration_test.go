@@ -64,11 +64,11 @@ func registerSource(t *testing.T, fw *core.Framework, org, name string, trusted 
 	return s
 }
 
-// TestSmartCityScenario runs the paper's full story: a camera fleet and a
+// TestIntegrationSmartCityScenario runs the paper's full story: a camera fleet and a
 // drone ingest the corpus through the framework with a byzantine validator
 // present; an analyst queries by label and verifies payloads; the explorer
 // confirms chain health.
-func TestSmartCityScenario(t *testing.T) {
+func TestIntegrationSmartCityScenario(t *testing.T) {
 	fw := newIntegrationFramework(t, 4, map[int]consensus.Behavior{3: consensus.Silent{}})
 	det := detect.NewDetector(42)
 	corpus := dataset.Generate(dataset.Config{
@@ -146,10 +146,10 @@ func waitForHeight(t *testing.T, fw *core.Framework, h uint64) {
 	}
 }
 
-// TestEndorserWatchdogExclusion feeds the committers transactions carrying
+// TestIntegrationEndorserWatchdogExclusion feeds the committers transactions carrying
 // a forged endorsement (valid signature over a wrong digest) until the
 // watchdog flags the liar and the gateway stops using it.
-func TestEndorserWatchdogExclusion(t *testing.T) {
+func TestIntegrationEndorserWatchdogExclusion(t *testing.T) {
 	net, err := fabric.NewNetwork(fabric.Config{
 		NumPeers:          4,
 		Cutter:            ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 5 * time.Millisecond},
@@ -233,10 +233,10 @@ func buildEnvelopeWithLiar(net *fabric.Network, gw *fabric.Gateway, client, liar
 	return tx, nil
 }
 
-// TestIPFSGCAfterChainUnpin stores payloads, unpins one on its home node
+// TestIntegrationIPFSGCAfterChainUnpin stores payloads, unpins one on its home node
 // and garbage-collects; the unpinned payload survives on the OTHER node
 // that fetched it, demonstrating replication.
-func TestIPFSGCAfterChainUnpin(t *testing.T) {
+func TestIntegrationIPFSGCAfterChainUnpin(t *testing.T) {
 	fw := newIntegrationFramework(t, 4, nil)
 	cam := registerSource(t, fw, "city", "gc-cam", true)
 	client := fw.Client(cam, 0)
@@ -274,10 +274,10 @@ func TestIPFSGCAfterChainUnpin(t *testing.T) {
 	}
 }
 
-// TestProvenanceSurvivesByzantineValidator stores a chain of records with
+// TestIntegrationProvenanceSurvivesByzantineValidator stores a chain of records with
 // an equivocating validator present (evicted mid-run) and verifies the
 // provenance chain and Merkle inclusion afterwards.
-func TestProvenanceSurvivesByzantineValidator(t *testing.T) {
+func TestIntegrationProvenanceSurvivesByzantineValidator(t *testing.T) {
 	fw := newIntegrationFramework(t, 4, map[int]consensus.Behavior{
 		0: &consensus.Equivocator{Half: map[string]bool{"peer1": true}},
 	})
@@ -314,10 +314,10 @@ func TestProvenanceSurvivesByzantineValidator(t *testing.T) {
 	}
 }
 
-// TestMixedTrustWorkload runs the socialchaind-style mixed workload and
+// TestIntegrationMixedTrustWorkload runs the socialchaind-style mixed workload and
 // checks the aggregate outcome: trusted sources unaffected, dishonest
 // crowd sources gated, ledger consistent.
-func TestMixedTrustWorkload(t *testing.T) {
+func TestIntegrationMixedTrustWorkload(t *testing.T) {
 	fw := newIntegrationFramework(t, 4, nil)
 	det := detect.NewDetector(55)
 	corpus := dataset.Generate(dataset.Config{Seed: 55, NumVideos: 1, FramesPerVideo: 20, NumDroneFlights: 1, FramesPerFlight: 1, MeanFrameKB: 4})

@@ -31,6 +31,7 @@ type Simulator struct {
 	ctx      TxContext
 	ns       string
 	depth    int
+	sub      int // current batch call index, -1 outside InvokeBatch
 	db       *statedb.DB
 	history  *statedb.HistoryDB
 	registry *Registry
@@ -49,6 +50,7 @@ func NewSimulator(ctx TxContext, ns string, db *statedb.DB, history *statedb.His
 	return &Simulator{
 		ctx:     ctx,
 		ns:      ns,
+		sub:     -1,
 		db:      db,
 		history: history,
 		reads:   make(map[string]statedb.ReadItem),
@@ -211,8 +213,16 @@ func (s *Simulator) SplitCompositeKey(key string) (string, []string, error) {
 	return SplitCompositeKeyString(key)
 }
 
-// GetTxID implements Stub.
-func (s *Simulator) GetTxID() string { return s.ctx.TxID }
+// GetTxID implements Stub. Inside InvokeBatch it returns the current
+// call's sub-transaction ID, so chaincode that derives state keys from the
+// transaction ID (the data contract's record keys) stays collision-free
+// across the calls of one batched envelope.
+func (s *Simulator) GetTxID() string {
+	if s.sub >= 0 {
+		return SubTxID(s.ctx.TxID, s.sub)
+	}
+	return s.ctx.TxID
+}
 
 // GetChannelID implements Stub.
 func (s *Simulator) GetChannelID() string { return s.ctx.ChannelID }
@@ -223,12 +233,13 @@ func (s *Simulator) GetCreator() msp.Identity { return s.ctx.Creator }
 // GetTxTimestamp implements Stub.
 func (s *Simulator) GetTxTimestamp() time.Time { return s.ctx.Timestamp }
 
-// SetEvent implements Stub.
+// SetEvent implements Stub. Events raised during InvokeBatch carry the
+// sub-transaction ID of the call that set them.
 func (s *Simulator) SetEvent(name string, payload []byte) error {
 	if name == "" {
 		return errors.New("chaincode: empty event name")
 	}
-	s.events = append(s.events, Event{TxID: s.ctx.TxID, Name: name, Payload: append([]byte(nil), payload...)})
+	s.events = append(s.events, Event{TxID: s.GetTxID(), Name: name, Payload: append([]byte(nil), payload...)})
 	return nil
 }
 
@@ -251,6 +262,57 @@ func (s *Simulator) InvokeChaincode(name, fn string, args [][]byte) ([]byte, err
 	s.depth--
 	s.ns = savedNS
 	return resp, err
+}
+
+// BatchCall names one chaincode invocation inside a batched endorsement.
+type BatchCall struct {
+	Chaincode string
+	Fn        string
+	Args      [][]byte
+}
+
+// SubTxID derives the sub-transaction ID of call i within a batched
+// envelope. The data contract keys records by transaction ID, so this is
+// also the record ID a batched addData call stores under.
+func SubTxID(txID string, i int) string {
+	return fmt.Sprintf("%s.%d", txID, i)
+}
+
+// InvokeBatch is the batch endorsement entrypoint: it executes calls
+// sequentially on this one simulator, producing a single merged read/write
+// set, response list and event stream. Later calls observe earlier calls'
+// uncommitted writes (a per-source provenance head updated by call i is
+// read back by call i+1), which is what lets a batch of writes that would
+// MVCC-conflict as individual envelopes commit atomically as one
+// transaction. A failing call aborts the whole batch — the endorsement is
+// all-or-nothing, exactly like a single invocation.
+func (s *Simulator) InvokeBatch(calls []BatchCall) ([][]byte, error) {
+	if s.registry == nil {
+		return nil, errors.New("chaincode: no registry for batch invocation")
+	}
+	if len(calls) == 0 {
+		return nil, errors.New("chaincode: empty batch")
+	}
+	savedNS := s.ns
+	defer func() {
+		s.ns = savedNS
+		s.sub = -1
+	}()
+	responses := make([][]byte, len(calls))
+	for i, c := range calls {
+		cc, ok := s.registry.Get(c.Chaincode)
+		if !ok {
+			return nil, fmt.Errorf("chaincode: unknown chaincode %q", c.Chaincode)
+		}
+		s.sub = i
+		s.ns = c.Chaincode
+		resp, err := cc.Invoke(s, c.Fn, c.Args)
+		if err != nil {
+			return nil, fmt.Errorf("chaincode: batch call %d (%s.%s): %w", i, c.Chaincode, c.Fn, err)
+		}
+		responses[i] = resp
+	}
+	return responses, nil
 }
 
 // Events returns events set during simulation.

@@ -18,6 +18,7 @@ import (
 	"socialchain/internal/contracts"
 	"socialchain/internal/detect"
 	"socialchain/internal/fabric"
+	"socialchain/internal/ingest"
 	"socialchain/internal/ipfs"
 	"socialchain/internal/ledger"
 	"socialchain/internal/msp"
@@ -226,6 +227,34 @@ func (f *Framework) Client(signer *msp.Signer, ipfsNode int) *Client {
 
 // Identity returns the client's identity.
 func (c *Client) Identity() msp.Identity { return c.signer.Identity }
+
+// Gateway exposes the client's blockchain gateway (the ingest pipeline
+// and tests drive the transaction lifecycle through it directly).
+func (c *Client) Gateway() *fabric.Gateway { return c.gw }
+
+// IPFS exposes the client's off-chain storage node.
+func (c *Client) IPFS() *ipfs.Node { return c.store }
+
+// Pipeline builds an ingest pipeline bound to this client's gateway and
+// IPFS node — the batched, pipelined counterpart of StoreData for bulk
+// social workloads. The caller owns the pipeline lifecycle
+// (Start/Submit/Drain, or Run).
+func (c *Client) Pipeline(cfg ingest.Config) *ingest.Pipeline {
+	return ingest.New(c.gw, c.store, cfg)
+}
+
+// StoreFrames ingests a slice of frames and their metadata through the
+// pipelined write path, returning per-record results in input order.
+func (c *Client) StoreFrames(frames []*detect.Frame, metas []detect.MetadataRecord, cfg ingest.Config) ([]ingest.Result, error) {
+	if len(frames) != len(metas) {
+		return nil, fmt.Errorf("core: %d frames but %d metadata records", len(frames), len(metas))
+	}
+	records := make([]ingest.Record, len(frames))
+	for i, f := range frames {
+		records[i] = ingest.Record{Signed: msp.NewSignedMessage(c.signer, f.Data), Meta: metas[i]}
+	}
+	return c.Pipeline(cfg).Run(records), nil
+}
 
 // StoreTiming splits the store pipeline's latency, the quantities Figure 5
 // plots (IPFS alone vs. blockchain overhead).

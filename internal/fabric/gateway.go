@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"socialchain/internal/chaincode"
 	"socialchain/internal/ledger"
 	"socialchain/internal/msp"
 	"socialchain/internal/peer"
@@ -139,50 +140,14 @@ func (g *Gateway) endorseAndAssemble(ccName, fn string, args [][]byte) (*ledger.
 		if attempt > 0 {
 			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
 		}
-		endorsers := g.net.ActiveEndorsers()
-		if len(endorsers) == 0 {
-			return nil, errors.New("fabric: no active endorsers")
+		best, err := g.collectEndorsements(func(p *peer.Peer) (*peer.ProposalResponse, error) {
+			return p.Endorse(prop)
+		})
+		if err != nil {
+			return nil, err
 		}
-		type endorsement struct {
-			resp *peer.ProposalResponse
-			err  error
-		}
-		results := make([]endorsement, len(endorsers))
-		var wg sync.WaitGroup
-		for i, p := range endorsers {
-			wg.Add(1)
-			go func(i int, p *peer.Peer) {
-				defer wg.Done()
-				g.clientDelay(p.ID())
-				resp, err := p.Endorse(prop)
-				g.clientDelay(p.ID())
-				results[i] = endorsement{resp: resp, err: err}
-			}(i, p)
-		}
-		wg.Wait()
-
-		groups := make(map[string][]*peer.ProposalResponse)
-		var errs []error
-		for _, r := range results {
-			if r.err != nil {
-				errs = append(errs, r.err)
-				continue
-			}
-			groups[string(r.resp.Endorsement.Digest)] = append(groups[string(r.resp.Endorsement.Digest)], r.resp)
-		}
-		var best []*peer.ProposalResponse
-		for _, grp := range groups {
-			if len(grp) > len(best) {
-				best = grp
-			}
-		}
-		if len(best) == 0 {
-			if len(errs) > 0 {
-				return nil, fmt.Errorf("fabric: all endorsements failed: %w", errs[0])
-			}
-			return nil, errors.New("fabric: no endorsements")
-		}
-		tx, err := assembleEnvelope(g.client, prop, ccName, fn, args, best)
+		payload := ledger.TxPayload{Chaincode: ccName, Fn: fn, Args: args}
+		tx, err := assembleSignedEnvelope(g.client, prop.TxID, prop.ChannelID, payload, prop.Timestamp, best)
 		if err != nil {
 			return nil, err
 		}
@@ -197,22 +162,22 @@ func (g *Gateway) endorseAndAssemble(ccName, fn string, args [][]byte) (*ledger.
 	return nil, fmt.Errorf("fabric: endorsement policy unsatisfiable after %d attempts: %w", endorseRetries, lastErr)
 }
 
-// assembleEnvelope builds and signs the transaction envelope from an
+// assembleSignedEnvelope builds and signs the transaction envelope from an
 // agreeing endorsement group.
-func assembleEnvelope(client *msp.Signer, prop *peer.Proposal, ccName, fn string, args [][]byte, group []*peer.ProposalResponse) (*ledger.Transaction, error) {
+func assembleSignedEnvelope(client *msp.Signer, txID, channelID string, payload ledger.TxPayload, ts time.Time, group []*peer.ProposalResponse) (*ledger.Transaction, error) {
 	var rw statedb.RWSet
 	if err := json.Unmarshal(group[0].RWSetJSON, &rw); err != nil {
 		return nil, fmt.Errorf("fabric: decode rwset: %w", err)
 	}
 	tx := &ledger.Transaction{
-		ID:        prop.TxID,
-		ChannelID: prop.ChannelID,
+		ID:        txID,
+		ChannelID: channelID,
 		Creator:   client.Identity,
-		Payload:   ledger.TxPayload{Chaincode: ccName, Fn: fn, Args: args},
+		Payload:   payload,
 		Response:  group[0].Response,
 		RWSet:     rw,
 		Events:    group[0].Events,
-		Timestamp: prop.Timestamp,
+		Timestamp: ts,
 	}
 	for _, r := range group {
 		tx.Endorsements = append(tx.Endorsements, r.Endorsement)
@@ -222,15 +187,14 @@ func assembleEnvelope(client *msp.Signer, prop *peer.Proposal, ccName, fn string
 }
 
 // SubmitEnvelope orders a pre-assembled transaction envelope and waits for
-// commit. Exposed so tests can inject malformed envelopes.
+// commit. Exposed so tests can inject malformed envelopes. Ordering
+// backpressure (ordering.ErrBacklog) and post-stop rejection
+// (ordering.ErrStopped) surface as errors for the caller to react to.
 func (g *Gateway) SubmitEnvelope(tx ledger.Transaction) (*Result, error) {
-	// Listen for the commit on an entry peer chosen round-robin.
-	idx := int(g.net.rr.Add(1)) % len(g.net.peers)
-	entry := g.net.peers[idx]
-	waiter := entry.WaitForCommit(tx.ID)
-
-	g.clientDelay(entry.ID())
-	g.net.orderers[idx].Submit(tx)
+	entry, waiter, err := g.orderAsync(tx)
+	if err != nil {
+		return nil, err
+	}
 
 	select {
 	case flag := <-waiter:
@@ -244,6 +208,22 @@ func (g *Gateway) SubmitEnvelope(tx ledger.Transaction) (*Result, error) {
 	}
 }
 
+// orderAsync registers a commit waiter on a round-robin entry peer and
+// submits the envelope to that peer's ordering service. The waiter is
+// deregistered when ordering rejects the transaction — a rejected txID
+// never commits, so leaving it registered would leak wait-map entries.
+func (g *Gateway) orderAsync(tx ledger.Transaction) (*peer.Peer, <-chan ledger.ValidationCode, error) {
+	idx := int(g.net.rr.Add(1)) % len(g.net.peers)
+	entry := g.net.peers[idx]
+	waiter := entry.WaitForCommit(tx.ID)
+	g.clientDelay(entry.ID())
+	if err := g.net.orderers[idx].Submit(tx); err != nil {
+		entry.CancelWait(tx.ID)
+		return nil, nil, fmt.Errorf("fabric: order tx %s: %w", tx.ID, err)
+	}
+	return entry, waiter, nil
+}
+
 // SubmitAsync orders a transaction without waiting for commit; the caller
 // can wait on the returned channel. Because it returns before commit, two
 // SubmitAsync calls reading the same key race and MVCC validation will
@@ -253,8 +233,136 @@ func (g *Gateway) SubmitAsync(ccName, fn string, args ...[]byte) (string, <-chan
 	if err != nil {
 		return "", nil, err
 	}
-	idx := int(g.net.rr.Add(1)) % len(g.net.peers)
-	waiter := g.net.peers[idx].WaitForCommit(tx.ID)
-	g.net.orderers[idx].Submit(*tx)
+	_, waiter, err := g.orderAsync(*tx)
+	if err != nil {
+		return "", nil, err
+	}
 	return tx.ID, waiter, nil
+}
+
+// SubmitBatch runs the batched transaction lifecycle: every call executes
+// on one simulator per endorsing peer (peer.EndorseBatch), the merged
+// read/write set is signed once, and the whole batch orders and commits
+// atomically as a single envelope. Call i's effects (e.g. the record a
+// batched addData stores) live under sub-transaction ID
+// chaincode.SubTxID(txID, i); Result.Response is the JSON array of
+// per-call responses. MVCC invalidations from stale endorsement state are
+// re-endorsed and resubmitted, as in Submit.
+func (g *Gateway) SubmitBatch(calls []chaincode.BatchCall) (*Result, error) {
+	var res *Result
+	for attempt := 0; ; attempt++ {
+		tx, err := g.endorseAndAssembleBatch(calls)
+		if err != nil {
+			return nil, err
+		}
+		res, err = g.SubmitEnvelope(*tx)
+		if err != nil {
+			return nil, err
+		}
+		if res.Flag != ledger.MVCCConflict || attempt >= mvccRetries {
+			return res, nil
+		}
+		time.Sleep(time.Duration(attempt+1) * 5 * time.Millisecond)
+	}
+}
+
+// SubmitBatchAsync orders a batched envelope without waiting for commit;
+// the caller waits on the returned channel. See SubmitAsync for the
+// concurrent-submission caveats — they apply per batch here.
+func (g *Gateway) SubmitBatchAsync(calls []chaincode.BatchCall) (string, <-chan ledger.ValidationCode, error) {
+	tx, err := g.endorseAndAssembleBatch(calls)
+	if err != nil {
+		return "", nil, err
+	}
+	_, waiter, err := g.orderAsync(*tx)
+	if err != nil {
+		return "", nil, err
+	}
+	return tx.ID, waiter, nil
+}
+
+// endorseAndAssembleBatch is endorseAndAssemble for a batch proposal: it
+// collects EndorseBatch responses from all active peers in parallel,
+// groups them by result digest and assembles a signed batch envelope from
+// the largest agreeing group, retrying while lagging peers catch up.
+func (g *Gateway) endorseAndAssembleBatch(calls []chaincode.BatchCall) (*ledger.Transaction, error) {
+	prop, err := peer.NewBatchProposal(g.client, g.net.cfg.ChannelID, calls, g.net.cfg.Clock.Now())
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < endorseRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
+		}
+		best, err := g.collectEndorsements(func(p *peer.Peer) (*peer.ProposalResponse, error) {
+			return p.EndorseBatch(prop)
+		})
+		if err != nil {
+			return nil, err
+		}
+		payload := ledger.TxPayload{Batch: make([]ledger.TxPayload, len(calls))}
+		for i, c := range calls {
+			payload.Batch[i] = ledger.TxPayload{Chaincode: c.Chaincode, Fn: c.Fn, Args: c.Args}
+		}
+		tx, err := assembleSignedEnvelope(g.client, prop.TxID, g.net.cfg.ChannelID, payload, prop.Timestamp, best)
+		if err != nil {
+			return nil, err
+		}
+		if perr := g.net.policy.Evaluate(tx.Digest(), tx.Endorsements); perr != nil {
+			lastErr = perr
+			continue
+		}
+		return tx, nil
+	}
+	return nil, fmt.Errorf("fabric: endorsement policy unsatisfiable after %d attempts: %w", endorseRetries, lastErr)
+}
+
+// collectEndorsements runs one parallel endorsement round over the active
+// endorsers and returns the largest digest-agreeing response group.
+func (g *Gateway) collectEndorsements(endorse func(*peer.Peer) (*peer.ProposalResponse, error)) ([]*peer.ProposalResponse, error) {
+	endorsers := g.net.ActiveEndorsers()
+	if len(endorsers) == 0 {
+		return nil, errors.New("fabric: no active endorsers")
+	}
+	type endorsement struct {
+		resp *peer.ProposalResponse
+		err  error
+	}
+	results := make([]endorsement, len(endorsers))
+	var wg sync.WaitGroup
+	for i, p := range endorsers {
+		wg.Add(1)
+		go func(i int, p *peer.Peer) {
+			defer wg.Done()
+			g.clientDelay(p.ID())
+			resp, err := endorse(p)
+			g.clientDelay(p.ID())
+			results[i] = endorsement{resp: resp, err: err}
+		}(i, p)
+	}
+	wg.Wait()
+
+	groups := make(map[string][]*peer.ProposalResponse)
+	var errs []error
+	for _, r := range results {
+		if r.err != nil {
+			errs = append(errs, r.err)
+			continue
+		}
+		groups[string(r.resp.Endorsement.Digest)] = append(groups[string(r.resp.Endorsement.Digest)], r.resp)
+	}
+	var best []*peer.ProposalResponse
+	for _, grp := range groups {
+		if len(grp) > len(best) {
+			best = grp
+		}
+	}
+	if len(best) == 0 {
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("fabric: all endorsements failed: %w", errs[0])
+		}
+		return nil, errors.New("fabric: no endorsements")
+	}
+	return best, nil
 }

@@ -15,11 +15,15 @@ import (
 	"socialchain/internal/statedb"
 )
 
-// TxPayload names the chaincode invocation a transaction carries.
+// TxPayload names the chaincode invocation a transaction carries. A
+// batched ingest envelope carries its calls in Batch instead (one entry
+// per call, each with Chaincode/Fn/Args set and Batch empty); the calls
+// executed on one simulator and committed atomically under this envelope.
 type TxPayload struct {
-	Chaincode string   `json:"chaincode"`
-	Fn        string   `json:"fn"`
-	Args      [][]byte `json:"args"`
+	Chaincode string      `json:"chaincode"`
+	Fn        string      `json:"fn"`
+	Args      [][]byte    `json:"args"`
+	Batch     []TxPayload `json:"batch,omitempty"`
 }
 
 // Event is a chaincode-emitted application event carried in the

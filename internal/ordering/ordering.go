@@ -7,6 +7,7 @@ package ordering
 
 import (
 	"encoding/json"
+	"errors"
 	"sync"
 	"time"
 
@@ -14,6 +15,15 @@ import (
 	"socialchain/internal/ledger"
 	"socialchain/internal/sim"
 )
+
+// ErrStopped is returned by Submit after Stop: a stopped service would
+// silently drop the transaction (its loop no longer cuts batches).
+var ErrStopped = errors.New("ordering: service stopped")
+
+// ErrBacklog is returned by Submit when the pending queue is at its
+// MaxPendingTxs bound — the backpressure signal ingest clients react to
+// (back off and resubmit) instead of growing the queue without limit.
+var ErrBacklog = errors.New("ordering: pending queue full")
 
 // CutterConfig tunes batching, analogous to Fabric's BatchSize/BatchTimeout.
 type CutterConfig struct {
@@ -24,6 +34,11 @@ type CutterConfig struct {
 	MaxBytes int
 	// BatchTimeout cuts a non-empty batch after this delay (default 50ms).
 	BatchTimeout time.Duration
+	// MaxPendingTxs bounds the transactions buffered awaiting a cut.
+	// Submissions arriving while a slow consensus proposal holds the
+	// cutter back pile up here; at the bound Submit rejects with
+	// ErrBacklog instead of growing the slice unboundedly (default 4096).
+	MaxPendingTxs int
 }
 
 func (c *CutterConfig) fill() {
@@ -35,6 +50,9 @@ func (c *CutterConfig) fill() {
 	}
 	if c.BatchTimeout <= 0 {
 		c.BatchTimeout = 50 * time.Millisecond
+	}
+	if c.MaxPendingTxs <= 0 {
+		c.MaxPendingTxs = 4096
 	}
 }
 
@@ -71,6 +89,7 @@ type Service struct {
 	pending  []ledger.Transaction
 	bytes    int
 	oldest   time.Time
+	stopped  bool
 	stopCh   chan struct{}
 	doneCh   chan struct{}
 	proposed int
@@ -94,15 +113,34 @@ func NewService(cfg CutterConfig, v *consensus.Validator, clock sim.Clock) *Serv
 // Start launches the batch-timeout loop.
 func (s *Service) Start() { go s.loop() }
 
-// Stop flushes nothing and stops the loop.
+// Stop flushes nothing and stops the loop. Stopping twice is a no-op;
+// subsequent Submits are rejected with ErrStopped.
 func (s *Service) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
 	close(s.stopCh)
 	<-s.doneCh
 }
 
-// Submit enqueues one endorsed transaction for ordering.
-func (s *Service) Submit(tx ledger.Transaction) {
+// Submit enqueues one endorsed transaction for ordering. It rejects
+// transactions after Stop (ErrStopped) and applies the MaxPendingTxs
+// backpressure bound (ErrBacklog) so the pending queue cannot grow
+// without limit while consensus is slow.
+func (s *Service) Submit(tx ledger.Transaction) error {
 	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return ErrStopped
+	}
+	if len(s.pending) >= s.cfg.MaxPendingTxs {
+		s.mu.Unlock()
+		return ErrBacklog
+	}
 	size := len(tx.Bytes())
 	if len(s.pending) == 0 {
 		s.oldest = s.clock.Now()
@@ -122,6 +160,7 @@ func (s *Service) Submit(tx ledger.Transaction) {
 	if doCut {
 		s.propose(cut)
 	}
+	return nil
 }
 
 // cutLocked proposes the current pending batch; caller holds mu.

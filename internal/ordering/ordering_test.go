@@ -1,6 +1,7 @@
 package ordering
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -196,5 +197,44 @@ func TestPendingAndProposedCounters(t *testing.T) {
 	waitFor(t, func() bool { return h.services[0].Proposed() == 1 }, 5*time.Second, "proposal")
 	if h.services[0].PendingTxs() != 0 {
 		t.Fatalf("pending after cut = %d", h.services[0].PendingTxs())
+	}
+}
+
+// TestSubmitAfterStopRejected checks the post-Stop typed error: a stopped
+// service must reject rather than silently drop transactions, and Stop
+// must be idempotent.
+func TestSubmitAfterStopRejected(t *testing.T) {
+	h := newOrderingHarness(t, 4, CutterConfig{MaxMessages: 2, BatchTimeout: 20 * time.Millisecond})
+	if err := h.services[0].Submit(testTx(t, "before")); err != nil {
+		t.Fatalf("submit before stop: %v", err)
+	}
+	h.services[0].Stop()
+	h.services[0].Stop() // idempotent
+	if err := h.services[0].Submit(testTx(t, "after")); !errors.Is(err, ErrStopped) {
+		t.Fatalf("submit after stop: err = %v, want ErrStopped", err)
+	}
+	if got := h.services[0].PendingTxs(); got > 1 {
+		t.Fatalf("pending after rejected submit = %d", got)
+	}
+}
+
+// TestSubmitBacklogBound checks the MaxPendingTxs backpressure bound. The
+// service is built over a stopped-clock-free but unstarted consensus pair
+// so nothing drains pending; the bound must convert unbounded growth into
+// ErrBacklog.
+func TestSubmitBacklogBound(t *testing.T) {
+	// A service whose loop is never started and whose MaxMessages is huge
+	// never cuts, so pending only grows via Submit.
+	svc := NewService(CutterConfig{MaxMessages: 1 << 30, BatchTimeout: time.Hour, MaxPendingTxs: 8}, nil, nil)
+	for i := 0; i < 8; i++ {
+		if err := svc.Submit(testTx(t, fmt.Sprintf("fill-%d", i))); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := svc.Submit(testTx(t, "overflow")); !errors.Is(err, ErrBacklog) {
+		t.Fatalf("submit at bound: err = %v, want ErrBacklog", err)
+	}
+	if got := svc.PendingTxs(); got != 8 {
+		t.Fatalf("pending = %d, want 8", got)
 	}
 }

@@ -1,0 +1,172 @@
+package peer
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"socialchain/internal/chaincode"
+	"socialchain/internal/ledger"
+	"socialchain/internal/msp"
+)
+
+func batchPropose(t *testing.T, client *msp.Signer, calls ...chaincode.BatchCall) *BatchProposal {
+	t.Helper()
+	bp, err := NewBatchProposal(client, "ch", calls, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+// batchEnvelope assembles a signed tx from a batch endorsement.
+func batchEnvelope(t *testing.T, client *msp.Signer, bp *BatchProposal, resps ...*ProposalResponse) ledger.Transaction {
+	t.Helper()
+	payload := ledger.TxPayload{Batch: make([]ledger.TxPayload, len(bp.Calls))}
+	for i, c := range bp.Calls {
+		payload.Batch[i] = ledger.TxPayload{Chaincode: c.Chaincode, Fn: c.Fn, Args: c.Args}
+	}
+	tx := ledger.Transaction{
+		ID:        bp.TxID,
+		ChannelID: bp.ChannelID,
+		Creator:   client.Identity,
+		Payload:   payload,
+		Response:  resps[0].Response,
+		Events:    resps[0].Events,
+		Timestamp: bp.Timestamp,
+	}
+	if err := jsonUnmarshal(resps[0].RWSetJSON, &tx.RWSet); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range resps {
+		tx.Endorsements = append(tx.Endorsements, r.Endorsement)
+	}
+	tx.Signature = client.Sign(tx.SigningBytes())
+	return tx
+}
+
+// TestEndorseBatchMergedRWSetCommits endorses three incr calls on one key
+// as a single batch envelope and commits it: the merged read/write set
+// must land the final counter value in one valid transaction.
+func TestEndorseBatchMergedRWSetCommits(t *testing.T) {
+	p, client := newTestPeer(t)
+	bp := batchPropose(t, client,
+		chaincode.BatchCall{Chaincode: "counter", Fn: "incr", Args: [][]byte{[]byte("k")}},
+		chaincode.BatchCall{Chaincode: "counter", Fn: "incr", Args: [][]byte{[]byte("k")}},
+		chaincode.BatchCall{Chaincode: "counter", Fn: "incr", Args: [][]byte{[]byte("k")}},
+	)
+	resp, err := p.EndorseBatch(bp)
+	if err != nil {
+		t.Fatalf("EndorseBatch: %v", err)
+	}
+	var responses [][]byte
+	if err := json.Unmarshal(resp.Response, &responses); err != nil {
+		t.Fatalf("decode batch responses: %v", err)
+	}
+	if len(responses) != 3 || string(responses[2]) != "3" {
+		t.Fatalf("responses = %q", responses)
+	}
+	block, err := p.CommitBatch([]ledger.Transaction{batchEnvelope(t, client, bp, resp)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.Metadata.Flags[0] != ledger.Valid {
+		t.Fatalf("batch tx flagged %s", block.Metadata.Flags[0])
+	}
+	vv, ok := p.State().GetState("counter", "k")
+	if !ok || string(vv.Value) != "3" {
+		t.Fatalf("counter = %q ok=%v, want 3", vv.Value, ok)
+	}
+}
+
+// TestEndorseBatchRejectsBadSignature checks tampered batch proposals are
+// refused.
+func TestEndorseBatchRejectsBadSignature(t *testing.T) {
+	p, client := newTestPeer(t)
+	bp := batchPropose(t, client, chaincode.BatchCall{Chaincode: "counter", Fn: "incr", Args: [][]byte{[]byte("k")}})
+	bp.Calls = append(bp.Calls, chaincode.BatchCall{Chaincode: "counter", Fn: "incr", Args: [][]byte{[]byte("other")}})
+	if _, err := p.EndorseBatch(bp); err == nil {
+		t.Fatal("tampered batch proposal endorsed")
+	}
+}
+
+// TestEndorseBatchFailingCallAborts checks a failing call rejects the
+// whole endorsement.
+func TestEndorseBatchFailingCallAborts(t *testing.T) {
+	p, client := newTestPeer(t)
+	bp := batchPropose(t, client,
+		chaincode.BatchCall{Chaincode: "counter", Fn: "incr", Args: [][]byte{[]byte("k")}},
+		chaincode.BatchCall{Chaincode: "counter", Fn: "boom"},
+	)
+	if _, err := p.EndorseBatch(bp); err == nil {
+		t.Fatal("poisoned batch endorsed")
+	}
+	if _, ok := p.State().GetState("counter", "k"); ok {
+		t.Fatal("failed endorsement leaked state")
+	}
+}
+
+// TestCommitBatchParallelValidation commits a wide block (forcing the
+// worker-pool stateless phase under raised GOMAXPROCS) mixing valid
+// transactions, a bad creator signature and an intra-block MVCC conflict,
+// and checks flags and final state match the serial rules.
+func TestCommitBatchParallelValidation(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	p, client := newTestPeer(t)
+	var txs []ledger.Transaction
+	// 8 independent counters: all valid.
+	for i := 0; i < 8; i++ {
+		prop := propose(t, client, "incr", []byte(fmt.Sprintf("k%d", i)))
+		resp, err := p.Endorse(prop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs = append(txs, envelope(t, client, prop, resp))
+	}
+	// Tampered signature.
+	badProp := propose(t, client, "incr", []byte("bad"))
+	badResp, err := p.Endorse(badProp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badTx := envelope(t, client, badProp, badResp)
+	badTx.Signature = []byte("garbage")
+	txs = append(txs, badTx)
+	// Two txs reading/writing the same key: the second must flag MVCC.
+	c1 := propose(t, client, "incr", []byte("shared"))
+	r1, err := p.Endorse(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := propose(t, client, "incr", []byte("shared"))
+	r2, err := p.Endorse(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs = append(txs, envelope(t, client, c1, r1), envelope(t, client, c2, r2))
+
+	block, err := p.CommitBatch(txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if block.Metadata.Flags[i] != ledger.Valid {
+			t.Fatalf("tx %d flagged %s", i, block.Metadata.Flags[i])
+		}
+	}
+	if block.Metadata.Flags[8] != ledger.BadCreatorSignature {
+		t.Fatalf("tampered tx flagged %s", block.Metadata.Flags[8])
+	}
+	if block.Metadata.Flags[9] != ledger.Valid || block.Metadata.Flags[10] != ledger.MVCCConflict {
+		t.Fatalf("conflict pair flagged %s / %s", block.Metadata.Flags[9], block.Metadata.Flags[10])
+	}
+	vv, ok := p.State().GetState("counter", "shared")
+	if !ok || string(vv.Value) != "1" {
+		t.Fatalf("shared counter = %q, want 1", vv.Value)
+	}
+	if _, ok := p.State().GetState("counter", "bad"); ok {
+		t.Fatal("invalid tx wrote state")
+	}
+}

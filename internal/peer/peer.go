@@ -3,6 +3,7 @@ package peer
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -130,6 +131,41 @@ func (p *Peer) Endorse(prop *Proposal) (*ProposalResponse, error) {
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: chaincode %s.%s: %w", p.id, prop.Chaincode, prop.Fn, err)
 	}
+	return p.respond(prop.TxID, sim, resp)
+}
+
+// EndorseBatch is the batch endorsement entrypoint: every call of the
+// proposal executes on one simulator (chaincode.InvokeBatch), yielding a
+// single merged read/write set that the peer signs once. One endorsement
+// round-trip and one signature therefore cover an entire ingest batch,
+// instead of one of each per record. The response is the JSON array of
+// per-call responses.
+func (p *Peer) EndorseBatch(prop *BatchProposal) (*ProposalResponse, error) {
+	if len(prop.Calls) == 0 {
+		return nil, fmt.Errorf("peer %s: batch proposal %s: empty call list", p.id, prop.TxID)
+	}
+	if !prop.Verify() {
+		return nil, fmt.Errorf("peer %s: batch proposal %s: bad client signature", p.id, prop.TxID)
+	}
+	sim := chaincode.NewSimulator(chaincode.TxContext{
+		TxID:      prop.TxID,
+		ChannelID: prop.ChannelID,
+		Creator:   prop.Creator,
+		Timestamp: prop.Timestamp,
+	}, prop.Calls[0].Chaincode, p.state, p.history).WithRegistry(p.registry)
+	responses, err := sim.InvokeBatch(prop.Calls)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: %w", p.id, err)
+	}
+	resp, err := json.Marshal(responses)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: marshal batch responses: %w", p.id, err)
+	}
+	return p.respond(prop.TxID, sim, resp)
+}
+
+// respond signs a finished simulation into a proposal response.
+func (p *Peer) respond(txID string, sim *chaincode.Simulator, resp []byte) (*ProposalResponse, error) {
 	rw := sim.RWSet()
 	rwJSON, err := json.Marshal(rw)
 	if err != nil {
@@ -141,7 +177,7 @@ func (p *Peer) Endorse(prop *Proposal) (*ProposalResponse, error) {
 		events = append(events, ledger.Event{Name: e.Name, Payload: e.Payload})
 	}
 	return &ProposalResponse{
-		TxID:      prop.TxID,
+		TxID:      txID,
 		Response:  resp,
 		RWSetJSON: rwJSON,
 		Events:    events,
@@ -164,6 +200,15 @@ func (p *Peer) WaitForCommit(txID string) <-chan ledger.ValidationCode {
 	return ch
 }
 
+// CancelWait drops the commit waiters registered for txID — callers whose
+// submission was rejected by ordering deregister here so abandoned
+// transaction IDs do not accumulate in the wait map.
+func (p *Peer) CancelWait(txID string) {
+	p.mu.Lock()
+	delete(p.commitWait, txID)
+	p.mu.Unlock()
+}
+
 // SubscribeEvents returns a channel receiving chaincode events of valid
 // committed transactions.
 func (p *Peer) SubscribeEvents(buffer int) <-chan chaincode.Event {
@@ -178,29 +223,21 @@ func (p *Peer) SubscribeEvents(buffer int) <-chan chaincode.Event {
 }
 
 // CommitBatch validates and commits one ordered batch of transactions as
-// the next block: endorsement policy first (the ≥2/3 rule), then MVCC
-// read-version checks, applying only valid writes. It returns the block.
+// the next block, in Fabric's validate-then-commit split. The stateless
+// checks (client signature, endorsement signatures, policy) are
+// independent per transaction and run in parallel over a worker pool; the
+// MVCC read-version pass then runs serially in block order — read/write-
+// set conflict detection is what keeps the parallel validation
+// serializable — and all surviving write sets land in the state engine as
+// one block-level batch (statedb.ApplyBlock). It returns the block.
 func (p *Peer) CommitBatch(txs []ledger.Transaction) (*ledger.Block, error) {
 	number := p.ledger.Height()
 	block := ledger.NewBlock(number, p.ledger.TipHash(), txs, time.Now())
-
-	blockWrites := make(map[string]bool) // ns\x00key written by earlier valid tx
-	for i := range block.Txs {
-		tx := &block.Txs[i]
-		flag := p.validateTx(tx, blockWrites)
-		block.Metadata.Flags[i] = flag
-		if flag != ledger.Valid {
-			continue
-		}
-		batch := statedb.NewUpdateBatch()
-		batch.AddRWSetWrites(tx.RWSet)
-		v := statedb.Version{BlockNum: number, TxNum: uint64(i)}
-		p.state.ApplyUpdates(batch, v)
-		p.history.RecordBatch(batch, tx.ID, v, tx.Timestamp)
-		for _, w := range tx.RWSet.Writes {
-			blockWrites[w.Namespace+"\x00"+w.Key] = true
-		}
+	flags, err := p.validateAndApply(number, block.Txs, nil)
+	if err != nil {
+		return nil, err
 	}
+	copy(block.Metadata.Flags, flags)
 	if err := p.ledger.Append(block); err != nil {
 		return nil, fmt.Errorf("peer %s: append block %d: %w", p.id, number, err)
 	}
@@ -208,8 +245,96 @@ func (p *Peer) CommitBatch(txs []ledger.Transaction) (*ledger.Block, error) {
 	return block, nil
 }
 
-// validateTx applies the commit-time checks in Fabric's order.
-func (p *Peer) validateTx(tx *ledger.Transaction, blockWrites map[string]bool) ledger.ValidationCode {
+// validateAndApply runs the validate-then-commit split over one block's
+// transactions and lands the surviving write sets:
+//
+//  1. Stateless checks (signatures, policy) fan out over a worker pool.
+//  2. MVCC runs serially in block order against committed state plus the
+//     in-block write set. Nothing mutates until every transaction is
+//     flagged, so each check observes pre-block versions — identical to
+//     a serial validate-and-apply interleaving, because a read of any
+//     key an earlier in-block transaction wrote is already a conflict.
+//     After each transaction is flagged, check (when non-nil) may abort
+//     the whole block before any state changes — the sync path's
+//     flag-mismatch rejection.
+//  3. All valid write sets apply in one engine pass (statedb.ApplyBlock)
+//     followed by the history entries.
+func (p *Peer) validateAndApply(number uint64, txs []ledger.Transaction, check func(i int, flag ledger.ValidationCode) error) ([]ledger.ValidationCode, error) {
+	pre := p.validateStatelessAll(txs)
+	flags := make([]ledger.ValidationCode, len(txs))
+	blockWrites := make(map[string]bool) // ns\x00key written by earlier valid tx
+	updates := make([]statedb.TxUpdate, 0, len(txs))
+	validIdx := make([]int, 0, len(txs))
+	for i := range txs {
+		tx := &txs[i]
+		flag := pre[i]
+		if flag == ledger.Valid {
+			flag = p.validateMVCC(tx, blockWrites)
+		}
+		if check != nil {
+			if err := check(i, flag); err != nil {
+				return nil, err
+			}
+		}
+		flags[i] = flag
+		if flag != ledger.Valid {
+			continue
+		}
+		batch := statedb.NewUpdateBatch()
+		batch.AddRWSetWrites(tx.RWSet)
+		updates = append(updates, statedb.TxUpdate{
+			Batch:   batch,
+			Version: statedb.Version{BlockNum: number, TxNum: uint64(i)},
+		})
+		validIdx = append(validIdx, i)
+		for _, w := range tx.RWSet.Writes {
+			blockWrites[w.Namespace+"\x00"+w.Key] = true
+		}
+	}
+	p.state.ApplyBlock(updates)
+	for ui, i := range validIdx {
+		p.history.RecordBatch(updates[ui].Batch, txs[i].ID, updates[ui].Version, txs[i].Timestamp)
+	}
+	return flags, nil
+}
+
+// validateStatelessAll runs the per-transaction signature/policy checks,
+// fanning out over a bounded worker pool when the block carries more than
+// one transaction.
+func (p *Peer) validateStatelessAll(txs []ledger.Transaction) []ledger.ValidationCode {
+	flags := make([]ledger.ValidationCode, len(txs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(txs) {
+		workers = len(txs)
+	}
+	if workers <= 1 {
+		for i := range txs {
+			flags[i] = p.validateStateless(&txs[i])
+		}
+		return flags
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(txs))
+	for i := range txs {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				flags[i] = p.validateStateless(&txs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return flags
+}
+
+// validateStateless applies the commit-time checks that need no world
+// state, in Fabric's order.
+func (p *Peer) validateStateless(tx *ledger.Transaction) ledger.ValidationCode {
 	// 1. Client envelope signature.
 	if !tx.Creator.Verify(tx.SigningBytes(), tx.Signature) {
 		return ledger.BadCreatorSignature
@@ -226,8 +351,12 @@ func (p *Peer) validateTx(tx *ledger.Transaction, blockWrites map[string]bool) l
 	if err := p.policy.Evaluate(digest, tx.Endorsements); err != nil {
 		return ledger.EndorsementPolicyFailure
 	}
-	// 3. MVCC: every read version must still be current, and no earlier
-	// transaction in this block may have written a key this one read.
+	return ledger.Valid
+}
+
+// validateMVCC checks that every read version is still current and that no
+// earlier transaction in this block wrote a key this one read.
+func (p *Peer) validateMVCC(tx *ledger.Transaction, blockWrites map[string]bool) ledger.ValidationCode {
 	for _, r := range tx.RWSet.Reads {
 		if blockWrites[r.Namespace+"\x00"+r.Key] {
 			return ledger.MVCCConflict

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"socialchain/internal/chaincode"
 	"socialchain/internal/ledger"
 	"socialchain/internal/msp"
 )
@@ -71,6 +72,68 @@ func NewProposal(client *msp.Signer, channelID, ccName, fn string, args [][]byte
 
 // Verify checks the proposal's client signature.
 func (p *Proposal) Verify() bool {
+	return p.Creator.Verify(p.SigningBytes(), p.Signature)
+}
+
+// BatchProposal is a client's request that several chaincode calls be
+// executed on one simulator and endorsed as a single atomic envelope — the
+// coalesced endorsement unit of the ingest pipeline. Call i runs under
+// sub-transaction ID chaincode.SubTxID(TxID, i).
+type BatchProposal struct {
+	TxID      string                `json:"tx_id"`
+	ChannelID string                `json:"channel_id"`
+	Calls     []chaincode.BatchCall `json:"calls"`
+	Creator   msp.Identity          `json:"creator"`
+	Nonce     []byte                `json:"nonce"`
+	Timestamp time.Time             `json:"timestamp"`
+	Signature []byte                `json:"signature"`
+}
+
+// SigningBytes returns the canonical bytes a client signs for a batch.
+func (p *BatchProposal) SigningBytes() []byte {
+	h := sha256.New()
+	h.Write([]byte(p.TxID))
+	h.Write([]byte{0})
+	h.Write([]byte(p.ChannelID))
+	h.Write([]byte{0})
+	for _, c := range p.Calls {
+		h.Write([]byte(c.Chaincode))
+		h.Write([]byte{0})
+		h.Write([]byte(c.Fn))
+		h.Write([]byte{0})
+		for _, a := range c.Args {
+			ah := sha256.Sum256(a)
+			h.Write(ah[:])
+		}
+		h.Write([]byte{0xff})
+	}
+	h.Write(p.Nonce)
+	return h.Sum(nil)
+}
+
+// NewBatchProposal builds and signs a batch proposal.
+func NewBatchProposal(client *msp.Signer, channelID string, calls []chaincode.BatchCall, now time.Time) (*BatchProposal, error) {
+	if len(calls) == 0 {
+		return nil, fmt.Errorf("peer: empty batch proposal")
+	}
+	nonce := make([]byte, 24)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("peer: nonce: %w", err)
+	}
+	p := &BatchProposal{
+		TxID:      ledger.NewTxID(client.Identity, nonce),
+		ChannelID: channelID,
+		Calls:     calls,
+		Creator:   client.Identity,
+		Nonce:     nonce,
+		Timestamp: now,
+	}
+	p.Signature = client.Sign(p.SigningBytes())
+	return p, nil
+}
+
+// Verify checks the batch proposal's client signature.
+func (p *BatchProposal) Verify() bool {
 	return p.Creator.Verify(p.SigningBytes(), p.Signature)
 }
 

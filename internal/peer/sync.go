@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"socialchain/internal/ledger"
-	"socialchain/internal/statedb"
 )
 
 // The consensus layer delivers decided batches live; a peer that was
@@ -41,26 +40,17 @@ func (p *Peer) applySyncedBlock(b *ledger.Block) error {
 		return fmt.Errorf("peer %s: sync gap: got block %d at height %d", p.id, b.Header.Number, number)
 	}
 	// Re-validate every transaction against local state with the same
-	// rules the original commit used.
-	blockWrites := make(map[string]bool)
-	for i := range b.Txs {
-		tx := &b.Txs[i]
-		flag := p.validateTx(tx, blockWrites)
+	// rules (and the same parallel-stateless/serial-MVCC split) the
+	// original commit used; a flag disagreement aborts before any local
+	// state changes.
+	if _, err := p.validateAndApply(number, b.Txs, func(i int, flag ledger.ValidationCode) error {
 		if flag != b.Metadata.Flags[i] {
 			return fmt.Errorf("%w: block %d tx %d: local %s vs recorded %s",
 				ErrFlagMismatch, b.Header.Number, i, flag, b.Metadata.Flags[i])
 		}
-		if flag != ledger.Valid {
-			continue
-		}
-		batch := statedb.NewUpdateBatch()
-		batch.AddRWSetWrites(tx.RWSet)
-		v := statedb.Version{BlockNum: number, TxNum: uint64(i)}
-		p.state.ApplyUpdates(batch, v)
-		p.history.RecordBatch(batch, tx.ID, v, tx.Timestamp)
-		for _, w := range tx.RWSet.Writes {
-			blockWrites[w.Namespace+"\x00"+w.Key] = true
-		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	if err := p.ledger.Append(b); err != nil {
 		return fmt.Errorf("peer %s: sync append: %w", p.id, err)

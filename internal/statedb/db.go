@@ -127,6 +127,61 @@ func (db *DB) ApplyUpdates(batch *UpdateBatch, v Version) {
 	}
 }
 
+// TxUpdate pairs one transaction's update batch with its commit version,
+// the unit of the block-level apply below.
+type TxUpdate struct {
+	Batch   *UpdateBatch
+	Version Version
+}
+
+// ApplyBlock commits every valid transaction of one block in a single
+// engine pass: per-transaction batches are merged in block order (a later
+// transaction's write to the same key wins, matching sequential
+// ApplyUpdates), each surviving write keeps the version of the
+// transaction that produced it, and the secondary-index mutations are
+// derived once against pre-block state — intermediate intra-block values
+// never hit the engine, so old-value reads for index maintenance stay
+// correct. One ApplyBatch per engine (state, then indexes) replaces the
+// per-transaction lock round-trips of the serial commit path.
+func (db *DB) ApplyBlock(updates []TxUpdate) {
+	if len(updates) == 0 {
+		return
+	}
+	if len(updates) == 1 {
+		db.ApplyUpdates(updates[0].Batch, updates[0].Version)
+		return
+	}
+	merged := NewUpdateBatch()
+	versions := make(map[string]Version)
+	for _, u := range updates {
+		for ns, kvs := range u.Batch.updates {
+			for key, w := range kvs {
+				merged.stage(w)
+				versions[stateKey(ns, key)] = u.Version
+			}
+		}
+	}
+	var idxWrites []storage.Write
+	if db.idx != nil {
+		idxWrites = db.idx.batchWrites(db, merged)
+	}
+	writes := make([]storage.Write, 0, merged.Len())
+	for ns, kvs := range merged.updates {
+		for key, w := range kvs {
+			sk := stateKey(ns, key)
+			if w.IsDelete {
+				writes = append(writes, storage.Write{Key: sk, Delete: true})
+				continue
+			}
+			writes = append(writes, storage.Write{Key: sk, Value: encodeValue(w.Value, versions[sk])})
+		}
+	}
+	db.kv.ApplyBatch(writes)
+	if len(idxWrites) > 0 {
+		db.idx.kv.ApplyBatch(idxWrites)
+	}
+}
+
 // iterNamespace walks ns in ascending key order, calling fn with the bare
 // (un-prefixed) key; fn returning false stops the walk.
 func (db *DB) iterNamespace(ns, prefix string, fn func(key string, vv VersionedValue) bool) {
