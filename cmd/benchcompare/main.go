@@ -6,8 +6,8 @@
 //
 // Direction is inferred from the metric name: names ending in "_s" are
 // latencies (lower is better); names containing "speedup", "rate",
-// "ops" or "_x" are throughput-like (higher is better). A metric worse
-// than baseline by more than -threshold (default 0.20) is flagged.
+// "rps", "ops" or "_x" are throughput-like (higher is better). A metric
+// worse than baseline by more than -threshold (default 0.20) is flagged.
 //
 // By default regressions only warn (exit 0) — shared-runner benchmark
 // noise should not block merges; -strict exits 1 on any regression.
@@ -35,9 +35,12 @@ func loadMetrics(path string) (map[string]float64, error) {
 	return m, nil
 }
 
-// lowerIsBetter infers a metric's direction from its name.
+// lowerIsBetter infers a metric's direction from its name. "rps" is in
+// the list because the ingest/durability throughput metrics end in
+// "_rps" — without it a throughput regression would render as an
+// improvement and invert the gate.
 func lowerIsBetter(name string) bool {
-	for _, marker := range []string{"speedup", "rate", "ops", "_x"} {
+	for _, marker := range []string{"speedup", "rate", "rps", "ops", "_x"} {
 		if strings.Contains(name, marker) {
 			return false
 		}

@@ -14,13 +14,16 @@
 //	          serial fetch, payload cache on/off)
 //	ingest    ingest-pipeline ablation (serial vs batched endorsement vs
 //	          fully pipelined, -ingest-records records end to end)
+//	durability persist-engine ablation (WAL-backed commits vs in-memory,
+//	          recovery time, end-to-end durable-ingest overhead + a
+//	          kill/reopen resume check)
 //	all       everything above
 //
-// The -engine flag selects the world-state storage engine ("single" or
-// "sharded") for every framework the harness builds, so any figure can be
-// regenerated under either engine. -out FILE writes the scalar metrics the
-// figures record (currently the retrieval ablation) as a flat JSON map,
-// the artefact the CI bench job diffs against its committed baseline.
+// The -engine flag selects the world-state storage engine ("single",
+// "sharded" or "persist") for every framework the harness builds, so any
+// figure can be regenerated under any engine. -out FILE writes the scalar
+// metrics the figures record as a flat JSON map, the artefact the CI
+// bench job diffs against its committed baseline.
 //
 // Usage: benchharness [-fig all] [-samples 20] [-csv] [-engine sharded] [-out BENCH.json]
 package main
@@ -53,35 +56,36 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,storage,retrieval,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,storage,retrieval,ingest,durability,all")
 	samples := flag.Int("samples", 20, "measurements per point")
 	csv := flag.Bool("csv", false, "emit CSV series instead of tables")
 	seed := flag.Int64("seed", 1, "workload seed")
-	engine := flag.String("engine", string(storage.EngineSharded), "world-state storage engine: single or sharded")
+	engine := flag.String("engine", string(storage.EngineSharded), "world-state storage engine: single, sharded or persist")
 	out := flag.String("out", "", "write recorded scalar metrics as a JSON map to this file")
 	ingestRecords := flag.Int("ingest-records", 10000, "records per mode in the ingest ablation")
 	flag.Parse()
 
 	switch storage.Engine(*engine) {
-	case storage.EngineSingle, storage.EngineSharded:
+	case storage.EngineSingle, storage.EngineSharded, storage.EnginePersist:
 	default:
-		log.Fatalf("unknown engine %q (valid: %s, %s)", *engine, storage.EngineSingle, storage.EngineSharded)
+		log.Fatalf("unknown engine %q (valid: %s, %s, %s)", *engine, storage.EngineSingle, storage.EngineSharded, storage.EnginePersist)
 	}
 	h := &harness{samples: *samples, csv: *csv, seed: *seed, engine: storage.Engine(*engine), ingestRecords: *ingestRecords, metrics: make(map[string]float64)}
 	run := map[string]func() error{
-		"2":         h.figure2,
-		"3":         h.figure3,
-		"4":         h.figure4,
-		"5":         h.figure5,
-		"6":         h.figure6,
-		"bft":       h.bft,
-		"trust":     h.trust,
-		"scale":     h.scale,
-		"storage":   h.storage,
-		"retrieval": h.retrieval,
-		"ingest":    h.ingest,
+		"2":          h.figure2,
+		"3":          h.figure3,
+		"4":          h.figure4,
+		"5":          h.figure5,
+		"6":          h.figure6,
+		"bft":        h.bft,
+		"trust":      h.trust,
+		"scale":      h.scale,
+		"storage":    h.storage,
+		"retrieval":  h.retrieval,
+		"ingest":     h.ingest,
+		"durability": h.durability,
 	}
-	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage", "retrieval", "ingest"}
+	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage", "retrieval", "ingest", "durability"}
 	want := strings.Split(*fig, ",")
 	if *fig == "all" {
 		want = order
@@ -784,6 +788,193 @@ func (h *harness) ingest() error {
 	return nil
 }
 
+// durability measures what the WAL-backed persist engine costs and buys.
+//
+// Part A (micro, statedb-level): 10k records committed in 20-write
+// batches through the sharded engine and through persist; then the
+// persist statedb is closed and reopened, timing WAL replay recovery.
+//
+// Part B (end to end): the pipelined ingest workload runs twice on
+// identical frameworks — RAM-only vs fully durable (-data-dir: persist
+// world state, block logs, IPFS blockstores) — and the durable deployment
+// is then closed and reopened, verifying the chain resumes at the same
+// height and timing the full recovery.
+//
+// Recorded metrics: commit/ingest efficiency ratios (persist as a
+// fraction of in-memory, higher is better) and recovery latencies.
+func (h *harness) durability() error {
+	h.header("Ablation — durability (WAL-backed persist engine vs in-memory)")
+
+	// --- Part A: statedb commit overhead + recovery.
+	const (
+		keys      = 10000
+		batchKeys = 20
+	)
+	commitRate := func(cfg storage.Config) (float64, *statedb.DB, error) {
+		db, err := statedb.NewWith(cfg)
+		if err != nil {
+			return 0, nil, err
+		}
+		start := time.Now()
+		for base := 0; base < keys; base += batchKeys {
+			batch := statedb.NewUpdateBatch()
+			for i := base; i < base+batchKeys && i < keys; i++ {
+				batch.Put("data", fmt.Sprintf("rec/%06d", i),
+					[]byte(fmt.Sprintf(`{"label":"label-%02d","idx":%d}`, i%25, i)))
+			}
+			db.ApplyUpdates(batch, statedb.Version{BlockNum: uint64(base/batchKeys + 1)})
+		}
+		return float64(keys) / time.Since(start).Seconds(), db, nil
+	}
+	shardedRate, shardedDB, err := commitRate(storage.Config{Engine: storage.EngineSharded})
+	if err != nil {
+		return err
+	}
+	_ = shardedDB.Close()
+	persistDir, err := os.MkdirTemp("", "benchharness-durability-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(persistDir)
+	persistCfg := storage.Config{Engine: storage.EnginePersist, Dir: persistDir}
+	persistRate, persistDB, err := commitRate(persistCfg)
+	if err != nil {
+		return err
+	}
+	if err := persistDB.Close(); err != nil {
+		return err
+	}
+	start := time.Now()
+	reopened, err := statedb.NewWith(persistCfg)
+	if err != nil {
+		return err
+	}
+	stateReopenS := time.Since(start).Seconds()
+	if got := reopened.Keys("data"); got != keys {
+		return fmt.Errorf("durability: recovered %d keys, want %d", got, keys)
+	}
+	if err := reopened.Close(); err != nil {
+		return err
+	}
+	h.record("durability_commit_sharded_ops", shardedRate)
+	h.record("durability_commit_persist_ops", persistRate)
+	h.record("durability_commit_efficiency_x", persistRate/shardedRate)
+	h.record("durability_state_reopen_s", stateReopenS)
+
+	// --- Part B: end-to-end durable ingest + kill/reopen resume.
+	records := h.ingestRecords / 4
+	if records < 100 {
+		records = 100
+	}
+	e2e := func(dataDir string) (float64, *core.Framework, error) {
+		rng := sim.NewRNG(h.seed)
+		fw, err := core.New(core.Config{
+			Fabric: fabric.Config{
+				NumPeers: 4,
+				Cutter:   ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 2 * time.Millisecond},
+				Latency:  sim.LANLatency(rng),
+			},
+			IPFSNodes:   2,
+			IPFSLatency: sim.LANLatency(rng.Fork()),
+			DataDir:     dataDir,
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		cam, err := msp.NewSigner("city", "durability-cam", msp.RoleTrustedSource)
+		if err != nil {
+			fw.Close()
+			return 0, nil, err
+		}
+		if err := fw.RegisterSource(cam.Identity, true); err != nil {
+			fw.Close()
+			return 0, nil, err
+		}
+		client := fw.Client(cam, 0)
+		det := detect.NewDetector(h.seed)
+		frameRNG := sim.NewRNG(h.seed + 7)
+		recs := make([]ingest.Record, records)
+		for i := range recs {
+			frame, meta := frameOfSize(frameRNG, det, 4*1024, i)
+			recs[i] = ingest.Record{Signed: msp.NewSignedMessage(cam, frame.Data), Meta: meta}
+		}
+		pipe := client.Pipeline(ingest.Config{
+			Mode: ingest.ModePipelined, BatchSize: 100, AddWorkers: 8, MaxInFlight: 1,
+			FlushInterval: 250 * time.Millisecond,
+		})
+		results := pipe.Run(recs)
+		for _, r := range results {
+			if r.Err != nil {
+				fw.Close()
+				return 0, nil, fmt.Errorf("durability ingest record %d: %w", r.Index, r.Err)
+			}
+		}
+		return pipe.Stats().Throughput(), fw, nil
+	}
+
+	memRPS, memFW, err := e2e("")
+	if err != nil {
+		return err
+	}
+	memFW.Close()
+	e2eDir, err := os.MkdirTemp("", "benchharness-durability-e2e-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(e2eDir)
+	persistRPS, durableFW, err := e2e(e2eDir)
+	if err != nil {
+		return err
+	}
+	heightBefore := durableFW.LedgerStats().Height
+	durableFW.Close()
+	if err := durableFW.CloseErr(); err != nil {
+		return fmt.Errorf("durability: close durable framework: %w", err)
+	}
+	start = time.Now()
+	resumed, err := core.New(core.Config{
+		Fabric: fabric.Config{
+			NumPeers: 4,
+			Cutter:   ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 2 * time.Millisecond},
+		},
+		IPFSNodes: 2,
+		DataDir:   e2eDir,
+	})
+	if err != nil {
+		return fmt.Errorf("durability: reopen: %w", err)
+	}
+	e2eReopenS := time.Since(start).Seconds()
+	resumedHeight := resumed.LedgerStats().Height
+	resumed.Close()
+	if resumedHeight < heightBefore {
+		return fmt.Errorf("durability: resumed at height %d, had %d before the restart", resumedHeight, heightBefore)
+	}
+	h.record("durability_mem_ingest_rps", memRPS)
+	h.record("durability_persist_ingest_rps", persistRPS)
+	h.record("durability_ingest_efficiency_x", persistRPS/memRPS)
+	h.record("durability_e2e_reopen_s", e2eReopenS)
+
+	if h.csv {
+		s := &metrics.Series{Label: "durability_rps"} // x: 0=mem 1=persist
+		s.Append(0, memRPS)
+		s.Append(1, persistRPS)
+		s.WriteCSV(os.Stdout)
+		return nil
+	}
+	ct := metrics.NewTable("statedb commit (10k records, 20-write batches)", "records_per_s", "vs_sharded")
+	ct.AddRow("sharded (RAM)", shardedRate, 1.0)
+	ct.AddRow("persist (WAL)", persistRate, persistRate/shardedRate)
+	ct.Render(os.Stdout)
+	fmt.Printf("\nstatedb recovery (WAL replay, 10k keys): %.4fs\n\n", stateReopenS)
+	et := metrics.NewTable(fmt.Sprintf("e2e pipelined ingest (%d records)", records), "records_per_s", "vs_memory")
+	et.AddRow("in-memory deployment", memRPS, 1.0)
+	et.AddRow("durable deployment (-data-dir)", persistRPS, persistRPS/memRPS)
+	et.Render(os.Stdout)
+	fmt.Printf("\ne2e restart: closed at height %d, resumed at height %d in %.3fs\n",
+		heightBefore, resumedHeight, e2eReopenS)
+	return nil
+}
+
 // storage compares the world-state engines directly: sequential and
 // parallel mixed read/commit throughput over a seeded statedb, the
 // microbenchmark behind the internal/storage engine choice. Parallel rows
@@ -799,7 +990,10 @@ func (h *harness) storage() error {
 		recKeys[i] = fmt.Sprintf("rec/%06d", i)
 	}
 	seedDB := func(cfg storage.Config) *statedb.DB {
-		db := statedb.NewWith(cfg)
+		db, err := statedb.NewWith(cfg)
+		if err != nil {
+			log.Fatalf("open statedb: %v", err)
+		}
 		batch := statedb.NewUpdateBatch()
 		for i, k := range recKeys {
 			batch.Put("data", k, []byte(fmt.Sprintf(`{"label":"car","idx":%d}`, i)))

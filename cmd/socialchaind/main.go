@@ -10,9 +10,16 @@
 // overlapped commit) and the daemon reports the achieved write
 // throughput beside the round-based statistics.
 //
+// With -data-dir DIR the deployment is durable: peers keep WAL-backed
+// world state and a block log under DIR, and the IPFS cluster's
+// blockstores persist beside them. Kill the process, run it again with
+// the same -data-dir, and it resumes from the recovered chain instead of
+// starting empty.
+//
 // Usage: socialchaind [-peers 4] [-ipfs 2] [-cameras 3] [-crowd 3]
 // [-rounds 10] [-byzantine 0] [-bad-crowd-fraction 0.3]
 // [-bulk 0] [-bulk-mode pipelined] [-bulk-batch 32] [-bulk-workers 8]
+// [-data-dir DIR]
 package main
 
 import (
@@ -50,10 +57,11 @@ func main() {
 	bulkMode := flag.String("bulk-mode", "pipelined", "bulk ingest mode: serial, batched or pipelined")
 	bulkBatch := flag.Int("bulk-batch", 32, "records per bulk-ingest envelope")
 	bulkWorkers := flag.Int("bulk-workers", 8, "bulk-ingest IPFS-add workers")
+	dataDir := flag.String("data-dir", "", "persist peers, block logs and IPFS stores under this directory; a restart resumes from it")
 	flag.Parse()
 
 	if err := run(*peers, *ipfsNodes, *cameras, *crowd, *rounds, *byzantine, *badFraction, *seed,
-		bulkConfig{records: *bulk, mode: *bulkMode, batch: *bulkBatch, workers: *bulkWorkers}); err != nil {
+		bulkConfig{records: *bulk, mode: *bulkMode, batch: *bulkBatch, workers: *bulkWorkers}, *dataDir); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -65,7 +73,7 @@ type bulkConfig struct {
 	workers int
 }
 
-func run(peers, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction float64, seed int64, bulk bulkConfig) error {
+func run(peers, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction float64, seed int64, bulk bulkConfig, dataDir string) error {
 	behaviors := map[int]consensus.Behavior{}
 	for i := 0; i < byzantine; i++ {
 		behaviors[i+1] = consensus.Silent{}
@@ -78,6 +86,7 @@ func run(peers, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction fl
 			ConsensusTimeout: time.Second,
 		},
 		IPFSNodes: ipfsNodes,
+		DataDir:   dataDir,
 	})
 	if err != nil {
 		return err
@@ -85,6 +94,11 @@ func run(peers, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction fl
 	defer fw.Close()
 	fmt.Printf("network up: %d peers (%d byzantine), %d IPFS nodes, chaincodes deployed\n",
 		peers, byzantine, ipfsNodes)
+	if dataDir != "" {
+		boot := fw.LedgerStats()
+		fmt.Printf("durable deployment at %s: recovered chain height %d (%d txs)\n",
+			dataDir, boot.Height, boot.TotalTxs)
+	}
 
 	rng := sim.NewRNG(seed)
 	det := detect.NewDetector(seed)

@@ -24,6 +24,7 @@ type ingestConfig struct {
 	inflight    int
 	peers       int
 	engine      string
+	dataDir     string
 	seed        int64
 }
 
@@ -44,6 +45,7 @@ func runIngest(cfg ingestConfig) error {
 		},
 		IPFSNodes:     2,
 		StorageEngine: storage.Engine(cfg.engine),
+		DataDir:       cfg.dataDir,
 	})
 	if err != nil {
 		return err
@@ -59,6 +61,10 @@ func runIngest(cfg ingestConfig) error {
 	client := fw.Client(cam, 0)
 	fmt.Printf("network up: %d peers, 2 IPFS nodes; ingest mode=%s records=%d batch=%d workers=%d inflight=%d\n",
 		cfg.peers, mode, cfg.records, cfg.batch, cfg.concurrency, cfg.inflight)
+	if cfg.dataDir != "" {
+		boot := fw.LedgerStats()
+		fmt.Printf("durable deployment at %s: recovered chain height %d (%d txs)\n", cfg.dataDir, boot.Height, boot.TotalTxs)
+	}
 
 	// Pre-generate the records so generation cost stays out of the
 	// measured window.

@@ -13,7 +13,8 @@
 // Usage: trafficgen [-videos 52] [-frames 20] [-drones 12] [-seed 1]
 // [-dump-metadata] [-limit 5]
 // [-ingest serial|batched|pipelined] [-records 200] [-rate 0]
-// [-concurrency 8] [-batch 32] [-inflight 2] [-peers 4] [-engine sharded]
+// [-concurrency 8] [-batch 32] [-inflight 2] [-peers 4]
+// [-engine single|sharded|persist] [-data-dir DIR]
 package main
 
 import (
@@ -45,7 +46,8 @@ func main() {
 	// rounds on MVCC conflicts (see DESIGN.md).
 	inflight := flag.Int("inflight", 1, "batches in flight")
 	peers := flag.Int("peers", 4, "blockchain peers (with -ingest)")
-	engine := flag.String("engine", "", "world-state storage engine: single or sharded")
+	engine := flag.String("engine", "", "world-state storage engine: single, sharded or persist")
+	dataDir := flag.String("data-dir", "", "persist peers, block logs and IPFS stores under this directory; a restarted -ingest run resumes from it")
 	flag.Parse()
 
 	if *ingestMode != "" {
@@ -58,6 +60,7 @@ func main() {
 			inflight:    *inflight,
 			peers:       *peers,
 			engine:      *engine,
+			dataDir:     *dataDir,
 			seed:        *seed,
 		}); err != nil {
 			log.Fatal(err)

@@ -48,6 +48,13 @@ func equivalenceSeed(t *testing.T) int64 {
 
 func newEquivFramework(t *testing.T, engine storage.Engine) (*core.Framework, *core.Client, *msp.Signer) {
 	t.Helper()
+	// The persist engine runs as a fully durable deployment over a fresh
+	// scratch directory, so the cross-engine comparison also proves the
+	// WAL-backed write path changes nothing observable.
+	dataDir := ""
+	if engine == storage.EnginePersist {
+		dataDir = t.TempDir()
+	}
 	fw, err := core.New(core.Config{
 		Fabric: fabric.Config{
 			NumPeers: 4,
@@ -55,6 +62,7 @@ func newEquivFramework(t *testing.T, engine storage.Engine) (*core.Framework, *c
 		},
 		IPFSNodes:     2,
 		StorageEngine: engine,
+		DataDir:       dataDir,
 	})
 	if err != nil {
 		t.Fatalf("core.New(%s): %v", engine, err)
@@ -190,8 +198,9 @@ func checkProvenanceChain(t *testing.T, fw *core.Framework, gw *fabric.Gateway, 
 }
 
 // TestIntegrationIngestEquivalence is the randomized serial-vs-pipelined
-// equivalence gate, run under both storage engines; the four runs must
-// all agree on canonical state.
+// equivalence gate, run under all three storage engines (the persist legs
+// as a durable deployment); the six runs must all agree on canonical
+// state.
 func TestIntegrationIngestEquivalence(t *testing.T) {
 	seed := equivalenceSeed(t)
 	t.Logf("equivalence seed %d (pin with SOCIALCHAIN_EQUIV_SEED)", seed)
@@ -200,7 +209,7 @@ func TestIntegrationIngestEquivalence(t *testing.T) {
 
 	var canonical [][]byte
 	var indexCanon []string
-	for _, engine := range []storage.Engine{storage.EngineSingle, storage.EngineSharded} {
+	for _, engine := range []storage.Engine{storage.EngineSingle, storage.EngineSharded, storage.EnginePersist} {
 		for _, mode := range []string{"serial-loop", "pipelined"} {
 			t.Run(string(engine)+"/"+mode, func(t *testing.T) {
 				fw, client, cam := newEquivFramework(t, engine)

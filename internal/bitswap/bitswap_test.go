@@ -170,6 +170,8 @@ func (*lyingStore) Delete(cid.Cid) error { return nil }
 func (*lyingStore) AllKeys() []cid.Cid   { return nil }
 func (*lyingStore) Len() int             { return 0 }
 func (*lyingStore) SizeBytes() uint64    { return 0 }
+func (*lyingStore) Sync() error          { return nil }
+func (*lyingStore) Close() error         { return nil }
 
 var _ blockstore.Blockstore = (*lyingStore)(nil)
 

@@ -38,24 +38,55 @@ type Blockstore interface {
 	AllKeys() []cid.Cid
 	Len() int
 	SizeBytes() uint64
+	// Sync flushes to stable storage; Close releases the store. No-ops for
+	// in-memory engines.
+	Sync() error
+	Close() error
 }
 
-// Mem is an in-memory Blockstore safe for concurrent use, layered over a
-// storage.KV engine.
+// Mem is a Blockstore safe for concurrent use, layered over a storage.KV
+// engine — in-memory on the default engines, disk-backed (and
+// restart-surviving) on the persist engine.
 type Mem struct {
 	kv    storage.KV
 	bytes atomic.Int64
 }
 
-// NewMem returns an empty blockstore on the default (sharded) engine.
+// NewMem returns an empty blockstore on the default (sharded) engine. It
+// panics if the default engine cannot open (broken env override).
 func NewMem() *Mem {
-	return NewMemWith(storage.Config{})
+	m, err := NewMemWith(storage.Config{})
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
-// NewMemWith returns an empty blockstore on the engine cfg selects.
-func NewMemWith(cfg storage.Config) *Mem {
-	return &Mem{kv: storage.Open(cfg)}
+// NewMemWith returns a blockstore on the engine cfg selects, reopening
+// whatever a durable config's directory already holds; the total-bytes
+// counter is rebuilt from the recovered blocks.
+func NewMemWith(cfg storage.Config) (*Mem, error) {
+	kv, err := storage.Open(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: %w", err)
+	}
+	m := &Mem{kv: kv}
+	if kv.Len() > 0 {
+		var total int64
+		kv.IterPrefix("", func(_ string, v []byte) bool {
+			total += int64(len(v))
+			return true
+		})
+		m.bytes.Store(total)
+	}
+	return m, nil
 }
+
+// Sync implements Blockstore.
+func (m *Mem) Sync() error { return m.kv.Sync() }
+
+// Close implements Blockstore.
+func (m *Mem) Close() error { return m.kv.Close() }
 
 // blockKey is the engine key of a block: the CID's binary form, whose
 // lexical order equals cid.Cid.Less order, keeping AllKeys deterministic.

@@ -2,6 +2,7 @@ package blockstore
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sync"
 
 	"socialchain/internal/cid"
@@ -18,10 +19,31 @@ type Pinner struct {
 	kv storage.KV
 }
 
-// NewPinner returns an empty pin set on the default engine.
+// NewPinner returns an empty pin set on the default engine. It panics if
+// the default engine cannot open (broken env override).
 func NewPinner() *Pinner {
-	return &Pinner{kv: storage.Open(storage.Config{})}
+	p, err := NewPinnerWith(storage.Config{})
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
+
+// NewPinnerWith returns a pin set on the engine cfg selects, reopening a
+// durable config's existing pins.
+func NewPinnerWith(cfg storage.Config) (*Pinner, error) {
+	kv, err := storage.Open(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: pinner: %w", err)
+	}
+	return &Pinner{kv: kv}, nil
+}
+
+// Sync flushes the pin set to stable storage.
+func (p *Pinner) Sync() error { return p.kv.Sync() }
+
+// Close releases the pin set's engine.
+func (p *Pinner) Close() error { return p.kv.Close() }
 
 func pinCount(buf []byte, ok bool) uint64 {
 	if !ok || len(buf) != 8 {

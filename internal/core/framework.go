@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -52,10 +53,20 @@ type Config struct {
 	AdminOrg  string
 	AdminName string
 	// StorageEngine selects the key-value engine behind every peer's world
-	// state ("single" or "sharded"; default sharded). It is copied into
-	// Fabric.StateEngine unless that field is already set, giving
-	// benchmarks one knob for engine comparisons.
+	// state ("single", "sharded" or "persist"; default sharded). It is
+	// copied into Fabric.StateEngine unless that field is already set,
+	// giving benchmarks one knob for engine comparisons.
 	StorageEngine storage.Engine
+	// DataDir, when non-empty, makes the whole deployment durable: peers
+	// persist under DataDir/fabric (world state + block logs) and the IPFS
+	// cluster's blockstores and pin sets under DataDir/ipfs. Building a
+	// framework over a directory with previous data recovers it — peers
+	// replay their block logs, lagging peers sync from the freshest, IPFS
+	// nodes re-announce recovered content — and the bootstrap
+	// (admin enrollment, trust parameters) is skipped when the recovered
+	// chain already carries it. A killed and restarted deployment therefore
+	// resumes with its canonical state intact.
+	DataDir string
 }
 
 func (c *Config) fill() {
@@ -80,6 +91,9 @@ func (c *Config) fill() {
 	if c.Fabric.StateIndexes == nil {
 		c.Fabric.StateIndexes = contracts.DataIndexes()
 	}
+	if c.DataDir != "" && c.Fabric.DataDir == "" {
+		c.Fabric.DataDir = filepath.Join(c.DataDir, "fabric")
+	}
 }
 
 // Framework is a running instance of the paper's system.
@@ -89,7 +103,8 @@ type Framework struct {
 	Cluster *ipfs.Cluster
 	Admin   *msp.Signer
 
-	adminGW *fabric.Gateway
+	adminGW  *fabric.Gateway
+	closeErr error
 
 	anomalyMu sync.Mutex
 	anomaly   map[string]*trust.AnomalyDetector
@@ -109,16 +124,24 @@ func New(cfg Config) (*Framework, error) {
 			return nil, fmt.Errorf("core: deploy %s: %w", cc.Name(), err)
 		}
 	}
+	ipfsDir := ""
+	if cfg.DataDir != "" {
+		ipfsDir = filepath.Join(cfg.DataDir, "ipfs")
+	}
 	cluster, err := ipfs.NewCluster(ipfs.ClusterConfig{
 		Nodes:       cfg.IPFSNodes,
 		Latency:     cfg.IPFSLatency,
 		NodeOptions: cfg.IPFSOptions,
+		DataDir:     ipfsDir,
 	})
 	if err != nil {
+		net.Close()
 		return nil, fmt.Errorf("core: ipfs: %w", err)
 	}
 	admin, err := msp.NewSigner(cfg.AdminOrg, cfg.AdminName, msp.RoleAdmin)
 	if err != nil {
+		net.Close()
+		cluster.Close()
 		return nil, fmt.Errorf("core: admin signer: %w", err)
 	}
 	fw := &Framework{
@@ -131,39 +154,72 @@ func New(cfg Config) (*Framework, error) {
 	net.Start()
 	fw.adminGW = net.Gateway(admin)
 
-	// Bootstrap: enroll the admin and install trust parameters.
-	if res, err := fw.adminGW.Submit(contracts.AdminCC, "enrollAdmin", []byte(admin.Identity.ID())); err != nil {
-		net.Stop()
-		return nil, fmt.Errorf("core: enroll admin: %w", err)
-	} else if res.Err() != nil {
-		net.Stop()
-		return nil, fmt.Errorf("core: enroll admin: %w", res.Err())
+	// Bootstrap: enroll the admin and install trust parameters. On a
+	// recovered durable deployment the enrollment is skipped when the
+	// chain already carries it (enrollAdmin rejects duplicates), but
+	// initParams always runs — it is an idempotent overwrite, and gating
+	// it on the *first* bootstrap step would silently leave default trust
+	// parameters if a crash landed between the two transactions.
+	enrolled := false
+	if cfg.DataDir != "" {
+		if raw, err := fw.adminGW.Evaluate(contracts.AdminCC, "adminExists", []byte(admin.Identity.ID())); err == nil && string(raw) == "true" {
+			enrolled = true
+		}
+	}
+	if !enrolled {
+		if res, err := fw.adminGW.Submit(contracts.AdminCC, "enrollAdmin", []byte(admin.Identity.ID())); err != nil {
+			fw.Close()
+			return nil, fmt.Errorf("core: enroll admin: %w", err)
+		} else if res.Err() != nil {
+			fw.Close()
+			return nil, fmt.Errorf("core: enroll admin: %w", res.Err())
+		}
 	}
 	params, err := json.Marshal(cfg.TrustParams)
 	if err != nil {
-		net.Stop()
+		fw.Close()
 		return nil, err
 	}
 	if res, err := fw.adminGW.Submit(contracts.TrustCC, "initParams", params); err != nil {
-		net.Stop()
+		fw.Close()
 		return nil, fmt.Errorf("core: init trust params: %w", err)
 	} else if res.Err() != nil {
-		net.Stop()
+		fw.Close()
 		return nil, fmt.Errorf("core: init trust params: %w", res.Err())
 	}
 	return fw, nil
 }
 
-// Close shuts the framework down.
-func (f *Framework) Close() { f.Net.Stop() }
+// Close shuts the framework down, flushing and closing every durable
+// store (peer state, block logs, IPFS blockstores). A durable deployment
+// must be closed before its DataDir is reopened; close errors are
+// retrievable via CloseErr.
+func (f *Framework) Close() {
+	err := f.Net.Close()
+	if cerr := f.Cluster.Close(); err == nil {
+		err = cerr
+	}
+	f.closeErr = err
+}
+
+// CloseErr reports the first error the last Close encountered (nil before
+// Close and after a clean one).
+func (f *Framework) CloseErr() error { return f.closeErr }
 
 // AdminGateway returns the bootstrap admin's gateway.
 func (f *Framework) AdminGateway() *fabric.Gateway { return f.adminGW }
 
 // RegisterSource registers a data source on-chain. Trusted sources (traffic
 // cameras, drones) bypass the trust gate; untrusted sources (mobile users,
-// social media) are scored.
+// social media) are scored. Re-registering an already-registered source ID
+// is a no-op: a restarted durable deployment re-runs its setup and the
+// chain's registration (keyed by source ID) must win.
 func (f *Framework) RegisterSource(id msp.Identity, trusted bool) error {
+	if f.cfg.DataDir != "" {
+		if raw, err := f.adminGW.Evaluate(contracts.UsersCC, "userExists", []byte(id.ID())); err == nil && string(raw) == "true" {
+			return nil
+		}
+	}
 	role := "untrusted-source"
 	if trusted {
 		role = "trusted-source"

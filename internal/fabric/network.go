@@ -7,6 +7,7 @@ package fabric
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,12 +49,21 @@ type Config struct {
 	// CommitTimeout bounds how long a Submit waits for commit (default 30s).
 	CommitTimeout time.Duration
 	// StateEngine selects the key-value engine behind every peer's world
-	// state and history ("single" or "sharded"; default sharded). The
-	// single-lock engine is the seed's behaviour, kept for determinism
-	// baselines and engine-comparison benchmarks.
+	// state and history ("single", "sharded" or "persist"; default
+	// sharded). The single-lock engine is the seed's behaviour, kept for
+	// determinism baselines and engine-comparison benchmarks; the persist
+	// engine is WAL-backed and survives restarts. Unknown names fail
+	// network construction.
 	StateEngine storage.Engine
 	// StateShards overrides the sharded engine's stripe count (default 16).
 	StateShards int
+	// DataDir, when non-empty, makes every peer durable: peer i keeps its
+	// state engines and block log under DataDir/peer<i> (forcing the
+	// persist engine regardless of StateEngine). Building a network over a
+	// directory with previous data recovers each peer from its block log
+	// and then syncs any peer whose log missed the tail from the freshest
+	// recovered peer, before consensus starts.
+	DataDir string
 	// StateIndexes declares the secondary indexes every peer's world state
 	// maintains (nil = none). All peers get the same list — index reads
 	// feed endorsement results.
@@ -148,6 +158,10 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 
 	for i := 0; i < cfg.NumPeers; i++ {
+		dataDir := ""
+		if cfg.DataDir != "" {
+			dataDir = filepath.Join(cfg.DataDir, ids[i])
+		}
 		p, err := peer.New(peer.Config{
 			ID:        ids[i],
 			ChannelID: cfg.ChannelID,
@@ -156,12 +170,23 @@ func NewNetwork(cfg Config) (*Network, error) {
 			Policy:    n.policy,
 			Watchdog:  n.watchdog,
 			State:     storage.Config{Engine: cfg.StateEngine, Shards: cfg.StateShards},
+			DataDir:   dataDir,
 			Indexes:   cfg.StateIndexes,
 		})
 		if err != nil {
+			n.closePeers()
 			return nil, err
 		}
 		n.peers = append(n.peers, p)
+	}
+	if cfg.DataDir != "" {
+		// Recovered peers whose block log missed the tail (killed before
+		// the last blocks were logged) catch up from the freshest peer now,
+		// so consensus starts from one height everywhere.
+		if err := n.syncRecoveredPeers(); err != nil {
+			n.closePeers()
+			return nil, err
+		}
 	}
 
 	for i := 0; i < cfg.NumPeers; i++ {
@@ -208,7 +233,8 @@ func (n *Network) Start() {
 	}
 }
 
-// Stop shuts the network down.
+// Stop shuts the network down (consensus and ordering only; peers'
+// durable stores stay open — see Close).
 func (n *Network) Stop() {
 	n.mu.Lock()
 	if !n.started {
@@ -223,6 +249,45 @@ func (n *Network) Stop() {
 	for _, v := range n.validators {
 		v.Stop()
 	}
+}
+
+// Close stops the network and flushes + closes every peer's durable
+// stores, returning the first close error. A durable deployment must
+// Close (not just Stop) before its data directory is reopened.
+func (n *Network) Close() error {
+	n.Stop()
+	return n.closePeers()
+}
+
+// closePeers closes every constructed peer, returning the first error.
+func (n *Network) closePeers() error {
+	var first error
+	for _, p := range n.peers {
+		if err := p.Close(); first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// syncRecoveredPeers brings every peer up to the freshest recovered
+// height through the validating SyncFrom path.
+func (n *Network) syncRecoveredPeers() error {
+	var freshest *peer.Peer
+	for _, p := range n.peers {
+		if freshest == nil || p.Ledger().Height() > freshest.Ledger().Height() {
+			freshest = p
+		}
+	}
+	for _, p := range n.peers {
+		if p == freshest || p.Ledger().Height() >= freshest.Ledger().Height() {
+			continue
+		}
+		if _, err := p.SyncFrom(freshest); err != nil {
+			return fmt.Errorf("fabric: recovery sync %s from %s: %w", p.ID(), freshest.ID(), err)
+		}
+	}
+	return nil
 }
 
 // Deploy registers a chaincode on every peer (they share the registry).

@@ -2,11 +2,13 @@ package ipfs
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"socialchain/internal/bitswap"
 	"socialchain/internal/blockstore"
 	"socialchain/internal/dht"
 	"socialchain/internal/sim"
+	"socialchain/internal/storage"
 )
 
 // Cluster is a set of IPFS nodes sharing one DHT and bitswap network. The
@@ -28,6 +30,13 @@ type ClusterConfig struct {
 	Clock sim.Clock
 	// NodeOptions apply to every node.
 	NodeOptions Options
+	// DataDir, when non-empty, makes every node's blockstore and pin set
+	// durable: node i persists under DataDir/ipfs-<i> (blocks + pins
+	// sub-directories). Reopening the same directory recovers the stored
+	// blocks, and each node re-announces its pinned roots to the DHT so
+	// recovered content is discoverable again (provider records are
+	// in-memory network state, not storage).
+	DataDir string
 }
 
 // NewCluster builds and bootstraps a connected cluster.
@@ -41,12 +50,28 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		name := fmt.Sprintf("ipfs-%d", i)
-		bs := blockstore.NewMem()
+		blockCfg, pinCfg := storage.Config{}, storage.Config{}
+		if cfg.DataDir != "" {
+			nodeDir := filepath.Join(cfg.DataDir, name)
+			blockCfg = storage.Config{Engine: storage.EnginePersist, Dir: filepath.Join(nodeDir, "blocks")}
+			pinCfg = storage.Config{Engine: storage.EnginePersist, Dir: filepath.Join(nodeDir, "pins")}
+		}
+		bs, err := blockstore.NewMemWith(blockCfg)
+		if err != nil {
+			c.Close() // release the nodes already constructed
+			return nil, fmt.Errorf("ipfs: node %s: %w", name, err)
+		}
+		pin, err := blockstore.NewPinnerWith(pinCfg)
+		if err != nil {
+			bs.Close()
+			c.Close()
+			return nil, fmt.Errorf("ipfs: node %s: %w", name, err)
+		}
 		node := &Node{
 			name: name,
 			opts: cfg.NodeOptions,
 			bs:   bs,
-			pin:  blockstore.NewPinner(),
+			pin:  pin,
 			dht:  c.dhtNet.NewNode(name),
 			bw:   c.swapNet.NewEngine(name, bs),
 		}
@@ -61,6 +86,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	for _, n := range c.nodes {
 		n.dht.IterativeFindNode(n.dht.ID())
 	}
+	if cfg.DataDir != "" {
+		// Recovered nodes re-announce what they already hold.
+		for _, n := range c.nodes {
+			if err := n.Reprovide(); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("ipfs: %s reprovide: %w", n.name, err)
+			}
+		}
+	}
 	return c, nil
 }
 
@@ -72,3 +106,15 @@ func (c *Cluster) Nodes() []*Node { return c.nodes }
 
 // Size returns the number of nodes.
 func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Close flushes and closes every node's stores (no-ops for in-memory
+// clusters), returning the first error.
+func (c *Cluster) Close() error {
+	var first error
+	for _, n := range c.nodes {
+		if err := n.Close(); first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -258,6 +258,27 @@ func (n *Node) fetchDAG(root cid.Cid) (map[cid.Cid]*dag.Node, error) {
 	return nodes, nil
 }
 
+// Reprovide announces every pinned root to the DHT — the recovery step
+// after reopening a durable blockstore, whose provider records (in-memory
+// network state) died with the previous process.
+func (n *Node) Reprovide() error {
+	for _, root := range n.pin.Roots() {
+		if err := n.dht.Provide(root); err != nil {
+			return fmt.Errorf("ipfs: provide %s: %w", root, err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the node's blockstore and pin set.
+func (n *Node) Close() error {
+	err := n.bs.Close()
+	if perr := n.pin.Close(); err == nil {
+		err = perr
+	}
+	return err
+}
+
 // Pin marks root as protected from GC.
 func (n *Node) Pin(root cid.Cid) { n.pin.Pin(root) }
 

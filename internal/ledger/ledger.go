@@ -44,11 +44,9 @@ func (l *Ledger) TipHash() [32]byte {
 	return l.blocks[len(l.blocks)-1].Header.Hash()
 }
 
-// Append commits a block after structural validation: the block number must
-// equal the current height and PrevHash must reference the tip.
-func (l *Ledger) Append(b *Block) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+// verifyNextLocked runs the structural checks Append enforces. Caller
+// holds at least a read lock.
+func (l *Ledger) verifyNextLocked(b *Block) error {
 	height := uint64(len(l.blocks))
 	if b.Header.Number != height {
 		return fmt.Errorf("ledger: block number %d != expected height %d", b.Header.Number, height)
@@ -65,6 +63,27 @@ func (l *Ledger) Append(b *Block) error {
 	}
 	if len(b.Metadata.Flags) != len(b.Txs) {
 		return fmt.Errorf("ledger: block %d has %d flags for %d txs", b.Header.Number, len(b.Metadata.Flags), len(b.Txs))
+	}
+	return nil
+}
+
+// VerifyNext checks that b would be accepted as the next block — correct
+// number, prev-hash linkage, data hash, flag count — without committing
+// it. Durable committers call this before writing b to the block log so a
+// malformed block can never poison the persisted chain.
+func (l *Ledger) VerifyNext(b *Block) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.verifyNextLocked(b)
+}
+
+// Append commits a block after structural validation: the block number must
+// equal the current height and PrevHash must reference the tip.
+func (l *Ledger) Append(b *Block) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.verifyNextLocked(b); err != nil {
+		return err
 	}
 	l.blocks = append(l.blocks, b)
 	for i := range b.Txs {

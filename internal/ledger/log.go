@@ -1,0 +1,147 @@
+package ledger
+
+// The block log is the chain's durable spine: every block a peer commits
+// is appended here BEFORE its write sets touch the state engines, so a
+// crash-recovering peer can replay the exact committed sequence through
+// the same validate-then-commit path a live delivery takes. The format is
+// deliberately independent of the state engines — one CRC-framed JSON
+// record per block — so an operator can also audit a chain with nothing
+// but this file.
+//
+// Record framing (internal/walframe, shared with the storage WAL):
+//
+//	[4B big-endian payload length][4B IEEE CRC32 of payload][payload JSON]
+//
+// A torn tail — a partial record where the process died mid-append — is
+// detected on open and truncated; every fully-appended block is
+// recovered. Corruption before the tail (any CRC-valid record found
+// after the damage) is a hard error: committed blocks are never
+// silently destroyed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"socialchain/internal/walframe"
+)
+
+// Log is an append-only, crash-tolerant file of committed blocks.
+type Log struct {
+	f      *os.File
+	path   string
+	blocks []*Block // blocks recovered at open, handed out once
+	next   uint64   // number the next appended block must carry
+	buf    []byte
+	err    error // sticky append failure: a torn frame may be on disk
+}
+
+// OpenLog opens (or creates) the block log at path, recovering every
+// fully-committed block and truncating a torn tail. The recovered blocks
+// are validated as a chain prefix (contiguous numbering from 0) and
+// retrievable once via Blocks.
+func OpenLog(path string) (*Log, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: log dir: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("ledger: read log: %w", err)
+	}
+	l := &Log{path: path}
+	good := 0
+	for off := 0; off < len(data); {
+		payload, next, perr := walframe.Next(data, off)
+		if perr != nil {
+			break // torn (or corrupt) record; discriminated below
+		}
+		var b Block
+		if err := json.Unmarshal(payload, &b); err != nil {
+			return nil, fmt.Errorf("ledger: log record %d undecodable: %w", len(l.blocks), err)
+		}
+		if b.Header.Number != l.next {
+			return nil, fmt.Errorf("ledger: log record %d carries block %d, want %d", len(l.blocks), b.Header.Number, l.next)
+		}
+		l.blocks = append(l.blocks, &b)
+		l.next++
+		off = next
+		good = off
+	}
+	if err := walframe.RecoverTail(path, data, good); err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: open log: %w", err)
+	}
+	l.f = f
+	return l, nil
+}
+
+// Blocks returns the blocks recovered at open, in order, releasing the
+// log's reference to them (recovery reads them exactly once).
+func (l *Log) Blocks() []*Block {
+	b := l.blocks
+	l.blocks = nil
+	return b
+}
+
+// Height returns the number of blocks the log holds.
+func (l *Log) Height() uint64 { return l.next }
+
+// Append writes one block. Blocks must arrive in chain order; the caller
+// (the peer's commit path) appends here before applying state, so a crash
+// between the two is repaired by replaying the log over the state's
+// savepoint.
+func (l *Log) Append(b *Block) error {
+	if l.err != nil {
+		// A failed write may have left a torn frame on disk; appending a
+		// later complete frame after it would turn a recoverable torn
+		// tail into unrecoverable mid-log corruption. Fail-stop instead.
+		return l.err
+	}
+	if b.Header.Number != l.next {
+		return fmt.Errorf("ledger: log append block %d at log height %d", b.Header.Number, l.next)
+	}
+	payload, err := json.Marshal(b)
+	if err != nil {
+		return fmt.Errorf("ledger: log marshal block %d: %w", b.Header.Number, err)
+	}
+	buf := l.buf[:0]
+	buf = append(buf, make([]byte, walframe.HeaderLen)...)
+	buf = append(buf, payload...)
+	walframe.Seal(buf)
+	l.buf = buf
+	if _, err := l.f.Write(buf); err != nil {
+		l.err = fmt.Errorf("ledger: log append block %d: %w", b.Header.Number, err)
+		return l.err
+	}
+	l.next++
+	return nil
+}
+
+// Sync flushes appended blocks to stable storage (reporting a sticky
+// append failure first).
+func (l *Log) Sync() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Close syncs and closes the log. Idempotent.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

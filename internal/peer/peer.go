@@ -3,6 +3,7 @@ package peer
 import (
 	"encoding/json"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -17,17 +18,30 @@ import (
 // Peer is one endorsing/committing node. Every peer holds a full copy of
 // the ledger and world state and independently validates every block, as in
 // the paper's Figure 1 where all endorsement peers act as validators.
+//
+// A peer opened with Config.DataDir is durable: its world state, history
+// and indexes live on WAL-backed persist engines and every committed
+// block lands in a block log before its writes touch state. Reopening the
+// same directory recovers the peer — the block log replays through the
+// same validate-then-commit split a live delivery takes (see recover) —
+// after which SyncFrom catches up any tail the log missed.
 type Peer struct {
 	id        string
 	channelID string
 	signer    *msp.Signer
 
 	ledger   *ledger.Ledger
+	blockLog *ledger.Log // nil for in-memory peers
 	state    *statedb.DB
 	history  *statedb.HistoryDB
 	registry *chaincode.Registry
 	policy   msp.Policy
 	watchdog *Watchdog
+
+	// commitMu serialises the commit pipeline (block log → history →
+	// state → in-memory chain) so the durable artefacts can never record
+	// two competing blocks at one height.
+	commitMu sync.Mutex
 
 	mu          sync.Mutex
 	commitWait  map[string][]chan ledger.ValidationCode
@@ -51,13 +65,19 @@ type Config struct {
 	// State selects the key-value engine backing this peer's world state
 	// and history database (zero value = the sharded default).
 	State storage.Config
+	// DataDir, when non-empty, makes the peer durable: it forces the
+	// persist engine rooted at this directory for state/history/indexes
+	// and opens the block log at DataDir/blocks.wal, recovering whatever a
+	// previous run left there. Overrides State.Engine and State.Dir.
+	DataDir string
 	// Indexes declares the secondary indexes the world state maintains
 	// (nil = none). Index reads feed endorsement results, so every peer
 	// of a channel must run the same list.
 	Indexes []statedb.IndexSpec
 }
 
-// New creates a peer with an empty ledger anchored by a genesis block.
+// New creates a peer anchored by a genesis block — or, when cfg.DataDir
+// names a directory with a previous run's data, recovers that peer.
 func New(cfg Config) (*Peer, error) {
 	if cfg.Policy == nil {
 		return nil, fmt.Errorf("peer %s: nil endorsement policy", cfg.ID)
@@ -66,8 +86,18 @@ func New(cfg Config) (*Peer, error) {
 	if wd == nil {
 		wd = NewWatchdog(3)
 	}
-	state, err := statedb.NewIndexedWith(cfg.State, cfg.Indexes...)
+	st := cfg.State
+	if cfg.DataDir != "" {
+		st.Engine = storage.EnginePersist
+		st.Dir = cfg.DataDir
+	}
+	state, err := statedb.NewIndexedWith(st, cfg.Indexes...)
 	if err != nil {
+		return nil, fmt.Errorf("peer %s: %w", cfg.ID, err)
+	}
+	history, err := statedb.NewHistoryDBWith(st)
+	if err != nil {
+		state.Close()
 		return nil, fmt.Errorf("peer %s: %w", cfg.ID, err)
 	}
 	p := &Peer{
@@ -76,20 +106,133 @@ func New(cfg Config) (*Peer, error) {
 		signer:     cfg.Signer,
 		ledger:     ledger.New(),
 		state:      state,
-		history:    statedb.NewHistoryDBWith(cfg.State),
+		history:    history,
 		registry:   cfg.Registry,
 		policy:     cfg.Policy,
 		watchdog:   wd,
 		commitWait: make(map[string][]chan ledger.ValidationCode),
 	}
+	if cfg.DataDir != "" {
+		blockLog, err := ledger.OpenLog(filepath.Join(cfg.DataDir, "blocks.wal"))
+		if err != nil {
+			p.closeStores()
+			return nil, fmt.Errorf("peer %s: %w", cfg.ID, err)
+		}
+		p.blockLog = blockLog
+		if err := p.recover(); err != nil {
+			p.Close()
+			return nil, err
+		}
+		if p.ledger.Height() > 0 {
+			return p, nil // recovered an existing chain, genesis included
+		}
+	}
 	// The genesis block is identical on every peer: fixed zero timestamp
 	// (the header hash covers only number, prev-hash and data hash, so the
 	// chain stays consistent regardless).
 	genesis := ledger.NewBlock(0, [32]byte{}, nil, time.Time{})
+	if p.blockLog != nil {
+		if err := p.blockLog.Append(genesis); err != nil {
+			p.Close()
+			return nil, fmt.Errorf("peer %s: genesis: %w", cfg.ID, err)
+		}
+	}
 	if err := p.ledger.Append(genesis); err != nil {
+		p.Close()
 		return nil, fmt.Errorf("peer %s: genesis: %w", cfg.ID, err)
 	}
 	return p, nil
+}
+
+// Open opens (or creates) a durable peer rooted at cfg.DataDir. It is
+// New with the data directory required: use it where resuming from disk
+// is the point, so a missing directory configuration fails loudly instead
+// of silently building a RAM-only peer.
+func Open(cfg Config) (*Peer, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("peer %s: Open requires Config.DataDir", cfg.ID)
+	}
+	return New(cfg)
+}
+
+// recover replays the block log against the recovered world state. Blocks
+// at or below the state's savepoint already have their writes applied —
+// the savepoint rides inside each block's state batch, atomically — so
+// they only rebuild the in-memory chain; anything after the savepoint
+// (committed to the log but not yet to state when the process died)
+// re-runs the full validate-then-commit split, with recorded flags
+// cross-checked against re-validation.
+func (p *Peer) recover() error {
+	blocks := p.blockLog.Blocks()
+	sp, hasSP := p.state.Savepoint()
+	if len(blocks) == 0 {
+		if hasSP {
+			// Recovered world state says blocks were applied, but the log
+			// holds none: starting a fresh chain over stale state would be
+			// silent corruption.
+			return fmt.Errorf("peer %s: empty block log but state savepoint %d (block log lost)", p.id, sp)
+		}
+		return nil
+	}
+	if hasSP && sp > blocks[len(blocks)-1].Header.Number {
+		// The commit pipeline logs a block before applying its state, so
+		// under kill/restart the log can trail the savepoint only if the
+		// log file itself lost committed bytes — refuse to run on a state
+		// we cannot re-derive.
+		return fmt.Errorf("peer %s: state savepoint %d is ahead of block log height %d (block log lost committed records)",
+			p.id, sp, blocks[len(blocks)-1].Header.Number+1)
+	}
+	for _, b := range blocks {
+		if b.Header.Number == 0 || (hasSP && b.Header.Number <= sp) {
+			if err := p.ledger.Append(b); err != nil {
+				return fmt.Errorf("peer %s: recover block %d: %w", p.id, b.Header.Number, err)
+			}
+			continue
+		}
+		if err := p.replayLoggedBlock(b); err != nil {
+			return fmt.Errorf("peer %s: recover block %d: %w", p.id, b.Header.Number, err)
+		}
+	}
+	return nil
+}
+
+// closeStores closes the state-bearing engines (not the block log).
+func (p *Peer) closeStores() error {
+	err := p.state.Close()
+	if herr := p.history.Close(); err == nil {
+		err = herr
+	}
+	return err
+}
+
+// Close flushes and closes the peer's durable resources. In-memory peers
+// close trivially. Idempotent per underlying store.
+func (p *Peer) Close() error {
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	err := p.closeStores()
+	if p.blockLog != nil {
+		if lerr := p.blockLog.Close(); err == nil {
+			err = lerr
+		}
+	}
+	return err
+}
+
+// Sync flushes the peer's durable state to stable storage.
+func (p *Peer) Sync() error {
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	err := p.state.Sync()
+	if herr := p.history.Sync(); err == nil {
+		err = herr
+	}
+	if p.blockLog != nil {
+		if lerr := p.blockLog.Sync(); err == nil {
+			err = lerr
+		}
+	}
+	return err
 }
 
 // ID returns the peer's name.
@@ -229,24 +372,25 @@ func (p *Peer) SubscribeEvents(buffer int) <-chan chaincode.Event {
 // MVCC read-version pass then runs serially in block order — read/write-
 // set conflict detection is what keeps the parallel validation
 // serializable — and all surviving write sets land in the state engine as
-// one block-level batch (statedb.ApplyBlock). It returns the block.
+// one block-level batch. It returns the block.
 func (p *Peer) CommitBatch(txs []ledger.Transaction) (*ledger.Block, error) {
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
 	number := p.ledger.Height()
 	block := ledger.NewBlock(number, p.ledger.TipHash(), txs, time.Now())
-	flags, err := p.validateAndApply(number, block.Txs, nil)
+	flags, updates, validIdx, err := p.validateBlock(number, block.Txs, nil)
 	if err != nil {
 		return nil, err
 	}
 	copy(block.Metadata.Flags, flags)
-	if err := p.ledger.Append(block); err != nil {
-		return nil, fmt.Errorf("peer %s: append block %d: %w", p.id, number, err)
+	if err := p.commitValidated(block, updates, validIdx, true); err != nil {
+		return nil, err
 	}
-	p.notify(block)
 	return block, nil
 }
 
-// validateAndApply runs the validate-then-commit split over one block's
-// transactions and lands the surviving write sets:
+// validateBlock runs the validation half of the validate-then-commit
+// split over one block's transactions, WITHOUT touching state:
 //
 //  1. Stateless checks (signatures, policy) fan out over a worker pool.
 //  2. MVCC runs serially in block order against committed state plus the
@@ -255,11 +399,13 @@ func (p *Peer) CommitBatch(txs []ledger.Transaction) (*ledger.Block, error) {
 //     a serial validate-and-apply interleaving, because a read of any
 //     key an earlier in-block transaction wrote is already a conflict.
 //     After each transaction is flagged, check (when non-nil) may abort
-//     the whole block before any state changes — the sync path's
-//     flag-mismatch rejection.
-//  3. All valid write sets apply in one engine pass (statedb.ApplyBlock)
-//     followed by the history entries.
-func (p *Peer) validateAndApply(number uint64, txs []ledger.Transaction, check func(i int, flag ledger.ValidationCode) error) ([]ledger.ValidationCode, error) {
+//     the whole block before any state changes — the sync and recovery
+//     paths' flag-mismatch rejection.
+//
+// It returns the per-transaction flags plus the surviving write sets
+// (updates, and the indices of the transactions that produced them) for
+// commitValidated to land.
+func (p *Peer) validateBlock(number uint64, txs []ledger.Transaction, check func(i int, flag ledger.ValidationCode) error) ([]ledger.ValidationCode, []statedb.TxUpdate, []int, error) {
 	pre := p.validateStatelessAll(txs)
 	flags := make([]ledger.ValidationCode, len(txs))
 	blockWrites := make(map[string]bool) // ns\x00key written by earlier valid tx
@@ -273,7 +419,7 @@ func (p *Peer) validateAndApply(number uint64, txs []ledger.Transaction, check f
 		}
 		if check != nil {
 			if err := check(i, flag); err != nil {
-				return nil, err
+				return nil, nil, nil, err
 			}
 		}
 		flags[i] = flag
@@ -291,11 +437,75 @@ func (p *Peer) validateAndApply(number uint64, txs []ledger.Transaction, check f
 			blockWrites[w.Namespace+"\x00"+w.Key] = true
 		}
 	}
-	p.state.ApplyBlock(updates)
-	for ui, i := range validIdx {
-		p.history.RecordBatch(updates[ui].Batch, txs[i].ID, updates[ui].Version, txs[i].Timestamp)
+	return flags, updates, validIdx, nil
+}
+
+// commitValidated lands a fully-validated block, in recovery-safe order:
+//
+//  1. Structural chain check (ledger.VerifyNext) — a malformed block must
+//     never reach the durable log.
+//  2. Block log append (durable peers, relog=true). From this point the
+//     block is committed: if the process dies before the remaining steps,
+//     recovery replays it from the log.
+//  3. History entries. Keyed by commit version, so a replay after a crash
+//     between 3 and 4 overwrites instead of duplicating.
+//  4. One state-engine pass (statedb.ApplyBlockAt) carrying every
+//     surviving write set AND the savepoint marker — atomic on the
+//     persist engine, which is what makes recovery's "replay strictly
+//     after the savepoint" exact.
+//  5. In-memory chain append + waiter/subscriber notification. The
+//     in-memory height only advances after state is applied, so observers
+//     that wait on height never read pre-block state.
+//
+// relog=false replays a block that is already in the log (recovery).
+// Caller holds commitMu.
+func (p *Peer) commitValidated(block *ledger.Block, updates []statedb.TxUpdate, validIdx []int, relog bool) error {
+	number := block.Header.Number
+	if err := p.ledger.VerifyNext(block); err != nil {
+		return fmt.Errorf("peer %s: commit block %d: %w", p.id, number, err)
 	}
-	return flags, nil
+	if p.blockLog != nil && relog {
+		if err := p.blockLog.Append(block); err != nil {
+			return fmt.Errorf("peer %s: log block %d: %w", p.id, number, err)
+		}
+	}
+	for ui, i := range validIdx {
+		p.history.RecordBatch(updates[ui].Batch, block.Txs[i].ID, updates[ui].Version, block.Txs[i].Timestamp)
+	}
+	p.state.ApplyBlockAt(updates, number)
+	if err := p.ledger.Append(block); err != nil {
+		return fmt.Errorf("peer %s: append block %d: %w", p.id, number, err)
+	}
+	p.notify(block)
+	return nil
+}
+
+// replayLoggedBlock re-commits one block read back from the block log,
+// re-validating everything and requiring the recorded flags to match —
+// recovery must never trust what validation can recompute.
+func (p *Peer) replayLoggedBlock(b *ledger.Block) error {
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	number := p.ledger.Height()
+	if b.Header.Number != number {
+		return fmt.Errorf("replay gap: got block %d at height %d", b.Header.Number, number)
+	}
+	if len(b.Metadata.Flags) != len(b.Txs) {
+		// The flag-check callback below indexes Flags[i]; a short list in
+		// a decodable-but-malformed record must be an error, not a panic.
+		return fmt.Errorf("replay block %d has %d flags for %d txs", b.Header.Number, len(b.Metadata.Flags), len(b.Txs))
+	}
+	_, updates, validIdx, err := p.validateBlock(number, b.Txs, func(i int, flag ledger.ValidationCode) error {
+		if flag != b.Metadata.Flags[i] {
+			return fmt.Errorf("%w: block %d tx %d: local %s vs recorded %s",
+				ErrFlagMismatch, b.Header.Number, i, flag, b.Metadata.Flags[i])
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return p.commitValidated(b, updates, validIdx, false)
 }
 
 // validateStatelessAll runs the per-transaction signature/policy checks,

@@ -1,0 +1,381 @@
+package peer
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"socialchain/internal/chaincode"
+	"socialchain/internal/ledger"
+	"socialchain/internal/msp"
+)
+
+// durablePeer opens (or reopens) a durable peer over dir. Signer and
+// registry are rebuilt each call, exactly like a restarted process.
+func durablePeer(t *testing.T, dir string) (*Peer, *msp.Signer) {
+	t.Helper()
+	p, err := openDurable(dir)
+	if err != nil {
+		t.Fatalf("open durable peer at %s: %v", dir, err)
+	}
+	client, err := msp.NewSigner("clientorg", "alice", msp.RoleMember)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, client
+}
+
+// openDurable builds a durable peer over dir, returning open errors.
+func openDurable(dir string) (*Peer, error) {
+	signer, err := msp.NewSigner("org1", "peer0", msp.RoleMember)
+	if err != nil {
+		return nil, err
+	}
+	reg := chaincode.NewRegistry()
+	if err := reg.Register(counterCC{}); err != nil {
+		return nil, err
+	}
+	return Open(Config{
+		ID:        "peer0",
+		ChannelID: "ch",
+		Signer:    signer,
+		Registry:  reg,
+		Policy:    msp.AnyValid{},
+		DataDir:   dir,
+	})
+}
+
+// commitIncr endorses and commits one "incr" transaction as its own block.
+func commitIncr(t *testing.T, p *Peer, client *msp.Signer, key string) *ledger.Block {
+	t.Helper()
+	prop := propose(t, client, "incr", []byte(key))
+	resp, err := p.Endorse(prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := p.CommitBatch([]ledger.Transaction{envelope(t, client, prop, resp)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return block
+}
+
+// stateSnapshot captures the canonical byte form of a peer's world state.
+func stateSnapshot(t *testing.T, p *Peer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.State().Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// copyTree copies a directory recursively (small test trees only).
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		rel, rerr := filepath.Rel(src, path)
+		if rerr != nil {
+			return rerr
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		return os.WriteFile(target, data, info.Mode())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRequiresDataDir(t *testing.T) {
+	if _, err := Open(Config{ID: "p", Policy: msp.AnyValid{}}); err == nil {
+		t.Fatal("Open without DataDir succeeded")
+	}
+}
+
+// TestPeerReopenRecoversChainAndState commits blocks on a durable peer,
+// closes it, reopens the directory and requires the identical chain
+// (height, tip hash, verified linkage), identical canonical state bytes,
+// recovered history — and that the reopened peer keeps committing.
+func TestPeerReopenRecoversChainAndState(t *testing.T) {
+	dir := t.TempDir()
+	p, client := durablePeer(t, dir)
+	for i := 0; i < 3; i++ {
+		commitIncr(t, p, client, "ctr")
+	}
+	commitIncr(t, p, client, "other")
+	wantHeight := p.Ledger().Height()
+	wantTip := p.Ledger().TipHash()
+	wantState := stateSnapshot(t, p)
+	wantHist := len(p.History().Get("counter", "ctr"))
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, client2 := durablePeer(t, dir)
+	defer re.Close()
+	if got := re.Ledger().Height(); got != wantHeight {
+		t.Fatalf("reopened height = %d, want %d", got, wantHeight)
+	}
+	if re.Ledger().TipHash() != wantTip {
+		t.Fatal("reopened tip hash differs")
+	}
+	if err := re.Ledger().VerifyChain(); err != nil {
+		t.Fatalf("reopened chain broken: %v", err)
+	}
+	if got := stateSnapshot(t, re); !bytes.Equal(got, wantState) {
+		t.Fatalf("reopened state differs:\nwant %s\n got %s", wantState, got)
+	}
+	if got := len(re.History().Get("counter", "ctr")); got != wantHist {
+		t.Fatalf("reopened history has %d entries, want %d", got, wantHist)
+	}
+	if vv, ok := re.State().GetState("counter", "ctr"); !ok || string(vv.Value) != "3" {
+		t.Fatalf("recovered ctr = %q/%v, want 3", vv.Value, ok)
+	}
+	// The recovered peer is live: endorse + commit must still work.
+	commitIncr(t, re, client2, "ctr")
+	if vv, _ := re.State().GetState("counter", "ctr"); string(vv.Value) != "4" {
+		t.Fatalf("post-recovery commit produced ctr = %q", vv.Value)
+	}
+	if re.Ledger().Height() != wantHeight+1 {
+		t.Fatalf("post-recovery height = %d", re.Ledger().Height())
+	}
+}
+
+// TestPeerRecoveryReplaysUnappliedTail simulates the crash window between
+// "block appended to the log" and "state batch applied": a directory is
+// captured at height 2, then given the block log of height 3. Recovery
+// must replay the extra block through validate-then-commit — recorded
+// flags cross-checked — and land on exactly the state a crash-free peer
+// has.
+func TestPeerRecoveryReplaysUnappliedTail(t *testing.T) {
+	dir := t.TempDir()
+	p, client := durablePeer(t, dir)
+	commitIncr(t, p, client, "ctr")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture the peer's on-disk state at height 2 (genesis + 1 block).
+	crashDir := t.TempDir()
+	copyTree(t, dir, crashDir)
+
+	// Advance the original by one more block.
+	p2, client2 := durablePeer(t, dir)
+	commitIncr(t, p2, client2, "ctr")
+	wantHeight := p2.Ledger().Height()
+	wantState := stateSnapshot(t, p2)
+	wantHist := len(p2.History().Get("counter", "ctr"))
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Graft the longer block log onto the older state — exactly what disk
+	// holds if the process died after logging block 2 but before applying
+	// it.
+	data, err := os.ReadFile(filepath.Join(dir, "blocks.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(crashDir, "blocks.wal"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, _ := durablePeer(t, crashDir)
+	defer re.Close()
+	if got := re.Ledger().Height(); got != wantHeight {
+		t.Fatalf("recovered height = %d, want %d", got, wantHeight)
+	}
+	if got := stateSnapshot(t, re); !bytes.Equal(got, wantState) {
+		t.Fatalf("replayed state differs from crash-free state:\nwant %s\n got %s", wantState, got)
+	}
+	if got := len(re.History().Get("counter", "ctr")); got != wantHist {
+		t.Fatalf("replayed history has %d entries, want %d (no duplicates, no gaps)", got, wantHist)
+	}
+	if err := re.Ledger().VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPeerRecoveryTornLogTail simulates dying mid-append of block 2: the
+// log holds blocks 0-1 plus garbage bytes. The peer must come back at
+// height 2, catch the lost tail up through SyncFrom (which re-logs it),
+// and hold the full chain across one more restart.
+func TestPeerRecoveryTornLogTail(t *testing.T) {
+	dir := t.TempDir()
+	p, client := durablePeer(t, dir)
+	commitIncr(t, p, client, "ctr")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tornDir := t.TempDir()
+	copyTree(t, dir, tornDir)
+
+	// The healthy peer advances one more block.
+	src, client2 := durablePeer(t, dir)
+	commitIncr(t, src, client2, "ctr")
+	fullHeight := src.Ledger().Height()
+	fullState := stateSnapshot(t, src)
+
+	// Torn append: block 2's record started landing but never completed.
+	f, err := os.OpenFile(filepath.Join(tornDir, "blocks.wal"), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, _ := durablePeer(t, tornDir)
+	if got := re.Ledger().Height(); got != 2 {
+		t.Fatalf("torn-tail peer height = %d, want 2", got)
+	}
+	if _, err := re.SyncFrom(src); err != nil {
+		t.Fatalf("catch-up sync: %v", err)
+	}
+	if re.Ledger().Height() != fullHeight {
+		t.Fatalf("post-sync height = %d, want %d", re.Ledger().Height(), fullHeight)
+	}
+	if got := stateSnapshot(t, re); !bytes.Equal(got, fullState) {
+		t.Fatal("post-sync state differs from source peer")
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The synced tail was re-logged: one more reopen lands at full height.
+	re2, _ := durablePeer(t, tornDir)
+	defer re2.Close()
+	if re2.Ledger().Height() != fullHeight {
+		t.Fatalf("resynced peer reopened at height %d, want %d", re2.Ledger().Height(), fullHeight)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPeerRecoveryGuardsSavepointAheadOfLog: if the block log lost
+// COMMITTED records (state savepoint beyond the log's tip — impossible
+// under kill/restart, possible under file-level damage), the peer must
+// refuse to open rather than run on state it cannot re-derive.
+func TestPeerRecoveryGuardsSavepointAheadOfLog(t *testing.T) {
+	dir := t.TempDir()
+	p, client := durablePeer(t, dir)
+	commitIncr(t, p, client, "ctr")
+	commitIncr(t, p, client, "ctr")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the log down mid-record so block 2 disappears while the state
+	// savepoint still says 2.
+	logPath := filepath.Join(dir, "blocks.wal")
+	st, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(logPath, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openDurable(dir); err == nil {
+		t.Fatal("peer opened over a block log behind its state savepoint")
+	} else if !strings.Contains(err.Error(), "ahead of block log") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestPeerRecoveryGuardsMissingLog: deleting the block log outright while
+// the state WAL survives must refuse to open — a fresh genesis over stale
+// recovered world state would be silent corruption.
+func TestPeerRecoveryGuardsMissingLog(t *testing.T) {
+	dir := t.TempDir()
+	p, client := durablePeer(t, dir)
+	commitIncr(t, p, client, "ctr")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "blocks.wal")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openDurable(dir); err == nil {
+		t.Fatal("peer opened with a deleted block log over surviving state")
+	} else if !strings.Contains(err.Error(), "block log lost") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestPeerRecoveryRejectsTamperedLog flips a byte inside the last logged
+// record: the CRC framing must drop it (indistinguishable from a torn
+// tail), so recovery never silently commits tampered content — here the
+// savepoint guard then refuses the mismatch.
+func TestPeerRecoveryRejectsTamperedLog(t *testing.T) {
+	dir := t.TempDir()
+	p, client := durablePeer(t, dir)
+	commitIncr(t, p, client, "ctr")
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "blocks.wal")
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0xff // inside block 1's payload
+	if err := os.WriteFile(logPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := openDurable(dir)
+	if err != nil {
+		if !strings.Contains(err.Error(), "ahead of block log") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return
+	}
+	defer re.Close()
+	if h := re.Ledger().Height(); h > 1 {
+		t.Fatalf("tampered log recovered to height %d", h)
+	}
+}
+
+// TestDurableSyncPersistsAcrossRestart: a durable peer that received its
+// chain via SyncFrom (not local commits) must survive its own restart.
+func TestDurableSyncPersistsAcrossRestart(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	src, client := durablePeer(t, srcDir)
+	commitIncr(t, src, client, "ctr")
+	commitIncr(t, src, client, "other")
+
+	dst, _ := durablePeer(t, dstDir)
+	if _, err := dst.SyncFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	wantHeight := dst.Ledger().Height()
+	wantState := stateSnapshot(t, dst)
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, _ := durablePeer(t, dstDir)
+	defer re.Close()
+	if re.Ledger().Height() != wantHeight {
+		t.Fatalf("reopened synced peer at height %d, want %d", re.Ledger().Height(), wantHeight)
+	}
+	if got := stateSnapshot(t, re); !bytes.Equal(got, wantState) {
+		t.Fatal("reopened synced peer state differs")
+	}
+}

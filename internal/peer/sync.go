@@ -33,28 +33,37 @@ func (p *Peer) SyncFrom(src *Peer) (int, error) {
 	return applied, nil
 }
 
-// applySyncedBlock re-validates a remote block and commits it locally.
+// applySyncedBlock re-validates a remote block and commits it locally —
+// including, on a durable peer, appending it to the block log, so a
+// restart after catch-up does not lose the synced tail.
 func (p *Peer) applySyncedBlock(b *ledger.Block) error {
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
 	number := p.ledger.Height()
 	if b.Header.Number != number {
 		return fmt.Errorf("peer %s: sync gap: got block %d at height %d", p.id, b.Header.Number, number)
+	}
+	if len(b.Metadata.Flags) != len(b.Txs) {
+		// The flag-check callback indexes Flags[i]; a malicious or
+		// malformed source block must error cleanly, not panic the peer.
+		return fmt.Errorf("peer %s: synced block %d has %d flags for %d txs", p.id, b.Header.Number, len(b.Metadata.Flags), len(b.Txs))
 	}
 	// Re-validate every transaction against local state with the same
 	// rules (and the same parallel-stateless/serial-MVCC split) the
 	// original commit used; a flag disagreement aborts before any local
 	// state changes.
-	if _, err := p.validateAndApply(number, b.Txs, func(i int, flag ledger.ValidationCode) error {
+	_, updates, validIdx, err := p.validateBlock(number, b.Txs, func(i int, flag ledger.ValidationCode) error {
 		if flag != b.Metadata.Flags[i] {
 			return fmt.Errorf("%w: block %d tx %d: local %s vs recorded %s",
 				ErrFlagMismatch, b.Header.Number, i, flag, b.Metadata.Flags[i])
 		}
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		return err
 	}
-	if err := p.ledger.Append(b); err != nil {
-		return fmt.Errorf("peer %s: sync append: %w", p.id, err)
+	if err := p.commitValidated(b, updates, validIdx, true); err != nil {
+		return fmt.Errorf("peer %s: sync: %w", p.id, err)
 	}
-	p.notify(b)
 	return nil
 }

@@ -9,17 +9,25 @@ import (
 )
 
 // benchEngines lists the engine configs every statedb benchmark compares.
+// The persist config gets a per-run temp directory so WAL writes land in
+// the benchmark's own scratch space.
 var benchEngines = []struct {
 	name string
-	cfg  storage.Config
+	cfg  func(b *testing.B) storage.Config
 }{
-	{"single", storage.Config{Engine: storage.EngineSingle}},
-	{"sharded", storage.Config{Engine: storage.EngineSharded}},
+	{"single", func(*testing.B) storage.Config { return storage.Config{Engine: storage.EngineSingle} }},
+	{"sharded", func(*testing.B) storage.Config { return storage.Config{Engine: storage.EngineSharded} }},
+	{"persist", func(b *testing.B) storage.Config {
+		return storage.Config{Engine: storage.EnginePersist, Dir: b.TempDir()}
+	}},
 }
 
 func seededBenchDB(b *testing.B, cfg storage.Config, keys int) *DB {
 	b.Helper()
-	db := NewWith(cfg)
+	db, err := NewWith(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	batch := NewUpdateBatch()
 	for i := 0; i < keys; i++ {
 		doc := fmt.Sprintf(`{"label":"car","confidence":%f,"idx":%d}`, float64(i%100)/100, i)
@@ -40,7 +48,7 @@ func benchRecKeys(n int) []string {
 func BenchmarkGetState(b *testing.B) {
 	for _, e := range benchEngines {
 		b.Run(e.name, func(b *testing.B) {
-			db := seededBenchDB(b, e.cfg, 10000)
+			db := seededBenchDB(b, e.cfg(b), 10000)
 			keys := benchRecKeys(10000)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -53,7 +61,10 @@ func BenchmarkGetState(b *testing.B) {
 func BenchmarkApplyUpdates(b *testing.B) {
 	for _, e := range benchEngines {
 		b.Run(e.name, func(b *testing.B) {
-			db := NewWith(e.cfg)
+			db, err := NewWith(e.cfg(b))
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				batch := NewUpdateBatch()
@@ -69,7 +80,7 @@ func BenchmarkApplyUpdates(b *testing.B) {
 func BenchmarkRangeScan(b *testing.B) {
 	for _, e := range benchEngines {
 		b.Run(e.name, func(b *testing.B) {
-			db := seededBenchDB(b, e.cfg, 10000)
+			db := seededBenchDB(b, e.cfg(b), 10000)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				db.GetStateRange("data", "rec/001000", "rec/002000")
@@ -81,7 +92,7 @@ func BenchmarkRangeScan(b *testing.B) {
 func BenchmarkSelectorQuery(b *testing.B) {
 	for _, e := range benchEngines {
 		b.Run(e.name, func(b *testing.B) {
-			db := seededBenchDB(b, e.cfg, 2000)
+			db := seededBenchDB(b, e.cfg(b), 2000)
 			sel := Selector{"confidence": map[string]any{"$gt": 0.5}}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -122,7 +133,7 @@ func seededIndexedBenchDB(b *testing.B, cfg storage.Config, keys int) *DB {
 func BenchmarkIndexedByLabel(b *testing.B) {
 	for _, e := range benchEngines {
 		b.Run(e.name, func(b *testing.B) {
-			db := seededIndexedBenchDB(b, e.cfg, 10000)
+			db := seededIndexedBenchDB(b, e.cfg(b), 10000)
 			sel := Selector{"label": "label-07"}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -143,7 +154,7 @@ func BenchmarkIndexedByLabel(b *testing.B) {
 func BenchmarkScanByLabel(b *testing.B) {
 	for _, e := range benchEngines {
 		b.Run(e.name, func(b *testing.B) {
-			db := seededIndexedBenchDB(b, e.cfg, 10000)
+			db := seededIndexedBenchDB(b, e.cfg(b), 10000)
 			sel := Selector{"label": "label-07"}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -163,7 +174,7 @@ func BenchmarkScanByLabel(b *testing.B) {
 func BenchmarkIterIndexPage(b *testing.B) {
 	for _, e := range benchEngines {
 		b.Run(e.name, func(b *testing.B) {
-			db := seededIndexedBenchDB(b, e.cfg, 10000)
+			db := seededIndexedBenchDB(b, e.cfg(b), 10000)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				page, err := db.IterIndex("label", "label-07", 100, 0, "")
@@ -185,7 +196,7 @@ func BenchmarkIterIndexPage(b *testing.B) {
 func BenchmarkParallelMixedReadCommit(b *testing.B) {
 	for _, e := range benchEngines {
 		b.Run(e.name, func(b *testing.B) {
-			db := seededBenchDB(b, e.cfg, 10000)
+			db := seededBenchDB(b, e.cfg(b), 10000)
 			keys := benchRecKeys(10000)
 			var blockNum atomic.Uint64
 			b.ResetTimer()

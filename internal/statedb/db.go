@@ -2,6 +2,7 @@ package statedb
 
 import (
 	"encoding/binary"
+	"fmt"
 	"strings"
 
 	"socialchain/internal/storage"
@@ -23,25 +24,67 @@ type DB struct {
 	idx *indexer
 }
 
-// New returns an empty world state on the default (sharded) engine.
+// New returns an empty world state on the default (sharded) engine. It
+// panics if the default engine cannot open — only possible when the
+// engine env override is broken, a programming/environment error.
 func New() *DB {
-	return NewWith(storage.Config{})
+	db, err := NewWith(storage.Config{})
+	if err != nil {
+		panic(err)
+	}
+	return db
 }
 
-// NewWith returns an empty world state on the engine cfg selects.
-func NewWith(cfg storage.Config) *DB {
-	return &DB{kv: storage.Open(cfg)}
+// NewWith returns a world state on the engine cfg selects. Durable
+// configs place the state engine under the "db" sub-directory of
+// cfg.Dir (history and indexes get siblings), and reopen whatever state
+// that directory already holds.
+func NewWith(cfg storage.Config) (*DB, error) {
+	kv, err := storage.Open(cfg.Sub("db"))
+	if err != nil {
+		return nil, fmt.Errorf("statedb: %w", err)
+	}
+	return &DB{kv: kv}, nil
 }
 
-// NewIndexedWith returns an empty world state on the engine cfg selects,
+// NewIndexedWith returns a world state on the engine cfg selects,
 // maintaining the given secondary indexes (held on a second engine of the
-// same configuration).
+// same configuration, under the "index" sub-directory for durable
+// configs). Indexes are always rebuilt from the recovered state, so a
+// crash between a state batch and its index batch can never leave them
+// permanently out of sync.
 func NewIndexedWith(cfg storage.Config, specs ...IndexSpec) (*DB, error) {
-	db := NewWith(cfg)
+	db, err := NewWith(cfg)
+	if err != nil {
+		return nil, err
+	}
 	if err := db.BuildIndexes(cfg, specs...); err != nil {
+		db.Close() // release the already-open state engine
 		return nil, err
 	}
 	return db, nil
+}
+
+// Close releases the underlying engines after a final flush.
+func (db *DB) Close() error {
+	err := db.kv.Close()
+	if db.idx != nil {
+		if ierr := db.idx.kv.Close(); err == nil {
+			err = ierr
+		}
+	}
+	return err
+}
+
+// Sync flushes the underlying engines to stable storage.
+func (db *DB) Sync() error {
+	err := db.kv.Sync()
+	if db.idx != nil {
+		if ierr := db.idx.kv.Sync(); err == nil {
+			err = ierr
+		}
+	}
+	return err
 }
 
 // stateKey builds the composite engine key for ns/key. The NUL separator
@@ -49,6 +92,28 @@ func NewIndexedWith(cfg storage.Config, specs ...IndexSpec) (*DB, error) {
 // NUL bytes).
 func stateKey(ns, key string) string {
 	return ns + "\x00" + key
+}
+
+// reservedPrefix marks engine keys that are statedb bookkeeping, not
+// chaincode state: chaincode namespaces are never empty, so no composite
+// state key can start with NUL. Reserved keys are invisible to
+// Namespaces, Snapshot and every namespace iteration.
+const reservedPrefix = "\x00"
+
+// savepointKey stores the number of the last block whose writes were
+// applied, updated atomically with each block's state batch (one engine
+// ApplyBatch — on the persist engine, one WAL record). Recovery replays
+// the durable block log strictly after this height.
+const savepointKey = reservedPrefix + "savepoint"
+
+// Savepoint returns the last block height recorded by ApplyBlockAt, and
+// whether one has been recorded at all.
+func (db *DB) Savepoint() (uint64, bool) {
+	buf, ok := db.kv.Get(savepointKey)
+	if !ok || len(buf) != 8 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(buf), true
 }
 
 // splitStateKey undoes stateKey.
@@ -147,10 +212,28 @@ func (db *DB) ApplyBlock(updates []TxUpdate) {
 	if len(updates) == 0 {
 		return
 	}
-	if len(updates) == 1 {
-		db.ApplyUpdates(updates[0].Batch, updates[0].Version)
-		return
-	}
+	// Same code path as ApplyBlockAt (minus the savepoint) so the two
+	// entry points cannot drift behaviorally.
+	db.applyBlock(updates, nil)
+}
+
+// ApplyBlockAt is ApplyBlock for committers that track recovery state: it
+// additionally records height under the reserved savepoint key, INSIDE
+// the same engine batch as the block's writes. On a durable engine the
+// whole batch is one atomic WAL record, so after a crash the state either
+// reflects the block and the savepoint or neither — the invariant that
+// lets recovery replay the block log from the savepoint without
+// double-applying. Unlike ApplyBlock, an empty update set still commits
+// (the savepoint must advance past blocks that wrote nothing).
+func (db *DB) ApplyBlockAt(updates []TxUpdate, height uint64) {
+	sp := make([]byte, 8)
+	binary.BigEndian.PutUint64(sp, height)
+	db.applyBlock(updates, sp)
+}
+
+// applyBlock merges, versions and lands one block's updates, optionally
+// with a savepoint write riding in the same engine batch.
+func (db *DB) applyBlock(updates []TxUpdate, savepoint []byte) {
 	merged := NewUpdateBatch()
 	versions := make(map[string]Version)
 	for _, u := range updates {
@@ -162,10 +245,10 @@ func (db *DB) ApplyBlock(updates []TxUpdate) {
 		}
 	}
 	var idxWrites []storage.Write
-	if db.idx != nil {
+	if db.idx != nil && merged.Len() > 0 {
 		idxWrites = db.idx.batchWrites(db, merged)
 	}
-	writes := make([]storage.Write, 0, merged.Len())
+	writes := make([]storage.Write, 0, merged.Len()+1)
 	for ns, kvs := range merged.updates {
 		for key, w := range kvs {
 			sk := stateKey(ns, key)
@@ -175,6 +258,9 @@ func (db *DB) ApplyBlock(updates []TxUpdate) {
 			}
 			writes = append(writes, storage.Write{Key: sk, Value: encodeValue(w.Value, versions[sk])})
 		}
+	}
+	if savepoint != nil {
+		writes = append(writes, storage.Write{Key: savepointKey, Value: savepoint})
 	}
 	db.kv.ApplyBatch(writes)
 	if len(idxWrites) > 0 {
@@ -229,10 +315,14 @@ func (db *DB) Keys(ns string) int {
 	return n
 }
 
-// Namespaces lists the namespaces present, sorted.
+// Namespaces lists the namespaces present, sorted. Reserved bookkeeping
+// keys (the savepoint) are not state and are skipped.
 func (db *DB) Namespaces() []string {
 	var out []string
 	db.kv.IterPrefix("", func(composite string, _ []byte) bool {
+		if strings.HasPrefix(composite, reservedPrefix) {
+			return true
+		}
 		ns, _ := splitStateKey(composite)
 		if len(out) == 0 || out[len(out)-1] != ns {
 			out = append(out, ns)

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"socialchain/internal/storage"
@@ -23,42 +22,62 @@ type HistEntry struct {
 
 // HistoryDB records the full update history of every key. It is an
 // append-only index over a storage.KV engine: each update lands under
-// "ns\x00key\x00<seq>" where seq is a zero-padded global counter, so a
-// key's history is one sorted prefix scan and appends never read-modify-
-// write (concurrent recording from different committers cannot lose
-// entries).
+// "ns\x00key\x00<block><tx>" where the suffix is the entry's commit
+// version in fixed-width hex, so a key's history is one sorted prefix
+// scan in commit order and appends never read-modify-write (concurrent
+// recording from different committers cannot lose entries). Keying by
+// commit version — rather than an in-process counter — also makes
+// recording idempotent: crash-recovery replay of a block overwrites the
+// block's entries with identical bytes instead of duplicating them.
 type HistoryDB struct {
-	kv  storage.KV
-	seq atomic.Uint64
+	kv storage.KV
 }
 
 // NewHistoryDB returns an empty history database on the default engine.
+// It panics if the default engine cannot open (broken env override).
 func NewHistoryDB() *HistoryDB {
-	return NewHistoryDBWith(storage.Config{})
+	h, err := NewHistoryDBWith(storage.Config{})
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
-// NewHistoryDBWith returns an empty history database on the engine cfg
-// selects.
-func NewHistoryDBWith(cfg storage.Config) *HistoryDB {
-	return &HistoryDB{kv: storage.Open(cfg)}
+// NewHistoryDBWith returns a history database on the engine cfg selects.
+// Durable configs place it under the "history" sub-directory of cfg.Dir,
+// beside the world state's "db", and reopen whatever it already holds.
+func NewHistoryDBWith(cfg storage.Config) (*HistoryDB, error) {
+	kv, err := storage.Open(cfg.Sub("history"))
+	if err != nil {
+		return nil, fmt.Errorf("statedb: history: %w", err)
+	}
+	return &HistoryDB{kv: kv}, nil
 }
 
-// histSeqLen is the fixed width of the hex sequence suffix; fixed width
-// keeps lexical key order equal to append order.
-const histSeqLen = 16
+// Close releases the underlying engine after a final flush.
+func (h *HistoryDB) Close() error { return h.kv.Close() }
+
+// Sync flushes the underlying engine to stable storage.
+func (h *HistoryDB) Sync() error { return h.kv.Sync() }
+
+// histVerLen is the fixed width of each hex version component; fixed
+// width keeps lexical key order equal to commit order.
+const histVerLen = 16
 
 func histPrefix(ns, key string) string {
 	return ns + "\x00" + key + "\x00"
 }
 
-// Record appends an update for ns/key.
+// Record appends an update for ns/key at e.Version. Recording the same
+// (key, version) twice overwrites — versions are unique per committed
+// transaction, so this only happens when crash recovery replays a block.
 func (h *HistoryDB) Record(ns, key string, e HistEntry) {
 	enc, err := json.Marshal(e)
 	if err != nil {
 		// HistEntry contains only marshalable fields; treat failure as fatal.
 		panic("statedb: history marshal: " + err.Error())
 	}
-	k := fmt.Sprintf("%s%0*x", histPrefix(ns, key), histSeqLen, h.seq.Add(1))
+	k := fmt.Sprintf("%s%0*x%0*x", histPrefix(ns, key), histVerLen, e.Version.BlockNum, histVerLen, e.Version.TxNum)
 	h.kv.Put(k, enc)
 }
 
@@ -97,9 +116,9 @@ func (h *HistoryDB) Len(ns string) int {
 	n := 0
 	prev := ""
 	h.kv.IterPrefix(prefix, func(composite string, _ []byte) bool {
-		// Strip the namespace prefix and the "\x00<seq>" suffix to recover
-		// the bare key; entries arrive sorted, so distinct keys are counted
-		// by comparing neighbours.
+		// Strip the namespace prefix and the "\x00<version>" suffix to
+		// recover the bare key; entries arrive sorted, so distinct keys are
+		// counted by comparing neighbours.
 		rest := composite[len(prefix):]
 		key := rest
 		if i := strings.LastIndexByte(rest, 0); i >= 0 {

@@ -79,20 +79,34 @@ type indexer struct {
 }
 
 func newIndexer(cfg storage.Config, specs []IndexSpec) (*indexer, error) {
+	// Durable configs put the index engine beside the world state's "db"
+	// sub-directory. Its contents are advisory: BuildIndexes rebuilds from
+	// state on open, so a crash that split a state batch from its index
+	// batch heals here.
+	kv, err := storage.Open(cfg.Sub("index"))
+	if err != nil {
+		return nil, fmt.Errorf("statedb: index: %w", err)
+	}
 	ix := &indexer{
-		kv:     storage.Open(cfg),
+		kv:     kv,
 		byNS:   make(map[string][]IndexSpec),
 		byName: make(map[string]IndexSpec),
 	}
 	for _, spec := range specs {
-		if spec.Name == "" || spec.Namespace == "" || spec.Field == "" {
-			return nil, fmt.Errorf("statedb: index spec %+v: name, namespace and field are all required", spec)
+		var serr error
+		switch {
+		case spec.Name == "" || spec.Namespace == "" || spec.Field == "":
+			serr = fmt.Errorf("statedb: index spec %+v: name, namespace and field are all required", spec)
+		case strings.IndexByte(spec.Name, 0) >= 0:
+			serr = fmt.Errorf("statedb: index name %q contains reserved NUL", spec.Name)
+		default:
+			if _, dup := ix.byName[spec.Name]; dup {
+				serr = fmt.Errorf("statedb: duplicate index name %q", spec.Name)
+			}
 		}
-		if strings.IndexByte(spec.Name, 0) >= 0 {
-			return nil, fmt.Errorf("statedb: index name %q contains reserved NUL", spec.Name)
-		}
-		if _, dup := ix.byName[spec.Name]; dup {
-			return nil, fmt.Errorf("statedb: duplicate index name %q", spec.Name)
+		if serr != nil {
+			kv.Close() // release the engine opened above
+			return nil, serr
 		}
 		ix.byName[spec.Name] = spec
 		ix.byNS[spec.Namespace] = append(ix.byNS[spec.Namespace], spec)

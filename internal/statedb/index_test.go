@@ -205,9 +205,16 @@ func TestRestoreRebuildsIndexes(t *testing.T) {
 }
 
 func TestExecuteQueryShortCircuitEqualsScan(t *testing.T) {
-	for _, engCfg := range []storage.Config{{Engine: storage.EngineSingle}, {Engine: storage.EngineSharded}} {
+	for _, engCfg := range []storage.Config{
+		{Engine: storage.EngineSingle},
+		{Engine: storage.EngineSharded},
+		{Engine: storage.EnginePersist, Dir: t.TempDir()},
+	} {
 		db := indexedTestDB(t, engCfg)
-		plain := NewWith(engCfg) // index-free twin: always scans
+		plain, err := NewWith(storage.Config{Engine: storage.EngineSingle}) // index-free twin: always scans
+		if err != nil {
+			t.Fatal(err)
+		}
 		rng := rand.New(rand.NewSource(42))
 		labels := []string{"car", "bus", "truck", "bike", "x\x00nul", ""}
 		cameras := []string{"c1", "c2", "c3"}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // snapshotEntry is one key's row in a snapshot stream.
@@ -24,6 +25,11 @@ func (db *DB) Snapshot(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var ierr error
 	db.kv.IterPrefix("", func(composite string, buf []byte) bool {
+		if strings.HasPrefix(composite, reservedPrefix) {
+			// Bookkeeping (the commit savepoint) is not state: snapshots
+			// stay byte-identical whether or not a peer tracks recovery.
+			return true
+		}
 		ns, key := splitStateKey(composite)
 		vv := decodeValue(buf)
 		enc, err := json.Marshal(snapshotEntry{Namespace: ns, Key: key, Value: vv.Value, Version: vv.Version})

@@ -310,7 +310,10 @@ func TestValueCopiedOnWrite(t *testing.T) {
 // engine choice must never change observable state or iteration order.
 func TestEnginesProduceIdenticalSnapshots(t *testing.T) {
 	build := func(cfg storage.Config) *DB {
-		db := NewWith(cfg)
+		db, err := NewWith(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for blk := uint64(1); blk <= 5; blk++ {
 			b := NewUpdateBatch()
 			for i := 0; i < 40; i++ {
@@ -326,15 +329,21 @@ func TestEnginesProduceIdenticalSnapshots(t *testing.T) {
 		}
 		return db
 	}
-	var single, sharded bytes.Buffer
+	var single, sharded, persist bytes.Buffer
 	if err := build(storage.Config{Engine: storage.EngineSingle}).Snapshot(&single); err != nil {
 		t.Fatal(err)
 	}
 	if err := build(storage.Config{Engine: storage.EngineSharded}).Snapshot(&sharded); err != nil {
 		t.Fatal(err)
 	}
+	if err := build(storage.Config{Engine: storage.EnginePersist, Dir: t.TempDir()}).Snapshot(&persist); err != nil {
+		t.Fatal(err)
+	}
 	if !bytes.Equal(single.Bytes(), sharded.Bytes()) {
 		t.Fatal("snapshot streams differ between engines")
+	}
+	if !bytes.Equal(single.Bytes(), persist.Bytes()) {
+		t.Fatal("persist snapshot stream differs from in-memory engines")
 	}
 	db := build(storage.Config{})
 	if got := db.Keys("cc"); got == 0 {

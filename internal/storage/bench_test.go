@@ -7,13 +7,21 @@ import (
 )
 
 // benchEngines pairs each engine constructor with its label so every
-// benchmark compares single-lock vs sharded under identical workloads.
+// benchmark compares single-lock vs sharded vs WAL-backed persist under
+// identical workloads.
 var benchEngines = []struct {
 	name string
-	open func() KV
+	open func(tb testing.TB) KV
 }{
-	{"single", func() KV { return NewSingle() }},
-	{"sharded", func() KV { return NewSharded(0) }},
+	{"single", func(testing.TB) KV { return NewSingle() }},
+	{"sharded", func(testing.TB) KV { return NewSharded(0) }},
+	{"persist", func(tb testing.TB) KV {
+		p, err := OpenPersist(Config{Dir: tb.TempDir()})
+		if err != nil {
+			tb.Fatalf("open persist: %v", err)
+		}
+		return p
+	}},
 }
 
 // benchKeys precomputes the key space so key formatting never pollutes the
@@ -38,7 +46,7 @@ func seedKV(kv KV, keys []string) {
 func BenchmarkGet(b *testing.B) {
 	for _, e := range benchEngines {
 		b.Run(e.name, func(b *testing.B) {
-			kv := e.open()
+			kv := e.open(b)
 			keys := benchKeys(10000)
 			seedKV(kv, keys)
 			b.ResetTimer()
@@ -53,7 +61,7 @@ func BenchmarkGet(b *testing.B) {
 func BenchmarkApplyBatch(b *testing.B) {
 	for _, e := range benchEngines {
 		b.Run(e.name, func(b *testing.B) {
-			kv := e.open()
+			kv := e.open(b)
 			keys := benchKeys(10000)
 			val := []byte("value")
 			b.ResetTimer()
@@ -72,7 +80,7 @@ func BenchmarkApplyBatch(b *testing.B) {
 func BenchmarkIterPrefix(b *testing.B) {
 	for _, e := range benchEngines {
 		b.Run(e.name, func(b *testing.B) {
-			kv := e.open()
+			kv := e.open(b)
 			keys := benchKeys(10000)
 			seedKV(kv, keys)
 			b.ResetTimer()
@@ -98,7 +106,7 @@ func BenchmarkIterPrefix(b *testing.B) {
 func BenchmarkParallelGet(b *testing.B) {
 	for _, e := range benchEngines {
 		b.Run(e.name, func(b *testing.B) {
-			kv := e.open()
+			kv := e.open(b)
 			keys := benchKeys(10000)
 			seedKV(kv, keys)
 			b.ResetTimer()
@@ -124,7 +132,7 @@ func BenchmarkParallelGet(b *testing.B) {
 func BenchmarkParallelMixedReadCommit(b *testing.B) {
 	for _, e := range benchEngines {
 		b.Run(e.name, func(b *testing.B) {
-			kv := e.open()
+			kv := e.open(b)
 			keys := benchKeys(10000)
 			seedKV(kv, keys)
 			val := []byte(`{"label":"car","block":1}`)

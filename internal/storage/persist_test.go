@@ -1,0 +1,351 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"socialchain/internal/walframe"
+)
+
+// openPersist opens a persist engine over dir with small segments so tests
+// exercise rotation and compaction.
+func openPersist(t *testing.T, dir string) *Persist {
+	t.Helper()
+	p, err := OpenPersist(Config{Dir: dir, SegmentBytes: 2 << 10, CompactSegments: 3})
+	if err != nil {
+		t.Fatalf("open persist %s: %v", dir, err)
+	}
+	return p
+}
+
+// TestPersistReopenRecoversState writes through rotations and compactions,
+// closes, reopens and requires identical contents.
+func TestPersistReopenRecoversState(t *testing.T) {
+	dir := t.TempDir()
+	p := openPersist(t, dir)
+	want := make(map[string]string)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("ns\x00key/%03d", i%120)
+		v := fmt.Sprintf("value-%d-%s", i, strings.Repeat("x", 64))
+		p.Put(k, []byte(v))
+		want[k] = v
+	}
+	for i := 0; i < 120; i += 3 {
+		k := fmt.Sprintf("ns\x00key/%03d", i)
+		p.Delete(k)
+		delete(want, k)
+	}
+	p.ApplyBatch([]Write{
+		{Key: "batch/a", Value: []byte("1")},
+		{Key: "batch/b", Value: []byte("2")},
+		{Key: "batch/a", Delete: true},
+	})
+	want["batch/b"] = "2"
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openPersist(t, dir)
+	defer re.Close()
+	if re.Len() != len(want) {
+		t.Fatalf("reopened Len = %d, want %d", re.Len(), len(want))
+	}
+	for k, v := range want {
+		got, ok := re.Get(k)
+		if !ok || string(got) != v {
+			t.Fatalf("reopened Get(%q) = %q/%v, want %q", k, got, ok, v)
+		}
+	}
+}
+
+// TestPersistCompactionDropsOldSegments forces enough rotations that a
+// snapshot is cut, and checks the directory holds the snapshot plus the
+// recent segments only — the log must not grow without bound.
+func TestPersistCompactionDropsOldSegments(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenPersist(Config{Dir: dir, SegmentBytes: 1 << 10, CompactSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := strings.Repeat("v", 256)
+	for i := 0; i < 200; i++ {
+		p.Put(fmt.Sprintf("k%03d", i%40), []byte(big))
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, snaps := 0, 0
+	for _, e := range entries {
+		switch {
+		case strings.HasPrefix(e.Name(), segPrefix):
+			segs++
+		case strings.HasPrefix(e.Name(), snapPrefix):
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("%d snapshots on disk, want 1", snaps)
+	}
+	if segs > 3 {
+		t.Fatalf("%d segments survived compaction (threshold 2)", segs)
+	}
+	// And the compacted state still recovers.
+	re := openPersist(t, dir)
+	defer re.Close()
+	if re.Len() != 40 {
+		t.Fatalf("recovered %d keys, want 40", re.Len())
+	}
+}
+
+// lastSegment returns the path of the highest-numbered log segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), segPrefix) && e.Name() > last {
+			last = e.Name()
+		}
+	}
+	if last == "" {
+		t.Fatal("no log segments on disk")
+	}
+	return filepath.Join(dir, last)
+}
+
+// TestPersistTornTailRecovery is the crash-injection gate: a log whose
+// final record is cut off (or corrupted) at EVERY byte offset must recover
+// exactly the state up to the last fully-committed record — never an
+// error, never a partial batch.
+func TestPersistTornTailRecovery(t *testing.T) {
+	// Build a reference log: a few committed writes, then one final batch
+	// record whose truncation we sweep.
+	build := func(dir string) {
+		t.Helper()
+		p, err := OpenPersist(Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Put("a", []byte("alpha"))
+		p.Put("b", []byte("beta"))
+		p.ApplyBatch([]Write{
+			{Key: "c", Value: []byte("gamma")},
+			{Key: "a", Delete: true},
+			{Key: "d", Value: []byte("delta-" + strings.Repeat("z", 40))},
+		})
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	refDir := t.TempDir()
+	build(refDir)
+	refSeg, err := os.ReadFile(lastSegment(t, refDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// State after only the first two records (the final batch torn away).
+	wantWithoutBatch := map[string]string{"a": "alpha", "b": "beta"}
+	// State with the batch fully committed.
+	wantWithBatch := map[string]string{"b": "beta", "c": "gamma", "d": "delta-" + strings.Repeat("z", 40)}
+
+	recs, _, err := parseRecords(refSeg)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("reference log has %d records (err %v), want 3", len(recs), err)
+	}
+	batchStart := len(refSeg) - walframe.HeaderLen - len(recs[2])
+
+	check := func(t *testing.T, dir string, want map[string]string) {
+		t.Helper()
+		p, err := OpenPersist(Config{Dir: dir})
+		if err != nil {
+			t.Fatalf("recovery failed: %v", err)
+		}
+		defer p.Close()
+		got := map[string]string{}
+		p.IterPrefix("", func(k string, v []byte) bool {
+			got[k] = string(v)
+			return true
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("recovered state %v, want %v", got, want)
+		}
+	}
+
+	// Sweep every truncation point inside the final record (batchStart =
+	// the batch fully gone; len(refSeg)-1 = one byte short of committed).
+	for cut := batchStart; cut < len(refSeg); cut++ {
+		t.Run(fmt.Sprintf("truncate@%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			build(dir)
+			seg := lastSegment(t, dir)
+			if err := os.Truncate(seg, int64(cut)); err != nil {
+				t.Fatal(err)
+			}
+			check(t, dir, wantWithoutBatch)
+			// The torn tail must have been truncated away so the next
+			// append produces a clean log; reopen once more to prove it.
+			check(t, dir, wantWithoutBatch)
+		})
+	}
+
+	// Corrupt (rather than cut) every byte of the final record: the CRC
+	// must reject it and recovery lands on the last committed record.
+	for off := batchStart; off < len(refSeg); off++ {
+		t.Run(fmt.Sprintf("corrupt@%d", off), func(t *testing.T) {
+			dir := t.TempDir()
+			build(dir)
+			seg := lastSegment(t, dir)
+			data := append([]byte(nil), refSeg...)
+			data[off] ^= 0xff
+			if err := os.WriteFile(seg, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			check(t, dir, wantWithoutBatch)
+		})
+	}
+
+	// An untouched log recovers the full state.
+	t.Run("intact", func(t *testing.T) {
+		dir := t.TempDir()
+		build(dir)
+		check(t, dir, wantWithBatch)
+	})
+}
+
+// TestPersistAppendAfterTornTail proves writes continue cleanly after a
+// torn-tail recovery: the truncated segment accepts new records and a
+// further reopen sees both old and new state.
+func TestPersistAppendAfterTornTail(t *testing.T) {
+	dir := t.TempDir()
+	p := openPersist(t, dir)
+	p.Put("keep", []byte("v1"))
+	p.ApplyBatch([]Write{{Key: "torn", Value: []byte("lost")}})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := lastSegment(t, dir)
+	st, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openPersist(t, dir)
+	if _, ok := re.Get("torn"); ok {
+		t.Fatal("torn batch survived")
+	}
+	re.Put("after", []byte("v2"))
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	final := openPersist(t, dir)
+	defer final.Close()
+	if v, ok := final.Get("keep"); !ok || string(v) != "v1" {
+		t.Fatalf("keep = %q/%v", v, ok)
+	}
+	if v, ok := final.Get("after"); !ok || string(v) != "v2" {
+		t.Fatalf("after = %q/%v", v, ok)
+	}
+}
+
+// TestPersistMidSegmentCorruptionIsFatal flips a byte in an EARLY record
+// of the ACTIVE (last) segment while committed records follow: recovery
+// must refuse — and leave the file untruncated — instead of silently
+// dropping the committed suffix. Only a genuine tail (nothing valid
+// after the damage) may be cut.
+func TestPersistMidSegmentCorruptionIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenPersist(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put("first", []byte(strings.Repeat("a", 40)))
+	p.Put("second", []byte(strings.Repeat("b", 40)))
+	p.Put("third", []byte(strings.Repeat("c", 40)))
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte(nil), data...)
+	corrupted[walframe.HeaderLen+4] ^= 0xff // inside the first record's payload
+	if err := os.WriteFile(seg, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPersist(Config{Dir: dir}); err == nil {
+		t.Fatal("mid-segment corruption recovered silently")
+	}
+	after, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(data) {
+		t.Fatalf("failed open truncated the segment: %d -> %d bytes", len(data), len(after))
+	}
+}
+
+// TestPersistSealedSegmentCorruptionIsFatal distinguishes the tolerable
+// failure (torn tail of the last segment) from real corruption: a damaged
+// sealed segment must fail recovery loudly instead of silently dropping
+// committed writes.
+func TestPersistSealedSegmentCorruptionIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenPersist(Config{Dir: dir, SegmentBytes: 512, CompactSegments: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		p.Put(fmt.Sprintf("k%02d", i), []byte(strings.Repeat("v", 64)))
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Find the FIRST segment (sealed) and flip a byte in its middle.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := ""
+	nsegs := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), segPrefix) {
+			nsegs++
+			if first == "" || e.Name() < first {
+				first = e.Name()
+			}
+		}
+	}
+	if nsegs < 2 {
+		t.Fatalf("workload produced %d segments, need >= 2", nsegs)
+	}
+	path := filepath.Join(dir, first)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPersist(Config{Dir: dir}); err == nil {
+		t.Fatal("corrupt sealed segment recovered silently")
+	}
+}

@@ -11,7 +11,7 @@ import (
 // locking discipline; the invariant checks prove readers always observe
 // sorted, well-formed views while blocks commit underneath them.
 func TestConcurrentReadCommitStress(t *testing.T) {
-	for name, kv := range engines() {
+	for name, kv := range engines(t) {
 		t.Run(name, func(t *testing.T) {
 			const (
 				writers = 4

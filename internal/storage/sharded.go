@@ -163,6 +163,12 @@ func (s *Sharded) ApplyBatch(writes []Write) {
 	}
 }
 
+// Sync implements KV; the in-memory engine has nothing to flush.
+func (s *Sharded) Sync() error { return nil }
+
+// Close implements KV; the in-memory engine holds no resources.
+func (s *Sharded) Close() error { return nil }
+
 // Len implements KV.
 func (s *Sharded) Len() int {
 	n := 0

@@ -81,6 +81,12 @@ func (s *Single) Len() int {
 	return len(s.data)
 }
 
+// Sync implements KV; the in-memory engine has nothing to flush.
+func (s *Single) Sync() error { return nil }
+
+// Close implements KV; the in-memory engine holds no resources.
+func (s *Single) Close() error { return nil }
+
 // entry is one collected (key, value) pair of an iteration.
 type entry struct {
 	key   string

@@ -1,16 +1,17 @@
 // Package storage provides the pluggable key-value engine beneath the
 // repo's stateful layers: the world-state database, the history database
 // and the CID-addressed blockstore all sit on the KV interface instead of
-// owning a map and a global lock. Two engines implement it: a single-lock
-// map (the seed's behaviour, kept as the determinism baseline) and a
-// lock-striped sharded engine whose per-shard locks let concurrent reads
-// and batched commits proceed in parallel — the hot path of the paper's
-// store/retrieve evaluation.
+// owning a map and a global lock. Three engines implement it: a
+// single-lock map (the seed's behaviour, kept as the determinism
+// baseline), a lock-striped sharded engine whose per-shard locks let
+// concurrent reads and batched commits proceed in parallel — the hot path
+// of the paper's store/retrieve evaluation — and a write-ahead-logged
+// persist engine whose contents survive process restarts (see persist.go).
 package storage
 
 import (
+	"fmt"
 	"os"
-	"sync"
 )
 
 // Write is one staged mutation inside an ApplyBatch call.
@@ -41,10 +42,18 @@ type KV interface {
 	// engine lock held, so it may call back into the KV.
 	IterPrefix(prefix string, fn func(key string, value []byte) bool)
 	// ApplyBatch applies a block's writes, acquiring each internal lock at
-	// most once; within the batch, later writes to a key win.
+	// most once; within the batch, later writes to a key win. Durable
+	// engines persist the whole batch as one atomic log record: after a
+	// crash either every write of the batch is recovered or none is.
 	ApplyBatch(writes []Write)
 	// Len returns the number of stored keys.
 	Len() int
+	// Sync flushes buffered writes to stable storage. A no-op for the
+	// in-memory engines.
+	Sync() error
+	// Close releases the engine's resources after a final Sync. Operations
+	// after Close are undefined; Close is idempotent.
+	Close() error
 }
 
 // Engine names a KV implementation.
@@ -59,6 +68,11 @@ const (
 	// RWMutex per shard, batched commits grouped by shard. The production
 	// default.
 	EngineSharded Engine = "sharded"
+	// EnginePersist is the write-ahead-logged disk engine: a segmented
+	// append-only log with CRC-framed records behind an in-memory map,
+	// periodically compacted into snapshots. Contents survive restarts;
+	// replay on open tolerates a torn tail from a crash mid-append.
+	EnginePersist Engine = "persist"
 )
 
 // DefaultShards is the sharded engine's default stripe count.
@@ -70,47 +84,103 @@ type Config struct {
 	// Engine picks the implementation (default EngineSharded).
 	Engine Engine
 	// Shards sets the sharded engine's stripe count, rounded up to a power
-	// of two (default DefaultShards). Ignored by EngineSingle.
+	// of two (default DefaultShards). Ignored by the other engines.
 	Shards int
+	// Dir is the persist engine's data directory (created if absent). When
+	// empty, the persist engine materialises a fresh temporary directory —
+	// durable for the life of the process, discarded by the OS afterwards —
+	// so the CI engine matrix can force EnginePersist through EngineEnvVar
+	// without threading paths into every constructor. Ignored by the
+	// in-memory engines.
+	Dir string
+	// SegmentBytes rotates the persist engine's active log segment once it
+	// exceeds this size (default DefaultSegmentBytes). Ignored by the
+	// in-memory engines.
+	SegmentBytes int64
+	// CompactSegments triggers snapshot compaction once this many sealed
+	// segments accumulate (default DefaultCompactSegments). Ignored by the
+	// in-memory engines.
+	CompactSegments int
+}
+
+// Sub returns a copy of cfg whose Dir is the named sub-directory of
+// cfg.Dir, so layered stores opening several engines from one config
+// (world state, history, indexes) each get a distinct on-disk home. A
+// no-op for configs without a directory.
+func (c Config) Sub(name string) Config {
+	if c.Dir != "" {
+		c.Dir = c.Dir + string(os.PathSeparator) + name
+	}
+	return c
 }
 
 // EngineEnvVar overrides the engine an empty Config.Engine selects, so a
 // full test run can be pinned to one engine without threading a flag
-// through every constructor (the CI matrix runs the suite under both).
+// through every constructor (the CI matrix runs the suite under all
+// three).
 const EngineEnvVar = "SOCIALCHAIN_STORAGE_ENGINE"
 
-// envEngine reads EngineEnvVar once; unknown or empty values mean "no
-// override".
-var envEngine = sync.OnceValue(func() Engine {
-	switch e := Engine(os.Getenv(EngineEnvVar)); e {
-	case EngineSingle, EngineSharded:
-		return e
+// envEngine reads EngineEnvVar; empty means "no override", unknown values
+// are an error (a typo in the CI matrix must not silently change the
+// engine under test). Read per call, not cached, so tests can flip it
+// with t.Setenv.
+func envEngine() (Engine, error) {
+	v := os.Getenv(EngineEnvVar)
+	switch e := Engine(v); e {
+	case "", EngineSingle, EngineSharded, EnginePersist:
+		return e, nil
 	default:
-		return ""
+		return "", fmt.Errorf("storage: unknown %s value %q (valid: %s, %s, %s)",
+			EngineEnvVar, v, EngineSingle, EngineSharded, EnginePersist)
 	}
-})
+}
 
 // DefaultEngine returns the engine an empty Config selects: the
 // EngineEnvVar override when set to a known engine, otherwise sharded.
+// (Open reports unknown env values as errors; this accessor ignores them.)
 func DefaultEngine() Engine {
-	if e := envEngine(); e != "" {
+	if e, err := envEngine(); err == nil && e != "" {
 		return e
 	}
 	return EngineSharded
 }
 
-// Open constructs the engine described by cfg. Unknown engine names fall
-// back to the default so a zero or stale config never loses data behind a
-// nil store.
-func Open(cfg Config) KV {
+// Open constructs the engine described by cfg. Unknown engine names — in
+// the config or in the EngineEnvVar override — are an error: silently
+// falling back to a default engine would lose data behind a peer that
+// thought it was durable.
+func Open(cfg Config) (KV, error) {
 	engine := cfg.Engine
 	if engine == "" {
-		engine = DefaultEngine()
+		e, err := envEngine()
+		if err != nil {
+			return nil, err
+		}
+		if e == "" {
+			e = EngineSharded
+		}
+		engine = e
 	}
 	switch engine {
 	case EngineSingle:
-		return NewSingle()
+		return NewSingle(), nil
+	case EngineSharded:
+		return NewSharded(cfg.Shards), nil
+	case EnginePersist:
+		return OpenPersist(cfg)
 	default:
-		return NewSharded(cfg.Shards)
+		return nil, fmt.Errorf("storage: unknown engine %q (valid: %s, %s, %s)",
+			engine, EngineSingle, EngineSharded, EnginePersist)
 	}
+}
+
+// MustOpen is Open for zero-or-known configs whose failure is a
+// programming or environment error the caller cannot meaningfully handle
+// (the in-memory default constructors). It panics on error.
+func MustOpen(cfg Config) KV {
+	kv, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return kv
 }

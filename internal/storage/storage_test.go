@@ -3,30 +3,96 @@ package storage
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"reflect"
+	"strings"
 	"testing"
 )
 
 // engines returns one fresh instance of every engine under a stable label.
-func engines() map[string]KV {
+func engines(tb testing.TB) map[string]KV {
+	persist, err := OpenPersist(Config{Dir: tb.TempDir()})
+	if err != nil {
+		tb.Fatalf("open persist: %v", err)
+	}
 	return map[string]KV{
 		"single":    NewSingle(),
 		"sharded":   NewSharded(0),
 		"sharded-1": NewSharded(1), // degenerate stripe count must still behave
+		"persist":   persist,
 	}
 }
 
 func TestOpenSelectsEngine(t *testing.T) {
-	if _, ok := Open(Config{Engine: EngineSingle}).(*Single); !ok {
+	kv, err := Open(Config{Engine: EngineSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := kv.(*Single); !ok {
 		t.Fatal("EngineSingle did not open a Single")
 	}
-	if _, ok := Open(Config{Engine: EngineSharded}).(*Sharded); !ok {
+	if kv, err = Open(Config{Engine: EngineSharded}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := kv.(*Sharded); !ok {
 		t.Fatal("EngineSharded did not open a Sharded")
 	}
-	// An explicitly-unknown engine (not empty, so no env override applies)
-	// falls back to the sharded default.
-	if _, ok := Open(Config{Engine: "no-such-engine"}).(*Sharded); !ok {
-		t.Fatal("unknown engine must fall back to the sharded default")
+	if kv, err = Open(Config{Engine: EnginePersist, Dir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := kv.(*Persist); !ok {
+		t.Fatal("EnginePersist did not open a Persist")
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsUnknownEngine(t *testing.T) {
+	// An explicitly-unknown engine must be an error, never a silent
+	// fallback: a peer configured for a durable engine must not quietly run
+	// on RAM.
+	kv, err := Open(Config{Engine: "no-such-engine"})
+	if err == nil {
+		t.Fatalf("unknown engine opened %T, want error", kv)
+	}
+	if !strings.Contains(err.Error(), "no-such-engine") {
+		t.Fatalf("error %q does not name the offending engine", err)
+	}
+}
+
+func TestOpenRejectsUnknownEnvEngine(t *testing.T) {
+	t.Setenv(EngineEnvVar, "no-such-engine")
+	kv, err := Open(Config{})
+	if err == nil {
+		t.Fatalf("unknown %s opened %T, want error", EngineEnvVar, kv)
+	}
+	if !strings.Contains(err.Error(), EngineEnvVar) {
+		t.Fatalf("error %q does not name the env var", err)
+	}
+	// Explicit configs are never affected by the override.
+	if _, err := Open(Config{Engine: EngineSingle}); err != nil {
+		t.Fatalf("explicit engine rejected under bad env override: %v", err)
+	}
+}
+
+func TestEnvOverrideSelectsPersist(t *testing.T) {
+	t.Setenv(EngineEnvVar, string(EnginePersist))
+	kv, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := kv.(*Persist)
+	if !ok {
+		t.Fatalf("env override opened %T, want *Persist", kv)
+	}
+	// No Dir was configured: the engine must have materialised its own.
+	if p.Dir() == "" {
+		t.Fatal("persist engine without a directory")
+	}
+	defer os.RemoveAll(p.Dir())
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -39,7 +105,7 @@ func TestShardCountRounding(t *testing.T) {
 }
 
 func TestBasicOps(t *testing.T) {
-	for name, kv := range engines() {
+	for name, kv := range engines(t) {
 		t.Run(name, func(t *testing.T) {
 			if _, ok := kv.Get("missing"); ok {
 				t.Fatal("phantom key")
@@ -70,7 +136,7 @@ func TestBasicOps(t *testing.T) {
 }
 
 func TestApplyBatchLastWriteWins(t *testing.T) {
-	for name, kv := range engines() {
+	for name, kv := range engines(t) {
 		t.Run(name, func(t *testing.T) {
 			kv.ApplyBatch([]Write{
 				{Key: "k", Value: []byte("first")},
@@ -89,7 +155,7 @@ func TestApplyBatchLastWriteWins(t *testing.T) {
 }
 
 func TestIterPrefixSortedAndStoppable(t *testing.T) {
-	for name, kv := range engines() {
+	for name, kv := range engines(t) {
 		t.Run(name, func(t *testing.T) {
 			for _, k := range []string{"b/2", "a/1", "b/1", "c/9", "b/3"} {
 				kv.Put(k, []byte(k))
@@ -119,7 +185,7 @@ func TestIterPrefixSortedAndStoppable(t *testing.T) {
 }
 
 func TestIterPrefixAllowsReentrancy(t *testing.T) {
-	for name, kv := range engines() {
+	for name, kv := range engines(t) {
 		t.Run(name, func(t *testing.T) {
 			kv.Put("a", []byte("1"))
 			kv.Put("b", []byte("2"))
@@ -194,40 +260,62 @@ func dump(kv KV) []entry {
 	return out
 }
 
-// TestEngineEquivalence drives both engines through identical op sequences
+// TestEngineEquivalence drives every engine through identical op sequences
 // and requires identical final state, iteration order, lengths and point
-// reads — the contract that lets the sharded engine replace the single-lock
-// one under every store.
+// reads — the contract that lets the sharded (and now persist) engine
+// replace the single-lock one under every store. The persist engine is
+// additionally closed and reopened from its directory after the workload:
+// the recovered state must match too.
 func TestEngineEquivalence(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
+		dir := t.TempDir()
 		single := NewSingle()
 		sharded := NewSharded(8)
+		persist, err := OpenPersist(Config{Dir: dir, SegmentBytes: 4 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, o := range randomOps(seed, 600) {
 			apply(single, o)
 			apply(sharded, o)
+			apply(persist, o)
 		}
-		if single.Len() != sharded.Len() {
-			t.Fatalf("seed %d: Len single=%d sharded=%d", seed, single.Len(), sharded.Len())
+		if err := persist.Close(); err != nil {
+			t.Fatalf("seed %d: close persist: %v", seed, err)
 		}
-		ds, dh := dump(single), dump(sharded)
-		if !reflect.DeepEqual(ds, dh) {
-			t.Fatalf("seed %d: state diverged:\nsingle:  %v\nsharded: %v", seed, ds, dh)
+		reopened, err := OpenPersist(Config{Dir: dir, SegmentBytes: 4 << 10})
+		if err != nil {
+			t.Fatalf("seed %d: reopen persist: %v", seed, err)
 		}
-		for _, e := range ds {
-			sv, sok := single.Get(e.key)
-			hv, hok := sharded.Get(e.key)
-			if sok != hok || string(sv) != string(hv) {
-				t.Fatalf("seed %d: Get(%q) single=%q/%v sharded=%q/%v", seed, e.key, sv, sok, hv, hok)
+		others := map[string]KV{"sharded": sharded, "persist": reopened}
+		if single.Len() != sharded.Len() || single.Len() != reopened.Len() {
+			t.Fatalf("seed %d: Len single=%d sharded=%d persist=%d", seed, single.Len(), sharded.Len(), reopened.Len())
+		}
+		ds := dump(single)
+		for name, kv := range others {
+			dh := dump(kv)
+			if !reflect.DeepEqual(ds, dh) {
+				t.Fatalf("seed %d: state diverged:\nsingle: %v\n%s: %v", seed, ds, name, dh)
+			}
+			for _, e := range ds {
+				sv, sok := single.Get(e.key)
+				hv, hok := kv.Get(e.key)
+				if sok != hok || string(sv) != string(hv) {
+					t.Fatalf("seed %d: Get(%q) single=%q/%v %s=%q/%v", seed, e.key, sv, sok, name, hv, hok)
+				}
+			}
+			// Prefix iteration must agree too, not just the full dump.
+			for _, prefix := range []string{"ns0\x00", "ns1\x00key/0", "ns2\x00key/11"} {
+				var ks, kh []string
+				single.IterPrefix(prefix, func(k string, _ []byte) bool { ks = append(ks, k); return true })
+				kv.IterPrefix(prefix, func(k string, _ []byte) bool { kh = append(kh, k); return true })
+				if !reflect.DeepEqual(ks, kh) {
+					t.Fatalf("seed %d: IterPrefix(%q) single=%v %s=%v", seed, prefix, ks, name, kh)
+				}
 			}
 		}
-		// Prefix iteration must agree too, not just the full dump.
-		for _, prefix := range []string{"ns0\x00", "ns1\x00key/0", "ns2\x00key/11"} {
-			var ks, kh []string
-			single.IterPrefix(prefix, func(k string, _ []byte) bool { ks = append(ks, k); return true })
-			sharded.IterPrefix(prefix, func(k string, _ []byte) bool { kh = append(kh, k); return true })
-			if !reflect.DeepEqual(ks, kh) {
-				t.Fatalf("seed %d: IterPrefix(%q) single=%v sharded=%v", seed, prefix, ks, kh)
-			}
+		if err := reopened.Close(); err != nil {
+			t.Fatal(err)
 		}
 	}
 }
@@ -236,15 +324,25 @@ func TestOpenDefaultEngine(t *testing.T) {
 	// The empty config resolves through DefaultEngine (env-overridable for
 	// the CI engine matrix) and must name a real engine.
 	def := DefaultEngine()
-	if def != EngineSingle && def != EngineSharded {
+	if def != EngineSingle && def != EngineSharded && def != EnginePersist {
 		t.Fatalf("DefaultEngine() = %q", def)
 	}
-	kv := Open(Config{})
+	kv, err := Open(Config{})
+	if err != nil {
+		t.Fatalf("Open(Config{}): %v", err)
+	}
+	defer kv.Close()
 	switch def {
 	case EngineSingle:
 		if _, ok := kv.(*Single); !ok {
 			t.Fatalf("default engine %q opened %T", def, kv)
 		}
+	case EnginePersist:
+		p, ok := kv.(*Persist)
+		if !ok {
+			t.Fatalf("default engine %q opened %T", def, kv)
+		}
+		defer os.RemoveAll(p.Dir())
 	default:
 		if _, ok := kv.(*Sharded); !ok {
 			t.Fatalf("default engine %q opened %T", def, kv)

@@ -1,0 +1,84 @@
+// Package walframe is the shared record framing of the repo's durable
+// logs — the storage engine's WAL segments/snapshots and the ledger's
+// block log. One frame is:
+//
+//	[4B big-endian payload length][4B IEEE CRC32 of payload][payload]
+//
+// The framing is what makes crash recovery decidable: a frame either
+// parses completely with a matching CRC or it does not, and HasValidFrame
+// lets a reader discriminate a torn tail (nothing valid after the
+// damage; safe to truncate) from mid-log corruption (committed frames
+// follow; must fail loudly). Both logs share this code precisely so the
+// discriminator cannot drift between them.
+package walframe
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// HeaderLen is the fixed frame-header size.
+const HeaderLen = 8
+
+// Seal fills in the length+CRC header of frame, whose payload starts at
+// HeaderLen (the caller reserved the first HeaderLen bytes). Building
+// payloads in place and sealing keeps the append path copy-free.
+func Seal(frame []byte) {
+	payload := frame[HeaderLen:]
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+}
+
+// Next parses the frame beginning at data[off:], returning its payload
+// (aliasing data) and the offset just past it. A short or CRC-mismatched
+// frame is an error; the caller decides torn-vs-corrupt via
+// HasValidFrame on the remainder.
+func Next(data []byte, off int) (payload []byte, next int, err error) {
+	if len(data)-off < HeaderLen {
+		return nil, off, fmt.Errorf("walframe: truncated header at offset %d", off)
+	}
+	n := int(binary.BigEndian.Uint32(data[off:]))
+	sum := binary.BigEndian.Uint32(data[off+4:])
+	if n < 0 || len(data)-off-HeaderLen < n {
+		return nil, off, fmt.Errorf("walframe: truncated body at offset %d", off)
+	}
+	payload = data[off+HeaderLen : off+HeaderLen+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, off, fmt.Errorf("walframe: crc mismatch at offset %d", off)
+	}
+	return payload, off + HeaderLen + n, nil
+}
+
+// HasValidFrame reports whether any offset of data parses as a complete
+// CRC-valid frame — the discriminator between a torn tail and mid-log
+// corruption. A false positive needs a 2^-32 CRC coincidence, so a hit
+// is taken as evidence of a once-committed frame.
+func HasValidFrame(data []byte) bool {
+	for off := 0; off+HeaderLen <= len(data); off++ {
+		if _, _, err := Next(data, off); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// RecoverTail repairs a log file whose frames parsed cleanly up to good
+// bytes: a genuine torn tail (no complete CRC-valid frame after the
+// failure point) is truncated away; anything else is mid-log corruption
+// and an error — committed frames are never silently destroyed. Both
+// durable logs route their truncate-or-fail decision through here so it
+// cannot drift between them.
+func RecoverTail(path string, data []byte, good int) error {
+	if good >= len(data) {
+		return nil
+	}
+	if HasValidFrame(data[good+1:]) {
+		return fmt.Errorf("walframe: %s corrupt at offset %d with committed frames after it", path, good)
+	}
+	if err := os.Truncate(path, int64(good)); err != nil {
+		return fmt.Errorf("walframe: truncate torn tail of %s: %w", path, err)
+	}
+	return nil
+}
