@@ -17,6 +17,9 @@
 //	durability persist-engine ablation (WAL-backed commits vs in-memory,
 //	          recovery time, end-to-end durable-ingest overhead + a
 //	          kill/reopen resume check)
+//	consensus consensus/crypto hot-path ablation (serial vs batch vs
+//	          cached signature verification, lockstep vs overlapped
+//	          rounds, multi-source e2e ingest with overlap on/off)
 //	all       everything above
 //
 // The -engine flag selects the world-state storage engine ("single",
@@ -25,7 +28,11 @@
 // metrics the figures record as a flat JSON map, the artefact the CI
 // bench job diffs against its committed baseline.
 //
-// Usage: benchharness [-fig all] [-samples 20] [-csv] [-engine sharded] [-out BENCH.json]
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// figures, for digging into hot paths with `go tool pprof` (see
+// DESIGN.md, "Consensus hot path").
+//
+// Usage: benchharness [-fig all] [-samples 20] [-csv] [-engine sharded] [-out BENCH.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -34,6 +41,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -56,14 +65,43 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,storage,retrieval,ingest,durability,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,storage,retrieval,ingest,durability,consensus,all")
 	samples := flag.Int("samples", 20, "measurements per point")
 	csv := flag.Bool("csv", false, "emit CSV series instead of tables")
 	seed := flag.Int64("seed", 1, "workload seed")
 	engine := flag.String("engine", string(storage.EngineSharded), "world-state storage engine: single, sharded or persist")
 	out := flag.String("out", "", "write recorded scalar metrics as a JSON map to this file")
 	ingestRecords := flag.Int("ingest-records", 10000, "records per mode in the ingest ablation")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the selected figures to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected figures to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("create cpu profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("start cpu profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("create mem profile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialise the retained heap before sampling
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("write mem profile: %v", err)
+			}
+		}()
+	}
 
 	switch storage.Engine(*engine) {
 	case storage.EngineSingle, storage.EngineSharded, storage.EnginePersist:
@@ -84,8 +122,9 @@ func main() {
 		"retrieval":  h.retrieval,
 		"ingest":     h.ingest,
 		"durability": h.durability,
+		"consensus":  h.consensus,
 	}
-	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage", "retrieval", "ingest", "durability"}
+	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage", "retrieval", "ingest", "durability", "consensus"}
 	want := strings.Split(*fig, ",")
 	if *fig == "all" {
 		want = order
@@ -972,6 +1011,311 @@ func (h *harness) durability() error {
 	et.Render(os.Stdout)
 	fmt.Printf("\ne2e restart: closed at height %d, resumed at height %d in %.3fs\n",
 		heightBefore, resumedHeight, e2eReopenS)
+	return nil
+}
+
+// consensus reproduces the consensus/crypto hot-path ablation in three
+// parts.
+//
+// Part A (micro): the same batch of signed envelopes is verified three
+// ways — one ed25519.Verify call at a time (the pre-overhaul behaviour),
+// through msp.VerifyBatch (parallel fan-out with duplicate dedup) and
+// through a warm msp.VerifyCache (the gossip/re-endorsement steady state
+// where identical envelopes are re-checked).
+//
+// Part B (protocol): a 4-validator PBFT network with LAN-like latency
+// decides a burst of payloads twice — in lockstep (execution blocks the
+// event loop, the pre-overhaul behaviour) and with OverlapWindow=4 (the
+// leader pre-prepares seq N+1 while N is in prepare/commit and execution
+// runs on the async executor). Deliver carries a fixed per-decision cost
+// emulating block validate+commit, which is what overlap hides.
+//
+// Part C (end to end): 4 concurrent sources — independent provenance
+// chains, so consecutive envelopes are MVCC-independent — push pipelined
+// ingest through one shared 4-peer LAN deployment, with consensus overlap
+// off and on.
+//
+// Recorded metrics (consensus_verify_*_ops, consensus_round_*_rps,
+// consensus_e2e_*_rps and the *_speedup_x ratios) feed the CI regression
+// gate.
+func (h *harness) consensus() error {
+	h.header("Ablation — consensus/crypto hot path (batch verify, verify cache, overlapped rounds)")
+
+	// --- Part A: serial vs batch vs cached signature verification.
+	const envelopes = 256
+	signers := make([]*msp.Signer, 8)
+	for i := range signers {
+		s, err := msp.NewSigner("org", fmt.Sprintf("verify-%d", i), msp.RoleMember)
+		if err != nil {
+			return err
+		}
+		signers[i] = s
+	}
+	rng := sim.NewRNG(h.seed)
+	items := make([]msp.VerifyItem, envelopes)
+	for i := range items {
+		s := signers[i%len(signers)]
+		msg := rng.Bytes(256)
+		items[i] = msp.VerifyItem{Identity: s.Identity, Message: msg, Signature: s.Sign(msg)}
+	}
+	passes := h.samples
+	if passes < 5 {
+		passes = 5
+	}
+	opsPerSec := func(verify func() error) (float64, error) {
+		start := time.Now()
+		for p := 0; p < passes; p++ {
+			if err := verify(); err != nil {
+				return 0, err
+			}
+		}
+		return float64(passes*envelopes) / time.Since(start).Seconds(), nil
+	}
+	serialOps, err := opsPerSec(func() error {
+		for _, it := range items {
+			if !it.Identity.Verify(it.Message, it.Signature) {
+				return fmt.Errorf("consensus: serial verify failed")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	batchOps, err := opsPerSec(func() error {
+		if !msp.VerifyBatch(items) {
+			return fmt.Errorf("consensus: batch verify failed")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	cache := msp.NewVerifyCache(0)
+	if !cache.VerifyBatch(items) { // warm pass: every tuple becomes a cache entry
+		return fmt.Errorf("consensus: cache warm-up failed")
+	}
+	cachedOps, err := opsPerSec(func() error {
+		if !cache.VerifyBatch(items) {
+			return fmt.Errorf("consensus: cached verify failed")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	h.record("consensus_verify_serial_ops", serialOps)
+	h.record("consensus_verify_batch_ops", batchOps)
+	h.record("consensus_verify_cached_ops", cachedOps)
+	h.record("consensus_verify_batch_speedup_x", batchOps/serialOps)
+	h.record("consensus_verify_cached_speedup_x", cachedOps/serialOps)
+
+	// --- Part B: lockstep vs overlapped consensus rounds.
+	const (
+		roundTxs   = 48
+		commitCost = 500 * time.Microsecond // stand-in for block validate+commit
+	)
+	roundRPS := func(overlap int) (float64, error) {
+		const n = 4
+		net := consensus.NewNetwork(sim.LANLatency(sim.NewRNG(h.seed)), nil)
+		ids := make([]string, n)
+		vsigners := make([]*msp.Signer, n)
+		idents := make(map[string]msp.Identity, n)
+		for i := 0; i < n; i++ {
+			ids[i] = fmt.Sprintf("v%d", i)
+			s, err := msp.NewSigner("org", ids[i], msp.RoleMember)
+			if err != nil {
+				return 0, err
+			}
+			vsigners[i] = s
+			idents[ids[i]] = s.Identity
+		}
+		var mu sync.Mutex
+		counts := make(map[string]int, n)
+		validators := make([]*consensus.Validator, n)
+		for i := 0; i < n; i++ {
+			id := ids[i]
+			validators[i] = consensus.NewValidator(consensus.Config{
+				ID:             id,
+				Validators:     ids,
+				Signer:         vsigners[i],
+				Identities:     idents,
+				Network:        net,
+				RequestTimeout: 2 * time.Second,
+				OverlapWindow:  overlap,
+				Deliver: func(seq uint64, payload []byte) {
+					time.Sleep(commitCost)
+					mu.Lock()
+					counts[id]++
+					mu.Unlock()
+				},
+			})
+		}
+		for _, v := range validators {
+			v.Start()
+		}
+		defer func() {
+			for _, v := range validators {
+				v.Stop()
+			}
+		}()
+		start := time.Now()
+		for k := 0; k < roundTxs; k++ {
+			validators[0].Propose([]byte(fmt.Sprintf("round-%03d", k)))
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			mu.Lock()
+			done := true
+			for _, id := range ids {
+				if counts[id] < roundTxs {
+					done = false
+				}
+			}
+			mu.Unlock()
+			if done {
+				break
+			}
+			if time.Now().After(deadline) {
+				return 0, fmt.Errorf("consensus: round burst did not finish (overlap=%d)", overlap)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return float64(roundTxs) / time.Since(start).Seconds(), nil
+	}
+	lockstepRPS, err := roundRPS(0)
+	if err != nil {
+		return err
+	}
+	overlapRPS, err := roundRPS(4)
+	if err != nil {
+		return err
+	}
+	h.record("consensus_round_lockstep_rps", lockstepRPS)
+	h.record("consensus_round_overlap_rps", overlapRPS)
+	h.record("consensus_round_overlap_speedup_x", overlapRPS/lockstepRPS)
+
+	// --- Part C: multi-source e2e ingest, overlap off vs on.
+	perSource := h.ingestRecords / 16
+	if perSource < 100 {
+		perSource = 100
+	}
+	const sources = 4
+	e2e := func(overlap int) (float64, error) {
+		frng := sim.NewRNG(h.seed)
+		fw, err := core.New(core.Config{
+			Fabric: fabric.Config{
+				NumPeers: 4,
+				Cutter:   ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 2 * time.Millisecond},
+				Latency:  sim.LANLatency(frng),
+			},
+			IPFSNodes:        2,
+			IPFSLatency:      sim.LANLatency(frng.Fork()),
+			StorageEngine:    h.engine,
+			ConsensusOverlap: overlap,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer fw.Close()
+		det := detect.NewDetector(h.seed)
+		type job struct {
+			pipe *ingest.Pipeline
+			recs []ingest.Record
+		}
+		jobs := make([]job, sources)
+		for s := 0; s < sources; s++ {
+			cam, err := msp.NewSigner("city", fmt.Sprintf("consensus-cam-%d", s), msp.RoleTrustedSource)
+			if err != nil {
+				return 0, err
+			}
+			if err := fw.RegisterSource(cam.Identity, true); err != nil {
+				return 0, err
+			}
+			client := fw.Client(cam, s%2) // spread sources over both IPFS nodes
+			frameRNG := sim.NewRNG(h.seed + int64(100+s))
+			recs := make([]ingest.Record, perSource)
+			for i := range recs {
+				frame, meta := frameOfSize(frameRNG, det, 4*1024, s*perSource+i)
+				recs[i] = ingest.Record{Signed: msp.NewSignedMessage(cam, frame.Data), Meta: meta}
+			}
+			// BatchSize 10 (vs the ingest ablation's 100) shifts weight from
+			// the add stage to consensus rounds — the stage overlap targets.
+			jobs[s] = job{
+				pipe: client.Pipeline(ingest.Config{
+					Mode: ingest.ModePipelined, BatchSize: 10, AddWorkers: 4, MaxInFlight: 1,
+					FlushInterval: 250 * time.Millisecond,
+				}),
+				recs: recs,
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, sources)
+		start := time.Now()
+		for s := range jobs {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for _, r := range jobs[s].pipe.Run(jobs[s].recs) {
+					if r.Err != nil {
+						errs[s] = fmt.Errorf("consensus e2e source %d record %d: %w", s, r.Index, r.Err)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return float64(sources*perSource) / elapsed, nil
+	}
+	e2eLockstepRPS, err := e2e(0)
+	if err != nil {
+		return err
+	}
+	e2eOverlapRPS, err := e2e(4)
+	if err != nil {
+		return err
+	}
+	h.record("consensus_e2e_lockstep_rps", e2eLockstepRPS)
+	h.record("consensus_e2e_overlap_rps", e2eOverlapRPS)
+	h.record("consensus_e2e_overlap_speedup_x", e2eOverlapRPS/e2eLockstepRPS)
+
+	if h.csv {
+		verifyS := &metrics.Series{Label: "verify_ops"} // x: 0=serial 1=batch 2=cached
+		verifyS.Append(0, serialOps)
+		verifyS.Append(1, batchOps)
+		verifyS.Append(2, cachedOps)
+		roundS := &metrics.Series{Label: "round_rps"} // x: overlap window
+		roundS.Append(0, lockstepRPS)
+		roundS.Append(4, overlapRPS)
+		e2eS := &metrics.Series{Label: "e2e_rps"} // x: overlap window
+		e2eS.Append(0, e2eLockstepRPS)
+		e2eS.Append(4, e2eOverlapRPS)
+		verifyS.WriteCSV(os.Stdout)
+		roundS.WriteCSV(os.Stdout)
+		e2eS.WriteCSV(os.Stdout)
+		return nil
+	}
+	vt := metrics.NewTable(fmt.Sprintf("signature verification (%d envelopes)", envelopes), "ops_per_s", "speedup_vs_serial")
+	vt.AddRow("serial (one ed25519.Verify at a time)", serialOps, 1.0)
+	vt.AddRow("batch (msp.VerifyBatch)", batchOps, batchOps/serialOps)
+	vt.AddRow("cached (warm msp.VerifyCache)", cachedOps, cachedOps/serialOps)
+	vt.Render(os.Stdout)
+	fmt.Println()
+	rt := metrics.NewTable(fmt.Sprintf("consensus rounds (n=4, LAN, %d decisions, %s commit cost)", roundTxs, commitCost), "decisions_per_s", "speedup")
+	rt.AddRow("lockstep (window 0)", lockstepRPS, 1.0)
+	rt.AddRow("overlapped (window 4)", overlapRPS, overlapRPS/lockstepRPS)
+	rt.Render(os.Stdout)
+	fmt.Println()
+	et := metrics.NewTable(fmt.Sprintf("e2e ingest (%d sources x %d records)", sources, perSource), "records_per_s", "speedup")
+	et.AddRow("consensus lockstep", e2eLockstepRPS, 1.0)
+	et.AddRow("consensus overlap (window 4)", e2eOverlapRPS, e2eOverlapRPS/e2eLockstepRPS)
+	et.Render(os.Stdout)
 	return nil
 }
 

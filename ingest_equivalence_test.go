@@ -46,7 +46,7 @@ func equivalenceSeed(t *testing.T) int64 {
 	return time.Now().UnixNano()
 }
 
-func newEquivFramework(t *testing.T, engine storage.Engine) (*core.Framework, *core.Client, *msp.Signer) {
+func newEquivFramework(t *testing.T, engine storage.Engine, overlap int) (*core.Framework, *core.Client, *msp.Signer) {
 	t.Helper()
 	// The persist engine runs as a fully durable deployment over a fresh
 	// scratch directory, so the cross-engine comparison also proves the
@@ -60,9 +60,10 @@ func newEquivFramework(t *testing.T, engine storage.Engine) (*core.Framework, *c
 			NumPeers: 4,
 			Cutter:   ordering.CutterConfig{MaxMessages: 2, BatchTimeout: 2 * time.Millisecond},
 		},
-		IPFSNodes:     2,
-		StorageEngine: engine,
-		DataDir:       dataDir,
+		IPFSNodes:        2,
+		StorageEngine:    engine,
+		DataDir:          dataDir,
+		ConsensusOverlap: overlap,
 	})
 	if err != nil {
 		t.Fatalf("core.New(%s): %v", engine, err)
@@ -199,8 +200,9 @@ func checkProvenanceChain(t *testing.T, fw *core.Framework, gw *fabric.Gateway, 
 
 // TestIntegrationIngestEquivalence is the randomized serial-vs-pipelined
 // equivalence gate, run under all three storage engines (the persist legs
-// as a durable deployment); the six runs must all agree on canonical
-// state.
+// as a durable deployment); a third, overlap-enabled mode proves the
+// overlapped consensus rounds (ConsensusOverlap=4) leave the canonical
+// bytes untouched. All nine runs must agree on canonical state.
 func TestIntegrationIngestEquivalence(t *testing.T) {
 	seed := equivalenceSeed(t)
 	t.Logf("equivalence seed %d (pin with SOCIALCHAIN_EQUIV_SEED)", seed)
@@ -210,9 +212,13 @@ func TestIntegrationIngestEquivalence(t *testing.T) {
 	var canonical [][]byte
 	var indexCanon []string
 	for _, engine := range []storage.Engine{storage.EngineSingle, storage.EngineSharded, storage.EnginePersist} {
-		for _, mode := range []string{"serial-loop", "pipelined"} {
+		for _, mode := range []string{"serial-loop", "pipelined", "pipelined-overlap"} {
 			t.Run(string(engine)+"/"+mode, func(t *testing.T) {
-				fw, client, cam := newEquivFramework(t, engine)
+				overlap := 0
+				if mode == "pipelined-overlap" {
+					overlap = 4
+				}
+				fw, client, cam := newEquivFramework(t, engine, overlap)
 				if mode == "serial-loop" {
 					for i, f := range frames {
 						if _, err := client.StoreFrame(f, metas[i]); err != nil {

@@ -34,6 +34,17 @@ type Config struct {
 	Deliver func(seq uint64, payload []byte)
 	// OnEvict is invoked when this validator evicts a peer (may be nil).
 	OnEvict func(id string)
+	// OverlapWindow > 0 overlaps consensus with execution: decided payloads
+	// are handed to a dedicated executor goroutine (still in strict
+	// sequence order) and the leader keeps proposing up to OverlapWindow
+	// sequences beyond the last decided one, so round N+1's phases run
+	// while round N's block commits. 0 — the default — preserves lockstep
+	// behaviour exactly: Deliver runs inline in the event loop and
+	// proposing is not window-bounded.
+	OverlapWindow int
+	// VerifyCacheSize bounds this replica's signature verify cache
+	// (0 selects msp.DefaultVerifyCacheSize).
+	VerifyCacheSize int
 }
 
 type request struct {
@@ -53,6 +64,12 @@ type instance struct {
 	executed   bool
 }
 
+// execItem is one decided payload queued for the overlap executor.
+type execItem struct {
+	seq     uint64
+	payload []byte
+}
+
 // Validator is one PBFT replica.
 type Validator struct {
 	cfg  Config
@@ -62,6 +79,18 @@ type Validator struct {
 	proposeCh chan []byte
 	stopCh    chan struct{}
 	doneCh    chan struct{}
+	stopOnce  sync.Once
+
+	// verifyCache memoises signature checks: pre-prepare evidence arrives
+	// embedded in every prepare (2f+1 copies per sequence) and NewView
+	// proofs repeat view-change votes already verified on arrival.
+	verifyCache *msp.VerifyCache
+
+	// execCh feeds the overlap executor (nil in lockstep mode). The event
+	// loop is its only sender; Stop closes it after the loop exits and
+	// waits for the executor to drain.
+	execCh     chan execItem
+	execDoneCh chan struct{}
 
 	mu              sync.Mutex
 	view            uint64
@@ -77,6 +106,8 @@ type Validator struct {
 	future          map[uint64][]*Message // view -> protocol messages deferred until we enter it
 	deliveredCount  int
 	viewChangeCount int
+	proposeDepth    int  // re-entrancy depth of proposePending
+	proposeAgain    bool // a nested call wants another proposing round
 }
 
 // maxFutureMsgs bounds the per-view buffer of early-arriving protocol
@@ -101,31 +132,66 @@ func NewValidator(cfg Config) *Validator {
 	}
 	n := len(cfg.Validators)
 	v := &Validator{
-		cfg:       cfg,
-		n:         n,
-		f:         (n - 1) / 3,
-		inbox:     cfg.Network.Register(cfg.ID),
-		proposeCh: make(chan []byte, 1024),
-		stopCh:    make(chan struct{}),
-		doneCh:    make(chan struct{}),
-		nextSeq:   1,
-		insts:     make(map[uint64]*instance),
-		pending:   make(map[[32]byte]*request),
-		delivered: make(map[[32]byte]bool),
-		evicted:   make(map[string]bool),
-		vcVotes:   make(map[uint64]map[string][]byte),
-		future:    make(map[uint64][]*Message),
+		cfg:         cfg,
+		n:           n,
+		f:           (n - 1) / 3,
+		inbox:       cfg.Network.Register(cfg.ID),
+		proposeCh:   make(chan []byte, 1024),
+		stopCh:      make(chan struct{}),
+		doneCh:      make(chan struct{}),
+		verifyCache: msp.NewVerifyCache(cfg.VerifyCacheSize),
+		nextSeq:     1,
+		insts:       make(map[uint64]*instance),
+		pending:     make(map[[32]byte]*request),
+		delivered:   make(map[[32]byte]bool),
+		evicted:     make(map[string]bool),
+		vcVotes:     make(map[uint64]map[string][]byte),
+		future:      make(map[uint64][]*Message),
+	}
+	if cfg.OverlapWindow > 0 {
+		// The buffer doubles as the execution-backlog bound: once it fills,
+		// the event loop blocks on the enqueue (outside mu), throttling
+		// consensus to at most OverlapWindow un-executed decisions.
+		v.execCh = make(chan execItem, cfg.OverlapWindow)
+		v.execDoneCh = make(chan struct{})
 	}
 	return v
 }
 
-// Start launches the replica's event loop.
-func (v *Validator) Start() { go v.loop() }
+// Start launches the replica's event loop (and, in overlap mode, its
+// executor).
+func (v *Validator) Start() {
+	if v.execCh != nil {
+		go v.execLoop()
+	}
+	go v.loop()
+}
 
-// Stop terminates the replica and waits for the loop to exit.
+// Stop terminates the replica and waits for the loop to exit. In overlap
+// mode the executor then drains every already-decided payload before Stop
+// returns, so no decision is lost. Stop is idempotent.
 func (v *Validator) Stop() {
-	close(v.stopCh)
-	<-v.doneCh
+	v.stopOnce.Do(func() {
+		close(v.stopCh)
+		<-v.doneCh
+		if v.execCh != nil {
+			close(v.execCh) // the event loop — the only sender — has exited
+			<-v.execDoneCh
+		}
+	})
+}
+
+// execLoop runs decided payloads in sequence order, off the event loop.
+func (v *Validator) execLoop() {
+	defer close(v.execDoneCh)
+	for it := range v.execCh {
+		v.cfg.Deliver(it.seq, it.payload)
+	}
+}
+
+// VerifyCacheStats reports the replica's verify-cache hit/miss counters.
+func (v *Validator) VerifyCacheStats() (hits, misses int64) {
+	return v.verifyCache.Hits(), v.verifyCache.Misses()
 }
 
 // Propose submits a payload for total ordering. Any replica may be used as
@@ -208,36 +274,64 @@ func (v *Validator) send(to string, m Message) {
 	if out == nil {
 		return
 	}
-	cp := *out
-	cp.From = v.cfg.ID
-	cp.Signature = v.cfg.Signer.Sign(cp.SigningBytes())
-	v.cfg.Network.Send(v.cfg.ID, to, &cp)
+	v.cfg.Network.Send(v.cfg.ID, to, v.signCopy(out))
 }
 
+// signCopy copies out, stamps this replica as origin and signs. The memo
+// is invalidated after the copy (the filter may have mutated signed-over
+// fields) and repopulated by signing, so the shipped message carries its
+// canonical bytes precomputed for the receiver.
+func (v *Validator) signCopy(out *Message) *Message {
+	cp := *out
+	cp.From = v.cfg.ID
+	cp.invalidate()
+	cp.Signature = v.cfg.Signer.Sign(cp.SigningBytes())
+	return &cp
+}
+
+// broadcast sends m to every other replica. Ed25519 signing is
+// deterministic and From is the same for every recipient, so when the
+// behaviour filter passes the message through untouched (the honest case)
+// one signature — the expensive step — serves all n-1 sends; every filter
+// that alters a message returns a fresh copy, which is signed per
+// recipient.
 func (v *Validator) broadcast(m Message) {
+	var signed *Message
 	for _, id := range v.cfg.Validators {
-		if id != v.cfg.ID {
-			v.send(id, m)
+		if id == v.cfg.ID {
+			continue
 		}
+		out := v.cfg.Behavior.OutboundFilter(id, &m)
+		if out == nil {
+			continue
+		}
+		if out == &m {
+			if signed == nil {
+				signed = v.signCopy(out)
+			}
+			// Recipients treat inbound messages as read-only and the memo
+			// was populated before this send, so sharing one copy is safe.
+			v.cfg.Network.Send(v.cfg.ID, id, signed)
+			continue
+		}
+		v.cfg.Network.Send(v.cfg.ID, id, v.signCopy(out))
 	}
 }
 
 // selfSigned returns a copy of m signed by this replica, for local
 // processing alongside the broadcast.
 func (v *Validator) selfSigned(m Message) *Message {
-	cp := m
-	cp.From = v.cfg.ID
-	cp.Signature = v.cfg.Signer.Sign(cp.SigningBytes())
-	return &cp
+	return v.signCopy(&m)
 }
 
-// verify checks the origin signature of an incoming message.
+// verify checks the origin signature of an incoming message through the
+// verify cache.
 func (v *Validator) verify(m *Message) bool {
 	id, ok := v.cfg.Identities[m.From]
 	if !ok {
 		return false
 	}
-	return id.Verify(m.SigningBytes(), m.Signature)
+	return v.verifyCache.Verify(id, m.SigningBytes(), m.Signature)
 }
 
 // --- event loop ---
@@ -256,11 +350,61 @@ func (v *Validator) loop() {
 		case payload := <-v.proposeCh:
 			v.handleRequestPayload(payload, true)
 		case m := <-v.inbox:
-			v.dispatch(m)
+			v.dispatchBatch(v.drainInbox(m))
 		case <-timer:
 			v.checkTimeouts()
 			timer = v.cfg.Clock.After(tick)
 		}
+	}
+}
+
+// maxInboxDrain caps how many queued messages one loop iteration pulls, so
+// a full inbox cannot starve the propose and timeout channels.
+const maxInboxDrain = 64
+
+// drainInbox collects the first message plus whatever else is already
+// queued, so verification can be amortised across the batch.
+func (v *Validator) drainInbox(first *Message) []*Message {
+	msgs := []*Message{first}
+	for len(msgs) < maxInboxDrain {
+		select {
+		case m := <-v.inbox:
+			msgs = append(msgs, m)
+		default:
+			return msgs
+		}
+	}
+	return msgs
+}
+
+// dispatchBatch verifies a drained batch of messages in one cache-aware
+// parallel pass, then handles them in arrival order. Under quorum load a
+// validator's inbox holds the same round's votes from every peer; checking
+// them together amortises signature cost across cores.
+func (v *Validator) dispatchBatch(msgs []*Message) {
+	if len(msgs) == 1 {
+		v.dispatch(msgs[0])
+		return
+	}
+	items := make([]msp.VerifyItem, 0, len(msgs))
+	idx := make([]int, 0, len(msgs))
+	verdicts := make([]bool, len(msgs))
+	for i, m := range msgs {
+		if id, ok := v.cfg.Identities[m.From]; ok {
+			items = append(items, msp.VerifyItem{Identity: id, Message: m.SigningBytes(), Signature: m.Signature})
+			idx = append(idx, i)
+		}
+	}
+	for j, ok := range v.verifyCache.VerifyBatchEach(items) {
+		verdicts[idx[j]] = ok
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i, m := range msgs {
+		if !verdicts[i] || v.evicted[m.From] {
+			continue
+		}
+		v.handleVerified(m)
 	}
 }
 
@@ -273,6 +417,11 @@ func (v *Validator) dispatch(m *Message) {
 	if !v.verify(m) {
 		return
 	}
+	v.handleVerified(m)
+}
+
+// handleVerified routes an authenticated message. Caller holds mu.
+func (v *Validator) handleVerified(m *Message) {
 	switch m.Type {
 	case MsgRequest:
 		v.onRequest(m)
@@ -356,9 +505,31 @@ func (v *Validator) onRequest(m *Message) {
 	}
 }
 
-// proposePending assigns sequence numbers to all non-in-flight requests and
-// broadcasts pre-prepares. Caller holds mu.
+// proposePending assigns sequence numbers to non-in-flight requests and
+// broadcasts pre-prepares — all of them in lockstep mode, at most
+// OverlapWindow beyond the last decided sequence in overlap mode. Caller
+// holds mu. Re-entrant calls (maybeExecute freeing window slots mid-round)
+// are flattened into another iteration of the outer loop instead of
+// recursing, which keeps stack depth constant on single-replica networks
+// where proposing decides immediately.
 func (v *Validator) proposePending() {
+	if v.proposeDepth > 0 {
+		v.proposeAgain = true
+		return
+	}
+	v.proposeDepth++
+	defer func() { v.proposeDepth-- }()
+	for {
+		v.proposeAgain = false
+		v.proposeRound()
+		if !v.proposeAgain {
+			return
+		}
+	}
+}
+
+// proposeRound runs one pass over pending requests. Caller holds mu.
+func (v *Validator) proposeRound() {
 	digests := make([][32]byte, 0, len(v.pending))
 	for d := range v.pending {
 		digests = append(digests, d)
@@ -374,8 +545,13 @@ func (v *Validator) proposePending() {
 	})
 	for _, d := range digests {
 		req := v.pending[d]
-		if req.inFlight {
+		if req == nil || req.inFlight {
+			// nil: the snapshot entry was decided (and removed) by an
+			// earlier iteration's self-quorum execution chain.
 			continue
+		}
+		if v.cfg.OverlapWindow > 0 && v.nextSeq > v.lastExec+uint64(v.cfg.OverlapWindow) {
+			return // window full; maybeExecute re-proposes as decisions land
 		}
 		seq := v.nextSeq
 		v.nextSeq++
@@ -477,7 +653,9 @@ func (v *Validator) checkEquivocationEvidence(m *Message) {
 	}
 	leader := pp.From
 	id, ok := v.cfg.Identities[leader]
-	if !ok || !id.Verify(pp.SigningBytes(), pp.Signature) {
+	// Cached: the same leader-signed evidence arrives embedded in every
+	// replica's prepare, so only the first of 2f+1 copies pays the verify.
+	if !ok || !v.verifyCache.Verify(id, pp.SigningBytes(), pp.Signature) {
 		return
 	}
 	inst, ok := v.insts[pp.Seq]
@@ -530,19 +708,23 @@ func (v *Validator) onCommit(m *Message) {
 	v.maybeExecute()
 }
 
-// maybeExecute delivers committed instances in sequence order. Caller
-// holds mu.
+// maybeExecute delivers committed instances in sequence order. In lockstep
+// mode the payload executes inline; in overlap mode it is queued on the
+// executor so the event loop returns to processing the next round's
+// messages while the block commits. Caller holds mu.
 func (v *Validator) maybeExecute() {
+	advanced := false
 	for {
 		inst, ok := v.insts[v.lastExec+1]
 		if !ok || inst.executed || inst.payload == nil {
-			return
+			break
 		}
 		if len(inst.commits) < v.quorum() || !inst.sentCommit {
-			return
+			break
 		}
 		inst.executed = true
 		v.lastExec++
+		advanced = true
 		digest := inst.digest
 		payload := inst.payload
 		delete(v.pending, digest)
@@ -555,12 +737,26 @@ func (v *Validator) maybeExecute() {
 			v.deliveredCount++
 			seq := v.lastExec
 			v.mu.Unlock()
-			v.cfg.Deliver(seq, payload)
+			if v.execCh != nil {
+				// Blocks only when OverlapWindow decisions are already
+				// queued — the bounded in-flight window's backpressure.
+				select {
+				case v.execCh <- execItem{seq: seq, payload: payload}:
+				case <-v.stopCh:
+				}
+			} else {
+				v.cfg.Deliver(seq, payload)
+			}
 			v.mu.Lock()
 		}
 		if v.lastExec > 64 {
 			delete(v.insts, v.lastExec-64) // prune old instances
 		}
+	}
+	// Decisions freed window slots; a leader with window-deferred requests
+	// can propose again.
+	if advanced && v.cfg.OverlapWindow > 0 && v.leaderOf(v.view) == v.cfg.ID {
+		v.proposePending()
 	}
 }
 
@@ -666,7 +862,9 @@ func (v *Validator) onNewView(m *Message) {
 			continue
 		}
 		id, ok := v.cfg.Identities[vm.From]
-		if !ok || v.evicted[vm.From] || !id.Verify(vm.SigningBytes(), vm.Signature) {
+		// Cached: each proof is a view-change vote this replica usually
+		// verified already when it arrived directly.
+		if !ok || v.evicted[vm.From] || !v.verifyCache.Verify(id, vm.SigningBytes(), vm.Signature) {
 			continue
 		}
 		voters[vm.From] = true

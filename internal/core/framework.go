@@ -67,6 +67,12 @@ type Config struct {
 	// chain already carries it. A killed and restarted deployment therefore
 	// resumes with its canonical state intact.
 	DataDir string
+	// ConsensusOverlap, when > 0, lets consensus run up to this many rounds
+	// ahead of block execution (copied into Fabric.ConsensusOverlap unless
+	// that field is already set). 0 keeps the lockstep default; the
+	// canonical chain state is identical either way — overlap changes only
+	// when execution happens, never its order.
+	ConsensusOverlap int
 }
 
 func (c *Config) fill() {
@@ -93,6 +99,9 @@ func (c *Config) fill() {
 	}
 	if c.DataDir != "" && c.Fabric.DataDir == "" {
 		c.Fabric.DataDir = filepath.Join(c.DataDir, "fabric")
+	}
+	if c.Fabric.ConsensusOverlap == 0 {
+		c.Fabric.ConsensusOverlap = c.ConsensusOverlap
 	}
 }
 

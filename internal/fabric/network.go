@@ -68,6 +68,18 @@ type Config struct {
 	// maintains (nil = none). All peers get the same list — index reads
 	// feed endorsement results.
 	StateIndexes []statedb.IndexSpec
+	// ConsensusOverlap, when > 0, overlaps consensus rounds with block
+	// execution: each validator hands decided batches to a dedicated
+	// executor goroutine and its leader keeps proposing up to this many
+	// sequences beyond the last decided one. 0 (default) keeps the
+	// lockstep behaviour: a round's block fully commits before the event
+	// loop touches the next round's messages.
+	ConsensusOverlap int
+	// VerifyCacheSize bounds each peer's and validator's signature verify
+	// cache (0 selects msp.DefaultVerifyCacheSize). Caches are per-node,
+	// never shared, so the in-process simulation measures what separate
+	// processes would.
+	VerifyCacheSize int
 }
 
 func (c *Config) fill() {
@@ -163,15 +175,16 @@ func NewNetwork(cfg Config) (*Network, error) {
 			dataDir = filepath.Join(cfg.DataDir, ids[i])
 		}
 		p, err := peer.New(peer.Config{
-			ID:        ids[i],
-			ChannelID: cfg.ChannelID,
-			Signer:    signers[i],
-			Registry:  n.registry,
-			Policy:    n.policy,
-			Watchdog:  n.watchdog,
-			State:     storage.Config{Engine: cfg.StateEngine, Shards: cfg.StateShards},
-			DataDir:   dataDir,
-			Indexes:   cfg.StateIndexes,
+			ID:              ids[i],
+			ChannelID:       cfg.ChannelID,
+			Signer:          signers[i],
+			Registry:        n.registry,
+			Policy:          n.policy,
+			Watchdog:        n.watchdog,
+			State:           storage.Config{Engine: cfg.StateEngine, Shards: cfg.StateShards},
+			DataDir:         dataDir,
+			Indexes:         cfg.StateIndexes,
+			VerifyCacheSize: cfg.VerifyCacheSize,
 		})
 		if err != nil {
 			n.closePeers()
@@ -192,14 +205,16 @@ func NewNetwork(cfg Config) (*Network, error) {
 	for i := 0; i < cfg.NumPeers; i++ {
 		p := n.peers[i]
 		v := consensus.NewValidator(consensus.Config{
-			ID:             ids[i],
-			Validators:     ids,
-			Signer:         signers[i],
-			Identities:     idents,
-			Network:        n.consNet,
-			Clock:          cfg.Clock,
-			RequestTimeout: cfg.ConsensusTimeout,
-			Behavior:       cfg.Behaviors[i],
+			ID:              ids[i],
+			Validators:      ids,
+			Signer:          signers[i],
+			Identities:      idents,
+			Network:         n.consNet,
+			Clock:           cfg.Clock,
+			RequestTimeout:  cfg.ConsensusTimeout,
+			Behavior:        cfg.Behaviors[i],
+			OverlapWindow:   cfg.ConsensusOverlap,
+			VerifyCacheSize: cfg.VerifyCacheSize,
 			Deliver: func(seq uint64, payload []byte) {
 				batch, err := ordering.DecodeBatch(payload)
 				if err != nil {

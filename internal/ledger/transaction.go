@@ -46,6 +46,15 @@ type Transaction struct {
 	Endorsements []msp.Endorsement `json:"endorsements"`
 	Timestamp    time.Time         `json:"timestamp"`
 	Signature    []byte            `json:"signature,omitempty"`
+
+	// digestMemo caches Digest (a JSON re-serialisation of the read/write
+	// set per call otherwise): commit-time validation needs the digest for
+	// the envelope signature, the watchdog scan and the policy evaluation.
+	// It is only ever populated explicitly via PrecomputeDigest — Digest
+	// does not store, so a transaction mutated after construction (tamper
+	// scenarios, tests) still recomputes honestly. Unexported, so encoding
+	// drops it and a decoded transaction starts unpinned.
+	digestMemo []byte
 }
 
 // SigningBytes returns the canonical bytes the submitting client signs for
@@ -68,9 +77,23 @@ func NewTxID(creator msp.Identity, nonce []byte) string {
 }
 
 // Digest returns the endorsement digest of this transaction's simulation
-// result (RWSet + response).
+// result (RWSet + response). A digest pinned with PrecomputeDigest is
+// returned directly; otherwise it is recomputed on every call.
 func (t *Transaction) Digest() []byte {
+	if t.digestMemo != nil {
+		return t.digestMemo
+	}
 	return t.RWSet.Digest(t.Response)
+}
+
+// PrecomputeDigest pins the digest memo so subsequent Digest and
+// SigningBytes calls skip the RWSet re-serialisation. Call it only once the
+// envelope's RWSet and Response are final, from the goroutine that owns the
+// transaction — concurrent readers are safe only after the write.
+func (t *Transaction) PrecomputeDigest() {
+	if t.digestMemo == nil {
+		t.digestMemo = t.RWSet.Digest(t.Response)
+	}
 }
 
 // Bytes returns the canonical encoding used for block data hashing.

@@ -1,0 +1,132 @@
+package msp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// VerifyItem is one signature check in a batch: did Identity sign Message
+// with Signature?
+type VerifyItem struct {
+	Identity  Identity
+	Message   []byte
+	Signature []byte
+}
+
+// VerifyBatch checks every item and reports whether all verify — the
+// all-or-nothing contract of ed25519 batch verification. The standard
+// library exposes no true batch equation, so the amortisation here comes
+// from deduplicating identical tuples (gossip and quorum traffic repeat
+// them heavily) and fanning the residual independent verifications across
+// cores. An empty batch is vacuously valid.
+func VerifyBatch(items []VerifyItem) bool {
+	for _, ok := range VerifyBatchEach(items) {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyBatchEach checks every item and returns a per-item verdict slice,
+// for callers (block validation) that must flag individual failures rather
+// than reject the whole batch. Duplicate tuples are verified once.
+func VerifyBatchEach(items []VerifyItem) []bool {
+	return verifyBatchEach(nil, items)
+}
+
+// VerifyBatchEach is the cache-aware batch check: cached tuples are
+// answered from memory, the remaining misses are deduplicated, verified in
+// parallel and stored back. A nil receiver degrades to the uncached path.
+func (c *VerifyCache) VerifyBatchEach(items []VerifyItem) []bool {
+	return verifyBatchEach(c, items)
+}
+
+// VerifyBatch is the cache-aware all-or-nothing batch check.
+func (c *VerifyCache) VerifyBatch(items []VerifyItem) bool {
+	for _, ok := range verifyBatchEach(c, items) {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func verifyBatchEach(c *VerifyCache, items []VerifyItem) []bool {
+	if len(items) == 0 {
+		return nil
+	}
+	results := make([]bool, len(items))
+
+	// Resolve cache hits and collapse duplicate tuples so each distinct
+	// (pubkey, msg, sig) hits ed25519.Verify at most once per batch.
+	type job struct {
+		key   [32]byte
+		first int   // index whose verdict the group shares
+		rest  []int // further indices with the identical tuple
+	}
+	groups := make(map[[32]byte]*job, len(items))
+	var jobs []*job
+	for i, it := range items {
+		key := verifyCacheKey(it.Identity.PubKey, it.Message, it.Signature)
+		if c != nil {
+			if ok, cached := c.lookup(key); cached {
+				results[i] = ok
+				continue
+			}
+		}
+		if g, dup := groups[key]; dup {
+			g.rest = append(g.rest, i)
+			continue
+		}
+		g := &job{key: key, first: i}
+		groups[key] = g
+		jobs = append(jobs, g)
+	}
+	if len(jobs) == 0 {
+		return results
+	}
+
+	// Fan the distinct misses across cores; small batches stay serial to
+	// avoid goroutine overhead dominating a couple of verifications.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 || len(jobs) < 4 {
+		for _, g := range jobs {
+			it := items[g.first]
+			results[g.first] = it.Identity.Verify(it.Message, it.Signature)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan *job)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for g := range next {
+					it := items[g.first]
+					results[g.first] = it.Identity.Verify(it.Message, it.Signature)
+				}
+			}()
+		}
+		for _, g := range jobs {
+			next <- g
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Propagate group verdicts to duplicates and populate the cache.
+	for _, g := range jobs {
+		ok := results[g.first]
+		for _, i := range g.rest {
+			results[i] = ok
+		}
+		if c != nil {
+			c.store(g.key, ok)
+		}
+	}
+	return results
+}

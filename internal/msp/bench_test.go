@@ -29,6 +29,65 @@ func BenchmarkVerify(b *testing.B) {
 	}
 }
 
+// benchItems builds a batch of n distinct signed envelopes.
+func benchItems(b *testing.B, n int) []VerifyItem {
+	b.Helper()
+	items := make([]VerifyItem, n)
+	for i := range items {
+		s, err := NewSigner("org", string(rune('a'+i%26)), RoleMember)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msg := make([]byte, 256)
+		msg[0] = byte(i)
+		msg[1] = byte(i >> 8)
+		items[i] = VerifyItem{Identity: s.Identity, Message: msg, Signature: s.Sign(msg)}
+	}
+	return items
+}
+
+// BenchmarkVerifySerial32 is the baseline the batch path is measured
+// against: 32 envelopes verified one at a time.
+func BenchmarkVerifySerial32(b *testing.B) {
+	items := benchItems(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, it := range items {
+			if !it.Identity.Verify(it.Message, it.Signature) {
+				b.Fatal("verify failed")
+			}
+		}
+	}
+}
+
+// BenchmarkVerifyBatch32 verifies the same 32 envelopes through the
+// parallel batch verifier.
+func BenchmarkVerifyBatch32(b *testing.B) {
+	items := benchItems(b, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !VerifyBatch(items) {
+			b.Fatal("batch verify failed")
+		}
+	}
+}
+
+// BenchmarkVerifyCached32 re-verifies a warm batch through the verify
+// cache — the gossip/re-endorsement steady state.
+func BenchmarkVerifyCached32(b *testing.B) {
+	items := benchItems(b, 32)
+	c := NewVerifyCache(0)
+	if !c.VerifyBatch(items) {
+		b.Fatal("warm-up failed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.VerifyBatch(items) {
+			b.Fatal("cached batch verify failed")
+		}
+	}
+}
+
 func BenchmarkQuorumPolicyEvaluate(b *testing.B) {
 	digest := []byte("digest-to-endorse-0123456789abcd")
 	var ends []Endorsement

@@ -32,10 +32,20 @@ type Policy interface {
 // countValid tallies endorsements that verify, match digest, and come from
 // distinct endorsers.
 func countValid(digest []byte, endorsements []Endorsement) (int, map[string]int) {
+	return countValidWith(digest, endorsements, verifyDirect)
+}
+
+// verifyDirect is countValidWith's default verifier: check the signature.
+func verifyDirect(_ int, e Endorsement) bool { return e.Verify() }
+
+// countValidWith is countValid with the signature check abstracted, so
+// callers that already verified the batch (peer block validation) can
+// supply their verdicts instead of paying ed25519.Verify a second time.
+func countValidWith(digest []byte, endorsements []Endorsement, verify func(int, Endorsement) bool) (int, map[string]int) {
 	seen := make(map[string]bool)
 	perOrg := make(map[string]int)
 	n := 0
-	for _, e := range endorsements {
+	for i, e := range endorsements {
 		id := e.Endorser.ID()
 		if seen[id] {
 			continue
@@ -43,7 +53,7 @@ func countValid(digest []byte, endorsements []Endorsement) (int, map[string]int)
 		if !bytesEqual(e.Digest, digest) {
 			continue
 		}
-		if !e.Verify() {
+		if !verify(i, e) {
 			continue
 		}
 		seen[id] = true
@@ -51,6 +61,36 @@ func countValid(digest []byte, endorsements []Endorsement) (int, map[string]int)
 		n++
 	}
 	return n, perOrg
+}
+
+// verdictFunc adapts a precomputed verdict slice (verified[i] is the
+// outcome of endorsements[i].Verify()) into a countValidWith verifier.
+// Indices beyond the slice fall back to direct verification.
+func verdictFunc(verified []bool) func(int, Endorsement) bool {
+	return func(i int, e Endorsement) bool {
+		if i < len(verified) {
+			return verified[i]
+		}
+		return e.Verify()
+	}
+}
+
+// verifiedPolicy is implemented by the policies in this package to accept
+// caller-supplied signature verdicts.
+type verifiedPolicy interface {
+	evaluateVerified(digest []byte, endorsements []Endorsement, verified []bool) error
+}
+
+// EvaluateVerified evaluates p against endorsements whose signatures the
+// caller has already checked — verified[i] must be the outcome of
+// endorsements[i].Verify(). The built-in policies skip re-verification;
+// third-party Policy implementations fall back to a full Evaluate, which
+// is always sound (merely slower).
+func EvaluateVerified(p Policy, digest []byte, endorsements []Endorsement, verified []bool) error {
+	if vp, ok := p.(verifiedPolicy); ok {
+		return vp.evaluateVerified(digest, endorsements, verified)
+	}
+	return p.Evaluate(digest, endorsements)
 }
 
 func bytesEqual(a, b []byte) bool {
@@ -81,10 +121,18 @@ func TwoThirds(n int) QuorumPolicy {
 
 // Evaluate implements Policy.
 func (p QuorumPolicy) Evaluate(digest []byte, endorsements []Endorsement) error {
+	return p.evaluate(digest, endorsements, verifyDirect)
+}
+
+func (p QuorumPolicy) evaluateVerified(digest []byte, endorsements []Endorsement, verified []bool) error {
+	return p.evaluate(digest, endorsements, verdictFunc(verified))
+}
+
+func (p QuorumPolicy) evaluate(digest []byte, endorsements []Endorsement, verify func(int, Endorsement) bool) error {
 	if p.Threshold <= 0 {
 		return errors.New("msp: quorum policy with non-positive threshold")
 	}
-	n, _ := countValid(digest, endorsements)
+	n, _ := countValidWith(digest, endorsements, verify)
 	if n < p.Threshold {
 		return fmt.Errorf("msp: endorsement policy not satisfied: %d/%d valid endorsements, need %d", n, p.Total, p.Threshold)
 	}
@@ -106,7 +154,15 @@ type OrgCoveragePolicy struct {
 
 // Evaluate implements Policy.
 func (p OrgCoveragePolicy) Evaluate(digest []byte, endorsements []Endorsement) error {
-	n, perOrg := countValid(digest, endorsements)
+	return p.evaluate(digest, endorsements, verifyDirect)
+}
+
+func (p OrgCoveragePolicy) evaluateVerified(digest []byte, endorsements []Endorsement, verified []bool) error {
+	return p.evaluate(digest, endorsements, verdictFunc(verified))
+}
+
+func (p OrgCoveragePolicy) evaluate(digest []byte, endorsements []Endorsement, verify func(int, Endorsement) bool) error {
+	n, perOrg := countValidWith(digest, endorsements, verify)
 	if n < p.Threshold {
 		return fmt.Errorf("msp: need %d endorsements, have %d", p.Threshold, n)
 	}
@@ -127,6 +183,14 @@ type AnyValid struct{}
 // Evaluate implements Policy.
 func (AnyValid) Evaluate(digest []byte, endorsements []Endorsement) error {
 	n, _ := countValid(digest, endorsements)
+	if n < 1 {
+		return errors.New("msp: no valid endorsement")
+	}
+	return nil
+}
+
+func (AnyValid) evaluateVerified(digest []byte, endorsements []Endorsement, verified []bool) error {
+	n, _ := countValidWith(digest, endorsements, verdictFunc(verified))
 	if n < 1 {
 		return errors.New("msp: no valid endorsement")
 	}

@@ -38,6 +38,11 @@ type Peer struct {
 	policy   msp.Policy
 	watchdog *Watchdog
 
+	// verifyCache memoises signature verdicts across the commit, sync and
+	// recovery paths: a synced or replayed block re-validates envelopes and
+	// endorsements this peer (or its previous incarnation) already checked.
+	verifyCache *msp.VerifyCache
+
 	// commitMu serialises the commit pipeline (block log → history →
 	// state → in-memory chain) so the durable artefacts can never record
 	// two competing blocks at one height.
@@ -74,6 +79,9 @@ type Config struct {
 	// (nil = none). Index reads feed endorsement results, so every peer
 	// of a channel must run the same list.
 	Indexes []statedb.IndexSpec
+	// VerifyCacheSize bounds the peer's signature verify cache
+	// (0 selects msp.DefaultVerifyCacheSize).
+	VerifyCacheSize int
 }
 
 // New creates a peer anchored by a genesis block — or, when cfg.DataDir
@@ -101,16 +109,17 @@ func New(cfg Config) (*Peer, error) {
 		return nil, fmt.Errorf("peer %s: %w", cfg.ID, err)
 	}
 	p := &Peer{
-		id:         cfg.ID,
-		channelID:  cfg.ChannelID,
-		signer:     cfg.Signer,
-		ledger:     ledger.New(),
-		state:      state,
-		history:    history,
-		registry:   cfg.Registry,
-		policy:     cfg.Policy,
-		watchdog:   wd,
-		commitWait: make(map[string][]chan ledger.ValidationCode),
+		id:          cfg.ID,
+		channelID:   cfg.ChannelID,
+		signer:      cfg.Signer,
+		ledger:      ledger.New(),
+		state:       state,
+		history:     history,
+		registry:    cfg.Registry,
+		policy:      cfg.Policy,
+		watchdog:    wd,
+		verifyCache: msp.NewVerifyCache(cfg.VerifyCacheSize),
+		commitWait:  make(map[string][]chan ledger.ValidationCode),
 	}
 	if cfg.DataDir != "" {
 		blockLog, err := ledger.OpenLog(filepath.Join(cfg.DataDir, "blocks.wal"))
@@ -253,11 +262,20 @@ func (p *Peer) History() *statedb.HistoryDB { return p.history }
 // Watchdog exposes the misbehaviour tracker.
 func (p *Peer) Watchdog() *Watchdog { return p.watchdog }
 
+// VerifyCacheStats reports the peer's verify-cache hit/miss counters.
+func (p *Peer) VerifyCacheStats() (hits, misses int64) {
+	return p.verifyCache.Hits(), p.verifyCache.Misses()
+}
+
 // Endorse simulates a proposal against this peer's current state and signs
 // the resulting read/write set, implementing the paper's "each peer
 // executes the smart contract independently".
 func (p *Peer) Endorse(prop *Proposal) (*ProposalResponse, error) {
-	if !prop.Verify() {
+	// The canonical bytes are recomputed every time (cheap hashing, and
+	// tampering after signing must stay detectable) but the ed25519 check
+	// runs through this peer's verify cache, so a proposal resubmitted
+	// after an ordering backlog rejection verifies only once here.
+	if !p.verifyCache.Verify(prop.Creator, prop.SigningBytes(), prop.Signature) {
 		return nil, fmt.Errorf("peer %s: proposal %s: bad client signature", p.id, prop.TxID)
 	}
 	cc, ok := p.registry.Get(prop.Chaincode)
@@ -287,7 +305,8 @@ func (p *Peer) EndorseBatch(prop *BatchProposal) (*ProposalResponse, error) {
 	if len(prop.Calls) == 0 {
 		return nil, fmt.Errorf("peer %s: batch proposal %s: empty call list", p.id, prop.TxID)
 	}
-	if !prop.Verify() {
+	// Cached like Endorse: recomputed bytes, memoised ed25519 verdict.
+	if !p.verifyCache.Verify(prop.Creator, prop.SigningBytes(), prop.Signature) {
 		return nil, fmt.Errorf("peer %s: batch proposal %s: bad client signature", p.id, prop.TxID)
 	}
 	sim := chaincode.NewSimulator(chaincode.TxContext{
@@ -512,6 +531,9 @@ func (p *Peer) replayLoggedBlock(b *ledger.Block) error {
 // fanning out over a bounded worker pool when the block carries more than
 // one transaction.
 func (p *Peer) validateStatelessAll(txs []ledger.Transaction) []ledger.ValidationCode {
+	if len(txs) > 1 {
+		p.warmVerifyCache(txs)
+	}
 	flags := make([]ledger.ValidationCode, len(txs))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(txs) {
@@ -542,23 +564,56 @@ func (p *Peer) validateStatelessAll(txs []ledger.Transaction) []ledger.Validatio
 	return flags
 }
 
+// warmVerifyCache batch-verifies every signature a block carries — each
+// transaction's creator envelope and all its endorsements — in one
+// cache-aware parallel pass, so the per-transaction checks that follow are
+// pure cache hits. This amortises ed25519 cost over the whole block and
+// deduplicates repeated tuples across transactions.
+func (p *Peer) warmVerifyCache(txs []ledger.Transaction) {
+	items := make([]msp.VerifyItem, 0, len(txs)*4)
+	for i := range txs {
+		tx := &txs[i]
+		// Pin the digest before the worker fan-out: every later Digest/
+		// SigningBytes call on this envelope reads the memo instead of
+		// re-serialising the read/write set.
+		tx.PrecomputeDigest()
+		items = append(items, msp.VerifyItem{Identity: tx.Creator, Message: tx.SigningBytes(), Signature: tx.Signature})
+		for _, e := range tx.Endorsements {
+			items = append(items, msp.VerifyItem{Identity: e.Endorser, Message: e.Digest, Signature: e.Signature})
+		}
+	}
+	p.verifyCache.VerifyBatchEach(items)
+}
+
 // validateStateless applies the commit-time checks that need no world
 // state, in Fabric's order.
 func (p *Peer) validateStateless(tx *ledger.Transaction) ledger.ValidationCode {
-	// 1. Client envelope signature.
-	if !tx.Creator.Verify(tx.SigningBytes(), tx.Signature) {
+	// Single-tx blocks skip the warm pass; pin the digest here (this
+	// goroutine owns the transaction's slice slot during fan-out).
+	tx.PrecomputeDigest()
+	// 1. Client envelope signature, through the verify cache: the sync and
+	// recovery paths re-validate envelopes already checked at live commit.
+	if !p.verifyCache.Verify(tx.Creator, tx.SigningBytes(), tx.Signature) {
 		return ledger.BadCreatorSignature
 	}
-	// 2. Endorsement policy over the simulation digest; also feed the
-	// watchdog with endorsers who signed a different digest (they endorsed
-	// a result that does not match the agreed outcome).
+	// 2. Endorsement policy over the simulation digest. Each endorsement
+	// signature is checked exactly once, through the cache-aware batch
+	// verifier; the verdicts feed both the watchdog scan (endorsers who
+	// signed a different digest endorsed a result that does not match the
+	// agreed outcome) and the policy evaluation — previously the policy
+	// re-verified every endorsement the watchdog scan had just verified.
 	digest := tx.Digest()
-	for _, e := range tx.Endorsements {
-		if e.Verify() && !bytesEqual(e.Digest, digest) {
+	items := make([]msp.VerifyItem, len(tx.Endorsements))
+	for i, e := range tx.Endorsements {
+		items[i] = msp.VerifyItem{Identity: e.Endorser, Message: e.Digest, Signature: e.Signature}
+	}
+	verdicts := p.verifyCache.VerifyBatchEach(items)
+	for i, e := range tx.Endorsements {
+		if verdicts[i] && !bytesEqual(e.Digest, digest) {
 			p.watchdog.Report(e.Endorser.ID(), "endorsed mismatching digest")
 		}
 	}
-	if err := p.policy.Evaluate(digest, tx.Endorsements); err != nil {
+	if err := msp.EvaluateVerified(p.policy, digest, tx.Endorsements, verdicts); err != nil {
 		return ledger.EndorsementPolicyFailure
 	}
 	return ledger.Valid

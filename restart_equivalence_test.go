@@ -25,15 +25,17 @@ import (
 
 // openDurableFramework boots (or reopens) a framework over dataDir. The
 // caller owns the Close; reopening requires the previous instance closed.
-func openDurableFramework(t *testing.T, dataDir string) *core.Framework {
+// overlap sets the consensus overlap window (0 = lockstep).
+func openDurableFramework(t *testing.T, dataDir string, overlap int) *core.Framework {
 	t.Helper()
 	fw, err := core.New(core.Config{
 		Fabric: fabric.Config{
 			NumPeers: 4,
 			Cutter:   ordering.CutterConfig{MaxMessages: 2, BatchTimeout: 2 * time.Millisecond},
 		},
-		IPFSNodes: 2,
-		DataDir:   dataDir,
+		IPFSNodes:        2,
+		DataDir:          dataDir,
+		ConsensusOverlap: overlap,
 	})
 	if err != nil {
 		t.Fatalf("core.New(DataDir=%s): %v", dataDir, err)
@@ -96,11 +98,14 @@ func storeRange(t *testing.T, client *core.Client, mode string, frames []*detect
 	}
 }
 
-// TestIntegrationRestartEquivalence runs the fixed-seed scenario three
+// TestIntegrationRestartEquivalence runs the fixed-seed scenario four
 // ways over durable deployments — uninterrupted, stopped/reopened mid-run
-// on the serial path, stopped/reopened mid-run on the pipelined path —
-// and requires byte-identical canonical records, identical label-index
-// content, an intact provenance chain and identical trust state.
+// on the serial path, stopped/reopened mid-run on the pipelined path, and
+// stopped/reopened mid-run with overlapped consensus rounds — and
+// requires byte-identical canonical records, identical label-index
+// content, an intact provenance chain and identical trust state. The
+// overlap leg proves async execution survives a kill/reopen with no
+// decided-but-unexecuted payload lost or duplicated.
 func TestIntegrationRestartEquivalence(t *testing.T) {
 	seed := equivalenceSeed(t)
 	t.Logf("restart equivalence seed %d (pin with SOCIALCHAIN_EQUIV_SEED)", seed)
@@ -108,13 +113,15 @@ func TestIntegrationRestartEquivalence(t *testing.T) {
 	frames, metas := equivFrames(t, seed, n)
 
 	runs := []struct {
-		name  string
-		mode  string
-		split int // restart after this many records (n = never)
+		name    string
+		mode    string
+		split   int // restart after this many records (n = never)
+		overlap int // consensus overlap window (0 = lockstep)
 	}{
-		{"uninterrupted", "serial", n},
-		{"restart-serial", "serial", n / 2},
-		{"restart-pipelined", "pipelined", n / 2},
+		{"uninterrupted", "serial", n, 0},
+		{"restart-serial", "serial", n / 2, 0},
+		{"restart-pipelined", "pipelined", n / 2, 0},
+		{"restart-overlap", "pipelined", n / 2, 4},
 	}
 
 	var canonical [][]byte
@@ -122,7 +129,7 @@ func TestIntegrationRestartEquivalence(t *testing.T) {
 	for _, run := range runs {
 		t.Run(run.name, func(t *testing.T) {
 			dataDir := t.TempDir()
-			fw := openDurableFramework(t, dataDir)
+			fw := openDurableFramework(t, dataDir, run.overlap)
 			closed := false
 			defer func() {
 				if !closed {
@@ -141,7 +148,7 @@ func TestIntegrationRestartEquivalence(t *testing.T) {
 					t.Fatalf("close before restart: %v", err)
 				}
 				// ...and resume from disk alone.
-				fw = openDurableFramework(t, dataDir)
+				fw = openDurableFramework(t, dataDir, run.overlap)
 				reHeight := fw.Net.Peer(0).Ledger().Height()
 				if reHeight < 2 {
 					t.Fatalf("recovered chain height %d — nothing was resumed", reHeight)
@@ -193,7 +200,7 @@ func TestIntegrationRestartEquivalence(t *testing.T) {
 				t.Fatalf("final close: %v", err)
 			}
 			closed = true
-			re := openDurableFramework(t, dataDir)
+			re := openDurableFramework(t, dataDir, run.overlap)
 			defer re.Close()
 			if got := re.Net.Peer(0).Ledger().Height(); got < height {
 				t.Fatalf("final reopen at height %d, had %d", got, height)
