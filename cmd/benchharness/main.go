@@ -20,6 +20,8 @@
 //	consensus consensus/crypto hot-path ablation (serial vs batch vs
 //	          cached signature verification, lockstep vs overlapped
 //	          rounds, multi-source e2e ingest with overlap on/off)
+//	channels  multi-channel sharding ablation (aggregate pipelined-ingest
+//	          throughput at 1, 2 and 4 channels)
 //	all       everything above
 //
 // The -engine flag selects the world-state storage engine ("single",
@@ -65,7 +67,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,storage,retrieval,ingest,durability,consensus,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,storage,retrieval,ingest,durability,consensus,channels,all")
 	samples := flag.Int("samples", 20, "measurements per point")
 	csv := flag.Bool("csv", false, "emit CSV series instead of tables")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -123,8 +125,9 @@ func main() {
 		"ingest":     h.ingest,
 		"durability": h.durability,
 		"consensus":  h.consensus,
+		"channels":   h.channels,
 	}
-	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage", "retrieval", "ingest", "durability", "consensus"}
+	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage", "retrieval", "ingest", "durability", "consensus", "channels"}
 	want := strings.Split(*fig, ",")
 	if *fig == "all" {
 		want = order
@@ -1316,6 +1319,132 @@ func (h *harness) consensus() error {
 	et.AddRow("consensus lockstep", e2eLockstepRPS, 1.0)
 	et.AddRow("consensus overlap (window 4)", e2eOverlapRPS, e2eOverlapRPS/e2eLockstepRPS)
 	et.Render(os.Stdout)
+	return nil
+}
+
+// channelSourceName finds a camera name whose identity ("city/<name>")
+// routes to the target channel under nch channels, so the channels
+// ablation spreads its sources evenly instead of leaving shards idle.
+func channelSourceName(s, target, nch int) string {
+	for j := 0; ; j++ {
+		name := fmt.Sprintf("shard-cam-%d-%d", s, j)
+		if fabric.RouteKey("city/"+name, nch) == target {
+			return name
+		}
+	}
+}
+
+// channels measures aggregate pipelined-ingest throughput as the ledger
+// shards across 1, 2 and 4 channels. Four sources ingest concurrently;
+// with N channels their home channels are spread evenly, so N independent
+// ordering/consensus groups run their rounds at once. The workload is
+// consensus-bound (LAN latency, one-envelope batches, small ingest
+// batches), which is exactly what sharding scales: channels overlap their
+// rounds' wall-clock waits, so the aggregate rate grows with the channel
+// count even on a single core.
+func (h *harness) channels() error {
+	h.header("Ablation — multi-channel sharded ledger (aggregate pipelined ingest)")
+	perSource := h.ingestRecords / 16
+	if perSource < 50 {
+		perSource = 50
+	}
+	const sources = 4
+	run := func(nch int) (float64, error) {
+		frng := sim.NewRNG(h.seed)
+		fw, err := core.New(core.Config{
+			Fabric: fabric.Config{
+				NumPeers: 4,
+				Cutter:   ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 2 * time.Millisecond},
+				Latency:  sim.LANLatency(frng),
+			},
+			NumChannels:   nch,
+			IPFSNodes:     2,
+			IPFSLatency:   sim.LANLatency(frng.Fork()),
+			StorageEngine: h.engine,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer fw.Close()
+		det := detect.NewDetector(h.seed)
+		type job struct {
+			pipe *ingest.Pipeline
+			recs []ingest.Record
+		}
+		jobs := make([]job, sources)
+		for s := 0; s < sources; s++ {
+			cam, err := msp.NewSigner("city", channelSourceName(s, s%nch, nch), msp.RoleTrustedSource)
+			if err != nil {
+				return 0, err
+			}
+			if err := fw.RegisterSource(cam.Identity, true); err != nil {
+				return 0, err
+			}
+			client := fw.Client(cam, s%2)
+			frameRNG := sim.NewRNG(h.seed + int64(200+s))
+			recs := make([]ingest.Record, perSource)
+			for i := range recs {
+				frame, meta := frameOfSize(frameRNG, det, 4*1024, s*perSource+i)
+				recs[i] = ingest.Record{Signed: msp.NewSignedMessage(cam, frame.Data), Meta: meta}
+			}
+			jobs[s] = job{
+				pipe: client.Pipeline(ingest.Config{
+					Mode: ingest.ModePipelined, BatchSize: 10, AddWorkers: 4, MaxInFlight: 1,
+					FlushInterval: 250 * time.Millisecond,
+				}),
+				recs: recs,
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, sources)
+		start := time.Now()
+		for s := range jobs {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for _, r := range jobs[s].pipe.Run(jobs[s].recs) {
+					if r.Err != nil {
+						errs[s] = fmt.Errorf("channels source %d record %d: %w", s, r.Index, r.Err)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return float64(sources*perSource) / elapsed, nil
+	}
+	counts := []int{1, 2, 4}
+	rps := make([]float64, len(counts))
+	for i, nch := range counts {
+		r, err := run(nch)
+		if err != nil {
+			return err
+		}
+		rps[i] = r
+		h.record(fmt.Sprintf("channels_ingest_%dch_rps", nch), r)
+	}
+	h.record("channels_scaling_2ch_x", rps[1]/rps[0])
+	h.record("channels_scaling_4ch_x", rps[2]/rps[0])
+
+	if h.csv {
+		s := &metrics.Series{Label: "channels_rps"} // x: channel count
+		for i, nch := range counts {
+			s.Append(float64(nch), rps[i])
+		}
+		s.WriteCSV(os.Stdout)
+		return nil
+	}
+	tbl := metrics.NewTable(fmt.Sprintf("channel sharding (%d sources x %d records, LAN)", sources, perSource), "records_per_s", "speedup_vs_1ch")
+	for i, nch := range counts {
+		tbl.AddRow(fmt.Sprintf("%d channel(s)", nch), rps[i], rps[i]/rps[0])
+	}
+	tbl.Render(os.Stdout)
 	return nil
 }
 

@@ -16,8 +16,14 @@
 // the same -data-dir, and it resumes from the recovered chain instead of
 // starting empty.
 //
-// Usage: socialchaind [-peers 4] [-ipfs 2] [-cameras 3] [-crowd 3]
-// [-rounds 10] [-byzantine 0] [-bad-crowd-fraction 0.3]
+// With -channels N the ledger is sharded across N independent channels:
+// each source's data and trust state live on its home channel (a stable
+// hash of the source ID) and the printed statistics aggregate across
+// channels. A durable multi-channel deployment recovers every channel
+// independently on restart.
+//
+// Usage: socialchaind [-peers 4] [-channels 1] [-ipfs 2] [-cameras 3]
+// [-crowd 3] [-rounds 10] [-byzantine 0] [-bad-crowd-fraction 0.3]
 // [-bulk 0] [-bulk-mode pipelined] [-bulk-batch 32] [-bulk-workers 8]
 // [-data-dir DIR]
 package main
@@ -45,7 +51,8 @@ import (
 )
 
 func main() {
-	peers := flag.Int("peers", 4, "number of blockchain peers")
+	peers := flag.Int("peers", 4, "number of blockchain peers (per channel)")
+	channels := flag.Int("channels", 1, "shard the ledger across this many independent channels")
 	ipfsNodes := flag.Int("ipfs", 2, "number of IPFS nodes")
 	cameras := flag.Int("cameras", 3, "trusted camera sources")
 	crowd := flag.Int("crowd", 3, "untrusted crowd sources")
@@ -60,7 +67,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "persist peers, block logs and IPFS stores under this directory; a restart resumes from it")
 	flag.Parse()
 
-	if err := run(*peers, *ipfsNodes, *cameras, *crowd, *rounds, *byzantine, *badFraction, *seed,
+	if err := run(*peers, *channels, *ipfsNodes, *cameras, *crowd, *rounds, *byzantine, *badFraction, *seed,
 		bulkConfig{records: *bulk, mode: *bulkMode, batch: *bulkBatch, workers: *bulkWorkers}, *dataDir); err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +80,7 @@ type bulkConfig struct {
 	workers int
 }
 
-func run(peers, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction float64, seed int64, bulk bulkConfig, dataDir string) error {
+func run(peers, channels, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction float64, seed int64, bulk bulkConfig, dataDir string) error {
 	behaviors := map[int]consensus.Behavior{}
 	for i := 0; i < byzantine; i++ {
 		behaviors[i+1] = consensus.Silent{}
@@ -85,15 +92,16 @@ func run(peers, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction fl
 			Behaviors:        behaviors,
 			ConsensusTimeout: time.Second,
 		},
-		IPFSNodes: ipfsNodes,
-		DataDir:   dataDir,
+		NumChannels: channels,
+		IPFSNodes:   ipfsNodes,
+		DataDir:     dataDir,
 	})
 	if err != nil {
 		return err
 	}
 	defer fw.Close()
-	fmt.Printf("network up: %d peers (%d byzantine), %d IPFS nodes, chaincodes deployed\n",
-		peers, byzantine, ipfsNodes)
+	fmt.Printf("network up: %d channel(s) x %d peers (%d byzantine), %d IPFS nodes, chaincodes deployed\n",
+		fw.Net.NumChannels(), peers, byzantine, ipfsNodes)
 	if dataDir != "" {
 		boot := fw.LedgerStats()
 		fmt.Printf("durable deployment at %s: recovered chain height %d (%d txs)\n",
@@ -201,10 +209,22 @@ func run(peers, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction fl
 	stats := fw.LedgerStats()
 	fmt.Printf("chain height %d, %d txs (%d valid)\n", stats.Height, stats.TotalTxs, stats.ValidTxs)
 	fmt.Printf("store latency: %s\n", storeLat.Summary())
-	if err := fw.Net.Peer(0).Ledger().VerifyChain(); err != nil {
-		return fmt.Errorf("chain verification failed: %w", err)
+	for _, ch := range fw.Net.Channels() {
+		if err := ch.Peer(0).Ledger().VerifyChain(); err != nil {
+			return fmt.Errorf("chain verification failed on %s: %w", ch.Name(), err)
+		}
+		if fw.Net.NumChannels() > 1 {
+			s := ch.Peer(0).Ledger().Stats()
+			fmt.Printf("  %s: height=%d txs=%d valid=%d\n", ch.Name(), s.Height, s.TotalTxs, s.ValidTxs)
+		}
 	}
-	fmt.Println("hash chain verified on peer 0")
+	fmt.Println("hash chain verified on peer 0 of every channel")
+	if fw.Net.NumChannels() > 1 {
+		if view, err := fw.RollupTrust(); err == nil {
+			fmt.Printf("global trust view: %d sources over %d channels, mean score %.3f, %d flagged\n",
+				view.Sources, view.Channels, view.MeanScore, view.Flagged)
+		}
+	}
 
 	tbl := metrics.NewTable("source", "role", "score", "accepted", "rejected", "flagged")
 	for _, src := range sources {

@@ -23,6 +23,7 @@ type ingestConfig struct {
 	batch       int
 	inflight    int
 	peers       int
+	channels    int
 	engine      string
 	dataDir     string
 	seed        int64
@@ -43,6 +44,7 @@ func runIngest(cfg ingestConfig) error {
 			NumPeers: cfg.peers,
 			Cutter:   ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 2 * time.Millisecond},
 		},
+		NumChannels:   cfg.channels,
 		IPFSNodes:     2,
 		StorageEngine: storage.Engine(cfg.engine),
 		DataDir:       cfg.dataDir,
@@ -59,8 +61,8 @@ func runIngest(cfg ingestConfig) error {
 		return err
 	}
 	client := fw.Client(cam, 0)
-	fmt.Printf("network up: %d peers, 2 IPFS nodes; ingest mode=%s records=%d batch=%d workers=%d inflight=%d\n",
-		cfg.peers, mode, cfg.records, cfg.batch, cfg.concurrency, cfg.inflight)
+	fmt.Printf("network up: %d channel(s) x %d peers, 2 IPFS nodes; ingest mode=%s records=%d batch=%d workers=%d inflight=%d\n",
+		fw.Net.NumChannels(), cfg.peers, mode, cfg.records, cfg.batch, cfg.concurrency, cfg.inflight)
 	if cfg.dataDir != "" {
 		boot := fw.LedgerStats()
 		fmt.Printf("durable deployment at %s: recovered chain height %d (%d txs)\n", cfg.dataDir, boot.Height, boot.TotalTxs)
@@ -142,10 +144,12 @@ func runIngest(cfg ingestConfig) error {
 
 	ledgerStats := fw.LedgerStats()
 	fmt.Printf("chain: height=%d txs=%d valid=%d\n", ledgerStats.Height, ledgerStats.TotalTxs, ledgerStats.ValidTxs)
-	if err := fw.Net.Peer(0).Ledger().VerifyChain(); err != nil {
-		return fmt.Errorf("chain verification failed: %w", err)
+	for _, ch := range fw.Net.Channels() {
+		if err := ch.Peer(0).Ledger().VerifyChain(); err != nil {
+			return fmt.Errorf("chain verification failed on %s: %w", ch.Name(), err)
+		}
 	}
-	fmt.Println("hash chain verified on peer 0")
+	fmt.Println("hash chain verified on peer 0 of every channel")
 	if failed > 0 {
 		return fmt.Errorf("%d records failed", failed)
 	}

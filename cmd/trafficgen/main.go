@@ -13,7 +13,7 @@
 // Usage: trafficgen [-videos 52] [-frames 20] [-drones 12] [-seed 1]
 // [-dump-metadata] [-limit 5]
 // [-ingest serial|batched|pipelined] [-records 200] [-rate 0]
-// [-concurrency 8] [-batch 32] [-inflight 2] [-peers 4]
+// [-concurrency 8] [-batch 32] [-inflight 2] [-peers 4] [-channels 1]
 // [-engine single|sharded|persist] [-data-dir DIR]
 package main
 
@@ -45,7 +45,8 @@ func main() {
 	// through the provenance head — a wider window only burns consensus
 	// rounds on MVCC conflicts (see DESIGN.md).
 	inflight := flag.Int("inflight", 1, "batches in flight")
-	peers := flag.Int("peers", 4, "blockchain peers (with -ingest)")
+	peers := flag.Int("peers", 4, "blockchain peers per channel (with -ingest)")
+	channels := flag.Int("channels", 1, "shard the ledger across this many channels (with -ingest)")
 	engine := flag.String("engine", "", "world-state storage engine: single, sharded or persist")
 	dataDir := flag.String("data-dir", "", "persist peers, block logs and IPFS stores under this directory; a restarted -ingest run resumes from it")
 	flag.Parse()
@@ -59,6 +60,7 @@ func main() {
 			batch:       *batch,
 			inflight:    *inflight,
 			peers:       *peers,
+			channels:    *channels,
 			engine:      *engine,
 			dataDir:     *dataDir,
 			seed:        *seed,

@@ -52,10 +52,21 @@ type Config struct {
 	// AdminID names the bootstrap administrator (default "gov/admin").
 	AdminOrg  string
 	AdminName string
+	// NumChannels shards the ledger across this many independent fabric
+	// channels (default 1). Each source's data, trust state and provenance
+	// live on its home channel — fabric.RouteKey over the source ID — and
+	// the framework's clients and query engines route and scatter-gather
+	// accordingly. Setting both this and Fabric.NumChannels to different
+	// values is a configuration conflict (see Resolve).
+	NumChannels int
+	// TrustRollupInterval, when > 0, starts a background roll-up that
+	// periodically lists every channel's trust scores and merges them into
+	// a global view (TrustView). 0 computes the view on demand only.
+	TrustRollupInterval time.Duration
 	// StorageEngine selects the key-value engine behind every peer's world
 	// state ("single", "sharded" or "persist"; default sharded). It is
-	// copied into Fabric.StateEngine unless that field is already set,
-	// giving benchmarks one knob for engine comparisons.
+	// copied into Fabric.StateEngine by Resolve; setting both knobs to
+	// different engines is a configuration conflict.
 	StorageEngine storage.Engine
 	// DataDir, when non-empty, makes the whole deployment durable: peers
 	// persist under DataDir/fabric (world state + block logs) and the IPFS
@@ -91,18 +102,52 @@ func (c *Config) fill() {
 	if c.AnomalyRejectThreshold <= 0 {
 		c.AnomalyRejectThreshold = 0.6
 	}
-	if c.Fabric.StateEngine == "" {
-		c.Fabric.StateEngine = c.StorageEngine
+}
+
+// Resolve merges the framework-level deployment knobs (StorageEngine,
+// DataDir, ConsensusOverlap, NumChannels) into the fabric configuration
+// and returns the result. It replaces the old silent copy-if-unset chain:
+// setting a knob at both levels to different values is now an error
+// instead of one level quietly winning.
+func (c *Config) Resolve() (fabric.Config, error) {
+	fc := c.Fabric
+	if c.StorageEngine != "" {
+		if fc.StateEngine != "" && fc.StateEngine != c.StorageEngine {
+			return fabric.Config{}, fmt.Errorf(
+				"core: conflicting storage engines: Config.StorageEngine=%q but Config.Fabric.StateEngine=%q",
+				c.StorageEngine, fc.StateEngine)
+		}
+		fc.StateEngine = c.StorageEngine
 	}
-	if c.Fabric.StateIndexes == nil {
-		c.Fabric.StateIndexes = contracts.DataIndexes()
+	if c.DataDir != "" {
+		derived := filepath.Join(c.DataDir, "fabric")
+		if fc.DataDir != "" && fc.DataDir != derived {
+			return fabric.Config{}, fmt.Errorf(
+				"core: conflicting data directories: Config.DataDir=%q implies fabric dir %q but Config.Fabric.DataDir=%q",
+				c.DataDir, derived, fc.DataDir)
+		}
+		fc.DataDir = derived
 	}
-	if c.DataDir != "" && c.Fabric.DataDir == "" {
-		c.Fabric.DataDir = filepath.Join(c.DataDir, "fabric")
+	if c.ConsensusOverlap > 0 {
+		if fc.ConsensusOverlap > 0 && fc.ConsensusOverlap != c.ConsensusOverlap {
+			return fabric.Config{}, fmt.Errorf(
+				"core: conflicting consensus overlap: Config.ConsensusOverlap=%d but Config.Fabric.ConsensusOverlap=%d",
+				c.ConsensusOverlap, fc.ConsensusOverlap)
+		}
+		fc.ConsensusOverlap = c.ConsensusOverlap
 	}
-	if c.Fabric.ConsensusOverlap == 0 {
-		c.Fabric.ConsensusOverlap = c.ConsensusOverlap
+	if c.NumChannels > 0 {
+		if fc.NumChannels > 0 && fc.NumChannels != c.NumChannels {
+			return fabric.Config{}, fmt.Errorf(
+				"core: conflicting channel counts: Config.NumChannels=%d but Config.Fabric.NumChannels=%d",
+				c.NumChannels, fc.NumChannels)
+		}
+		fc.NumChannels = c.NumChannels
 	}
+	if fc.StateIndexes == nil {
+		fc.StateIndexes = contracts.DataIndexes()
+	}
+	return fc, nil
 }
 
 // Framework is a running instance of the paper's system.
@@ -112,11 +157,19 @@ type Framework struct {
 	Cluster *ipfs.Cluster
 	Admin   *msp.Signer
 
+	// adminGWs holds one admin gateway per channel (channel order);
+	// adminGW aliases adminGWs[0] for the single-channel paths.
+	adminGWs []*fabric.Gateway
 	adminGW  *fabric.Gateway
 	closeErr error
 
 	anomalyMu sync.Mutex
 	anomaly   map[string]*trust.AnomalyDetector
+
+	rollupMu   sync.Mutex
+	rollupView *trust.GlobalView
+	rollupStop chan struct{}
+	rollupDone chan struct{}
 }
 
 // New builds and starts a framework: blockchain network with the five
@@ -124,7 +177,11 @@ type Framework struct {
 // initialised trust parameters.
 func New(cfg Config) (*Framework, error) {
 	cfg.fill()
-	net, err := fabric.NewNetwork(cfg.Fabric)
+	fabricCfg, err := cfg.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	net, err := fabric.NewNetwork(fabricCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: fabric: %w", err)
 	}
@@ -161,40 +218,52 @@ func New(cfg Config) (*Framework, error) {
 		anomaly: make(map[string]*trust.AnomalyDetector),
 	}
 	net.Start()
-	fw.adminGW = net.Gateway(admin)
+	for _, ch := range net.Channels() {
+		fw.adminGWs = append(fw.adminGWs, ch.Gateway(admin))
+	}
+	fw.adminGW = fw.adminGWs[0]
 
-	// Bootstrap: enroll the admin and install trust parameters. On a
+	// Bootstrap every channel: enroll the admin and install trust
+	// parameters. Each channel carries its own admin enrollment and trust
+	// parameters because chaincode state never crosses channels. On a
 	// recovered durable deployment the enrollment is skipped when the
-	// chain already carries it (enrollAdmin rejects duplicates), but
-	// initParams always runs — it is an idempotent overwrite, and gating
-	// it on the *first* bootstrap step would silently leave default trust
-	// parameters if a crash landed between the two transactions.
-	enrolled := false
-	if cfg.DataDir != "" {
-		if raw, err := fw.adminGW.Evaluate(contracts.AdminCC, "adminExists", []byte(admin.Identity.ID())); err == nil && string(raw) == "true" {
-			enrolled = true
-		}
-	}
-	if !enrolled {
-		if res, err := fw.adminGW.Submit(contracts.AdminCC, "enrollAdmin", []byte(admin.Identity.ID())); err != nil {
-			fw.Close()
-			return nil, fmt.Errorf("core: enroll admin: %w", err)
-		} else if res.Err() != nil {
-			fw.Close()
-			return nil, fmt.Errorf("core: enroll admin: %w", res.Err())
-		}
-	}
+	// channel's chain already carries it (enrollAdmin rejects duplicates),
+	// but initParams always runs — it is an idempotent overwrite, and
+	// gating it on the *first* bootstrap step would silently leave default
+	// trust parameters if a crash landed between the two transactions.
 	params, err := json.Marshal(cfg.TrustParams)
 	if err != nil {
 		fw.Close()
 		return nil, err
 	}
-	if res, err := fw.adminGW.Submit(contracts.TrustCC, "initParams", params); err != nil {
-		fw.Close()
-		return nil, fmt.Errorf("core: init trust params: %w", err)
-	} else if res.Err() != nil {
-		fw.Close()
-		return nil, fmt.Errorf("core: init trust params: %w", res.Err())
+	for _, gw := range fw.adminGWs {
+		enrolled := false
+		if cfg.DataDir != "" {
+			if raw, err := gw.Evaluate(contracts.AdminCC, "adminExists", []byte(admin.Identity.ID())); err == nil && string(raw) == "true" {
+				enrolled = true
+			}
+		}
+		if !enrolled {
+			if res, err := gw.Submit(contracts.AdminCC, "enrollAdmin", []byte(admin.Identity.ID())); err != nil {
+				fw.Close()
+				return nil, fmt.Errorf("core: enroll admin on %s: %w", gw.Channel().Name(), err)
+			} else if res.Err() != nil {
+				fw.Close()
+				return nil, fmt.Errorf("core: enroll admin on %s: %w", gw.Channel().Name(), res.Err())
+			}
+		}
+		if res, err := gw.Submit(contracts.TrustCC, "initParams", params); err != nil {
+			fw.Close()
+			return nil, fmt.Errorf("core: init trust params on %s: %w", gw.Channel().Name(), err)
+		} else if res.Err() != nil {
+			fw.Close()
+			return nil, fmt.Errorf("core: init trust params on %s: %w", gw.Channel().Name(), res.Err())
+		}
+	}
+	if cfg.TrustRollupInterval > 0 {
+		fw.rollupStop = make(chan struct{})
+		fw.rollupDone = make(chan struct{})
+		go fw.rollupLoop(cfg.TrustRollupInterval)
 	}
 	return fw, nil
 }
@@ -204,6 +273,11 @@ func New(cfg Config) (*Framework, error) {
 // must be closed before its DataDir is reopened; close errors are
 // retrievable via CloseErr.
 func (f *Framework) Close() {
+	if f.rollupStop != nil {
+		close(f.rollupStop)
+		<-f.rollupDone
+		f.rollupStop = nil
+	}
 	err := f.Net.Close()
 	if cerr := f.Cluster.Close(); err == nil {
 		err = cerr
@@ -215,8 +289,18 @@ func (f *Framework) Close() {
 // Close and after a clean one).
 func (f *Framework) CloseErr() error { return f.closeErr }
 
-// AdminGateway returns the bootstrap admin's gateway.
+// AdminGateway returns the bootstrap admin's gateway on the default
+// channel.
 func (f *Framework) AdminGateway() *fabric.Gateway { return f.adminGW }
+
+// AdminGatewayOn returns the bootstrap admin's gateway on channel i.
+func (f *Framework) AdminGatewayOn(i int) *fabric.Gateway { return f.adminGWs[i] }
+
+// adminGWFor returns the admin gateway on a source's home channel — the
+// channel holding that source's registration, trust state and data.
+func (f *Framework) adminGWFor(sourceID string) *fabric.Gateway {
+	return f.adminGWs[fabric.RouteKey(sourceID, len(f.adminGWs))]
+}
 
 // RegisterSource registers a data source on-chain. Trusted sources (traffic
 // cameras, drones) bypass the trust gate; untrusted sources (mobile users,
@@ -224,8 +308,9 @@ func (f *Framework) AdminGateway() *fabric.Gateway { return f.adminGW }
 // is a no-op: a restarted durable deployment re-runs its setup and the
 // chain's registration (keyed by source ID) must win.
 func (f *Framework) RegisterSource(id msp.Identity, trusted bool) error {
+	gw := f.adminGWFor(id.ID())
 	if f.cfg.DataDir != "" {
-		if raw, err := f.adminGW.Evaluate(contracts.UsersCC, "userExists", []byte(id.ID())); err == nil && string(raw) == "true" {
+		if raw, err := gw.Evaluate(contracts.UsersCC, "userExists", []byte(id.ID())); err == nil && string(raw) == "true" {
 			return nil
 		}
 	}
@@ -242,35 +327,100 @@ func (f *Framework) RegisterSource(id msp.Identity, trusted bool) error {
 	if err != nil {
 		return err
 	}
-	res, err := f.adminGW.Submit(contracts.UsersCC, "registerUser", b)
+	res, err := gw.Submit(contracts.UsersCC, "registerUser", b)
 	if err != nil {
 		return fmt.Errorf("core: register %s: %w", id.ID(), err)
 	}
 	return res.Err()
 }
 
-// EnrollAdmin enrolls an additional administrator.
+// EnrollAdmin enrolls an additional administrator on every channel, so the
+// new administrator can act wherever the bootstrap admin can.
 func (f *Framework) EnrollAdmin(adminID string) error {
-	res, err := f.adminGW.Submit(contracts.AdminCC, "enrollAdmin", []byte(adminID))
-	if err != nil {
-		return err
+	for _, gw := range f.adminGWs {
+		res, err := gw.Submit(contracts.AdminCC, "enrollAdmin", []byte(adminID))
+		if err != nil {
+			return err
+		}
+		if err := res.Err(); err != nil {
+			return err
+		}
 	}
-	return res.Err()
+	return nil
 }
 
-// TrustScore reads a source's current on-chain trust state.
+// TrustScore reads a source's current on-chain trust state from its home
+// channel.
 func (f *Framework) TrustScore(sourceID string) (trust.State, error) {
-	raw, err := f.adminGW.Evaluate(contracts.TrustCC, "getTrust", []byte(sourceID))
+	raw, err := f.adminGWFor(sourceID).Evaluate(contracts.TrustCC, "getTrust", []byte(sourceID))
 	if err != nil {
 		return trust.State{}, err
 	}
 	return trust.UnmarshalState(raw)
 }
 
-// QueryEngine returns a query engine bound to the admin gateway and the
-// given IPFS node (0 <= node < cluster size).
+// RollupTrust lists every channel's trust scores and merges them into one
+// global view (newest state wins per source). The view is cached for
+// TrustView; with TrustRollupInterval set it also refreshes periodically
+// in the background.
+func (f *Framework) RollupTrust() (trust.GlobalView, error) {
+	perChannel := make([][]trust.State, 0, len(f.adminGWs))
+	for _, gw := range f.adminGWs {
+		raw, err := gw.Evaluate(contracts.TrustCC, "listScores")
+		if err != nil {
+			return trust.GlobalView{}, fmt.Errorf("core: list scores on %s: %w", gw.Channel().Name(), err)
+		}
+		var states []trust.State
+		if err := json.Unmarshal(raw, &states); err != nil {
+			return trust.GlobalView{}, fmt.Errorf("core: corrupt scores on %s: %w", gw.Channel().Name(), err)
+		}
+		perChannel = append(perChannel, states)
+	}
+	view := trust.Rollup(perChannel, time.Now())
+	f.rollupMu.Lock()
+	f.rollupView = &view
+	f.rollupMu.Unlock()
+	return view, nil
+}
+
+// TrustView returns the latest trust roll-up, computing one on demand when
+// no background roll-up has run yet.
+func (f *Framework) TrustView() (trust.GlobalView, error) {
+	f.rollupMu.Lock()
+	cached := f.rollupView
+	f.rollupMu.Unlock()
+	if cached != nil {
+		return *cached, nil
+	}
+	return f.RollupTrust()
+}
+
+// rollupLoop refreshes the global trust view every interval until Close.
+func (f *Framework) rollupLoop(interval time.Duration) {
+	defer close(f.rollupDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.rollupStop:
+			return
+		case <-ticker.C:
+			// Best effort: a roll-up hiccup (e.g. during shutdown) keeps
+			// the previous view.
+			_, _ = f.RollupTrust()
+		}
+	}
+}
+
+// QueryEngine returns a query engine bound to the admin gateways (one per
+// channel) and the given IPFS node (0 <= node < cluster size).
 func (f *Framework) QueryEngine(node int) *query.Engine {
-	return query.NewEngine(f.adminGW, f.Cluster.Node(node))
+	eng, err := query.NewShardedEngine(f.adminGWs, f.Cluster.Node(node))
+	if err != nil {
+		// Unreachable: a framework always has at least one channel.
+		panic(err)
+	}
+	return eng
 }
 
 // Client binds a source identity to the framework: it talks to the
@@ -284,10 +434,22 @@ type Client struct {
 }
 
 // Client creates a client for a registered source, attached to IPFS node i.
+// The client writes through its home channel's gateway (fabric.RouteKey
+// over its identity ID) and reads through a sharded query engine spanning
+// every channel, so retrieval works no matter which channel holds a record.
 func (f *Framework) Client(signer *msp.Signer, ipfsNode int) *Client {
-	gw := f.Net.Gateway(signer)
 	store := f.Cluster.Node(ipfsNode)
-	return &Client{fw: f, signer: signer, gw: gw, store: store, qe: query.NewEngine(gw, store)}
+	channels := f.Net.Channels()
+	gws := make([]*fabric.Gateway, len(channels))
+	for i, ch := range channels {
+		gws[i] = ch.Gateway(signer)
+	}
+	home := fabric.RouteKey(signer.Identity.ID(), len(channels))
+	qe, err := query.NewShardedEngine(gws, store)
+	if err != nil {
+		panic(err) // unreachable: a network always has at least one channel
+	}
+	return &Client{fw: f, signer: signer, gw: gws[home], store: store, qe: qe}
 }
 
 // Identity returns the client's identity.
@@ -453,10 +615,11 @@ func (c *Client) RetrieveData(txID string) (*RetrieveResult, error) {
 // Query exposes the client's query engine for conditional retrieval.
 func (c *Client) Query() *query.Engine { return c.qe }
 
-// reportViolation files a failed-validation observation against a source.
+// reportViolation files a failed-validation observation against a source
+// on its home channel, where its trust state lives.
 func (f *Framework) reportViolation(sourceID string) {
 	// Best effort: a scoring hiccup must not mask the original error.
-	_, _ = f.adminGW.Submit(contracts.TrustCC, "observe",
+	_, _ = f.adminGWFor(sourceID).Submit(contracts.TrustCC, "observe",
 		[]byte(sourceID), []byte("0"), []byte(strconv.FormatFloat(0, 'f', 1, 64)))
 }
 
@@ -489,8 +652,16 @@ func (f *Framework) observeAnomalies(sourceID string, meta detect.MetadataRecord
 	return det.Observe(sub)
 }
 
-// LedgerStats aggregates chain statistics across peers (they agree when
-// the network is healthy).
+// LedgerStats aggregates chain statistics across every channel (peers of
+// one channel agree when the network is healthy; channel heights and
+// transaction counts sum into the deployment-wide totals).
 func (f *Framework) LedgerStats() ledger.Stats {
-	return f.Net.Peer(0).Ledger().Stats()
+	var total ledger.Stats
+	for _, ch := range f.Net.Channels() {
+		s := ch.Peer(0).Ledger().Stats()
+		total.Height += s.Height
+		total.TotalTxs += s.TotalTxs
+		total.ValidTxs += s.ValidTxs
+	}
+	return total
 }

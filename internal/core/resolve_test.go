@@ -1,0 +1,123 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"socialchain/internal/fabric"
+	"socialchain/internal/storage"
+)
+
+func TestResolveDerivesFabricKnobs(t *testing.T) {
+	cfg := Config{
+		StorageEngine:    storage.EnginePersist,
+		DataDir:          "/tmp/deploy",
+		ConsensusOverlap: 4,
+		NumChannels:      3,
+	}
+	fc, err := cfg.Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if fc.StateEngine != storage.EnginePersist {
+		t.Fatalf("StateEngine = %q, want persist", fc.StateEngine)
+	}
+	if want := filepath.Join("/tmp/deploy", "fabric"); fc.DataDir != want {
+		t.Fatalf("DataDir = %q, want %q", fc.DataDir, want)
+	}
+	if fc.ConsensusOverlap != 4 {
+		t.Fatalf("ConsensusOverlap = %d, want 4", fc.ConsensusOverlap)
+	}
+	if fc.NumChannels != 3 {
+		t.Fatalf("NumChannels = %d, want 3", fc.NumChannels)
+	}
+	if fc.StateIndexes == nil {
+		t.Fatal("StateIndexes not defaulted to the data indexes")
+	}
+}
+
+func TestResolveKeepsExplicitFabricValues(t *testing.T) {
+	// Matching values at both levels are not a conflict.
+	cfg := Config{
+		StorageEngine:    storage.EngineSharded,
+		ConsensusOverlap: 2,
+		NumChannels:      2,
+		DataDir:          "/tmp/d",
+		Fabric: fabric.Config{
+			StateEngine:      storage.EngineSharded,
+			ConsensusOverlap: 2,
+			NumChannels:      2,
+			DataDir:          filepath.Join("/tmp/d", "fabric"),
+		},
+	}
+	if _, err := cfg.Resolve(); err != nil {
+		t.Fatalf("matching overrides rejected: %v", err)
+	}
+	// Fabric-only settings pass through untouched.
+	only := Config{Fabric: fabric.Config{StateEngine: storage.EngineSingle, NumChannels: 4, ConsensusOverlap: 8}}
+	fc, err := only.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.StateEngine != storage.EngineSingle || fc.NumChannels != 4 || fc.ConsensusOverlap != 8 {
+		t.Fatalf("fabric-level settings mangled: %+v", fc)
+	}
+}
+
+func TestResolveRejectsConflictingOverrides(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{
+			name: "storage engine",
+			cfg: Config{
+				StorageEngine: storage.EngineSingle,
+				Fabric:        fabric.Config{StateEngine: storage.EngineSharded},
+			},
+			want: "conflicting storage engines",
+		},
+		{
+			name: "data dir",
+			cfg: Config{
+				DataDir: "/tmp/a",
+				Fabric:  fabric.Config{DataDir: "/tmp/elsewhere"},
+			},
+			want: "conflicting data directories",
+		},
+		{
+			name: "consensus overlap",
+			cfg: Config{
+				ConsensusOverlap: 2,
+				Fabric:           fabric.Config{ConsensusOverlap: 8},
+			},
+			want: "conflicting consensus overlap",
+		},
+		{
+			name: "channel count",
+			cfg: Config{
+				NumChannels: 2,
+				Fabric:      fabric.Config{NumChannels: 4},
+			},
+			want: "conflicting channel counts",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.cfg.Resolve()
+			if err == nil {
+				t.Fatalf("Resolve accepted conflicting %s overrides", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			// core.New must surface the same conflict instead of building
+			// a network over ambiguous knobs.
+			if _, err := New(tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("New error = %v, want %q conflict", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,250 @@
+package fabric
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"socialchain/internal/consensus"
+	"socialchain/internal/ordering"
+	"socialchain/internal/peer"
+	"socialchain/internal/storage"
+)
+
+// Channel is one independent shard of the network: its own peer set,
+// BFT consensus group, ordering services, endorsement watchdog and — per
+// peer — world state, history, indexes and block log. Channels share the
+// network's identities, endorsement policy and (stateless) chaincode
+// registry but no mutable state: a transaction submitted on one channel
+// is invisible to every other, which is what lets channels commit in
+// parallel. Fabric's own scale-out story works the same way.
+type Channel struct {
+	net  *Network
+	name string
+
+	peers      []*peer.Peer
+	validators []*consensus.Validator
+	orderers   []*ordering.Service
+	consNet    *consensus.Network
+	watchdog   *peer.Watchdog
+
+	mu        sync.RWMutex
+	excluded  map[string]bool
+	rr        atomic.Uint64
+	commitErr atomic.Uint64
+}
+
+// newChannel builds (but does not start) one channel over the network's
+// shared signers. dataDir, when non-empty, roots this channel's durable
+// peers (peer i under dataDir/peer<i>).
+func newChannel(n *Network, name, dataDir string) (*Channel, error) {
+	cfg := n.cfg
+	ch := &Channel{
+		net:      n,
+		name:     name,
+		consNet:  consensus.NewNetwork(cfg.Latency, cfg.Clock),
+		watchdog: peer.NewWatchdog(cfg.WatchdogThreshold),
+		excluded: make(map[string]bool),
+	}
+	// Flagged endorsers are removed from this channel's endorser pool.
+	ch.watchdog.OnFlag(func(id string) {
+		ch.mu.Lock()
+		ch.excluded[id] = true
+		ch.mu.Unlock()
+	})
+
+	for i := 0; i < cfg.NumPeers; i++ {
+		peerDir := ""
+		if dataDir != "" {
+			peerDir = filepath.Join(dataDir, n.ids[i])
+		}
+		p, err := peer.New(peer.Config{
+			ID:              n.ids[i],
+			ChannelID:       name,
+			Signer:          n.signers[i],
+			Registry:        n.registry,
+			Policy:          n.policy,
+			Watchdog:        ch.watchdog,
+			State:           storage.Config{Engine: cfg.StateEngine, Shards: cfg.StateShards},
+			DataDir:         peerDir,
+			Indexes:         cfg.StateIndexes,
+			VerifyCacheSize: cfg.VerifyCacheSize,
+		})
+		if err != nil {
+			ch.closePeers()
+			return nil, err
+		}
+		ch.peers = append(ch.peers, p)
+	}
+	if dataDir != "" {
+		// Recovered peers whose block log missed the tail (killed before
+		// the last blocks were logged) catch up from the freshest peer now,
+		// so consensus starts from one height everywhere.
+		if err := ch.syncRecoveredPeers(); err != nil {
+			ch.closePeers()
+			return nil, err
+		}
+	}
+
+	for i := 0; i < cfg.NumPeers; i++ {
+		p := ch.peers[i]
+		v := consensus.NewValidator(consensus.Config{
+			ID:              n.ids[i],
+			Validators:      n.ids,
+			Signer:          n.signers[i],
+			Identities:      n.idents,
+			Network:         ch.consNet,
+			Clock:           cfg.Clock,
+			RequestTimeout:  cfg.ConsensusTimeout,
+			Behavior:        cfg.Behaviors[i],
+			OverlapWindow:   cfg.ConsensusOverlap,
+			VerifyCacheSize: cfg.VerifyCacheSize,
+			Deliver: func(seq uint64, payload []byte) {
+				batch, err := ordering.DecodeBatch(payload)
+				if err != nil {
+					ch.commitErr.Add(1)
+					return
+				}
+				if _, err := p.CommitBatch(batch.Txs); err != nil {
+					ch.commitErr.Add(1)
+				}
+			},
+		})
+		ch.validators = append(ch.validators, v)
+		ch.orderers = append(ch.orderers, ordering.NewService(cfg.Cutter, v, cfg.Clock))
+	}
+	return ch, nil
+}
+
+// start launches the channel's validators and ordering services.
+func (ch *Channel) start() {
+	for _, v := range ch.validators {
+		v.Start()
+	}
+	for _, o := range ch.orderers {
+		o.Start()
+	}
+}
+
+// stop shuts the channel's ordering and consensus down (peers' durable
+// stores stay open — see closePeers).
+func (ch *Channel) stop() {
+	for _, o := range ch.orderers {
+		o.Stop()
+	}
+	for _, v := range ch.validators {
+		v.Stop()
+	}
+}
+
+// closePeers closes every constructed peer, returning the first error.
+func (ch *Channel) closePeers() error {
+	var first error
+	for _, p := range ch.peers {
+		if err := p.Close(); first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// syncRecoveredPeers brings every peer up to the freshest recovered
+// height through the validating SyncFrom path.
+func (ch *Channel) syncRecoveredPeers() error {
+	var freshest *peer.Peer
+	for _, p := range ch.peers {
+		if freshest == nil || p.Ledger().Height() > freshest.Ledger().Height() {
+			freshest = p
+		}
+	}
+	for _, p := range ch.peers {
+		if p == freshest || p.Ledger().Height() >= freshest.Ledger().Height() {
+			continue
+		}
+		if _, err := p.SyncFrom(freshest); err != nil {
+			return fmt.Errorf("fabric: recovery sync %s from %s on %s: %w", p.ID(), freshest.ID(), ch.name, err)
+		}
+	}
+	return nil
+}
+
+// Name returns the channel name.
+func (ch *Channel) Name() string { return ch.name }
+
+// Network returns the network this channel belongs to.
+func (ch *Channel) Network() *Network { return ch.net }
+
+// Peer returns the channel's i-th peer.
+func (ch *Channel) Peer(i int) *peer.Peer { return ch.peers[i] }
+
+// Peers returns all of the channel's peers.
+func (ch *Channel) Peers() []*peer.Peer { return ch.peers }
+
+// NumPeers returns the channel's peer count.
+func (ch *Channel) NumPeers() int { return len(ch.peers) }
+
+// Validator returns the channel's i-th consensus validator (tests, stats).
+func (ch *Channel) Validator(i int) *consensus.Validator { return ch.validators[i] }
+
+// Watchdog returns the channel's misbehaviour tracker.
+func (ch *Channel) Watchdog() *peer.Watchdog { return ch.watchdog }
+
+// CommitErrors returns the number of batches that failed to commit on
+// this channel.
+func (ch *Channel) CommitErrors() uint64 { return ch.commitErr.Load() }
+
+// ActiveEndorsers returns the channel's peers not excluded by its
+// watchdog.
+func (ch *Channel) ActiveEndorsers() []*peer.Peer {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	out := make([]*peer.Peer, 0, len(ch.peers))
+	for _, p := range ch.peers {
+		if !ch.excluded[p.ID()] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SyncPeer catches peer i up from the freshest peer on the channel (the
+// state-transfer path for peers that missed deliveries while partitioned).
+// It returns the number of blocks applied.
+func (ch *Channel) SyncPeer(i int) (int, error) {
+	target := ch.peers[i]
+	var freshest *peer.Peer
+	for _, p := range ch.peers {
+		if p == target {
+			continue
+		}
+		if freshest == nil || p.Ledger().Height() > freshest.Ledger().Height() {
+			freshest = p
+		}
+	}
+	if freshest == nil || freshest.Ledger().Height() <= target.Ledger().Height() {
+		return 0, nil
+	}
+	return target.SyncFrom(freshest)
+}
+
+// WaitHeight blocks until every peer's ledger on this channel reaches
+// height (or timeout), returning whether it was reached.
+func (ch *Channel) WaitHeight(height uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, p := range ch.peers {
+			if p.Ledger().Height() < height {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}

@@ -35,27 +35,44 @@ func (r *Result) Err() error {
 }
 
 // Gateway is the client SDK: it drives the endorse -> order -> commit
-// lifecycle on behalf of one signing identity (the paper's "client").
+// lifecycle on behalf of one signing identity (the paper's "client"),
+// scoped to one channel — every transaction it submits or evaluates runs
+// against that channel's peers, ordering service and consensus group.
 type Gateway struct {
-	net    *Network
+	ch     *Channel
 	client *msp.Signer
 }
 
-// Gateway creates a client bound to this network.
+// Gateway creates a client bound to this channel.
+func (ch *Channel) Gateway(client *msp.Signer) *Gateway {
+	return &Gateway{ch: ch, client: client}
+}
+
+// Gateway creates a client bound to the network's default channel.
+//
+// Deprecated: use Network.Channel(name).Gateway (or ChannelFor(key) for
+// routed writes) on multi-channel networks. Kept as a thin wrapper over
+// the default channel so single-channel code migrates incrementally.
 func (n *Network) Gateway(client *msp.Signer) *Gateway {
-	return &Gateway{net: n, client: client}
+	return n.DefaultChannel().Gateway(client)
 }
 
 // Client returns the gateway's signing identity.
 func (g *Gateway) Client() msp.Identity { return g.client.Identity }
 
+// Channel returns the channel this gateway is scoped to.
+func (g *Gateway) Channel() *Channel { return g.ch }
+
+// cfg returns the network config the gateway's channel was built from.
+func (g *Gateway) cfg() *Config { return &g.ch.net.cfg }
+
 // clientDelay simulates the client<->peer network hop.
 func (g *Gateway) clientDelay(peerID string) {
-	if g.net.cfg.Latency == nil {
+	if g.cfg().Latency == nil {
 		return
 	}
-	if d := g.net.cfg.Latency.Delay("client", peerID); d > 0 {
-		g.net.cfg.Clock.Sleep(d)
+	if d := g.cfg().Latency.Delay("client", peerID); d > 0 {
+		g.cfg().Clock.Sleep(d)
 	}
 }
 
@@ -65,11 +82,11 @@ func (g *Gateway) clientDelay(peerID string) {
 // Among active endorsers it prefers the freshest peer (highest ledger
 // height) so reads observe the client's own committed writes.
 func (g *Gateway) Evaluate(ccName, fn string, args ...[]byte) ([]byte, error) {
-	endorsers := g.net.ActiveEndorsers()
+	endorsers := g.ch.ActiveEndorsers()
 	if len(endorsers) == 0 {
 		return nil, errors.New("fabric: no active endorsers")
 	}
-	p := endorsers[int(g.net.rr.Add(1))%len(endorsers)]
+	p := endorsers[int(g.ch.rr.Add(1))%len(endorsers)]
 	best := p.Ledger().Height()
 	for _, cand := range endorsers {
 		if h := cand.Ledger().Height(); h > best {
@@ -77,7 +94,7 @@ func (g *Gateway) Evaluate(ccName, fn string, args ...[]byte) ([]byte, error) {
 			p = cand
 		}
 	}
-	prop, err := peer.NewProposal(g.client, g.net.cfg.ChannelID, ccName, fn, args, g.net.cfg.Clock.Now())
+	prop, err := peer.NewProposal(g.client, g.ch.name, ccName, fn, args, g.cfg().Clock.Now())
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +148,7 @@ const endorseRetries = 5
 // group. If that group cannot satisfy the channel policy it retries after a
 // short delay, letting lagging peers catch up.
 func (g *Gateway) endorseAndAssemble(ccName, fn string, args [][]byte) (*ledger.Transaction, error) {
-	prop, err := peer.NewProposal(g.client, g.net.cfg.ChannelID, ccName, fn, args, g.net.cfg.Clock.Now())
+	prop, err := peer.NewProposal(g.client, g.ch.name, ccName, fn, args, g.cfg().Clock.Now())
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +170,7 @@ func (g *Gateway) endorseAndAssemble(ccName, fn string, args [][]byte) (*ledger.
 		}
 		// Pre-check the policy so a transient endorsement split triggers a
 		// retry instead of a doomed submission.
-		if perr := g.net.policy.Evaluate(tx.Digest(), tx.Endorsements); perr != nil {
+		if perr := g.ch.net.policy.Evaluate(tx.Digest(), tx.Endorsements); perr != nil {
 			lastErr = perr
 			continue
 		}
@@ -203,7 +220,7 @@ func (g *Gateway) SubmitEnvelope(tx ledger.Transaction) (*Result, error) {
 			res.BlockNum = blockNum
 		}
 		return res, nil
-	case <-time.After(g.net.cfg.CommitTimeout):
+	case <-time.After(g.cfg().CommitTimeout):
 		return nil, fmt.Errorf("%w: tx %s", ErrCommitTimeout, tx.ID)
 	}
 }
@@ -213,11 +230,11 @@ func (g *Gateway) SubmitEnvelope(tx ledger.Transaction) (*Result, error) {
 // deregistered when ordering rejects the transaction — a rejected txID
 // never commits, so leaving it registered would leak wait-map entries.
 func (g *Gateway) orderAsync(tx ledger.Transaction) (*peer.Peer, <-chan ledger.ValidationCode, error) {
-	idx := int(g.net.rr.Add(1)) % len(g.net.peers)
-	entry := g.net.peers[idx]
+	idx := int(g.ch.rr.Add(1)) % len(g.ch.peers)
+	entry := g.ch.peers[idx]
 	waiter := entry.WaitForCommit(tx.ID)
 	g.clientDelay(entry.ID())
-	if err := g.net.orderers[idx].Submit(tx); err != nil {
+	if err := g.ch.orderers[idx].Submit(tx); err != nil {
 		entry.CancelWait(tx.ID)
 		return nil, nil, fmt.Errorf("fabric: order tx %s: %w", tx.ID, err)
 	}
@@ -286,7 +303,7 @@ func (g *Gateway) SubmitBatchAsync(calls []chaincode.BatchCall) (string, <-chan 
 // groups them by result digest and assembles a signed batch envelope from
 // the largest agreeing group, retrying while lagging peers catch up.
 func (g *Gateway) endorseAndAssembleBatch(calls []chaincode.BatchCall) (*ledger.Transaction, error) {
-	prop, err := peer.NewBatchProposal(g.client, g.net.cfg.ChannelID, calls, g.net.cfg.Clock.Now())
+	prop, err := peer.NewBatchProposal(g.client, g.ch.name, calls, g.cfg().Clock.Now())
 	if err != nil {
 		return nil, err
 	}
@@ -305,11 +322,11 @@ func (g *Gateway) endorseAndAssembleBatch(calls []chaincode.BatchCall) (*ledger.
 		for i, c := range calls {
 			payload.Batch[i] = ledger.TxPayload{Chaincode: c.Chaincode, Fn: c.Fn, Args: c.Args}
 		}
-		tx, err := assembleSignedEnvelope(g.client, prop.TxID, g.net.cfg.ChannelID, payload, prop.Timestamp, best)
+		tx, err := assembleSignedEnvelope(g.client, prop.TxID, g.ch.name, payload, prop.Timestamp, best)
 		if err != nil {
 			return nil, err
 		}
-		if perr := g.net.policy.Evaluate(tx.Digest(), tx.Endorsements); perr != nil {
+		if perr := g.ch.net.policy.Evaluate(tx.Digest(), tx.Endorsements); perr != nil {
 			lastErr = perr
 			continue
 		}
@@ -321,7 +338,7 @@ func (g *Gateway) endorseAndAssembleBatch(calls []chaincode.BatchCall) (*ledger.
 // collectEndorsements runs one parallel endorsement round over the active
 // endorsers and returns the largest digest-agreeing response group.
 func (g *Gateway) collectEndorsements(endorse func(*peer.Peer) (*peer.ProposalResponse, error)) ([]*peer.ProposalResponse, error) {
-	endorsers := g.net.ActiveEndorsers()
+	endorsers := g.ch.ActiveEndorsers()
 	if len(endorsers) == 0 {
 		return nil, errors.New("fabric: no active endorsers")
 	}

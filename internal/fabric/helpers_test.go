@@ -14,7 +14,7 @@ import (
 type proposalT = peer.Proposal
 
 func newRawProposal(gw *Gateway, cc, fn string, args [][]byte) (*peer.Proposal, error) {
-	return peer.NewProposal(gw.client, gw.net.cfg.ChannelID, cc, fn, args, time.Now())
+	return peer.NewProposal(gw.client, gw.ch.name, cc, fn, args, time.Now())
 }
 
 // envelopeFrom assembles a signed envelope carrying only the given

@@ -3,13 +3,20 @@
 // the Gateway client through which applications submit and evaluate
 // transactions. It corresponds to the channel-level wiring of Hyperledger
 // Fabric that the paper's framework builds on.
+//
+// A network hosts one or more channels (Config.NumChannels). Each channel
+// is an independent shard — its own ordering service, consensus group and
+// per-peer world state and block log — so aggregate throughput scales with
+// the channel count. Clients obtain channel-scoped gateways through
+// Network.Channel(name).Gateway or route by partition key through
+// Network.ChannelFor; the single-channel Network.Gateway survives as a
+// deprecated wrapper over the default channel.
 package fabric
 
 import (
 	"fmt"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"socialchain/internal/chaincode"
@@ -24,10 +31,20 @@ import (
 
 // Config describes a network to build.
 type Config struct {
-	// ChannelID names the single channel (default "traffic-channel", the
-	// paper's one-channel deployment).
+	// ChannelID names the channel (default "traffic-channel", the paper's
+	// one-channel deployment). With NumChannels > 1 it becomes the base
+	// name: channels are "<ChannelID>-0" … "<ChannelID>-<N-1>". With one
+	// channel the name is used verbatim, so single-channel deployments are
+	// byte-identical to the pre-sharding behaviour.
 	ChannelID string
-	// NumPeers is the number of endorsing/validating peers (default 4).
+	// NumChannels partitions the ledger across this many independent
+	// channels, each with its own ordering service, consensus group and
+	// per-peer state and block log (default 1). Keys route to channels
+	// deterministically via RouteKey.
+	NumChannels int
+	// NumPeers is the number of endorsing/validating peers per channel
+	// (default 4). The same peer identities join every channel, as Fabric
+	// peers do; each channel keeps an independent ledger per peer.
 	NumPeers int
 	// NumOrgs spreads peers across organisations (default min(NumPeers,3)).
 	NumOrgs int
@@ -41,7 +58,8 @@ type Config struct {
 	ConsensusTimeout time.Duration
 	// Policy is the endorsement policy (nil = the paper's 2/3 quorum).
 	Policy msp.Policy
-	// Behaviors injects byzantine consensus behaviour per peer index.
+	// Behaviors injects byzantine consensus behaviour per peer index (the
+	// behaviour applies to that peer's validator on every channel).
 	Behaviors map[int]consensus.Behavior
 	// WatchdogThreshold flags an endorser after this many misbehaviour
 	// reports (default 3).
@@ -57,12 +75,13 @@ type Config struct {
 	StateEngine storage.Engine
 	// StateShards overrides the sharded engine's stripe count (default 16).
 	StateShards int
-	// DataDir, when non-empty, makes every peer durable: peer i keeps its
-	// state engines and block log under DataDir/peer<i> (forcing the
-	// persist engine regardless of StateEngine). Building a network over a
-	// directory with previous data recovers each peer from its block log
-	// and then syncs any peer whose log missed the tail from the freshest
-	// recovered peer, before consensus starts.
+	// DataDir, when non-empty, makes every peer durable: with one channel
+	// peer i keeps its state engines and block log under DataDir/peer<i>
+	// (the pre-sharding layout); with N > 1 channels each channel's peers
+	// live under DataDir/<channel-name>/peer<i>. Building a network over a
+	// directory with previous data recovers each channel independently —
+	// peers replay their block logs and lagging peers sync from the
+	// freshest recovered peer of their channel — before consensus starts.
 	DataDir string
 	// StateIndexes declares the secondary indexes every peer's world state
 	// maintains (nil = none). All peers get the same list — index reads
@@ -85,6 +104,9 @@ type Config struct {
 func (c *Config) fill() {
 	if c.ChannelID == "" {
 		c.ChannelID = "traffic-channel"
+	}
+	if c.NumChannels <= 0 {
+		c.NumChannels = 1
 	}
 	if c.NumPeers <= 0 {
 		c.NumPeers = 4
@@ -109,23 +131,45 @@ func (c *Config) fill() {
 	}
 }
 
-// Network is a running channel: peers + consensus + ordering.
+// channelName returns the name of channel i under this config.
+func (c *Config) channelName(i int) string {
+	if c.NumChannels == 1 {
+		return c.ChannelID
+	}
+	return fmt.Sprintf("%s-%d", c.ChannelID, i)
+}
+
+// channelDataDir returns channel i's durable root ("" when the network is
+// in-memory). A single-channel network keeps the flat pre-sharding layout
+// so existing data directories recover unchanged.
+func (c *Config) channelDataDir(i int) string {
+	if c.DataDir == "" {
+		return ""
+	}
+	if c.NumChannels == 1 {
+		return c.DataDir
+	}
+	return filepath.Join(c.DataDir, c.channelName(i))
+}
+
+// Network is a running deployment: one or more channels sharing peer
+// identities, the endorsement policy and the (stateless) chaincode
+// registry.
 type Network struct {
 	cfg        Config
-	peers      []*peer.Peer
-	validators []*consensus.Validator
-	orderers   []*ordering.Service
-	consNet    *consensus.Network
+	channels   []*Channel
+	byName     map[string]*Channel
 	registry   *chaincode.Registry
 	identities *msp.Registry
-	watchdog   *peer.Watchdog
 	policy     msp.Policy
 
-	mu        sync.RWMutex
-	excluded  map[string]bool
-	rr        atomic.Uint64
-	commitErr atomic.Uint64
-	started   bool
+	// Shared peer identity material: the same signers join every channel.
+	ids     []string
+	signers []*msp.Signer
+	idents  map[string]msp.Identity
+
+	mu      sync.Mutex
+	started bool
 }
 
 // NewNetwork builds (but does not start) a network.
@@ -133,26 +177,18 @@ func NewNetwork(cfg Config) (*Network, error) {
 	cfg.fill()
 	n := &Network{
 		cfg:        cfg,
-		consNet:    consensus.NewNetwork(cfg.Latency, cfg.Clock),
 		registry:   chaincode.NewRegistry(),
 		identities: msp.NewRegistry(),
-		watchdog:   peer.NewWatchdog(cfg.WatchdogThreshold),
-		excluded:   make(map[string]bool),
+		byName:     make(map[string]*Channel, cfg.NumChannels),
 	}
 	n.policy = cfg.Policy
 	if n.policy == nil {
 		n.policy = msp.TwoThirds(cfg.NumPeers)
 	}
-	// Flagged endorsers are removed from the endorser pool.
-	n.watchdog.OnFlag(func(id string) {
-		n.mu.Lock()
-		n.excluded[id] = true
-		n.mu.Unlock()
-	})
 
-	ids := make([]string, cfg.NumPeers)
-	signers := make([]*msp.Signer, cfg.NumPeers)
-	idents := make(map[string]msp.Identity, cfg.NumPeers)
+	n.ids = make([]string, cfg.NumPeers)
+	n.signers = make([]*msp.Signer, cfg.NumPeers)
+	n.idents = make(map[string]msp.Identity, cfg.NumPeers)
 	for i := 0; i < cfg.NumPeers; i++ {
 		org := fmt.Sprintf("org%d", i%cfg.NumOrgs)
 		name := fmt.Sprintf("peer%d", i)
@@ -161,78 +197,27 @@ func NewNetwork(cfg Config) (*Network, error) {
 			return nil, fmt.Errorf("fabric: signer %s: %w", name, err)
 		}
 		// Validators address each other by bare peer name.
-		ids[i] = name
-		signers[i] = s
-		idents[name] = s.Identity
+		n.ids[i] = name
+		n.signers[i] = s
+		n.idents[name] = s.Identity
 		if err := n.identities.Register(s.Identity); err != nil {
 			return nil, err
 		}
 	}
 
-	for i := 0; i < cfg.NumPeers; i++ {
-		dataDir := ""
-		if cfg.DataDir != "" {
-			dataDir = filepath.Join(cfg.DataDir, ids[i])
-		}
-		p, err := peer.New(peer.Config{
-			ID:              ids[i],
-			ChannelID:       cfg.ChannelID,
-			Signer:          signers[i],
-			Registry:        n.registry,
-			Policy:          n.policy,
-			Watchdog:        n.watchdog,
-			State:           storage.Config{Engine: cfg.StateEngine, Shards: cfg.StateShards},
-			DataDir:         dataDir,
-			Indexes:         cfg.StateIndexes,
-			VerifyCacheSize: cfg.VerifyCacheSize,
-		})
+	for i := 0; i < cfg.NumChannels; i++ {
+		ch, err := newChannel(n, cfg.channelName(i), cfg.channelDataDir(i))
 		if err != nil {
 			n.closePeers()
-			return nil, err
+			return nil, fmt.Errorf("fabric: channel %s: %w", cfg.channelName(i), err)
 		}
-		n.peers = append(n.peers, p)
-	}
-	if cfg.DataDir != "" {
-		// Recovered peers whose block log missed the tail (killed before
-		// the last blocks were logged) catch up from the freshest peer now,
-		// so consensus starts from one height everywhere.
-		if err := n.syncRecoveredPeers(); err != nil {
-			n.closePeers()
-			return nil, err
-		}
-	}
-
-	for i := 0; i < cfg.NumPeers; i++ {
-		p := n.peers[i]
-		v := consensus.NewValidator(consensus.Config{
-			ID:              ids[i],
-			Validators:      ids,
-			Signer:          signers[i],
-			Identities:      idents,
-			Network:         n.consNet,
-			Clock:           cfg.Clock,
-			RequestTimeout:  cfg.ConsensusTimeout,
-			Behavior:        cfg.Behaviors[i],
-			OverlapWindow:   cfg.ConsensusOverlap,
-			VerifyCacheSize: cfg.VerifyCacheSize,
-			Deliver: func(seq uint64, payload []byte) {
-				batch, err := ordering.DecodeBatch(payload)
-				if err != nil {
-					n.commitErr.Add(1)
-					return
-				}
-				if _, err := p.CommitBatch(batch.Txs); err != nil {
-					n.commitErr.Add(1)
-				}
-			},
-		})
-		n.validators = append(n.validators, v)
-		n.orderers = append(n.orderers, ordering.NewService(cfg.Cutter, v, cfg.Clock))
+		n.channels = append(n.channels, ch)
+		n.byName[ch.name] = ch
 	}
 	return n, nil
 }
 
-// Start launches validators and ordering services.
+// Start launches validators and ordering services on every channel.
 func (n *Network) Start() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -240,11 +225,8 @@ func (n *Network) Start() {
 		return
 	}
 	n.started = true
-	for _, v := range n.validators {
-		v.Start()
-	}
-	for _, o := range n.orderers {
-		o.Start()
+	for _, ch := range n.channels {
+		ch.start()
 	}
 }
 
@@ -258,54 +240,34 @@ func (n *Network) Stop() {
 	}
 	n.started = false
 	n.mu.Unlock()
-	for _, o := range n.orderers {
-		o.Stop()
-	}
-	for _, v := range n.validators {
-		v.Stop()
+	for _, ch := range n.channels {
+		ch.stop()
 	}
 }
 
 // Close stops the network and flushes + closes every peer's durable
-// stores, returning the first close error. A durable deployment must
-// Close (not just Stop) before its data directory is reopened.
+// stores on every channel, returning the first close error. A durable
+// deployment must Close (not just Stop) before its data directory is
+// reopened.
 func (n *Network) Close() error {
 	n.Stop()
 	return n.closePeers()
 }
 
-// closePeers closes every constructed peer, returning the first error.
+// closePeers closes every constructed peer on every channel, returning
+// the first error.
 func (n *Network) closePeers() error {
 	var first error
-	for _, p := range n.peers {
-		if err := p.Close(); first == nil {
+	for _, ch := range n.channels {
+		if err := ch.closePeers(); first == nil {
 			first = err
 		}
 	}
 	return first
 }
 
-// syncRecoveredPeers brings every peer up to the freshest recovered
-// height through the validating SyncFrom path.
-func (n *Network) syncRecoveredPeers() error {
-	var freshest *peer.Peer
-	for _, p := range n.peers {
-		if freshest == nil || p.Ledger().Height() > freshest.Ledger().Height() {
-			freshest = p
-		}
-	}
-	for _, p := range n.peers {
-		if p == freshest || p.Ledger().Height() >= freshest.Ledger().Height() {
-			continue
-		}
-		if _, err := p.SyncFrom(freshest); err != nil {
-			return fmt.Errorf("fabric: recovery sync %s from %s: %w", p.ID(), freshest.ID(), err)
-		}
-	}
-	return nil
-}
-
-// Deploy registers a chaincode on every peer (they share the registry).
+// Deploy registers a chaincode on every peer of every channel (they share
+// the stateless registry; all state flows through per-channel stubs).
 func (n *Network) Deploy(cc chaincode.Chaincode) error {
 	return n.registry.Register(cc)
 }
@@ -318,82 +280,92 @@ func (n *Network) MustDeploy(cc chaincode.Chaincode) {
 	}
 }
 
-// Peer returns the i-th peer.
-func (n *Network) Peer(i int) *peer.Peer { return n.peers[i] }
+// Channel returns the named channel, or nil when no such channel exists.
+func (n *Network) Channel(name string) *Channel { return n.byName[name] }
 
-// Peers returns all peers.
-func (n *Network) Peers() []*peer.Peer { return n.peers }
+// ChannelAt returns the i-th channel (0 <= i < NumChannels).
+func (n *Network) ChannelAt(i int) *Channel { return n.channels[i] }
 
-// NumPeers returns the peer count.
-func (n *Network) NumPeers() int { return len(n.peers) }
+// Channels returns every channel in construction order.
+func (n *Network) Channels() []*Channel { return n.channels }
 
-// Validator returns the i-th consensus validator (tests, stats).
-func (n *Network) Validator(i int) *consensus.Validator { return n.validators[i] }
+// NumChannels returns the channel count.
+func (n *Network) NumChannels() int { return len(n.channels) }
 
-// Watchdog returns the shared misbehaviour tracker.
-func (n *Network) Watchdog() *peer.Watchdog { return n.watchdog }
+// DefaultChannel returns channel 0, the channel single-channel code talks
+// to.
+func (n *Network) DefaultChannel() *Channel { return n.channels[0] }
 
-// Identities returns the channel identity registry.
+// ChannelFor routes a partition key (a record's user/source ID) to its
+// home channel via RouteKey. Every writer and reader applying the same
+// rule is what keeps a key's state on exactly one channel.
+func (n *Network) ChannelFor(key string) *Channel {
+	return n.channels[RouteKey(key, len(n.channels))]
+}
+
+// Identities returns the network identity registry (shared by channels).
 func (n *Network) Identities() *msp.Registry { return n.identities }
 
-// Policy returns the channel endorsement policy.
+// Policy returns the endorsement policy (shared by channels).
 func (n *Network) Policy() msp.Policy { return n.policy }
 
-// ChannelID returns the channel name.
-func (n *Network) ChannelID() string { return n.cfg.ChannelID }
+// ChannelID returns the default channel's name.
+//
+// Deprecated: use Channel/Channels and Channel.Name on multi-channel
+// networks.
+func (n *Network) ChannelID() string { return n.channels[0].name }
 
-// CommitErrors returns the number of batches that failed to commit.
-func (n *Network) CommitErrors() uint64 { return n.commitErr.Load() }
+// Peer returns the default channel's i-th peer.
+//
+// Deprecated: use ChannelAt(i).Peer on multi-channel networks.
+func (n *Network) Peer(i int) *peer.Peer { return n.channels[0].Peer(i) }
 
-// ActiveEndorsers returns peers not excluded by the watchdog.
-func (n *Network) ActiveEndorsers() []*peer.Peer {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	out := make([]*peer.Peer, 0, len(n.peers))
-	for _, p := range n.peers {
-		if !n.excluded[p.ID()] {
-			out = append(out, p)
-		}
+// Peers returns the default channel's peers.
+//
+// Deprecated: use ChannelAt(i).Peers on multi-channel networks.
+func (n *Network) Peers() []*peer.Peer { return n.channels[0].Peers() }
+
+// NumPeers returns the per-channel peer count.
+func (n *Network) NumPeers() int { return n.channels[0].NumPeers() }
+
+// Validator returns the default channel's i-th consensus validator
+// (tests, stats).
+//
+// Deprecated: use ChannelAt(i).Validator on multi-channel networks.
+func (n *Network) Validator(i int) *consensus.Validator { return n.channels[0].Validator(i) }
+
+// Watchdog returns the default channel's misbehaviour tracker.
+//
+// Deprecated: use ChannelAt(i).Watchdog on multi-channel networks.
+func (n *Network) Watchdog() *peer.Watchdog { return n.channels[0].Watchdog() }
+
+// CommitErrors returns the number of batches that failed to commit,
+// summed over channels.
+func (n *Network) CommitErrors() uint64 {
+	var total uint64
+	for _, ch := range n.channels {
+		total += ch.CommitErrors()
 	}
-	return out
+	return total
 }
 
-// SyncPeer catches peer i up from the freshest peer in the network (the
-// state-transfer path for peers that missed deliveries while partitioned).
-// It returns the number of blocks applied.
-func (n *Network) SyncPeer(i int) (int, error) {
-	target := n.peers[i]
-	var freshest *peer.Peer
-	for _, p := range n.peers {
-		if p == target {
-			continue
-		}
-		if freshest == nil || p.Ledger().Height() > freshest.Ledger().Height() {
-			freshest = p
-		}
-	}
-	if freshest == nil || freshest.Ledger().Height() <= target.Ledger().Height() {
-		return 0, nil
-	}
-	return target.SyncFrom(freshest)
-}
+// ActiveEndorsers returns the default channel's peers not excluded by its
+// watchdog.
+//
+// Deprecated: use ChannelAt(i).ActiveEndorsers on multi-channel networks.
+func (n *Network) ActiveEndorsers() []*peer.Peer { return n.channels[0].ActiveEndorsers() }
 
-// WaitHeight blocks until every peer's ledger reaches height (or timeout),
-// returning whether it was reached. Useful for tests and benchmarks.
+// SyncPeer catches the default channel's peer i up from the freshest peer
+// of that channel. It returns the number of blocks applied.
+//
+// Deprecated: use ChannelAt(i).SyncPeer on multi-channel networks.
+func (n *Network) SyncPeer(i int) (int, error) { return n.channels[0].SyncPeer(i) }
+
+// WaitHeight blocks until every peer of the default channel reaches
+// height (or timeout), returning whether it was reached. Useful for tests
+// and benchmarks.
+//
+// Deprecated: use ChannelAt(i).WaitHeight on multi-channel networks.
 func (n *Network) WaitHeight(height uint64, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		all := true
-		for _, p := range n.peers {
-			if p.Ledger().Height() < height {
-				all = false
-				break
-			}
-		}
-		if all {
-			return true
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	return false
+	return n.channels[0].WaitHeight(height, timeout)
 }

@@ -1,0 +1,25 @@
+package fabric
+
+// RouteKey deterministically maps a partition key — a record's user or
+// source ID — to one of n channels. The hash is 64-bit FNV-1a, written
+// out long-hand so the routing rule is pinned by this file alone: it must
+// never change, because a durable multi-channel deployment recovers its
+// data by re-deriving the same key→channel assignment after every
+// restart, and a changed rule would strand every record on the wrong
+// channel. n <= 1 always routes to channel 0, which is what reduces a
+// single-channel network to the pre-sharding behaviour.
+func RouteKey(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}

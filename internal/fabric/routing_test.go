@@ -1,0 +1,105 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestRouteKeyDeterministic(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 16} {
+		for i := 0; i < 50; i++ {
+			key := fmt.Sprintf("org%d/user-%d", i%3, i)
+			first := RouteKey(key, n)
+			if first < 0 || first >= n {
+				t.Fatalf("RouteKey(%q, %d) = %d, out of range", key, n, first)
+			}
+			for rep := 0; rep < 5; rep++ {
+				if got := RouteKey(key, n); got != first {
+					t.Fatalf("RouteKey(%q, %d) flapped: %d then %d", key, n, first, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteKeySingleChannelAlwaysZero(t *testing.T) {
+	for _, n := range []int{1, 0, -3} {
+		for _, key := range []string{"", "a", "gov/admin", "city/cam-007"} {
+			if got := RouteKey(key, n); got != 0 {
+				t.Fatalf("RouteKey(%q, %d) = %d, want 0", key, n, got)
+			}
+		}
+	}
+}
+
+// TestRouteKeyGolden pins the routing rule itself. A durable multi-channel
+// deployment re-derives every key→channel assignment after restart, so
+// these assignments must never change; if this test fails, the hash in
+// RouteKey was altered and existing deployments would strand their data on
+// the wrong channels.
+func TestRouteKeyGolden(t *testing.T) {
+	golden := []struct {
+		key           string
+		at2, at4, at8 int
+	}{
+		{"city/cam-000", 1, 3, 3},
+		{"city/cam-001", 0, 0, 0},
+		{"crowd/mobile-000", 0, 0, 0},
+		{"crowd/mobile-001", 1, 3, 3},
+		{"gov/admin", 1, 3, 7},
+		{"city/ingest-cam", 1, 1, 1},
+		{"user-42", 1, 3, 3},
+		{"", 1, 1, 5},
+	}
+	for _, g := range golden {
+		if got := RouteKey(g.key, 2); got != g.at2 {
+			t.Errorf("RouteKey(%q, 2) = %d, want %d — the pinned routing rule changed", g.key, got, g.at2)
+		}
+		if got := RouteKey(g.key, 4); got != g.at4 {
+			t.Errorf("RouteKey(%q, 4) = %d, want %d — the pinned routing rule changed", g.key, got, g.at4)
+		}
+		if got := RouteKey(g.key, 8); got != g.at8 {
+			t.Errorf("RouteKey(%q, 8) = %d, want %d — the pinned routing rule changed", g.key, got, g.at8)
+		}
+	}
+}
+
+// TestRouteKeyUniformOverZipfPopulation checks the two load properties the
+// sharding design needs: distinct users spread near-uniformly over the
+// channels, and traffic drawn from a zipf-skewed user popularity stays
+// reasonably balanced too (the heavy hitters land on different channels).
+func TestRouteKeyUniformOverZipfPopulation(t *testing.T) {
+	const users = 10000
+	for _, n := range []int{2, 4, 8} {
+		byChannel := make([]int, n)
+		for i := 0; i < users; i++ {
+			byChannel[RouteKey(fmt.Sprintf("crowd/user-%06d", i), n)]++
+		}
+		fair := float64(users) / float64(n)
+		for ch, got := range byChannel {
+			if f := float64(got); f < 0.9*fair || f > 1.1*fair {
+				t.Fatalf("n=%d: channel %d holds %d of %d users (fair share %.0f ±10%%)", n, ch, got, users, fair)
+			}
+		}
+	}
+
+	// Zipf-weighted traffic: draw 200k submissions from a zipf popularity
+	// over the user population and require no channel to exceed twice its
+	// fair share of traffic at n=4.
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.2, 1, users-1)
+	const draws = 200000
+	const n = 4
+	traffic := make([]int, n)
+	for i := 0; i < draws; i++ {
+		user := fmt.Sprintf("crowd/user-%06d", zipf.Uint64())
+		traffic[RouteKey(user, n)]++
+	}
+	fair := float64(draws) / float64(n)
+	for ch, got := range traffic {
+		if float64(got) > 2*fair {
+			t.Fatalf("zipf traffic: channel %d got %d of %d draws (fair %.0f) — heavy hitters collide", ch, got, draws, fair)
+		}
+	}
+}

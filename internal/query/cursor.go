@@ -1,0 +1,55 @@
+package query
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Cursor is a resumable position in a cross-channel indexed retrieval: the
+// channel the iteration is currently on and the statedb index token within
+// that channel's world state. Cursors make pagination opaque to callers —
+// a client pages through "all records with label X" without knowing how
+// many channels hold them or where one channel's index ends and the next
+// begins. The zero Cursor (channel 0, empty token) is the start of the
+// iteration and encodes to the empty string, so single-channel pagination
+// tokens stay as cheap as they were before sharding.
+type Cursor struct {
+	// Channel is the index of the channel being iterated (engine gateway
+	// order, which follows fabric.Network channel order).
+	Channel int
+	// Token is the statedb.IterIndex continuation token within that
+	// channel ("" = start of the channel's index).
+	Token string
+}
+
+// Encode renders the cursor as an opaque URL-safe string. The zero cursor
+// encodes to "".
+func (c Cursor) Encode() string {
+	if c.Channel == 0 && c.Token == "" {
+		return ""
+	}
+	return base64.RawURLEncoding.EncodeToString([]byte(strconv.Itoa(c.Channel) + "|" + c.Token))
+}
+
+// DecodeCursor parses an encoded cursor. "" is the zero cursor; anything
+// else must round-trip through Cursor.Encode.
+func DecodeCursor(s string) (Cursor, error) {
+	if s == "" {
+		return Cursor{}, nil
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("query: bad cursor: %w", err)
+	}
+	chStr, token, ok := strings.Cut(string(raw), "|")
+	if !ok {
+		return Cursor{}, fmt.Errorf("query: bad cursor %q: no channel separator", s)
+	}
+	ch, err := strconv.Atoi(chStr)
+	if err != nil || ch < 0 {
+		return Cursor{}, fmt.Errorf("query: bad cursor %q: invalid channel %q", s, chStr)
+	}
+	return Cursor{Channel: ch, Token: token}, nil
+}

@@ -1,0 +1,51 @@
+package query
+
+import "testing"
+
+func TestCursorZeroEncodesEmpty(t *testing.T) {
+	if got := (Cursor{}).Encode(); got != "" {
+		t.Fatalf("zero cursor encodes to %q, want \"\"", got)
+	}
+	c, err := DecodeCursor("")
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if c != (Cursor{}) {
+		t.Fatalf("decode empty = %+v, want zero cursor", c)
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	cases := []Cursor{
+		{Channel: 0, Token: "abc"},
+		{Channel: 1, Token: ""},
+		{Channel: 3, Token: "idx|key\x00weird|token"},
+		{Channel: 12, Token: "cGFnZS10b2tlbg"},
+	}
+	for _, want := range cases {
+		enc := want.Encode()
+		if enc == "" {
+			t.Fatalf("non-zero cursor %+v encoded to empty string", want)
+		}
+		got, err := DecodeCursor(enc)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip %+v -> %q -> %+v", want, enc, got)
+		}
+	}
+}
+
+func TestCursorDecodeRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"not base64!!",
+		"YWJj",        // valid base64 but no separator
+		"eHw",         // "x|" -> invalid channel "x"
+		"LTF8dG9rZW4", // "-1|token" -> negative channel
+	} {
+		if _, err := DecodeCursor(s); err == nil {
+			t.Fatalf("DecodeCursor(%q) accepted garbage", s)
+		}
+	}
+}

@@ -3,6 +3,13 @@
 // (on-chain metadata, provenance, conditional queries) and the database
 // query executor (raw payloads from IPFS by CID), and verifies every
 // retrieved payload against its on-chain hash before returning it.
+//
+// On a multi-channel (sharded) deployment the engine holds one gateway per
+// channel and scatter-gathers: point lookups probe channels until the
+// owning one answers, list queries fan out over every channel and merge,
+// and indexed pagination walks the channels in order behind an opaque
+// Cursor that encodes both the channel and the index position within it.
+// A single-gateway engine reduces exactly to the pre-sharding behaviour.
 package query
 
 import (
@@ -21,9 +28,9 @@ import (
 	"socialchain/internal/statedb"
 )
 
-// Engine couples a blockchain gateway with an IPFS node.
+// Engine couples one blockchain gateway per channel with an IPFS node.
 type Engine struct {
-	gw    *fabric.Gateway
+	gws   []*fabric.Gateway
 	store *ipfs.Node
 	// cache is the optional CID-keyed read-through payload cache.
 	cache *payloadCache
@@ -35,10 +42,24 @@ type Engine struct {
 // was not configured with WithWorkers.
 const DefaultFetchWorkers = 8
 
-// NewEngine builds a query engine.
+// NewEngine builds a single-channel query engine.
 func NewEngine(gw *fabric.Gateway, store *ipfs.Node) *Engine {
-	return &Engine{gw: gw, store: store}
+	return &Engine{gws: []*fabric.Gateway{gw}, store: store}
 }
+
+// NewShardedEngine builds a query engine over one gateway per channel (in
+// channel order — cursors encode positions by that order). Point lookups
+// probe the channels, list queries scatter-gather across all of them.
+// At least one gateway is required.
+func NewShardedEngine(gws []*fabric.Gateway, store *ipfs.Node) (*Engine, error) {
+	if len(gws) == 0 {
+		return nil, errors.New("query: sharded engine needs at least one gateway")
+	}
+	return &Engine{gws: append([]*fabric.Gateway(nil), gws...), store: store}, nil
+}
+
+// Channels returns how many channels the engine spans.
+func (e *Engine) Channels() int { return len(e.gws) }
 
 // WithPayloadCache enables a read-through payload cache bounded to
 // capBytes: retrievals of a CID already fetched and verified skip the
@@ -83,6 +104,13 @@ const (
 	BySelector
 	// ProvenanceOf walks a record's source chain.
 	ProvenanceOf
+	// ByIndex pages through a statedb secondary index (Request.Index,
+	// Limit, Cursor); Result.Next resumes the following page across
+	// channel boundaries.
+	ByIndex
+	// ByTxIDs runs the batch retrieval path (Request.Values) and returns
+	// per-item results in Result.Items.
+	ByTxIDs
 )
 
 // Request is a parsed query for the processor.
@@ -93,6 +121,17 @@ type Request struct {
 	// FetchPayload also retrieves and verifies raw bytes from IPFS (only
 	// meaningful for ByTxID).
 	FetchPayload bool
+	// Values are the transaction IDs of a ByTxIDs batch request.
+	Values []string
+	// Index names the statedb secondary index of a ByIndex request
+	// (contracts.IndexLabel and friends); Value narrows it by prefix.
+	Index string
+	// Limit bounds a ByIndex page (default 100).
+	Limit int
+	// Cursor resumes a ByIndex iteration from a previous Result.Next
+	// ("" = start). Cursors are opaque; they encode the channel and the
+	// index position within it.
+	Cursor string
 }
 
 // Timing breaks a query's latency into its executor components, the
@@ -116,7 +155,12 @@ type Result struct {
 	Payload []byte
 	// Verified reports that the payload matched its on-chain hash.
 	Verified bool
-	Timing   Timing
+	// Items are the per-transaction results of a ByTxIDs batch request.
+	Items []BatchItem
+	// Next resumes the following page of a ByIndex request; empty when
+	// the iteration is exhausted across every channel.
+	Next   string
+	Timing Timing
 }
 
 // Execute routes a request to its executors, as the paper's query processor
@@ -150,6 +194,14 @@ func (e *Engine) Execute(req Request) (*Result, error) {
 			return nil, err
 		}
 		return &Result{Records: recs}, nil
+	case ByIndex:
+		page, err := e.Page(req.Index, req.Value, req.Limit, req.Cursor)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Records: page.Records, Next: page.Next, Timing: page.Timing}, nil
+	case ByTxIDs:
+		return &Result{Items: e.GetMany(req.Values, 0)}, nil
 	default:
 		return nil, fmt.Errorf("query: unknown request kind %d", req.Kind)
 	}
@@ -161,19 +213,29 @@ func (e *Engine) Metadata(txID string) (contracts.DataRecord, error) {
 	return rec, err
 }
 
+// metadataTimed probes the channels for a record. A record lives on
+// exactly one channel (its writer's home channel), but transaction IDs are
+// random nonces that carry no routing information, so the lookup asks each
+// channel in turn and keeps the first answer. Timing accumulates over the
+// probes — that cost is what the channel-scoped write path avoids.
 func (e *Engine) metadataTimed(txID string) (contracts.DataRecord, Timing, error) {
 	var timing Timing
-	start := time.Now()
-	raw, err := e.gw.Evaluate(contracts.DataCC, "getData", []byte(txID))
-	timing.Blockchain = time.Since(start)
-	if err != nil {
-		return contracts.DataRecord{}, timing, err
+	var lastErr error
+	for _, gw := range e.gws {
+		start := time.Now()
+		raw, err := gw.Evaluate(contracts.DataCC, "getData", []byte(txID))
+		timing.Blockchain += time.Since(start)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var rec contracts.DataRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return contracts.DataRecord{}, timing, fmt.Errorf("query: corrupt record: %w", err)
+		}
+		return rec, timing, nil
 	}
-	var rec contracts.DataRecord
-	if err := json.Unmarshal(raw, &rec); err != nil {
-		return contracts.DataRecord{}, timing, fmt.Errorf("query: corrupt record: %w", err)
-	}
-	return rec, timing, nil
+	return contracts.DataRecord{}, timing, lastErr
 }
 
 // Data fetches a record's metadata from the blockchain, its payload from
@@ -239,10 +301,11 @@ type BatchItem struct {
 }
 
 // GetMany runs the full retrieval path for a batch of transaction IDs,
-// fanning metadata lookup, payload fetch and hash verification across a
-// bounded worker pool — the batch counterpart of Data. workers <= 0 uses
-// the engine's configured bound (WithWorkers, default DefaultFetchWorkers);
-// results are positionally aligned with txIDs.
+// fanning metadata lookup (channel probe, on sharded engines), payload
+// fetch and hash verification across a bounded worker pool — the batch
+// counterpart of Data. workers <= 0 uses the engine's configured bound
+// (WithWorkers, default DefaultFetchWorkers); results are positionally
+// aligned with txIDs.
 func (e *Engine) GetMany(txIDs []string, workers int) []BatchItem {
 	if workers <= 0 {
 		workers = e.workers
@@ -304,84 +367,161 @@ func (e *Engine) getOne(txID string) BatchItem {
 // PageResult is one page of an indexed metadata query.
 type PageResult struct {
 	Records []contracts.DataRecord
-	// Next resumes the following page; empty when exhausted.
+	// Next resumes the following page; empty when exhausted. On a sharded
+	// engine the cursor carries the iteration across channel boundaries —
+	// callers just keep passing it back.
 	Next   string
 	Timing Timing
 }
 
-// Paged runs one page of a secondary-index query against the data
-// chaincode (contracts.IndexLabel and friends): records whose indexed
-// value begins with value, in (value, key) order, at most limit per page.
-// Pass the previous page's Next as token to continue.
-func (e *Engine) Paged(index, value string, limit int, token string) (*PageResult, error) {
-	start := time.Now()
-	raw, err := e.gw.Evaluate(contracts.DataCC, "queryPage",
-		[]byte(index), []byte(value), []byte(strconv.Itoa(limit)), []byte(token))
-	elapsed := time.Since(start)
+// Page runs one page of a secondary-index query (contracts.IndexLabel and
+// friends): records whose indexed value begins with value, in (value, key)
+// order within each channel, at most limit per page (default 100). cursor
+// resumes from a previous page's Next; the empty cursor starts at the
+// first channel. When one channel's index is exhausted the iteration
+// moves to the next channel, so a page near a boundary may come back
+// short with Next still set — only an empty Next ends the iteration.
+func (e *Engine) Page(index, value string, limit int, cursor string) (*PageResult, error) {
+	if limit <= 0 {
+		limit = 100
+	}
+	cur, err := DecodeCursor(cursor)
 	if err != nil {
 		return nil, err
 	}
-	var page contracts.RecordPage
-	if err := json.Unmarshal(raw, &page); err != nil {
-		return nil, fmt.Errorf("query: corrupt page: %w", err)
+	if cur.Channel >= len(e.gws) {
+		return nil, fmt.Errorf("query: cursor channel %d out of range (%d channels)", cur.Channel, len(e.gws))
 	}
-	out := &PageResult{Next: page.Next, Timing: Timing{Blockchain: elapsed}}
-	out.Records = make([]contracts.DataRecord, 0, len(page.Records))
-	for _, r := range page.Records {
-		var rec contracts.DataRecord
-		if err := json.Unmarshal(r, &rec); err != nil {
-			return nil, fmt.Errorf("query: corrupt record in page: %w", err)
+	out := &PageResult{}
+	for {
+		start := time.Now()
+		raw, err := e.gws[cur.Channel].Evaluate(contracts.DataCC, "queryPage",
+			[]byte(index), []byte(value), []byte(strconv.Itoa(limit)), []byte(cur.Token))
+		out.Timing.Blockchain += time.Since(start)
+		if err != nil {
+			return nil, err
 		}
-		out.Records = append(out.Records, rec)
+		var page contracts.RecordPage
+		if err := json.Unmarshal(raw, &page); err != nil {
+			return nil, fmt.Errorf("query: corrupt page: %w", err)
+		}
+		for _, r := range page.Records {
+			var rec contracts.DataRecord
+			if err := json.Unmarshal(r, &rec); err != nil {
+				return nil, fmt.Errorf("query: corrupt record in page: %w", err)
+			}
+			out.Records = append(out.Records, rec)
+		}
+		if page.Next != "" {
+			// More of this channel's index remains.
+			out.Next = Cursor{Channel: cur.Channel, Token: page.Next}.Encode()
+			return out, nil
+		}
+		// This channel is exhausted; hand the cursor to the next one. An
+		// empty page from an empty channel keeps scanning forward so
+		// callers never see a no-progress page with a non-empty cursor.
+		if cur.Channel+1 >= len(e.gws) {
+			out.Next = ""
+			return out, nil
+		}
+		cur = Cursor{Channel: cur.Channel + 1}
+		if len(out.Records) > 0 {
+			out.Next = cur.Encode()
+			return out, nil
+		}
 	}
-	return out, nil
 }
 
-// listQuery runs a list-returning chaincode query.
+// Paged runs one page of a secondary-index query against the data
+// chaincode. It is the pre-sharding name for Page; token is an opaque
+// cursor from a previous page's Next.
+//
+// Deprecated: use Page (or Execute with a ByIndex Request), which this
+// forwards to.
+func (e *Engine) Paged(index, value string, limit int, token string) (*PageResult, error) {
+	return e.Page(index, value, limit, token)
+}
+
+// listQuery runs a list-returning chaincode query, fanning out over every
+// channel and concatenating the per-channel answers in channel order.
 func (e *Engine) listQuery(fn, arg string) (*Result, error) {
+	type chanResult struct {
+		recs []contracts.DataRecord
+		err  error
+	}
 	start := time.Now()
-	raw, err := e.gw.Evaluate(contracts.DataCC, fn, []byte(arg))
+	results := make([]chanResult, len(e.gws))
+	var wg sync.WaitGroup
+	for i, gw := range e.gws {
+		wg.Add(1)
+		go func(i int, gw *fabric.Gateway) {
+			defer wg.Done()
+			raw, err := gw.Evaluate(contracts.DataCC, fn, []byte(arg))
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			var rawRecs []json.RawMessage
+			if err := json.Unmarshal(raw, &rawRecs); err != nil {
+				results[i].err = fmt.Errorf("query: corrupt list: %w", err)
+				return
+			}
+			recs := make([]contracts.DataRecord, 0, len(rawRecs))
+			for _, r := range rawRecs {
+				var rec contracts.DataRecord
+				if err := json.Unmarshal(r, &rec); err != nil {
+					results[i].err = fmt.Errorf("query: corrupt record in list: %w", err)
+					return
+				}
+				recs = append(recs, rec)
+			}
+			results[i].recs = recs
+		}(i, gw)
+	}
+	wg.Wait()
 	elapsed := time.Since(start)
-	if err != nil {
-		return nil, err
-	}
-	var rawRecs []json.RawMessage
-	if err := json.Unmarshal(raw, &rawRecs); err != nil {
-		return nil, fmt.Errorf("query: corrupt list: %w", err)
-	}
-	recs := make([]contracts.DataRecord, 0, len(rawRecs))
-	for _, r := range rawRecs {
-		var rec contracts.DataRecord
-		if err := json.Unmarshal(r, &rec); err != nil {
-			return nil, fmt.Errorf("query: corrupt record in list: %w", err)
+	var recs []contracts.DataRecord
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
 		}
-		recs = append(recs, rec)
+		recs = append(recs, r.recs...)
+	}
+	if recs == nil {
+		recs = []contracts.DataRecord{}
 	}
 	return &Result{Records: recs, Timing: Timing{Blockchain: elapsed}}, nil
 }
 
 // Provenance fetches and verifies a record's source chain (newest first).
+// A source's whole chain lives on its home channel, so the lookup probes
+// channels like metadataTimed does and verifies the first answer.
 func (e *Engine) Provenance(txID string) ([]contracts.DataRecord, error) {
-	raw, err := e.gw.Evaluate(contracts.DataCC, "getProvenance", []byte(txID))
-	if err != nil {
-		return nil, err
-	}
-	var rawRecs []json.RawMessage
-	if err := json.Unmarshal(raw, &rawRecs); err != nil {
-		return nil, err
-	}
-	chain := make([]contracts.DataRecord, 0, len(rawRecs))
-	for _, r := range rawRecs {
-		var rec contracts.DataRecord
-		if err := json.Unmarshal(r, &rec); err != nil {
+	var lastErr error
+	for _, gw := range e.gws {
+		raw, err := gw.Evaluate(contracts.DataCC, "getProvenance", []byte(txID))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var rawRecs []json.RawMessage
+		if err := json.Unmarshal(raw, &rawRecs); err != nil {
 			return nil, err
 		}
-		chain = append(chain, rec)
+		chain := make([]contracts.DataRecord, 0, len(rawRecs))
+		for _, r := range rawRecs {
+			var rec contracts.DataRecord
+			if err := json.Unmarshal(r, &rec); err != nil {
+				return nil, err
+			}
+			chain = append(chain, rec)
+		}
+		if err := provenance.VerifyChain(chain); err != nil {
+			return chain, err
+		}
+		return chain, nil
 	}
-	if err := provenance.VerifyChain(chain); err != nil {
-		return chain, err
-	}
-	return chain, nil
+	return nil, lastErr
 }
 
 // ErrNotVerified marks retrievals whose payload failed the integrity check.

@@ -1,0 +1,68 @@
+package trust
+
+import (
+	"sort"
+	"time"
+)
+
+// GlobalView is a point-in-time roll-up of per-channel trust state into one
+// deployment-wide picture. On a sharded ledger each source's score lives
+// only on its home channel; administrators still want a single answer to
+// "who is flagged?" and "what does the population look like?", so the
+// framework periodically lists every channel's scores and merges them here.
+type GlobalView struct {
+	// States holds every source's freshest state, sorted by SourceID. A
+	// source appearing on several channels (possible only through
+	// deprecated non-routed writes) keeps the newest UpdatedAt.
+	States []State
+	// Sources is len(States).
+	Sources int
+	// Flagged counts sources currently below the flag threshold.
+	Flagged int
+	// MeanScore averages the combined score over all sources (0 when none).
+	MeanScore float64
+	// Channels is how many per-channel score lists were merged.
+	Channels int
+	// RolledAt stamps when the roll-up was taken.
+	RolledAt time.Time
+}
+
+// Rollup merges per-channel score lists (one slice per channel, as returned
+// by the trust chaincode's listScores) into a GlobalView taken at now.
+func Rollup(perChannel [][]State, now time.Time) GlobalView {
+	freshest := make(map[string]State)
+	for _, states := range perChannel {
+		for _, st := range states {
+			if prev, ok := freshest[st.SourceID]; !ok || st.UpdatedAt.After(prev.UpdatedAt) {
+				freshest[st.SourceID] = st
+			}
+		}
+	}
+	view := GlobalView{Channels: len(perChannel), RolledAt: now}
+	view.States = make([]State, 0, len(freshest))
+	for _, st := range freshest {
+		view.States = append(view.States, st)
+	}
+	sort.Slice(view.States, func(i, j int) bool { return view.States[i].SourceID < view.States[j].SourceID })
+	view.Sources = len(view.States)
+	var sum float64
+	for _, st := range view.States {
+		sum += st.Score
+		if st.Flagged {
+			view.Flagged++
+		}
+	}
+	if view.Sources > 0 {
+		view.MeanScore = sum / float64(view.Sources)
+	}
+	return view
+}
+
+// Lookup returns the rolled-up state of one source.
+func (v *GlobalView) Lookup(sourceID string) (State, bool) {
+	i := sort.Search(len(v.States), func(i int) bool { return v.States[i].SourceID >= sourceID })
+	if i < len(v.States) && v.States[i].SourceID == sourceID {
+		return v.States[i], true
+	}
+	return State{}, false
+}

@@ -1,0 +1,98 @@
+package trust
+
+import (
+	"testing"
+	"time"
+)
+
+func rollupState(id string, score float64, flagged bool, updated time.Time) State {
+	return State{SourceID: id, Score: score, Flagged: flagged, UpdatedAt: updated}
+}
+
+func TestRollupMergesChannelsSorted(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	view := Rollup([][]State{
+		{rollupState("city/cam-002", 0.9, false, now), rollupState("city/cam-000", 0.2, true, now)},
+		{rollupState("city/cam-001", 0.7, false, now)},
+		{}, // idle channel
+	}, now)
+
+	if view.Channels != 3 {
+		t.Fatalf("Channels = %d, want 3", view.Channels)
+	}
+	if view.Sources != 3 || len(view.States) != 3 {
+		t.Fatalf("Sources = %d (len %d), want 3", view.Sources, len(view.States))
+	}
+	for i, want := range []string{"city/cam-000", "city/cam-001", "city/cam-002"} {
+		if view.States[i].SourceID != want {
+			t.Fatalf("States[%d] = %q, want %q (sorted by SourceID)", i, view.States[i].SourceID, want)
+		}
+	}
+	if view.Flagged != 1 {
+		t.Fatalf("Flagged = %d, want 1", view.Flagged)
+	}
+	if want := (0.9 + 0.2 + 0.7) / 3; view.MeanScore != want {
+		t.Fatalf("MeanScore = %v, want %v", view.MeanScore, want)
+	}
+	if !view.RolledAt.Equal(now) {
+		t.Fatalf("RolledAt = %v, want %v", view.RolledAt, now)
+	}
+}
+
+// TestRollupFreshestWins pins the merge rule for a source appearing on
+// several channels (possible only through deprecated non-routed writes):
+// the state with the newest UpdatedAt is kept, regardless of channel order.
+func TestRollupFreshestWins(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	stale := rollupState("gov/admin", 0.3, true, now.Add(-time.Hour))
+	fresh := rollupState("gov/admin", 0.8, false, now)
+
+	for _, perChannel := range [][][]State{
+		{{stale}, {fresh}},
+		{{fresh}, {stale}},
+	} {
+		view := Rollup(perChannel, now)
+		if view.Sources != 1 {
+			t.Fatalf("Sources = %d, want 1 (duplicate source merged)", view.Sources)
+		}
+		got, ok := view.Lookup("gov/admin")
+		if !ok {
+			t.Fatal("Lookup missed the merged source")
+		}
+		if got.Score != fresh.Score || got.Flagged != fresh.Flagged {
+			t.Fatalf("merged state = %+v, want the freshest %+v", got, fresh)
+		}
+		if view.Flagged != 0 {
+			t.Fatalf("Flagged = %d, want 0 (stale flag must not survive)", view.Flagged)
+		}
+	}
+}
+
+func TestRollupEmpty(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	view := Rollup(nil, now)
+	if view.Sources != 0 || view.Flagged != 0 || view.MeanScore != 0 {
+		t.Fatalf("empty rollup = %+v, want zero aggregates", view)
+	}
+	if _, ok := view.Lookup("anyone"); ok {
+		t.Fatal("Lookup on empty view returned a state")
+	}
+}
+
+func TestGlobalViewLookup(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	view := Rollup([][]State{{
+		rollupState("a/1", 0.5, false, now),
+		rollupState("b/2", 0.6, false, now),
+		rollupState("c/3", 0.7, false, now),
+	}}, now)
+	for _, id := range []string{"a/1", "b/2", "c/3"} {
+		st, ok := view.Lookup(id)
+		if !ok || st.SourceID != id {
+			t.Fatalf("Lookup(%q) = %+v, %v", id, st, ok)
+		}
+	}
+	if _, ok := view.Lookup("b/0"); ok {
+		t.Fatal("Lookup matched a missing source")
+	}
+}
