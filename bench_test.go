@@ -372,7 +372,7 @@ func BenchmarkQuery(b *testing.B) {
 func BenchmarkConsensusThroughput(b *testing.B) {
 	for _, n := range []int{4, 7} {
 		b.Run(fmt.Sprintf("validators=%d", n), func(b *testing.B) {
-			net := consensus.NewNetwork(nil, nil)
+			net := consensus.NewInProcNet(nil, nil)
 			ids := make([]string, n)
 			signers := make([]*msp.Signer, n)
 			idents := make(map[string]msp.Identity)
@@ -390,7 +390,7 @@ func BenchmarkConsensusThroughput(b *testing.B) {
 			for i := 0; i < n; i++ {
 				first := i == 0
 				v := consensus.NewValidator(consensus.Config{
-					ID: ids[i], Validators: ids, Signer: signers[i], Identities: idents, Network: net,
+					ID: ids[i], Validators: ids, Signer: signers[i], Identities: idents, Sender: net,
 					Deliver: func(seq uint64, payload []byte) {
 						if first {
 							done <- struct{}{}

@@ -144,7 +144,7 @@ func TestIntegrationChannelEquivalence(t *testing.T) {
 		paged   []string
 		trust   []byte
 	}
-	run := func(t *testing.T, nch int) runResult {
+	run := func(t *testing.T, nch int, transport string) runResult {
 		fw, err := core.New(core.Config{
 			Fabric: fabric.Config{
 				NumPeers: 4,
@@ -153,6 +153,7 @@ func TestIntegrationChannelEquivalence(t *testing.T) {
 			NumChannels:   nch,
 			IPFSNodes:     2,
 			StorageEngine: storage.EngineSharded,
+			Transport:     transport,
 		})
 		if err != nil {
 			t.Fatalf("core.New(%d channels): %v", nch, err)
@@ -318,26 +319,38 @@ func TestIntegrationChannelEquivalence(t *testing.T) {
 		return runResult{records: recJSON, index: idxJSON, paged: paged, trust: trustJSON}
 	}
 
+	// The tcp leg reruns the sharded deployment with all consensus and
+	// fabric traffic over real localhost sockets: the wire must not
+	// change a single canonical byte.
 	var base runResult
-	for _, nch := range []int{1, 4} {
-		nch := nch
-		t.Run(fmt.Sprintf("%d-channel", nch), func(t *testing.T) {
-			got := run(t, nch)
-			if nch == 1 {
+	legs := []struct {
+		name      string
+		nch       int
+		transport string
+	}{
+		{"1-channel", 1, ""},
+		{"4-channel", 4, ""},
+		{"4-channel-tcp", 4, "tcp"},
+	}
+	for _, leg := range legs {
+		leg := leg
+		t.Run(leg.name, func(t *testing.T) {
+			got := run(t, leg.nch, leg.transport)
+			if leg.name == "1-channel" {
 				base = got
 				return
 			}
 			if !bytes.Equal(base.records, got.records) {
-				t.Fatalf("canonical records diverged between 1 and %d channels:\n1ch: %s\nnow: %s", nch, base.records, got.records)
+				t.Fatalf("canonical records diverged between 1-channel and %s:\n1ch: %s\nnow: %s", leg.name, base.records, got.records)
 			}
 			if !bytes.Equal(base.index, got.index) {
-				t.Fatalf("canonical label index diverged between 1 and %d channels:\n1ch: %s\nnow: %s", nch, base.index, got.index)
+				t.Fatalf("canonical label index diverged between 1-channel and %s:\n1ch: %s\nnow: %s", leg.name, base.index, got.index)
 			}
 			if strings := fmt.Sprint(got.paged); fmt.Sprint(base.paged) != strings {
-				t.Fatalf("paged record set diverged between 1 and %d channels", nch)
+				t.Fatalf("paged record set diverged between 1-channel and %s", leg.name)
 			}
 			if !bytes.Equal(base.trust, got.trust) {
-				t.Fatalf("trust roll-up diverged between 1 and %d channels:\n1ch: %s\nnow: %s", nch, base.trust, got.trust)
+				t.Fatalf("trust roll-up diverged between 1-channel and %s:\n1ch: %s\nnow: %s", leg.name, base.trust, got.trust)
 			}
 		})
 	}

@@ -22,11 +22,16 @@
 //	          rounds, multi-source e2e ingest with overlap on/off)
 //	channels  multi-channel sharding ablation (aggregate pipelined-ingest
 //	          throughput at 1, 2 and 4 channels)
+//	wire      consensus-transport ablation (the same ingest workload over
+//	          in-process delivery vs framed localhost TCP sockets)
 //	all       everything above
 //
 // The -engine flag selects the world-state storage engine ("single",
 // "sharded" or "persist") for every framework the harness builds, so any
-// figure can be regenerated under any engine. -out FILE writes the scalar
+// figure can be regenerated under any engine. The -transport flag
+// likewise selects the consensus transport ("inproc" or "tcp") for every
+// framework the harness builds, so any existing figure can be re-measured
+// over the real wire. -out FILE writes the scalar
 // metrics the figures record as a flat JSON map, the artefact the CI
 // bench job diffs against its committed baseline.
 //
@@ -63,15 +68,17 @@ import (
 	"socialchain/internal/sim"
 	"socialchain/internal/statedb"
 	"socialchain/internal/storage"
+	"socialchain/internal/transport"
 	"socialchain/internal/workload"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,storage,retrieval,ingest,durability,consensus,channels,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,storage,retrieval,ingest,durability,consensus,channels,wire,all")
 	samples := flag.Int("samples", 20, "measurements per point")
 	csv := flag.Bool("csv", false, "emit CSV series instead of tables")
 	seed := flag.Int64("seed", 1, "workload seed")
 	engine := flag.String("engine", string(storage.EngineSharded), "world-state storage engine: single, sharded or persist")
+	transportKind := flag.String("transport", "", "consensus transport for figure deployments: inproc (default) or tcp")
 	out := flag.String("out", "", "write recorded scalar metrics as a JSON map to this file")
 	ingestRecords := flag.Int("ingest-records", 10000, "records per mode in the ingest ablation")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the selected figures to this file")
@@ -110,7 +117,10 @@ func main() {
 	default:
 		log.Fatalf("unknown engine %q (valid: %s, %s, %s)", *engine, storage.EngineSingle, storage.EngineSharded, storage.EnginePersist)
 	}
-	h := &harness{samples: *samples, csv: *csv, seed: *seed, engine: storage.Engine(*engine), ingestRecords: *ingestRecords, metrics: make(map[string]float64)}
+	if _, err := transport.ParseKind(*transportKind); err != nil {
+		log.Fatal(err)
+	}
+	h := &harness{samples: *samples, csv: *csv, seed: *seed, engine: storage.Engine(*engine), transport: *transportKind, ingestRecords: *ingestRecords, metrics: make(map[string]float64)}
 	run := map[string]func() error{
 		"2":          h.figure2,
 		"3":          h.figure3,
@@ -126,8 +136,9 @@ func main() {
 		"durability": h.durability,
 		"consensus":  h.consensus,
 		"channels":   h.channels,
+		"wire":       h.wire,
 	}
-	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage", "retrieval", "ingest", "durability", "consensus", "channels"}
+	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage", "retrieval", "ingest", "durability", "consensus", "channels", "wire"}
 	want := strings.Split(*fig, ",")
 	if *fig == "all" {
 		want = order
@@ -157,6 +168,7 @@ type harness struct {
 	csv           bool
 	seed          int64
 	engine        storage.Engine
+	transport     string
 	ingestRecords int
 	// metrics collects named scalars for -out (figure functions record
 	// what CI tracks for regressions).
@@ -284,6 +296,7 @@ func (h *harness) storageFramework() (*core.Framework, *core.Client, error) {
 		IPFSNodes:     2,
 		IPFSLatency:   sim.LANLatency(rng.Fork()),
 		StorageEngine: h.engine,
+		Transport:     h.transport,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -406,6 +419,7 @@ func (h *harness) bft() error {
 			},
 			IPFSNodes:     2,
 			StorageEngine: h.engine,
+			Transport:     h.transport,
 		})
 		if err != nil {
 			return err
@@ -508,6 +522,7 @@ func (h *harness) scale() error {
 			},
 			IPFSNodes:     2,
 			StorageEngine: h.engine,
+			Transport:     h.transport,
 		})
 		if err != nil {
 			return err
@@ -774,6 +789,7 @@ func (h *harness) ingest() error {
 			IPFSNodes:     2,
 			IPFSLatency:   sim.LANLatency(rng.Fork()),
 			StorageEngine: h.engine,
+			Transport:     h.transport,
 		})
 		if err != nil {
 			return err
@@ -919,6 +935,7 @@ func (h *harness) durability() error {
 			IPFSNodes:   2,
 			IPFSLatency: sim.LANLatency(rng.Fork()),
 			DataDir:     dataDir,
+			Transport:   h.transport,
 		})
 		if err != nil {
 			return 0, nil, err
@@ -981,6 +998,7 @@ func (h *harness) durability() error {
 		},
 		IPFSNodes: 2,
 		DataDir:   e2eDir,
+		Transport: h.transport,
 	})
 	if err != nil {
 		return fmt.Errorf("durability: reopen: %w", err)
@@ -1120,7 +1138,7 @@ func (h *harness) consensus() error {
 	)
 	roundRPS := func(overlap int) (float64, error) {
 		const n = 4
-		net := consensus.NewNetwork(sim.LANLatency(sim.NewRNG(h.seed)), nil)
+		net := consensus.NewInProcNet(sim.LANLatency(sim.NewRNG(h.seed)), nil)
 		ids := make([]string, n)
 		vsigners := make([]*msp.Signer, n)
 		idents := make(map[string]msp.Identity, n)
@@ -1143,7 +1161,7 @@ func (h *harness) consensus() error {
 				Validators:     ids,
 				Signer:         vsigners[i],
 				Identities:     idents,
-				Network:        net,
+				Sender:         net,
 				RequestTimeout: 2 * time.Second,
 				OverlapWindow:  overlap,
 				Deliver: func(seq uint64, payload []byte) {
@@ -1215,6 +1233,7 @@ func (h *harness) consensus() error {
 			IPFSNodes:        2,
 			IPFSLatency:      sim.LANLatency(frng.Fork()),
 			StorageEngine:    h.engine,
+			Transport:        h.transport,
 			ConsensusOverlap: overlap,
 		})
 		if err != nil {
@@ -1361,6 +1380,7 @@ func (h *harness) channels() error {
 			IPFSNodes:     2,
 			IPFSLatency:   sim.LANLatency(frng.Fork()),
 			StorageEngine: h.engine,
+			Transport:     h.transport,
 		})
 		if err != nil {
 			return 0, err

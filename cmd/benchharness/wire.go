@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"socialchain/internal/core"
+	"socialchain/internal/detect"
+	"socialchain/internal/fabric"
+	"socialchain/internal/ingest"
+	"socialchain/internal/metrics"
+	"socialchain/internal/msp"
+	"socialchain/internal/ordering"
+	"socialchain/internal/sim"
+)
+
+// wire compares the consensus transports head to head: the same pipelined
+// ingest workload over in-process message passing (zero-copy pointer
+// delivery) and over transport.TCP (length-prefixed CRC-framed localhost
+// sockets, JSON-encoded consensus messages). The gap is the real cost of
+// the wire — serialisation, framing, kernel round trips — that every
+// multi-machine deployment pays and the sim-latency figures never showed.
+func (h *harness) wire() error {
+	h.header("Ablation — consensus transport: in-process vs localhost TCP")
+	records := h.ingestRecords / 16
+	if records < 100 {
+		records = 100
+	}
+	run := func(kind string) (float64, error) {
+		fw, err := core.New(core.Config{
+			Fabric: fabric.Config{
+				NumPeers: 4,
+				Cutter:   ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 2 * time.Millisecond},
+			},
+			IPFSNodes:     2,
+			StorageEngine: h.engine,
+			Transport:     kind,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer fw.Close()
+		cam, err := msp.NewSigner("city", "wire-cam-"+kind, msp.RoleTrustedSource)
+		if err != nil {
+			return 0, err
+		}
+		if err := fw.RegisterSource(cam.Identity, true); err != nil {
+			return 0, err
+		}
+		client := fw.Client(cam, 0)
+		det := detect.NewDetector(h.seed)
+		frameRNG := sim.NewRNG(h.seed + 400)
+		recs := make([]ingest.Record, records)
+		for i := range recs {
+			frame, meta := frameOfSize(frameRNG, det, 4*1024, i)
+			recs[i] = ingest.Record{Signed: msp.NewSignedMessage(cam, frame.Data), Meta: meta}
+		}
+		pipe := client.Pipeline(ingest.Config{
+			Mode: ingest.ModePipelined, BatchSize: 10, AddWorkers: 4, MaxInFlight: 1,
+			FlushInterval: 250 * time.Millisecond,
+		})
+		start := time.Now()
+		for _, r := range pipe.Run(recs) {
+			if r.Err != nil {
+				return 0, fmt.Errorf("wire %s record %d: %w", kind, r.Index, r.Err)
+			}
+		}
+		return float64(records) / time.Since(start).Seconds(), nil
+	}
+
+	kinds := []string{"inproc", "tcp"}
+	rps := make([]float64, len(kinds))
+	for i, kind := range kinds {
+		r, err := run(kind)
+		if err != nil {
+			return err
+		}
+		rps[i] = r
+		h.record(fmt.Sprintf("wire_%s_rps", kind), r)
+	}
+	h.record("wire_tcp_cost_x", rps[0]/rps[1])
+
+	if h.csv {
+		s := &metrics.Series{Label: "wire_rps"} // x: 0 = inproc, 1 = tcp
+		for i := range kinds {
+			s.Append(float64(i), rps[i])
+		}
+		s.WriteCSV(os.Stdout)
+		return nil
+	}
+	tbl := metrics.NewTable(fmt.Sprintf("consensus transport (%d records, pipelined ingest)", records), "records_per_s", "relative")
+	for i, kind := range kinds {
+		tbl.AddRow(kind, rps[i], rps[i]/rps[0])
+	}
+	tbl.Render(os.Stdout)
+	return nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"socialchain/internal/contracts"
+	"socialchain/internal/fabric"
+	"socialchain/internal/ordering"
+)
+
+// daemonConfig carries the -role flags: one socialchaind process hosting
+// either one peer node (every channel's peer + validator) or the ordering
+// service of a networked deployment.
+type daemonConfig struct {
+	role         string // "peer" or "orderer"
+	index        int    // peer index (with -role peer)
+	listen       string // TCP listen address
+	join         string // comma-separated id=addr book of the other processes
+	peers        int
+	channels     int
+	identitySeed string
+	dataDir      string
+	batchTimeout time.Duration
+	maxMessages  int
+}
+
+// parseJoin parses "-join peer0=127.0.0.1:7001,orderer=127.0.0.1:7000"
+// into a transport address book. Processes absent from the book are
+// adopted when they dial in, so a partial book (or none) is legal.
+func parseJoin(s string) (map[string]string, error) {
+	book := make(map[string]string)
+	if s == "" {
+		return book, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -join entry %q (want id=host:port)", part)
+		}
+		book[id] = addr
+	}
+	return book, nil
+}
+
+// netConfig builds the deployment-wide fabric config every process of one
+// deployment must agree on (same flags on every process).
+func (d daemonConfig) netConfig() fabric.Config {
+	return fabric.Config{
+		NumPeers:     d.peers,
+		NumChannels:  d.channels,
+		IdentitySeed: d.identitySeed,
+		Cutter:       ordering.CutterConfig{MaxMessages: d.maxMessages, BatchTimeout: d.batchTimeout},
+		DataDir:      d.dataDir,
+	}
+}
+
+// runDaemon runs one process of a networked deployment until SIGINT or
+// SIGTERM, then shuts it down cleanly (flushing durable state).
+func runDaemon(d daemonConfig) error {
+	book, err := parseJoin(d.join)
+	if err != nil {
+		return err
+	}
+	if d.identitySeed == "" {
+		return fmt.Errorf("-role %s requires -identity-seed (same value on every process)", d.role)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+
+	switch d.role {
+	case "peer":
+		node, err := fabric.NewNode(fabric.NodeConfig{
+			Index:  d.index,
+			Listen: d.listen,
+			Peers:  book,
+			Net:    d.netConfig(),
+		})
+		if err != nil {
+			return err
+		}
+		for _, cc := range contracts.All() {
+			if err := node.Deploy(cc); err != nil {
+				node.Close()
+				return err
+			}
+		}
+		node.Start()
+		fmt.Printf("%s listening on %s (%d channels, %d peers, data-dir %q)\n",
+			node.ID(), node.Addr(), d.channels, d.peers, d.dataDir)
+		<-stop
+		fmt.Printf("%s shutting down\n", node.ID())
+		return node.Close()
+	case "orderer":
+		ord, err := fabric.NewOrderer(fabric.OrdererConfig{
+			Listen: d.listen,
+			Peers:  book,
+			Net:    d.netConfig(),
+		})
+		if err != nil {
+			return err
+		}
+		ord.Start()
+		fmt.Printf("orderer listening on %s (%d channels, %d peers)\n", ord.Addr(), d.channels, d.peers)
+		<-stop
+		fmt.Println("orderer shutting down")
+		return ord.Close()
+	default:
+		return fmt.Errorf("unknown -role %q (valid: peer, orderer)", d.role)
+	}
+}

@@ -22,10 +22,20 @@
 // channels. A durable multi-channel deployment recovers every channel
 // independently on restart.
 //
+// With -role peer|orderer the binary instead runs ONE process of a
+// networked deployment over transport.TCP: a peer process hosts every
+// channel's endorsing peer and consensus validator, the orderer process
+// runs the transaction cutters, and remote clients (trafficgen -connect)
+// drive the deployment over framed localhost sockets. Every process must
+// share the same -peers/-channels/-identity-seed so seed-derived
+// identities line up. -join lists the other processes' addresses.
+//
 // Usage: socialchaind [-peers 4] [-channels 1] [-ipfs 2] [-cameras 3]
 // [-crowd 3] [-rounds 10] [-byzantine 0] [-bad-crowd-fraction 0.3]
 // [-bulk 0] [-bulk-mode pipelined] [-bulk-batch 32] [-bulk-workers 8]
 // [-data-dir DIR]
+// [-role peer|orderer -index N -listen HOST:PORT -join id=HOST:PORT,...
+// -identity-seed SEED]
 package main
 
 import (
@@ -65,7 +75,32 @@ func main() {
 	bulkBatch := flag.Int("bulk-batch", 32, "records per bulk-ingest envelope")
 	bulkWorkers := flag.Int("bulk-workers", 8, "bulk-ingest IPFS-add workers")
 	dataDir := flag.String("data-dir", "", "persist peers, block logs and IPFS stores under this directory; a restart resumes from it")
+	role := flag.String("role", "", "run one process of a networked deployment: peer or orderer (empty = in-process demo)")
+	index := flag.Int("index", 0, "peer index within the deployment (with -role peer)")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address (with -role)")
+	join := flag.String("join", "", "comma-separated id=host:port book of the other processes (with -role)")
+	identitySeed := flag.String("identity-seed", "", "deterministic identity seed shared by every process of one deployment (with -role)")
+	batchTimeout := flag.Duration("batch-timeout", 10*time.Millisecond, "ordering batch timeout (with -role)")
+	maxMessages := flag.Int("max-messages", 4, "ordering batch size cap (with -role)")
 	flag.Parse()
+
+	if *role != "" {
+		if err := runDaemon(daemonConfig{
+			role:         *role,
+			index:        *index,
+			listen:       *listen,
+			join:         *join,
+			peers:        *peers,
+			channels:     *channels,
+			identitySeed: *identitySeed,
+			dataDir:      *dataDir,
+			batchTimeout: *batchTimeout,
+			maxMessages:  *maxMessages,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if err := run(*peers, *channels, *ipfsNodes, *cameras, *crowd, *rounds, *byzantine, *badFraction, *seed,
 		bulkConfig{records: *bulk, mode: *bulkMode, batch: *bulkBatch, workers: *bulkWorkers}, *dataDir); err != nil {
@@ -244,10 +279,10 @@ func run(peers, channels, ipfsNodes, cameras, crowd, rounds, byzantine int, badF
 
 	// Explorer view of the chain (the paper's Hyperledger Explorer role).
 	fmt.Println("\n--- explorer ---")
-	exp := explorer.New(fw.Net.Peer(0).Ledger()).WithState(fw.Net.Peer(0).State())
+	exp := explorer.New(fw.Net.ChannelAt(0).Peer(0).Ledger()).WithState(fw.Net.ChannelAt(0).Peer(0).State())
 	exp.RenderStats(os.Stdout)
 	fmt.Println("\nlast blocks:")
-	height := fw.Net.Peer(0).Ledger().Height()
+	height := fw.Net.ChannelAt(0).Peer(0).Ledger().Height()
 	from := uint64(0)
 	if height > 6 {
 		from = height - 6

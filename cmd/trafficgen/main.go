@@ -10,6 +10,13 @@
 // loop at N records/s, reporting offered vs achieved throughput. This is
 // the e2e smoke CI runs on every PR.
 //
+// With -connect it instead drives an OUT-OF-PROCESS deployment
+// (socialchaind -role peer/orderer processes) over transport.TCP: it
+// bootstraps the chain (admin, trust parameters, camera), submits
+// -records metadata transactions through remote gateways, and verifies
+// every peer process's hash chain over RPC. -peers/-channels must match
+// the deployment's flags.
+//
 // Usage: trafficgen [-videos 52] [-frames 20] [-drones 12] [-seed 1]
 // [-dump-metadata] [-limit 5]
 // [-ingest serial|batched|pipelined] [-records 200] [-rate 0]
@@ -49,7 +56,25 @@ func main() {
 	channels := flag.Int("channels", 1, "shard the ledger across this many channels (with -ingest)")
 	engine := flag.String("engine", "", "world-state storage engine: single, sharded or persist")
 	dataDir := flag.String("data-dir", "", "persist peers, block logs and IPFS stores under this directory; a restarted -ingest run resumes from it")
+	connect := flag.String("connect", "", "drive an out-of-process deployment: comma-separated id=host:port book of its peer processes")
+	orderer := flag.String("orderer", "", "orderer process dial address (with -connect)")
+	identitySeed := flag.String("identity-seed", "trafficgen", "derive client identities from this seed (with -connect); reruns against one deployment must reuse it")
 	flag.Parse()
+
+	if *connect != "" {
+		if err := runConnect(connectConfig{
+			peers:        *connect,
+			orderer:      *orderer,
+			numPeers:     *peers,
+			channels:     *channels,
+			records:      *records,
+			seed:         *seed,
+			identitySeed: *identitySeed,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *ingestMode != "" {
 		if err := runIngest(ingestConfig{

@@ -76,15 +76,15 @@ func run() error {
 	// Let all peers converge before auditing.
 	var max uint64
 	for i := 0; i < 4; i++ {
-		if h := fw.Net.Peer(i).Ledger().Height(); h > max {
+		if h := fw.Net.ChannelAt(0).Peer(i).Ledger().Height(); h > max {
 			max = h
 		}
 	}
-	fw.Net.WaitHeight(max, 10*time.Second)
+	fw.Net.ChannelAt(0).WaitHeight(max, 10*time.Second)
 
 	// 1. Explorer overview.
 	fmt.Println("=== explorer overview (peer 0) ===")
-	exp := explorer.New(fw.Net.Peer(0).Ledger())
+	exp := explorer.New(fw.Net.ChannelAt(0).Peer(0).Ledger())
 	exp.RenderStats(os.Stdout)
 
 	fmt.Println("\n=== invalid transactions ===")
@@ -98,7 +98,7 @@ func run() error {
 
 	// 2. Export the ledger and re-verify offline.
 	var dump bytes.Buffer
-	if err := fw.Net.Peer(0).Ledger().Export(&dump); err != nil {
+	if err := fw.Net.ChannelAt(0).Peer(0).Ledger().Export(&dump); err != nil {
 		return err
 	}
 	fmt.Printf("\nexported ledger: %d bytes\n", dump.Len())
@@ -111,14 +111,14 @@ func run() error {
 		return fmt.Errorf("offline verification: %w", err)
 	}
 	fmt.Printf("offline re-import verified %d blocks, tip matches: %v\n",
-		blocks, offline.TipHash() == fw.Net.Peer(0).Ledger().TipHash())
+		blocks, offline.TipHash() == fw.Net.ChannelAt(0).Peer(0).Ledger().TipHash())
 
 	// 3. World-state snapshots must be byte-identical across peers.
 	var s0, s1 bytes.Buffer
-	if err := fw.Net.Peer(0).State().Snapshot(&s0); err != nil {
+	if err := fw.Net.ChannelAt(0).Peer(0).State().Snapshot(&s0); err != nil {
 		return err
 	}
-	if err := fw.Net.Peer(1).State().Snapshot(&s1); err != nil {
+	if err := fw.Net.ChannelAt(0).Peer(1).State().Snapshot(&s1); err != nil {
 		return err
 	}
 	fmt.Printf("world-state snapshots: peer0=%d bytes, identical across peers: %v\n",
@@ -135,11 +135,11 @@ func run() error {
 			return err
 		}
 	}
-	applied, err := aux.Peer(0).SyncFrom(fw.Net.Peer(0))
+	applied, err := aux.ChannelAt(0).Peer(0).SyncFrom(fw.Net.ChannelAt(0).Peer(0))
 	if err != nil {
 		return fmt.Errorf("state transfer: %w", err)
 	}
 	fmt.Printf("state transfer: fresh peer applied %d blocks, tip matches: %v\n",
-		applied, aux.Peer(0).Ledger().TipHash() == fw.Net.Peer(0).Ledger().TipHash())
+		applied, aux.ChannelAt(0).Peer(0).Ledger().TipHash() == fw.Net.ChannelAt(0).Peer(0).Ledger().TipHash())
 	return nil
 }

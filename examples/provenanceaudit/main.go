@@ -79,7 +79,7 @@ func run() error {
 
 	// Prove the newest record is committed in the ledger (Merkle proof
 	// against the block's data hash).
-	lgr := fw.Net.Peer(0).Ledger()
+	lgr := fw.Net.ChannelAt(0).Peer(0).Ledger()
 	waitForTx(lgr.HasTx, lastTx)
 	if err := provenance.VerifyInclusion(lgr, lastTx); err != nil {
 		return fmt.Errorf("inclusion proof: %w", err)

@@ -46,7 +46,7 @@ func equivalenceSeed(t *testing.T) int64 {
 	return time.Now().UnixNano()
 }
 
-func newEquivFramework(t *testing.T, engine storage.Engine, overlap int) (*core.Framework, *core.Client, *msp.Signer) {
+func newEquivFramework(t *testing.T, engine storage.Engine, overlap int, transport string) (*core.Framework, *core.Client, *msp.Signer) {
 	t.Helper()
 	// The persist engine runs as a fully durable deployment over a fresh
 	// scratch directory, so the cross-engine comparison also proves the
@@ -64,6 +64,7 @@ func newEquivFramework(t *testing.T, engine storage.Engine, overlap int) (*core.
 		StorageEngine:    engine,
 		DataDir:          dataDir,
 		ConsensusOverlap: overlap,
+		Transport:        transport,
 	})
 	if err != nil {
 		t.Fatalf("core.New(%s): %v", engine, err)
@@ -113,7 +114,7 @@ func equivFrames(t *testing.T, seed int64, n int) ([]*detect.Frame, []detect.Met
 // state and strips the nondeterministic fields.
 func canonicalRecords(t *testing.T, fw *core.Framework) []contracts.DataRecord {
 	t.Helper()
-	kvs := fw.Net.Peer(0).State().GetStateByPrefix(contracts.DataCC, "rec/")
+	kvs := fw.Net.ChannelAt(0).Peer(0).State().GetStateByPrefix(contracts.DataCC, "rec/")
 	out := make([]contracts.DataRecord, 0, len(kvs))
 	for _, kv := range kvs {
 		var rec contracts.DataRecord
@@ -133,7 +134,7 @@ func canonicalRecords(t *testing.T, fw *core.Framework) []contracts.DataRecord {
 // record-ID-free view of the index.
 func canonicalIndex(t *testing.T, fw *core.Framework, index string) []string {
 	t.Helper()
-	db := fw.Net.Peer(0).State()
+	db := fw.Net.ChannelAt(0).Peer(0).State()
 	var out []string
 	token := ""
 	for {
@@ -165,7 +166,7 @@ func canonicalIndex(t *testing.T, fw *core.Framework, index string) []string {
 // every record exactly once with contiguous sequence numbers.
 func checkProvenanceChain(t *testing.T, fw *core.Framework, gw *fabric.Gateway, source string, want int) {
 	t.Helper()
-	db := fw.Net.Peer(0).State()
+	db := fw.Net.ChannelAt(0).Peer(0).State()
 	headRaw, ok := db.GetState(contracts.DataCC, "head/"+source)
 	if !ok {
 		t.Fatalf("no provenance head for %s", source)
@@ -202,7 +203,9 @@ func checkProvenanceChain(t *testing.T, fw *core.Framework, gw *fabric.Gateway, 
 // equivalence gate, run under all three storage engines (the persist legs
 // as a durable deployment); a third, overlap-enabled mode proves the
 // overlapped consensus rounds (ConsensusOverlap=4) leave the canonical
-// bytes untouched. All nine runs must agree on canonical state.
+// bytes untouched, and a tcp mode (sharded engine only) reruns the
+// pipelined workload with every consensus and fabric message crossing
+// real localhost sockets. All ten runs must agree on canonical state.
 func TestIntegrationIngestEquivalence(t *testing.T) {
 	seed := equivalenceSeed(t)
 	t.Logf("equivalence seed %d (pin with SOCIALCHAIN_EQUIV_SEED)", seed)
@@ -212,13 +215,21 @@ func TestIntegrationIngestEquivalence(t *testing.T) {
 	var canonical [][]byte
 	var indexCanon []string
 	for _, engine := range []storage.Engine{storage.EngineSingle, storage.EngineSharded, storage.EnginePersist} {
-		for _, mode := range []string{"serial-loop", "pipelined", "pipelined-overlap"} {
+		modes := []string{"serial-loop", "pipelined", "pipelined-overlap"}
+		if engine == storage.EngineSharded {
+			modes = append(modes, "pipelined-tcp")
+		}
+		for _, mode := range modes {
 			t.Run(string(engine)+"/"+mode, func(t *testing.T) {
 				overlap := 0
 				if mode == "pipelined-overlap" {
 					overlap = 4
 				}
-				fw, client, cam := newEquivFramework(t, engine, overlap)
+				kind := "inproc"
+				if mode == "pipelined-tcp" {
+					kind = "tcp"
+				}
+				fw, client, cam := newEquivFramework(t, engine, overlap, kind)
 				if mode == "serial-loop" {
 					for i, f := range frames {
 						if _, err := client.StoreFrame(f, metas[i]); err != nil {
@@ -246,12 +257,12 @@ func TestIntegrationIngestEquivalence(t *testing.T) {
 				// peer 0 (whose state we inspect) catch up to the
 				// freshest peer before reading.
 				var tip uint64
-				for _, p := range fw.Net.Peers() {
+				for _, p := range fw.Net.ChannelAt(0).Peers() {
 					if h := p.Ledger().Height(); h > tip {
 						tip = h
 					}
 				}
-				if !fw.Net.WaitHeight(tip, 10*time.Second) {
+				if !fw.Net.ChannelAt(0).WaitHeight(tip, 10*time.Second) {
 					t.Fatalf("peers did not converge to height %d", tip)
 				}
 
@@ -280,7 +291,7 @@ func TestIntegrationIngestEquivalence(t *testing.T) {
 
 				// Index integrity within the run: the statedb index page
 				// count per label must match a full selector scan.
-				db := fw.Net.Peer(0).State()
+				db := fw.Net.ChannelAt(0).Peer(0).State()
 				labels := map[string]int{}
 				for _, r := range recs {
 					labels[r.Label]++
@@ -311,7 +322,7 @@ func TestIntegrationIngestEquivalence(t *testing.T) {
 					t.Fatalf("trust accepted = %d, want %d", st.Accepted, n)
 				}
 
-				if err := fw.Net.Peer(0).Ledger().VerifyChain(); err != nil {
+				if err := fw.Net.ChannelAt(0).Peer(0).Ledger().VerifyChain(); err != nil {
 					t.Fatalf("chain verification: %v", err)
 				}
 			})

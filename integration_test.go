@@ -108,7 +108,7 @@ func TestIntegrationSmartCityScenario(t *testing.T) {
 	}
 
 	// Explorer: chain is healthy, data chaincode dominates activity.
-	lgr := fw.Net.Peer(0).Ledger()
+	lgr := fw.Net.ChannelAt(0).Peer(0).Ledger()
 	waitForHeight(t, fw, lgr.Height())
 	exp := explorer.New(lgr)
 	if err := exp.VerifyIntegrity(); err != nil {
@@ -141,7 +141,7 @@ func TestIntegrationSmartCityScenario(t *testing.T) {
 // height (commits propagate asynchronously).
 func waitForHeight(t *testing.T, fw *core.Framework, h uint64) {
 	t.Helper()
-	if !fw.Net.WaitHeight(h, 10*time.Second) {
+	if !fw.Net.ChannelAt(0).WaitHeight(h, 10*time.Second) {
 		t.Fatal("peers did not converge")
 	}
 }
@@ -171,7 +171,7 @@ func TestIntegrationEndorserWatchdogExclusion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gw := net.Gateway(client)
+	gw := net.ChannelAt(0).Gateway(client)
 
 	// Submit transactions whose endorsement set includes a forged
 	// endorsement from the liar; each commit reports the liar once per
@@ -189,8 +189,8 @@ func TestIntegrationEndorserWatchdogExclusion(t *testing.T) {
 			t.Fatalf("tx %d flag = %s", i, res.Flag)
 		}
 	}
-	if !net.Watchdog().IsFlagged("org9/liar") {
-		t.Fatalf("liar not flagged after 3 reports (has %d)", net.Watchdog().Reports("org9/liar"))
+	if !net.ChannelAt(0).Watchdog().IsFlagged("org9/liar") {
+		t.Fatalf("liar not flagged after 3 reports (has %d)", net.ChannelAt(0).Watchdog().Reports("org9/liar"))
 	}
 }
 
@@ -198,12 +198,12 @@ func TestIntegrationEndorserWatchdogExclusion(t *testing.T) {
 // endorsement.
 func buildEnvelopeWithLiar(net *fabric.Network, gw *fabric.Gateway, client, liar *msp.Signer, i int) (*ledger.Transaction, error) {
 	key := []byte{byte('a' + i)}
-	prop, err := newProposal(client, net.ChannelID(), "kv", "put", [][]byte{key, []byte("v")})
+	prop, err := newProposal(client, net.ChannelAt(0).Name(), "kv", "put", [][]byte{key, []byte("v")})
 	if err != nil {
 		return nil, err
 	}
 	var tx *ledger.Transaction
-	for _, p := range net.Peers()[:2] {
+	for _, p := range net.ChannelAt(0).Peers()[:2] {
 		resp, err := p.Endorse(prop)
 		if err != nil {
 			return nil, err
@@ -304,7 +304,7 @@ func TestIntegrationProvenanceSurvivesByzantineValidator(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A healthy peer's ledger proves inclusion.
-	lgr := fw.Net.Peer(1).Ledger()
+	lgr := fw.Net.ChannelAt(0).Peer(1).Ledger()
 	deadline := time.Now().Add(10 * time.Second)
 	for !lgr.HasTx(last) && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
@@ -364,7 +364,7 @@ func TestIntegrationMixedTrustWorkload(t *testing.T) {
 	if ds.Score >= 0.3 || ds.Accepted != 0 {
 		t.Fatalf("dishonest state %+v", ds)
 	}
-	if err := fw.Net.Peer(0).Ledger().VerifyChain(); err != nil {
+	if err := fw.Net.ChannelAt(0).Peer(0).Ledger().VerifyChain(); err != nil {
 		t.Fatal(err)
 	}
 }

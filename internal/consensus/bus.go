@@ -1,0 +1,75 @@
+package consensus
+
+import (
+	"socialchain/internal/transport"
+)
+
+// busStreamPrefix namespaces consensus traffic per channel on the shared
+// transport, so one endpoint can host a validator in every channel.
+const busStreamPrefix = "cns/"
+
+// Bus is the wire-backed Sender: it encodes messages onto a
+// transport.Transport stream and decodes inbound frames into a bounded
+// inbox with the same drop-on-full loss semantics as InProcNet. One Bus
+// serves one validator in one channel; the underlying endpoint is shared
+// across channels (and with the fabric RPC traffic).
+type Bus struct {
+	t      transport.Transport
+	stream string
+	peers  []string
+	inbox  chan *Message
+}
+
+// NewBus attaches a consensus stream for one channel to the endpoint. The
+// peer list is the channel's validator membership (this node included or
+// not — sends to self are skipped).
+func NewBus(t transport.Transport, channel string, peers []string) *Bus {
+	b := &Bus{
+		t:      t,
+		stream: busStreamPrefix + channel,
+		peers:  append([]string(nil), peers...),
+		inbox:  make(chan *Message, inboxSize),
+	}
+	t.Handle(b.stream, b.onFrame)
+	return b
+}
+
+// Register implements Inboxer: the bus is per-replica, so every id maps to
+// its one inbox.
+func (b *Bus) Register(string) <-chan *Message { return b.inbox }
+
+func (b *Bus) onFrame(from string, payload []byte) error {
+	m, err := DecodeMessage(payload)
+	if err != nil {
+		return err // torn/garbled message: counted as a drop by the transport
+	}
+	if m.From != from {
+		return nil // transport identity must match the claimed origin
+	}
+	select {
+	case b.inbox <- m:
+		return nil
+	default:
+		return transport.ErrBackpressure
+	}
+}
+
+// Send implements Sender. Errors (backpressure, reconnecting peer) are
+// loss, which the protocol tolerates; the transport counts them.
+func (b *Bus) Send(from, to string, msg *Message) {
+	if to == b.t.ID() {
+		return
+	}
+	_ = b.t.Send(to, b.stream, msg.Encode())
+}
+
+// Broadcast implements Sender, encoding once for all recipients.
+func (b *Bus) Broadcast(from string, msg *Message) {
+	enc := msg.Encode()
+	for _, id := range b.peers {
+		if id == b.t.ID() || id == from {
+			continue
+		}
+		_ = b.t.Send(id, b.stream, enc)
+	}
+}

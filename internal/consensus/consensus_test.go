@@ -13,7 +13,7 @@ import (
 // delivery log.
 type harness struct {
 	t          *testing.T
-	net        *Network
+	net        *InProcNet
 	validators []*Validator
 	mu         sync.Mutex
 	delivered  map[string][]string // validator id -> payloads in order
@@ -24,7 +24,7 @@ func newHarness(t *testing.T, n int, behaviors map[int]Behavior, timeout time.Du
 	t.Helper()
 	h := &harness{
 		t:         t,
-		net:       NewNetwork(nil, nil),
+		net:       NewInProcNet(nil, nil),
 		delivered: make(map[string][]string),
 		evictions: make(map[string][]string),
 	}
@@ -48,7 +48,7 @@ func newHarness(t *testing.T, n int, behaviors map[int]Behavior, timeout time.Du
 			Validators:     ids,
 			Signer:         signers[i],
 			Identities:     idents,
-			Network:        h.net,
+			Sender:         h.net,
 			RequestTimeout: timeout,
 			Behavior:       b,
 			Deliver: func(seq uint64, payload []byte) {

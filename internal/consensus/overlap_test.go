@@ -14,7 +14,7 @@ func newHarnessCfg(t *testing.T, n int, behaviors map[int]Behavior, timeout time
 	t.Helper()
 	h := &harness{
 		t:         t,
-		net:       NewNetwork(nil, nil),
+		net:       NewInProcNet(nil, nil),
 		delivered: make(map[string][]string),
 		evictions: make(map[string][]string),
 	}
@@ -37,7 +37,7 @@ func newHarnessCfg(t *testing.T, n int, behaviors map[int]Behavior, timeout time
 			Validators:     ids,
 			Signer:         signers[i],
 			Identities:     idents,
-			Network:        h.net,
+			Sender:         h.net,
 			RequestTimeout: timeout,
 			Behavior:       behaviors[i],
 			Deliver: func(seq uint64, payload []byte) {

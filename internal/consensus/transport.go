@@ -9,9 +9,31 @@ import (
 // inboxSize bounds each validator's message queue.
 const inboxSize = 8192
 
-// Network is the in-process message fabric between validators, with a
-// pluggable latency model and fault injection (partitions, drops).
-type Network struct {
+// Sender carries signed consensus messages between replicas. Two
+// implementations exist: *InProcNet passes message pointers between
+// in-process validators (deterministic, zero serialization — the default
+// test harness) and *Bus encodes messages onto a transport.Transport
+// stream (real sockets between OS processes). Loss is acceptable on either:
+// PBFT tolerates dropped messages by design, so sends do not report errors.
+type Sender interface {
+	// Send transmits msg from -> to.
+	Send(from, to string, msg *Message)
+	// Broadcast transmits msg from -> every other known replica.
+	Broadcast(from string, msg *Message)
+}
+
+// Inboxer is the optional Sender extension that provisions a replica's
+// inbound queue; NewValidator uses it when Config.Inbox is not set
+// explicitly.
+type Inboxer interface {
+	Register(id string) <-chan *Message
+}
+
+// InProcNet is the in-process Sender between validators, with a pluggable
+// latency model and fault injection (partitions, drops). It was formerly
+// named Network; the rename frees that word for the fabric layer and makes
+// room for the wire-backed Bus beside it.
+type InProcNet struct {
 	mu      sync.RWMutex
 	inboxes map[string]chan *Message
 	cut     map[string]map[string]bool // cut[a][b]: drop messages a->b
@@ -19,15 +41,15 @@ type Network struct {
 	clock   sim.Clock
 }
 
-// NewNetwork creates a validator network.
-func NewNetwork(latency sim.LatencyModel, clock sim.Clock) *Network {
+// NewInProcNet creates an in-process validator network.
+func NewInProcNet(latency sim.LatencyModel, clock sim.Clock) *InProcNet {
 	if latency == nil {
 		latency = sim.ZeroLatency{}
 	}
 	if clock == nil {
 		clock = sim.RealClock{}
 	}
-	return &Network{
+	return &InProcNet{
 		inboxes: make(map[string]chan *Message),
 		cut:     make(map[string]map[string]bool),
 		latency: latency,
@@ -36,7 +58,7 @@ func NewNetwork(latency sim.LatencyModel, clock sim.Clock) *Network {
 }
 
 // Register creates the inbox for a validator id.
-func (n *Network) Register(id string) <-chan *Message {
+func (n *InProcNet) Register(id string) <-chan *Message {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	ch := make(chan *Message, inboxSize)
@@ -45,7 +67,7 @@ func (n *Network) Register(id string) <-chan *Message {
 }
 
 // Peers returns the registered validator ids.
-func (n *Network) Peers() []string {
+func (n *InProcNet) Peers() []string {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	out := make([]string, 0, len(n.inboxes))
@@ -56,7 +78,7 @@ func (n *Network) Peers() []string {
 }
 
 // Cut severs the directed link from a to b (messages silently dropped).
-func (n *Network) Cut(a, b string) {
+func (n *InProcNet) Cut(a, b string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.cut[a] == nil {
@@ -66,7 +88,7 @@ func (n *Network) Cut(a, b string) {
 }
 
 // Heal restores the directed link from a to b.
-func (n *Network) Heal(a, b string) {
+func (n *InProcNet) Heal(a, b string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.cut[a] != nil {
@@ -77,7 +99,7 @@ func (n *Network) Heal(a, b string) {
 // Send delivers msg from -> to, honouring cuts and latency. Delivery is
 // asynchronous; a full inbox drops the message (backpressure as loss, which
 // BFT must tolerate anyway).
-func (n *Network) Send(from, to string, msg *Message) {
+func (n *InProcNet) Send(from, to string, msg *Message) {
 	n.mu.RLock()
 	ch, ok := n.inboxes[to]
 	cutoff := n.cut[from][to]
@@ -103,7 +125,7 @@ func (n *Network) Send(from, to string, msg *Message) {
 }
 
 // Broadcast sends msg from -> every registered validator except the sender.
-func (n *Network) Broadcast(from string, msg *Message) {
+func (n *InProcNet) Broadcast(from string, msg *Message) {
 	for _, id := range n.Peers() {
 		if id != from {
 			n.Send(from, id, msg)

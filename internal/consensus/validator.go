@@ -21,8 +21,13 @@ type Config struct {
 	Signer *msp.Signer
 	// Identities maps validator IDs to their verification identities.
 	Identities map[string]msp.Identity
-	// Network carries messages.
-	Network *Network
+	// Sender carries messages to peers (*InProcNet in-process, *Bus over a
+	// transport wire).
+	Sender Sender
+	// Inbox delivers inbound messages. Nil is allowed when Sender
+	// implements Inboxer (both built-in senders do): the constructor
+	// registers this replica's ID and uses the provisioned queue.
+	Inbox <-chan *Message
 	// Clock drives timeouts (nil = real clock).
 	Clock sim.Clock
 	// RequestTimeout is how long a pending request may wait before this
@@ -130,12 +135,18 @@ func NewValidator(cfg Config) *Validator {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 2 * time.Second
 	}
+	inbox := cfg.Inbox
+	if inbox == nil {
+		if ib, ok := cfg.Sender.(Inboxer); ok {
+			inbox = ib.Register(cfg.ID)
+		}
+	}
 	n := len(cfg.Validators)
 	v := &Validator{
 		cfg:         cfg,
 		n:           n,
 		f:           (n - 1) / 3,
-		inbox:       cfg.Network.Register(cfg.ID),
+		inbox:       inbox,
 		proposeCh:   make(chan []byte, 1024),
 		stopCh:      make(chan struct{}),
 		doneCh:      make(chan struct{}),
@@ -274,7 +285,7 @@ func (v *Validator) send(to string, m Message) {
 	if out == nil {
 		return
 	}
-	v.cfg.Network.Send(v.cfg.ID, to, v.signCopy(out))
+	v.cfg.Sender.Send(v.cfg.ID, to, v.signCopy(out))
 }
 
 // signCopy copies out, stamps this replica as origin and signs. The memo
@@ -311,10 +322,10 @@ func (v *Validator) broadcast(m Message) {
 			}
 			// Recipients treat inbound messages as read-only and the memo
 			// was populated before this send, so sharing one copy is safe.
-			v.cfg.Network.Send(v.cfg.ID, id, signed)
+			v.cfg.Sender.Send(v.cfg.ID, id, signed)
 			continue
 		}
-		v.cfg.Network.Send(v.cfg.ID, id, v.signCopy(out))
+		v.cfg.Sender.Send(v.cfg.ID, id, v.signCopy(out))
 	}
 }
 

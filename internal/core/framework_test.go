@@ -222,10 +222,10 @@ func TestProvenanceChain(t *testing.T) {
 	// Ledger inclusion proof for the newest record (wait for peer 0 to
 	// catch up with the commit-notifying peer).
 	deadline := time.Now().Add(5 * time.Second)
-	for !fw.Net.Peer(0).Ledger().HasTx(lastTx) && time.Now().Before(deadline) {
+	for !fw.Net.ChannelAt(0).Peer(0).Ledger().HasTx(lastTx) && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
 	}
-	if err := provenance.VerifyInclusion(fw.Net.Peer(0).Ledger(), lastTx); err != nil {
+	if err := provenance.VerifyInclusion(fw.Net.ChannelAt(0).Peer(0).Ledger(), lastTx); err != nil {
 		t.Fatalf("inclusion: %v", err)
 	}
 }
@@ -300,7 +300,7 @@ func TestAdminOnlyRegistration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gw := fw.Net.Gateway(mallory)
+	gw := fw.Net.ChannelAt(0).Gateway(mallory)
 	rec, _ := json.Marshal(contracts.UserRecord{UserID: "crowd/mallory", Role: "trusted-source", PubKey: mallory.Identity.PubKey})
 	if _, err := gw.Submit(contracts.UsersCC, "registerUser", rec); err == nil {
 		t.Fatal("non-admin registration must fail at endorsement")
@@ -324,7 +324,7 @@ func TestLedgerRecordsEverything(t *testing.T) {
 	if stats := fw.LedgerStats(); stats.ValidTxs < 4 {
 		t.Fatalf("expected >=4 valid txs, got %d", stats.ValidTxs)
 	}
-	if err := fw.Net.Peer(0).Ledger().VerifyChain(); err != nil {
+	if err := fw.Net.ChannelAt(0).Peer(0).Ledger().VerifyChain(); err != nil {
 		t.Fatalf("chain verify: %v", err)
 	}
 }

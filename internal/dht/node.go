@@ -9,6 +9,17 @@ import (
 	"socialchain/internal/sim"
 )
 
+// Wire is the seam the Kademlia protocol speaks through: the three
+// synchronous RPCs of the simplified DHT. Network implements it with
+// latency-delayed in-process calls (the deterministic default); the
+// transport backend (wire.go) implements it over framed socket RPCs, so
+// the same iterative-lookup code runs in-process and across OS processes.
+type Wire interface {
+	FindNode(from PeerInfo, to string, target ID) ([]PeerInfo, error)
+	AddProvider(from PeerInfo, to string, c cid.Cid, provider string) error
+	GetProviders(from PeerInfo, to string, c cid.Cid) ([]string, []PeerInfo, error)
+}
+
 // Network connects DHT nodes in-process. RPCs are synchronous method calls
 // delayed by the latency model, mimicking a request/response wire protocol.
 type Network struct {
@@ -49,7 +60,7 @@ func (n *Network) delay(from, to string) {
 type Node struct {
 	name string
 	id   ID
-	net  *Network
+	wire Wire
 	rt   *RoutingTable
 
 	mu        sync.RWMutex
@@ -61,7 +72,7 @@ func (n *Network) NewNode(name string) *Node {
 	node := &Node{
 		name:      name,
 		id:        PeerID(name),
-		net:       n,
+		wire:      n,
 		rt:        NewRoutingTable(PeerID(name)),
 		providers: make(map[cid.Cid]map[string]bool),
 	}
@@ -69,6 +80,41 @@ func (n *Network) NewNode(name string) *Node {
 	n.nodes[name] = node
 	n.mu.Unlock()
 	return node
+}
+
+// FindNode implements Wire over the in-process network.
+func (n *Network) FindNode(from PeerInfo, to string, target ID) ([]PeerInfo, error) {
+	remote, err := n.lookup(to)
+	if err != nil {
+		return nil, err
+	}
+	n.delay(from.Name, to)
+	res := remote.handleFindNode(from, target)
+	n.delay(to, from.Name)
+	return res, nil
+}
+
+// AddProvider implements Wire over the in-process network.
+func (n *Network) AddProvider(from PeerInfo, to string, c cid.Cid, provider string) error {
+	remote, err := n.lookup(to)
+	if err != nil {
+		return err
+	}
+	n.delay(from.Name, to)
+	remote.handleAddProvider(from, c, provider)
+	return nil
+}
+
+// GetProviders implements Wire over the in-process network.
+func (n *Network) GetProviders(from PeerInfo, to string, c cid.Cid) ([]string, []PeerInfo, error) {
+	remote, err := n.lookup(to)
+	if err != nil {
+		return nil, nil, err
+	}
+	n.delay(from.Name, to)
+	provs, closer := remote.handleGetProviders(from, c)
+	n.delay(to, from.Name)
+	return provs, closer, nil
 }
 
 // Name returns the peer name.
@@ -124,35 +170,15 @@ func (n *Node) handleGetProviders(from PeerInfo, c cid.Cid) ([]string, []PeerInf
 // --- Client-side RPCs ---
 
 func (n *Node) rpcFindNode(peer string, target ID) ([]PeerInfo, error) {
-	remote, err := n.net.lookup(peer)
-	if err != nil {
-		return nil, err
-	}
-	n.net.delay(n.name, peer)
-	res := remote.handleFindNode(n.Info(), target)
-	n.net.delay(peer, n.name)
-	return res, nil
+	return n.wire.FindNode(n.Info(), peer, target)
 }
 
 func (n *Node) rpcAddProvider(peer string, c cid.Cid, provider string) error {
-	remote, err := n.net.lookup(peer)
-	if err != nil {
-		return err
-	}
-	n.net.delay(n.name, peer)
-	remote.handleAddProvider(n.Info(), c, provider)
-	return nil
+	return n.wire.AddProvider(n.Info(), peer, c, provider)
 }
 
 func (n *Node) rpcGetProviders(peer string, c cid.Cid) ([]string, []PeerInfo, error) {
-	remote, err := n.net.lookup(peer)
-	if err != nil {
-		return nil, nil, err
-	}
-	n.net.delay(n.name, peer)
-	provs, closer := remote.handleGetProviders(n.Info(), c)
-	n.net.delay(peer, n.name)
-	return provs, closer, nil
+	return n.wire.GetProviders(n.Info(), peer, c)
 }
 
 // alpha is Kademlia's lookup concurrency parameter.

@@ -1,0 +1,110 @@
+package dht
+
+import (
+	"encoding/json"
+	"time"
+
+	"socialchain/internal/cid"
+	"socialchain/internal/transport"
+)
+
+// RPC method names the transport-backed DHT serves.
+const (
+	methodFindNode     = "dht/findnode"
+	methodAddProvider  = "dht/addprovider"
+	methodGetProviders = "dht/getproviders"
+)
+
+// DefaultRPCTimeout bounds one DHT round trip over a real transport.
+const DefaultRPCTimeout = 10 * time.Second
+
+type findNodeReq struct {
+	From   PeerInfo `json:"from"`
+	Target ID       `json:"target"`
+}
+
+type findNodeResp struct {
+	Peers []PeerInfo `json:"peers"`
+}
+
+type addProviderReq struct {
+	From     PeerInfo `json:"from"`
+	Cid      cid.Cid  `json:"cid"`
+	Provider string   `json:"provider"`
+}
+
+type getProvidersReq struct {
+	From PeerInfo `json:"from"`
+	Cid  cid.Cid  `json:"cid"`
+}
+
+type getProvidersResp struct {
+	Providers []string   `json:"providers"`
+	Closer    []PeerInfo `json:"closer"`
+}
+
+// transportWire implements Wire over a transport endpoint: the three
+// Kademlia RPCs become framed socket calls addressed by transport peer ID.
+type transportWire struct {
+	rpc     *transport.RPC
+	timeout time.Duration
+}
+
+// NewNodeOverTransport binds a DHT node to a transport endpoint: its peer
+// name is the endpoint's transport ID, lookups ride the endpoint's framed
+// RPCs, and the node answers remote find/provide queries. The caller wires
+// bootstrap peers through the transport's address book.
+func NewNodeOverTransport(t transport.Transport, rpc *transport.RPC) *Node {
+	name := t.ID()
+	node := &Node{
+		name:      name,
+		id:        PeerID(name),
+		wire:      &transportWire{rpc: rpc, timeout: DefaultRPCTimeout},
+		rt:        NewRoutingTable(PeerID(name)),
+		providers: make(map[cid.Cid]map[string]bool),
+	}
+	rpc.Handle(methodFindNode, func(from string, req []byte) ([]byte, error) {
+		var r findNodeReq
+		if err := json.Unmarshal(req, &r); err != nil {
+			return nil, err
+		}
+		return json.Marshal(findNodeResp{Peers: node.handleFindNode(r.From, r.Target)})
+	})
+	rpc.Handle(methodAddProvider, func(from string, req []byte) ([]byte, error) {
+		var r addProviderReq
+		if err := json.Unmarshal(req, &r); err != nil {
+			return nil, err
+		}
+		node.handleAddProvider(r.From, r.Cid, r.Provider)
+		return json.Marshal(struct{}{})
+	})
+	rpc.Handle(methodGetProviders, func(from string, req []byte) ([]byte, error) {
+		var r getProvidersReq
+		if err := json.Unmarshal(req, &r); err != nil {
+			return nil, err
+		}
+		provs, closer := node.handleGetProviders(r.From, r.Cid)
+		return json.Marshal(getProvidersResp{Providers: provs, Closer: closer})
+	})
+	return node
+}
+
+func (w *transportWire) FindNode(from PeerInfo, to string, target ID) ([]PeerInfo, error) {
+	var resp findNodeResp
+	if err := w.rpc.CallJSON(to, methodFindNode, findNodeReq{From: from, Target: target}, &resp, w.timeout); err != nil {
+		return nil, err
+	}
+	return resp.Peers, nil
+}
+
+func (w *transportWire) AddProvider(from PeerInfo, to string, c cid.Cid, provider string) error {
+	return w.rpc.CallJSON(to, methodAddProvider, addProviderReq{From: from, Cid: c, Provider: provider}, nil, w.timeout)
+}
+
+func (w *transportWire) GetProviders(from PeerInfo, to string, c cid.Cid) ([]string, []PeerInfo, error) {
+	var resp getProvidersResp
+	if err := w.rpc.CallJSON(to, methodGetProviders, getProvidersReq{From: from, Cid: c}, &resp, w.timeout); err != nil {
+		return nil, nil, err
+	}
+	return resp.Providers, resp.Closer, nil
+}

@@ -1,0 +1,45 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+
+	"socialchain/internal/blockstore"
+	"socialchain/internal/transport"
+)
+
+// TestProvideAndFindOverTransport runs the Kademlia join, provide and
+// provider-lookup flows between nodes on separate transport endpoints.
+func TestProvideAndFindOverTransport(t *testing.T) {
+	hub := transport.NewInProcNet(nil, nil)
+	const numNodes = 5
+	nodes := make([]*Node, numNodes)
+	for i := range nodes {
+		tr := hub.Node(fmt.Sprintf("dht%d", i))
+		nodes[i] = NewNodeOverTransport(tr, transport.NewRPC(tr))
+	}
+	seed := nodes[0].Info()
+	for _, n := range nodes[1:] {
+		n.Bootstrap(seed)
+	}
+	for _, n := range nodes {
+		n.IterativeFindNode(n.ID())
+	}
+
+	c := blockstore.NewBlock([]byte("dht wire content")).Cid
+	if err := nodes[3].Provide(c); err != nil {
+		t.Fatalf("provide: %v", err)
+	}
+	for i, n := range nodes {
+		provs := n.FindProviders(c, 4)
+		found := false
+		for _, p := range provs {
+			if p == "dht3" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d did not find provider dht3, got %v", i, provs)
+		}
+	}
+}

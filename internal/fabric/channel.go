@@ -25,9 +25,10 @@ type Channel struct {
 	name string
 
 	peers      []*peer.Peer
+	endorsers  []*localEndorser
 	validators []*consensus.Validator
 	orderers   []*ordering.Service
-	consNet    *consensus.Network
+	consNet    *consensus.InProcNet // nil when consensus rides the TCP transports
 	watchdog   *peer.Watchdog
 
 	mu        sync.RWMutex
@@ -44,9 +45,11 @@ func newChannel(n *Network, name, dataDir string) (*Channel, error) {
 	ch := &Channel{
 		net:      n,
 		name:     name,
-		consNet:  consensus.NewNetwork(cfg.Latency, cfg.Clock),
 		watchdog: peer.NewWatchdog(cfg.WatchdogThreshold),
 		excluded: make(map[string]bool),
+	}
+	if n.transports == nil {
+		ch.consNet = consensus.NewInProcNet(cfg.Latency, cfg.Clock)
 	}
 	// Flagged endorsers are removed from this channel's endorser pool.
 	ch.watchdog.OnFlag(func(id string) {
@@ -90,12 +93,19 @@ func newChannel(n *Network, name, dataDir string) (*Channel, error) {
 
 	for i := 0; i < cfg.NumPeers; i++ {
 		p := ch.peers[i]
+		// In-process networks share one InProcNet per channel; TCP networks
+		// give each validator a Bus on its peer's endpoint, so consensus
+		// messages cross real framed sockets.
+		var sender consensus.Sender = ch.consNet
+		if n.transports != nil {
+			sender = consensus.NewBus(n.transports[i], name, n.ids)
+		}
 		v := consensus.NewValidator(consensus.Config{
 			ID:              n.ids[i],
 			Validators:      n.ids,
 			Signer:          n.signers[i],
 			Identities:      n.idents,
-			Network:         ch.consNet,
+			Sender:          sender,
 			Clock:           cfg.Clock,
 			RequestTimeout:  cfg.ConsensusTimeout,
 			Behavior:        cfg.Behaviors[i],
@@ -113,7 +123,9 @@ func newChannel(n *Network, name, dataDir string) (*Channel, error) {
 			},
 		})
 		ch.validators = append(ch.validators, v)
-		ch.orderers = append(ch.orderers, ordering.NewService(cfg.Cutter, v, cfg.Clock))
+		o := ordering.NewService(cfg.Cutter, v, cfg.Clock)
+		ch.orderers = append(ch.orderers, o)
+		ch.endorsers = append(ch.endorsers, &localEndorser{p: p, o: o})
 	}
 	return ch, nil
 }

@@ -1,0 +1,129 @@
+package fabric
+
+import (
+	"time"
+
+	"socialchain/internal/ledger"
+	"socialchain/internal/msp"
+	"socialchain/internal/ordering"
+	"socialchain/internal/peer"
+)
+
+// Endorser is the Gateway's view of one endorsing peer: somewhere to send
+// proposals, order assembled envelopes and wait for commits. Two
+// implementations exist — *localEndorser wraps an in-process peer and its
+// ordering service (the default), and *remoteEndorser speaks to an
+// out-of-process peer over the transport RPC layer (see remote.go). The
+// Gateway's endorse/order/commit logic is identical over both, which is
+// what keeps the in-process simulation and the networked deployment
+// behaviourally equivalent.
+type Endorser interface {
+	// ID returns the peer's identifier.
+	ID() string
+	// Height returns the peer's current chain height (freshest-peer reads).
+	Height() uint64
+	// Endorse simulates a proposal and returns the signed response.
+	Endorse(prop *peer.Proposal) (*peer.ProposalResponse, error)
+	// EndorseBatch simulates a batch proposal on one simulator.
+	EndorseBatch(prop *peer.BatchProposal) (*peer.ProposalResponse, error)
+	// Order submits an assembled envelope for ordering and returns a
+	// channel that yields the commit validation flag. The commit waiter is
+	// registered before ordering can reject, so a fast commit is never
+	// missed; a rejected submission (backpressure, stopped service)
+	// surfaces as an error with no waiter left behind.
+	Order(tx ledger.Transaction) (<-chan ledger.ValidationCode, error)
+	// TxBlock reports the block number a committed transaction landed in.
+	TxBlock(txID string) (uint64, bool)
+}
+
+// backend is the Gateway's view of a whole channel: which endorsers are
+// active, which peers accept ordering submissions, and the client-side
+// knobs. *Channel implements it in-process; *RemoteChannel implements it
+// over the wire.
+type backend interface {
+	chName() string
+	chPolicy() msp.Policy
+	commitTimeout() time.Duration
+	now() time.Time
+	// clientDelay simulates (or is, over TCP) the client<->peer hop.
+	clientDelay(peerID string)
+	// activeEndorsers returns the endorsers not excluded by misbehaviour.
+	activeEndorsers() []Endorser
+	// entryEndorsers returns the peers accepting ordering submissions.
+	entryEndorsers() []Endorser
+	// rrNext advances the channel's shared round-robin counter.
+	rrNext() uint64
+}
+
+// localEndorser adapts one in-process peer plus its ordering service to
+// the Endorser interface.
+type localEndorser struct {
+	p *peer.Peer
+	o *ordering.Service
+}
+
+func (e *localEndorser) ID() string     { return e.p.ID() }
+func (e *localEndorser) Height() uint64 { return e.p.Height() }
+func (e *localEndorser) Endorse(prop *peer.Proposal) (*peer.ProposalResponse, error) {
+	return e.p.Endorse(prop)
+}
+func (e *localEndorser) EndorseBatch(prop *peer.BatchProposal) (*peer.ProposalResponse, error) {
+	return e.p.EndorseBatch(prop)
+}
+
+func (e *localEndorser) Order(tx ledger.Transaction) (<-chan ledger.ValidationCode, error) {
+	waiter := e.p.WaitForCommit(tx.ID)
+	if err := e.o.Submit(tx); err != nil {
+		// A rejected txID never commits; leaving the waiter registered
+		// would leak wait-map entries.
+		e.p.CancelWait(tx.ID)
+		return nil, err
+	}
+	return waiter, nil
+}
+
+func (e *localEndorser) TxBlock(txID string) (uint64, bool) {
+	if _, _, blockNum, err := e.p.Ledger().GetTx(txID); err == nil {
+		return blockNum, true
+	}
+	return 0, false
+}
+
+// Channel's backend implementation.
+
+func (ch *Channel) chName() string               { return ch.name }
+func (ch *Channel) chPolicy() msp.Policy         { return ch.net.policy }
+func (ch *Channel) commitTimeout() time.Duration { return ch.net.cfg.CommitTimeout }
+func (ch *Channel) now() time.Time               { return ch.net.cfg.Clock.Now() }
+
+func (ch *Channel) clientDelay(peerID string) {
+	cfg := &ch.net.cfg
+	if cfg.Latency == nil {
+		return
+	}
+	if d := cfg.Latency.Delay("client", peerID); d > 0 {
+		cfg.Clock.Sleep(d)
+	}
+}
+
+func (ch *Channel) activeEndorsers() []Endorser {
+	ch.mu.RLock()
+	defer ch.mu.RUnlock()
+	out := make([]Endorser, 0, len(ch.endorsers))
+	for _, e := range ch.endorsers {
+		if !ch.excluded[e.ID()] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (ch *Channel) entryEndorsers() []Endorser {
+	out := make([]Endorser, len(ch.endorsers))
+	for i, e := range ch.endorsers {
+		out[i] = e
+	}
+	return out
+}
+
+func (ch *Channel) rrNext() uint64 { return ch.rr.Add(1) }

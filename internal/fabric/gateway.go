@@ -37,15 +37,18 @@ func (r *Result) Err() error {
 // Gateway is the client SDK: it drives the endorse -> order -> commit
 // lifecycle on behalf of one signing identity (the paper's "client"),
 // scoped to one channel — every transaction it submits or evaluates runs
-// against that channel's peers, ordering service and consensus group.
+// against that channel's peers, ordering service and consensus group. The
+// same Gateway serves in-process channels and remote ones reached over the
+// transport layer (RemoteChannel.Gateway); only the backend differs.
 type Gateway struct {
-	ch     *Channel
+	be     backend
+	ch     *Channel // nil for gateways over a remote channel
 	client *msp.Signer
 }
 
 // Gateway creates a client bound to this channel.
 func (ch *Channel) Gateway(client *msp.Signer) *Gateway {
-	return &Gateway{ch: ch, client: client}
+	return &Gateway{be: ch, ch: ch, client: client}
 }
 
 // Gateway creates a client bound to the network's default channel.
@@ -60,21 +63,9 @@ func (n *Network) Gateway(client *msp.Signer) *Gateway {
 // Client returns the gateway's signing identity.
 func (g *Gateway) Client() msp.Identity { return g.client.Identity }
 
-// Channel returns the channel this gateway is scoped to.
+// Channel returns the in-process channel this gateway is scoped to, or nil
+// when the gateway talks to a remote channel over the transport layer.
 func (g *Gateway) Channel() *Channel { return g.ch }
-
-// cfg returns the network config the gateway's channel was built from.
-func (g *Gateway) cfg() *Config { return &g.ch.net.cfg }
-
-// clientDelay simulates the client<->peer network hop.
-func (g *Gateway) clientDelay(peerID string) {
-	if g.cfg().Latency == nil {
-		return
-	}
-	if d := g.cfg().Latency.Delay("client", peerID); d > 0 {
-		g.cfg().Clock.Sleep(d)
-	}
-}
 
 // Evaluate executes a read-only query against a single peer and returns the
 // chaincode response without ordering or committing anything, like Fabric's
@@ -82,25 +73,25 @@ func (g *Gateway) clientDelay(peerID string) {
 // Among active endorsers it prefers the freshest peer (highest ledger
 // height) so reads observe the client's own committed writes.
 func (g *Gateway) Evaluate(ccName, fn string, args ...[]byte) ([]byte, error) {
-	endorsers := g.ch.ActiveEndorsers()
+	endorsers := g.be.activeEndorsers()
 	if len(endorsers) == 0 {
 		return nil, errors.New("fabric: no active endorsers")
 	}
-	p := endorsers[int(g.ch.rr.Add(1))%len(endorsers)]
-	best := p.Ledger().Height()
+	p := endorsers[int(g.be.rrNext())%len(endorsers)]
+	best := p.Height()
 	for _, cand := range endorsers {
-		if h := cand.Ledger().Height(); h > best {
+		if h := cand.Height(); h > best {
 			best = h
 			p = cand
 		}
 	}
-	prop, err := peer.NewProposal(g.client, g.ch.name, ccName, fn, args, g.cfg().Clock.Now())
+	prop, err := peer.NewProposal(g.client, g.be.chName(), ccName, fn, args, g.be.now())
 	if err != nil {
 		return nil, err
 	}
-	g.clientDelay(p.ID())
+	g.be.clientDelay(p.ID())
 	resp, err := p.Endorse(prop)
-	g.clientDelay(p.ID())
+	g.be.clientDelay(p.ID())
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +139,7 @@ const endorseRetries = 5
 // group. If that group cannot satisfy the channel policy it retries after a
 // short delay, letting lagging peers catch up.
 func (g *Gateway) endorseAndAssemble(ccName, fn string, args [][]byte) (*ledger.Transaction, error) {
-	prop, err := peer.NewProposal(g.client, g.ch.name, ccName, fn, args, g.cfg().Clock.Now())
+	prop, err := peer.NewProposal(g.client, g.be.chName(), ccName, fn, args, g.be.now())
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +148,7 @@ func (g *Gateway) endorseAndAssemble(ccName, fn string, args [][]byte) (*ledger.
 		if attempt > 0 {
 			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
 		}
-		best, err := g.collectEndorsements(func(p *peer.Peer) (*peer.ProposalResponse, error) {
+		best, err := g.collectEndorsements(func(p Endorser) (*peer.ProposalResponse, error) {
 			return p.Endorse(prop)
 		})
 		if err != nil {
@@ -170,7 +161,7 @@ func (g *Gateway) endorseAndAssemble(ccName, fn string, args [][]byte) (*ledger.
 		}
 		// Pre-check the policy so a transient endorsement split triggers a
 		// retry instead of a doomed submission.
-		if perr := g.ch.net.policy.Evaluate(tx.Digest(), tx.Endorsements); perr != nil {
+		if perr := g.be.chPolicy().Evaluate(tx.Digest(), tx.Endorsements); perr != nil {
 			lastErr = perr
 			continue
 		}
@@ -216,26 +207,24 @@ func (g *Gateway) SubmitEnvelope(tx ledger.Transaction) (*Result, error) {
 	select {
 	case flag := <-waiter:
 		res := &Result{TxID: tx.ID, Response: tx.Response, Flag: flag}
-		if _, _, blockNum, err := entry.Ledger().GetTx(tx.ID); err == nil {
+		if blockNum, ok := entry.TxBlock(tx.ID); ok {
 			res.BlockNum = blockNum
 		}
 		return res, nil
-	case <-time.After(g.cfg().CommitTimeout):
+	case <-time.After(g.be.commitTimeout()):
 		return nil, fmt.Errorf("%w: tx %s", ErrCommitTimeout, tx.ID)
 	}
 }
 
-// orderAsync registers a commit waiter on a round-robin entry peer and
-// submits the envelope to that peer's ordering service. The waiter is
-// deregistered when ordering rejects the transaction — a rejected txID
-// never commits, so leaving it registered would leak wait-map entries.
-func (g *Gateway) orderAsync(tx ledger.Transaction) (*peer.Peer, <-chan ledger.ValidationCode, error) {
-	idx := int(g.ch.rr.Add(1)) % len(g.ch.peers)
-	entry := g.ch.peers[idx]
-	waiter := entry.WaitForCommit(tx.ID)
-	g.clientDelay(entry.ID())
-	if err := g.ch.orderers[idx].Submit(tx); err != nil {
-		entry.CancelWait(tx.ID)
+// orderAsync submits the envelope through a round-robin entry peer, which
+// registers a commit waiter before ordering can reject (see
+// Endorser.Order).
+func (g *Gateway) orderAsync(tx ledger.Transaction) (Endorser, <-chan ledger.ValidationCode, error) {
+	entries := g.be.entryEndorsers()
+	entry := entries[int(g.be.rrNext())%len(entries)]
+	g.be.clientDelay(entry.ID())
+	waiter, err := entry.Order(tx)
+	if err != nil {
 		return nil, nil, fmt.Errorf("fabric: order tx %s: %w", tx.ID, err)
 	}
 	return entry, waiter, nil
@@ -303,7 +292,7 @@ func (g *Gateway) SubmitBatchAsync(calls []chaincode.BatchCall) (string, <-chan 
 // groups them by result digest and assembles a signed batch envelope from
 // the largest agreeing group, retrying while lagging peers catch up.
 func (g *Gateway) endorseAndAssembleBatch(calls []chaincode.BatchCall) (*ledger.Transaction, error) {
-	prop, err := peer.NewBatchProposal(g.client, g.ch.name, calls, g.cfg().Clock.Now())
+	prop, err := peer.NewBatchProposal(g.client, g.be.chName(), calls, g.be.now())
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +301,7 @@ func (g *Gateway) endorseAndAssembleBatch(calls []chaincode.BatchCall) (*ledger.
 		if attempt > 0 {
 			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
 		}
-		best, err := g.collectEndorsements(func(p *peer.Peer) (*peer.ProposalResponse, error) {
+		best, err := g.collectEndorsements(func(p Endorser) (*peer.ProposalResponse, error) {
 			return p.EndorseBatch(prop)
 		})
 		if err != nil {
@@ -322,11 +311,11 @@ func (g *Gateway) endorseAndAssembleBatch(calls []chaincode.BatchCall) (*ledger.
 		for i, c := range calls {
 			payload.Batch[i] = ledger.TxPayload{Chaincode: c.Chaincode, Fn: c.Fn, Args: c.Args}
 		}
-		tx, err := assembleSignedEnvelope(g.client, prop.TxID, g.ch.name, payload, prop.Timestamp, best)
+		tx, err := assembleSignedEnvelope(g.client, prop.TxID, g.be.chName(), payload, prop.Timestamp, best)
 		if err != nil {
 			return nil, err
 		}
-		if perr := g.ch.net.policy.Evaluate(tx.Digest(), tx.Endorsements); perr != nil {
+		if perr := g.be.chPolicy().Evaluate(tx.Digest(), tx.Endorsements); perr != nil {
 			lastErr = perr
 			continue
 		}
@@ -337,8 +326,8 @@ func (g *Gateway) endorseAndAssembleBatch(calls []chaincode.BatchCall) (*ledger.
 
 // collectEndorsements runs one parallel endorsement round over the active
 // endorsers and returns the largest digest-agreeing response group.
-func (g *Gateway) collectEndorsements(endorse func(*peer.Peer) (*peer.ProposalResponse, error)) ([]*peer.ProposalResponse, error) {
-	endorsers := g.ch.ActiveEndorsers()
+func (g *Gateway) collectEndorsements(endorse func(Endorser) (*peer.ProposalResponse, error)) ([]*peer.ProposalResponse, error) {
+	endorsers := g.be.activeEndorsers()
 	if len(endorsers) == 0 {
 		return nil, errors.New("fabric: no active endorsers")
 	}
@@ -350,11 +339,11 @@ func (g *Gateway) collectEndorsements(endorse func(*peer.Peer) (*peer.ProposalRe
 	var wg sync.WaitGroup
 	for i, p := range endorsers {
 		wg.Add(1)
-		go func(i int, p *peer.Peer) {
+		go func(i int, p Endorser) {
 			defer wg.Done()
-			g.clientDelay(p.ID())
+			g.be.clientDelay(p.ID())
 			resp, err := endorse(p)
-			g.clientDelay(p.ID())
+			g.be.clientDelay(p.ID())
 			results[i] = endorsement{resp: resp, err: err}
 		}(i, p)
 	}

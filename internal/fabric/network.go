@@ -27,6 +27,7 @@ import (
 	"socialchain/internal/sim"
 	"socialchain/internal/statedb"
 	"socialchain/internal/storage"
+	"socialchain/internal/transport"
 )
 
 // Config describes a network to build.
@@ -99,6 +100,30 @@ type Config struct {
 	// never shared, so the in-process simulation measures what separate
 	// processes would.
 	VerifyCacheSize int
+	// Transport selects how consensus traffic moves between this network's
+	// validators: "inproc" (default — deterministic function-call delivery
+	// honouring Latency, the test harness) or "tcp" (real localhost sockets:
+	// the network owns one transport.TCP endpoint per peer and consensus
+	// messages are framed, CRC-checked and decoded exactly as they are
+	// between separate OS processes). Unknown kinds fail construction.
+	Transport string
+	// ListenAddrs optionally pins each peer's TCP listen address (index i is
+	// peer i; default 127.0.0.1:0). Only meaningful with Transport "tcp".
+	ListenAddrs []string
+	// SendQueue bounds each TCP peer link's outbound queue (0 selects
+	// transport.DefaultQueueLen). A full queue surfaces as message loss to
+	// consensus, which BFT tolerates by design.
+	SendQueue int
+	// DialTimeout, DialBackoffBase and DialBackoffMax tune the TCP dialer
+	// and its reconnect backoff (0 selects the transport defaults).
+	DialTimeout     time.Duration
+	DialBackoffBase time.Duration
+	DialBackoffMax  time.Duration
+	// IdentitySeed, when non-empty, derives every peer's signing key
+	// deterministically from the seed (msp.NewSignerFromSeed), so separate
+	// OS processes of one deployment construct identical identities. Empty
+	// (default) generates fresh random keys.
+	IdentitySeed string
 }
 
 func (c *Config) fill() {
@@ -168,6 +193,11 @@ type Network struct {
 	signers []*msp.Signer
 	idents  map[string]msp.Identity
 
+	// transports holds the per-peer TCP endpoints when cfg.Transport is
+	// "tcp" (nil for the in-process default). Endpoint i carries peer i's
+	// consensus streams for every channel.
+	transports []*transport.TCP
+
 	mu      sync.Mutex
 	started bool
 }
@@ -175,6 +205,10 @@ type Network struct {
 // NewNetwork builds (but does not start) a network.
 func NewNetwork(cfg Config) (*Network, error) {
 	cfg.fill()
+	kind, err := transport.ParseKind(cfg.Transport)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: %w", err)
+	}
 	n := &Network{
 		cfg:        cfg,
 		registry:   chaincode.NewRegistry(),
@@ -190,17 +224,22 @@ func NewNetwork(cfg Config) (*Network, error) {
 	n.signers = make([]*msp.Signer, cfg.NumPeers)
 	n.idents = make(map[string]msp.Identity, cfg.NumPeers)
 	for i := 0; i < cfg.NumPeers; i++ {
-		org := fmt.Sprintf("org%d", i%cfg.NumOrgs)
-		name := fmt.Sprintf("peer%d", i)
-		s, err := msp.NewSigner(org, name, msp.RoleMember)
+		s, err := networkSigner(&cfg, i)
 		if err != nil {
-			return nil, fmt.Errorf("fabric: signer %s: %w", name, err)
+			return nil, err
 		}
 		// Validators address each other by bare peer name.
-		n.ids[i] = name
+		n.ids[i] = s.Name
 		n.signers[i] = s
-		n.idents[name] = s.Identity
+		n.idents[s.Name] = s.Identity
 		if err := n.identities.Register(s.Identity); err != nil {
+			return nil, err
+		}
+	}
+
+	if kind == transport.KindTCP {
+		if err := n.buildTransports(); err != nil {
+			n.closeTransports()
 			return nil, err
 		}
 	}
@@ -209,6 +248,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		ch, err := newChannel(n, cfg.channelName(i), cfg.channelDataDir(i))
 		if err != nil {
 			n.closePeers()
+			n.closeTransports()
 			return nil, fmt.Errorf("fabric: channel %s: %w", cfg.channelName(i), err)
 		}
 		n.channels = append(n.channels, ch)
@@ -216,6 +256,71 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	return n, nil
 }
+
+// networkSigner builds peer i's signing identity for cfg: random keys by
+// default, seed-derived when IdentitySeed is set (separate processes of one
+// deployment derive identical keys — see NewNode).
+func networkSigner(cfg *Config, i int) (*msp.Signer, error) {
+	org := fmt.Sprintf("org%d", i%cfg.NumOrgs)
+	name := fmt.Sprintf("peer%d", i)
+	if cfg.IdentitySeed != "" {
+		return msp.NewSignerFromSeed(cfg.IdentitySeed, org, name, msp.RoleMember), nil
+	}
+	s, err := msp.NewSigner(org, name, msp.RoleMember)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: signer %s: %w", name, err)
+	}
+	return s, nil
+}
+
+// buildTransports stands up one localhost TCP endpoint per peer and joins
+// them into a full mesh. All channels of a peer share its endpoint, exactly
+// as a multi-process deployment shares one listener per process.
+func (n *Network) buildTransports() error {
+	cfg := &n.cfg
+	n.transports = make([]*transport.TCP, cfg.NumPeers)
+	for i := 0; i < cfg.NumPeers; i++ {
+		listen := "127.0.0.1:0"
+		if i < len(cfg.ListenAddrs) && cfg.ListenAddrs[i] != "" {
+			listen = cfg.ListenAddrs[i]
+		}
+		tr, err := transport.NewTCP(transport.TCPConfig{
+			ID:          n.ids[i],
+			Cluster:     cfg.ChannelID,
+			Listen:      listen,
+			QueueLen:    cfg.SendQueue,
+			DialTimeout: cfg.DialTimeout,
+			BackoffBase: cfg.DialBackoffBase,
+			BackoffMax:  cfg.DialBackoffMax,
+		})
+		if err != nil {
+			return fmt.Errorf("fabric: transport %s: %w", n.ids[i], err)
+		}
+		n.transports[i] = tr
+	}
+	for i, tr := range n.transports {
+		for j, other := range n.transports {
+			if i != j {
+				tr.AddPeer(n.ids[j], other.Addr())
+			}
+		}
+	}
+	return nil
+}
+
+// closeTransports closes the per-peer TCP endpoints, if any.
+func (n *Network) closeTransports() {
+	for _, tr := range n.transports {
+		if tr != nil {
+			tr.Close()
+		}
+	}
+}
+
+// Transports returns the per-peer TCP endpoints (nil unless Config.
+// Transport is "tcp"); index i is peer i. Exposed for wire-level tests and
+// metrics collection.
+func (n *Network) Transports() []*transport.TCP { return n.transports }
 
 // Start launches validators and ordering services on every channel.
 func (n *Network) Start() {
@@ -251,7 +356,9 @@ func (n *Network) Stop() {
 // reopened.
 func (n *Network) Close() error {
 	n.Stop()
-	return n.closePeers()
+	err := n.closePeers()
+	n.closeTransports()
+	return err
 }
 
 // closePeers closes every constructed peer on every channel, returning

@@ -1,0 +1,288 @@
+package fabric
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"socialchain/internal/ledger"
+	"socialchain/internal/msp"
+	"socialchain/internal/ordering"
+	"socialchain/internal/peer"
+	"socialchain/internal/transport"
+)
+
+// RemoteConfig describes how a client process reaches a networked
+// deployment.
+type RemoteConfig struct {
+	// Net is the deployment-wide network config (channel names, peer
+	// count, policy, commit timeout). IdentitySeed is not needed — clients
+	// bring their own signers.
+	Net Config
+	// Peers maps peer transport IDs ("peer0"...) to dial addresses.
+	// Endorsement and commit-wait RPCs go only to the peers listed here:
+	// a client can drive a deployment through any reachable subset that
+	// still satisfies the endorsement policy (which counts Net.NumPeers).
+	Peers map[string]string
+	// Orderer is the ordering process's dial address.
+	Orderer string
+	// ID optionally pins the client's transport identity (default: a
+	// random "client-<hex>", unique per Dial).
+	ID string
+	// RPCTimeout bounds non-blocking calls (endorse, height; default 15s).
+	RPCTimeout time.Duration
+}
+
+// Remote is a client-side connection to an out-of-process deployment. It
+// owns one client TCP endpoint (no listener — replies ride its outbound
+// connections) and hands out channel-scoped gateways whose backend speaks
+// the endorse/submit/waitcommit RPCs instead of calling in-process peers.
+// The Gateway logic itself — digest grouping, policy pre-checks, MVCC
+// retries — is byte-for-byte the same code the in-process path runs.
+type Remote struct {
+	cfg      RemoteConfig
+	net      Config
+	t        *transport.TCP
+	rpc      *transport.RPC
+	policy   msp.Policy
+	peerIDs  []string
+	channels map[string]*RemoteChannel
+	order    []string
+}
+
+// Dial connects to a deployment. It performs no handshake beyond lazily
+// dialing peers on first use; a dead peer surfaces as RPC timeouts.
+func Dial(cfg RemoteConfig) (*Remote, error) {
+	net := cfg.Net
+	net.fill()
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 15 * time.Second
+	}
+	id := cfg.ID
+	if id == "" {
+		var b [6]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return nil, fmt.Errorf("fabric: client id: %w", err)
+		}
+		id = "client-" + hex.EncodeToString(b[:])
+	}
+	book := make(map[string]string, len(cfg.Peers)+1)
+	for k, v := range cfg.Peers {
+		book[k] = v
+	}
+	if cfg.Orderer != "" {
+		book[OrdererID] = cfg.Orderer
+	}
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		ID:          id,
+		Cluster:     net.ChannelID,
+		Peers:       book,
+		QueueLen:    net.SendQueue,
+		DialTimeout: net.DialTimeout,
+		BackoffBase: net.DialBackoffBase,
+		BackoffMax:  net.DialBackoffMax,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Remote{
+		cfg:      cfg,
+		net:      net,
+		t:        tr,
+		rpc:      transport.NewRPC(tr),
+		channels: make(map[string]*RemoteChannel, net.NumChannels),
+	}
+	r.policy = net.Policy
+	if r.policy == nil {
+		r.policy = msp.TwoThirds(net.NumPeers)
+	}
+	// Endorse through the peers the client holds addresses for, in a
+	// stable order. Routing round-robin entry picks at an unlisted peer
+	// would stall every Nth submit on the commit timeout.
+	for id := range cfg.Peers {
+		r.peerIDs = append(r.peerIDs, id)
+	}
+	sort.Strings(r.peerIDs)
+	for i := 0; i < net.NumChannels; i++ {
+		name := net.channelName(i)
+		rc := &RemoteChannel{r: r, name: name}
+		for _, pid := range r.peerIDs {
+			rc.endorsers = append(rc.endorsers, &remoteEndorser{rc: rc, id: pid, committed: make(map[string]uint64)})
+		}
+		r.channels[name] = rc
+		r.order = append(r.order, name)
+	}
+	return r, nil
+}
+
+// Close tears the client endpoint down.
+func (r *Remote) Close() error { return r.t.Close() }
+
+// Transport returns the client's TCP endpoint (metrics, tests).
+func (r *Remote) Transport() *transport.TCP { return r.t }
+
+// Channel returns the named remote channel, or nil when the deployment
+// has no such channel.
+func (r *Remote) Channel(name string) *RemoteChannel { return r.channels[name] }
+
+// ChannelAt returns the i-th remote channel.
+func (r *Remote) ChannelAt(i int) *RemoteChannel { return r.channels[r.order[i]] }
+
+// NumChannels returns the deployment's channel count.
+func (r *Remote) NumChannels() int { return len(r.order) }
+
+// ChannelFor routes a partition key to its home channel with the same
+// rule in-process clients use, so routed writes land identically.
+func (r *Remote) ChannelFor(key string) *RemoteChannel {
+	return r.channels[r.order[RouteKey(key, len(r.order))]]
+}
+
+// ChainHeight returns one peer's chain height on a channel.
+func (r *Remote) ChainHeight(channel, peerID string) (uint64, error) {
+	var h heightResp
+	err := r.rpc.CallJSON(peerID, methodHeight, channelReq{Channel: channel}, &h, r.cfg.RPCTimeout)
+	return h.Height, err
+}
+
+// VerifyChain asks one peer to verify its hash chain on a channel,
+// returning the verified height.
+func (r *Remote) VerifyChain(channel, peerID string) (uint64, error) {
+	var h heightResp
+	err := r.rpc.CallJSON(peerID, methodVerifyChain, channelReq{Channel: channel}, &h, r.cfg.RPCTimeout)
+	return h.Height, err
+}
+
+// Blocks fetches one peer's blocks from height `from` on a channel
+// (paged internally), for audits and equivalence checks.
+func (r *Remote) Blocks(channel, peerID string, from uint64) ([]*ledger.Block, error) {
+	h, err := r.ChainHeight(channel, peerID)
+	if err != nil {
+		return nil, err
+	}
+	src := &remoteBlockSource{rpc: r.rpc, peer: peerID, channel: channel, height: h}
+	return src.BlocksFrom(from)
+}
+
+// RemoteChannel is the client-side handle on one channel of an
+// out-of-process deployment; it implements the same gateway backend the
+// in-process Channel does.
+type RemoteChannel struct {
+	r         *Remote
+	name      string
+	endorsers []*remoteEndorser
+	rr        atomic.Uint64
+}
+
+// Name returns the channel name.
+func (rc *RemoteChannel) Name() string { return rc.name }
+
+// Gateway creates a client bound to this remote channel. Gateway.Channel
+// returns nil for remote gateways; everything else behaves as in-process.
+func (rc *RemoteChannel) Gateway(client *msp.Signer) *Gateway {
+	return &Gateway{be: rc, client: client}
+}
+
+func (rc *RemoteChannel) chName() string               { return rc.name }
+func (rc *RemoteChannel) chPolicy() msp.Policy         { return rc.r.policy }
+func (rc *RemoteChannel) commitTimeout() time.Duration { return rc.r.net.CommitTimeout }
+func (rc *RemoteChannel) now() time.Time               { return rc.r.net.Clock.Now() }
+
+// clientDelay is a no-op: over TCP the network hop is real, not simulated.
+func (rc *RemoteChannel) clientDelay(string) {}
+
+func (rc *RemoteChannel) activeEndorsers() []Endorser {
+	out := make([]Endorser, len(rc.endorsers))
+	for i, e := range rc.endorsers {
+		out[i] = e
+	}
+	return out
+}
+
+func (rc *RemoteChannel) entryEndorsers() []Endorser { return rc.activeEndorsers() }
+
+func (rc *RemoteChannel) rrNext() uint64 { return rc.rr.Add(1) }
+
+// remoteEndorser speaks one peer process's RPC surface; the orderer's
+// submit is reached through the channel's shared connection.
+type remoteEndorser struct {
+	rc *RemoteChannel
+	id string
+
+	mu        sync.Mutex
+	committed map[string]uint64 // txID -> block number from waitcommit replies
+}
+
+func (e *remoteEndorser) ID() string { return e.id }
+
+// Height returns the peer's chain height, or 0 when the peer is
+// unreachable (it then simply never looks freshest).
+func (e *remoteEndorser) Height() uint64 {
+	var h heightResp
+	if err := e.rc.r.rpc.CallJSON(e.id, methodHeight, channelReq{Channel: e.rc.name}, &h, e.rc.r.cfg.RPCTimeout); err != nil {
+		return 0
+	}
+	return h.Height
+}
+
+func (e *remoteEndorser) Endorse(prop *peer.Proposal) (*peer.ProposalResponse, error) {
+	var resp peer.ProposalResponse
+	req := endorseReq{Channel: e.rc.name, Proposal: prop}
+	if err := e.rc.r.rpc.CallJSON(e.id, methodEndorse, req, &resp, e.rc.r.cfg.RPCTimeout); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (e *remoteEndorser) EndorseBatch(prop *peer.BatchProposal) (*peer.ProposalResponse, error) {
+	var resp peer.ProposalResponse
+	req := endorseBatchReq{Channel: e.rc.name, Proposal: prop}
+	if err := e.rc.r.rpc.CallJSON(e.id, methodEndorseBatch, req, &resp, e.rc.r.cfg.RPCTimeout); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Order submits the envelope to the ordering process, then watches this
+// peer for the commit. The peer's waitcommit handler registers its waiter
+// before consulting the ledger, so a commit landing between the two RPCs
+// is still observed.
+func (e *remoteEndorser) Order(tx ledger.Transaction) (<-chan ledger.ValidationCode, error) {
+	req := submitReq{Channel: e.rc.name, Tx: tx}
+	if err := e.rc.r.rpc.CallJSON(OrdererID, methodSubmit, req, nil, e.rc.r.cfg.RPCTimeout); err != nil {
+		switch transport.ErrCode(err) {
+		case codeBacklog:
+			return nil, fmt.Errorf("%w: %s", ordering.ErrBacklog, err)
+		case codeStopped:
+			return nil, fmt.Errorf("%w: %s", ordering.ErrStopped, err)
+		}
+		return nil, err
+	}
+	waiter := make(chan ledger.ValidationCode, 1)
+	timeout := e.rc.r.net.CommitTimeout
+	go func() {
+		var resp waitCommitResp
+		wreq := waitCommitReq{Channel: e.rc.name, TxID: tx.ID, Timeout: timeout}
+		if err := e.rc.r.rpc.CallJSON(e.id, methodWaitCommit, wreq, &resp, timeout+5*time.Second); err != nil {
+			return // the gateway's own commit timeout fires
+		}
+		e.mu.Lock()
+		e.committed[tx.ID] = resp.BlockNum
+		e.mu.Unlock()
+		waiter <- resp.Flag
+	}()
+	return waiter, nil
+}
+
+func (e *remoteEndorser) TxBlock(txID string) (uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	blockNum, ok := e.committed[txID]
+	if ok {
+		delete(e.committed, txID)
+	}
+	return blockNum, ok
+}

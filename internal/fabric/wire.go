@@ -1,0 +1,87 @@
+package fabric
+
+import (
+	"time"
+
+	"socialchain/internal/ledger"
+	"socialchain/internal/peer"
+)
+
+// RPC method names and payloads spoken between the processes of a
+// networked deployment: peer nodes (node.go) serve the endorsement, commit
+// wait and block-fetch methods, the ordering node (orderer.go) serves
+// submit, and remote gateways (remote.go) call both. Every request names
+// its channel, since one process hosts every channel of the deployment.
+const (
+	methodEndorse      = "endorse"
+	methodEndorseBatch = "endorsebatch"
+	methodWaitCommit   = "waitcommit"
+	methodHeight       = "height"
+	methodBlocks       = "blocks"
+	methodVerifyChain  = "verifychain"
+	methodPropose      = "propose"
+	methodSubmit       = "submit"
+)
+
+// Error codes carried across the wire as transport.CodedError, mapped back
+// to this package's (and ordering's) sentinel errors on the client side.
+const (
+	codeBacklog       = "backlog"
+	codeStopped       = "stopped"
+	codeCommitTimeout = "committimeout"
+)
+
+// maxSyncBlocks caps how many blocks one blocks RPC returns; remote
+// sources page through taller gaps.
+const maxSyncBlocks = 512
+
+type endorseReq struct {
+	Channel  string         `json:"channel"`
+	Proposal *peer.Proposal `json:"proposal"`
+}
+
+type endorseBatchReq struct {
+	Channel  string              `json:"channel"`
+	Proposal *peer.BatchProposal `json:"proposal"`
+}
+
+type waitCommitReq struct {
+	Channel string        `json:"channel"`
+	TxID    string        `json:"tx_id"`
+	Timeout time.Duration `json:"timeout"`
+}
+
+type waitCommitResp struct {
+	Flag     ledger.ValidationCode `json:"flag"`
+	BlockNum uint64                `json:"block_num"`
+}
+
+type channelReq struct {
+	Channel string `json:"channel"`
+}
+
+type heightResp struct {
+	Height uint64 `json:"height"`
+}
+
+type blocksReq struct {
+	Channel string `json:"channel"`
+	From    uint64 `json:"from"`
+	Max     int    `json:"max"`
+}
+
+type blocksResp struct {
+	Blocks []*ledger.Block `json:"blocks"`
+}
+
+type proposeReq struct {
+	Channel string `json:"channel"`
+	Payload []byte `json:"payload"`
+}
+
+type submitReq struct {
+	Channel string             `json:"channel"`
+	Tx      ledger.Transaction `json:"tx"`
+}
+
+type emptyResp struct{}

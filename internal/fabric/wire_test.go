@@ -1,0 +1,307 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"socialchain/internal/chaincode"
+	"socialchain/internal/ledger"
+	"socialchain/internal/ordering"
+)
+
+// TestNetworkOverTCPTransport runs a regular in-process network whose
+// consensus traffic crosses real framed localhost sockets instead of
+// pointer passing.
+func TestNetworkOverTCPTransport(t *testing.T) {
+	net := newTestNetwork(t, Config{
+		NumPeers:  4,
+		Transport: "tcp",
+		Cutter:    ordering.CutterConfig{BatchTimeout: 10 * time.Millisecond},
+	})
+	gw := net.DefaultChannel().Gateway(newClient(t))
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		res, err := gw.Submit("kv", "put", []byte(key), []byte("v"))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if res.Flag != ledger.Valid {
+			t.Fatalf("submit %d flag %s", i, res.Flag)
+		}
+	}
+	if !net.DefaultChannel().WaitHeight(5, 10*time.Second) {
+		t.Fatal("peers did not all reach height 5")
+	}
+	trs := net.Transports()
+	if len(trs) != 4 {
+		t.Fatalf("expected 4 transports, got %d", len(trs))
+	}
+	var bytesSent int64
+	for _, tr := range trs {
+		bytesSent += tr.Counters().BytesSent.Load()
+	}
+	if bytesSent == 0 {
+		t.Fatal("consensus committed but no bytes crossed the TCP transports")
+	}
+}
+
+func TestUnknownTransportKindRejected(t *testing.T) {
+	if _, err := NewNetwork(Config{Transport: "carrier-pigeon"}); err == nil {
+		t.Fatal("expected error for unknown transport kind")
+	}
+}
+
+// deployment is a full multi-node test fixture: one ordering process and
+// NumPeers peer processes (in-process goroutines over real TCP sockets —
+// the same code paths cmd/socialchaind runs in separate OS processes).
+type deployment struct {
+	t      *testing.T
+	net    Config
+	ord    *Orderer
+	nodes  []*Node
+	addrs  map[string]string
+	remote *Remote
+}
+
+func startDeployment(t *testing.T, net Config) *deployment {
+	t.Helper()
+	d := &deployment{t: t, net: net}
+	ord, err := NewOrderer(OrdererConfig{Listen: "127.0.0.1:0", Net: net})
+	if err != nil {
+		t.Fatalf("orderer: %v", err)
+	}
+	d.ord = ord
+	filled := net
+	filled.fill()
+	d.nodes = make([]*Node, filled.NumPeers)
+	for i := 0; i < filled.NumPeers; i++ {
+		d.nodes[i] = d.startNode(i, "127.0.0.1:0")
+	}
+	d.addrs = map[string]string{OrdererID: ord.Addr()}
+	for _, n := range d.nodes {
+		d.addrs[n.ID()] = n.Addr()
+	}
+	d.joinAll()
+	ord.Start()
+
+	peers := make(map[string]string)
+	for id, addr := range d.addrs {
+		if id != OrdererID {
+			peers[id] = addr
+		}
+	}
+	remote, err := Dial(RemoteConfig{Net: net, Peers: peers, Orderer: ord.Addr(), RPCTimeout: 3 * time.Second})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	d.remote = remote
+	t.Cleanup(func() {
+		remote.Close()
+		ord.Close()
+		for _, n := range d.nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	})
+	return d
+}
+
+func (d *deployment) startNode(i int, listen string) *Node {
+	d.t.Helper()
+	n, err := NewNode(NodeConfig{
+		Index:        i,
+		Listen:       listen,
+		Net:          d.net,
+		Peers:        d.addrs,
+		SyncInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		d.t.Fatalf("node %d: %v", i, err)
+	}
+	n.MustDeploy(kvCC{})
+	n.Start()
+	return n
+}
+
+// joinAll gives every process every other process's address (the test
+// equivalent of -join flags with pre-agreed ports).
+func (d *deployment) joinAll() {
+	for _, n := range d.nodes {
+		if n == nil {
+			continue
+		}
+		for id, addr := range d.addrs {
+			if id != n.ID() {
+				n.Transport().AddPeer(id, addr)
+			}
+		}
+	}
+	for id, addr := range d.addrs {
+		if id != OrdererID {
+			d.ord.Transport().AddPeer(id, addr)
+		}
+	}
+}
+
+// waitNodeHeight waits for one node's peer to reach height on channel.
+func (d *deployment) waitNodeHeight(n *Node, channel string, height uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if p := n.Peer(channel); p != nil && p.Height() >= height {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}
+
+// chainJSON fetches a peer's full chain over RPC as canonical JSON.
+func (d *deployment) chainJSON(channel, peerID string) []byte {
+	d.t.Helper()
+	blocks, err := d.remote.Blocks(channel, peerID, 0)
+	if err != nil {
+		d.t.Fatalf("blocks %s/%s: %v", channel, peerID, err)
+	}
+	enc, err := json.Marshal(blocks)
+	if err != nil {
+		d.t.Fatalf("marshal blocks: %v", err)
+	}
+	return enc
+}
+
+func TestRemoteDeploymentLifecycle(t *testing.T) {
+	net := Config{
+		NumPeers:      4,
+		IdentitySeed:  "wire-test",
+		Cutter:        ordering.CutterConfig{BatchTimeout: 10 * time.Millisecond},
+		CommitTimeout: 20 * time.Second,
+	}
+	d := startDeployment(t, net)
+	channel := d.remote.ChannelAt(0).Name()
+	gw := d.remote.ChannelAt(0).Gateway(newClient(t))
+
+	const numTx = 8
+	for i := 0; i < numTx; i++ {
+		key := fmt.Sprintf("k%d", i)
+		res, err := gw.Submit("kv", "put", []byte(key), []byte(fmt.Sprintf("v%d", i)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if res.Flag != ledger.Valid {
+			t.Fatalf("submit %d flag %s", i, res.Flag)
+		}
+		if res.BlockNum == 0 && i > 0 {
+			t.Fatalf("submit %d reported block 0", i)
+		}
+	}
+
+	// Reads go through the remote evaluate path.
+	got, err := gw.Evaluate("kv", "get", []byte("k3"))
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if string(got) != "v3" {
+		t.Fatalf("evaluate k3 = %q, want v3", got)
+	}
+
+	// Every process converges to one chain, verified over the wire.
+	for _, n := range d.nodes {
+		if !d.waitNodeHeight(n, channel, numTx, 15*time.Second) {
+			t.Fatalf("node %s stuck at height %d", n.ID(), n.Peer(channel).Height())
+		}
+		if h, err := d.remote.VerifyChain(channel, n.ID()); err != nil || h < numTx {
+			t.Fatalf("verifychain %s: height %d err %v", n.ID(), h, err)
+		}
+	}
+	ref := d.chainJSON(channel, d.nodes[0].ID())
+	for _, n := range d.nodes[1:] {
+		if got := d.chainJSON(channel, n.ID()); !bytes.Equal(got, ref) {
+			t.Fatalf("chain on %s diverges from %s", n.ID(), d.nodes[0].ID())
+		}
+	}
+}
+
+func TestRemoteBatchSubmit(t *testing.T) {
+	net := Config{
+		NumPeers:     4,
+		IdentitySeed: "wire-batch",
+		Cutter:       ordering.CutterConfig{BatchTimeout: 10 * time.Millisecond},
+	}
+	d := startDeployment(t, net)
+	gw := d.remote.ChannelAt(0).Gateway(newClient(t))
+
+	calls := []struct{ k, v string }{{"a", "1"}, {"b", "2"}, {"c", "3"}}
+	batch := make([]chaincode.BatchCall, 0, len(calls))
+	for _, c := range calls {
+		batch = append(batch, chaincode.BatchCall{Chaincode: "kv", Fn: "put", Args: [][]byte{[]byte(c.k), []byte(c.v)}})
+	}
+	res, err := gw.SubmitBatch(batch)
+	if err != nil {
+		t.Fatalf("submit batch: %v", err)
+	}
+	if res.Flag != ledger.Valid {
+		t.Fatalf("batch flag %s", res.Flag)
+	}
+	for _, c := range calls {
+		got, err := gw.Evaluate("kv", "get", []byte(c.k))
+		if err != nil || string(got) != c.v {
+			t.Fatalf("get %s = %q err %v, want %q", c.k, got, err, c.v)
+		}
+	}
+}
+
+// TestNodeRestartCatchUp kills one durable peer process mid-run, keeps the
+// deployment committing, then restarts the process on the same address and
+// waits for anti-entropy to close the gap byte-identically.
+func TestNodeRestartCatchUp(t *testing.T) {
+	net := Config{
+		NumPeers:     4,
+		IdentitySeed: "wire-restart",
+		Cutter:       ordering.CutterConfig{BatchTimeout: 10 * time.Millisecond},
+		DataDir:      t.TempDir(),
+	}
+	d := startDeployment(t, net)
+	channel := d.remote.ChannelAt(0).Name()
+	gw := d.remote.ChannelAt(0).Gateway(newClient(t))
+
+	submit := func(i int) {
+		t.Helper()
+		res, err := gw.Submit("kv", "put", []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if res.Flag != ledger.Valid {
+			t.Fatalf("submit %d flag %s", i, res.Flag)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		submit(i)
+	}
+
+	// Take peer3 down; 3 of 4 endorsers still satisfy the 2/3 policy.
+	victim := d.nodes[3]
+	victimAddr := victim.Addr()
+	if err := victim.Close(); err != nil {
+		t.Fatalf("close victim: %v", err)
+	}
+	d.nodes[3] = nil
+	for i := 3; i < 6; i++ {
+		submit(i)
+	}
+
+	// Restart on the same address; the other processes' reconnect loops
+	// find it again and anti-entropy replays the missed blocks.
+	d.nodes[3] = d.startNode(3, victimAddr)
+	d.joinAll()
+	if !d.waitNodeHeight(d.nodes[3], channel, 6, 20*time.Second) {
+		t.Fatalf("restarted node stuck at height %d", d.nodes[3].Peer(channel).Height())
+	}
+	ref := d.chainJSON(channel, d.nodes[0].ID())
+	if got := d.chainJSON(channel, d.nodes[3].ID()); !bytes.Equal(got, ref) {
+		t.Fatal("restarted node's chain diverges after catch-up")
+	}
+}

@@ -92,6 +92,21 @@ func NewSigner(org, name string, role Role) (*Signer, error) {
 	}, nil
 }
 
+// NewSignerFromSeed derives a deterministic Ed25519 keypair for org/name
+// from a shared deployment seed: the same (seed, org, name, role) yields
+// the same key in every process, which is how the separate OS processes of
+// one networked deployment agree on peer identities without exchanging
+// certificates. An empty seed is rejected by callers that need real
+// secrecy; the derivation itself is seed-strength-only.
+func NewSignerFromSeed(seed, org, name string, role Role) *Signer {
+	h := sha256.Sum256([]byte("socialchain-msp\x00" + seed + "\x00" + org + "\x00" + name + "\x00" + string(role)))
+	priv := ed25519.NewKeyFromSeed(h[:])
+	return &Signer{
+		Identity: Identity{Org: org, Name: name, Role: role, PubKey: priv.Public().(ed25519.PublicKey)},
+		priv:     priv,
+	}
+}
+
 // Sign returns the Ed25519 signature of msg.
 func (s *Signer) Sign(msg []byte) []byte {
 	return ed25519.Sign(s.priv, msg)

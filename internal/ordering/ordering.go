@@ -11,10 +11,17 @@ import (
 	"sync"
 	"time"
 
-	"socialchain/internal/consensus"
 	"socialchain/internal/ledger"
 	"socialchain/internal/sim"
 )
+
+// Proposer receives cut batches for total ordering. A local
+// *consensus.Validator satisfies it directly; an out-of-process orderer
+// daemon plugs in a remote proposer that ships the batch to a validator
+// over the wire.
+type Proposer interface {
+	Propose(payload []byte)
+}
 
 // ErrStopped is returned by Submit after Stop: a stopped service would
 // silently drop the transaction (its loop no longer cuts batches).
@@ -82,7 +89,7 @@ func DecodeBatch(p []byte) (Batch, error) {
 // Deliver callback (wired by the network assembly), not here.
 type Service struct {
 	cfg       CutterConfig
-	validator *consensus.Validator
+	validator Proposer
 	clock     sim.Clock
 
 	mu       sync.Mutex
@@ -95,8 +102,9 @@ type Service struct {
 	proposed int
 }
 
-// NewService creates an ordering front-end over a consensus validator.
-func NewService(cfg CutterConfig, v *consensus.Validator, clock sim.Clock) *Service {
+// NewService creates an ordering front-end over a batch proposer
+// (normally a consensus validator).
+func NewService(cfg CutterConfig, v Proposer, clock sim.Clock) *Service {
 	cfg.fill()
 	if clock == nil {
 		clock = sim.RealClock{}

@@ -23,7 +23,7 @@ type orderingHarness struct {
 func newOrderingHarness(t *testing.T, n int, cfg CutterConfig) *orderingHarness {
 	t.Helper()
 	h := &orderingHarness{}
-	net := consensus.NewNetwork(nil, nil)
+	net := consensus.NewInProcNet(nil, nil)
 	ids := make([]string, n)
 	signers := make([]*msp.Signer, n)
 	idents := make(map[string]msp.Identity)
@@ -44,7 +44,7 @@ func newOrderingHarness(t *testing.T, n int, cfg CutterConfig) *orderingHarness 
 			Validators: ids,
 			Signer:     signers[i],
 			Identities: idents,
-			Network:    net,
+			Sender:     net,
 			Deliver: func(seq uint64, payload []byte) {
 				if !first {
 					return

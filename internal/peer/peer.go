@@ -392,11 +392,17 @@ func (p *Peer) SubscribeEvents(buffer int) <-chan chaincode.Event {
 // set conflict detection is what keeps the parallel validation
 // serializable — and all surviving write sets land in the state engine as
 // one block-level batch. It returns the block.
+//
+// The block timestamp is derived from the batch (the latest transaction
+// timestamp), not from the committing peer's clock: every replica
+// committing the same ordered batch assembles a byte-identical block, so
+// independently running processes converge on one chain, not merely on
+// equivalent chains.
 func (p *Peer) CommitBatch(txs []ledger.Transaction) (*ledger.Block, error) {
 	p.commitMu.Lock()
 	defer p.commitMu.Unlock()
 	number := p.ledger.Height()
-	block := ledger.NewBlock(number, p.ledger.TipHash(), txs, time.Now())
+	block := ledger.NewBlock(number, p.ledger.TipHash(), txs, batchTimestamp(txs))
 	flags, updates, validIdx, err := p.validateBlock(number, block.Txs, nil)
 	if err != nil {
 		return nil, err
@@ -406,6 +412,18 @@ func (p *Peer) CommitBatch(txs []ledger.Transaction) (*ledger.Block, error) {
 		return nil, err
 	}
 	return block, nil
+}
+
+// batchTimestamp returns the latest client timestamp in the batch — a
+// value every committer derives identically from the ordered payload.
+func batchTimestamp(txs []ledger.Transaction) time.Time {
+	var ts time.Time
+	for i := range txs {
+		if txs[i].Timestamp.After(ts) {
+			ts = txs[i].Timestamp
+		}
+	}
+	return ts
 }
 
 // validateBlock runs the validation half of the validate-then-commit

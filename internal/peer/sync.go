@@ -18,11 +18,33 @@ import (
 // flags disagree with this peer's own re-validation.
 var ErrFlagMismatch = fmt.Errorf("peer: synced block flags disagree with local validation")
 
-// SyncFrom copies blocks [local height, remote height) from the source
-// peer, returning how many blocks were applied.
-func (p *Peer) SyncFrom(src *Peer) (int, error) {
+// BlockSource is where SyncFrom pulls missing blocks from: another
+// in-process *Peer, or a remote peer reached over the transport RPC layer
+// (fabric's anti-entropy catch-up). Every block it returns is re-validated
+// locally, so an untrusted source cannot inject invalid state.
+type BlockSource interface {
+	// Height returns the source chain height.
+	Height() uint64
+	// BlocksFrom returns all blocks with number >= from.
+	BlocksFrom(from uint64) ([]*ledger.Block, error)
+}
+
+// Height returns the peer's chain height (BlockSource).
+func (p *Peer) Height() uint64 { return p.ledger.Height() }
+
+// BlocksFrom returns the peer's blocks with number >= from (BlockSource).
+func (p *Peer) BlocksFrom(from uint64) ([]*ledger.Block, error) {
+	return p.ledger.BlocksFrom(from), nil
+}
+
+// SyncFrom copies blocks [local height, source height) from the source,
+// returning how many blocks were applied.
+func (p *Peer) SyncFrom(src BlockSource) (int, error) {
 	from := p.ledger.Height()
-	blocks := src.Ledger().BlocksFrom(from)
+	blocks, err := src.BlocksFrom(from)
+	if err != nil {
+		return 0, fmt.Errorf("peer %s: sync fetch from height %d: %w", p.id, from, err)
+	}
 	applied := 0
 	for _, b := range blocks {
 		if err := p.applySyncedBlock(b); err != nil {

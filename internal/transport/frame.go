@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Wire framing: one message is one frame in the walframe layout,
+//
+//	[4B big-endian payload length][4B IEEE CRC32 of payload][payload]
+//
+// where the payload is a stream envelope,
+//
+//	[1B stream-name length][stream name][body]
+//
+// The CRC covers the whole envelope, so a torn or bit-flipped frame fails
+// closed: the reader rejects it and tears down the connection rather than
+// dispatching a damaged message. The layout is deliberately the same as the
+// durable logs' (internal/walframe) so there is exactly one framing format
+// in the system.
+
+// frameHeaderLen is the fixed length+CRC header size.
+const frameHeaderLen = 8
+
+// DefaultMaxFrame bounds one wire message (header + envelope). Large enough
+// for a full ordering batch (2 MiB cutter default plus JSON overhead) with
+// headroom; small enough that a corrupt length field cannot ask the reader
+// to allocate gigabytes.
+const DefaultMaxFrame = 16 << 20
+
+// EncodeFrame seals a stream envelope into a single wire frame.
+func EncodeFrame(stream string, body []byte) ([]byte, error) {
+	if len(stream) > 255 {
+		return nil, fmt.Errorf("%w: stream name %d bytes (max 255)", ErrFrameCorrupt, len(stream))
+	}
+	frame := make([]byte, frameHeaderLen+1+len(stream)+len(body))
+	frame[frameHeaderLen] = byte(len(stream))
+	copy(frame[frameHeaderLen+1:], stream)
+	copy(frame[frameHeaderLen+1+len(stream):], body)
+	payload := frame[frameHeaderLen:]
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	return frame, nil
+}
+
+// decodeEnvelope splits a CRC-verified payload into stream name and body.
+func decodeEnvelope(payload []byte) (stream string, body []byte, err error) {
+	if len(payload) < 1 {
+		return "", nil, fmt.Errorf("%w: empty envelope", ErrFrameCorrupt)
+	}
+	n := int(payload[0])
+	if len(payload)-1 < n {
+		return "", nil, fmt.Errorf("%w: envelope shorter than stream name", ErrFrameCorrupt)
+	}
+	return string(payload[1 : 1+n]), payload[1+n:], nil
+}
+
+// ReadFrame reads and verifies one frame from r, returning the stream name
+// and message body. Errors are terminal for the connection: io.EOF at a
+// frame boundary is a clean shutdown, io.ErrUnexpectedEOF a truncation,
+// ErrFrameTooLarge / ErrFrameCorrupt a protocol violation.
+func ReadFrame(r io.Reader, maxFrame int) (stream string, body []byte, err error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return "", nil, fmt.Errorf("transport: truncated frame header: %w", err)
+		}
+		return "", nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[0:4]))
+	sum := binary.BigEndian.Uint32(hdr[4:8])
+	if n > maxFrame-frameHeaderLen {
+		return "", nil, fmt.Errorf("%w: payload %d bytes (max %d)", ErrFrameTooLarge, n, maxFrame-frameHeaderLen)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return "", nil, fmt.Errorf("transport: truncated frame body: %w", io.ErrUnexpectedEOF)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return "", nil, fmt.Errorf("%w: crc mismatch", ErrFrameCorrupt)
+	}
+	return decodeEnvelope(payload)
+}
+
+// DecodeFrame parses one frame from the front of data, returning the stream
+// name, body, and the offset just past the frame. It is the slice-oriented
+// twin of ReadFrame used by tests to sweep corruption offsets.
+func DecodeFrame(data []byte, maxFrame int) (stream string, body []byte, next int, err error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if len(data) < frameHeaderLen {
+		return "", nil, 0, fmt.Errorf("transport: truncated frame header: %w", io.ErrUnexpectedEOF)
+	}
+	n := int(binary.BigEndian.Uint32(data[0:4]))
+	sum := binary.BigEndian.Uint32(data[4:8])
+	if n > maxFrame-frameHeaderLen {
+		return "", nil, 0, fmt.Errorf("%w: payload %d bytes (max %d)", ErrFrameTooLarge, n, maxFrame-frameHeaderLen)
+	}
+	if len(data)-frameHeaderLen < n {
+		return "", nil, 0, fmt.Errorf("transport: truncated frame body: %w", io.ErrUnexpectedEOF)
+	}
+	payload := data[frameHeaderLen : frameHeaderLen+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return "", nil, 0, fmt.Errorf("%w: crc mismatch", ErrFrameCorrupt)
+	}
+	stream, body, err = decodeEnvelope(payload)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	return stream, body, frameHeaderLen + n, nil
+}

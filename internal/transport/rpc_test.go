@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRPCRoundTripInProc(t *testing.T) {
+	net := NewInProcNet(nil, nil)
+	a, b := net.Node("a"), net.Node("b")
+	ra, rb := NewRPC(a), NewRPC(b)
+
+	rb.Handle("echo", func(from string, req []byte) ([]byte, error) {
+		return append([]byte(from+":"), req...), nil
+	})
+	out, err := ra.Call("b", "echo", []byte("ping"), time.Second)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if string(out) != "a:ping" {
+		t.Fatalf("response: %q", out)
+	}
+}
+
+func TestRPCCodedErrorSurvivesWire(t *testing.T) {
+	net := NewInProcNet(nil, nil)
+	ra, rb := NewRPC(net.Node("a")), NewRPC(net.Node("b"))
+	rb.Handle("fail", func(string, []byte) ([]byte, error) {
+		return nil, &CodedError{Code: "backlog", Msg: "ordering queue full"}
+	})
+	_, err := ra.Call("b", "fail", nil, time.Second)
+	if err == nil || ErrCode(err) != "backlog" || err.Error() != "ordering queue full" {
+		t.Fatalf("coded error lost: %v (code %q)", err, ErrCode(err))
+	}
+}
+
+func TestRPCNoMethod(t *testing.T) {
+	net := NewInProcNet(nil, nil)
+	ra := NewRPC(net.Node("a"))
+	NewRPC(net.Node("b"))
+	_, err := ra.Call("b", "nope", nil, time.Second)
+	if err == nil || ErrCode(err) != "nomethod" {
+		t.Fatalf("want nomethod code, got %v", err)
+	}
+}
+
+func TestRPCTimeoutTyped(t *testing.T) {
+	net := NewInProcNet(nil, nil)
+	ra, rb := NewRPC(net.Node("a")), NewRPC(net.Node("b"))
+	rb.Handle("slow", func(string, []byte) ([]byte, error) {
+		time.Sleep(200 * time.Millisecond)
+		return nil, nil
+	})
+	_, err := ra.Call("b", "slow", nil, 20*time.Millisecond)
+	if !errors.Is(err, ErrRPCTimeout) {
+		t.Fatalf("want ErrRPCTimeout, got %v", err)
+	}
+}
+
+func TestRPCConcurrentCallsOverTCP(t *testing.T) {
+	srv, err := NewTCP(TCPConfig{ID: "srv", Cluster: "c", Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := NewTCP(TCPConfig{ID: "cli", Cluster: "c", Peers: map[string]string{"srv": srv.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	rs := NewRPC(srv)
+	rc := NewRPC(cli)
+	rs.Handle("double", func(_ string, req []byte) ([]byte, error) {
+		var n int
+		if err := json.Unmarshal(req, &n); err != nil {
+			return nil, err
+		}
+		return json.Marshal(2 * n)
+	})
+
+	const calls = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			var out int
+			if err := rc.CallJSON("srv", "double", n, &out, 5*time.Second); err != nil {
+				errs <- err
+				return
+			}
+			if out != 2*n {
+				errs <- fmt.Errorf("call %d: got %d", n, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

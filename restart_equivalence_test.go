@@ -25,8 +25,9 @@ import (
 
 // openDurableFramework boots (or reopens) a framework over dataDir. The
 // caller owns the Close; reopening requires the previous instance closed.
-// overlap sets the consensus overlap window (0 = lockstep).
-func openDurableFramework(t *testing.T, dataDir string, overlap int) *core.Framework {
+// overlap sets the consensus overlap window (0 = lockstep); transport
+// picks the consensus/fabric wire ("" = in-process).
+func openDurableFramework(t *testing.T, dataDir string, overlap int, transport string) *core.Framework {
 	t.Helper()
 	fw, err := core.New(core.Config{
 		Fabric: fabric.Config{
@@ -36,6 +37,7 @@ func openDurableFramework(t *testing.T, dataDir string, overlap int) *core.Frame
 		IPFSNodes:        2,
 		DataDir:          dataDir,
 		ConsensusOverlap: overlap,
+		Transport:        transport,
 	})
 	if err != nil {
 		t.Fatalf("core.New(DataDir=%s): %v", dataDir, err)
@@ -62,12 +64,12 @@ func restartCamera(t *testing.T, fw *core.Framework) (*core.Client, *msp.Signer)
 func convergePeers(t *testing.T, fw *core.Framework) {
 	t.Helper()
 	var tip uint64
-	for _, p := range fw.Net.Peers() {
+	for _, p := range fw.Net.ChannelAt(0).Peers() {
 		if h := p.Ledger().Height(); h > tip {
 			tip = h
 		}
 	}
-	if !fw.Net.WaitHeight(tip, 10*time.Second) {
+	if !fw.Net.ChannelAt(0).WaitHeight(tip, 10*time.Second) {
 		t.Fatalf("peers did not converge to height %d", tip)
 	}
 }
@@ -98,10 +100,11 @@ func storeRange(t *testing.T, client *core.Client, mode string, frames []*detect
 	}
 }
 
-// TestIntegrationRestartEquivalence runs the fixed-seed scenario four
+// TestIntegrationRestartEquivalence runs the fixed-seed scenario five
 // ways over durable deployments — uninterrupted, stopped/reopened mid-run
-// on the serial path, stopped/reopened mid-run on the pipelined path, and
-// stopped/reopened mid-run with overlapped consensus rounds — and
+// on the serial path, stopped/reopened mid-run on the pipelined path,
+// stopped/reopened mid-run with overlapped consensus rounds, and
+// stopped/reopened mid-run over the TCP transport — and
 // requires byte-identical canonical records, identical label-index
 // content, an intact provenance chain and identical trust state. The
 // overlap leg proves async execution survives a kill/reopen with no
@@ -113,15 +116,20 @@ func TestIntegrationRestartEquivalence(t *testing.T) {
 	frames, metas := equivFrames(t, seed, n)
 
 	runs := []struct {
-		name    string
-		mode    string
-		split   int // restart after this many records (n = never)
-		overlap int // consensus overlap window (0 = lockstep)
+		name      string
+		mode      string
+		split     int // restart after this many records (n = never)
+		overlap   int // consensus overlap window (0 = lockstep)
+		transport string
 	}{
-		{"uninterrupted", "serial", n, 0},
-		{"restart-serial", "serial", n / 2, 0},
-		{"restart-pipelined", "pipelined", n / 2, 0},
-		{"restart-overlap", "pipelined", n / 2, 4},
+		{"uninterrupted", "serial", n, 0, ""},
+		{"restart-serial", "serial", n / 2, 0, ""},
+		{"restart-pipelined", "pipelined", n / 2, 0, ""},
+		{"restart-overlap", "pipelined", n / 2, 4, ""},
+		// The tcp leg kills and reopens a deployment whose consensus and
+		// fabric traffic crosses real sockets; recovery must still be
+		// byte-identical to the in-process uninterrupted run.
+		{"restart-tcp", "pipelined", n / 2, 0, "tcp"},
 	}
 
 	var canonical [][]byte
@@ -129,7 +137,7 @@ func TestIntegrationRestartEquivalence(t *testing.T) {
 	for _, run := range runs {
 		t.Run(run.name, func(t *testing.T) {
 			dataDir := t.TempDir()
-			fw := openDurableFramework(t, dataDir, run.overlap)
+			fw := openDurableFramework(t, dataDir, run.overlap, run.transport)
 			closed := false
 			defer func() {
 				if !closed {
@@ -148,8 +156,8 @@ func TestIntegrationRestartEquivalence(t *testing.T) {
 					t.Fatalf("close before restart: %v", err)
 				}
 				// ...and resume from disk alone.
-				fw = openDurableFramework(t, dataDir, run.overlap)
-				reHeight := fw.Net.Peer(0).Ledger().Height()
+				fw = openDurableFramework(t, dataDir, run.overlap, run.transport)
+				reHeight := fw.Net.ChannelAt(0).Peer(0).Ledger().Height()
 				if reHeight < 2 {
 					t.Fatalf("recovered chain height %d — nothing was resumed", reHeight)
 				}
@@ -188,21 +196,21 @@ func TestIntegrationRestartEquivalence(t *testing.T) {
 			if st.Accepted != n {
 				t.Fatalf("trust accepted = %d, want %d", st.Accepted, n)
 			}
-			if err := fw.Net.Peer(0).Ledger().VerifyChain(); err != nil {
+			if err := fw.Net.ChannelAt(0).Peer(0).Ledger().VerifyChain(); err != nil {
 				t.Fatalf("chain verification: %v", err)
 			}
 
 			// One final reopen proves the finished run is itself durable.
 			convergePeers(t, fw)
-			height := fw.Net.Peer(0).Ledger().Height()
+			height := fw.Net.ChannelAt(0).Peer(0).Ledger().Height()
 			fw.Close()
 			if err := fw.CloseErr(); err != nil {
 				t.Fatalf("final close: %v", err)
 			}
 			closed = true
-			re := openDurableFramework(t, dataDir, run.overlap)
+			re := openDurableFramework(t, dataDir, run.overlap, run.transport)
 			defer re.Close()
-			if got := re.Net.Peer(0).Ledger().Height(); got < height {
+			if got := re.Net.ChannelAt(0).Peer(0).Ledger().Height(); got < height {
 				t.Fatalf("final reopen at height %d, had %d", got, height)
 			}
 			reRecs := canonicalRecords(t, re)
