@@ -24,6 +24,9 @@
 //	          throughput at 1, 2 and 4 channels)
 //	wire      consensus-transport ablation (the same ingest workload over
 //	          in-process delivery vs framed localhost TCP sockets)
+//	obs       observability-overhead ablation (the pipelined ingest workload
+//	          with the obs metrics registry + tracing attached and a
+//	          concurrent scraper, vs fully disabled)
 //	all       everything above
 //
 // The -engine flag selects the world-state storage engine ("single",
@@ -73,7 +76,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,storage,retrieval,ingest,durability,consensus,channels,wire,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,storage,retrieval,ingest,durability,consensus,channels,wire,obs,all")
 	samples := flag.Int("samples", 20, "measurements per point")
 	csv := flag.Bool("csv", false, "emit CSV series instead of tables")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -137,8 +140,9 @@ func main() {
 		"consensus":  h.consensus,
 		"channels":   h.channels,
 		"wire":       h.wire,
+		"obs":        h.obs,
 	}
-	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage", "retrieval", "ingest", "durability", "consensus", "channels", "wire"}
+	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage", "retrieval", "ingest", "durability", "consensus", "channels", "wire", "obs"}
 	want := strings.Split(*fig, ",")
 	if *fig == "all" {
 		want = order

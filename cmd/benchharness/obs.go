@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"socialchain/internal/core"
+	"socialchain/internal/detect"
+	"socialchain/internal/fabric"
+	"socialchain/internal/ingest"
+	"socialchain/internal/metrics"
+	"socialchain/internal/msp"
+	"socialchain/internal/obs"
+	"socialchain/internal/ordering"
+	"socialchain/internal/sim"
+)
+
+// obs measures what the observability layer costs on the hot path: the
+// same pipelined ingest workload runs once with fabric.Config.Obs nil
+// (every instrument call hits the nil-receiver fast path) and once with a
+// live registry, tx tracing ring and a concurrent scraper rendering the
+// full Prometheus exposition every 250ms — still 20-60x harder than a
+// production poll cadence. The recorded overhead percentage
+// backs the EXPERIMENTS.md instrumentation-overhead row (bar: <=2%).
+func (h *harness) obs() error {
+	h.header("Ablation — observability overhead (metrics + tracing + scraper vs off)")
+	records := h.ingestRecords / 8
+	if records < 200 {
+		records = 200
+	}
+	run := func(reg *obs.Registry, traces *obs.TraceRing) (float64, error) {
+		fw, err := core.New(core.Config{
+			Fabric: fabric.Config{
+				NumPeers:   4,
+				Cutter:     ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 2 * time.Millisecond},
+				Obs:        reg,
+				SlowTraces: traces,
+			},
+			IPFSNodes:     2,
+			StorageEngine: h.engine,
+			Transport:     h.transport,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer fw.Close()
+		// Concurrent scraper: render the full exposition on a tight loop,
+		// like a metrics poller hammering /metrics during the burst.
+		stopScrape := make(chan struct{})
+		scrapeDone := make(chan struct{})
+		go func() {
+			defer close(scrapeDone)
+			if reg == nil {
+				return
+			}
+			tick := time.NewTicker(250 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopScrape:
+					return
+				case <-tick.C:
+					reg.WritePrometheus(io.Discard)
+				}
+			}
+		}()
+		defer func() { close(stopScrape); <-scrapeDone }()
+		cam, err := msp.NewSigner("city", "obs-cam", msp.RoleTrustedSource)
+		if err != nil {
+			return 0, err
+		}
+		if err := fw.RegisterSource(cam.Identity, true); err != nil {
+			return 0, err
+		}
+		client := fw.Client(cam, 0)
+		det := detect.NewDetector(h.seed)
+		frameRNG := sim.NewRNG(h.seed + 500)
+		recs := make([]ingest.Record, records)
+		for i := range recs {
+			frame, meta := frameOfSize(frameRNG, det, 4*1024, i)
+			recs[i] = ingest.Record{Signed: msp.NewSignedMessage(cam, frame.Data), Meta: meta}
+		}
+		pipe := client.Pipeline(ingest.Config{
+			Mode: ingest.ModePipelined, BatchSize: 100, AddWorkers: 8, MaxInFlight: 1,
+			FlushInterval: 250 * time.Millisecond,
+		})
+		start := time.Now()
+		for _, r := range pipe.Run(recs) {
+			if r.Err != nil {
+				return 0, fmt.Errorf("obs record %d: %w", r.Index, r.Err)
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		if reg != nil {
+			// The run must actually have populated the pipeline histograms,
+			// or the "on" leg silently measured nothing.
+			var buf bytes.Buffer
+			reg.WritePrometheus(&buf)
+			if !strings.Contains(buf.String(), "tx_commit_e2e_seconds_count") {
+				return 0, fmt.Errorf("obs: tx_commit_e2e_seconds never observed — instrumentation not wired")
+			}
+		}
+		return float64(records) / elapsed, nil
+	}
+
+	// Single off-vs-on passes swing several percent from scheduler and
+	// page-cache drift alone — far more than the effect being measured.
+	// Alternate the legs over a few passes and keep each leg's best run:
+	// best-of discards transient slowdowns, and alternation cancels any
+	// monotonic warm-up favouring whichever leg runs later.
+	const reps = 5
+	var offRPS, onRPS float64
+	for r := 0; r < reps; r++ {
+		off, err := run(nil, nil)
+		if err != nil {
+			return err
+		}
+		on, err := run(obs.NewRegistry(), obs.NewTraceRing(128, 0))
+		if err != nil {
+			return err
+		}
+		if off > offRPS {
+			offRPS = off
+		}
+		if on > onRPS {
+			onRPS = on
+		}
+	}
+	overheadPct := (offRPS - onRPS) / offRPS * 100
+	h.record("obs_off_rps", offRPS)
+	h.record("obs_on_rps", onRPS)
+	// Recorded as a ratio (~1.0), not a percentage: the overhead hovers
+	// around zero, and benchcompare's relative gate is meaningless against
+	// a near-zero baseline.
+	h.record("obs_efficiency_x", onRPS/offRPS)
+
+	if h.csv {
+		s := &metrics.Series{Label: "obs_rps"} // x: 0 = off, 1 = on
+		s.Append(0, offRPS)
+		s.Append(1, onRPS)
+		s.WriteCSV(os.Stdout)
+		return nil
+	}
+	tbl := metrics.NewTable(fmt.Sprintf("observability (%d records, pipelined ingest)", records), "records_per_s", "relative")
+	tbl.AddRow("off (nil registry)", offRPS, 1.0)
+	tbl.AddRow("on (registry + tracing + 250ms scraper)", onRPS, onRPS/offRPS)
+	tbl.Render(os.Stdout)
+	fmt.Printf("\ninstrumentation overhead: %.2f%% (bar: <=2%%)\n", overheadPct)
+	return nil
+}

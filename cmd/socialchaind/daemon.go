@@ -27,6 +27,7 @@ type daemonConfig struct {
 	dataDir      string
 	batchTimeout time.Duration
 	maxMessages  int
+	admin        string // admin/debug HTTP listen address ("" = off)
 }
 
 // parseJoin parses "-join peer0=127.0.0.1:7001,orderer=127.0.0.1:7000"
@@ -90,6 +91,13 @@ func runDaemon(d daemonConfig) error {
 				return err
 			}
 		}
+		if d.admin != "" {
+			if err := node.ServeAdmin(d.admin); err != nil {
+				node.Close()
+				return err
+			}
+			fmt.Printf("%s admin surface on http://%s\n", node.ID(), node.AdminAddr())
+		}
 		node.Start()
 		fmt.Printf("%s listening on %s (%d channels, %d peers, data-dir %q)\n",
 			node.ID(), node.Addr(), d.channels, d.peers, d.dataDir)
@@ -104,6 +112,13 @@ func runDaemon(d daemonConfig) error {
 		})
 		if err != nil {
 			return err
+		}
+		if d.admin != "" {
+			if err := ord.ServeAdmin(d.admin); err != nil {
+				ord.Close()
+				return err
+			}
+			fmt.Printf("orderer admin surface on http://%s\n", ord.AdminAddr())
 		}
 		ord.Start()
 		fmt.Printf("orderer listening on %s (%d channels, %d peers)\n", ord.Addr(), d.channels, d.peers)

@@ -30,10 +30,17 @@
 // share the same -peers/-channels/-identity-seed so seed-derived
 // identities line up. -join lists the other processes' addresses.
 //
+// With -admin HOST:PORT any role (demo, peer or orderer) additionally
+// serves the admin/debug HTTP surface: /metrics (Prometheus text
+// exposition), /healthz (per-channel liveness: stalled consensus,
+// connectivity floor), /statusz (JSON snapshot: heights, backlogs,
+// cache hit rates, transport queues, slow-trace ring) and /debug/pprof.
+// Off when the flag is absent.
+//
 // Usage: socialchaind [-peers 4] [-channels 1] [-ipfs 2] [-cameras 3]
 // [-crowd 3] [-rounds 10] [-byzantine 0] [-bad-crowd-fraction 0.3]
 // [-bulk 0] [-bulk-mode pipelined] [-bulk-batch 32] [-bulk-workers 8]
-// [-data-dir DIR]
+// [-data-dir DIR] [-admin HOST:PORT]
 // [-role peer|orderer -index N -listen HOST:PORT -join id=HOST:PORT,...
 // -identity-seed SEED]
 package main
@@ -54,8 +61,10 @@ import (
 	"socialchain/internal/explorer"
 	"socialchain/internal/fabric"
 	"socialchain/internal/ingest"
+	"socialchain/internal/ledger"
 	"socialchain/internal/metrics"
 	"socialchain/internal/msp"
+	"socialchain/internal/obs"
 	"socialchain/internal/ordering"
 	"socialchain/internal/sim"
 )
@@ -82,6 +91,7 @@ func main() {
 	identitySeed := flag.String("identity-seed", "", "deterministic identity seed shared by every process of one deployment (with -role)")
 	batchTimeout := flag.Duration("batch-timeout", 10*time.Millisecond, "ordering batch timeout (with -role)")
 	maxMessages := flag.Int("max-messages", 4, "ordering batch size cap (with -role)")
+	admin := flag.String("admin", "", "serve the admin/debug HTTP surface (/metrics, /healthz, /statusz, /debug/pprof) on this address, e.g. :7190 (off when empty)")
 	flag.Parse()
 
 	if *role != "" {
@@ -96,6 +106,7 @@ func main() {
 			dataDir:      *dataDir,
 			batchTimeout: *batchTimeout,
 			maxMessages:  *maxMessages,
+			admin:        *admin,
 		}); err != nil {
 			log.Fatal(err)
 		}
@@ -103,7 +114,7 @@ func main() {
 	}
 
 	if err := run(*peers, *channels, *ipfsNodes, *cameras, *crowd, *rounds, *byzantine, *badFraction, *seed,
-		bulkConfig{records: *bulk, mode: *bulkMode, batch: *bulkBatch, workers: *bulkWorkers}, *dataDir); err != nil {
+		bulkConfig{records: *bulk, mode: *bulkMode, batch: *bulkBatch, workers: *bulkWorkers}, *dataDir, *admin); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -115,17 +126,19 @@ type bulkConfig struct {
 	workers int
 }
 
-func run(peers, channels, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction float64, seed int64, bulk bulkConfig, dataDir string) error {
+func run(peers, channels, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction float64, seed int64, bulk bulkConfig, dataDir, adminAddr string) error {
 	behaviors := map[int]consensus.Behavior{}
 	for i := 0; i < byzantine; i++ {
 		behaviors[i+1] = consensus.Silent{}
 	}
+	reg := obs.NewRegistry()
 	fw, err := core.New(core.Config{
 		Fabric: fabric.Config{
 			NumPeers:         peers,
 			Cutter:           ordering.CutterConfig{MaxMessages: 4, BatchTimeout: 10 * time.Millisecond},
 			Behaviors:        behaviors,
 			ConsensusTimeout: time.Second,
+			Obs:              reg,
 		},
 		NumChannels: channels,
 		IPFSNodes:   ipfsNodes,
@@ -135,6 +148,27 @@ func run(peers, channels, ipfsNodes, cameras, crowd, rounds, byzantine int, badF
 		return err
 	}
 	defer fw.Close()
+
+	if adminAddr != "" {
+		health := obs.NewHealth(0, nil)
+		for _, ch := range fw.Net.Channels() {
+			health.Register(ch.Name(), obs.Probe{
+				Height:  ch.Peer(0).Height,
+				Backlog: ch.Validator(0).Backlog,
+			})
+		}
+		statusz := func() any {
+			return struct {
+				Ledger ledger.Stats `json:"ledger"`
+			}{fw.LedgerStats()}
+		}
+		adminSrv, err := obs.ServeAdmin(adminAddr, reg, health, statusz)
+		if err != nil {
+			return err
+		}
+		defer adminSrv.Close()
+		fmt.Printf("admin surface on http://%s (/metrics /healthz /statusz /debug/pprof)\n", adminSrv.Addr())
+	}
 	fmt.Printf("network up: %d channel(s) x %d peers (%d byzantine), %d IPFS nodes, chaincodes deployed\n",
 		fw.Net.NumChannels(), peers, byzantine, ipfsNodes)
 	if dataDir != "" {
@@ -178,6 +212,11 @@ func run(peers, channels, ipfsNodes, cameras, crowd, rounds, byzantine int, badF
 		sources = append(sources, source{client: fw.Client(s, i%ipfsNodes), signer: s, video: &corpus.Static[i%cameras]})
 	}
 	fmt.Printf("registered %d trusted + %d untrusted sources\n\n", cameras, crowd)
+	if len(sources) > 0 {
+		// The first client's retrieval cache joins the registry, so payload
+		// cache hit rates show up at /metrics beside the write-path series.
+		sources[0].client.Query().RegisterObs(reg)
+	}
 
 	storeLat := metrics.NewStats()
 	stored, rejected := 0, 0

@@ -14,6 +14,7 @@ import (
 	"socialchain/internal/ledger"
 	"socialchain/internal/metrics"
 	"socialchain/internal/msp"
+	"socialchain/internal/obs"
 	"socialchain/internal/sim"
 	"socialchain/internal/trust"
 )
@@ -28,6 +29,8 @@ type connectConfig struct {
 	records      int
 	seed         int64
 	identitySeed string // deterministic client identities, stable across reruns
+	statsOut     string // JSON run-summary output file ("" = off)
+	adminBook    string // id=addr book of admin surfaces to scrape into statsOut
 }
 
 // submitIdempotent submits a bootstrap transaction, treating the given
@@ -71,6 +74,7 @@ func runConnect(cfg connectConfig) error {
 	if err != nil {
 		return err
 	}
+	obsReg := obs.NewRegistry()
 	remote, err := fabric.Dial(fabric.RemoteConfig{
 		Net: fabric.Config{
 			NumPeers:      cfg.numPeers,
@@ -79,6 +83,7 @@ func runConnect(cfg connectConfig) error {
 		},
 		Peers:   book,
 		Orderer: cfg.orderer,
+		Obs:     obsReg,
 	})
 	if err != nil {
 		return err
@@ -200,6 +205,11 @@ func runConnect(cfg connectConfig) error {
 				return err
 			}
 			time.Sleep(250 * time.Millisecond)
+		}
+	}
+	if cfg.statsOut != "" {
+		if err := writeRunSummary(cfg, obsReg, remote, stored, failed, elapsed); err != nil {
+			return fmt.Errorf("write -stats-out: %w", err)
 		}
 	}
 	if failed > 0 {

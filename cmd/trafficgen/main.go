@@ -15,13 +15,19 @@
 // bootstraps the chain (admin, trust parameters, camera), submits
 // -records metadata transactions through remote gateways, and verifies
 // every peer process's hash chain over RPC. -peers/-channels must match
-// the deployment's flags.
+// the deployment's flags. -stats-out FILE writes a JSON run summary on
+// exit: counts, throughput, per-channel client-side stage latency
+// percentiles (endorse / order / commit_wait, read from the gateway
+// histograms) and — with -admin-book id=host:port,... — every listed
+// node's /statusz snapshot.
 //
 // Usage: trafficgen [-videos 52] [-frames 20] [-drones 12] [-seed 1]
 // [-dump-metadata] [-limit 5]
 // [-ingest serial|batched|pipelined] [-records 200] [-rate 0]
 // [-concurrency 8] [-batch 32] [-inflight 2] [-peers 4] [-channels 1]
 // [-engine single|sharded|persist] [-data-dir DIR]
+// [-connect id=host:port,... -orderer host:port]
+// [-stats-out FILE] [-admin-book id=host:port,...]
 package main
 
 import (
@@ -59,6 +65,8 @@ func main() {
 	connect := flag.String("connect", "", "drive an out-of-process deployment: comma-separated id=host:port book of its peer processes")
 	orderer := flag.String("orderer", "", "orderer process dial address (with -connect)")
 	identitySeed := flag.String("identity-seed", "trafficgen", "derive client identities from this seed (with -connect); reruns against one deployment must reuse it")
+	statsOut := flag.String("stats-out", "", "write a JSON run summary (client-side per-stage latency percentiles + scraped /statusz) to this file on exit (with -connect)")
+	adminBook := flag.String("admin-book", "", "comma-separated id=host:port book of the deployment's admin surfaces, scraped into -stats-out")
 	flag.Parse()
 
 	if *connect != "" {
@@ -70,6 +78,8 @@ func main() {
 			records:      *records,
 			seed:         *seed,
 			identitySeed: *identitySeed,
+			statsOut:     *statsOut,
+			adminBook:    *adminBook,
 		}); err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"socialchain/internal/fabric"
+	"socialchain/internal/obs"
+)
+
+// stageSummary is one client-side lifecycle stage's latency digest.
+type stageSummary struct {
+	Count int64   `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+// runSummary is the -stats-out document: what this run achieved, where the
+// client-side time went per lifecycle stage, and (when -admin-book is
+// given) every node's /statusz snapshot at exit.
+type runSummary struct {
+	Records        int                                `json:"records"`
+	Stored         int                                `json:"stored"`
+	Failed         int                                `json:"failed"`
+	ElapsedSeconds float64                            `json:"elapsed_seconds"`
+	RecordsPerSec  float64                            `json:"records_per_sec"`
+	Stages         map[string]map[string]stageSummary `json:"stages"` // channel -> stage -> digest
+	Statusz        map[string]json.RawMessage         `json:"statusz,omitempty"`
+}
+
+// clientStages reads the gateway-side stage histograms back out of the
+// client registry (same name+labels returns the same instrument).
+func clientStages(reg *obs.Registry, remote *fabric.Remote) map[string]map[string]stageSummary {
+	out := make(map[string]map[string]stageSummary)
+	for i := 0; i < remote.NumChannels(); i++ {
+		name := remote.ChannelAt(i).Name()
+		chReg := reg.With(obs.L("channel", name))
+		stages := make(map[string]stageSummary)
+		for _, stage := range []string{"endorse", "order", "commit_wait"} {
+			h := chReg.Histogram("tx_stage_seconds", "", nil, obs.L("stage", stage))
+			if h.Count() == 0 {
+				continue
+			}
+			stages[stage] = stageSummary{
+				Count: h.Count(),
+				P50ms: h.Quantile(0.5) * 1000,
+				P95ms: h.Quantile(0.95) * 1000,
+				P99ms: h.Quantile(0.99) * 1000,
+			}
+		}
+		out[name] = stages
+	}
+	return out
+}
+
+// scrapeStatusz GETs every admin surface's /statusz into raw JSON; an
+// unreachable endpoint records an error object instead of failing the run.
+func scrapeStatusz(adminBook string) (map[string]json.RawMessage, error) {
+	if adminBook == "" {
+		return nil, nil
+	}
+	book, err := parsePeerBook(adminBook)
+	if err != nil {
+		return nil, fmt.Errorf("bad -admin-book: %w", err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	out := make(map[string]json.RawMessage, len(book))
+	for id, addr := range book {
+		body, err := getJSON(client, "http://"+addr+"/statusz")
+		if err != nil {
+			msg, _ := json.Marshal(map[string]string{"error": err.Error()})
+			out[id] = msg
+			continue
+		}
+		out[id] = body
+	}
+	return out, nil
+}
+
+func getJSON(client *http.Client, url string) (json.RawMessage, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if !json.Valid(body) {
+		return nil, fmt.Errorf("%s: invalid JSON", url)
+	}
+	return body, nil
+}
+
+// writeRunSummary assembles and writes the -stats-out document.
+func writeRunSummary(cfg connectConfig, reg *obs.Registry, remote *fabric.Remote, stored, failed int, elapsed time.Duration) error {
+	sum := runSummary{
+		Records:        cfg.records,
+		Stored:         stored,
+		Failed:         failed,
+		ElapsedSeconds: elapsed.Seconds(),
+		Stages:         clientStages(reg, remote),
+	}
+	if elapsed > 0 {
+		sum.RecordsPerSec = float64(stored) / elapsed.Seconds()
+	}
+	statusz, err := scrapeStatusz(cfg.adminBook)
+	if err != nil {
+		return err
+	}
+	sum.Statusz = statusz
+	enc, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfg.statsOut, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("run summary written to %s\n", cfg.statsOut)
+	return nil
+}

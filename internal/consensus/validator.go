@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"socialchain/internal/msp"
+	"socialchain/internal/obs"
 	"socialchain/internal/sim"
 )
 
@@ -50,6 +51,10 @@ type Config struct {
 	// VerifyCacheSize bounds this replica's signature verify cache
 	// (0 selects msp.DefaultVerifyCacheSize).
 	VerifyCacheSize int
+	// Obs receives this replica's metrics: decide latency, delivered and
+	// view-change counters, backlog depth, verify-cache hit rates. nil
+	// leaves the replica fully functional with dangling instruments.
+	Obs *obs.Registry
 }
 
 type request struct {
@@ -113,6 +118,10 @@ type Validator struct {
 	viewChangeCount int
 	proposeDepth    int  // re-entrancy depth of proposePending
 	proposeAgain    bool // a nested call wants another proposing round
+
+	// obsDecide times request arrival -> execution (the consensus_decide
+	// stage); always non-nil, dangling when Config.Obs is nil.
+	obsDecide *obs.Histogram
 }
 
 // maxFutureMsgs bounds the per-view buffer of early-arriving protocol
@@ -166,6 +175,18 @@ func NewValidator(cfg Config) *Validator {
 		v.execCh = make(chan execItem, cfg.OverlapWindow)
 		v.execDoneCh = make(chan struct{})
 	}
+	v.obsDecide = cfg.Obs.Histogram("tx_stage_seconds", "Per-stage transaction pipeline latency.", nil,
+		obs.L("stage", "consensus_decide"))
+	cfg.Obs.CounterFunc("consensus_delivered_total", "Payloads this replica has delivered in decision order.", func() int64 {
+		return int64(v.DeliveredCount())
+	})
+	cfg.Obs.CounterFunc("consensus_view_changes_total", "View changes this replica has completed.", func() int64 {
+		return int64(v.ViewChanges())
+	})
+	cfg.Obs.GaugeFunc("consensus_backlog", "Pending requests plus undrained executor items.", func() float64 {
+		return float64(v.Backlog())
+	})
+	v.verifyCache.Register(cfg.Obs.With(obs.L("component", "consensus")))
 	return v
 }
 
@@ -234,6 +255,21 @@ func (v *Validator) DeliveredCount() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	return v.deliveredCount
+}
+
+// Backlog reports work awaiting this replica's consensus/execution: the
+// pending (admitted, not yet decided) request count plus, in overlap mode,
+// decided-but-unexecuted items queued on the executor. The /healthz stall
+// probe reads it — a backlog that never drains while the chain height
+// stands still is a wedged channel.
+func (v *Validator) Backlog() int {
+	v.mu.Lock()
+	n := len(v.pending)
+	v.mu.Unlock()
+	if v.execCh != nil {
+		n += len(v.execCh)
+	}
+	return n
 }
 
 // ViewChanges returns how many view changes this replica has completed.
@@ -738,6 +774,9 @@ func (v *Validator) maybeExecute() {
 		advanced = true
 		digest := inst.digest
 		payload := inst.payload
+		if req := v.pending[digest]; req != nil {
+			v.obsDecide.Observe(v.cfg.Clock.Now().Sub(req.arrived))
+		}
 		delete(v.pending, digest)
 		already := v.delivered[digest]
 		v.delivered[digest] = true

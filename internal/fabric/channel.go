@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"socialchain/internal/consensus"
+	"socialchain/internal/obs"
 	"socialchain/internal/ordering"
 	"socialchain/internal/peer"
 	"socialchain/internal/storage"
@@ -74,6 +75,8 @@ func newChannel(n *Network, name, dataDir string) (*Channel, error) {
 			DataDir:         peerDir,
 			Indexes:         cfg.StateIndexes,
 			VerifyCacheSize: cfg.VerifyCacheSize,
+			Obs:             cfg.Obs.With(obs.L("channel", name), obs.L("peer", n.ids[i])),
+			SlowTraces:      cfg.SlowTraces,
 		})
 		if err != nil {
 			ch.closePeers()
@@ -111,6 +114,7 @@ func newChannel(n *Network, name, dataDir string) (*Channel, error) {
 			Behavior:        cfg.Behaviors[i],
 			OverlapWindow:   cfg.ConsensusOverlap,
 			VerifyCacheSize: cfg.VerifyCacheSize,
+			Obs:             cfg.Obs.With(obs.L("channel", name), obs.L("peer", n.ids[i])),
 			Deliver: func(seq uint64, payload []byte) {
 				batch, err := ordering.DecodeBatch(payload)
 				if err != nil {
@@ -124,6 +128,7 @@ func newChannel(n *Network, name, dataDir string) (*Channel, error) {
 		})
 		ch.validators = append(ch.validators, v)
 		o := ordering.NewService(cfg.Cutter, v, cfg.Clock)
+		o.Observe(cfg.Obs.With(obs.L("channel", name), obs.L("peer", n.ids[i])))
 		ch.orderers = append(ch.orderers, o)
 		ch.endorsers = append(ch.endorsers, &localEndorser{p: p, o: o})
 	}

@@ -5,6 +5,7 @@ import (
 
 	"socialchain/internal/ledger"
 	"socialchain/internal/msp"
+	"socialchain/internal/obs"
 	"socialchain/internal/ordering"
 	"socialchain/internal/peer"
 )
@@ -53,6 +54,9 @@ type backend interface {
 	entryEndorsers() []Endorser
 	// rrNext advances the channel's shared round-robin counter.
 	rrNext() uint64
+	// obsReg returns the registry client-side gateway spans record into
+	// (nil when the deployment is not instrumented).
+	obsReg() *obs.Registry
 }
 
 // localEndorser adapts one in-process peer plus its ordering service to
@@ -127,3 +131,7 @@ func (ch *Channel) entryEndorsers() []Endorser {
 }
 
 func (ch *Channel) rrNext() uint64 { return ch.rr.Add(1) }
+
+func (ch *Channel) obsReg() *obs.Registry {
+	return ch.net.cfg.Obs.With(obs.L("channel", ch.name))
+}

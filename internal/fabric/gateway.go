@@ -10,6 +10,7 @@ import (
 	"socialchain/internal/chaincode"
 	"socialchain/internal/ledger"
 	"socialchain/internal/msp"
+	"socialchain/internal/obs"
 	"socialchain/internal/peer"
 	"socialchain/internal/statedb"
 )
@@ -24,6 +25,9 @@ type Result struct {
 	Response []byte
 	Flag     ledger.ValidationCode
 	BlockNum uint64
+	// Trace is the lifecycle trace ID minted at proposal time and carried
+	// through ordering and commit ("" on pre-trace envelopes).
+	Trace string
 }
 
 // Err returns a non-nil error when the transaction was committed invalid.
@@ -44,11 +48,34 @@ type Gateway struct {
 	be     backend
 	ch     *Channel // nil for gateways over a remote channel
 	client *msp.Signer
+
+	// Client-side lifecycle spans: wall time spent endorsing, handing the
+	// envelope to ordering, and waiting for the commit notification. With
+	// the peer-side spans (endorse_exec, consensus_decide, validate,
+	// commit) they cover the paper's submit -> commit path end to end.
+	obsEndorse    *obs.Histogram
+	obsOrder      *obs.Histogram
+	obsCommitWait *obs.Histogram
+}
+
+// newGateway wires a gateway over a backend, caching its stage histograms
+// (dangling, cost-free instruments when the backend is uninstrumented).
+func newGateway(be backend, ch *Channel, client *msp.Signer) *Gateway {
+	reg := be.obsReg()
+	const stageHelp = "Per-stage transaction pipeline latency."
+	return &Gateway{
+		be:            be,
+		ch:            ch,
+		client:        client,
+		obsEndorse:    reg.Histogram("tx_stage_seconds", stageHelp, nil, obs.L("stage", "endorse")),
+		obsOrder:      reg.Histogram("tx_stage_seconds", stageHelp, nil, obs.L("stage", "order")),
+		obsCommitWait: reg.Histogram("tx_stage_seconds", stageHelp, nil, obs.L("stage", "commit_wait")),
+	}
 }
 
 // Gateway creates a client bound to this channel.
 func (ch *Channel) Gateway(client *msp.Signer) *Gateway {
-	return &Gateway{be: ch, ch: ch, client: client}
+	return newGateway(ch, ch, client)
 }
 
 // Gateway creates a client bound to the network's default channel.
@@ -139,6 +166,7 @@ const endorseRetries = 5
 // group. If that group cannot satisfy the channel policy it retries after a
 // short delay, letting lagging peers catch up.
 func (g *Gateway) endorseAndAssemble(ccName, fn string, args [][]byte) (*ledger.Transaction, error) {
+	start := time.Now()
 	prop, err := peer.NewProposal(g.client, g.be.chName(), ccName, fn, args, g.be.now())
 	if err != nil {
 		return nil, err
@@ -155,7 +183,7 @@ func (g *Gateway) endorseAndAssemble(ccName, fn string, args [][]byte) (*ledger.
 			return nil, err
 		}
 		payload := ledger.TxPayload{Chaincode: ccName, Fn: fn, Args: args}
-		tx, err := assembleSignedEnvelope(g.client, prop.TxID, prop.ChannelID, payload, prop.Timestamp, best)
+		tx, err := assembleSignedEnvelope(g.client, prop.TxID, prop.ChannelID, prop.Trace, payload, prop.Timestamp, best)
 		if err != nil {
 			return nil, err
 		}
@@ -165,14 +193,16 @@ func (g *Gateway) endorseAndAssemble(ccName, fn string, args [][]byte) (*ledger.
 			lastErr = perr
 			continue
 		}
+		g.obsEndorse.Observe(time.Since(start))
 		return tx, nil
 	}
 	return nil, fmt.Errorf("fabric: endorsement policy unsatisfiable after %d attempts: %w", endorseRetries, lastErr)
 }
 
 // assembleSignedEnvelope builds and signs the transaction envelope from an
-// agreeing endorsement group.
-func assembleSignedEnvelope(client *msp.Signer, txID, channelID string, payload ledger.TxPayload, ts time.Time, group []*peer.ProposalResponse) (*ledger.Transaction, error) {
+// agreeing endorsement group, carrying the proposal's trace ID into the
+// envelope so peers can attribute commit-side spans to it.
+func assembleSignedEnvelope(client *msp.Signer, txID, channelID, trace string, payload ledger.TxPayload, ts time.Time, group []*peer.ProposalResponse) (*ledger.Transaction, error) {
 	var rw statedb.RWSet
 	if err := json.Unmarshal(group[0].RWSetJSON, &rw); err != nil {
 		return nil, fmt.Errorf("fabric: decode rwset: %w", err)
@@ -186,6 +216,7 @@ func assembleSignedEnvelope(client *msp.Signer, txID, channelID string, payload 
 		RWSet:     rw,
 		Events:    group[0].Events,
 		Timestamp: ts,
+		Trace:     trace,
 	}
 	for _, r := range group {
 		tx.Endorsements = append(tx.Endorsements, r.Endorsement)
@@ -204,9 +235,11 @@ func (g *Gateway) SubmitEnvelope(tx ledger.Transaction) (*Result, error) {
 		return nil, err
 	}
 
+	waitStart := time.Now()
 	select {
 	case flag := <-waiter:
-		res := &Result{TxID: tx.ID, Response: tx.Response, Flag: flag}
+		g.obsCommitWait.Observe(time.Since(waitStart))
+		res := &Result{TxID: tx.ID, Response: tx.Response, Flag: flag, Trace: tx.Trace}
 		if blockNum, ok := entry.TxBlock(tx.ID); ok {
 			res.BlockNum = blockNum
 		}
@@ -223,10 +256,12 @@ func (g *Gateway) orderAsync(tx ledger.Transaction) (Endorser, <-chan ledger.Val
 	entries := g.be.entryEndorsers()
 	entry := entries[int(g.be.rrNext())%len(entries)]
 	g.be.clientDelay(entry.ID())
+	start := time.Now()
 	waiter, err := entry.Order(tx)
 	if err != nil {
 		return nil, nil, fmt.Errorf("fabric: order tx %s: %w", tx.ID, err)
 	}
+	g.obsOrder.Observe(time.Since(start))
 	return entry, waiter, nil
 }
 
@@ -292,6 +327,7 @@ func (g *Gateway) SubmitBatchAsync(calls []chaincode.BatchCall) (string, <-chan 
 // groups them by result digest and assembles a signed batch envelope from
 // the largest agreeing group, retrying while lagging peers catch up.
 func (g *Gateway) endorseAndAssembleBatch(calls []chaincode.BatchCall) (*ledger.Transaction, error) {
+	start := time.Now()
 	prop, err := peer.NewBatchProposal(g.client, g.be.chName(), calls, g.be.now())
 	if err != nil {
 		return nil, err
@@ -311,7 +347,7 @@ func (g *Gateway) endorseAndAssembleBatch(calls []chaincode.BatchCall) (*ledger.
 		for i, c := range calls {
 			payload.Batch[i] = ledger.TxPayload{Chaincode: c.Chaincode, Fn: c.Fn, Args: c.Args}
 		}
-		tx, err := assembleSignedEnvelope(g.client, prop.TxID, g.be.chName(), payload, prop.Timestamp, best)
+		tx, err := assembleSignedEnvelope(g.client, prop.TxID, g.be.chName(), prop.Trace, payload, prop.Timestamp, best)
 		if err != nil {
 			return nil, err
 		}
@@ -319,6 +355,7 @@ func (g *Gateway) endorseAndAssembleBatch(calls []chaincode.BatchCall) (*ledger.
 			lastErr = perr
 			continue
 		}
+		g.obsEndorse.Observe(time.Since(start))
 		return tx, nil
 	}
 	return nil, fmt.Errorf("fabric: endorsement policy unsatisfiable after %d attempts: %w", endorseRetries, lastErr)

@@ -22,6 +22,7 @@ import (
 	"socialchain/internal/chaincode"
 	"socialchain/internal/consensus"
 	"socialchain/internal/msp"
+	"socialchain/internal/obs"
 	"socialchain/internal/ordering"
 	"socialchain/internal/peer"
 	"socialchain/internal/sim"
@@ -124,6 +125,16 @@ type Config struct {
 	// OS processes of one deployment construct identical identities. Empty
 	// (default) generates fresh random keys.
 	IdentitySeed string
+	// Obs, when non-nil, receives every component's metrics: per-peer
+	// pipeline histograms and commit counters (labelled channel+peer),
+	// ordering queue depths, consensus health and transport traffic. Nil
+	// (default) instruments nothing — the nil registry hands out dangling
+	// instruments, so hot paths carry only an atomic add either way.
+	Obs *obs.Registry
+	// SlowTraces, when non-nil, collects end-to-end trace records for
+	// committed transactions slower than its threshold (see obs.TraceRing),
+	// shared by every peer on every channel.
+	SlowTraces *obs.TraceRing
 }
 
 func (c *Config) fill() {
@@ -296,6 +307,7 @@ func (n *Network) buildTransports() error {
 		if err != nil {
 			return fmt.Errorf("fabric: transport %s: %w", n.ids[i], err)
 		}
+		tr.Counters().Register(cfg.Obs.With(obs.L("peer", n.ids[i])))
 		n.transports[i] = tr
 	}
 	for i, tr := range n.transports {

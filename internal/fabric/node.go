@@ -13,6 +13,7 @@ import (
 	"socialchain/internal/consensus"
 	"socialchain/internal/ledger"
 	"socialchain/internal/msp"
+	"socialchain/internal/obs"
 	"socialchain/internal/ordering"
 	"socialchain/internal/peer"
 	"socialchain/internal/storage"
@@ -54,6 +55,7 @@ type NodeConfig struct {
 type nodeChannel struct {
 	p         *peer.Peer
 	v         *consensus.Validator
+	dataDir   string // this peer's durable root on the channel ("" in-memory)
 	commitErr atomic.Uint64
 }
 
@@ -76,6 +78,14 @@ type Node struct {
 	ids      []string
 	channels map[string]*nodeChannel
 	order    []string
+
+	// Observability: every node carries a registry, health aggregator and
+	// slow-trace ring; the admin HTTP surface over them binds only when
+	// ServeAdmin is called.
+	obsReg *obs.Registry
+	health *obs.Health
+	traces *obs.TraceRing
+	admin  *obs.AdminServer
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -105,6 +115,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		registry: chaincode.NewRegistry(),
 		channels: make(map[string]*nodeChannel, net.NumChannels),
 		done:     make(chan struct{}),
+		obsReg:   obs.NewRegistry(),
+		health:   obs.NewHealth(0, nil),
+		traces:   obs.NewTraceRing(128, 0),
 	}
 	n.policy = net.Policy
 	if n.policy == nil {
@@ -140,6 +153,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	n.t = tr
 	n.rpc = transport.NewRPC(tr)
+	tr.Counters().Register(n.obsReg)
 
 	for i := 0; i < net.NumChannels; i++ {
 		name := net.channelName(i)
@@ -164,6 +178,7 @@ func (n *Node) buildChannel(name, dataDir string, signers []*msp.Signer, idents 
 	if dataDir != "" {
 		peerDir = channelPeerDir(dataDir, n.id)
 	}
+	chReg := n.obsReg.With(obs.L("channel", name))
 	p, err := peer.New(peer.Config{
 		ID:              n.id,
 		ChannelID:       name,
@@ -175,11 +190,13 @@ func (n *Node) buildChannel(name, dataDir string, signers []*msp.Signer, idents 
 		DataDir:         peerDir,
 		Indexes:         net.StateIndexes,
 		VerifyCacheSize: net.VerifyCacheSize,
+		Obs:             chReg,
+		SlowTraces:      n.traces,
 	})
 	if err != nil {
 		return nil, err
 	}
-	nc := &nodeChannel{p: p}
+	nc := &nodeChannel{p: p, dataDir: peerDir}
 	nc.v = consensus.NewValidator(consensus.Config{
 		ID:              n.id,
 		Validators:      n.ids,
@@ -190,6 +207,7 @@ func (n *Node) buildChannel(name, dataDir string, signers []*msp.Signer, idents 
 		RequestTimeout:  net.ConsensusTimeout,
 		OverlapWindow:   net.ConsensusOverlap,
 		VerifyCacheSize: net.VerifyCacheSize,
+		Obs:             chReg,
 		Deliver: func(seq uint64, payload []byte) {
 			batch, err := ordering.DecodeBatch(payload)
 			if err != nil {
@@ -202,6 +220,12 @@ func (n *Node) buildChannel(name, dataDir string, signers []*msp.Signer, idents 
 				nc.commitErr.Add(1)
 			}
 		},
+	})
+	n.health.Register(name, obs.Probe{
+		Height:   p.Height,
+		Backlog:  nc.v.Backlog,
+		Peers:    n.t.ConnectedPeers,
+		MinPeers: 1,
 	})
 	return nc, nil
 }
@@ -270,6 +294,7 @@ func (n *Node) Close() error {
 	n.closed = true
 	started := n.started
 	n.mu.Unlock()
+	n.admin.Close()
 	close(n.done)
 	n.wg.Wait()
 	if started {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"socialchain/internal/obs"
 	"socialchain/internal/ordering"
 	"socialchain/internal/transport"
 )
@@ -38,6 +39,10 @@ type Orderer struct {
 	order    []string
 	peerIDs  []string
 
+	obsReg *obs.Registry
+	health *obs.Health
+	admin  *obs.AdminServer
+
 	mu      sync.Mutex
 	started bool
 	closed  bool
@@ -53,6 +58,8 @@ func NewOrderer(cfg OrdererConfig) (*Orderer, error) {
 	o := &Orderer{
 		net:      net,
 		services: make(map[string]*ordering.Service, net.NumChannels),
+		obsReg:   obs.NewRegistry(),
+		health:   obs.NewHealth(0, nil),
 	}
 	for i := 0; i < net.NumPeers; i++ {
 		s, err := networkSigner(&net, i)
@@ -77,11 +84,17 @@ func NewOrderer(cfg OrdererConfig) (*Orderer, error) {
 	}
 	o.t = tr
 	o.rpc = transport.NewRPC(tr)
+	tr.Counters().Register(o.obsReg)
 
 	for i := 0; i < net.NumChannels; i++ {
 		name := net.channelName(i)
 		prop := &rpcProposer{rpc: o.rpc, channel: name, peers: o.peerIDs}
-		o.services[name] = ordering.NewService(net.Cutter, prop, net.Clock)
+		svc := ordering.NewService(net.Cutter, prop, net.Clock)
+		svc.Observe(o.obsReg.With(obs.L("channel", name)))
+		// The orderer holds no chain, so its health is pure connectivity:
+		// it must reach at least one validator to make progress.
+		o.health.Register(name, obs.Probe{Peers: o.t.ConnectedPeers, MinPeers: 1})
+		o.services[name] = svc
 		o.order = append(o.order, name)
 	}
 	o.rpc.Handle(methodSubmit, o.handleSubmit)
@@ -117,6 +130,7 @@ func (o *Orderer) Close() error {
 	o.closed = true
 	started := o.started
 	o.mu.Unlock()
+	o.admin.Close()
 	if started {
 		for _, name := range o.order {
 			o.services[name].Stop()

@@ -11,6 +11,7 @@ import (
 
 	"socialchain/internal/ledger"
 	"socialchain/internal/msp"
+	"socialchain/internal/obs"
 	"socialchain/internal/ordering"
 	"socialchain/internal/peer"
 	"socialchain/internal/transport"
@@ -35,6 +36,10 @@ type RemoteConfig struct {
 	ID string
 	// RPCTimeout bounds non-blocking calls (endorse, height; default 15s).
 	RPCTimeout time.Duration
+	// Obs, when non-nil, receives the client side of the lifecycle spans
+	// (endorse / order / commit_wait histograms, per channel) and the
+	// client endpoint's transport counters. Nil instruments nothing.
+	Obs *obs.Registry
 }
 
 // Remote is a client-side connection to an out-of-process deployment. It
@@ -89,6 +94,7 @@ func Dial(cfg RemoteConfig) (*Remote, error) {
 	if err != nil {
 		return nil, err
 	}
+	tr.Counters().Register(cfg.Obs.With(obs.L("peer", id)))
 	r := &Remote{
 		cfg:      cfg,
 		net:      net,
@@ -183,7 +189,7 @@ func (rc *RemoteChannel) Name() string { return rc.name }
 // Gateway creates a client bound to this remote channel. Gateway.Channel
 // returns nil for remote gateways; everything else behaves as in-process.
 func (rc *RemoteChannel) Gateway(client *msp.Signer) *Gateway {
-	return &Gateway{be: rc, client: client}
+	return newGateway(rc, nil, client)
 }
 
 func (rc *RemoteChannel) chName() string               { return rc.name }
@@ -205,6 +211,10 @@ func (rc *RemoteChannel) activeEndorsers() []Endorser {
 func (rc *RemoteChannel) entryEndorsers() []Endorser { return rc.activeEndorsers() }
 
 func (rc *RemoteChannel) rrNext() uint64 { return rc.rr.Add(1) }
+
+func (rc *RemoteChannel) obsReg() *obs.Registry {
+	return rc.r.cfg.Obs.With(obs.L("channel", rc.name))
+}
 
 // remoteEndorser speaks one peer process's RPC surface; the orderer's
 // submit is reached through the channel's shared connection.

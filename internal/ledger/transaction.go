@@ -46,6 +46,12 @@ type Transaction struct {
 	Endorsements []msp.Endorsement `json:"endorsements"`
 	Timestamp    time.Time         `json:"timestamp"`
 	Signature    []byte            `json:"signature,omitempty"`
+	// Trace is the observability trace ID carried from the proposal into
+	// the committed envelope. Every replica stores the identical value (it
+	// is part of the envelope the orderer replicates), so replica chains
+	// stay byte-identical; it is outside SigningBytes, so signatures are
+	// unaffected.
+	Trace string `json:"trace,omitempty"`
 
 	// digestMemo caches Digest (a JSON re-serialisation of the read/write
 	// set per call otherwise): commit-time validation needs the digest for

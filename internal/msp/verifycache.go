@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"socialchain/internal/metrics"
+	"socialchain/internal/obs"
 )
 
 // DefaultVerifyCacheSize bounds a VerifyCache built with size <= 0. The
@@ -116,6 +117,17 @@ func (c *VerifyCache) store(key [32]byte, ok bool) {
 		}
 	}
 	c.entries[key] = c.order.PushFront(&verifyCacheEntry{key: key, ok: ok})
+}
+
+// Register publishes the cache's hit/miss counters into an obs registry
+// (nil-safe on both sides): the hot-path accounting that previously only
+// tests could reach becomes scrapeable at /metrics.
+func (c *VerifyCache) Register(reg *obs.Registry) {
+	if c == nil {
+		return
+	}
+	reg.CounterFunc("verify_cache_hits_total", "Signature verifications answered from the verify cache.", c.hits.Load)
+	reg.CounterFunc("verify_cache_misses_total", "Signature verifications that ran ed25519.", c.misses.Load)
 }
 
 // Hits reports cache hits (nil-safe).

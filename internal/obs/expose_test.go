@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte for byte:
+// HELP/TYPE headers, sorted families, sorted series, cumulative buckets
+// with +Inf, _sum and _count. Scrapers parse this; the golden keeps the
+// format stable.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "Things counted.", L("peer", "p1")).Add(3)
+	reg.Counter("b_total", "Things counted.", L("peer", "p0")).Add(7)
+	reg.CounterFunc("c_fn_total", "Sampled counter.", func() int64 { return 42 })
+	reg.GaugeFunc("a_gauge", `Height with "quotes" and \slash.`, func() float64 { return 12.5 })
+	h := reg.Histogram("d_seconds", "Latency.", []float64{0.001, 0.01, 0.1}, L("stage", "commit"))
+	h.Observe(500 * time.Microsecond) // le=0.001
+	h.Observe(5 * time.Millisecond)   // le=0.01
+	h.Observe(5 * time.Millisecond)   // le=0.01
+	h.Observe(2 * time.Second)        // +Inf
+
+	const want = `# HELP a_gauge Height with "quotes" and \\slash.
+# TYPE a_gauge gauge
+a_gauge 12.5
+# HELP b_total Things counted.
+# TYPE b_total counter
+b_total{peer="p0"} 7
+b_total{peer="p1"} 3
+# HELP c_fn_total Sampled counter.
+# TYPE c_fn_total counter
+c_fn_total 42
+# HELP d_seconds Latency.
+# TYPE d_seconds histogram
+d_seconds_bucket{stage="commit",le="0.001"} 1
+d_seconds_bucket{stage="commit",le="0.01"} 3
+d_seconds_bucket{stage="commit",le="0.1"} 3
+d_seconds_bucket{stage="commit",le="+Inf"} 4
+d_seconds_sum{stage="commit"} 2.0105
+d_seconds_count{stage="commit"} 4
+`
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Probe is one channel's liveness instrumentation: sampled, not pushed, so
+// a wedged channel cannot wedge its own health report.
+type Probe struct {
+	// Height samples the channel's chain height.
+	Height func() uint64
+	// Backlog samples work awaiting consensus/commit (pending consensus
+	// requests plus undelivered executor items). A non-zero backlog with
+	// no height advance for StallAfter marks the channel unhealthy.
+	Backlog func() int
+	// Peers samples connected transport peers (nil when the process has
+	// no wire transport, e.g. the in-process demo).
+	Peers func() int
+	// MinPeers is the connectivity floor: fewer connected peers than this
+	// marks the channel unhealthy. Zero disables the check.
+	MinPeers int
+}
+
+// ChannelStatus is one channel's verdict in a health report.
+type ChannelStatus struct {
+	Channel string `json:"channel"`
+	Healthy bool   `json:"healthy"`
+	Reason  string `json:"reason,omitempty"`
+	Height  uint64 `json:"height"`
+	Backlog int    `json:"backlog"`
+	Peers   int    `json:"peers_connected"`
+}
+
+// HealthStatus is the full /healthz report.
+type HealthStatus struct {
+	Healthy  bool            `json:"healthy"`
+	Channels []ChannelStatus `json:"channels"`
+}
+
+// Health aggregates per-channel liveness probes into the /healthz verdict.
+// The stall rule is edge-triggered on height: every Check that sees the
+// height advance resets the channel's stall clock; a channel with work
+// backed up (Backlog > 0) whose height has not advanced for StallAfter is
+// unhealthy — exactly the "consensus executor wedged / quorum lost" state
+// that is otherwise invisible until a client times out.
+type Health struct {
+	stallAfter time.Duration
+	now        func() time.Time
+
+	mu       sync.Mutex
+	channels map[string]*channelHealth
+}
+
+type channelHealth struct {
+	probe       Probe
+	seen        bool
+	lastHeight  uint64
+	lastAdvance time.Time
+}
+
+// NewHealth creates a health aggregator. stallAfter <= 0 defaults to 5s;
+// now == nil uses time.Now (tests inject a fake clock).
+func NewHealth(stallAfter time.Duration, now func() time.Time) *Health {
+	if stallAfter <= 0 {
+		stallAfter = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Health{stallAfter: stallAfter, now: now, channels: make(map[string]*channelHealth)}
+}
+
+// Register adds (or replaces) one channel's probe.
+func (h *Health) Register(channel string, p Probe) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.channels[channel] = &channelHealth{probe: p}
+	h.mu.Unlock()
+}
+
+// Check samples every probe and renders the verdict.
+func (h *Health) Check() HealthStatus {
+	if h == nil {
+		return HealthStatus{Healthy: true}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.now()
+	report := HealthStatus{Healthy: true}
+	names := make([]string, 0, len(h.channels))
+	for name := range h.channels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ch := h.channels[name]
+		st := ChannelStatus{Channel: name, Healthy: true}
+		if ch.probe.Height != nil {
+			st.Height = ch.probe.Height()
+		}
+		if !ch.seen || st.Height > ch.lastHeight {
+			ch.seen = true
+			ch.lastHeight = st.Height
+			ch.lastAdvance = now
+		}
+		if ch.probe.Backlog != nil {
+			st.Backlog = ch.probe.Backlog()
+		}
+		if st.Backlog > 0 && now.Sub(ch.lastAdvance) >= h.stallAfter {
+			st.Healthy = false
+			st.Reason = "consensus stalled: backlog with no height advance"
+		}
+		if ch.probe.Peers != nil {
+			st.Peers = ch.probe.Peers()
+			if st.Healthy && ch.probe.MinPeers > 0 && st.Peers < ch.probe.MinPeers {
+				st.Healthy = false
+				st.Reason = "transport: too few connected peers"
+			}
+		}
+		if !st.Healthy {
+			report.Healthy = false
+		}
+		report.Channels = append(report.Channels, st)
+	}
+	return report
+}

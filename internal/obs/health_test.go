@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock for driving the stall rule.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func channel(st HealthStatus, name string) ChannelStatus {
+	for _, ch := range st.Channels {
+		if ch.Channel == name {
+			return ch
+		}
+	}
+	return ChannelStatus{}
+}
+
+// TestHealthStallRule drives the edge-triggered stall detector: a channel
+// with backlog but no height advance flips unhealthy after stallAfter, and
+// a height advance resets the clock.
+func TestHealthStallRule(t *testing.T) {
+	clock := newFakeClock()
+	var height uint64 = 5
+	backlog := 0
+	h := NewHealth(5*time.Second, clock.now)
+	h.Register("ch0", Probe{
+		Height:  func() uint64 { return height },
+		Backlog: func() int { return backlog },
+	})
+
+	if st := h.Check(); !st.Healthy {
+		t.Fatalf("fresh channel unhealthy: %+v", st)
+	}
+
+	// Backlog appears but the clock has not run out: still healthy.
+	backlog = 3
+	clock.advance(4 * time.Second)
+	if st := h.Check(); !st.Healthy {
+		t.Fatalf("healthy window violated: %+v", st)
+	}
+
+	// Past stallAfter with no height advance: unhealthy, with the reason.
+	clock.advance(2 * time.Second)
+	st := h.Check()
+	if st.Healthy {
+		t.Fatalf("stalled channel reported healthy: %+v", st)
+	}
+	if got := channel(st, "ch0").Reason; got != "consensus stalled: backlog with no height advance" {
+		t.Fatalf("stall reason = %q", got)
+	}
+
+	// Height advances: the stall clock resets and health recovers even
+	// though backlog is still draining.
+	height = 6
+	if st := h.Check(); !st.Healthy {
+		t.Fatalf("height advance did not recover health: %+v", st)
+	}
+
+	// Backlog drains entirely: no stall regardless of elapsed time.
+	backlog = 0
+	clock.advance(time.Hour)
+	if st := h.Check(); !st.Healthy {
+		t.Fatalf("idle channel reported unhealthy: %+v", st)
+	}
+}
+
+// TestHealthPeerFloor: fewer connected peers than MinPeers is unhealthy.
+func TestHealthPeerFloor(t *testing.T) {
+	clock := newFakeClock()
+	peers := 3
+	h := NewHealth(0, clock.now)
+	h.Register("ch0", Probe{
+		Peers:    func() int { return peers },
+		MinPeers: 2,
+	})
+	if st := h.Check(); !st.Healthy {
+		t.Fatalf("connected channel unhealthy: %+v", st)
+	}
+	peers = 1
+	st := h.Check()
+	if st.Healthy {
+		t.Fatalf("isolated channel healthy: %+v", st)
+	}
+	if got := channel(st, "ch0").Reason; got != "transport: too few connected peers" {
+		t.Fatalf("peer-floor reason = %q", got)
+	}
+	peers = 5
+	if st := h.Check(); !st.Healthy {
+		t.Fatalf("reconnected channel still unhealthy: %+v", st)
+	}
+}
+
+// TestHealthNilAggregatorIsHealthy: a role with no health wiring always
+// answers healthy instead of panicking.
+func TestHealthNilAggregatorIsHealthy(t *testing.T) {
+	var h *Health
+	h.Register("ch0", Probe{})
+	if st := h.Check(); !st.Healthy {
+		t.Fatal("nil Health should report healthy")
+	}
+}

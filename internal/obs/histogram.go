@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets is the default latency bucket layout (seconds): 100µs — 10s,
+// tuned to the pipeline's observed range (sub-millisecond endorsement,
+// tens-of-milliseconds commits, second-scale commit waits under load).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// observation: one atomic add per bucket hit plus sum/count, no locks, no
+// allocation. Bucket counts are per-bucket (not cumulative); the Prometheus
+// writer accumulates at scrape time.
+type Histogram struct {
+	bounds   []float64 // ascending upper bounds, seconds
+	counts   []atomic.Int64
+	sumNanos atomic.Int64
+	count    atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed samples.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNanos.Load()) }
+
+// Quantile estimates the q-quantile (0..1) in seconds by linear
+// interpolation within the owning bucket — the same estimate
+// histogram_quantile() would compute from the exported buckets. It returns
+// 0 with no samples; samples beyond the last bound clamp to it.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	cum := 0.0
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (target - cum) / n
+			return lo + (hi-lo)*math.Min(1, math.Max(0, frac))
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}

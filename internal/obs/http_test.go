@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// TestAdminSurface exercises the full endpoint contract over a real
+// listener: /metrics serves the exposition with the Prometheus content
+// type, /healthz flips 200 -> 503 -> 200 as the injected probes stall and
+// recover, /statusz serves the callback's JSON, and pprof answers.
+func TestAdminSurface(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total", "Requests.", L("peer", "p0")).Add(9)
+
+	clock := newFakeClock()
+	var height uint64 = 3
+	backlog := 0
+	health := NewHealth(5*time.Second, clock.now)
+	health.Register("social", Probe{
+		Height:  func() uint64 { return height },
+		Backlog: func() int { return backlog },
+	})
+
+	srv, err := ServeAdmin("127.0.0.1:0", reg, health, func() any {
+		return map[string]any{"role": "peer", "height": height}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, `requests_total{peer="p0"} 9`) {
+		t.Fatalf("/metrics missing series:\n%s", body)
+	}
+
+	code, body, _ = get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthy /healthz status %d: %s", code, body)
+	}
+
+	// Stall consensus: backlog with no height advance past the window.
+	backlog = 4
+	health.Check() // observe the backlogged state at t0
+	clock.advance(6 * time.Second)
+	code, body, _ = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("stalled /healthz status %d, want 503: %s", code, body)
+	}
+	var report HealthStatus
+	if err := json.Unmarshal([]byte(body), &report); err != nil {
+		t.Fatalf("/healthz body not JSON: %v\n%s", err, body)
+	}
+	if report.Healthy || len(report.Channels) != 1 || report.Channels[0].Reason == "" {
+		t.Fatalf("stalled report = %+v", report)
+	}
+
+	// Height advances: back to 200.
+	height = 4
+	code, _, _ = get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("recovered /healthz status %d", code)
+	}
+
+	code, body, _ = get(t, base+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status %d", code)
+	}
+	var status map[string]any
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("/statusz body not JSON: %v\n%s", err, body)
+	}
+	if status["role"] != "peer" {
+		t.Fatalf("/statusz = %v", status)
+	}
+
+	code, _, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestAdminSurfaceNilParts: every wiring may be absent and the endpoints
+// degrade instead of 404ing.
+func TestAdminSurfaceNilParts(t *testing.T) {
+	srv, err := ServeAdmin("127.0.0.1:0", nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if code, body, _ := get(t, base+"/metrics"); code != http.StatusOK || body != "" {
+		t.Fatalf("/metrics on nil registry: %d %q", code, body)
+	}
+	if code, _, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz on nil health: %d", code)
+	}
+	code, body, _ := get(t, base+"/statusz")
+	if code != http.StatusOK || !json.Valid([]byte(body)) {
+		t.Fatalf("/statusz on nil fn: %d %q", code, body)
+	}
+}
+
+func TestAdminServerNilSafe(t *testing.T) {
+	var srv *AdminServer
+	if srv.Addr() != "" {
+		t.Fatal("nil AdminServer Addr should be empty")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("nil AdminServer Close: %v", err)
+	}
+}

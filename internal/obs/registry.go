@@ -1,0 +1,228 @@
+// Package obs is the runtime observability layer: a process-wide metrics
+// registry (named, label-capable counters, gauges and low-overhead bucketed
+// latency histograms), transaction-lifecycle tracing, per-channel health
+// probes, and the admin HTTP surface (/metrics, /healthz, /statusz, pprof)
+// every daemon can expose. It replaces the Grafana / Hyperledger Explorer
+// dashboards of the paper's testbed with per-node introspection: in a
+// decentralized deployment each process answers for itself.
+//
+// Hot-path discipline: instruments are plain atomics (the registry mutex is
+// taken only at registration and scrape time), and every Registry method is
+// nil-receiver safe — a nil *Registry hands back dangling but fully usable
+// instruments, so instrumented code never branches on "is observability on".
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"socialchain/internal/metrics"
+)
+
+// Label is one key=value dimension on a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type metricType int
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance of a family. Exactly one of the value
+// fields is set, matching the family's type.
+type series struct {
+	labels    []Label
+	counter   *metrics.Counter
+	counterFn func() int64
+	gaugeFn   func() float64
+	hist      *Histogram
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	buckets []float64 // histogram families only; first registration wins
+	series  map[string]*series
+}
+
+// registryCore is the shared store behind every scoped Registry view.
+type registryCore struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// Registry is a handle on a metric store, optionally scoped with a fixed
+// label set (see With). The zero of usefulness is nil: every method on a
+// nil Registry returns a working, unregistered instrument, so callers
+// instrument unconditionally and pay only the atomic increment.
+type Registry struct {
+	core  *registryCore
+	scope []Label
+}
+
+// NewRegistry creates an empty metric store.
+func NewRegistry() *Registry {
+	return &Registry{core: &registryCore{families: make(map[string]*family)}}
+}
+
+// With returns a view of the same store that stamps the given labels onto
+// every instrument registered through it — how a node scopes one shared
+// registry per channel or per peer without the instrumented packages
+// knowing the label vocabulary. With on a nil Registry is nil.
+func (r *Registry) With(labels ...Label) *Registry {
+	if r == nil {
+		return nil
+	}
+	scope := make([]Label, 0, len(r.scope)+len(labels))
+	scope = append(scope, r.scope...)
+	scope = append(scope, labels...)
+	return &Registry{core: r.core, scope: scope}
+}
+
+func (r *Registry) merged(labels []Label) []Label {
+	out := make([]Label, 0, len(r.scope)+len(labels))
+	out = append(out, r.scope...)
+	out = append(out, labels...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// labelKey renders a sorted label set into the map key for its series.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// getOrCreate returns the series for (name, labels), creating family and
+// series as needed. A name reused with a different type yields nil and the
+// caller hands back a dangling instrument instead of corrupting the family.
+func (r *Registry) getOrCreate(name, help string, typ metricType, buckets []float64, labels []Label) *series {
+	merged := r.merged(labels)
+	r.core.mu.Lock()
+	defer r.core.mu.Unlock()
+	f, ok := r.core.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets, series: make(map[string]*series)}
+		r.core.families[name] = f
+	}
+	if f.typ != typ {
+		return nil
+	}
+	key := labelKey(merged)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: merged}
+		switch typ {
+		case counterType:
+			s.counter = new(metrics.Counter)
+		case histogramType:
+			s.hist = newHistogram(f.buckets)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter registers (or fetches) a named counter. The returned
+// *metrics.Counter is the same atomic the rest of the codebase already
+// uses, now scrapeable — bump it with Inc/Add exactly as before.
+func (r *Registry) Counter(name, help string, labels ...Label) *metrics.Counter {
+	if r == nil {
+		return new(metrics.Counter)
+	}
+	s := r.getOrCreate(name, help, counterType, nil, labels)
+	if s == nil {
+		return new(metrics.Counter)
+	}
+	return s.counter
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — how pre-existing ad-hoc counters (transport frame/byte counters,
+// cache hits) join the registry without moving.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	if s := r.getOrCreate(name, help, counterType, nil, labels); s != nil {
+		s.counterFn = fn
+		s.counter = nil
+	}
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time (heights,
+// queue depths, hit rates).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	if s := r.getOrCreate(name, help, gaugeType, nil, labels); s != nil {
+		s.gaugeFn = fn
+	}
+}
+
+// Histogram registers (or fetches) a bucketed latency histogram. A nil
+// buckets slice uses DefBuckets. The first registration of a family fixes
+// its bucket layout; later series share it.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	if r == nil {
+		return newHistogram(buckets)
+	}
+	s := r.getOrCreate(name, help, histogramType, buckets, labels)
+	if s == nil {
+		return newHistogram(buckets)
+	}
+	return s.hist
+}
+
+// snapshot returns families sorted by name with series sorted by label
+// key, for rendering. Values are read live (atomics / sample funcs).
+func (r *Registry) snapshot() []*family {
+	if r == nil {
+		return nil
+	}
+	r.core.mu.Lock()
+	defer r.core.mu.Unlock()
+	out := make([]*family, 0, len(r.core.families))
+	for _, f := range r.core.families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

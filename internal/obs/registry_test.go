@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrency hammers counters and histograms from many
+// goroutines while a scraper renders the exposition in a loop — the
+// real shape of a node under load being polled. Run under -race this is
+// the registry's thread-safety proof; the exact final counts prove no
+// increment was lost.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	ctr := reg.Counter("ops_total", "ops")
+	hist := reg.Histogram("op_seconds", "op latency", nil)
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := reg.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Mix direct instrument use with registration-path fetches and
+			// label-scoped views, so the family map is read and written
+			// concurrently with scrapes.
+			scoped := reg.With(L("worker", "w"))
+			for i := 0; i < perW; i++ {
+				ctr.Inc()
+				hist.Observe(time.Duration(i) * time.Microsecond)
+				reg.Counter("ops_total", "ops").Inc()
+				scoped.Counter("scoped_total", "scoped ops").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	if got := ctr.Load(); got != workers*perW*2 {
+		t.Fatalf("ops_total = %d, want %d", got, workers*perW*2)
+	}
+	if got := hist.Count(); got != workers*perW {
+		t.Fatalf("op_seconds count = %d, want %d", got, workers*perW)
+	}
+	if got := reg.With(L("worker", "w")).Counter("scoped_total", "").Load(); got != workers*perW {
+		t.Fatalf("scoped_total = %d, want %d", got, workers*perW)
+	}
+}
+
+// TestNilRegistryInstrumentsAreUsable is the hot-path contract: a nil
+// registry hands back dangling but working instruments, so instrumented
+// code never branches on observability being enabled.
+func TestNilRegistryInstrumentsAreUsable(t *testing.T) {
+	var reg *Registry
+	if reg.With(L("a", "b")) != nil {
+		t.Fatal("With on nil registry should stay nil")
+	}
+	c := reg.Counter("c", "")
+	c.Inc()
+	if c.Load() != 1 {
+		t.Fatal("dangling counter did not count")
+	}
+	h := reg.Histogram("h", "", nil)
+	h.Observe(time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatal("dangling histogram did not observe")
+	}
+	reg.CounterFunc("cf", "", func() int64 { return 0 })
+	reg.GaugeFunc("gf", "", func() float64 { return 0 })
+	if err := reg.WritePrometheus(io.Discard); err != nil {
+		t.Fatalf("WritePrometheus on nil registry: %v", err)
+	}
+}
+
+// TestRegistryRefetchReturnsSameInstrument: same name + labels = same
+// atomic, which is how trafficgen reads gateway histograms back out.
+func TestRegistryRefetchReturnsSameInstrument(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("hits", "h", L("peer", "p0"))
+	b := reg.Counter("hits", "h", L("peer", "p0"))
+	if a != b {
+		t.Fatal("re-fetching a counter returned a different instrument")
+	}
+	h1 := reg.Histogram("lat", "l", nil, L("stage", "endorse"))
+	h2 := reg.With().Histogram("lat", "", nil, L("stage", "endorse"))
+	if h1 != h2 {
+		t.Fatal("re-fetching a histogram returned a different instrument")
+	}
+	if other := reg.Counter("hits", "h", L("peer", "p1")); other == a {
+		t.Fatal("different label set shares an instrument")
+	}
+}
+
+// TestRegistryTypeMismatchDangles: reusing a family name with another
+// type must not corrupt the family — the caller gets a dangling
+// instrument and the original series keeps rendering.
+func TestRegistryTypeMismatchDangles(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("versatile", "counter first").Inc()
+	h := reg.Histogram("versatile", "now a histogram?", nil)
+	h.Observe(time.Second) // must not panic or leak into the counter family
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE versatile counter") {
+		t.Fatalf("counter family lost after type mismatch:\n%s", out)
+	}
+	if strings.Contains(out, "versatile_bucket") {
+		t.Fatalf("histogram leaked into a counter family:\n%s", out)
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// NewTraceID mints a transaction trace ID at submission time: 8 random
+// bytes, hex-encoded. It is carried in the tx payload across every
+// transport/RPC hop so one submission can be followed through endorse →
+// order → consensus → validate → commit on any node it touches. Trace IDs
+// are deliberately outside the signed byte ranges (Proposal.SigningBytes,
+// Transaction.SigningBytes), so tracing never perturbs signatures or
+// replica byte-identity.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable elsewhere in the stack too;
+		// an empty trace just means this tx goes untraced.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// TraceRecord is one slow transaction retained in the ring: the trace ID,
+// where it committed, and the stage timings measured at the committing
+// peer.
+type TraceRecord struct {
+	Trace    string        `json:"trace"`
+	TxID     string        `json:"tx_id"`
+	Channel  string        `json:"channel"`
+	Block    uint64        `json:"block"`
+	E2E      time.Duration `json:"e2e_ns"`
+	Validate time.Duration `json:"validate_ns"`
+	Commit   time.Duration `json:"commit_ns"`
+}
+
+// TraceRing is a bounded in-memory ring of recent slow traces: commits
+// whose end-to-end latency (submission timestamp → commit) exceeded the
+// threshold. It answers "which transactions were slow, and where did the
+// time go" from /statusz without any external tracing backend.
+type TraceRing struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	buf       []TraceRecord
+	next      int
+	full      bool
+}
+
+// NewTraceRing creates a ring holding up to size records of transactions
+// slower than threshold end to end. size <= 0 defaults to 64; threshold
+// <= 0 records every traced commit.
+func NewTraceRing(size int, threshold time.Duration) *TraceRing {
+	if size <= 0 {
+		size = 64
+	}
+	return &TraceRing{threshold: threshold, buf: make([]TraceRecord, size)}
+}
+
+// Observe offers one committed transaction to the ring; it is retained
+// only when its end-to-end latency is at or above the threshold.
+func (tr *TraceRing) Observe(rec TraceRecord) {
+	if tr == nil || rec.E2E < tr.threshold {
+		return
+	}
+	tr.mu.Lock()
+	tr.buf[tr.next] = rec
+	tr.next++
+	if tr.next == len(tr.buf) {
+		tr.next = 0
+		tr.full = true
+	}
+	tr.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, oldest first.
+func (tr *TraceRing) Snapshot() []TraceRecord {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var out []TraceRecord
+	if tr.full {
+		out = append(out, tr.buf[tr.next:]...)
+	}
+	out = append(out, tr.buf[:tr.next]...)
+	return out
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("trace IDs %q/%q, want 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("two trace IDs collided: %q", a)
+	}
+}
+
+func TestTraceRingThresholdAndWrap(t *testing.T) {
+	ring := NewTraceRing(4, 10*time.Millisecond)
+	ring.Observe(TraceRecord{Trace: "fast", E2E: time.Millisecond}) // below threshold: dropped
+	for i := 0; i < 6; i++ {
+		ring.Observe(TraceRecord{Trace: string(rune('a' + i)), E2E: time.Second})
+	}
+	got := ring.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d records, want 4", len(got))
+	}
+	// Oldest first, the two earliest slow records evicted by the wrap.
+	want := []string{"c", "d", "e", "f"}
+	for i, rec := range got {
+		if rec.Trace != want[i] {
+			t.Fatalf("ring[%d] = %q, want %q (full: %+v)", i, rec.Trace, want[i], got)
+		}
+	}
+}
+
+func TestTraceRingNilSafe(t *testing.T) {
+	var ring *TraceRing
+	ring.Observe(TraceRecord{Trace: "x", E2E: time.Second})
+	if got := ring.Snapshot(); got != nil {
+		t.Fatalf("nil ring snapshot = %+v", got)
+	}
+}

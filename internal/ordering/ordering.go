@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"socialchain/internal/ledger"
+	"socialchain/internal/obs"
 	"socialchain/internal/sim"
 )
 
@@ -197,6 +198,17 @@ func (s *Service) propose(b Batch) {
 	s.proposed++
 	s.mu.Unlock()
 	s.validator.Propose(b.Encode())
+}
+
+// Observe publishes the service's cutter instrumentation into an obs
+// registry: queue depth (the backpressure picture) and batches proposed.
+func (s *Service) Observe(reg *obs.Registry) {
+	reg.GaugeFunc("ordering_pending_txs", "Transactions buffered awaiting a batch cut.", func() float64 {
+		return float64(s.PendingTxs())
+	})
+	reg.CounterFunc("ordering_batches_proposed_total", "Batches proposed to consensus.", func() int64 {
+		return int64(s.Proposed())
+	})
 }
 
 // Proposed reports how many batches this service has proposed.

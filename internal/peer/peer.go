@@ -10,7 +10,9 @@ import (
 
 	"socialchain/internal/chaincode"
 	"socialchain/internal/ledger"
+	"socialchain/internal/metrics"
 	"socialchain/internal/msp"
+	"socialchain/internal/obs"
 	"socialchain/internal/statedb"
 	"socialchain/internal/storage"
 )
@@ -51,6 +53,17 @@ type Peer struct {
 	mu          sync.Mutex
 	commitWait  map[string][]chan ledger.ValidationCode
 	subscribers []chan chaincode.Event
+
+	// Observability instruments (always non-nil: a nil Config.Obs hands
+	// back dangling atomics, so the hot path never branches).
+	obsEndorse  *obs.Histogram // endorse_exec: simulate + sign one proposal
+	obsValidate *obs.Histogram // validate: the validation half of a block
+	obsCommit   *obs.Histogram // commit: the durable half of a block
+	obsE2E      *obs.Histogram // submission timestamp -> commit, per tx
+	txValid     *metrics.Counter
+	txInvalid   *metrics.Counter
+	blocks      *metrics.Counter
+	slowTraces  *obs.TraceRing // nil unless the node wires a ring
 }
 
 // Config assembles a peer.
@@ -82,6 +95,13 @@ type Config struct {
 	// VerifyCacheSize bounds the peer's signature verify cache
 	// (0 selects msp.DefaultVerifyCacheSize).
 	VerifyCacheSize int
+	// Obs receives this peer's metrics: per-stage latency histograms,
+	// commit counters, chain height and verify-cache hit rates. nil keeps
+	// the peer fully functional with unregistered (dangling) instruments.
+	Obs *obs.Registry
+	// SlowTraces, when non-nil, retains recent slow commits (trace ID +
+	// stage timings) for the /statusz ring.
+	SlowTraces *obs.TraceRing
 }
 
 // New creates a peer anchored by a genesis block — or, when cfg.DataDir
@@ -120,7 +140,22 @@ func New(cfg Config) (*Peer, error) {
 		watchdog:    wd,
 		verifyCache: msp.NewVerifyCache(cfg.VerifyCacheSize),
 		commitWait:  make(map[string][]chan ledger.ValidationCode),
+		slowTraces:  cfg.SlowTraces,
 	}
+	const stageHelp = "Per-stage transaction pipeline latency."
+	p.obsEndorse = cfg.Obs.Histogram("tx_stage_seconds", stageHelp, nil, obs.L("stage", "endorse_exec"))
+	p.obsValidate = cfg.Obs.Histogram("tx_stage_seconds", stageHelp, nil, obs.L("stage", "validate"))
+	p.obsCommit = cfg.Obs.Histogram("tx_stage_seconds", stageHelp, nil, obs.L("stage", "commit"))
+	p.obsE2E = cfg.Obs.Histogram("tx_commit_e2e_seconds", "Submission timestamp to commit, per transaction.", nil)
+	p.txValid = cfg.Obs.Counter("peer_txs_committed_total", "Transactions committed VALID.")
+	p.txInvalid = cfg.Obs.Counter("peer_txs_invalid_total", "Transactions committed with a non-VALID flag.")
+	p.blocks = cfg.Obs.Counter("peer_blocks_committed_total", "Blocks committed on the live path.")
+	cfg.Obs.GaugeFunc("chain_height", "Current chain height (blocks).", func() float64 {
+		return float64(p.ledger.Height())
+	})
+	// component distinguishes this cache from the consensus replica's,
+	// which registers the same family on the same node-scoped registry.
+	p.verifyCache.Register(cfg.Obs.With(obs.L("component", "peer")))
 	if cfg.DataDir != "" {
 		blockLog, err := ledger.OpenLog(filepath.Join(cfg.DataDir, "blocks.wal"))
 		if err != nil {
@@ -288,10 +323,12 @@ func (p *Peer) Endorse(prop *Proposal) (*ProposalResponse, error) {
 		Creator:   prop.Creator,
 		Timestamp: prop.Timestamp,
 	}, prop.Chaincode, p.state, p.history).WithRegistry(p.registry)
+	start := time.Now()
 	resp, err := cc.Invoke(sim, prop.Fn, prop.Args)
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: chaincode %s.%s: %w", p.id, prop.Chaincode, prop.Fn, err)
 	}
+	p.obsEndorse.Observe(time.Since(start))
 	return p.respond(prop.TxID, sim, resp)
 }
 
@@ -315,10 +352,12 @@ func (p *Peer) EndorseBatch(prop *BatchProposal) (*ProposalResponse, error) {
 		Creator:   prop.Creator,
 		Timestamp: prop.Timestamp,
 	}, prop.Calls[0].Chaincode, p.state, p.history).WithRegistry(p.registry)
+	start := time.Now()
 	responses, err := sim.InvokeBatch(prop.Calls)
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: %w", p.id, err)
 	}
+	p.obsEndorse.Observe(time.Since(start))
 	resp, err := json.Marshal(responses)
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: marshal batch responses: %w", p.id, err)
@@ -403,13 +442,37 @@ func (p *Peer) CommitBatch(txs []ledger.Transaction) (*ledger.Block, error) {
 	defer p.commitMu.Unlock()
 	number := p.ledger.Height()
 	block := ledger.NewBlock(number, p.ledger.TipHash(), txs, batchTimestamp(txs))
+	vStart := time.Now()
 	flags, updates, validIdx, err := p.validateBlock(number, block.Txs, nil)
 	if err != nil {
 		return nil, err
 	}
+	vDur := time.Since(vStart)
+	p.obsValidate.Observe(vDur)
 	copy(block.Metadata.Flags, flags)
+	cStart := time.Now()
 	if err := p.commitValidated(block, updates, validIdx, true); err != nil {
 		return nil, err
+	}
+	cDur := time.Since(cStart)
+	p.obsCommit.Observe(cDur)
+	p.blocks.Inc()
+	committedAt := time.Now()
+	for i := range block.Txs {
+		tx := &block.Txs[i]
+		if flags[i] == ledger.Valid {
+			p.txValid.Inc()
+		} else {
+			p.txInvalid.Inc()
+		}
+		e2e := committedAt.Sub(tx.Timestamp)
+		p.obsE2E.Observe(e2e)
+		if tx.Trace != "" {
+			p.slowTraces.Observe(obs.TraceRecord{
+				Trace: tx.Trace, TxID: tx.ID, Channel: p.channelID, Block: number,
+				E2E: e2e, Validate: vDur, Commit: cDur,
+			})
+		}
 	}
 	return block, nil
 }

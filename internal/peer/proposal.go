@@ -15,6 +15,7 @@ import (
 	"socialchain/internal/chaincode"
 	"socialchain/internal/ledger"
 	"socialchain/internal/msp"
+	"socialchain/internal/obs"
 )
 
 // Proposal is a client's request that a chaincode function be executed and
@@ -29,6 +30,10 @@ type Proposal struct {
 	Nonce     []byte       `json:"nonce"`
 	Timestamp time.Time    `json:"timestamp"`
 	Signature []byte       `json:"signature"`
+	// Trace is the observability trace ID minted at submission. It rides
+	// the proposal across RPC hops but stays outside SigningBytes, so
+	// tracing never perturbs signatures.
+	Trace string `json:"trace,omitempty"`
 }
 
 // SigningBytes returns the canonical bytes a client signs.
@@ -65,6 +70,7 @@ func NewProposal(client *msp.Signer, channelID, ccName, fn string, args [][]byte
 		Creator:   client.Identity,
 		Nonce:     nonce,
 		Timestamp: now,
+		Trace:     obs.NewTraceID(),
 	}
 	p.Signature = client.Sign(p.SigningBytes())
 	return p, nil
@@ -87,6 +93,9 @@ type BatchProposal struct {
 	Nonce     []byte                `json:"nonce"`
 	Timestamp time.Time             `json:"timestamp"`
 	Signature []byte                `json:"signature"`
+	// Trace is the observability trace ID for the whole batch envelope,
+	// outside SigningBytes like the single-proposal one.
+	Trace string `json:"trace,omitempty"`
 }
 
 // SigningBytes returns the canonical bytes a client signs for a batch.
@@ -127,6 +136,7 @@ func NewBatchProposal(client *msp.Signer, channelID string, calls []chaincode.Ba
 		Creator:   client.Identity,
 		Nonce:     nonce,
 		Timestamp: now,
+		Trace:     obs.NewTraceID(),
 	}
 	p.Signature = client.Sign(p.SigningBytes())
 	return p, nil

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"socialchain/internal/metrics"
+	"socialchain/internal/obs"
 )
 
 // payloadCache is a size-bounded, CID-keyed LRU over verified payloads.
@@ -98,6 +99,22 @@ func (s CacheStats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// RegisterObs publishes the payload cache's counters and hit rate into an
+// obs registry (no-op without a configured cache), so retrieval cache
+// effectiveness shows up at /metrics beside the write-path series.
+func (e *Engine) RegisterObs(reg *obs.Registry) {
+	c := e.cache
+	if c == nil {
+		return
+	}
+	reg.CounterFunc("payload_cache_hits_total", "Payload retrievals served from the verified LRU cache.", c.hits.Load)
+	reg.CounterFunc("payload_cache_misses_total", "Payload retrievals that went through the IPFS executor.", c.misses.Load)
+	reg.CounterFunc("payload_cache_evictions_total", "Payloads evicted from the cache.", c.evictions.Load)
+	reg.GaugeFunc("payload_cache_bytes", "Current cached payload volume in bytes.", func() float64 {
+		return float64(e.CacheStats().Bytes)
+	})
 }
 
 func (c *payloadCache) stats() CacheStats {
