@@ -17,6 +17,10 @@
 //	durability persist-engine ablation (WAL-backed commits vs in-memory,
 //	          recovery time, end-to-end durable-ingest overhead + a
 //	          kill/reopen resume check)
+//	lsm       LSM persist-engine ablation (memtable + SSTables + bloom
+//	          filters vs the map-plus-WAL baseline: ingest rate, cold
+//	          reopen at 10k/200k records, negative-read cost with
+//	          blooms on/off)
 //	consensus consensus/crypto hot-path ablation (serial vs batch vs
 //	          cached signature verification, lockstep vs overlapped
 //	          rounds, multi-source e2e ingest with overlap on/off)
@@ -30,7 +34,8 @@
 //	all       everything above
 //
 // The -engine flag selects the world-state storage engine ("single",
-// "sharded" or "persist") for every framework the harness builds, so any
+// "sharded", "persist" or "mapwal") for every framework the harness
+// builds, so any
 // figure can be regenerated under any engine. The -transport flag
 // likewise selects the consensus transport ("inproc" or "tcp") for every
 // framework the harness builds, so any existing figure can be re-measured
@@ -76,7 +81,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,storage,retrieval,ingest,durability,consensus,channels,wire,obs,all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2,3,4,5,6,bft,trust,scale,storage,retrieval,ingest,durability,lsm,consensus,channels,wire,obs,all")
 	samples := flag.Int("samples", 20, "measurements per point")
 	csv := flag.Bool("csv", false, "emit CSV series instead of tables")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -116,9 +121,10 @@ func main() {
 	}
 
 	switch storage.Engine(*engine) {
-	case storage.EngineSingle, storage.EngineSharded, storage.EnginePersist:
+	case storage.EngineSingle, storage.EngineSharded, storage.EnginePersist, storage.EngineMapWAL:
 	default:
-		log.Fatalf("unknown engine %q (valid: %s, %s, %s)", *engine, storage.EngineSingle, storage.EngineSharded, storage.EnginePersist)
+		log.Fatalf("unknown engine %q (valid: %s, %s, %s, %s)", *engine,
+			storage.EngineSingle, storage.EngineSharded, storage.EnginePersist, storage.EngineMapWAL)
 	}
 	if _, err := transport.ParseKind(*transportKind); err != nil {
 		log.Fatal(err)
@@ -137,12 +143,13 @@ func main() {
 		"retrieval":  h.retrieval,
 		"ingest":     h.ingest,
 		"durability": h.durability,
+		"lsm":        h.lsm,
 		"consensus":  h.consensus,
 		"channels":   h.channels,
 		"wire":       h.wire,
 		"obs":        h.obs,
 	}
-	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage", "retrieval", "ingest", "durability", "consensus", "channels", "wire", "obs"}
+	order := []string{"2", "3", "4", "5", "6", "bft", "trust", "scale", "storage", "retrieval", "ingest", "durability", "lsm", "consensus", "channels", "wire", "obs"}
 	want := strings.Split(*fig, ",")
 	if *fig == "all" {
 		want = order
@@ -1036,6 +1043,185 @@ func (h *harness) durability() error {
 	et.Render(os.Stdout)
 	fmt.Printf("\ne2e restart: closed at height %d, resumed at height %d in %.3fs\n",
 		heightBefore, resumedHeight, e2eReopenS)
+	return nil
+}
+
+// lsm is the storage-engine ablation behind the persist rewrite: the LSM
+// engine (memtable + SSTables + bloom filters + manifest) against the
+// map-plus-WAL baseline it replaced, measured at the engine level so
+// nothing above storage.KV dilutes the numbers.
+//
+// Part A — ingest + cold reopen at two scales (10k and 200k records,
+// 20-write batches mirroring block commits). The baseline's reopen
+// replays every record ever written into a fresh map; the LSM replays
+// only the WAL tail behind the last flushed memtable and opens SSTable
+// indexes without touching data blocks, so its reopen cost is O(recent
+// writes) instead of O(total state). lsm_reopen_speedup_x records the
+// 200k-record ratio.
+//
+// Part B — point reads against the reopened 200k-record LSM: hits, and
+// misses with bloom filters on vs off (same on-disk data, reopened with
+// NoBloom). Blooms turn a negative lookup from a block fetch per level
+// into an in-memory test; lsm_negread_bloom_speedup_x records the ratio.
+func (h *harness) lsm() error {
+	h.header("Ablation — LSM persist engine vs map-plus-WAL baseline")
+
+	const batchKeys = 20
+	// Bench-sized memtable so the 200k run flushes and compacts like a
+	// long-lived node rather than fitting entirely in its first memtable.
+	lsmCfg := func(dir string) storage.Config {
+		return storage.Config{Engine: storage.EnginePersist, Dir: dir, MemtableBytes: 1 << 20}
+	}
+	mapCfg := func(dir string) storage.Config {
+		return storage.Config{Engine: storage.EngineMapWAL, Dir: dir}
+	}
+	key := func(i int) string { return fmt.Sprintf("data\x00rec/%08d", i) }
+	val := func(i int) []byte {
+		return []byte(fmt.Sprintf(`{"label":"label-%02d","idx":%d,"cid":"bafy%032d"}`, i%25, i, i))
+	}
+	ingestKV := func(kv storage.KV, n int) float64 {
+		start := time.Now()
+		for base := 0; base < n; base += batchKeys {
+			batch := make([]storage.Write, 0, batchKeys)
+			for i := base; i < base+batchKeys && i < n; i++ {
+				batch = append(batch, storage.Write{Key: key(i), Value: val(i)})
+			}
+			kv.ApplyBatch(batch)
+		}
+		return float64(n) / time.Since(start).Seconds()
+	}
+
+	type result struct {
+		rps     float64
+		reopenS float64
+	}
+	sizes := []int{10000, 200000}
+	sizeName := []string{"10k", "200k"}
+	var lsmRes, mapRes [2]result
+	var lsmDirs [2]string
+	for si, n := range sizes {
+		for _, eng := range []string{"mapwal", "lsm"} {
+			dir, err := os.MkdirTemp("", "benchharness-lsm-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			cfg := mapCfg(dir)
+			if eng == "lsm" {
+				cfg = lsmCfg(dir)
+				lsmDirs[si] = dir
+			}
+			kv, err := storage.Open(cfg)
+			if err != nil {
+				return err
+			}
+			rps := ingestKV(kv, n)
+			if err := kv.Close(); err != nil {
+				return err
+			}
+			start := time.Now()
+			kv, err = storage.Open(cfg)
+			if err != nil {
+				return fmt.Errorf("lsm: reopen %s at %d records: %w", eng, n, err)
+			}
+			reopenS := time.Since(start).Seconds()
+			if got := kv.Len(); got != n {
+				return fmt.Errorf("lsm: %s reopened with %d keys, want %d", eng, got, n)
+			}
+			if err := kv.Close(); err != nil {
+				return err
+			}
+			r := result{rps: rps, reopenS: reopenS}
+			if eng == "lsm" {
+				lsmRes[si] = r
+			} else {
+				mapRes[si] = r
+			}
+		}
+	}
+
+	// Part B: point reads on the reopened 200k LSM, blooms on vs off.
+	const probes = 2000
+	bigN := sizes[1]
+	readLat := func(cfg storage.Config, miss bool) (float64, error) {
+		kv, err := storage.Open(cfg)
+		if err != nil {
+			return 0, err
+		}
+		defer kv.Close()
+		rng := sim.NewRNG(h.seed + int64(bigN))
+		start := time.Now()
+		for i := 0; i < probes; i++ {
+			if miss {
+				// In-fence but never written: the bloom filter, not the
+				// key-range check, has to reject it.
+				if _, ok := kv.Get(fmt.Sprintf("data\x00rec/%08d-x", rng.Intn(bigN))); ok {
+					return 0, fmt.Errorf("lsm: phantom key answered")
+				}
+			} else {
+				if _, ok := kv.Get(key(rng.Intn(bigN))); !ok {
+					return 0, fmt.Errorf("lsm: stored key missing")
+				}
+			}
+		}
+		return time.Since(start).Seconds() / probes * 1e6, nil // µs/op
+	}
+	bloomed := lsmCfg(lsmDirs[1])
+	unbloomed := bloomed
+	unbloomed.NoBloom = true
+	hitUS, err := readLat(bloomed, false)
+	if err != nil {
+		return err
+	}
+	missBloomUS, err := readLat(bloomed, true)
+	if err != nil {
+		return err
+	}
+	missNoBloomUS, err := readLat(unbloomed, true)
+	if err != nil {
+		return err
+	}
+
+	for si, name := range sizeName {
+		h.record("lsm_ingest_mapwal_rps_"+name, mapRes[si].rps)
+		h.record("lsm_ingest_persist_rps_"+name, lsmRes[si].rps)
+		h.record("lsm_reopen_mapwal_s_"+name, mapRes[si].reopenS)
+		h.record("lsm_reopen_persist_s_"+name, lsmRes[si].reopenS)
+	}
+	reopenSpeedup := mapRes[1].reopenS / lsmRes[1].reopenS
+	h.record("lsm_reopen_speedup_x", reopenSpeedup)
+	h.record("lsm_read_hit_us", hitUS)
+	h.record("lsm_read_miss_bloom_us", missBloomUS)
+	h.record("lsm_read_miss_nobloom_us", missNoBloomUS)
+	negSpeedup := missNoBloomUS / missBloomUS
+	h.record("lsm_negread_bloom_speedup_x", negSpeedup)
+
+	if h.csv {
+		s := &metrics.Series{Label: "lsm_reopen_s"} // x: records; mapwal then lsm
+		for si, n := range sizes {
+			s.Append(float64(n), mapRes[si].reopenS)
+		}
+		for si, n := range sizes {
+			s.Append(float64(n), lsmRes[si].reopenS)
+		}
+		s.WriteCSV(os.Stdout)
+		return nil
+	}
+	it := metrics.NewTable("engine ingest (20-write batches)", "10k_rps", "200k_rps")
+	it.AddRow("mapwal (map + WAL replay)", mapRes[0].rps, mapRes[1].rps)
+	it.AddRow("lsm (memtable + SSTables)", lsmRes[0].rps, lsmRes[1].rps)
+	it.Render(os.Stdout)
+	rt := metrics.NewTable("cold reopen", "10k_s", "200k_s")
+	rt.AddRow("mapwal (full replay)", mapRes[0].reopenS, mapRes[1].reopenS)
+	rt.AddRow("lsm (WAL tail only)", lsmRes[0].reopenS, lsmRes[1].reopenS)
+	rt.Render(os.Stdout)
+	fmt.Printf("\nreopen speedup at 200k records: %.1fx\n\n", reopenSpeedup)
+	pt := metrics.NewTable("LSM point reads (200k records)", "us_per_op")
+	pt.AddRow("hit", hitUS)
+	pt.AddRow("miss, blooms on", missBloomUS)
+	pt.AddRow("miss, blooms off", missNoBloomUS)
+	pt.Render(os.Stdout)
+	fmt.Printf("\nbloom speedup on negative reads: %.1fx\n", negSpeedup)
 	return nil
 }
 

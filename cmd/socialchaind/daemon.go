@@ -11,6 +11,7 @@ import (
 	"socialchain/internal/contracts"
 	"socialchain/internal/fabric"
 	"socialchain/internal/ordering"
+	"socialchain/internal/storage"
 )
 
 // daemonConfig carries the -role flags: one socialchaind process hosting
@@ -25,6 +26,7 @@ type daemonConfig struct {
 	channels     int
 	identitySeed string
 	dataDir      string
+	durability   storage.Durability
 	batchTimeout time.Duration
 	maxMessages  int
 	admin        string // admin/debug HTTP listen address ("" = off)
@@ -52,11 +54,12 @@ func parseJoin(s string) (map[string]string, error) {
 // deployment must agree on (same flags on every process).
 func (d daemonConfig) netConfig() fabric.Config {
 	return fabric.Config{
-		NumPeers:     d.peers,
-		NumChannels:  d.channels,
-		IdentitySeed: d.identitySeed,
-		Cutter:       ordering.CutterConfig{MaxMessages: d.maxMessages, BatchTimeout: d.batchTimeout},
-		DataDir:      d.dataDir,
+		NumPeers:        d.peers,
+		NumChannels:     d.channels,
+		IdentitySeed:    d.identitySeed,
+		Cutter:          ordering.CutterConfig{MaxMessages: d.maxMessages, BatchTimeout: d.batchTimeout},
+		DataDir:         d.dataDir,
+		StateDurability: d.durability,
 	}
 }
 

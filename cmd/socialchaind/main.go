@@ -67,6 +67,7 @@ import (
 	"socialchain/internal/obs"
 	"socialchain/internal/ordering"
 	"socialchain/internal/sim"
+	"socialchain/internal/storage"
 )
 
 func main() {
@@ -84,6 +85,7 @@ func main() {
 	bulkBatch := flag.Int("bulk-batch", 32, "records per bulk-ingest envelope")
 	bulkWorkers := flag.Int("bulk-workers", 8, "bulk-ingest IPFS-add workers")
 	dataDir := flag.String("data-dir", "", "persist peers, block logs and IPFS stores under this directory; a restart resumes from it")
+	durability := flag.String("durability", "", "persist-engine fsync policy with -data-dir: none (page cache), batch (background group fsync) or always (every commit waits for fsync)")
 	role := flag.String("role", "", "run one process of a networked deployment: peer or orderer (empty = in-process demo)")
 	index := flag.Int("index", 0, "peer index within the deployment (with -role peer)")
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address (with -role)")
@@ -93,6 +95,11 @@ func main() {
 	maxMessages := flag.Int("max-messages", 4, "ordering batch size cap (with -role)")
 	admin := flag.String("admin", "", "serve the admin/debug HTTP surface (/metrics, /healthz, /statusz, /debug/pprof) on this address, e.g. :7190 (off when empty)")
 	flag.Parse()
+
+	dur, err := storage.ParseDurability(*durability)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *role != "" {
 		if err := runDaemon(daemonConfig{
@@ -104,6 +111,7 @@ func main() {
 			channels:     *channels,
 			identitySeed: *identitySeed,
 			dataDir:      *dataDir,
+			durability:   dur,
 			batchTimeout: *batchTimeout,
 			maxMessages:  *maxMessages,
 			admin:        *admin,
@@ -114,7 +122,7 @@ func main() {
 	}
 
 	if err := run(*peers, *channels, *ipfsNodes, *cameras, *crowd, *rounds, *byzantine, *badFraction, *seed,
-		bulkConfig{records: *bulk, mode: *bulkMode, batch: *bulkBatch, workers: *bulkWorkers}, *dataDir, *admin); err != nil {
+		bulkConfig{records: *bulk, mode: *bulkMode, batch: *bulkBatch, workers: *bulkWorkers}, *dataDir, dur, *admin); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -126,7 +134,7 @@ type bulkConfig struct {
 	workers int
 }
 
-func run(peers, channels, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction float64, seed int64, bulk bulkConfig, dataDir, adminAddr string) error {
+func run(peers, channels, ipfsNodes, cameras, crowd, rounds, byzantine int, badFraction float64, seed int64, bulk bulkConfig, dataDir string, durability storage.Durability, adminAddr string) error {
 	behaviors := map[int]consensus.Behavior{}
 	for i := 0; i < byzantine; i++ {
 		behaviors[i+1] = consensus.Silent{}
@@ -140,9 +148,10 @@ func run(peers, channels, ipfsNodes, cameras, crowd, rounds, byzantine int, badF
 			ConsensusTimeout: time.Second,
 			Obs:              reg,
 		},
-		NumChannels: channels,
-		IPFSNodes:   ipfsNodes,
-		DataDir:     dataDir,
+		NumChannels:       channels,
+		IPFSNodes:         ipfsNodes,
+		DataDir:           dataDir,
+		StorageDurability: durability,
 	})
 	if err != nil {
 		return err

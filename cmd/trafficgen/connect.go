@@ -27,10 +27,23 @@ type connectConfig struct {
 	numPeers     int
 	channels     int
 	records      int
+	readFrac     float64 // fraction of operations that are reads (0 = write-only)
 	seed         int64
 	identitySeed string // deterministic client identities, stable across reruns
 	statsOut     string // JSON run-summary output file ("" = off)
 	adminBook    string // id=addr book of admin surfaces to scrape into statsOut
+}
+
+// readResults tallies the -read-frac mixed-workload outcome: probes of
+// stored records (hits), probes of never-written keys (misses, the bloom
+// negative path), and wrong answers (a stored record unreadable or an
+// absent key answered) — any of which fails the run.
+type readResults struct {
+	total  int
+	hits   int
+	misses int
+	wrong  int
+	lat    *metrics.Stats
 }
 
 // submitIdempotent submits a bootstrap transaction, treating the given
@@ -135,6 +148,45 @@ func runConnect(cfg connectConfig) error {
 	det := detect.NewDetector(cfg.seed)
 	lat := metrics.NewStats()
 	failed := 0
+	// -read-frac interleaves reads with the writes: for every write,
+	// readFrac/(1-readFrac) reads on average (debt accumulator, so any
+	// fraction works without a scheduler). Half the reads probe records
+	// this run stored (must succeed); half probe keys nothing ever wrote —
+	// the LSM bloom-filter negative path, whose skip counters the
+	// -admin-book /metrics scrape picks up.
+	var storedIDs []string
+	var readDebt float64
+	reads := readResults{lat: metrics.NewStats()}
+	doReads := func() {
+		if cfg.readFrac <= 0 {
+			return
+		}
+		for readDebt += cfg.readFrac / (1 - cfg.readFrac); readDebt >= 1; readDebt-- {
+			reads.total++
+			t0 := time.Now()
+			if rng.Intn(2) == 0 && len(storedIDs) > 0 {
+				id := storedIDs[rng.Intn(len(storedIDs))]
+				if _, err := gw.Evaluate(contracts.DataCC, "getData", []byte(id)); err != nil {
+					fmt.Printf("read of stored record %s failed: %v\n", id, err)
+					reads.wrong++
+				} else {
+					reads.hits++
+				}
+			} else {
+				// Hex-shaped so the probe lands inside the SSTable key
+				// fences of real (hex) transaction IDs and the bloom
+				// filter — not the fence check — has to reject it.
+				id := fmt.Sprintf("%016x%048x", rng.Intn(1<<62), reads.total)
+				if _, err := gw.Evaluate(contracts.DataCC, "getData", []byte(id)); err == nil {
+					fmt.Printf("read of absent key %s returned a record\n", id)
+					reads.wrong++
+				} else {
+					reads.misses++
+				}
+			}
+			reads.lat.AddDuration(time.Since(t0))
+		}
+	}
 	start := time.Now()
 	for i := 0; i < cfg.records; i++ {
 		f := &detect.Frame{
@@ -170,12 +222,18 @@ func runConnect(cfg connectConfig) error {
 			continue
 		}
 		lat.AddDuration(time.Since(t0))
+		storedIDs = append(storedIDs, res.TxID)
+		doReads()
 	}
 	elapsed := time.Since(start)
 	stored := cfg.records - failed
 	fmt.Printf("\nstored %d/%d records over the wire in %.3fs (%.1f records/s, %d failed)\n",
 		stored, cfg.records, elapsed.Seconds(), float64(stored)/elapsed.Seconds(), failed)
 	fmt.Printf("commit latency: %s\n", lat.Summary())
+	if reads.total > 0 {
+		fmt.Printf("reads: %d (%d hits, %d negative, %d wrong), latency: %s\n",
+			reads.total, reads.hits, reads.misses, reads.wrong, reads.lat.Summary())
+	}
 
 	// Verify every peer process's hash chain on every channel over RPC.
 	for i := 0; i < remote.NumChannels(); i++ {
@@ -208,12 +266,15 @@ func runConnect(cfg connectConfig) error {
 		}
 	}
 	if cfg.statsOut != "" {
-		if err := writeRunSummary(cfg, obsReg, remote, stored, failed, elapsed); err != nil {
+		if err := writeRunSummary(cfg, obsReg, remote, stored, failed, elapsed, reads); err != nil {
 			return fmt.Errorf("write -stats-out: %w", err)
 		}
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d records failed", failed)
+	}
+	if reads.wrong > 0 {
+		return fmt.Errorf("%d reads returned wrong results", reads.wrong)
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ type ingestConfig struct {
 	peers       int
 	channels    int
 	engine      string
+	durability  string
 	dataDir     string
 	seed        int64
 }
@@ -39,15 +40,20 @@ func runIngest(cfg ingestConfig) error {
 	if !mode.Valid() {
 		return fmt.Errorf("unknown -ingest mode %q (valid: serial, batched, pipelined)", cfg.mode)
 	}
+	durability, err := storage.ParseDurability(cfg.durability)
+	if err != nil {
+		return err
+	}
 	fw, err := core.New(core.Config{
 		Fabric: fabric.Config{
 			NumPeers: cfg.peers,
 			Cutter:   ordering.CutterConfig{MaxMessages: 1, BatchTimeout: 2 * time.Millisecond},
 		},
-		NumChannels:   cfg.channels,
-		IPFSNodes:     2,
-		StorageEngine: storage.Engine(cfg.engine),
-		DataDir:       cfg.dataDir,
+		NumChannels:       cfg.channels,
+		IPFSNodes:         2,
+		StorageEngine:     storage.Engine(cfg.engine),
+		StorageDurability: durability,
+		DataDir:           cfg.dataDir,
 	})
 	if err != nil {
 		return err

@@ -61,13 +61,19 @@ func main() {
 	peers := flag.Int("peers", 4, "blockchain peers per channel (with -ingest)")
 	channels := flag.Int("channels", 1, "shard the ledger across this many channels (with -ingest)")
 	engine := flag.String("engine", "", "world-state storage engine: single, sharded or persist")
+	durability := flag.String("durability", "", "persist-engine fsync policy with -data-dir: none, batch or always")
 	dataDir := flag.String("data-dir", "", "persist peers, block logs and IPFS stores under this directory; a restarted -ingest run resumes from it")
+	readFrac := flag.Float64("read-frac", 0, "fraction of operations that are reads (with -connect): half probe stored records, half probe absent keys (the bloom-filter negative path); 0 = write-only")
 	connect := flag.String("connect", "", "drive an out-of-process deployment: comma-separated id=host:port book of its peer processes")
 	orderer := flag.String("orderer", "", "orderer process dial address (with -connect)")
 	identitySeed := flag.String("identity-seed", "trafficgen", "derive client identities from this seed (with -connect); reruns against one deployment must reuse it")
 	statsOut := flag.String("stats-out", "", "write a JSON run summary (client-side per-stage latency percentiles + scraped /statusz) to this file on exit (with -connect)")
 	adminBook := flag.String("admin-book", "", "comma-separated id=host:port book of the deployment's admin surfaces, scraped into -stats-out")
 	flag.Parse()
+
+	if *readFrac < 0 || *readFrac >= 1 {
+		log.Fatalf("-read-frac %v out of range [0, 1)", *readFrac)
+	}
 
 	if *connect != "" {
 		if err := runConnect(connectConfig{
@@ -76,6 +82,7 @@ func main() {
 			numPeers:     *peers,
 			channels:     *channels,
 			records:      *records,
+			readFrac:     *readFrac,
 			seed:         *seed,
 			identitySeed: *identitySeed,
 			statsOut:     *statsOut,
@@ -97,6 +104,7 @@ func main() {
 			peers:       *peers,
 			channels:    *channels,
 			engine:      *engine,
+			durability:  *durability,
 			dataDir:     *dataDir,
 			seed:        *seed,
 		}); err != nil {

@@ -69,6 +69,12 @@ type Config struct {
 	// copied into Fabric.StateEngine by Resolve; setting both knobs to
 	// different engines is a configuration conflict.
 	StorageEngine storage.Engine
+	// StorageDurability selects the persist engine's fsync policy ("none",
+	// "batch" or "always"; default none — page-cache writes, process-crash
+	// safe). It is copied into Fabric.StateDurability by Resolve; setting
+	// both knobs to different policies is a configuration conflict. Only
+	// meaningful with a DataDir.
+	StorageDurability storage.Durability
 	// DataDir, when non-empty, makes the whole deployment durable: peers
 	// persist under DataDir/fabric (world state + block logs) and the IPFS
 	// cluster's blockstores and pin sets under DataDir/ipfs. Building a
@@ -140,6 +146,14 @@ func (c *Config) Resolve() (fabric.Config, error) {
 				c.StorageEngine, fc.StateEngine)
 		}
 		fc.StateEngine = c.StorageEngine
+	}
+	if c.StorageDurability != "" {
+		if fc.StateDurability != "" && fc.StateDurability != c.StorageDurability {
+			return fabric.Config{}, fmt.Errorf(
+				"core: conflicting durability: Config.StorageDurability=%q but Config.Fabric.StateDurability=%q",
+				c.StorageDurability, fc.StateDurability)
+		}
+		fc.StateDurability = c.StorageDurability
 	}
 	if c.DataDir != "" {
 		derived := filepath.Join(c.DataDir, "fabric")

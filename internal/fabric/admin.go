@@ -47,6 +47,15 @@ type NodeChannelStatus struct {
 	VerifyCacheMisses  int64   `json:"verify_cache_misses"`
 	VerifyCacheHitRate float64 `json:"verify_cache_hit_rate"`
 	WALSegments        int     `json:"wal_segments"`
+	// LSM state-engine internals; zero/omitted for in-memory peers and
+	// non-LSM engines. Sourced from the world-state store's snapshot.
+	SSTables          int   `json:"sstables,omitempty"`
+	LSMLevels         int   `json:"lsm_levels,omitempty"`
+	CompactionBacklog int   `json:"compaction_backlog,omitempty"`
+	Compactions       int64 `json:"compactions,omitempty"`
+	CompactedBytes    int64 `json:"compacted_bytes,omitempty"`
+	MemtableBytes     int64 `json:"memtable_bytes,omitempty"`
+	StallWaits        int64 `json:"stall_waits,omitempty"`
 }
 
 // NodeStatus is a peer node's full /statusz report.
@@ -118,6 +127,15 @@ func (n *Node) statusz() any {
 			VerifyCacheHits:   ph + vh,
 			VerifyCacheMisses: pm + vm,
 			WALSegments:       walSegments(nc.dataDir),
+		}
+		if ss, ok := nc.p.State().StorageStats(); ok {
+			cs.SSTables = ss.SSTables
+			cs.LSMLevels = ss.Levels
+			cs.CompactionBacklog = ss.CompactionBacklog
+			cs.Compactions = ss.Compactions
+			cs.CompactedBytes = ss.CompactedBytes
+			cs.MemtableBytes = ss.MemtableBytes
+			cs.StallWaits = ss.StallWaits
 		}
 		if total := cs.VerifyCacheHits + cs.VerifyCacheMisses; total > 0 {
 			cs.VerifyCacheHitRate = float64(cs.VerifyCacheHits) / float64(total)

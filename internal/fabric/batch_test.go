@@ -35,7 +35,10 @@ func TestSubmitBatchAtomicLifecycle(t *testing.T) {
 	if len(responses) != 5 || string(responses[4]) != "5" {
 		t.Fatalf("responses = %q", responses)
 	}
-	if !net.WaitHeight(net.Peer(0).Ledger().Height(), 5*time.Second) {
+	// Wait for the block that carries the batch, not peer 0's current
+	// height: commit confirmation may come from another peer, so peer 0
+	// can still be behind when this line runs.
+	if !net.WaitHeight(res.BlockNum+1, 5*time.Second) {
 		t.Fatal("peers did not converge")
 	}
 	raw, err := gw.Evaluate("kv", "get", []byte("n"))

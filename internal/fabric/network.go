@@ -77,6 +77,11 @@ type Config struct {
 	StateEngine storage.Engine
 	// StateShards overrides the sharded engine's stripe count (default 16).
 	StateShards int
+	// StateDurability selects the persist engine's fsync policy ("none",
+	// "batch" or "always"; default none). Only meaningful for durable
+	// peers — in-memory engines ignore it. Unknown names fail network
+	// construction when the peers open their stores.
+	StateDurability storage.Durability
 	// DataDir, when non-empty, makes every peer durable: with one channel
 	// peer i keeps its state engines and block log under DataDir/peer<i>
 	// (the pre-sharding layout); with N > 1 channels each channel's peers

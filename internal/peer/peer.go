@@ -156,6 +156,11 @@ func New(cfg Config) (*Peer, error) {
 	// component distinguishes this cache from the consensus replica's,
 	// which registers the same family on the same node-scoped registry.
 	p.verifyCache.Register(cfg.Obs.With(obs.L("component", "peer")))
+	// LSM engine internals (sstables, compaction backlog, bloom hit
+	// rates) for the durable stores; no-ops on in-memory engines. The
+	// store label splits the world state from the history database.
+	p.state.RegisterStorage(cfg.Obs.With(obs.L("store", "state")))
+	p.history.RegisterStorage(cfg.Obs.With(obs.L("store", "history")))
 	if cfg.DataDir != "" {
 		blockLog, err := ledger.OpenLog(filepath.Join(cfg.DataDir, "blocks.wal"))
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"socialchain/internal/obs"
 	"socialchain/internal/storage"
 )
 
@@ -85,6 +86,27 @@ func (db *DB) Sync() error {
 		}
 	}
 	return err
+}
+
+// StorageStats snapshots the LSM persist engine beneath the state store.
+// ok is false when the state sits on a non-LSM engine (in-memory or the
+// map-plus-WAL baseline), which expose no comparable internals.
+func (db *DB) StorageStats() (storage.PersistStats, bool) {
+	p, ok := db.kv.(*storage.Persist)
+	if !ok {
+		return storage.PersistStats{}, false
+	}
+	return p.Stats(), true
+}
+
+// RegisterStorage exports the underlying LSM engine's metrics (sstable
+// and level counts, compaction backlog, bloom hit rates, fsync totals)
+// on reg. No-op for engines without internals worth exporting; safe on a
+// nil registry.
+func (db *DB) RegisterStorage(reg *obs.Registry) {
+	if p, ok := db.kv.(*storage.Persist); ok {
+		p.Register(reg)
+	}
 }
 
 // stateKey builds the composite engine key for ns/key. The NUL separator

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"socialchain/internal/obs"
 	"socialchain/internal/storage"
 )
 
@@ -59,6 +60,24 @@ func (h *HistoryDB) Close() error { return h.kv.Close() }
 
 // Sync flushes the underlying engine to stable storage.
 func (h *HistoryDB) Sync() error { return h.kv.Sync() }
+
+// StorageStats snapshots the LSM persist engine beneath the history
+// store; ok is false for engines without comparable internals.
+func (h *HistoryDB) StorageStats() (storage.PersistStats, bool) {
+	p, ok := h.kv.(*storage.Persist)
+	if !ok {
+		return storage.PersistStats{}, false
+	}
+	return p.Stats(), true
+}
+
+// RegisterStorage exports the underlying LSM engine's metrics on reg.
+// No-op for non-LSM engines; safe on a nil registry.
+func (h *HistoryDB) RegisterStorage(reg *obs.Registry) {
+	if p, ok := h.kv.(*storage.Persist); ok {
+		p.Register(reg)
+	}
+}
 
 // histVerLen is the fixed width of each hex version component; fixed
 // width keeps lexical key order equal to commit order.

@@ -1,0 +1,1275 @@
+package storage
+
+// The persist engine is an LSM tree — the structure beneath the
+// world-state database of the paper's Fabric deployment (LevelDB), built
+// here from the repo's own primitives. Writes land in a WAL-fronted
+// sorted memtable; full memtables flush into immutable SSTables (see
+// sstable.go); a crash-safe manifest (manifest.go) names the live tables;
+// a background compactor merges runs level by level, dropping shadowed
+// versions and tombstones. The previous persist engine (now mapwal.go)
+// kept the whole key space in RAM and replayed the entire history at
+// open; here RAM holds one memtable and reopen replays only the WAL tail
+// over the manifest — O(recent writes), not O(total state).
+//
+// On-disk layout inside Config.Dir:
+//
+//	MANIFEST        root pointer: live tables per level, lowest live WAL,
+//	                next file number, live-key count (atomic rewrite)
+//	wal-<n>.log     write-ahead log, one file per memtable generation
+//	sst-<n>.sst     immutable sorted runs (see sstable.go)
+//	*.tmp           in-progress manifest writes (cleaned on open)
+//
+// WAL files are numbered contiguously (1, 2, 3, ...) so recovery can
+// detect a lost file in the replay range; SSTables draw from a separate
+// monotonic counter persisted in the manifest. The WAL record format is
+// byte-identical to mapwal's (walframe framing, the uvarint op encoding
+// of mapwal.go), including the torn-tail-vs-corrupt recovery
+// discriminator — walframe.RecoverTail.
+//
+// Reads merge newest-to-oldest: active memtable, flushing memtable, then
+// level 0 downwards, newest table first within a level; the first
+// version of a key wins, and a tombstone at any layer hides older
+// values. Correctness of that order rests on data only moving DOWN the
+// levels, and always via whole-level merges, so within and across levels
+// "earlier in search order" always means "written later".
+//
+// Crash safety invariants, in write order:
+//
+//  1. A record is in the WAL before it is applied to the memtable.
+//  2. A flushed/compacted table is fsynced before the manifest names it.
+//  3. The manifest rename is atomic (tmp + fsync + rename + dir fsync).
+//  4. WAL files and replaced tables are deleted only AFTER the manifest
+//     that obsoletes them is durable. Orphans (tables the manifest does
+//     not name, WALs below walMin) are deleted at open.
+//
+// Durability modes (Config.Durability): "none" acknowledges at the page
+// cache (kill -9 safe; power loss can lose the tail since the last
+// flush). "batch" adds a background group fsync every FsyncInterval —
+// writers never wait, loss window is one interval. "always" makes every
+// mutation wait for an fsync covering it; concurrent waiters coalesce
+// onto one fsync (group commit), so the cost amortises under load.
+//
+// Integrity: every byte read back — WAL, manifest, table blocks — is CRC
+// validated. On the read path a failed check panics rather than serving
+// a possibly-wrong value; at open it is a refusal to start.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"socialchain/internal/obs"
+	"socialchain/internal/walframe"
+)
+
+const (
+	// DefaultMemtableBytes is the memtable flush threshold.
+	DefaultMemtableBytes int64 = 4 << 20
+	// DefaultCompactFanout is how many tables a level accumulates before
+	// they merge into the next level.
+	DefaultCompactFanout = 4
+	// DefaultFsyncInterval is DurabilityBatch's group-commit period.
+	DefaultFsyncInterval = 5 * time.Millisecond
+)
+
+// lsmStats aggregates the engine's observability counters (plain
+// atomics; bumped on hot paths, read at scrape time).
+type lsmStats struct {
+	flushes        atomic.Int64
+	flushedBytes   atomic.Int64
+	compactions    atomic.Int64
+	compactedBytes atomic.Int64
+	stallWaits     atomic.Int64
+	bloomChecks    atomic.Int64
+	bloomSkips     atomic.Int64
+	blockReads     atomic.Int64
+	fsyncs         atomic.Int64
+}
+
+// PersistStats is a point-in-time snapshot of the engine's shape and
+// counters, surfaced through Stats()/Register and the node /statusz.
+type PersistStats struct {
+	SSTables          int        `json:"sstables"`
+	Levels            int        `json:"levels"`
+	MemtableBytes     int64      `json:"memtable_bytes"`
+	WALBytes          int64      `json:"wal_bytes"`
+	LiveKeys          int64      `json:"live_keys"`
+	CompactionBacklog int        `json:"compaction_backlog"`
+	Flushes           int64      `json:"flushes"`
+	FlushedBytes      int64      `json:"flushed_bytes"`
+	Compactions       int64      `json:"compactions"`
+	CompactedBytes    int64      `json:"compacted_bytes"`
+	StallWaits        int64      `json:"stall_waits"`
+	BloomChecks       int64      `json:"bloom_checks"`
+	BloomSkips        int64      `json:"bloom_skips"`
+	BlockReads        int64      `json:"block_reads"`
+	WALFsyncs         int64      `json:"wal_fsyncs"`
+	Durability        Durability `json:"durability"`
+}
+
+// lsmVersion is an immutable snapshot of the table set. Readers pin a
+// version (acquire/release) and search it lock-free; flush and
+// compaction install a fresh version under the engine lock. A version
+// holds one reference on each of its tables; when the last version
+// naming a table is released, the table's file is closed and — if a
+// compaction marked it dead — deleted.
+type lsmVersion struct {
+	levels [][]*table
+	refs   atomic.Int64
+}
+
+func newVersion(levels [][]*table) *lsmVersion {
+	v := &lsmVersion{levels: levels}
+	v.refs.Store(1)
+	for _, lvl := range levels {
+		for _, t := range lvl {
+			t.ref()
+		}
+	}
+	return v
+}
+
+func (v *lsmVersion) acquire() { v.refs.Add(1) }
+
+func (v *lsmVersion) release() {
+	if v.refs.Add(-1) == 0 {
+		for _, lvl := range v.levels {
+			for _, t := range lvl {
+				t.unref()
+			}
+		}
+	}
+}
+
+func (v *lsmVersion) fileNos() [][]uint64 {
+	out := make([][]uint64, len(v.levels))
+	for i, lvl := range v.levels {
+		out[i] = make([]uint64, len(lvl))
+		for j, t := range lvl {
+			out[i][j] = t.fileNo
+		}
+	}
+	return out
+}
+
+func cloneLevels(levels [][]*table) [][]*table {
+	out := make([][]*table, len(levels))
+	for i, lvl := range levels {
+		out[i] = append([]*table(nil), lvl...)
+	}
+	return out
+}
+
+// searchVersion looks key up newest-to-oldest across the version's
+// tables. found covers tombstones (tomb true means "deleted, stop").
+func searchVersion(v *lsmVersion, key string, useBloom bool, st *lsmStats) (val []byte, tomb, found bool, err error) {
+	for _, lvl := range v.levels {
+		for _, t := range lvl {
+			val, tomb, found, err = t.get(key, useBloom, st)
+			if err != nil || found {
+				return val, tomb, found, err
+			}
+		}
+	}
+	return nil, false, false, nil
+}
+
+// Persist is the LSM disk engine.
+type Persist struct {
+	mu        sync.RWMutex
+	mem       *memtable
+	imm       *memtable // flushing memtable (nil when none)
+	version   *lsmVersion
+	wal       *os.File
+	walIdx    uint64 // active WAL index; WAL numbering is contiguous
+	walBytes  int64
+	nextFile  uint64 // next SSTable file number (persisted in the manifest)
+	base      int64  // live keys in the table-covered state
+	buf       []byte
+	err       error // sticky I/O error, reported by Sync/Close
+	closed    bool
+	flushCond *sync.Cond // signalled when imm drains (or on error/close)
+
+	dir           string
+	memLimit      int64
+	fanout        int
+	durability    Durability
+	fsyncInterval time.Duration
+	useBloom      bool
+
+	flushC   chan struct{}
+	compactC chan struct{}
+	quit     chan struct{}
+	wg       sync.WaitGroup
+
+	// commit is the group-commit state: appended counts WAL records
+	// written, synced the highest record known fsynced. Writers bump
+	// appended (nested inside mu); the syncer goroutine fsyncs and
+	// advances synced; DurabilityAlways writers wait for synced to cover
+	// their record. Rotation fsyncs the sealed file and jumps synced
+	// forward itself. Lock order: p.mu before commit.mu, never reversed.
+	commit struct {
+		mu               sync.Mutex
+		cond             *sync.Cond
+		appended, synced uint64
+		file             *os.File
+		gen              uint64
+		closed           bool
+	}
+
+	stats lsmStats
+}
+
+// OpenPersist opens (or creates) an LSM persist engine in cfg.Dir,
+// replaying the WAL tail over the manifest. An empty Dir materialises a
+// fresh temporary directory (see Config.Dir).
+func OpenPersist(cfg Config) (*Persist, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "socialchain-persist-"); err != nil {
+			return nil, fmt.Errorf("storage: persist temp dir: %w", err)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: persist dir %s: %w", dir, err)
+	}
+	durability, err := ParseDurability(string(cfg.Durability))
+	if err != nil {
+		return nil, err
+	}
+	if durability == "" {
+		if durability, err = envDurability(); err != nil {
+			return nil, err
+		}
+	}
+	if durability == "" {
+		durability = DurabilityNone
+	}
+	p := &Persist{
+		mem:           newMemtable(),
+		dir:           dir,
+		memLimit:      cfg.MemtableBytes,
+		fanout:        cfg.CompactFanout,
+		durability:    durability,
+		fsyncInterval: cfg.FsyncInterval,
+		useBloom:      !cfg.NoBloom,
+		flushC:        make(chan struct{}, 1),
+		compactC:      make(chan struct{}, 1),
+		quit:          make(chan struct{}),
+	}
+	p.flushCond = sync.NewCond(&p.mu)
+	p.commit.cond = sync.NewCond(&p.commit.mu)
+	if p.memLimit <= 0 {
+		p.memLimit = cfg.SegmentBytes // old-engine knob, same meaning here
+	}
+	if p.memLimit <= 0 {
+		p.memLimit = DefaultMemtableBytes
+	}
+	if p.fanout <= 0 {
+		p.fanout = cfg.CompactSegments
+	}
+	if p.fanout <= 0 {
+		p.fanout = DefaultCompactFanout
+	}
+	if p.fsyncInterval <= 0 {
+		p.fsyncInterval = DefaultFsyncInterval
+	}
+	if err := p.recover(); err != nil {
+		return nil, err
+	}
+	p.wg.Add(2)
+	go p.flusher()
+	go p.compactor()
+	if p.durability != DurabilityNone {
+		p.wg.Add(1)
+		go p.syncer()
+	}
+	// A small memLimit can leave the replayed memtable already over
+	// threshold; flush it now rather than on the first write.
+	p.mu.Lock()
+	p.maybeFlushLocked()
+	p.mu.Unlock()
+	return p, nil
+}
+
+// Dir returns the engine's data directory.
+func (p *Persist) Dir() string { return p.dir }
+
+func (p *Persist) walPath(idx uint64) string {
+	return filepath.Join(p.dir, fmt.Sprintf("%s%016x%s", segPrefix, idx, segSuffix))
+}
+
+// scanDir inventories the data directory: WAL indices (sorted), table
+// file numbers, whether mapwal snapshots are present; temp files are
+// deleted.
+func (p *Persist) scanDir() (wals []uint64, ssts map[uint64]bool, hasSnaps bool, err error) {
+	entries, err := os.ReadDir(p.dir)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("storage: persist scan %s: %w", p.dir, err)
+	}
+	ssts = make(map[uint64]bool)
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			_ = os.Remove(filepath.Join(p.dir, name))
+		case strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix):
+			if idx, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 16, 64); perr == nil {
+				wals = append(wals, idx)
+			}
+		case strings.HasPrefix(name, sstPrefix) && strings.HasSuffix(name, sstSuffix):
+			if no, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, sstPrefix), sstSuffix), 16, 64); perr == nil {
+				ssts[no] = true
+			}
+		case strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, snapSuffix):
+			hasSnaps = true
+		}
+	}
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	return wals, ssts, hasSnaps, nil
+}
+
+// recover loads the manifest, opens the live tables, deletes orphans of
+// interrupted flushes/compactions, and replays the WAL tail into the
+// memtable. Reopen cost is O(tables + WAL tail), not O(total state).
+func (p *Persist) recover() error {
+	wals, ssts, hasSnaps, err := p.scanDir()
+	if err != nil {
+		return err
+	}
+	m, haveManifest, err := readManifest(p.dir)
+	if err != nil {
+		return err
+	}
+	var levels [][]*table
+	if !haveManifest {
+		if hasSnaps {
+			return fmt.Errorf("storage: persist %s holds %s-format data (%s* snapshots); open it with engine %q",
+				p.dir, EngineMapWAL, snapPrefix, EngineMapWAL)
+		}
+		// Fresh directory, or a snapshot-free mapwal directory (same WAL
+		// format): every sst file is an orphan; replay all WALs below.
+		for no := range ssts {
+			_ = os.Remove(sstPath(p.dir, no))
+		}
+		m = manifestData{nextFile: 1, walMin: 1}
+		if len(wals) > 0 {
+			m.walMin = wals[0]
+		}
+	} else {
+		referenced := make(map[uint64]bool)
+		levels = make([][]*table, len(m.levels))
+		for i, lvl := range m.levels {
+			for _, no := range lvl {
+				referenced[no] = true
+				t, terr := openTable(p.dir, no)
+				if terr != nil {
+					for _, l := range levels {
+						for _, ot := range l {
+							_ = ot.f.Close()
+						}
+					}
+					return terr
+				}
+				levels[i] = append(levels[i], t)
+			}
+		}
+		for no := range ssts {
+			if !referenced[no] {
+				_ = os.Remove(sstPath(p.dir, no))
+			}
+		}
+	}
+	p.base = int64(m.base)
+	p.nextFile = m.nextFile
+	if p.nextFile == 0 {
+		p.nextFile = 1
+	}
+	p.version = newVersion(levels)
+
+	// WAL tail: files below walMin are covered by tables (stale leftovers
+	// of a crash between manifest write and deletion); files at/after it
+	// replay in order, contiguously, torn tail permitted only on the last.
+	live := wals[:0]
+	for _, idx := range wals {
+		if idx < m.walMin {
+			_ = os.Remove(p.walPath(idx))
+			continue
+		}
+		live = append(live, idx)
+	}
+	if len(live) > 0 && live[0] != m.walMin {
+		return fmt.Errorf("storage: persist %s: wal file %x missing (first live is %x): committed writes lost",
+			p.dir, m.walMin, live[0])
+	}
+	if haveManifest && len(live) == 0 {
+		return fmt.Errorf("storage: persist %s: wal file %x named by manifest is missing", p.dir, m.walMin)
+	}
+	for i, idx := range live {
+		if i > 0 && idx != live[i-1]+1 {
+			return fmt.Errorf("storage: persist %s: wal gap between %x and %x", p.dir, live[i-1], idx)
+		}
+		if err := p.replayWAL(idx, i == len(live)-1); err != nil {
+			return err
+		}
+	}
+	p.walIdx = m.walMin
+	if len(live) > 0 {
+		p.walIdx = live[len(live)-1]
+	}
+	f, err := os.OpenFile(p.walPath(p.walIdx), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: persist open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("storage: persist stat wal: %w", err)
+	}
+	p.wal, p.walBytes = f, st.Size()
+	p.commit.file = f
+	return nil
+}
+
+// replayWAL applies wal-<idx> to the memtable. For the last file a torn
+// tail is truncated; anywhere else corruption is fatal.
+func (p *Persist) replayWAL(idx uint64, last bool) error {
+	path := p.walPath(idx)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("storage: persist wal: %w", err)
+	}
+	recs, good, err := parseRecords(data)
+	if err != nil && !last {
+		return fmt.Errorf("storage: persist wal %s corrupt: %w", path, err)
+	}
+	for _, rec := range recs {
+		var aerr error
+		derr := decodeRecord(rec, func(key string, val []byte, del bool) {
+			if aerr != nil {
+				return
+			}
+			aerr = p.applyReplay(key, val, del)
+		})
+		if derr == nil {
+			derr = aerr
+		}
+		if derr != nil {
+			return fmt.Errorf("storage: persist wal %s: %w", path, derr)
+		}
+	}
+	if err != nil {
+		if terr := walframe.RecoverTail(path, data, good); terr != nil {
+			return fmt.Errorf("storage: persist wal: %w", terr)
+		}
+	}
+	return nil
+}
+
+// applyReplay re-applies one recovered write through the same
+// existence-checked path live writes take, so the live-key delta and
+// no-op-delete elision replay deterministically.
+func (p *Persist) applyReplay(key string, val []byte, del bool) error {
+	_, existed, err := p.lookupLocked(key)
+	if err != nil {
+		return err
+	}
+	if del {
+		if existed {
+			p.mem.setDelete(key)
+		}
+		return nil
+	}
+	p.mem.setPut(key, val, existed)
+	return nil
+}
+
+// lookupLocked resolves key against the full logical state (memtables
+// then tables). Caller holds p.mu (read or write — tables are immutable
+// and the version cannot be swapped while any mu is held).
+func (p *Persist) lookupLocked(key string) (val []byte, existed bool, err error) {
+	if e, ok := p.mem.get(key); ok {
+		if e.tomb {
+			return nil, false, nil
+		}
+		return e.value, true, nil
+	}
+	if p.imm != nil {
+		if e, ok := p.imm.get(key); ok {
+			if e.tomb {
+				return nil, false, nil
+			}
+			return e.value, true, nil
+		}
+	}
+	val, tomb, found, err := searchVersion(p.version, key, p.useBloom, &p.stats)
+	if err != nil || !found || tomb {
+		return nil, false, err
+	}
+	return val, true, nil
+}
+
+// corrupt escalates a CRC/decode failure on the read path: with no error
+// return in the KV contract, the only honest answers are the right value
+// or no answer at all.
+func (p *Persist) corrupt(err error) {
+	panic(fmt.Sprintf("storage: persist %s: %v (data integrity failure; refusing to serve possibly-wrong state)", p.dir, err))
+}
+
+func (p *Persist) setErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// appendLocked writes one framed WAL record and returns its group-commit
+// sequence (0 when no fsync pipeline runs). Caller holds p.mu. I/O
+// errors are sticky: in-memory state stays authoritative for the life of
+// the process and Sync/Close report the failure.
+func (p *Persist) appendLocked(writes []Write) uint64 {
+	if p.err != nil || p.wal == nil {
+		return 0
+	}
+	p.buf = appendRecordFrame(p.buf[:0], writes)
+	if _, err := p.wal.Write(p.buf); err != nil {
+		p.err = fmt.Errorf("storage: persist wal append: %w", err)
+		return 0
+	}
+	p.walBytes += int64(len(p.buf))
+	if p.durability == DurabilityNone {
+		return 0
+	}
+	c := &p.commit
+	c.mu.Lock()
+	c.appended++
+	seq := c.appended
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return seq
+}
+
+// waitDurable blocks a DurabilityAlways writer until the syncer's fsync
+// covers its record. Called WITHOUT p.mu held, so appends from other
+// writers proceed during the fsync — that overlap is the group commit.
+func (p *Persist) waitDurable(seq uint64) {
+	if seq == 0 || p.durability != DurabilityAlways {
+		return
+	}
+	c := &p.commit
+	c.mu.Lock()
+	for c.synced < seq && !c.closed {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// syncer is the group-commit loop: whenever records are appended past
+// the synced mark it fsyncs the WAL once for all of them (after a short
+// coalescing sleep in batch mode) and releases every waiter.
+func (p *Persist) syncer() {
+	defer p.wg.Done()
+	c := &p.commit
+	for {
+		c.mu.Lock()
+		for c.appended == c.synced && !c.closed {
+			c.cond.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		if p.durability == DurabilityBatch {
+			time.Sleep(p.fsyncInterval)
+		}
+		c.mu.Lock()
+		target, f, gen := c.appended, c.file, c.gen
+		c.mu.Unlock()
+		var err error
+		if f != nil {
+			err = f.Sync()
+			p.stats.fsyncs.Add(1)
+		}
+		c.mu.Lock()
+		stale := gen != c.gen // rotation sealed+fsynced that file itself
+		// Advance even on error: waiters must not hang; the failure is
+		// sticky and loud at the next Sync/Close instead.
+		if c.synced < target {
+			c.synced = target
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		if err != nil && !stale {
+			p.setErr(fmt.Errorf("storage: persist wal fsync: %w", err))
+		}
+	}
+}
+
+// maybeFlushLocked hands a full memtable to the flusher, stalling (with
+// a counted wait) when the previous flush is still in flight. Caller
+// holds p.mu.
+func (p *Persist) maybeFlushLocked() {
+	for p.err == nil && !p.closed && p.mem.bytes >= p.memLimit && len(p.mem.data) > 0 {
+		if p.imm != nil {
+			p.stats.stallWaits.Add(1)
+			p.flushCond.Wait()
+			continue
+		}
+		p.imm = p.mem
+		p.mem = newMemtable()
+		p.rotateWALLocked()
+		select {
+		case p.flushC <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// rotateWALLocked seals the active WAL (fsync — it must be durable
+// before the flush that subsumes it can delete it) and starts wal-<next>.
+// Caller holds p.mu.
+func (p *Persist) rotateWALLocked() {
+	if p.err != nil || p.wal == nil {
+		return
+	}
+	idx := p.walIdx + 1
+	newF, err := os.OpenFile(p.walPath(idx), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
+	if err != nil {
+		p.err = fmt.Errorf("storage: persist wal rotate: %w", err)
+		return
+	}
+	old := p.wal
+	if err := old.Sync(); err != nil {
+		p.err = fmt.Errorf("storage: persist wal seal sync: %w", err)
+	}
+	p.stats.fsyncs.Add(1)
+	c := &p.commit
+	c.mu.Lock()
+	c.gen++
+	c.synced = c.appended // sealed file covers everything appended so far
+	c.file = newF
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	_ = old.Close()
+	p.wal = newF
+	p.walIdx = idx
+	p.walBytes = 0
+}
+
+func (p *Persist) flusher() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.flushC:
+			p.doFlush()
+		}
+	}
+}
+
+// doFlush writes the immutable memtable out as a level-0 table, installs
+// it in a fresh version, persists the manifest, and deletes the WAL
+// files the table now covers.
+func (p *Persist) doFlush() {
+	p.mu.Lock()
+	imm := p.imm
+	if imm == nil || p.err != nil || p.closed {
+		p.flushCond.Broadcast()
+		p.mu.Unlock()
+		return
+	}
+	fileNo := p.nextFile
+	p.nextFile++
+	walMin := p.walIdx // active WAL; everything older is inside imm
+	p.mu.Unlock()
+
+	entries := imm.sortedPrefix("")
+	w, err := newSSTWriter(p.dir, fileNo)
+	var t *table
+	if err == nil {
+		for i := range entries {
+			if err = w.add(entries[i], p.useBloom); err != nil {
+				w.abort()
+				break
+			}
+		}
+		if err == nil {
+			if err = w.finish(p.useBloom); err == nil {
+				t, err = openTable(p.dir, fileNo)
+			}
+		}
+	}
+	if err != nil {
+		// The imm stays readable in memory and its WAL stays on disk: no
+		// data is lost in-process, the engine just stops flushing and the
+		// error surfaces at Sync/Close.
+		p.setErr(err)
+		p.mu.Lock()
+		p.flushCond.Broadcast()
+		p.mu.Unlock()
+		return
+	}
+
+	p.mu.Lock()
+	newLevels := cloneLevels(p.version.levels)
+	if len(newLevels) == 0 {
+		newLevels = append(newLevels, nil)
+	}
+	newLevels[0] = append([]*table{t}, newLevels[0]...)
+	newV := newVersion(newLevels)
+	merr := writeManifest(p.dir, manifestData{
+		nextFile: p.nextFile,
+		walMin:   walMin,
+		base:     uint64(p.base + int64(imm.delta)),
+		levels:   newV.fileNos(),
+	})
+	old := p.version
+	p.version = newV
+	p.base += int64(imm.delta)
+	p.imm = nil
+	p.flushCond.Broadcast()
+	if merr != nil && p.err == nil {
+		p.err = merr
+	}
+	keepWALs := merr != nil // without a durable manifest the old WALs are still the truth
+	needCompact := len(newLevels[0]) >= p.fanout
+	p.mu.Unlock()
+	old.release()
+	p.stats.flushes.Add(1)
+	p.stats.flushedBytes.Add(t.size)
+	if !keepWALs {
+		p.removeWALsBelow(walMin)
+	}
+	if needCompact {
+		select {
+		case p.compactC <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// removeWALsBelow deletes wal files with index < min (subsumed by a
+// durable flush).
+func (p *Persist) removeWALsBelow(min uint64) {
+	entries, err := os.ReadDir(p.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		idx, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 16, 64)
+		if perr == nil && idx < min {
+			_ = os.Remove(filepath.Join(p.dir, name))
+		}
+	}
+}
+
+func (p *Persist) compactor() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.compactC:
+			for p.compactOnce() {
+			}
+		}
+	}
+}
+
+// compactOnce merges the shallowest over-fanout level into one run on
+// the next level, returning whether it did any work. Tombstones are
+// dropped only when no deeper level holds tables (the shadowed versions
+// are then inside this very merge, so both sides vanish together).
+func (p *Persist) compactOnce() bool {
+	p.mu.RLock()
+	if p.closed || p.err != nil {
+		p.mu.RUnlock()
+		return false
+	}
+	v := p.version
+	level := -1
+	for i, lvl := range v.levels {
+		if len(lvl) >= p.fanout {
+			level = i
+			break
+		}
+	}
+	if level < 0 {
+		p.mu.RUnlock()
+		return false
+	}
+	inputs := append([]*table(nil), v.levels[level]...)
+	dropTombs := true
+	for j := level + 1; j < len(v.levels); j++ {
+		if len(v.levels[j]) > 0 {
+			dropTombs = false
+			break
+		}
+	}
+	for _, t := range inputs {
+		t.ref() // pin across the merge, beyond this version's lifetime
+	}
+	p.mu.RUnlock()
+	unpin := func() {
+		for _, t := range inputs {
+			t.unref()
+		}
+	}
+
+	p.mu.Lock()
+	fileNo := p.nextFile
+	p.nextFile++
+	p.mu.Unlock()
+
+	w, err := newSSTWriter(p.dir, fileNo)
+	if err != nil {
+		unpin()
+		p.setErr(err)
+		return false
+	}
+	sources := make([]lsmSource, len(inputs))
+	for i, t := range inputs {
+		sources[i] = newTableIter(t, "", "")
+	}
+	added := 0
+	var addErr error
+	merr := mergeSources(sources, !dropTombs, func(e lsmEntry) bool {
+		if addErr = w.add(e, p.useBloom); addErr != nil {
+			return false
+		}
+		added++
+		return true
+	})
+	if merr == nil {
+		merr = addErr
+	}
+	if merr != nil {
+		w.abort()
+		unpin()
+		p.setErr(fmt.Errorf("storage: persist compaction: %w", merr))
+		return false
+	}
+	var out *table
+	if added == 0 {
+		w.abort() // everything annihilated; no output table
+	} else {
+		if err := w.finish(p.useBloom); err != nil {
+			unpin()
+			p.setErr(err)
+			return false
+		}
+		if out, err = openTable(p.dir, fileNo); err != nil {
+			unpin()
+			p.setErr(err)
+			return false
+		}
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		unpin()
+		if out != nil {
+			_ = out.f.Close()
+			_ = os.Remove(out.path)
+		}
+		return false
+	}
+	drop := make(map[*table]bool, len(inputs))
+	for _, t := range inputs {
+		drop[t] = true
+	}
+	newLevels := cloneLevels(p.version.levels)
+	kept := newLevels[level][:0]
+	for _, t := range newLevels[level] {
+		if !drop[t] {
+			kept = append(kept, t)
+		}
+	}
+	newLevels[level] = kept
+	for len(newLevels) <= level+1 {
+		newLevels = append(newLevels, nil)
+	}
+	if out != nil {
+		// The merged run is newer than everything already on level+1.
+		newLevels[level+1] = append([]*table{out}, newLevels[level+1]...)
+	}
+	newV := newVersion(newLevels)
+	merr = writeManifest(p.dir, manifestData{
+		nextFile: p.nextFile,
+		walMin:   p.walIdx,
+		base:     uint64(p.base), // compaction preserves logical content
+		levels:   newV.fileNos(),
+	})
+	old := p.version
+	p.version = newV
+	if merr != nil && p.err == nil {
+		p.err = merr
+	}
+	if merr == nil {
+		// Only a durable manifest may doom the inputs' files; otherwise
+		// the old manifest still names them for recovery.
+		for _, t := range inputs {
+			t.dead.Store(true)
+		}
+	}
+	p.mu.Unlock()
+	old.release()
+	unpin()
+	p.stats.compactions.Add(1)
+	if out != nil {
+		p.stats.compactedBytes.Add(out.size)
+	}
+	return merr == nil
+}
+
+// lsmSource is one ascending stream in a k-way merge. Sources are
+// ordered newest-first; mergeSources resolves ties by source index.
+type lsmSource interface {
+	valid() bool
+	entry() lsmEntry
+	next()
+	srcErr() error
+}
+
+func (it *tableIter) srcErr() error { return it.err }
+
+// sliceSource adapts a sorted []lsmEntry (a memtable dump).
+type sliceSource struct {
+	entries []lsmEntry
+	pos     int
+}
+
+func (s *sliceSource) valid() bool     { return s.pos < len(s.entries) }
+func (s *sliceSource) entry() lsmEntry { return s.entries[s.pos] }
+func (s *sliceSource) next()           { s.pos++ }
+func (s *sliceSource) srcErr() error   { return nil }
+
+// mergeSources emits the newest version of each key in ascending key
+// order. Tombstones are emitted only when keepTombs (compactions that
+// are not the deepest level must keep them to shadow older runs); emit
+// returning false stops the merge.
+func mergeSources(sources []lsmSource, keepTombs bool, emit func(lsmEntry) bool) error {
+	for {
+		best := -1
+		for i, s := range sources {
+			if err := s.srcErr(); err != nil {
+				return err
+			}
+			if !s.valid() {
+				continue
+			}
+			if best < 0 || s.entry().key < sources[best].entry().key {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		win := sources[best].entry()
+		for i := best; i < len(sources); i++ {
+			s := sources[i]
+			if s.valid() && s.entry().key == win.key {
+				s.next()
+				if err := s.srcErr(); err != nil {
+					return err
+				}
+			}
+		}
+		if win.tomb && !keepTombs {
+			continue
+		}
+		if !emit(win) {
+			return nil
+		}
+	}
+}
+
+// Get implements KV: memtables first, then a pinned version searched
+// newest-to-oldest, lock-free.
+func (p *Persist) Get(key string) ([]byte, bool) {
+	p.mu.RLock()
+	if e, ok := p.mem.get(key); ok {
+		p.mu.RUnlock()
+		if e.tomb {
+			return nil, false
+		}
+		return e.value, true
+	}
+	if p.imm != nil {
+		if e, ok := p.imm.get(key); ok {
+			p.mu.RUnlock()
+			if e.tomb {
+				return nil, false
+			}
+			return e.value, true
+		}
+	}
+	v := p.version
+	v.acquire()
+	p.mu.RUnlock()
+	val, tomb, found, err := searchVersion(v, key, p.useBloom, &p.stats)
+	v.release()
+	if err != nil {
+		p.corrupt(err)
+	}
+	if !found || tomb {
+		return nil, false
+	}
+	return val, true
+}
+
+// Put implements KV.
+func (p *Persist) Put(key string, value []byte) bool {
+	p.mu.Lock()
+	_, existed, err := p.lookupLocked(key)
+	if err != nil {
+		p.mu.Unlock()
+		p.corrupt(err)
+	}
+	seq := p.appendLocked([]Write{{Key: key, Value: value}})
+	p.mem.setPut(key, value, existed)
+	p.maybeFlushLocked()
+	p.mu.Unlock()
+	p.waitDurable(seq)
+	return !existed
+}
+
+// Delete implements KV. Deleting an absent key writes nothing — not even
+// a tombstone: the existence check is authoritative, so there is no
+// older version left to shadow.
+func (p *Persist) Delete(key string) ([]byte, bool) {
+	p.mu.Lock()
+	val, existed, err := p.lookupLocked(key)
+	if err != nil {
+		p.mu.Unlock()
+		p.corrupt(err)
+	}
+	if !existed {
+		p.mu.Unlock()
+		return nil, false
+	}
+	seq := p.appendLocked([]Write{{Key: key, Delete: true}})
+	p.mem.setDelete(key)
+	p.maybeFlushLocked()
+	p.mu.Unlock()
+	p.waitDurable(seq)
+	return val, true
+}
+
+// ApplyBatch implements KV: one atomic WAL record, then every write
+// applied through the existence-checked path (bloom filters keep the
+// fresh-key common case off disk).
+func (p *Persist) ApplyBatch(writes []Write) {
+	if len(writes) == 0 {
+		return
+	}
+	p.mu.Lock()
+	seq := p.appendLocked(writes)
+	for i := range writes {
+		w := &writes[i]
+		_, existed, err := p.lookupLocked(w.Key)
+		if err != nil {
+			p.mu.Unlock()
+			p.corrupt(err)
+		}
+		if w.Delete {
+			if existed {
+				p.mem.setDelete(w.Key)
+			}
+			continue
+		}
+		p.mem.setPut(w.Key, w.Value, existed)
+	}
+	p.maybeFlushLocked()
+	p.mu.Unlock()
+	p.waitDurable(seq)
+}
+
+// IterPrefix implements KV: a k-way merge over point-in-time copies of
+// the memtables and a pinned version — concurrent flushes, compactions
+// and writes never change what an in-flight iteration sees — with fn
+// running lock-free, so it may re-enter the KV.
+func (p *Persist) IterPrefix(prefix string, fn func(key string, value []byte) bool) {
+	p.mu.RLock()
+	memEntries := p.mem.sortedPrefix(prefix)
+	var immEntries []lsmEntry
+	if p.imm != nil {
+		immEntries = p.imm.sortedPrefix(prefix)
+	}
+	v := p.version
+	v.acquire()
+	p.mu.RUnlock()
+	defer v.release()
+	sources := []lsmSource{
+		&sliceSource{entries: memEntries},
+		&sliceSource{entries: immEntries},
+	}
+	for _, lvl := range v.levels {
+		for _, t := range lvl {
+			if len(t.blocks) == 0 || t.maxKey < prefix {
+				continue
+			}
+			sources = append(sources, newTableIter(t, prefix, prefix))
+		}
+	}
+	err := mergeSources(sources, false, func(e lsmEntry) bool {
+		return fn(e.key, e.value)
+	})
+	if err != nil {
+		p.corrupt(err)
+	}
+}
+
+// Len implements KV: the persisted base count plus the memtables' live
+// deltas — exact, without merging runs.
+func (p *Persist) Len() int {
+	p.mu.RLock()
+	n := p.base + int64(p.mem.delta)
+	if p.imm != nil {
+		n += int64(p.imm.delta)
+	}
+	p.mu.RUnlock()
+	return int(n)
+}
+
+// Sync implements KV: flush the active WAL to stable storage.
+func (p *Persist) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return p.err
+	}
+	if p.wal == nil {
+		return nil
+	}
+	if err := p.wal.Sync(); err != nil {
+		p.err = fmt.Errorf("storage: persist sync: %w", err)
+	}
+	return p.err
+}
+
+// Close implements KV: stop the background workers, seal the WAL and
+// release the table set. Idempotent.
+func (p *Persist) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		err := p.err
+		p.mu.Unlock()
+		return err
+	}
+	p.closed = true
+	p.flushCond.Broadcast()
+	p.mu.Unlock()
+	close(p.quit)
+	c := &p.commit
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	p.wg.Wait()
+	p.mu.Lock()
+	if p.wal != nil {
+		if err := p.wal.Sync(); err != nil && p.err == nil {
+			p.err = fmt.Errorf("storage: persist close sync: %w", err)
+		}
+		if err := p.wal.Close(); err != nil && p.err == nil {
+			p.err = fmt.Errorf("storage: persist close: %w", err)
+		}
+		p.wal = nil
+	}
+	v := p.version
+	p.version = nil
+	err := p.err
+	p.mu.Unlock()
+	if v != nil {
+		v.release()
+	}
+	return err
+}
+
+// Stats snapshots the engine's shape and counters.
+func (p *Persist) Stats() PersistStats {
+	st := PersistStats{Durability: p.durability}
+	p.mu.RLock()
+	if p.version != nil {
+		for i, lvl := range p.version.levels {
+			st.SSTables += len(lvl)
+			if len(lvl) > 0 {
+				st.Levels = i + 1
+			}
+			if len(lvl) >= p.fanout {
+				st.CompactionBacklog++
+			}
+		}
+	}
+	if p.mem != nil {
+		st.MemtableBytes = p.mem.bytes
+		st.LiveKeys = p.base + int64(p.mem.delta)
+	}
+	if p.imm != nil {
+		st.MemtableBytes += p.imm.bytes
+		st.LiveKeys += int64(p.imm.delta)
+	}
+	st.WALBytes = p.walBytes
+	p.mu.RUnlock()
+	st.Flushes = p.stats.flushes.Load()
+	st.FlushedBytes = p.stats.flushedBytes.Load()
+	st.Compactions = p.stats.compactions.Load()
+	st.CompactedBytes = p.stats.compactedBytes.Load()
+	st.StallWaits = p.stats.stallWaits.Load()
+	st.BloomChecks = p.stats.bloomChecks.Load()
+	st.BloomSkips = p.stats.bloomSkips.Load()
+	st.BlockReads = p.stats.blockReads.Load()
+	st.WALFsyncs = p.stats.fsyncs.Load()
+	return st
+}
+
+// Register exposes the engine's gauges and counters on a metrics
+// registry (typically pre-scoped with peer/store labels — see
+// Registry.With). Safe on a nil registry.
+func (p *Persist) Register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("storage_sstables", "Live SSTables in the LSM persist engine.",
+		func() float64 { return float64(p.Stats().SSTables) })
+	reg.GaugeFunc("storage_lsm_levels", "Occupied LSM levels.",
+		func() float64 { return float64(p.Stats().Levels) })
+	reg.GaugeFunc("storage_memtable_bytes", "Bytes buffered in the active+flushing memtables.",
+		func() float64 { return float64(p.Stats().MemtableBytes) })
+	reg.GaugeFunc("storage_wal_bytes", "Bytes in the active WAL file.",
+		func() float64 { return float64(p.Stats().WALBytes) })
+	reg.GaugeFunc("storage_compaction_backlog", "Levels at or over the compaction fanout.",
+		func() float64 { return float64(p.Stats().CompactionBacklog) })
+	reg.CounterFunc("storage_flush_total", "Memtable flushes into SSTables.",
+		p.stats.flushes.Load)
+	reg.CounterFunc("storage_compaction_total", "Background compaction merges.",
+		p.stats.compactions.Load)
+	reg.CounterFunc("storage_compaction_bytes_total", "Bytes rewritten by compaction.",
+		p.stats.compactedBytes.Load)
+	reg.CounterFunc("storage_stall_waits_total", "Writer stalls waiting for a flush slot.",
+		p.stats.stallWaits.Load)
+	reg.CounterFunc("storage_bloom_checks_total", "Bloom filter probes on table lookups.",
+		p.stats.bloomChecks.Load)
+	reg.CounterFunc("storage_bloom_skips_total", "Table lookups answered negative by the bloom filter without a disk read.",
+		p.stats.bloomSkips.Load)
+	reg.CounterFunc("storage_block_reads_total", "SSTable data block reads.",
+		p.stats.blockReads.Load)
+	reg.CounterFunc("storage_wal_fsync_total", "WAL fsyncs (group commits, rotations).",
+		p.stats.fsyncs.Load)
+}

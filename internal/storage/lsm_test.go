@@ -1,0 +1,723 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"socialchain/internal/walframe"
+)
+
+// openLSM opens a persist engine over dir with a tiny memtable and fanout
+// so tests exercise flushes and compactions.
+func openLSM(t *testing.T, dir string) *Persist {
+	t.Helper()
+	p, err := OpenPersist(Config{Dir: dir, MemtableBytes: 1 << 10, CompactFanout: 2})
+	if err != nil {
+		t.Fatalf("open persist %s: %v", dir, err)
+	}
+	return p
+}
+
+// dirFiles returns the names in dir matching prefix/suffix.
+func dirFiles(t *testing.T, dir, prefix, suffix string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), prefix) && strings.HasSuffix(e.Name(), suffix) {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestLSMReopenRecoversState drives writes through flushes and
+// compactions, closes, reopens, and requires identical contents — with the
+// reopened state actually spread across SSTables, not just the WAL.
+func TestLSMReopenRecoversState(t *testing.T) {
+	dir := t.TempDir()
+	p := openLSM(t, dir)
+	want := make(map[string]string)
+	for i := 0; i < 600; i++ {
+		k := fmt.Sprintf("ns\x00key/%03d", i%150)
+		v := fmt.Sprintf("value-%d-%s", i, strings.Repeat("x", 64))
+		p.Put(k, []byte(v))
+		want[k] = v
+	}
+	for i := 0; i < 150; i += 3 {
+		k := fmt.Sprintf("ns\x00key/%03d", i)
+		p.Delete(k)
+		delete(want, k)
+	}
+	p.ApplyBatch([]Write{
+		{Key: "batch/a", Value: []byte("1")},
+		{Key: "batch/b", Value: []byte("2")},
+		{Key: "batch/a", Delete: true},
+	})
+	want["batch/b"] = "2"
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dirFiles(t, dir, sstPrefix, sstSuffix)) == 0 {
+		t.Fatal("workload produced no SSTables; the test is not exercising the table path")
+	}
+
+	re := openLSM(t, dir)
+	defer re.Close()
+	if re.Len() != len(want) {
+		t.Fatalf("reopened Len = %d, want %d", re.Len(), len(want))
+	}
+	for k, v := range want {
+		got, ok := re.Get(k)
+		if !ok || string(got) != v {
+			t.Fatalf("reopened Get(%q) = %q/%v, want %q", k, got, ok, v)
+		}
+	}
+	got := map[string]string{}
+	re.IterPrefix("", func(k string, v []byte) bool {
+		got[k] = string(v)
+		return true
+	})
+	wantLen := len(want)
+	if len(got) != wantLen {
+		t.Fatalf("iterated %d keys, want %d", len(got), wantLen)
+	}
+}
+
+// TestLSMCompactionBoundsTables checks the level invariant: after a heavy
+// overwrite workload and a drained compactor, no level holds fanout or
+// more tables, and shadowed garbage has been dropped (total table bytes
+// stay bounded instead of growing with every overwrite).
+func TestLSMCompactionBoundsTables(t *testing.T) {
+	dir := t.TempDir()
+	p := openLSM(t, dir)
+	big := strings.Repeat("v", 256)
+	for i := 0; i < 400; i++ {
+		p.Put(fmt.Sprintf("k%03d", i%40), []byte(big))
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := openLSM(t, dir)
+	defer re.Close()
+	st := re.Stats()
+	if st.SSTables == 0 {
+		t.Fatal("no SSTables after 400 writes with a 1 KiB memtable")
+	}
+	// 40 live keys * ~300 bytes is ~12 KiB of live data; tables holding
+	// 100x that would mean compaction never reclaimed shadowed versions.
+	var total int64
+	for _, name := range dirFiles(t, dir, sstPrefix, sstSuffix) {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	if total > 1<<20 {
+		t.Fatalf("tables hold %d bytes for ~12 KiB of live data; compaction is not reclaiming", total)
+	}
+	if re.Len() != 40 {
+		t.Fatalf("recovered %d keys, want 40", re.Len())
+	}
+}
+
+// TestLSMIterPrefixPointInTime starts an iteration, then mutates the
+// engine from inside fn — overwrites, deletes, new keys, enough bytes to
+// force a memtable flush and compactions mid-iteration. The iteration
+// must deliver exactly the state it started from.
+func TestLSMIterPrefixPointInTime(t *testing.T) {
+	dir := t.TempDir()
+	p := openLSM(t, dir)
+	defer p.Close()
+	want := make([]string, 0, 120)
+	for i := 0; i < 120; i++ {
+		k := fmt.Sprintf("pit/%03d", i)
+		p.Put(k, []byte("v-"+k))
+		want = append(want, k)
+	}
+	filler := strings.Repeat("f", 128)
+	var got []string
+	p.IterPrefix("pit/", func(k string, v []byte) bool {
+		if string(v) != "v-"+k {
+			t.Fatalf("key %s carries %q mid-iteration", k, v)
+		}
+		got = append(got, k)
+		// Mutate everything ahead of the cursor: delete some, overwrite
+		// others, insert keys that sort inside the remaining range, and
+		// push enough bytes through to force flushes (1 KiB memtable) and
+		// compactions while the iteration is live.
+		i := len(got) - 1
+		p.Delete(fmt.Sprintf("pit/%03d", (i+7)%120))
+		p.Put(fmt.Sprintf("pit/%03d-new", (i+3)%120), []byte(filler))
+		p.Put(fmt.Sprintf("churn/%03d", i), []byte(filler))
+		// fn may re-enter the KV for reads too.
+		p.Get(fmt.Sprintf("pit/%03d", (i+1)%120))
+		return true
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("iteration saw %d keys (want %d): point-in-time snapshot violated\ngot  %v\nwant %v",
+			len(got), len(want), got, want)
+	}
+}
+
+// TestLSMIterPrefixUnderConcurrentFlushAndCompaction runs iterations
+// against a fixed "stable/" key set while a writer hammers a "hot/"
+// space hard enough to flush and compact continuously. Every iteration
+// must see exactly the stable set, in order — tables vanishing under a
+// pinned version must never drop or duplicate entries.
+func TestLSMIterPrefixUnderConcurrentFlushAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	p := openLSM(t, dir)
+	defer p.Close()
+	want := make([]string, 0, 64)
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("stable/%02d", i)
+		p.Put(k, []byte(k))
+		want = append(want, k)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		filler := strings.Repeat("w", 200)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.Put(fmt.Sprintf("hot/%03d", i%50), []byte(filler))
+			if i%7 == 0 {
+				p.Delete(fmt.Sprintf("hot/%03d", (i+3)%50))
+			}
+		}
+	}()
+	for round := 0; round < 200; round++ {
+		var got []string
+		p.IterPrefix("stable/", func(k string, v []byte) bool {
+			got = append(got, k)
+			return true
+		})
+		if !reflect.DeepEqual(got, want) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("round %d: stable prefix saw %v, want %v", round, got, want)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if st := p.Stats(); st.Flushes == 0 {
+		t.Fatal("workload never flushed; the test exercised only the memtable")
+	}
+}
+
+// buildWALOnly creates an LSM dir whose state lives purely in the WAL: two
+// committed puts, then one final batch record.
+func buildWALOnly(t *testing.T, dir string) {
+	t.Helper()
+	p, err := OpenPersist(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put("a", []byte("alpha"))
+	p.Put("b", []byte("beta"))
+	p.ApplyBatch([]Write{
+		{Key: "c", Value: []byte("gamma")},
+		{Key: "a", Delete: true},
+		{Key: "d", Value: []byte("delta-" + strings.Repeat("z", 40))},
+	})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lsmState opens dir and dumps its full contents (recovery must succeed).
+func lsmState(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	p, err := OpenPersist(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer p.Close()
+	got := map[string]string{}
+	p.IterPrefix("", func(k string, v []byte) bool {
+		got[k] = string(v)
+		return true
+	})
+	return got
+}
+
+// TestLSMWALTornTailRecovery sweeps every truncation point and every
+// corrupted byte of the WAL's final record: recovery must land exactly on
+// the last fully-committed record — never an error, never a partial batch.
+func TestLSMWALTornTailRecovery(t *testing.T) {
+	refDir := t.TempDir()
+	buildWALOnly(t, refDir)
+	walName := dirFiles(t, refDir, segPrefix, segSuffix)
+	if len(walName) != 1 {
+		t.Fatalf("reference dir holds %d wal files, want 1", len(walName))
+	}
+	refWAL, err := os.ReadFile(filepath.Join(refDir, walName[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := parseRecords(refWAL)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("reference wal has %d records (err %v), want 3", len(recs), err)
+	}
+	batchStart := len(refWAL) - walframe.HeaderLen - len(recs[2])
+	wantWithoutBatch := map[string]string{"a": "alpha", "b": "beta"}
+	wantWithBatch := map[string]string{"b": "beta", "c": "gamma", "d": "delta-" + strings.Repeat("z", 40)}
+
+	for cut := batchStart; cut < len(refWAL); cut++ {
+		t.Run(fmt.Sprintf("truncate@%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			buildWALOnly(t, dir)
+			wal := filepath.Join(dir, walName[0])
+			if err := os.Truncate(wal, int64(cut)); err != nil {
+				t.Fatal(err)
+			}
+			if got := lsmState(t, dir); !reflect.DeepEqual(got, wantWithoutBatch) {
+				t.Fatalf("recovered %v, want %v", got, wantWithoutBatch)
+			}
+			// The torn tail must have been truncated so the next append
+			// produces a clean log; reopen once more to prove it.
+			if got := lsmState(t, dir); !reflect.DeepEqual(got, wantWithoutBatch) {
+				t.Fatalf("second reopen diverged")
+			}
+		})
+	}
+	for off := batchStart; off < len(refWAL); off++ {
+		t.Run(fmt.Sprintf("corrupt@%d", off), func(t *testing.T) {
+			dir := t.TempDir()
+			buildWALOnly(t, dir)
+			wal := filepath.Join(dir, walName[0])
+			data := append([]byte(nil), refWAL...)
+			data[off] ^= 0xff
+			if err := os.WriteFile(wal, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got := lsmState(t, dir); !reflect.DeepEqual(got, wantWithoutBatch) {
+				t.Fatalf("recovered %v, want %v", got, wantWithoutBatch)
+			}
+		})
+	}
+	t.Run("intact", func(t *testing.T) {
+		dir := t.TempDir()
+		buildWALOnly(t, dir)
+		if got := lsmState(t, dir); !reflect.DeepEqual(got, wantWithBatch) {
+			t.Fatalf("recovered %v, want %v", got, wantWithBatch)
+		}
+	})
+}
+
+// TestLSMWALMidLogCorruptionIsFatal flips a byte in an early record while
+// committed records follow: recovery must refuse — and leave the file
+// untruncated — instead of silently dropping the committed suffix.
+func TestLSMWALMidLogCorruptionIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenPersist(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put("first", []byte(strings.Repeat("a", 40)))
+	p.Put("second", []byte(strings.Repeat("b", 40)))
+	p.Put("third", []byte(strings.Repeat("c", 40)))
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walName := dirFiles(t, dir, segPrefix, segSuffix)[0]
+	wal := filepath.Join(dir, walName)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte(nil), data...)
+	corrupted[walframe.HeaderLen+4] ^= 0xff // inside the first record's payload
+	if err := os.WriteFile(wal, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPersist(Config{Dir: dir}); err == nil {
+		t.Fatal("mid-log corruption recovered silently")
+	}
+	after, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(data) {
+		t.Fatalf("failed open truncated the wal: %d -> %d bytes", len(data), len(after))
+	}
+}
+
+// buildTabled creates an LSM dir whose state is spread across SSTables
+// (tiny memtable) and returns the expected contents.
+func buildTabled(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	p, err := OpenPersist(Config{Dir: dir, MemtableBytes: 1 << 10, CompactFanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]string)
+	for i := 0; i < 120; i++ {
+		k := fmt.Sprintf("key/%03d", i)
+		v := fmt.Sprintf("val-%d-%s", i, strings.Repeat("s", 24))
+		p.Put(k, []byte(v))
+		want[k] = v
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dirFiles(t, dir, sstPrefix, sstSuffix)) == 0 {
+		t.Fatal("workload produced no SSTables")
+	}
+	return want
+}
+
+// checkNeverWrong opens dir after a fault injection and requires one of
+// three honest outcomes for every key: open refuses, the read panics, or
+// the read returns the exact committed value. Returning a WRONG value (or
+// silently losing a key) fails the test.
+func checkNeverWrong(t *testing.T, dir string, want map[string]string) {
+	t.Helper()
+	p, err := OpenPersist(Config{Dir: dir, MemtableBytes: 1 << 10, CompactFanout: 2})
+	if err != nil {
+		return // refused loudly at open: acceptable
+	}
+	defer func() {
+		recover() // a panicking Close after a read panic is fine
+	}()
+	defer p.Close()
+	for k, v := range want {
+		func() {
+			defer func() {
+				recover() // integrity panic: loud failure, acceptable
+			}()
+			got, ok := p.Get(k)
+			if !ok {
+				t.Errorf("Get(%q) lost a committed key without failing loudly", k)
+			} else if string(got) != v {
+				t.Errorf("Get(%q) = %q, want %q: served a wrong value", k, got, v)
+			}
+		}()
+		if t.Failed() {
+			return
+		}
+	}
+	// Iteration must be equally honest.
+	func() {
+		defer func() {
+			recover()
+		}()
+		got := map[string]string{}
+		p.IterPrefix("", func(k string, v []byte) bool {
+			got[k] = string(v)
+			return true
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("iteration diverged without failing loudly: %d keys, want %d", len(got), len(want))
+		}
+	}()
+}
+
+// TestLSMSSTableCorruptionSweep flips every byte of an SSTable file in
+// turn: each faulted copy must either refuse to open, fail reads loudly,
+// or serve exactly the committed values — never wrong data. This is the
+// block/index/bloom/footer CRC gate.
+func TestLSMSSTableCorruptionSweep(t *testing.T) {
+	refDir := t.TempDir()
+	want := buildTabled(t, refDir)
+	step := 1
+	if testing.Short() {
+		step = 37
+	}
+	// Background flush/compaction timing makes the exact file set vary
+	// between builds, so each iteration corrupts ITS OWN dir's mid-stack
+	// table; the loop ends when the offset runs past that table's size.
+	for off := 0; ; off += step {
+		dir := t.TempDir()
+		buildTabled(t, dir)
+		names := dirFiles(t, dir, sstPrefix, sstSuffix)
+		name := names[len(names)/2]
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off >= len(data) {
+			break
+		}
+		data[off] ^= 0xff
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		checkNeverWrong(t, dir, want)
+		if t.Failed() {
+			t.Fatalf("corrupting %s at offset %d served wrong data", name, off)
+		}
+	}
+}
+
+// TestLSMSSTableTruncationSweep truncates an SSTable at every offset:
+// recovery must refuse (footer/index unreadable) or reads must fail
+// loudly — never a silently shrunken state.
+func TestLSMSSTableTruncationSweep(t *testing.T) {
+	refDir := t.TempDir()
+	want := buildTabled(t, refDir)
+	step := 1
+	if testing.Short() {
+		step = 37
+	}
+	for cut := 0; ; cut += step {
+		dir := t.TempDir()
+		buildTabled(t, dir)
+		names := dirFiles(t, dir, sstPrefix, sstSuffix)
+		name := names[len(names)/2]
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(cut) >= fi.Size() {
+			break
+		}
+		if err := os.Truncate(filepath.Join(dir, name), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		checkNeverWrong(t, dir, want)
+		if t.Failed() {
+			t.Fatalf("truncating %s at %d served wrong data", name, cut)
+		}
+	}
+}
+
+// TestLSMManifestDamageIsFatal flips every byte of the manifest and
+// truncates it at every offset: the manifest is written atomically, so
+// ANY damage is real corruption and open must refuse (an empty/absent
+// manifest with live sst files must also refuse, not resurrect orphans).
+func TestLSMManifestDamageIsFatal(t *testing.T) {
+	for off := 0; ; off++ {
+		dir := t.TempDir()
+		buildTabled(t, dir)
+		data, err := os.ReadFile(manifestPath(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off >= len(data) {
+			break
+		}
+		data[off] ^= 0xff
+		if err := os.WriteFile(manifestPath(dir), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if p, err := OpenPersist(Config{Dir: dir}); err == nil {
+			p.Close()
+			t.Fatalf("manifest with byte %d flipped opened silently", off)
+		}
+	}
+	for cut := 1; ; cut++ {
+		dir := t.TempDir()
+		buildTabled(t, dir)
+		fi, err := os.Stat(manifestPath(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(cut) >= fi.Size() {
+			break
+		}
+		if err := os.Truncate(manifestPath(dir), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		if p, err := OpenPersist(Config{Dir: dir}); err == nil {
+			p.Close()
+			t.Fatalf("manifest truncated at %d opened silently", cut)
+		}
+	}
+}
+
+// TestLSMMissingFilesAreFatal removes a live SSTable and, separately, the
+// WAL file the manifest names: both must refuse recovery rather than
+// silently lose committed writes.
+func TestLSMMissingFilesAreFatal(t *testing.T) {
+	t.Run("sstable", func(t *testing.T) {
+		dir := t.TempDir()
+		buildTabled(t, dir)
+		names := dirFiles(t, dir, sstPrefix, sstSuffix)
+		if err := os.Remove(filepath.Join(dir, names[0])); err != nil {
+			t.Fatal(err)
+		}
+		if p, err := OpenPersist(Config{Dir: dir}); err == nil {
+			p.Close()
+			t.Fatal("missing live SSTable recovered silently")
+		}
+	})
+	t.Run("wal", func(t *testing.T) {
+		dir := t.TempDir()
+		buildTabled(t, dir)
+		for _, name := range dirFiles(t, dir, segPrefix, segSuffix) {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if p, err := OpenPersist(Config{Dir: dir}); err == nil {
+			p.Close()
+			t.Fatal("missing manifest-named WAL recovered silently")
+		}
+	})
+}
+
+// TestLSMAppendAfterTornTail proves writes continue cleanly after a
+// torn-tail recovery.
+func TestLSMAppendAfterTornTail(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenPersist(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put("keep", []byte("v1"))
+	p.ApplyBatch([]Write{{Key: "torn", Value: []byte("lost")}})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walName := dirFiles(t, dir, segPrefix, segSuffix)[0]
+	wal := filepath.Join(dir, walName)
+	st, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(wal, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenPersist(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Get("torn"); ok {
+		t.Fatal("torn batch survived")
+	}
+	re.Put("after", []byte("v2"))
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := OpenPersist(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	if v, ok := final.Get("keep"); !ok || string(v) != "v1" {
+		t.Fatalf("keep = %q/%v", v, ok)
+	}
+	if v, ok := final.Get("after"); !ok || string(v) != "v2" {
+		t.Fatalf("after = %q/%v", v, ok)
+	}
+}
+
+// TestLSMRefusesMapwalDirectory: pointing the LSM at a directory holding
+// mapwal snapshots must be a descriptive error, not a silent partial
+// recovery of the shared-format WAL without the snapshot's contents.
+func TestLSMRefusesMapwalDirectory(t *testing.T) {
+	dir := t.TempDir()
+	mw, err := OpenMapWAL(Config{Dir: dir, SegmentBytes: 512, CompactSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		mw.Put(fmt.Sprintf("k%02d", i), []byte(strings.Repeat("v", 64)))
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dirFiles(t, dir, snapPrefix, snapSuffix)) == 0 {
+		t.Fatal("mapwal workload cut no snapshot")
+	}
+	_, err = OpenPersist(Config{Dir: dir})
+	if err == nil {
+		t.Fatal("LSM opened a mapwal directory silently")
+	}
+	if !strings.Contains(err.Error(), string(EngineMapWAL)) {
+		t.Fatalf("error %q does not point at the mapwal engine", err)
+	}
+}
+
+// TestLSMDurabilityModes runs the same workload under every durability
+// mode and requires identical recovered state — the modes differ in loss
+// windows under power failure, never in logical behaviour.
+func TestLSMDurabilityModes(t *testing.T) {
+	for _, d := range []Durability{DurabilityNone, DurabilityBatch, DurabilityAlways} {
+		t.Run(string(d), func(t *testing.T) {
+			dir := t.TempDir()
+			p, err := OpenPersist(Config{Dir: dir, Durability: d, MemtableBytes: 1 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 100; i++ {
+				p.Put(fmt.Sprintf("k%03d", i), []byte(strings.Repeat("v", 32)))
+			}
+			p.ApplyBatch([]Write{{Key: "k000", Delete: true}, {Key: "extra", Value: []byte("e")}})
+			if err := p.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re, err := OpenPersist(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			if re.Len() != 100 {
+				t.Fatalf("Len = %d, want 100", re.Len())
+			}
+			if _, ok := re.Get("k000"); ok {
+				t.Fatal("deleted key survived")
+			}
+			if v, ok := re.Get("extra"); !ok || string(v) != "e" {
+				t.Fatalf("extra = %q/%v", v, ok)
+			}
+		})
+	}
+}
+
+// TestLSMBloomSkipsNegativeLookups checks the bloom fast path: misses on
+// never-written keys should overwhelmingly skip disk, and disabling the
+// filter (NoBloom) must force block reads instead.
+func TestLSMBloomSkipsNegativeLookups(t *testing.T) {
+	dir := t.TempDir()
+	p, err := OpenPersist(Config{Dir: dir, MemtableBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p.Put(fmt.Sprintf("present/%04d", i), []byte(strings.Repeat("v", 32)))
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenPersist(Config{Dir: dir, MemtableBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := 0; i < 500; i++ {
+		// Keys inside the tables' fence range so only the filter can skip.
+		if _, ok := re.Get(fmt.Sprintf("present/%04d-missing", i)); ok {
+			t.Fatal("phantom key")
+		}
+	}
+	st := re.Stats()
+	if st.BloomChecks == 0 {
+		t.Fatal("negative lookups never consulted the bloom filter")
+	}
+	if st.BloomSkips*10 < st.BloomChecks*9 {
+		t.Fatalf("bloom skipped only %d of %d probes (<90%%)", st.BloomSkips, st.BloomChecks)
+	}
+	if st.BlockReads > st.BloomChecks-st.BloomSkips+10 {
+		t.Fatalf("%d block reads for %d unfiltered probes", st.BlockReads, st.BloomChecks-st.BloomSkips)
+	}
+}

@@ -1,0 +1,152 @@
+package storage
+
+// The manifest is the LSM engine's root pointer: a single walframe-framed
+// file naming the live SSTables level by level, the lowest WAL file whose
+// writes are not yet covered by a table, the next file number, and the
+// persisted live-key count. It is rewritten atomically (temp file, fsync,
+// rename, directory fsync) on every flush and compaction, so a crash at
+// any instant leaves either the old manifest or the new one — never a
+// torn root. Files on disk that the manifest does not reference are
+// orphans of an interrupted flush/compaction and are deleted at open;
+// files it references but that are missing or corrupt are a hard error.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"socialchain/internal/walframe"
+)
+
+const (
+	manifestName  = "MANIFEST"
+	manifestMagic = "LSM1"
+)
+
+// manifestData is the decoded manifest.
+type manifestData struct {
+	// nextFile is the next SSTable file number (WAL files number
+	// contiguously on their own counter).
+	nextFile uint64
+	// walMin is the lowest WAL file index whose records are NOT covered by
+	// the tables below; recovery replays wal files with idx >= walMin.
+	walMin uint64
+	// base is the live-key count of the state the tables represent, so
+	// Len() is exact after reopen without merging every run.
+	base uint64
+	// levels lists table file numbers per level, newest first within a
+	// level — the search order.
+	levels [][]uint64
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, manifestName) }
+
+// writeManifest atomically replaces dir's manifest.
+func writeManifest(dir string, m manifestData) error {
+	payload := make([]byte, 0, 64)
+	payload = append(payload, manifestMagic...)
+	payload = binary.AppendUvarint(payload, m.nextFile)
+	payload = binary.AppendUvarint(payload, m.walMin)
+	payload = binary.AppendUvarint(payload, m.base)
+	payload = binary.AppendUvarint(payload, uint64(len(m.levels)))
+	for _, lvl := range m.levels {
+		payload = binary.AppendUvarint(payload, uint64(len(lvl)))
+		for _, fileNo := range lvl {
+			payload = binary.AppendUvarint(payload, fileNo)
+		}
+	}
+	frame := make([]byte, walframe.HeaderLen, walframe.HeaderLen+len(payload))
+	frame = append(frame, payload...)
+	walframe.Seal(frame)
+
+	tmp := manifestPath(dir) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: manifest tmp: %w", err)
+	}
+	_, err = f.Write(frame)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("storage: manifest write: %w", err)
+	}
+	if err := os.Rename(tmp, manifestPath(dir)); err != nil {
+		return fmt.Errorf("storage: manifest rename: %w", err)
+	}
+	// fsync the directory so the rename itself survives power loss.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// readManifest loads dir's manifest; ok is false when none exists.
+// Because the manifest is always replaced atomically, any framing or
+// decode failure is real corruption and a hard error.
+func readManifest(dir string) (m manifestData, ok bool, err error) {
+	data, rerr := os.ReadFile(manifestPath(dir))
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return manifestData{}, false, nil
+		}
+		return manifestData{}, false, fmt.Errorf("storage: manifest read: %w", rerr)
+	}
+	payload, next, perr := walframe.Next(data, 0)
+	if perr != nil || next != len(data) {
+		return manifestData{}, false, fmt.Errorf("storage: manifest %s corrupt: %v", manifestPath(dir), perr)
+	}
+	bad := func(what string) error {
+		return fmt.Errorf("storage: manifest %s corrupt: %s", manifestPath(dir), what)
+	}
+	if len(payload) < 4 || string(payload[:4]) != manifestMagic {
+		return manifestData{}, false, bad("bad magic")
+	}
+	payload = payload[4:]
+	read := func() (uint64, bool) {
+		v, w := binary.Uvarint(payload)
+		if w <= 0 {
+			return 0, false
+		}
+		payload = payload[w:]
+		return v, true
+	}
+	var v uint64
+	if m.nextFile, ok = read(); !ok {
+		return manifestData{}, false, bad("next file")
+	}
+	if m.walMin, ok = read(); !ok {
+		return manifestData{}, false, bad("wal min")
+	}
+	if m.base, ok = read(); !ok {
+		return manifestData{}, false, bad("base count")
+	}
+	nlevels, ok := read()
+	if !ok {
+		return manifestData{}, false, bad("level count")
+	}
+	m.levels = make([][]uint64, nlevels)
+	for i := range m.levels {
+		ntables, ok := read()
+		if !ok {
+			return manifestData{}, false, bad("table count")
+		}
+		m.levels[i] = make([]uint64, 0, ntables)
+		for j := uint64(0); j < ntables; j++ {
+			if v, ok = read(); !ok {
+				return manifestData{}, false, bad("table file number")
+			}
+			m.levels[i] = append(m.levels[i], v)
+		}
+	}
+	if len(payload) != 0 {
+		return manifestData{}, false, bad("trailing bytes")
+	}
+	return m, true, nil
+}

@@ -1,13 +1,16 @@
 package storage
 
-// The persist engine is the durable member of the engine family: a
-// write-ahead-logged, disk-backed KV. The full key space lives in an
-// in-memory map (reads are as cheap as the single-lock engine); every
-// mutation is first appended to a segmented, append-only log of CRC-framed
+// The mapwal engine is the repo's first durable KV and is retained as the
+// ablation baseline for the LSM persist engine (see lsm.go): one
+// in-memory map holding the full key space (reads are as cheap as the
+// single-lock engine) behind a segmented, append-only log of CRC-framed
 // records, so the map can be rebuilt after a crash or restart. An
 // ApplyBatch lands as ONE log record — after a crash either the whole
 // block of writes is recovered or none of it, which is what lets the
-// layers above treat "state batch + savepoint" as atomic.
+// layers above treat "state batch + savepoint" as atomic. Its structural
+// limits — RAM and reopen/replay cost grow with TOTAL state, not recent
+// writes — are what the LSM removes; `benchharness -fig lsm` measures the
+// two against each other.
 //
 // On-disk layout inside Config.Dir:
 //
@@ -78,8 +81,8 @@ const (
 	opDelete = 1
 )
 
-// Persist is the WAL-backed disk engine.
-type Persist struct {
+// MapWAL is the map-plus-WAL disk engine.
+type MapWAL struct {
 	mu   sync.RWMutex
 	data map[string][]byte
 
@@ -95,21 +98,21 @@ type Persist struct {
 	closed          bool
 }
 
-// OpenPersist opens (or creates) a persist engine in cfg.Dir, replaying
+// OpenMapWAL opens (or creates) a mapwal engine in cfg.Dir, replaying
 // any existing log. An empty Dir materialises a fresh temporary directory
 // (see Config.Dir).
-func OpenPersist(cfg Config) (*Persist, error) {
+func OpenMapWAL(cfg Config) (*MapWAL, error) {
 	dir := cfg.Dir
 	if dir == "" {
 		var err error
-		if dir, err = os.MkdirTemp("", "socialchain-persist-"); err != nil {
-			return nil, fmt.Errorf("storage: persist temp dir: %w", err)
+		if dir, err = os.MkdirTemp("", "socialchain-mapwal-"); err != nil {
+			return nil, fmt.Errorf("storage: mapwal temp dir: %w", err)
 		}
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("storage: persist dir %s: %w", dir, err)
+		return nil, fmt.Errorf("storage: mapwal dir %s: %w", dir, err)
 	}
-	p := &Persist{
+	p := &MapWAL{
 		data:            make(map[string][]byte),
 		dir:             dir,
 		segmentBytes:    cfg.SegmentBytes,
@@ -128,14 +131,14 @@ func OpenPersist(cfg Config) (*Persist, error) {
 }
 
 // Dir returns the engine's data directory.
-func (p *Persist) Dir() string { return p.dir }
+func (p *MapWAL) Dir() string { return p.dir }
 
 // listFiles scans the data directory for segments and snapshots, deleting
 // leftover temp files.
-func (p *Persist) listFiles() (segs, snaps []uint64, err error) {
+func (p *MapWAL) listFiles() (segs, snaps []uint64, err error) {
 	entries, err := os.ReadDir(p.dir)
 	if err != nil {
-		return nil, nil, fmt.Errorf("storage: persist scan %s: %w", p.dir, err)
+		return nil, nil, fmt.Errorf("storage: mapwal scan %s: %w", p.dir, err)
 	}
 	for _, e := range entries {
 		name := e.Name()
@@ -157,18 +160,18 @@ func (p *Persist) listFiles() (segs, snaps []uint64, err error) {
 	return segs, snaps, nil
 }
 
-func (p *Persist) segPath(idx uint64) string {
+func (p *MapWAL) segPath(idx uint64) string {
 	return filepath.Join(p.dir, fmt.Sprintf("%s%016x%s", segPrefix, idx, segSuffix))
 }
 
-func (p *Persist) snapPath(idx uint64) string {
+func (p *MapWAL) snapPath(idx uint64) string {
 	return filepath.Join(p.dir, fmt.Sprintf("%s%016x%s", snapPrefix, idx, snapSuffix))
 }
 
 // recover rebuilds the map from the newest snapshot plus the segments
 // after it, truncates any torn tail off the last segment, and reopens it
 // as the active segment.
-func (p *Persist) recover() error {
+func (p *MapWAL) recover() error {
 	segs, snaps, err := p.listFiles()
 	if err != nil {
 		return err
@@ -203,12 +206,12 @@ func (p *Persist) recover() error {
 			want = 1
 		}
 		if live[0] != want {
-			return fmt.Errorf("storage: persist %s: first segment is %x, want %x (leading segment lost)", p.dir, live[0], want)
+			return fmt.Errorf("storage: mapwal %s: first segment is %x, want %x (leading segment lost)", p.dir, live[0], want)
 		}
 	}
 	for i, idx := range live {
 		if i > 0 && idx != live[i-1]+1 {
-			return fmt.Errorf("storage: persist %s: segment gap between %x and %x", p.dir, live[i-1], idx)
+			return fmt.Errorf("storage: mapwal %s: segment gap between %x and %x", p.dir, live[i-1], idx)
 		}
 		if err := p.replaySegment(idx, i == len(live)-1); err != nil {
 			return err
@@ -226,32 +229,32 @@ func (p *Persist) recover() error {
 	}
 	f, err := os.OpenFile(p.segPath(p.segIdx), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return fmt.Errorf("storage: persist open segment: %w", err)
+		return fmt.Errorf("storage: mapwal open segment: %w", err)
 	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return fmt.Errorf("storage: persist stat segment: %w", err)
+		return fmt.Errorf("storage: mapwal stat segment: %w", err)
 	}
 	p.seg, p.segBytes = f, st.Size()
 	return nil
 }
 
 // loadSnapshot loads snap-<idx> into the map.
-func (p *Persist) loadSnapshot(idx uint64) error {
+func (p *MapWAL) loadSnapshot(idx uint64) error {
 	data, err := os.ReadFile(p.snapPath(idx))
 	if err != nil {
-		return fmt.Errorf("storage: persist snapshot: %w", err)
+		return fmt.Errorf("storage: mapwal snapshot: %w", err)
 	}
 	recs, _, err := parseRecords(data)
 	if err != nil {
 		// Snapshots are written to a temp file and renamed into place, so a
 		// framing error is real corruption, not a torn write.
-		return fmt.Errorf("storage: persist snapshot %s corrupt: %w", p.snapPath(idx), err)
+		return fmt.Errorf("storage: mapwal snapshot %s corrupt: %w", p.snapPath(idx), err)
 	}
 	for _, rec := range recs {
 		if err := p.applyRecord(rec); err != nil {
-			return fmt.Errorf("storage: persist snapshot %s: %w", p.snapPath(idx), err)
+			return fmt.Errorf("storage: mapwal snapshot %s: %w", p.snapPath(idx), err)
 		}
 	}
 	return nil
@@ -260,26 +263,26 @@ func (p *Persist) loadSnapshot(idx uint64) error {
 // replaySegment applies segment idx to the map. For the last segment a
 // trailing partial record (torn tail) is truncated away; anywhere else it
 // is corruption.
-func (p *Persist) replaySegment(idx uint64, last bool) error {
+func (p *MapWAL) replaySegment(idx uint64, last bool) error {
 	path := p.segPath(idx)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("storage: persist segment: %w", err)
+		return fmt.Errorf("storage: mapwal segment: %w", err)
 	}
 	recs, good, err := parseRecords(data)
 	if err != nil && !last {
-		return fmt.Errorf("storage: persist segment %s corrupt: %w", path, err)
+		return fmt.Errorf("storage: mapwal segment %s corrupt: %w", path, err)
 	}
 	for _, rec := range recs {
 		if aerr := p.applyRecord(rec); aerr != nil {
-			return fmt.Errorf("storage: persist segment %s: %w", path, aerr)
+			return fmt.Errorf("storage: mapwal segment %s: %w", path, aerr)
 		}
 	}
 	if err != nil {
 		// Torn tail vs mid-segment corruption: truncate the former, fail
 		// on the latter (shared decision logic — see walframe.RecoverTail).
 		if terr := walframe.RecoverTail(path, data, good); terr != nil {
-			return fmt.Errorf("storage: persist segment: %w", terr)
+			return fmt.Errorf("storage: mapwal segment: %w", terr)
 		}
 	}
 	return nil
@@ -302,7 +305,20 @@ func parseRecords(data []byte) (recs [][]byte, good int, err error) {
 }
 
 // applyRecord replays one record's writes into the map.
-func (p *Persist) applyRecord(rec []byte) error {
+func (p *MapWAL) applyRecord(rec []byte) error {
+	return decodeRecord(rec, func(key string, val []byte, del bool) {
+		if del {
+			delete(p.data, key)
+			return
+		}
+		p.data[key] = val
+	})
+}
+
+// decodeRecord walks one log record's writes, invoking apply per write
+// (value bytes are copied out of rec). Shared by the mapwal replay path
+// and the LSM WAL replay path — the two engines share the record format.
+func decodeRecord(rec []byte, apply func(key string, val []byte, del bool)) error {
 	count, n := binary.Uvarint(rec)
 	if n <= 0 {
 		return fmt.Errorf("bad record: write count")
@@ -322,7 +338,7 @@ func (p *Persist) applyRecord(rec []byte) error {
 		rec = rec[n+int(klen):]
 		switch op {
 		case opDelete:
-			delete(p.data, key)
+			apply(key, nil, true)
 		case opPut:
 			vlen, n := binary.Uvarint(rec)
 			if n <= 0 || uint64(len(rec)-n) < vlen {
@@ -331,7 +347,7 @@ func (p *Persist) applyRecord(rec []byte) error {
 			val := make([]byte, vlen)
 			copy(val, rec[n:n+int(vlen)])
 			rec = rec[n+int(vlen):]
-			p.data[key] = val
+			apply(key, val, false)
 		default:
 			return fmt.Errorf("bad record: op %d", op)
 		}
@@ -342,10 +358,10 @@ func (p *Persist) applyRecord(rec []byte) error {
 	return nil
 }
 
-// encodeFrame appends a framed record holding writes to p.buf and returns
-// the full frame. Caller holds p.mu.
-func (p *Persist) encodeFrame(writes []Write) []byte {
-	buf := p.buf[:0]
+// appendRecordFrame appends one framed record holding writes to buf and
+// returns the extended slice. Shared by both durable engines.
+func appendRecordFrame(buf []byte, writes []Write) []byte {
+	start := len(buf)
 	buf = append(buf, make([]byte, walframe.HeaderLen)...) // header placeholder
 	buf = binary.AppendUvarint(buf, uint64(len(writes)))
 	for i := range writes {
@@ -362,22 +378,28 @@ func (p *Persist) encodeFrame(writes []Write) []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(w.Value)))
 		buf = append(buf, w.Value...)
 	}
-	walframe.Seal(buf)
-	p.buf = buf
+	walframe.Seal(buf[start:])
 	return buf
+}
+
+// encodeFrame appends a framed record holding writes to p.buf and returns
+// the full frame. Caller holds p.mu.
+func (p *MapWAL) encodeFrame(writes []Write) []byte {
+	p.buf = appendRecordFrame(p.buf[:0], writes)
+	return p.buf
 }
 
 // appendLocked writes one framed record for writes and handles rotation.
 // Caller holds p.mu. I/O errors are sticky: the in-memory state stays
 // authoritative for the life of the process and Sync/Close report the
 // failure.
-func (p *Persist) appendLocked(writes []Write) {
+func (p *MapWAL) appendLocked(writes []Write) {
 	if p.err != nil || p.seg == nil {
 		return
 	}
 	frame := p.encodeFrame(writes)
 	if _, err := p.seg.Write(frame); err != nil {
-		p.err = fmt.Errorf("storage: persist append: %w", err)
+		p.err = fmt.Errorf("storage: mapwal append: %w", err)
 		return
 	}
 	p.segBytes += int64(len(frame))
@@ -389,20 +411,20 @@ func (p *Persist) appendLocked(writes []Write) {
 // rotateLocked seals the active segment and starts the next one,
 // compacting into a snapshot when enough sealed segments accumulated.
 // Caller holds p.mu.
-func (p *Persist) rotateLocked() {
+func (p *MapWAL) rotateLocked() {
 	if err := p.seg.Sync(); err != nil {
-		p.err = fmt.Errorf("storage: persist seal sync: %w", err)
+		p.err = fmt.Errorf("storage: mapwal seal sync: %w", err)
 		return
 	}
 	if err := p.seg.Close(); err != nil {
-		p.err = fmt.Errorf("storage: persist seal close: %w", err)
+		p.err = fmt.Errorf("storage: mapwal seal close: %w", err)
 		return
 	}
 	p.sealed++
 	p.segIdx++
 	f, err := os.OpenFile(p.segPath(p.segIdx), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
 	if err != nil {
-		p.err = fmt.Errorf("storage: persist rotate: %w", err)
+		p.err = fmt.Errorf("storage: mapwal rotate: %w", err)
 		p.seg = nil
 		return
 	}
@@ -416,11 +438,11 @@ func (p *Persist) rotateLocked() {
 // active segment is empty, so the snapshot exactly covers the sealed
 // segments) and deletes the segments it subsumes. Caller holds p.mu, at a
 // rotation boundary.
-func (p *Persist) compactLocked() {
+func (p *MapWAL) compactLocked() {
 	tmp := p.snapPath(p.segIdx) + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
-		p.err = fmt.Errorf("storage: persist compact: %w", err)
+		p.err = fmt.Errorf("storage: mapwal compact: %w", err)
 		return
 	}
 	// One record per key keeps peak encode memory at one entry; the
@@ -432,7 +454,7 @@ func (p *Persist) compactLocked() {
 		if _, err := bw.Write(frame); err != nil {
 			f.Close()
 			_ = os.Remove(tmp)
-			p.err = fmt.Errorf("storage: persist compact write: %w", err)
+			p.err = fmt.Errorf("storage: mapwal compact write: %w", err)
 			return
 		}
 	}
@@ -445,11 +467,11 @@ func (p *Persist) compactLocked() {
 	}
 	if err != nil {
 		_ = os.Remove(tmp)
-		p.err = fmt.Errorf("storage: persist compact sync: %w", err)
+		p.err = fmt.Errorf("storage: mapwal compact sync: %w", err)
 		return
 	}
 	if err := os.Rename(tmp, p.snapPath(p.segIdx)); err != nil {
-		p.err = fmt.Errorf("storage: persist compact rename: %w", err)
+		p.err = fmt.Errorf("storage: mapwal compact rename: %w", err)
 		return
 	}
 	// The snapshot is durable; everything it covers can go.
@@ -463,7 +485,7 @@ func (p *Persist) compactLocked() {
 }
 
 // listStaleSnapsLocked returns snapshot indices older than the current one.
-func (p *Persist) listStaleSnapsLocked() map[uint64]struct{} {
+func (p *MapWAL) listStaleSnapsLocked() map[uint64]struct{} {
 	out := make(map[uint64]struct{})
 	if _, snaps, err := p.listFiles(); err == nil {
 		for _, idx := range snaps {
@@ -476,7 +498,7 @@ func (p *Persist) listStaleSnapsLocked() map[uint64]struct{} {
 }
 
 // Get implements KV.
-func (p *Persist) Get(key string) ([]byte, bool) {
+func (p *MapWAL) Get(key string) ([]byte, bool) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	v, ok := p.data[key]
@@ -484,7 +506,7 @@ func (p *Persist) Get(key string) ([]byte, bool) {
 }
 
 // Put implements KV.
-func (p *Persist) Put(key string, value []byte) bool {
+func (p *MapWAL) Put(key string, value []byte) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	_, existed := p.data[key]
@@ -494,7 +516,7 @@ func (p *Persist) Put(key string, value []byte) bool {
 }
 
 // Delete implements KV.
-func (p *Persist) Delete(key string) ([]byte, bool) {
+func (p *MapWAL) Delete(key string) ([]byte, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	v, ok := p.data[key]
@@ -507,7 +529,7 @@ func (p *Persist) Delete(key string) ([]byte, bool) {
 
 // IterPrefix implements KV: entries are collected under the read lock,
 // sorted, and fn runs lock-free on the collected view.
-func (p *Persist) IterPrefix(prefix string, fn func(key string, value []byte) bool) {
+func (p *MapWAL) IterPrefix(prefix string, fn func(key string, value []byte) bool) {
 	p.mu.RLock()
 	entries := collectPrefix(p.data, prefix, nil)
 	p.mu.RUnlock()
@@ -521,7 +543,7 @@ func (p *Persist) IterPrefix(prefix string, fn func(key string, value []byte) bo
 
 // ApplyBatch implements KV: the whole batch lands as one atomic log
 // record under one lock acquisition.
-func (p *Persist) ApplyBatch(writes []Write) {
+func (p *MapWAL) ApplyBatch(writes []Write) {
 	if len(writes) == 0 {
 		return
 	}
@@ -538,14 +560,14 @@ func (p *Persist) ApplyBatch(writes []Write) {
 }
 
 // Len implements KV.
-func (p *Persist) Len() int {
+func (p *MapWAL) Len() int {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	return len(p.data)
 }
 
 // Sync implements KV: flush the active segment to stable storage.
-func (p *Persist) Sync() error {
+func (p *MapWAL) Sync() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.err != nil {
@@ -555,13 +577,13 @@ func (p *Persist) Sync() error {
 		return nil
 	}
 	if err := p.seg.Sync(); err != nil {
-		p.err = fmt.Errorf("storage: persist sync: %w", err)
+		p.err = fmt.Errorf("storage: mapwal sync: %w", err)
 	}
 	return p.err
 }
 
 // Close implements KV: sync and close the active segment. Idempotent.
-func (p *Persist) Close() error {
+func (p *MapWAL) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -570,10 +592,10 @@ func (p *Persist) Close() error {
 	p.closed = true
 	if p.seg != nil {
 		if err := p.seg.Sync(); err != nil && p.err == nil {
-			p.err = fmt.Errorf("storage: persist close sync: %w", err)
+			p.err = fmt.Errorf("storage: mapwal close sync: %w", err)
 		}
 		if err := p.seg.Close(); err != nil && p.err == nil {
-			p.err = fmt.Errorf("storage: persist close: %w", err)
+			p.err = fmt.Errorf("storage: mapwal close: %w", err)
 		}
 		p.seg = nil
 	}

@@ -11,22 +11,22 @@ import (
 	"socialchain/internal/walframe"
 )
 
-// openPersist opens a persist engine over dir with small segments so tests
+// openMapWAL opens a mapwal engine over dir with small segments so tests
 // exercise rotation and compaction.
-func openPersist(t *testing.T, dir string) *Persist {
+func openMapWAL(t *testing.T, dir string) *MapWAL {
 	t.Helper()
-	p, err := OpenPersist(Config{Dir: dir, SegmentBytes: 2 << 10, CompactSegments: 3})
+	p, err := OpenMapWAL(Config{Dir: dir, SegmentBytes: 2 << 10, CompactSegments: 3})
 	if err != nil {
-		t.Fatalf("open persist %s: %v", dir, err)
+		t.Fatalf("open mapwal %s: %v", dir, err)
 	}
 	return p
 }
 
-// TestPersistReopenRecoversState writes through rotations and compactions,
+// TestMapWALReopenRecoversState writes through rotations and compactions,
 // closes, reopens and requires identical contents.
-func TestPersistReopenRecoversState(t *testing.T) {
+func TestMapWALReopenRecoversState(t *testing.T) {
 	dir := t.TempDir()
-	p := openPersist(t, dir)
+	p := openMapWAL(t, dir)
 	want := make(map[string]string)
 	for i := 0; i < 500; i++ {
 		k := fmt.Sprintf("ns\x00key/%03d", i%120)
@@ -49,7 +49,7 @@ func TestPersistReopenRecoversState(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	re := openPersist(t, dir)
+	re := openMapWAL(t, dir)
 	defer re.Close()
 	if re.Len() != len(want) {
 		t.Fatalf("reopened Len = %d, want %d", re.Len(), len(want))
@@ -62,12 +62,12 @@ func TestPersistReopenRecoversState(t *testing.T) {
 	}
 }
 
-// TestPersistCompactionDropsOldSegments forces enough rotations that a
+// TestMapWALCompactionDropsOldSegments forces enough rotations that a
 // snapshot is cut, and checks the directory holds the snapshot plus the
 // recent segments only — the log must not grow without bound.
-func TestPersistCompactionDropsOldSegments(t *testing.T) {
+func TestMapWALCompactionDropsOldSegments(t *testing.T) {
 	dir := t.TempDir()
-	p, err := OpenPersist(Config{Dir: dir, SegmentBytes: 1 << 10, CompactSegments: 2})
+	p, err := OpenMapWAL(Config{Dir: dir, SegmentBytes: 1 << 10, CompactSegments: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestPersistCompactionDropsOldSegments(t *testing.T) {
 		t.Fatalf("%d segments survived compaction (threshold 2)", segs)
 	}
 	// And the compacted state still recovers.
-	re := openPersist(t, dir)
+	re := openMapWAL(t, dir)
 	defer re.Close()
 	if re.Len() != 40 {
 		t.Fatalf("recovered %d keys, want 40", re.Len())
@@ -124,16 +124,16 @@ func lastSegment(t *testing.T, dir string) string {
 	return filepath.Join(dir, last)
 }
 
-// TestPersistTornTailRecovery is the crash-injection gate: a log whose
+// TestMapWALTornTailRecovery is the crash-injection gate: a log whose
 // final record is cut off (or corrupted) at EVERY byte offset must recover
 // exactly the state up to the last fully-committed record — never an
 // error, never a partial batch.
-func TestPersistTornTailRecovery(t *testing.T) {
+func TestMapWALTornTailRecovery(t *testing.T) {
 	// Build a reference log: a few committed writes, then one final batch
 	// record whose truncation we sweep.
 	build := func(dir string) {
 		t.Helper()
-		p, err := OpenPersist(Config{Dir: dir})
+		p, err := OpenMapWAL(Config{Dir: dir})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +168,7 @@ func TestPersistTornTailRecovery(t *testing.T) {
 
 	check := func(t *testing.T, dir string, want map[string]string) {
 		t.Helper()
-		p, err := OpenPersist(Config{Dir: dir})
+		p, err := OpenMapWAL(Config{Dir: dir})
 		if err != nil {
 			t.Fatalf("recovery failed: %v", err)
 		}
@@ -224,12 +224,12 @@ func TestPersistTornTailRecovery(t *testing.T) {
 	})
 }
 
-// TestPersistAppendAfterTornTail proves writes continue cleanly after a
+// TestMapWALAppendAfterTornTail proves writes continue cleanly after a
 // torn-tail recovery: the truncated segment accepts new records and a
 // further reopen sees both old and new state.
-func TestPersistAppendAfterTornTail(t *testing.T) {
+func TestMapWALAppendAfterTornTail(t *testing.T) {
 	dir := t.TempDir()
-	p := openPersist(t, dir)
+	p := openMapWAL(t, dir)
 	p.Put("keep", []byte("v1"))
 	p.ApplyBatch([]Write{{Key: "torn", Value: []byte("lost")}})
 	if err := p.Close(); err != nil {
@@ -244,7 +244,7 @@ func TestPersistAppendAfterTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	re := openPersist(t, dir)
+	re := openMapWAL(t, dir)
 	if _, ok := re.Get("torn"); ok {
 		t.Fatal("torn batch survived")
 	}
@@ -253,7 +253,7 @@ func TestPersistAppendAfterTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	final := openPersist(t, dir)
+	final := openMapWAL(t, dir)
 	defer final.Close()
 	if v, ok := final.Get("keep"); !ok || string(v) != "v1" {
 		t.Fatalf("keep = %q/%v", v, ok)
@@ -263,14 +263,14 @@ func TestPersistAppendAfterTornTail(t *testing.T) {
 	}
 }
 
-// TestPersistMidSegmentCorruptionIsFatal flips a byte in an EARLY record
+// TestMapWALMidSegmentCorruptionIsFatal flips a byte in an EARLY record
 // of the ACTIVE (last) segment while committed records follow: recovery
 // must refuse — and leave the file untruncated — instead of silently
 // dropping the committed suffix. Only a genuine tail (nothing valid
 // after the damage) may be cut.
-func TestPersistMidSegmentCorruptionIsFatal(t *testing.T) {
+func TestMapWALMidSegmentCorruptionIsFatal(t *testing.T) {
 	dir := t.TempDir()
-	p, err := OpenPersist(Config{Dir: dir})
+	p, err := OpenMapWAL(Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestPersistMidSegmentCorruptionIsFatal(t *testing.T) {
 	if err := os.WriteFile(seg, corrupted, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenPersist(Config{Dir: dir}); err == nil {
+	if _, err := OpenMapWAL(Config{Dir: dir}); err == nil {
 		t.Fatal("mid-segment corruption recovered silently")
 	}
 	after, err := os.ReadFile(seg)
@@ -302,13 +302,13 @@ func TestPersistMidSegmentCorruptionIsFatal(t *testing.T) {
 	}
 }
 
-// TestPersistSealedSegmentCorruptionIsFatal distinguishes the tolerable
+// TestMapWALSealedSegmentCorruptionIsFatal distinguishes the tolerable
 // failure (torn tail of the last segment) from real corruption: a damaged
 // sealed segment must fail recovery loudly instead of silently dropping
 // committed writes.
-func TestPersistSealedSegmentCorruptionIsFatal(t *testing.T) {
+func TestMapWALSealedSegmentCorruptionIsFatal(t *testing.T) {
 	dir := t.TempDir()
-	p, err := OpenPersist(Config{Dir: dir, SegmentBytes: 512, CompactSegments: 100})
+	p, err := OpenMapWAL(Config{Dir: dir, SegmentBytes: 512, CompactSegments: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +345,7 @@ func TestPersistSealedSegmentCorruptionIsFatal(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenPersist(Config{Dir: dir}); err == nil {
+	if _, err := OpenMapWAL(Config{Dir: dir}); err == nil {
 		t.Fatal("corrupt sealed segment recovered silently")
 	}
 }

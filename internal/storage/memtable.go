@@ -1,0 +1,77 @@
+package storage
+
+// The memtable is the LSM engine's mutable head: a plain map absorbing
+// writes at in-memory speed, dumped in sorted order when it is flushed
+// into an SSTable. Tombstones live in the same map — a deletion must
+// shadow older table versions of the key until compaction reclaims both.
+
+import "sort"
+
+// lsmEntry is one key's state in a memtable dump, a table block or a
+// merged iteration: either a value (tomb false) or a tombstone.
+type lsmEntry struct {
+	key   string
+	value []byte
+	tomb  bool
+}
+
+// memtable buffers writes between flushes.
+type memtable struct {
+	data map[string]lsmEntry
+	// bytes approximates the heap held by data; crossing the flush
+	// threshold is a heuristic, so over-counting updates is fine.
+	bytes int64
+	// delta is the live-key count change this memtable represents against
+	// the state beneath it (imm + tables at the time of each write); the
+	// engine folds it into its persistent base count at flush.
+	delta int
+}
+
+func newMemtable() *memtable {
+	return &memtable{data: make(map[string]lsmEntry)}
+}
+
+// get returns the memtable's entry for key (which may be a tombstone).
+func (m *memtable) get(key string) (lsmEntry, bool) {
+	e, ok := m.data[key]
+	return e, ok
+}
+
+// setPut records a put. existed reports whether the key was live in the
+// full logical state before this write.
+func (m *memtable) setPut(key string, value []byte, existed bool) {
+	if _, had := m.data[key]; !had {
+		m.bytes += int64(len(key)) + 48
+	}
+	m.data[key] = lsmEntry{key: key, value: value}
+	m.bytes += int64(len(value))
+	if !existed {
+		m.delta++
+	}
+}
+
+// setDelete records a tombstone for a key that was live before this
+// write (no-op deletes never reach the memtable).
+func (m *memtable) setDelete(key string) {
+	if _, had := m.data[key]; !had {
+		m.bytes += int64(len(key)) + 48
+	}
+	m.data[key] = lsmEntry{key: key, tomb: true}
+	m.delta--
+}
+
+// sortedPrefix returns the memtable's entries with the given prefix
+// (tombstones included — they must shadow older runs during a merge) in
+// ascending key order. An empty prefix dumps the whole table, which is
+// exactly the flush path.
+func (m *memtable) sortedPrefix(prefix string) []lsmEntry {
+	out := make([]lsmEntry, 0, len(m.data))
+	for k, e := range m.data {
+		if len(prefix) > 0 && (len(k) < len(prefix) || k[:len(prefix)] != prefix) {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}

@@ -1,17 +1,20 @@
 // Package storage provides the pluggable key-value engine beneath the
 // repo's stateful layers: the world-state database, the history database
 // and the CID-addressed blockstore all sit on the KV interface instead of
-// owning a map and a global lock. Three engines implement it: a
+// owning a map and a global lock. Four engines implement it: a
 // single-lock map (the seed's behaviour, kept as the determinism
 // baseline), a lock-striped sharded engine whose per-shard locks let
 // concurrent reads and batched commits proceed in parallel — the hot path
-// of the paper's store/retrieve evaluation — and a write-ahead-logged
-// persist engine whose contents survive process restarts (see persist.go).
+// of the paper's store/retrieve evaluation — an LSM-tree disk engine
+// whose contents survive process restarts with reopen cost proportional
+// to the WAL tail (see lsm.go), and the previous map-plus-WAL disk
+// engine, retained as the ablation baseline for the LSM (see mapwal.go).
 package storage
 
 import (
 	"fmt"
 	"os"
+	"time"
 )
 
 // Write is one staged mutation inside an ApplyBatch call.
@@ -68,11 +71,38 @@ const (
 	// RWMutex per shard, batched commits grouped by shard. The production
 	// default.
 	EngineSharded Engine = "sharded"
-	// EnginePersist is the write-ahead-logged disk engine: a segmented
-	// append-only log with CRC-framed records behind an in-memory map,
-	// periodically compacted into snapshots. Contents survive restarts;
-	// replay on open tolerates a torn tail from a crash mid-append.
+	// EnginePersist is the durable disk engine: an LSM tree — WAL-fronted
+	// sorted memtable, immutable block-structured SSTables with bloom
+	// filters, a crash-safe manifest and background compaction. Contents
+	// survive restarts; reopen replays only the WAL tail, so recovery cost
+	// is proportional to recent writes, not total state.
 	EnginePersist Engine = "persist"
+	// EngineMapWAL is the previous durable engine: one in-memory map
+	// behind a segmented write-ahead log with periodic full snapshots.
+	// RAM and reopen cost grow with total state; retained as the ablation
+	// baseline the `benchharness -fig lsm` comparison measures against.
+	EngineMapWAL Engine = "mapwal"
+)
+
+// Durability selects the persist engine's fsync policy — the window of
+// acknowledged writes a power failure (not a mere process kill: appends
+// always reach the OS page cache synchronously) can lose.
+type Durability string
+
+const (
+	// DurabilityNone never fsyncs on the write path (flush, compaction and
+	// rotation still fsync the artefacts they produce before deleting what
+	// those replace). Loss window on power failure: everything since the
+	// last flush/Sync. Survives kill -9. The default.
+	DurabilityNone Durability = "none"
+	// DurabilityBatch runs a background group-commit loop that fsyncs the
+	// WAL at most every FsyncInterval; writers never wait. Loss window on
+	// power failure: about one FsyncInterval of acknowledged writes.
+	DurabilityBatch Durability = "batch"
+	// DurabilityAlways makes every mutation wait until the WAL is fsynced
+	// past it before returning; concurrent waiters coalesce onto one fsync
+	// (group commit). Loss window: none for acknowledged writes.
+	DurabilityAlways Durability = "always"
 )
 
 // DefaultShards is the sharded engine's default stripe count.
@@ -86,20 +116,44 @@ type Config struct {
 	// Shards sets the sharded engine's stripe count, rounded up to a power
 	// of two (default DefaultShards). Ignored by the other engines.
 	Shards int
-	// Dir is the persist engine's data directory (created if absent). When
-	// empty, the persist engine materialises a fresh temporary directory —
-	// durable for the life of the process, discarded by the OS afterwards —
-	// so the CI engine matrix can force EnginePersist through EngineEnvVar
-	// without threading paths into every constructor. Ignored by the
-	// in-memory engines.
+	// Dir is the disk engines' data directory (created if absent). When
+	// empty, they materialise a fresh temporary directory — durable for
+	// the life of the process, discarded by the OS afterwards — so the CI
+	// engine matrix can force EnginePersist through EngineEnvVar without
+	// threading paths into every constructor. Ignored by the in-memory
+	// engines.
 	Dir string
-	// SegmentBytes rotates the persist engine's active log segment once it
-	// exceeds this size (default DefaultSegmentBytes). Ignored by the
-	// in-memory engines.
+	// Durability picks the persist engine's fsync policy (default
+	// DurabilityNone; see the Durability constants for the loss windows).
+	// DurabilityEnvVar overrides an empty value. Ignored by the other
+	// engines — mapwal keeps its page-cache-only behaviour.
+	Durability Durability
+	// MemtableBytes is the persist engine's memtable flush threshold: once
+	// the active memtable holds this many bytes it is flushed to an
+	// SSTable (default DefaultMemtableBytes, or SegmentBytes when that is
+	// set — tests sized for the old engine's rotation keep forcing
+	// flushes).
+	MemtableBytes int64
+	// CompactFanout is the persist engine's per-level run budget: once a
+	// level accumulates this many SSTables they are merged into one run on
+	// the next level (default DefaultCompactFanout, or CompactSegments
+	// when that is set).
+	CompactFanout int
+	// FsyncInterval bounds DurabilityBatch's loss window (default
+	// DefaultFsyncInterval). Ignored by the other durability modes.
+	FsyncInterval time.Duration
+	// NoBloom disables the persist engine's bloom filters so negative
+	// lookups always touch table blocks. A benchmarking knob for the
+	// `-fig lsm` ablation; leave unset in production.
+	NoBloom bool
+	// SegmentBytes rotates the mapwal engine's active log segment once it
+	// exceeds this size (default DefaultSegmentBytes). For the persist
+	// engine it is a compatibility alias for MemtableBytes.
 	SegmentBytes int64
-	// CompactSegments triggers snapshot compaction once this many sealed
-	// segments accumulate (default DefaultCompactSegments). Ignored by the
-	// in-memory engines.
+	// CompactSegments triggers the mapwal engine's snapshot compaction
+	// once this many sealed segments accumulate (default
+	// DefaultCompactSegments). For the persist engine it is a
+	// compatibility alias for CompactFanout.
 	CompactSegments int
 }
 
@@ -116,9 +170,14 @@ func (c Config) Sub(name string) Config {
 
 // EngineEnvVar overrides the engine an empty Config.Engine selects, so a
 // full test run can be pinned to one engine without threading a flag
-// through every constructor (the CI matrix runs the suite under all
-// three).
+// through every constructor (the CI matrix runs the suite under all of
+// them).
 const EngineEnvVar = "SOCIALCHAIN_STORAGE_ENGINE"
+
+// DurabilityEnvVar overrides the fsync policy an empty Config.Durability
+// selects, so the CI persist leg can run the whole suite under
+// Durability=always without threading a flag through every constructor.
+const DurabilityEnvVar = "SOCIALCHAIN_STORAGE_DURABILITY"
 
 // envEngine reads EngineEnvVar; empty means "no override", unknown values
 // are an error (a typo in the CI matrix must not silently change the
@@ -127,22 +186,53 @@ const EngineEnvVar = "SOCIALCHAIN_STORAGE_ENGINE"
 func envEngine() (Engine, error) {
 	v := os.Getenv(EngineEnvVar)
 	switch e := Engine(v); e {
-	case "", EngineSingle, EngineSharded, EnginePersist:
+	case "", EngineSingle, EngineSharded, EnginePersist, EngineMapWAL:
 		return e, nil
 	default:
+		return "", fmt.Errorf("storage: unknown %s value %q (valid: %s, %s, %s, %s)",
+			EngineEnvVar, v, EngineSingle, EngineSharded, EnginePersist, EngineMapWAL)
+	}
+}
+
+// envDurability reads DurabilityEnvVar with the same contract as
+// envEngine: empty means "no override", unknown values are an error.
+func envDurability() (Durability, error) {
+	v := os.Getenv(DurabilityEnvVar)
+	switch d := Durability(v); d {
+	case "", DurabilityNone, DurabilityBatch, DurabilityAlways:
+		return d, nil
+	default:
 		return "", fmt.Errorf("storage: unknown %s value %q (valid: %s, %s, %s)",
-			EngineEnvVar, v, EngineSingle, EngineSharded, EnginePersist)
+			DurabilityEnvVar, v, DurabilityNone, DurabilityBatch, DurabilityAlways)
+	}
+}
+
+// ParseDurability validates a durability name from a flag or config file.
+// Empty selects the engine default (DurabilityNone).
+func ParseDurability(v string) (Durability, error) {
+	switch d := Durability(v); d {
+	case "", DurabilityNone, DurabilityBatch, DurabilityAlways:
+		return d, nil
+	default:
+		return "", fmt.Errorf("storage: unknown durability %q (valid: %s, %s, %s)",
+			v, DurabilityNone, DurabilityBatch, DurabilityAlways)
 	}
 }
 
 // DefaultEngine returns the engine an empty Config selects: the
-// EngineEnvVar override when set to a known engine, otherwise sharded.
-// (Open reports unknown env values as errors; this accessor ignores them.)
-func DefaultEngine() Engine {
-	if e, err := envEngine(); err == nil && e != "" {
-		return e
+// EngineEnvVar override when set, otherwise sharded. A malformed override
+// is an error — the same error Open reports — so callers that size data
+// structures off the default engine cannot disagree with the engine Open
+// actually refuses to construct.
+func DefaultEngine() (Engine, error) {
+	e, err := envEngine()
+	if err != nil {
+		return "", err
 	}
-	return EngineSharded
+	if e == "" {
+		e = EngineSharded
+	}
+	return e, nil
 }
 
 // Open constructs the engine described by cfg. Unknown engine names — in
@@ -152,12 +242,9 @@ func DefaultEngine() Engine {
 func Open(cfg Config) (KV, error) {
 	engine := cfg.Engine
 	if engine == "" {
-		e, err := envEngine()
+		e, err := DefaultEngine()
 		if err != nil {
 			return nil, err
-		}
-		if e == "" {
-			e = EngineSharded
 		}
 		engine = e
 	}
@@ -168,9 +255,11 @@ func Open(cfg Config) (KV, error) {
 		return NewSharded(cfg.Shards), nil
 	case EnginePersist:
 		return OpenPersist(cfg)
+	case EngineMapWAL:
+		return OpenMapWAL(cfg)
 	default:
-		return nil, fmt.Errorf("storage: unknown engine %q (valid: %s, %s, %s)",
-			engine, EngineSingle, EngineSharded, EnginePersist)
+		return nil, fmt.Errorf("storage: unknown engine %q (valid: %s, %s, %s, %s)",
+			engine, EngineSingle, EngineSharded, EnginePersist, EngineMapWAL)
 	}
 }
 

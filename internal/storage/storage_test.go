@@ -15,11 +15,23 @@ func engines(tb testing.TB) map[string]KV {
 	if err != nil {
 		tb.Fatalf("open persist: %v", err)
 	}
+	// A tiny memtable and fanout force flushes and compactions even under
+	// small workloads, so the SSTable read path is exercised everywhere.
+	persistSmall, err := OpenPersist(Config{Dir: tb.TempDir(), MemtableBytes: 256, CompactFanout: 2})
+	if err != nil {
+		tb.Fatalf("open persist-small: %v", err)
+	}
+	mapwal, err := OpenMapWAL(Config{Dir: tb.TempDir()})
+	if err != nil {
+		tb.Fatalf("open mapwal: %v", err)
+	}
 	return map[string]KV{
-		"single":    NewSingle(),
-		"sharded":   NewSharded(0),
-		"sharded-1": NewSharded(1), // degenerate stripe count must still behave
-		"persist":   persist,
+		"single":        NewSingle(),
+		"sharded":       NewSharded(0),
+		"sharded-1":     NewSharded(1), // degenerate stripe count must still behave
+		"persist":       persist,
+		"persist-small": persistSmall,
+		"mapwal":        mapwal,
 	}
 }
 
@@ -74,6 +86,42 @@ func TestOpenRejectsUnknownEnvEngine(t *testing.T) {
 	if _, err := Open(Config{Engine: EngineSingle}); err != nil {
 		t.Fatalf("explicit engine rejected under bad env override: %v", err)
 	}
+}
+
+func TestDefaultEngineAgreesWithOpenOnBadEnv(t *testing.T) {
+	// DefaultEngine used to swallow EngineEnvVar errors and silently fall
+	// back to sharded, so a caller sizing itself off the default engine
+	// could disagree with the engine Open refused to construct. Both must
+	// now report the same typo'd override.
+	t.Setenv(EngineEnvVar, "shraded")
+	def, derr := DefaultEngine()
+	if derr == nil {
+		t.Fatalf("DefaultEngine() = %q under bad env, want error", def)
+	}
+	_, oerr := Open(Config{})
+	if oerr == nil {
+		t.Fatal("Open(Config{}) succeeded under bad env")
+	}
+	if derr.Error() != oerr.Error() {
+		t.Fatalf("DefaultEngine and Open disagree:\n %v\n %v", derr, oerr)
+	}
+	if !strings.Contains(derr.Error(), "shraded") {
+		t.Fatalf("error %q does not name the offending value", derr)
+	}
+}
+
+func TestOpenRejectsUnknownEnvDurability(t *testing.T) {
+	t.Setenv(DurabilityEnvVar, "sometimes")
+	if p, err := OpenPersist(Config{Dir: t.TempDir()}); err == nil {
+		p.Close()
+		t.Fatalf("unknown %s opened the persist engine, want error", DurabilityEnvVar)
+	}
+	// An explicit durability is never affected by the override.
+	p, err := OpenPersist(Config{Dir: t.TempDir(), Durability: DurabilityBatch})
+	if err != nil {
+		t.Fatalf("explicit durability rejected under bad env override: %v", err)
+	}
+	p.Close()
 }
 
 func TestEnvOverrideSelectsPersist(t *testing.T) {
@@ -269,9 +317,21 @@ func dump(kv KV) []entry {
 func TestEngineEquivalence(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		dir := t.TempDir()
+		mapwalDir := t.TempDir()
 		single := NewSingle()
 		sharded := NewSharded(8)
 		persist, err := OpenPersist(Config{Dir: dir, SegmentBytes: 4 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A 1 KiB memtable with fanout 2 flushes and compacts constantly,
+		// so the reopened state crosses memtable, L0 and deeper levels.
+		smallDir := t.TempDir()
+		small, err := OpenPersist(Config{Dir: smallDir, MemtableBytes: 1 << 10, CompactFanout: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapwal, err := OpenMapWAL(Config{Dir: mapwalDir, SegmentBytes: 4 << 10})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -279,17 +339,40 @@ func TestEngineEquivalence(t *testing.T) {
 			apply(single, o)
 			apply(sharded, o)
 			apply(persist, o)
+			apply(small, o)
+			apply(mapwal, o)
 		}
 		if err := persist.Close(); err != nil {
 			t.Fatalf("seed %d: close persist: %v", seed, err)
+		}
+		if err := small.Close(); err != nil {
+			t.Fatalf("seed %d: close persist-small: %v", seed, err)
+		}
+		if err := mapwal.Close(); err != nil {
+			t.Fatalf("seed %d: close mapwal: %v", seed, err)
 		}
 		reopened, err := OpenPersist(Config{Dir: dir, SegmentBytes: 4 << 10})
 		if err != nil {
 			t.Fatalf("seed %d: reopen persist: %v", seed, err)
 		}
-		others := map[string]KV{"sharded": sharded, "persist": reopened}
-		if single.Len() != sharded.Len() || single.Len() != reopened.Len() {
-			t.Fatalf("seed %d: Len single=%d sharded=%d persist=%d", seed, single.Len(), sharded.Len(), reopened.Len())
+		reopenedSmall, err := OpenPersist(Config{Dir: smallDir, MemtableBytes: 1 << 10, CompactFanout: 2})
+		if err != nil {
+			t.Fatalf("seed %d: reopen persist-small: %v", seed, err)
+		}
+		reopenedMapwal, err := OpenMapWAL(Config{Dir: mapwalDir, SegmentBytes: 4 << 10})
+		if err != nil {
+			t.Fatalf("seed %d: reopen mapwal: %v", seed, err)
+		}
+		others := map[string]KV{
+			"sharded":       sharded,
+			"persist":       reopened,
+			"persist-small": reopenedSmall,
+			"mapwal":        reopenedMapwal,
+		}
+		for name, kv := range others {
+			if single.Len() != kv.Len() {
+				t.Fatalf("seed %d: Len single=%d %s=%d", seed, single.Len(), name, kv.Len())
+			}
 		}
 		ds := dump(single)
 		for name, kv := range others {
@@ -314,8 +397,13 @@ func TestEngineEquivalence(t *testing.T) {
 				}
 			}
 		}
-		if err := reopened.Close(); err != nil {
-			t.Fatal(err)
+		for name, kv := range others {
+			if name == "sharded" {
+				continue
+			}
+			if err := kv.Close(); err != nil {
+				t.Fatalf("seed %d: close reopened %s: %v", seed, name, err)
+			}
 		}
 	}
 }
@@ -323,8 +411,11 @@ func TestEngineEquivalence(t *testing.T) {
 func TestOpenDefaultEngine(t *testing.T) {
 	// The empty config resolves through DefaultEngine (env-overridable for
 	// the CI engine matrix) and must name a real engine.
-	def := DefaultEngine()
-	if def != EngineSingle && def != EngineSharded && def != EnginePersist {
+	def, err := DefaultEngine()
+	if err != nil {
+		t.Fatalf("DefaultEngine(): %v", err)
+	}
+	if def != EngineSingle && def != EngineSharded && def != EnginePersist && def != EngineMapWAL {
 		t.Fatalf("DefaultEngine() = %q", def)
 	}
 	kv, err := Open(Config{})
@@ -339,6 +430,12 @@ func TestOpenDefaultEngine(t *testing.T) {
 		}
 	case EnginePersist:
 		p, ok := kv.(*Persist)
+		if !ok {
+			t.Fatalf("default engine %q opened %T", def, kv)
+		}
+		defer os.RemoveAll(p.Dir())
+	case EngineMapWAL:
+		p, ok := kv.(*MapWAL)
 		if !ok {
 			t.Fatalf("default engine %q opened %T", def, kv)
 		}
