@@ -41,6 +41,11 @@ package storage
 //  4. WAL files and replaced tables are deleted only AFTER the manifest
 //     that obsoletes them is durable. Orphans (tables the manifest does
 //     not name, WALs below walMin) are deleted at open.
+//  5. Only a flush advances the manifest's walMin (to the WAL left
+//     active by its memtable's seal). Compaction re-writes the walMin of
+//     the last durable flush/recovery: a sealed WAL whose flush is still
+//     in flight is the only durable copy of those records, and a higher
+//     walMin would let recovery delete it.
 //
 // Durability modes (Config.Durability): "none" acknowledges at the page
 // cache (kill -9 safe; power loss can lose the tail since the last
@@ -196,6 +201,20 @@ type Persist struct {
 	closed    bool
 	flushCond *sync.Cond // signalled when imm drains (or on error/close)
 
+	// manifestWALMin is the walMin recorded by the last durable manifest
+	// (set in recover and advanced only by doFlush). Compaction writes
+	// THIS value, never the live walIdx: while a flush is in flight the
+	// sealed WAL is the only durable copy of the imm's records, and a
+	// compaction manifest naming a higher walMin would doom it. Guarded
+	// by p.mu.
+	manifestWALMin uint64
+
+	// manifestMu serializes manifest writes so they happen outside p.mu
+	// (readers never stall on manifest disk I/O) while each manifest
+	// still reflects every previously written one. Lock order:
+	// manifestMu before p.mu, never reversed.
+	manifestMu sync.Mutex
+
 	dir           string
 	memLimit      int64
 	fanout        int
@@ -221,6 +240,10 @@ type Persist struct {
 		file             *os.File
 		gen              uint64
 		closed           bool
+		// err is a sticky fsync failure. synced never advances past the
+		// failed records, so DurabilityAlways waiters observe the error
+		// instead of a false durability acknowledgement (see waitDurable).
+		err error
 	}
 
 	stats lsmStats
@@ -392,6 +415,7 @@ func (p *Persist) recover() error {
 	if p.nextFile == 0 {
 		p.nextFile = 1
 	}
+	p.manifestWALMin = m.walMin
 	p.version = newVersion(levels)
 
 	// WAL tail: files below walMin are covered by tables (stale leftovers
@@ -560,16 +584,26 @@ func (p *Persist) appendLocked(writes []Write) uint64 {
 // waitDurable blocks a DurabilityAlways writer until the syncer's fsync
 // covers its record. Called WITHOUT p.mu held, so appends from other
 // writers proceed during the fsync — that overlap is the group commit.
+//
+// On an fsync failure the wait ends with commit.err set and synced
+// still behind the record; DurabilityAlways promises no loss window for
+// acknowledged writes, and with no error return in the KV contract a
+// write that cannot be made durable must not return at all — so this
+// panics, mirroring corrupt().
 func (p *Persist) waitDurable(seq uint64) {
 	if seq == 0 || p.durability != DurabilityAlways {
 		return
 	}
 	c := &p.commit
 	c.mu.Lock()
-	for c.synced < seq && !c.closed {
+	for c.synced < seq && c.err == nil && !c.closed {
 		c.cond.Wait()
 	}
+	err, synced := c.err, c.synced
 	c.mu.Unlock()
+	if err != nil && synced < seq {
+		panic(fmt.Sprintf("storage: persist %s: wal fsync failed under Durability=always: %v (refusing to acknowledge a non-durable write)", p.dir, err))
+	}
 }
 
 // syncer is the group-commit loop: whenever records are appended past
@@ -580,10 +614,10 @@ func (p *Persist) syncer() {
 	c := &p.commit
 	for {
 		c.mu.Lock()
-		for c.appended == c.synced && !c.closed {
+		for c.appended == c.synced && !c.closed && c.err == nil {
 			c.cond.Wait()
 		}
-		if c.closed {
+		if c.closed || c.err != nil {
 			c.mu.Unlock()
 			return
 		}
@@ -601,10 +635,14 @@ func (p *Persist) syncer() {
 		}
 		c.mu.Lock()
 		stale := gen != c.gen // rotation sealed+fsynced that file itself
-		// Advance even on error: waiters must not hang; the failure is
-		// sticky and loud at the next Sync/Close instead.
-		if c.synced < target {
-			c.synced = target
+		if err == nil || stale {
+			if c.synced < target {
+				c.synced = target
+			}
+		} else if c.err == nil {
+			// synced stays behind the failed records; waiters are woken to
+			// observe the error, never released as success.
+			c.err = err
 		}
 		c.cond.Broadcast()
 		c.mu.Unlock()
@@ -648,14 +686,23 @@ func (p *Persist) rotateWALLocked() {
 		return
 	}
 	old := p.wal
-	if err := old.Sync(); err != nil {
-		p.err = fmt.Errorf("storage: persist wal seal sync: %w", err)
+	serr := old.Sync()
+	if serr != nil {
+		p.err = fmt.Errorf("storage: persist wal seal sync: %w", serr)
 	}
 	p.stats.fsyncs.Add(1)
 	c := &p.commit
 	c.mu.Lock()
 	c.gen++
-	c.synced = c.appended // sealed file covers everything appended so far
+	if serr == nil {
+		c.synced = c.appended // sealed file covers everything appended so far
+	} else if c.err == nil {
+		// The sealed file may not be durable: synced must not jump over
+		// its records, or DurabilityAlways waiters would be released as
+		// success for writes that can still be lost. They observe the
+		// error instead (see waitDurable).
+		c.err = serr
+	}
 	c.file = newF
 	c.cond.Broadcast()
 	c.mu.Unlock()
@@ -720,6 +767,7 @@ func (p *Persist) doFlush() {
 		return
 	}
 
+	p.manifestMu.Lock()
 	p.mu.Lock()
 	newLevels := cloneLevels(p.version.levels)
 	if len(newLevels) == 0 {
@@ -727,27 +775,35 @@ func (p *Persist) doFlush() {
 	}
 	newLevels[0] = append([]*table{t}, newLevels[0]...)
 	newV := newVersion(newLevels)
-	merr := writeManifest(p.dir, manifestData{
+	data := manifestData{
 		nextFile: p.nextFile,
 		walMin:   walMin,
 		base:     uint64(p.base + int64(imm.delta)),
 		levels:   newV.fileNos(),
-	})
+	}
 	old := p.version
 	p.version = newV
 	p.base += int64(imm.delta)
 	p.imm = nil
 	p.flushCond.Broadcast()
-	if merr != nil && p.err == nil {
-		p.err = merr
-	}
-	keepWALs := merr != nil // without a durable manifest the old WALs are still the truth
 	needCompact := len(newLevels[0]) >= p.fanout
 	p.mu.Unlock()
+	// Manifest disk I/O happens under manifestMu only, so readers and
+	// writers on p.mu never stall behind the fsync+rename.
+	merr := writeManifest(p.dir, data)
+	if merr == nil {
+		p.mu.Lock()
+		p.manifestWALMin = walMin
+		p.mu.Unlock()
+	} else {
+		p.setErr(merr)
+	}
+	p.manifestMu.Unlock()
 	old.release()
 	p.stats.flushes.Add(1)
 	p.stats.flushedBytes.Add(t.size)
-	if !keepWALs {
+	// Without a durable manifest the old WALs are still the truth.
+	if merr == nil {
 		p.removeWALsBelow(walMin)
 	}
 	if needCompact {
@@ -879,9 +935,11 @@ func (p *Persist) compactOnce() bool {
 		}
 	}
 
+	p.manifestMu.Lock()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		p.manifestMu.Unlock()
 		unpin()
 		if out != nil {
 			_ = out.f.Close()
@@ -909,25 +967,30 @@ func (p *Persist) compactOnce() bool {
 		newLevels[level+1] = append([]*table{out}, newLevels[level+1]...)
 	}
 	newV := newVersion(newLevels)
-	merr = writeManifest(p.dir, manifestData{
+	data := manifestData{
 		nextFile: p.nextFile,
-		walMin:   p.walIdx,
-		base:     uint64(p.base), // compaction preserves logical content
-		levels:   newV.fileNos(),
-	})
+		// Compaction rewrites tables only — it must not advance walMin.
+		// A sealed WAL whose flush is still in flight (p.imm != nil) is
+		// the only durable copy of those records; naming the live walIdx
+		// here would let recovery delete it and lose acknowledged writes.
+		walMin: p.manifestWALMin,
+		base:   uint64(p.base), // compaction preserves logical content
+		levels: newV.fileNos(),
+	}
 	old := p.version
 	p.version = newV
-	if merr != nil && p.err == nil {
-		p.err = merr
-	}
+	p.mu.Unlock()
+	merr = writeManifest(p.dir, data)
 	if merr == nil {
 		// Only a durable manifest may doom the inputs' files; otherwise
 		// the old manifest still names them for recovery.
 		for _, t := range inputs {
 			t.dead.Store(true)
 		}
+	} else {
+		p.setErr(merr)
 	}
-	p.mu.Unlock()
+	p.manifestMu.Unlock()
 	old.release()
 	unpin()
 	p.stats.compactions.Add(1)

@@ -721,3 +721,135 @@ func TestLSMBloomSkipsNegativeLookups(t *testing.T) {
 		t.Fatalf("%d block reads for %d unfiltered probes", st.BlockReads, st.BloomChecks-st.BloomSkips)
 	}
 }
+
+// copyFlatDir copies every regular file in src into dst (the LSM data
+// directory is flat), simulating the on-disk state a kill -9 would leave
+// while the source engine is still running.
+func copyFlatDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLSMCompactionPreservesInFlightFlushWAL pins crash-safety invariant
+// 5: a compaction manifest never advances walMin. While a flush is in
+// flight the sealed WAL is the only durable copy of the flushing
+// memtable's records, so if the compaction manifest becomes the durable
+// root in that window it must keep that WAL alive for recovery.
+func TestLSMCompactionPreservesInFlightFlushWAL(t *testing.T) {
+	dir := t.TempDir()
+	// Oversized thresholds: nothing flushes or compacts except by the
+	// test's explicit synchronous calls, so the background workers idle.
+	p, err := OpenPersist(Config{Dir: dir, MemtableBytes: 1 << 30, CompactFanout: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	seal := func() {
+		t.Helper()
+		p.mu.Lock()
+		p.imm = p.mem
+		p.mem = newMemtable()
+		p.rotateWALLocked()
+		p.mu.Unlock()
+	}
+
+	// Two flushed L0 tables.
+	p.Put("t1", []byte("one"))
+	seal()
+	p.doFlush()
+	p.Put("t2", []byte("two"))
+	seal()
+	p.doFlush()
+
+	// A third memtable sealed but NOT yet flushed: its records exist only
+	// in the sealed WAL.
+	p.ApplyBatch([]Write{{Key: "inflight", Value: []byte("only-in-wal")}})
+	seal()
+
+	// Compact L0 while that flush is in flight (p.imm != nil).
+	p.mu.Lock()
+	p.fanout = 2
+	sealed := p.walIdx - 1 // the in-flight memtable's WAL
+	p.mu.Unlock()
+	if !p.compactOnce() {
+		t.Fatal("compaction did no work")
+	}
+	p.mu.Lock()
+	inFlight := p.imm != nil
+	p.mu.Unlock()
+	if !inFlight {
+		t.Fatal("test setup: no flush in flight during compaction")
+	}
+
+	m, ok, err := readManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("manifest after compaction: ok=%v err=%v", ok, err)
+	}
+	if m.walMin > sealed {
+		t.Fatalf("compaction manifest walMin %x dooms sealed WAL %x holding un-flushed records", m.walMin, sealed)
+	}
+
+	// kill -9 in that window: recovery must still see the record.
+	crash := t.TempDir()
+	copyFlatDir(t, dir, crash)
+	if got := lsmState(t, crash); got["inflight"] != "only-in-wal" {
+		t.Fatalf("recovery lost the in-flight flush's records: %v", got)
+	}
+}
+
+// TestLSMSealFsyncFailureNotAcknowledged: a DurabilityAlways writer whose
+// WAL record cannot be fsynced (here: the seal fsync at rotation fails)
+// must not be released as success — it observes the commit error and
+// panics, and the failure stays sticky through Close.
+func TestLSMSealFsyncFailureNotAcknowledged(t *testing.T) {
+	p, err := OpenPersist(Config{Dir: t.TempDir(), Durability: DurabilityAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put("a", []byte("durable")) // healthy group commit first
+
+	// Append a record without waking the syncer, then fail the seal fsync
+	// by closing the WAL file under the rotation.
+	c := &p.commit
+	p.mu.Lock()
+	c.mu.Lock()
+	c.appended++
+	seq := c.appended
+	c.mu.Unlock()
+	_ = p.wal.Close()
+	p.imm = p.mem
+	p.mem = newMemtable()
+	p.rotateWALLocked() // seal fsync fails on the closed file
+	sealErr := p.err
+	p.mu.Unlock()
+	if sealErr == nil {
+		t.Fatal("seal fsync on a closed file did not error")
+	}
+
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		p.waitDurable(seq)
+	}()
+	if pv := <-done; pv == nil {
+		t.Fatal("waitDurable acknowledged a write whose seal fsync failed")
+	}
+	if p.Close() == nil {
+		t.Fatal("Close returned nil after a seal fsync failure")
+	}
+}

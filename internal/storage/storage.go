@@ -98,10 +98,16 @@ const (
 	// DurabilityBatch runs a background group-commit loop that fsyncs the
 	// WAL at most every FsyncInterval; writers never wait. Loss window on
 	// power failure: about one FsyncInterval of acknowledged writes.
+	// Because writers never wait, an fsync failure surfaces
+	// asynchronously: the error is sticky and reported at the next
+	// Sync/Close, and background syncing stops.
 	DurabilityBatch Durability = "batch"
 	// DurabilityAlways makes every mutation wait until the WAL is fsynced
 	// past it before returning; concurrent waiters coalesce onto one fsync
-	// (group commit). Loss window: none for acknowledged writes.
+	// (group commit). Loss window: none for acknowledged writes — which is
+	// why an fsync failure panics the waiting writer: with no error return
+	// in the KV contract, a write that cannot be made durable must not
+	// return at all.
 	DurabilityAlways Durability = "always"
 )
 
